@@ -1,0 +1,244 @@
+// Command dfdbm explores the reproduction from the shell: it generates
+// the paper's benchmark database in memory and runs queries on the
+// data-flow engine or on the simulated machines.
+//
+// Usage:
+//
+//	dfdbm [flags] info
+//	dfdbm [flags] run <query> [-g page|relation|tuple] [-workers N]
+//	dfdbm [flags] bench
+//	dfdbm [flags] machine [queries...]
+//	dfdbm [flags] direct [-procs N] [-strategy page|relation]
+//
+// Shared flags (before the subcommand): -scale, -seed, -pagesize.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"dfdbm"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "database scale (1.0 = the paper's 5.5 MB)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	pageSize := flag.Int("pagesize", 2048, "page size in bytes")
+	dbFile := flag.String("db", "", "load the database from this file instead of generating it")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		usage()
+	}
+	var db *dfdbm.DB
+	var queries []*dfdbm.Query
+	var err error
+	if *dbFile != "" {
+		db, err = dfdbm.OpenDB(*dbFile)
+		check(err)
+		// The benchmark queries still bind if the file holds a paper
+		// database; otherwise subcommands needing them will report it.
+		gen, qs, qerr := dfdbm.PaperBenchmark(dfdbm.BenchmarkConfig{
+			Seed: *seed, Scale: *scale, PageSize: *pageSize,
+		})
+		_ = gen
+		if qerr == nil {
+			rebound := make([]*dfdbm.Query, 0, len(qs))
+			for _, q := range qs {
+				if rb, err := db.Parse(q.String()); err == nil {
+					rebound = append(rebound, rb)
+				}
+			}
+			queries = rebound
+		}
+	} else {
+		db, queries, err = dfdbm.PaperBenchmark(dfdbm.BenchmarkConfig{
+			Seed: *seed, Scale: *scale, PageSize: *pageSize,
+		})
+		check(err)
+	}
+
+	switch flag.Arg(0) {
+	case "info":
+		cmdInfo(db)
+	case "run":
+		cmdRun(db, flag.Args()[1:])
+	case "bench":
+		cmdBench(db, queries, *pageSize)
+	case "machine":
+		cmdMachine(db, queries, flag.Args()[1:], *pageSize)
+	case "direct":
+		cmdDirect(db, queries, flag.Args()[1:])
+	case "explain":
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: dfdbm explain '<query>'")
+			os.Exit(2)
+		}
+		q, err := db.Parse(flag.Arg(1))
+		check(err)
+		fmt.Print(dfdbm.Explain(q))
+	case "export":
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: dfdbm export <relation>")
+			os.Exit(2)
+		}
+		check(db.ExportCSV(flag.Arg(1), os.Stdout))
+	case "save":
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: dfdbm save <file>")
+			os.Exit(2)
+		}
+		check(db.SaveFile(flag.Arg(1)))
+		fmt.Printf("saved %d relations (%d bytes of pages) to %s\n",
+			len(db.Names()), db.TotalBytes(), flag.Arg(1))
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dfdbm [-scale S -seed N -pagesize B -db FILE] info|run|bench|machine|direct|save|export|explain ...")
+	os.Exit(2)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfdbm:", err)
+		os.Exit(1)
+	}
+}
+
+func cmdInfo(db *dfdbm.DB) {
+	fmt.Printf("%-8s %10s %10s %10s\n", "relation", "tuples", "pages", "bytes")
+	totalT, totalB := 0, 0
+	for _, name := range db.Names() {
+		r, err := db.Get(name)
+		check(err)
+		fmt.Printf("%-8s %10d %10d %10d\n", name, r.Cardinality(), r.NumPages(), r.ByteSize())
+		totalT += r.Cardinality()
+		totalB += r.ByteSize()
+	}
+	fmt.Printf("%-8s %10d %21d\n", "total", totalT, totalB)
+}
+
+func cmdRun(db *dfdbm.DB, args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	gran := fs.String("g", "page", "granularity: page, relation, or tuple")
+	workers := fs.Int("workers", 4, "instruction processors")
+	check(fs.Parse(args))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dfdbm run [-g page|relation|tuple] [-workers N] '<query>'")
+		os.Exit(2)
+	}
+	q, err := db.Parse(fs.Arg(0))
+	check(err)
+	g, err := parseGranularity(*gran)
+	check(err)
+
+	res, err := db.Execute(q, dfdbm.EngineOptions{Granularity: g, Workers: *workers})
+	check(err)
+	fmt.Printf("%d tuples in %v at %s granularity\n",
+		res.Relation.Cardinality(), res.Stats.Elapsed.Round(time.Microsecond), g)
+	shown := 0
+	_ = res.Relation.Each(func(t dfdbm.Tuple) bool {
+		fmt.Println(" ", t)
+		shown++
+		return shown < 10
+	})
+	if res.Relation.Cardinality() > shown {
+		fmt.Printf("  ... and %d more\n", res.Relation.Cardinality()-shown)
+	}
+	s := res.Stats
+	fmt.Printf("packets=%d arbitration=%dB results=%d pages=%d\n",
+		s.InstructionPackets, s.ArbitrationBytes, s.ResultPackets, s.PagesMoved)
+}
+
+func cmdBench(db *dfdbm.DB, queries []*dfdbm.Query, pageSize int) {
+	fmt.Printf("%-6s %10s | %-14s %-14s %-14s\n", "query", "tuples", "relation", "page", "tuple")
+	for i, q := range queries {
+		fmt.Printf("q%-5d ", i+1)
+		first := true
+		for _, g := range []dfdbm.Granularity{dfdbm.RelationLevel, dfdbm.PageLevel, dfdbm.TupleLevel} {
+			res, err := db.Execute(q, dfdbm.EngineOptions{Granularity: g, Workers: 4, PageSize: pageSize})
+			check(err)
+			if first {
+				fmt.Printf("%10d | ", res.Relation.Cardinality())
+				first = false
+			}
+			fmt.Printf("%-14s ", fmt.Sprintf("%dB", res.Stats.ArbitrationBytes))
+		}
+		fmt.Println()
+	}
+	fmt.Println("(cells are arbitration-network bytes per granularity)")
+}
+
+func cmdMachine(db *dfdbm.DB, queries []*dfdbm.Query, args []string, pageSize int) {
+	fs := flag.NewFlagSet("machine", flag.ExitOnError)
+	trace := fs.Bool("trace", false, "print the packet-protocol trace to stderr")
+	check(fs.Parse(args))
+	hw := dfdbm.DefaultHW()
+	hw.PageSize = pageSize
+	cfg := dfdbm.MachineConfig{HW: hw, ICs: 16, IPs: 16}
+	if *trace {
+		cfg.Trace = os.Stderr
+	}
+	m, err := dfdbm.NewMachine(db, cfg)
+	check(err)
+	picked := fs.Args()
+	if len(picked) == 0 {
+		picked = []string{"1", "3", "6"}
+	}
+	for _, a := range picked {
+		n, err := strconv.Atoi(a)
+		if err != nil || n < 1 || n > len(queries) {
+			check(fmt.Errorf("bad query number %q (1-%d)", a, len(queries)))
+		}
+		check(m.Submit(queries[n-1]))
+	}
+	res, err := m.Run()
+	check(err)
+	for _, qr := range res.PerQuery {
+		fmt.Printf("query %d: %d tuples, started %v, finished %v\n",
+			qr.QueryID+1, qr.Relation.Cardinality(), qr.Started, qr.Finished)
+	}
+	s := res.Stats
+	fmt.Printf("makespan %v; outer ring %.2f Mbps (%d packets, %d broadcasts); IP utilization %.1f%%\n",
+		res.Elapsed, res.OuterRingMbps(), s.OuterRingPackets, s.Broadcasts, 100*res.IPUtilization)
+}
+
+func cmdDirect(db *dfdbm.DB, queries []*dfdbm.Query, args []string) {
+	fs := flag.NewFlagSet("direct", flag.ExitOnError)
+	procs := fs.Int("procs", 16, "instruction processors")
+	strat := fs.String("strategy", "page", "page or relation")
+	check(fs.Parse(args))
+	g, err := parseGranularity(*strat)
+	check(err)
+
+	profiles, err := dfdbm.ProfileQueries(db, queries, dfdbm.DefaultHW().PageSize)
+	check(err)
+	rep, err := dfdbm.SimulateDIRECT(dfdbm.DirectConfig{Processors: *procs, Strategy: g}, profiles)
+	check(err)
+	fmt.Printf("DIRECT with %d processors, %s-level granularity:\n", *procs, g)
+	fmt.Printf("  benchmark execution time : %v\n", rep.Elapsed)
+	fmt.Printf("  IP<->cache bandwidth     : %.2f Mbps\n", rep.ProcCacheMbps())
+	fmt.Printf("  cache<->disk bandwidth   : %.2f Mbps\n", rep.CacheDiskMbps())
+	fmt.Printf("  control bandwidth        : %.3f Mbps\n", rep.ControlMbps())
+	fmt.Printf("  processor utilization    : %.1f%%\n", 100*rep.ProcUtilization)
+	fmt.Printf("  disk utilization         : %.1f%%\n", 100*rep.DiskUtilization)
+	fmt.Printf("  disk traffic             : %d reads, %d writes\n", rep.DiskReads, rep.DiskWrites)
+}
+
+func parseGranularity(s string) (dfdbm.Granularity, error) {
+	switch s {
+	case "page":
+		return dfdbm.PageLevel, nil
+	case "relation":
+		return dfdbm.RelationLevel, nil
+	case "tuple":
+		return dfdbm.TupleLevel, nil
+	}
+	return 0, fmt.Errorf("unknown granularity %q", s)
+}

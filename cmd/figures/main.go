@@ -1,0 +1,54 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation, printing each as an aligned text table. With no flags it
+// prints everything in paper order.
+//
+// Usage:
+//
+//	figures [-only fig31,fig42,table33,joins,rings,broadcast,routing,project,concurrency] [-scale 1.0] [-seed 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dfdbm/internal/figures"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated figure ids (default: all)")
+	scale := flag.Float64("scale", 1.0, "database scale factor (1.0 = the paper's 5.5 MB)")
+	seed := flag.Int64("seed", 5, "workload generator seed")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	all := figures.All()
+	ran := 0
+	for _, f := range all {
+		if len(want) > 0 && !want[f.ID] {
+			continue
+		}
+		out, err := f.Render(figures.Params{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "figures: no figure matched %q; known ids:", *only)
+		for _, f := range all {
+			fmt.Fprintf(os.Stderr, " %s", f.ID)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+}

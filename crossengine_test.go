@@ -1,0 +1,156 @@
+package dfdbm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dfdbm"
+)
+
+// TestCrossEngineEquivalence is the repository's strongest correctness
+// property: for a stream of randomly generated query trees, four
+// independent execution paths must compute the same multiset —
+//
+//  1. the serial reference executor,
+//  2. the data-flow engine at page granularity,
+//  3. the data-flow engine at relation granularity,
+//  4. the ring data-flow machine (full MC/IC/IP packet protocol).
+//
+// Tuple granularity is included on a subset (it is quadratically more
+// expensive to run).
+func TestCrossEngineEquivalence(t *testing.T) {
+	db, _, err := dfdbm.PaperBenchmark(dfdbm.BenchmarkConfig{
+		Seed: 77, Scale: 0.04, PageSize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := dfdbm.DefaultHW()
+	hw.PageSize = 1024
+
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed=%d", trial), func(t *testing.T) {
+			q, err := dfdbm.RandomQuery(int64(1000+trial), db, 2, 4)
+			if err != nil {
+				t.Fatalf("generator: %v", err)
+			}
+			want, err := db.ExecuteSerial(q)
+			if err != nil {
+				t.Fatalf("serial: %v (query %v)", err, q)
+			}
+
+			grans := []dfdbm.Granularity{dfdbm.PageLevel, dfdbm.RelationLevel}
+			if trial%5 == 0 {
+				grans = append(grans, dfdbm.TupleLevel)
+			}
+			for _, g := range grans {
+				res, err := db.Execute(q, dfdbm.EngineOptions{
+					Granularity: g, Workers: 4, PageSize: 1024,
+				})
+				if err != nil {
+					t.Fatalf("engine %v: %v (query %v)", g, err, q)
+				}
+				if !res.Relation.EqualMultiset(want) {
+					t.Errorf("engine %v: %d tuples, serial %d (query %v)",
+						g, res.Relation.Cardinality(), want.Cardinality(), q)
+				}
+			}
+
+			m, err := dfdbm.NewMachine(db, dfdbm.MachineConfig{
+				HW: hw, IPsPerInstruction: 3, IPBufferPages: 1, ICs: 24,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Submit(q); err != nil {
+				t.Fatalf("machine submit: %v (query %v)", err, q)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatalf("machine: %v (query %v)", err, q)
+			}
+			if !res.PerQuery[0].Relation.EqualMultiset(want) {
+				t.Errorf("machine: %d tuples, serial %d (query %v)",
+					res.PerQuery[0].Relation.Cardinality(), want.Cardinality(), q)
+			}
+		})
+	}
+}
+
+// TestCrossEngineDirectRoutingEquivalence repeats the sweep with the
+// Section 5 extension enabled, which stresses the direct-completion
+// accounting.
+func TestCrossEngineDirectRoutingEquivalence(t *testing.T) {
+	db, _, err := dfdbm.PaperBenchmark(dfdbm.BenchmarkConfig{
+		Seed: 78, Scale: 0.04, PageSize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := dfdbm.DefaultHW()
+	hw.PageSize = 1024
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		q, err := dfdbm.RandomQuery(int64(2000+trial), db, 1, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := db.ExecuteSerial(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := dfdbm.NewMachine(db, dfdbm.MachineConfig{
+			HW: hw, DirectRouting: true, ICs: 24,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Submit(q); err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("trial %d: %v (query %v)", trial, err, q)
+		}
+		if !res.PerQuery[0].Relation.EqualMultiset(want) {
+			t.Errorf("trial %d: machine %d tuples, serial %d (query %v)",
+				trial, res.PerQuery[0].Relation.Cardinality(), want.Cardinality(), q)
+		}
+	}
+}
+
+// TestRandomQueryDeterminism: identical seeds generate identical trees.
+func TestRandomQueryDeterminism(t *testing.T) {
+	db, _, err := dfdbm.PaperBenchmark(dfdbm.BenchmarkConfig{
+		Seed: 77, Scale: 0.02, PageSize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := dfdbm.RandomQuery(5, db, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dfdbm.RandomQuery(5, db, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed, different trees:\n%s\n%s", a, b)
+	}
+	c, err := dfdbm.RandomQuery(6, db, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical trees")
+	}
+}

@@ -1,0 +1,68 @@
+package dfdbm_test
+
+import (
+	"fmt"
+
+	"dfdbm"
+)
+
+// Example shows the minimal path: build a database, run one query on
+// the data-flow engine, and read the answer.
+func Example() {
+	db := dfdbm.NewDB()
+	parts := dfdbm.MustNewRelation("parts", dfdbm.MustSchema(
+		dfdbm.Attr{Name: "pid", Type: dfdbm.Int32},
+		dfdbm.Attr{Name: "weight", Type: dfdbm.Int32},
+	), 4096)
+	for i := 1; i <= 5; i++ {
+		_ = parts.Insert(dfdbm.Tuple{dfdbm.IntVal(int64(i)), dfdbm.IntVal(int64(i * 10))})
+	}
+	db.Put(parts)
+
+	q, _ := db.Parse(`restrict(parts, weight > 25)`)
+	res, _ := db.Execute(q, dfdbm.EngineOptions{Granularity: dfdbm.PageLevel})
+	fmt.Println(res.Relation.Cardinality(), "tuples")
+	// Output: 3 tuples
+}
+
+// ExampleDB_Bind builds a query tree programmatically instead of
+// parsing the textual language.
+func ExampleDB_Bind() {
+	db := dfdbm.NewDB()
+	r := dfdbm.MustNewRelation("nums", dfdbm.MustSchema(
+		dfdbm.Attr{Name: "n", Type: dfdbm.Int32},
+	), 1024)
+	for i := 0; i < 10; i++ {
+		_ = r.Insert(dfdbm.Tuple{dfdbm.IntVal(int64(i))})
+	}
+	db.Put(r)
+
+	root := dfdbm.RestrictNode(dfdbm.Scan("nums"),
+		dfdbm.And(
+			dfdbm.Compare{Attr: "n", Op: dfdbm.GE, Const: dfdbm.IntVal(3)},
+			dfdbm.Compare{Attr: "n", Op: dfdbm.LT, Const: dfdbm.IntVal(7)},
+		))
+	q, _ := db.Bind(root)
+	out, _ := db.ExecuteSerial(q)
+	fmt.Println(out.Cardinality())
+	// Output: 4
+}
+
+// ExampleTrafficParams reproduces the paper's Section 3.3 numbers.
+func ExampleTrafficParams() {
+	tp := dfdbm.TrafficExample(1000, 1000, 1000, 0)
+	fmt.Printf("tuple-level/page-level traffic ratio: %.0fx\n", tp.Ratio())
+	big := dfdbm.TrafficExample(1000, 1000, 10000, 0)
+	fmt.Printf("with 10 KB pages: %.0fx\n", big.Ratio())
+	// Output:
+	// tuple-level/page-level traffic ratio: 10x
+	// with 10 KB pages: 100x
+}
+
+// ExamplePaperBenchmark regenerates the paper's workload composition.
+func ExamplePaperBenchmark() {
+	db, queries, _ := dfdbm.PaperBenchmark(dfdbm.BenchmarkConfig{Seed: 1, Scale: 1.0})
+	fmt.Printf("%d relations, %d queries, %.1f MB\n",
+		len(db.Names()), len(queries), float64(db.TotalBytes())/1e6)
+	// Output: 15 relations, 10 queries, 5.5 MB
+}

@@ -1,0 +1,69 @@
+// Broadcastjoin: a walkthrough of the Section 4.2 broadcast-join
+// protocol. A join runs on the ring machine with deliberately small
+// per-IP inner buffers so that processors drop broadcasts and exercise
+// the missed-page recovery pass driven by their IRC vectors. The
+// example sweeps the buffer size and shows the protocol adapting —
+// with the answer verified against the serial executor every time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dfdbm"
+)
+
+func main() {
+	db, queries, err := dfdbm.PaperBenchmark(dfdbm.BenchmarkConfig{
+		Seed:     11,
+		Scale:    0.5,
+		PageSize: 2048,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := queries[2] // join of two restricted relations
+	fmt.Println("query:", q)
+
+	want, err := db.ExecuteSerial(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serial reference: %d tuples\n\n", want.Cardinality())
+
+	hw := dfdbm.DefaultHW()
+	hw.PageSize = 2048
+
+	fmt.Printf("%-14s %12s %10s %12s %12s %10s\n",
+		"buffer pages", "broadcasts", "ignored", "recoveries", "elapsed", "correct")
+	for _, buf := range []int{1, 2, 4, 8} {
+		m, err := dfdbm.NewMachine(db, dfdbm.MachineConfig{
+			HW:                hw,
+			IPs:               6,
+			IPsPerInstruction: 6,
+			IPBufferPages:     buf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Submit(q); err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Stats
+		fmt.Printf("%-14d %12d %10d %12d %12v %10v\n",
+			buf, s.Broadcasts, s.BroadcastsIgnored, s.RecoveryRequests,
+			res.Elapsed, res.PerQuery[0].Relation.EqualMultiset(want))
+	}
+
+	fmt.Println(`
+How to read this: the IC broadcasts each requested inner page to every
+processor working on the join. A processor that is busy when a page
+arrives buffers it if it has room and otherwise ignores it; its
+inner-relation-control (IRC) vector later shows the page missing, and
+the processor re-requests it — the recovery pass. Smaller buffers mean
+more ignored broadcasts and more recoveries, but never a wrong answer.`)
+}

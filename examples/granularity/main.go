@@ -1,0 +1,66 @@
+// Granularity: the paper's Section 3 comparison on real executions.
+// Runs one benchmark query at relation-, page-, and tuple-level
+// granularity on the functional data-flow engine and prints the
+// arbitration-network traffic of each — the measurement behind the
+// conclusion that "relation-level granularity is too coarse and
+// tuple-level granularity is too fine".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dfdbm"
+)
+
+func main() {
+	// A 10% instance of the paper's database with the analysis page
+	// size of Section 3.3 (1000-byte pages, 100-byte tuples).
+	db, queries, err := dfdbm.PaperBenchmark(dfdbm.BenchmarkConfig{
+		Seed:     42,
+		Scale:    0.1,
+		PageSize: 1000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := queries[2] // 1 join, 2 restricts
+	fmt.Println("query 3 of the benchmark:", q)
+	fmt.Println()
+
+	var pageBytes int64
+	fmt.Printf("%-10s %12s %16s %14s %10s\n",
+		"level", "packets", "arbitration B", "result pkts", "tuples")
+	for _, g := range []dfdbm.Granularity{
+		dfdbm.RelationLevel, dfdbm.PageLevel, dfdbm.TupleLevel,
+	} {
+		res, err := db.Execute(q, dfdbm.EngineOptions{
+			Granularity: g,
+			Workers:     4,
+			PageSize:    1000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Stats
+		fmt.Printf("%-10s %12d %16d %14d %10d\n",
+			g, s.InstructionPackets, s.ArbitrationBytes, s.ResultPackets, s.TuplesOut)
+		if g == dfdbm.PageLevel {
+			pageBytes = s.ArbitrationBytes
+		}
+		if g == dfdbm.TupleLevel && pageBytes > 0 {
+			fmt.Printf("\ntuple-level pushes %.1fx the bytes of page-level through the arbitration\n",
+				float64(s.ArbitrationBytes)/float64(pageBytes))
+			fmt.Println("network — the Section 3.3 analysis predicts ~10x for a pure join with")
+			fmt.Println("1000-byte pages (the restricts' streaming traffic dilutes the measured ratio).")
+		}
+	}
+
+	// The closed-form analysis for comparison.
+	fmt.Println("\nSection 3.3 closed form (n = m = 1000, c = 32):")
+	for _, pageSize := range []int{1000, 10000} {
+		tp := dfdbm.TrafficExample(1000, 1000, pageSize, 32)
+		fmt.Printf("  %5d-byte pages: tuple %d B vs page %d B — ratio %.1f\n",
+			pageSize, tp.TupleLevelBytes(), tp.PageLevelBytes(), tp.Ratio())
+	}
+}

@@ -1,0 +1,3 @@
+module dfdbm
+
+go 1.22

@@ -1,0 +1,257 @@
+package catalog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"dfdbm/internal/relation"
+)
+
+// The database file format is a straightforward length-prefixed binary
+// layout:
+//
+//	magic   "DFDBM1\n\x00"                      8 bytes
+//	u32     relation count
+//	per relation:
+//	  u16 name length, name bytes
+//	  u32 page size
+//	  u16 attribute count
+//	  per attribute: u8 type, u32 width, u16 name length, name bytes
+//	  u32 page count
+//	  per page: u32 blob length, page blob (relation.Page.Marshal)
+//
+// All integers are little-endian. Pages are stored in wire form, so a
+// file read back yields byte-identical relations.
+
+var fileMagic = [8]byte{'D', 'F', 'D', 'B', 'M', '1', '\n', 0}
+
+// Save writes the catalog to w.
+func (c *Catalog) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	names := c.Names()
+	if err := writeU32(bw, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		r, err := c.Get(name)
+		if err != nil {
+			return err
+		}
+		if err := saveRelation(bw, r); err != nil {
+			return fmt.Errorf("catalog: saving %q: %w", name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a catalog previously written by Save.
+func Load(r io.Reader) (*Catalog, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("catalog: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("catalog: not a dfdbm database file")
+	}
+	n, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	c := New()
+	for i := uint32(0); i < n; i++ {
+		rel, err := loadRelation(br)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: loading relation %d: %w", i, err)
+		}
+		c.Put(rel)
+	}
+	return c, nil
+}
+
+// SaveFile writes the catalog to the named file.
+func (c *Catalog) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a catalog from the named file.
+func LoadFile(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func saveRelation(w *bufio.Writer, r *relation.Relation) error {
+	if err := writeString(w, r.Name()); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(r.PageSize())); err != nil {
+		return err
+	}
+	s := r.Schema()
+	if err := writeU16(w, uint16(s.NumAttrs())); err != nil {
+		return err
+	}
+	for i := 0; i < s.NumAttrs(); i++ {
+		a := s.Attr(i)
+		if err := w.WriteByte(byte(a.Type)); err != nil {
+			return err
+		}
+		if err := writeU32(w, uint32(a.Width)); err != nil {
+			return err
+		}
+		if err := writeString(w, a.Name); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(w, uint32(r.NumPages())); err != nil {
+		return err
+	}
+	for _, pg := range r.Pages() {
+		blob := pg.Marshal()
+		if err := writeU32(w, uint32(len(blob))); err != nil {
+			return err
+		}
+		if _, err := w.Write(blob); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadRelation(r *bufio.Reader) (*relation.Relation, error) {
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	pageSize, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	nAttrs, err := readU16(r)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]relation.Attr, nAttrs)
+	for i := range attrs {
+		tb, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		width, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		aname, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		attrs[i] = relation.Attr{Name: aname, Type: relation.Type(tb), Width: int(width)}
+	}
+	schema, err := relation.NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := relation.New(name, schema, int(pageSize))
+	if err != nil {
+		return nil, err
+	}
+	nPages, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nPages; i++ {
+		blobLen, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if blobLen > 1<<30 {
+			return nil, fmt.Errorf("implausible page blob of %d bytes", blobLen)
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(r, blob); err != nil {
+			return nil, err
+		}
+		pg, err := relation.UnmarshalPage(blob)
+		if err != nil {
+			return nil, err
+		}
+		if pg.TupleLen() != schema.TupleLen() {
+			return nil, fmt.Errorf("page tuple length %d does not match schema %s", pg.TupleLen(), schema)
+		}
+		if err := rel.AppendPage(pg); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+func writeU16(w *bufio.Writer, v uint16) error {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func writeU32(w *bufio.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if len(s) > 1<<16-1 {
+		return fmt.Errorf("string of %d bytes too long to store", len(s))
+	}
+	if err := writeU16(w, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readU16(r *bufio.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readU16(r)
+	if err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,267 @@
+// Package core implements the paper's primary contribution as a working
+// concurrent query engine: data-flow execution of relational-algebra
+// query trees, with the operand granularity — relation, page, or tuple —
+// selectable per run.
+//
+// The mapping from the paper's machine to Go is direct. Every non-leaf
+// query-tree node gets an instruction controller goroutine (the paper's
+// IC) that applies the firing rule of the granularity in force and emits
+// instruction packets; a bounded channel is the arbitration network, its
+// capacity the number of memory cells; a pool of worker goroutines is
+// the instruction-processor (IP) pool; result pages stream back through
+// per-node event queues (the distribution network) and are compressed
+// into full pages before travelling up the tree, exactly as the paper's
+// ICs compress arriving partial pages.
+//
+// The engine computes real answers and meters the traffic that the
+// paper's Section 3.3 analyzes: bytes and packets through the
+// arbitration and distribution networks at each granularity.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/query"
+	"dfdbm/internal/relalg"
+	"dfdbm/internal/relation"
+)
+
+// Granularity selects the scheduling unit of data-flow execution — the
+// subject of the paper's Section 3.
+type Granularity uint8
+
+// The three operand granularities.
+const (
+	// RelationLevel enables an instruction only when every source
+	// operand has been completely computed.
+	RelationLevel Granularity = iota + 1
+	// PageLevel enables an instruction as soon as one page of each
+	// source operand exists; pages of intermediate relations are
+	// pipelined up the tree. The paper's recommended design point.
+	PageLevel
+	// TupleLevel enables an instruction as soon as one tuple of each
+	// source operand exists. Every token carries a single tuple.
+	TupleLevel
+)
+
+// String returns the granularity name.
+func (g Granularity) String() string {
+	switch g {
+	case RelationLevel:
+		return "relation"
+	case PageLevel:
+		return "page"
+	case TupleLevel:
+		return "tuple"
+	default:
+		return fmt.Sprintf("granularity(%d)", uint8(g))
+	}
+}
+
+// ProjectStrategy selects how the project operator eliminates
+// duplicates.
+type ProjectStrategy uint8
+
+const (
+	// ProjectSerialIC deduplicates at the instruction controller: every
+	// projected tuple funnels through one goroutine. This is the state
+	// of the art the paper laments in Section 5 ("we have not yet
+	// developed an algorithm for which a high degree of parallelism can
+	// be maintained").
+	ProjectSerialIC ProjectStrategy = iota
+	// ProjectPartitioned hash-partitions projected tuples across
+	// independent duplicate-elimination sets so workers deduplicate in
+	// parallel with no shared bottleneck — the resolution of the
+	// paper's open problem.
+	ProjectPartitioned
+)
+
+// String returns the strategy name.
+func (p ProjectStrategy) String() string {
+	if p == ProjectPartitioned {
+		return "partitioned"
+	}
+	return "serial-ic"
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Granularity is the scheduling unit. Default PageLevel.
+	Granularity Granularity
+	// Workers is the number of instruction processors. Default 4.
+	Workers int
+	// CellsPerWorker sizes the arbitration network: the number of
+	// memory cells per processor. The paper's simulation used two
+	// memory cells for each processor. Default 2.
+	CellsPerWorker int
+	// PageSize is the page size of intermediate results. Default
+	// relation.DefaultPageSize (16 KB).
+	PageSize int
+	// PacketOverhead is c, the control bytes accompanying every packet
+	// through the arbitration or distribution network — the overhead
+	// term of the Section 3.3 analysis. Default 32.
+	PacketOverhead int
+	// Project selects the duplicate-elimination strategy. Default
+	// ProjectSerialIC (the paper's baseline).
+	Project ProjectStrategy
+}
+
+func (o Options) withDefaults() Options {
+	if o.Granularity == 0 {
+		o.Granularity = PageLevel
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.CellsPerWorker <= 0 {
+		o.CellsPerWorker = 2
+	}
+	if o.PageSize <= 0 {
+		o.PageSize = relation.DefaultPageSize
+	}
+	if o.PacketOverhead <= 0 {
+		o.PacketOverhead = 32
+	}
+	return o
+}
+
+// Stats meters one execution. Byte counts follow the accounting of the
+// paper's Section 3.3: a packet's operand bytes are the tuple payload it
+// carries, plus PacketOverhead control bytes per packet.
+type Stats struct {
+	// InstructionPackets is the number of instruction packets sent
+	// through the arbitration network to processors.
+	InstructionPackets int64
+	// OperandBytes is the tuple payload carried by those packets.
+	OperandBytes int64
+	// ArbitrationBytes = OperandBytes + overhead·InstructionPackets:
+	// the total arbitration-network load.
+	ArbitrationBytes int64
+	// ResultPackets and ResultBytes meter the distribution network
+	// (worker results travelling back to controllers).
+	ResultPackets int64
+	ResultBytes   int64
+	// PagesMoved counts page tokens forwarded between tree nodes.
+	PagesMoved int64
+	// TuplesOut is the cardinality of the query result.
+	TuplesOut int64
+	// Elapsed is wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// Result is the outcome of executing one query.
+type Result struct {
+	// Relation holds the answer (for a Delete root, the surviving
+	// target relation; for Append, the destination).
+	Relation *relation.Relation
+	// Stats meters the run.
+	Stats Stats
+}
+
+// Engine executes bound query trees against a catalog.
+type Engine struct {
+	cat  *catalog.Catalog
+	opts Options
+}
+
+// New returns an engine over the catalog.
+func New(cat *catalog.Catalog, opts Options) *Engine {
+	return &Engine{cat: cat, opts: opts.withDefaults()}
+}
+
+// Options returns the engine's effective (defaulted) options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Execute runs a bound query tree and returns its result. Executions
+// are independent; an engine may execute several queries concurrently
+// as long as their footprints do not conflict (see query.Footprint).
+func (e *Engine) Execute(t *query.Tree) (*Result, error) {
+	start := time.Now()
+	root := t.Root()
+
+	// Effects (append, delete) are applied serially at the root; the
+	// subtree beneath an append still runs as data-flow.
+	switch root.Kind {
+	case query.OpDelete:
+		target, err := e.cat.Get(root.Rel)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := relalg.Delete(target, root.Pred); err != nil {
+			return nil, err
+		}
+		return &Result{Relation: target, Stats: Stats{Elapsed: time.Since(start)}}, nil
+
+	case query.OpAppend:
+		sub, err := e.executeStream(t, root.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		dst, err := e.cat.Get(root.Rel)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := relalg.Append(dst, sub.Relation); err != nil {
+			return nil, err
+		}
+		sub.Relation = dst
+		sub.Stats.Elapsed = time.Since(start)
+		return sub, nil
+
+	default:
+		res, err := e.executeStream(t, root)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Elapsed = time.Since(start)
+		return res, nil
+	}
+}
+
+// executeStream runs the pure (side-effect free) subtree rooted at top.
+func (e *Engine) executeStream(t *query.Tree, top *query.Node) (*Result, error) {
+	run := newEngineRun(e, t)
+	defer run.shutdown()
+
+	sinkDone := make(chan struct{})
+	resultName := top.Label()
+	outPageSize := e.opts.PageSize
+	if min := relation.PageHeaderLen + top.Schema().TupleLen(); outPageSize < min {
+		outPageSize = min
+	}
+	resultRel, err := relation.New(resultName, top.Schema(), outPageSize)
+	if err != nil {
+		return nil, err
+	}
+	var sinkMu sync.Mutex
+	sink := outlet{
+		send: func(pg *relation.Page) {
+			sinkMu.Lock()
+			defer sinkMu.Unlock()
+			if err := resultRel.AppendPage(pg); err != nil {
+				run.fail(err)
+			}
+		},
+		done: func() { close(sinkDone) },
+	}
+
+	if err := run.build(top, sink); err != nil {
+		return nil, err
+	}
+	run.start()
+
+	select {
+	case <-sinkDone:
+	case <-run.stopped:
+	}
+	if err := run.errValue(); err != nil {
+		return nil, err
+	}
+
+	st := run.snapshotStats()
+	st.TuplesOut = int64(resultRel.Cardinality())
+	return &Result{Relation: resultRel, Stats: st}, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import "sync"
+
+// infChan is an unbounded channel of events with an explicit stop.
+//
+// Every node's instruction controller receives its events (operand
+// pages, completion notices, task results) through one infChan. Making
+// these queues unbounded is what guarantees the engine cannot deadlock:
+// the only bounded queue in the system is the arbitration network (the
+// memory cells), and the only goroutines that block on it are
+// controllers dispatching work — workers and forwarders always make
+// progress, so the arbitration network always drains.
+type infChan struct {
+	in   chan event
+	out  chan event
+	stop chan struct{}
+	once sync.Once
+}
+
+func newInfChan() *infChan {
+	c := &infChan{
+		in:   make(chan event),
+		out:  make(chan event),
+		stop: make(chan struct{}),
+	}
+	go c.pump()
+	return c
+}
+
+func (c *infChan) pump() {
+	var buf []event
+	for {
+		var outCh chan event
+		var next event
+		if len(buf) > 0 {
+			outCh = c.out
+			next = buf[0]
+		}
+		select {
+		case ev := <-c.in:
+			buf = append(buf, ev)
+		case outCh <- next:
+			buf = buf[1:]
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Send enqueues an event. It never blocks indefinitely: if the channel
+// has been stopped the event is dropped.
+func (c *infChan) Send(ev event) {
+	select {
+	case c.in <- ev:
+	case <-c.stop:
+	}
+}
+
+// Recv dequeues the next event. It returns ok == false once the channel
+// has been stopped.
+func (c *infChan) Recv() (event, bool) {
+	select {
+	case ev := <-c.out:
+		return ev, true
+	case <-c.stop:
+		return event{}, false
+	}
+}
+
+// Stop terminates the pump goroutine and releases blocked senders and
+// receivers. Safe to call more than once.
+func (c *infChan) Stop() {
+	c.once.Do(func() { close(c.stop) })
+}

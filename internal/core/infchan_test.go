@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInfChanFIFO(t *testing.T) {
+	c := newInfChan()
+	defer c.Stop()
+	for i := 0; i < 100; i++ {
+		c.Send(event{kind: evPage, input: i})
+	}
+	for i := 0; i < 100; i++ {
+		ev, ok := c.Recv()
+		if !ok {
+			t.Fatalf("Recv %d failed", i)
+		}
+		if ev.input != i {
+			t.Fatalf("event %d arrived out of order (input=%d)", i, ev.input)
+		}
+	}
+}
+
+func TestInfChanUnboundedSendNeverBlocks(t *testing.T) {
+	c := newInfChan()
+	defer c.Stop()
+	done := make(chan struct{})
+	go func() {
+		// Far more sends than any internal channel buffer, with no
+		// receiver draining.
+		for i := 0; i < 10_000; i++ {
+			c.Send(event{input: i})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send blocked without a receiver")
+	}
+	// Everything is still delivered in order.
+	for i := 0; i < 10_000; i++ {
+		ev, ok := c.Recv()
+		if !ok || ev.input != i {
+			t.Fatalf("event %d lost or reordered", i)
+		}
+	}
+}
+
+func TestInfChanStopReleasesBothSides(t *testing.T) {
+	c := newInfChan()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			if _, ok := c.Recv(); !ok {
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			c.Send(event{input: i})
+			if i > 1000 {
+				return
+			}
+		}
+	}()
+	time.Sleep(time.Millisecond)
+	c.Stop()
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not release blocked goroutines")
+	}
+}
+
+func TestInfChanStopIdempotent(t *testing.T) {
+	c := newInfChan()
+	c.Stop()
+	c.Stop() // must not panic
+	if _, ok := c.Recv(); ok {
+		t.Error("Recv succeeded after Stop")
+	}
+	c.Send(event{}) // must not block or panic
+}
+
+func TestInfChanConcurrentSenders(t *testing.T) {
+	c := newInfChan()
+	defer c.Stop()
+	const senders, per = 8, 500
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Send(event{kind: evPage, input: s})
+			}
+		}(s)
+	}
+	counts := make([]int, senders)
+	for i := 0; i < senders*per; i++ {
+		ev, ok := c.Recv()
+		if !ok {
+			t.Fatalf("Recv %d failed", i)
+		}
+		counts[ev.input]++
+	}
+	wg.Wait()
+	for s, n := range counts {
+		if n != per {
+			t.Errorf("sender %d: %d events, want %d", s, n, per)
+		}
+	}
+}

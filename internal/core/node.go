@@ -1,0 +1,475 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dfdbm/internal/pred"
+	"dfdbm/internal/query"
+	"dfdbm/internal/relalg"
+	"dfdbm/internal/relation"
+)
+
+// event is one message delivered to an instruction controller.
+type event struct {
+	kind  evKind
+	input int
+	page  *relation.Page   // evPage
+	pages []*relation.Page // evTaskDone
+}
+
+type evKind uint8
+
+const (
+	evPage evKind = iota + 1
+	evInputDone
+	evTaskDone
+)
+
+// task is one instruction packet: a node plus the operand pages sent to
+// a processor. Joins carry two operands (outer page, inner page); the
+// unary operators carry one.
+type task struct {
+	node     *nodeExec
+	operands []*relation.Page
+}
+
+// outlet is where a producer delivers its output stream: either a
+// consumer node's input, or the engine's result sink.
+type outlet struct {
+	send func(pg *relation.Page)
+	done func()
+}
+
+// engineRun is the state of one query execution: the arbitration
+// network, the worker pool, the per-node controllers, and the meters.
+type engineRun struct {
+	eng  *Engine
+	tree *query.Tree
+
+	arb      chan *task
+	stopped  chan struct{}
+	stopOnce sync.Once
+	errMu    sync.Mutex
+	err      error
+
+	wg      sync.WaitGroup
+	feeders []func()
+	nodes   []*nodeExec
+	chans   []*infChan
+
+	stInstr, stOperand, stArb int64
+	stResPkts, stResBytes     int64
+	stPages                   int64
+}
+
+func newEngineRun(e *Engine, t *query.Tree) *engineRun {
+	return &engineRun{
+		eng:     e,
+		tree:    t,
+		arb:     make(chan *task, e.opts.Workers*e.opts.CellsPerWorker),
+		stopped: make(chan struct{}),
+	}
+}
+
+func (r *engineRun) fail(err error) {
+	if err == nil {
+		return
+	}
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+	r.stop()
+}
+
+func (r *engineRun) stop() {
+	r.stopOnce.Do(func() { close(r.stopped) })
+}
+
+func (r *engineRun) errValue() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.err
+}
+
+func (r *engineRun) snapshotStats() Stats {
+	return Stats{
+		InstructionPackets: atomic.LoadInt64(&r.stInstr),
+		OperandBytes:       atomic.LoadInt64(&r.stOperand),
+		ArbitrationBytes:   atomic.LoadInt64(&r.stArb),
+		ResultPackets:      atomic.LoadInt64(&r.stResPkts),
+		ResultBytes:        atomic.LoadInt64(&r.stResBytes),
+		PagesMoved:         atomic.LoadInt64(&r.stPages),
+	}
+}
+
+// build wires the subtree rooted at n to the given outlet, creating a
+// controller per operator node and a feeder per scan leaf.
+func (r *engineRun) build(n *query.Node, out outlet) error {
+	if n.Kind == query.OpScan {
+		rel, err := r.eng.cat.Get(n.Rel)
+		if err != nil {
+			return err
+		}
+		r.feeders = append(r.feeders, func() { r.feedScan(rel, out) })
+		return nil
+	}
+
+	ne := &nodeExec{
+		run:        r,
+		node:       n,
+		events:     newInfChan(),
+		out:        out,
+		numInputs:  len(n.Inputs),
+		inputsDone: make([]bool, len(n.Inputs)),
+	}
+	r.nodes = append(r.nodes, ne)
+	r.chans = append(r.chans, ne.events)
+
+	ne.outTupleLen = n.Schema().TupleLen()
+	if r.eng.opts.Granularity == TupleLevel {
+		ne.outPageSize = relation.PageHeaderLen + ne.outTupleLen
+	} else {
+		ne.outPageSize = r.eng.opts.PageSize
+		if min := relation.PageHeaderLen + ne.outTupleLen; ne.outPageSize < min {
+			ne.outPageSize = min
+		}
+	}
+
+	switch n.Kind {
+	case query.OpRestrict:
+		b, err := n.Pred.Bind(n.Inputs[0].Schema())
+		if err != nil {
+			return err
+		}
+		ne.boundPred = b
+
+	case query.OpJoin:
+		b, err := n.Join.Bind(n.Inputs[0].Schema(), n.Inputs[1].Schema())
+		if err != nil {
+			return err
+		}
+		ne.boundJoin = b
+
+	case query.OpProject:
+		p, err := relalg.NewProjector(n.Inputs[0].Schema(), n.Cols...)
+		if err != nil {
+			return err
+		}
+		ne.projector = p
+		if r.eng.opts.Project == ProjectPartitioned {
+			ne.parts = make([]dedupPart, r.eng.opts.Workers)
+			for i := range ne.parts {
+				ne.parts[i].d = relalg.NewDedup()
+			}
+		} else {
+			ne.dedup = relalg.NewDedup()
+			pg, err := relation.NewPaginator(ne.outPageSize, ne.outTupleLen)
+			if err != nil {
+				return err
+			}
+			ne.icPaginator = pg
+		}
+
+	default:
+		return fmt.Errorf("core: %s nodes cannot appear inside a stream subtree", n.Kind)
+	}
+
+	for i, in := range n.Inputs {
+		if err := r.build(in, ne.inlet(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *engineRun) start() {
+	for i := 0; i < r.eng.opts.Workers; i++ {
+		r.wg.Add(1)
+		go r.worker()
+	}
+	for _, ne := range r.nodes {
+		r.wg.Add(1)
+		go ne.runIC()
+	}
+	for _, f := range r.feeders {
+		r.wg.Add(1)
+		f := f
+		go func() {
+			defer r.wg.Done()
+			f()
+		}()
+	}
+}
+
+func (r *engineRun) shutdown() {
+	r.stop()
+	for _, c := range r.chans {
+		c.Stop()
+	}
+	r.wg.Wait()
+}
+
+// feedScan streams the pages of a source relation to the consumer. At
+// tuple granularity each page is split into single-tuple tokens.
+func (r *engineRun) feedScan(rel *relation.Relation, out outlet) {
+	tupleLevel := r.eng.opts.Granularity == TupleLevel
+	for _, pg := range rel.Pages() {
+		select {
+		case <-r.stopped:
+			return
+		default:
+		}
+		if !tupleLevel {
+			atomic.AddInt64(&r.stPages, 1)
+			out.send(pg)
+			continue
+		}
+		n := pg.TupleCount()
+		for i := 0; i < n; i++ {
+			one, err := relation.NewPage(relation.PageHeaderLen+pg.TupleLen(), pg.TupleLen())
+			if err != nil {
+				r.fail(err)
+				return
+			}
+			if err := one.AppendRaw(pg.RawTuple(i)); err != nil {
+				r.fail(err)
+				return
+			}
+			atomic.AddInt64(&r.stPages, 1)
+			out.send(one)
+		}
+	}
+	out.done()
+}
+
+// dedupPart is one partition of the parallel duplicate-elimination set.
+type dedupPart struct {
+	mu sync.Mutex
+	d  *relalg.Dedup
+}
+
+// nodeExec is one operator node's instruction controller plus its
+// execution state.
+type nodeExec struct {
+	run  *engineRun
+	node *query.Node
+
+	events *infChan
+	out    outlet
+
+	numInputs  int
+	inputsDone []bool
+	doneCount  int
+	dispatched int
+	completed  int
+
+	// buf holds operand pages: at page/tuple level only until they have
+	// been paired (joins keep everything, as nested loops requires); at
+	// relation level everything until the inputs complete.
+	buf [2][]*relation.Page
+
+	boundPred pred.Bound
+	boundJoin *pred.BoundJoin
+	projector *relalg.Projector
+
+	dedup       *relalg.Dedup // serial-IC project
+	icPaginator *relation.Paginator
+	parts       []dedupPart // partitioned project
+
+	outTupleLen int
+	outPageSize int
+	pending     *relation.Page // output compressor
+}
+
+// inlet returns the outlet a child (or scan feeder) uses to deliver
+// input i.
+func (n *nodeExec) inlet(i int) outlet {
+	return outlet{
+		send: func(pg *relation.Page) {
+			n.events.Send(event{kind: evPage, input: i, page: pg})
+		},
+		done: func() {
+			n.events.Send(event{kind: evInputDone, input: i})
+		},
+	}
+}
+
+// runIC is the instruction controller loop: apply the firing rule,
+// dispatch instruction packets, forward results, detect completion.
+func (n *nodeExec) runIC() {
+	defer n.run.wg.Done()
+	for {
+		ev, ok := n.events.Recv()
+		if !ok {
+			return
+		}
+		switch ev.kind {
+		case evPage:
+			n.onPage(ev.input, ev.page)
+		case evInputDone:
+			if !n.inputsDone[ev.input] {
+				n.inputsDone[ev.input] = true
+				n.doneCount++
+				n.onInputDone()
+			}
+		case evTaskDone:
+			n.completed++
+			n.onResults(ev.pages)
+		}
+		if n.allInputsDone() && n.completed == n.dispatched {
+			n.finish()
+			return
+		}
+	}
+}
+
+func (n *nodeExec) allInputsDone() bool { return n.doneCount == n.numInputs }
+
+func (n *nodeExec) onPage(input int, pg *relation.Page) {
+	if pg.Empty() {
+		return
+	}
+	if n.run.eng.opts.Granularity == RelationLevel {
+		// Relation-level firing: buffer until the operands are complete.
+		n.buf[input] = append(n.buf[input], pg)
+		return
+	}
+	switch n.node.Kind {
+	case query.OpRestrict, query.OpProject:
+		n.dispatch(pg)
+	case query.OpJoin:
+		n.buf[input] = append(n.buf[input], pg)
+		// Pair the newcomer with every page already buffered on the
+		// other side; pages arriving later on the other side will pair
+		// with it then, so each (outer, inner) pair is dispatched
+		// exactly once.
+		other := 1 - input
+		for _, q := range n.buf[other] {
+			if input == 0 {
+				n.dispatch(pg, q)
+			} else {
+				n.dispatch(q, pg)
+			}
+		}
+	}
+}
+
+func (n *nodeExec) onInputDone() {
+	if n.run.eng.opts.Granularity != RelationLevel || !n.allInputsDone() {
+		return
+	}
+	// Relation-level firing: the instruction is now enabled; dispatch
+	// all of its work at once.
+	switch n.node.Kind {
+	case query.OpRestrict, query.OpProject:
+		for _, pg := range n.buf[0] {
+			n.dispatch(pg)
+		}
+	case query.OpJoin:
+		for _, o := range n.buf[0] {
+			for _, i := range n.buf[1] {
+				n.dispatch(o, i)
+			}
+		}
+	}
+	n.buf[0], n.buf[1] = nil, nil
+}
+
+// dispatch sends one instruction packet into the arbitration network,
+// metering it as Section 3.3 does: operand payload plus per-packet
+// overhead.
+func (n *nodeExec) dispatch(ops ...*relation.Page) {
+	n.dispatched++
+	payload := 0
+	for _, p := range ops {
+		payload += p.TupleCount() * p.TupleLen()
+	}
+	atomic.AddInt64(&n.run.stInstr, 1)
+	atomic.AddInt64(&n.run.stOperand, int64(payload))
+	atomic.AddInt64(&n.run.stArb, int64(payload+n.run.eng.opts.PacketOverhead))
+	t := &task{node: n, operands: ops}
+	select {
+	case n.run.arb <- t:
+	case <-n.run.stopped:
+	}
+}
+
+// onResults forwards a finished task's output pages toward the consumer.
+func (n *nodeExec) onResults(pages []*relation.Page) {
+	if n.node.Kind == query.OpProject && n.dedup != nil {
+		// Serial-IC duplicate elimination: every projected tuple funnels
+		// through this controller.
+		for _, pg := range pages {
+			cnt := pg.TupleCount()
+			for i := 0; i < cnt; i++ {
+				raw := pg.RawTuple(i)
+				if !n.dedup.Add(raw) {
+					continue
+				}
+				full, err := n.icPaginator.Add(raw)
+				if err != nil {
+					n.run.fail(err)
+					return
+				}
+				if full != nil {
+					n.send(full)
+				}
+			}
+		}
+		return
+	}
+	for _, pg := range pages {
+		n.forward(pg)
+	}
+}
+
+// forward routes an owned output page through the compressor: partial
+// pages are merged into full pages before travelling up the tree, as
+// the paper's ICs compress arriving pages.
+func (n *nodeExec) forward(pg *relation.Page) {
+	if pg.Empty() {
+		return
+	}
+	if n.run.eng.opts.Granularity == TupleLevel || pg.Full() {
+		n.send(pg)
+		return
+	}
+	if n.pending == nil {
+		n.pending = pg
+		return
+	}
+	if _, err := n.pending.FillFrom(pg); err != nil {
+		n.run.fail(err)
+		return
+	}
+	if n.pending.Full() {
+		n.send(n.pending)
+		n.pending = nil
+		if !pg.Empty() {
+			n.pending = pg
+		}
+	}
+}
+
+func (n *nodeExec) send(pg *relation.Page) {
+	atomic.AddInt64(&n.run.stPages, 1)
+	n.out.send(pg)
+}
+
+// finish flushes buffered output and signals completion downstream.
+func (n *nodeExec) finish() {
+	if n.icPaginator != nil {
+		if last := n.icPaginator.Flush(); last != nil {
+			n.forward(last)
+		}
+	}
+	if n.pending != nil && !n.pending.Empty() {
+		n.send(n.pending)
+		n.pending = nil
+	}
+	n.out.done()
+}

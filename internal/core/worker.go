@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dfdbm/internal/query"
+	"dfdbm/internal/relalg"
+	"dfdbm/internal/relation"
+)
+
+// worker is one instruction processor: it pulls instruction packets off
+// the arbitration network, applies the operation to the operand pages,
+// paginates the result tuples, and sends the result packets back to the
+// controlling node.
+func (r *engineRun) worker() {
+	defer r.wg.Done()
+	for {
+		select {
+		case t := <-r.arb:
+			r.execTask(t)
+		case <-r.stopped:
+			return
+		}
+	}
+}
+
+func (r *engineRun) execTask(t *task) {
+	n := t.node
+	pgtor, err := relation.NewPaginator(n.outPageSize, n.outTupleLen)
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	var out []*relation.Page
+	emit := func(raw []byte) error {
+		full, err := pgtor.Add(raw)
+		if err != nil {
+			return err
+		}
+		if full != nil {
+			out = append(out, full)
+		}
+		return nil
+	}
+
+	switch n.node.Kind {
+	case query.OpRestrict:
+		_, err = relalg.RestrictPage(t.operands[0], n.boundPred, emit)
+
+	case query.OpJoin:
+		_, err = relalg.JoinPages(t.operands[0], t.operands[1], n.boundJoin, emit)
+
+	case query.OpProject:
+		sink := emit
+		if n.parts != nil {
+			// Partitioned duplicate elimination: byte-equal projections
+			// always hash to the same partition, so partition-local
+			// dedup is globally exact and workers never contend on a
+			// single set.
+			sink = func(raw []byte) error {
+				part := &n.parts[relalg.HashPartition(raw, len(n.parts))]
+				part.mu.Lock()
+				fresh := part.d.Add(raw)
+				part.mu.Unlock()
+				if !fresh {
+					return nil
+				}
+				return emit(raw)
+			}
+		}
+		_, err = relalg.ProjectPage(t.operands[0], n.projector, nil, sink)
+
+	default:
+		err = fmt.Errorf("core: worker received %s task", n.node.Kind)
+	}
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	if last := pgtor.Flush(); last != nil {
+		out = append(out, last)
+	}
+
+	for _, pg := range out {
+		atomic.AddInt64(&r.stResPkts, 1)
+		atomic.AddInt64(&r.stResBytes, int64(pg.TupleCount()*pg.TupleLen()+r.eng.opts.PacketOverhead))
+	}
+	n.events.Send(event{kind: evTaskDone, pages: out})
+}

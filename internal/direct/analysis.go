@@ -1,0 +1,64 @@
+package direct
+
+// This file holds the closed-form arbitration-network traffic analysis
+// of the paper's Section 3.3: the bytes that must pass from the memory
+// section through the arbitration network to the processing section to
+// execute one nested-loops join, at tuple-level versus page-level
+// granularity.
+
+// TrafficParams are the parameters of the Section 3.3 example: an outer
+// relation of n tuples joined with an inner relation of m tuples, each
+// tuple TupleBytes long (100 in the paper), pages of PageBytes (1000 in
+// the paper, 10000 in the ablation), and c overhead bytes per packet.
+type TrafficParams struct {
+	OuterTuples int // n
+	InnerTuples int // m
+	TupleBytes  int // 100 in the paper
+	PageBytes   int // 1000 in the paper
+	OverheadC   int // c
+}
+
+// TupleLevelBytes returns n·m·(2·tupleBytes + c): every (outer, inner)
+// tuple pair crosses the arbitration network as its own packet.
+func (p TrafficParams) TupleLevelBytes() int64 {
+	return int64(p.OuterTuples) * int64(p.InnerTuples) *
+		int64(2*p.TupleBytes+p.OverheadC)
+}
+
+// PageLevelBytes returns the paper's page-level count: with t = page
+// capacity in tuples, ⌈n/t⌉·⌈m/t⌉ packets each carrying two pages plus
+// overhead. For the paper's numbers (t = 10) this reduces to
+// n·m·(20 + c/100): one tenth of the tuple-level load.
+func (p TrafficParams) PageLevelBytes() int64 {
+	t := p.PageBytes / p.TupleBytes
+	if t < 1 {
+		t = 1
+	}
+	po := int64((p.OuterTuples + t - 1) / t)
+	pi := int64((p.InnerTuples + t - 1) / t)
+	return po * pi * int64(2*t*p.TupleBytes+p.OverheadC)
+}
+
+// Ratio returns tuple-level bytes over page-level bytes — the paper's
+// "the bandwidth requirements of the page approach is 1/10 that of the
+// tuple level approach" (for 1000-byte pages; 1/100 for 10000-byte
+// pages).
+func (p TrafficParams) Ratio() float64 {
+	pl := p.PageLevelBytes()
+	if pl == 0 {
+		return 0
+	}
+	return float64(p.TupleLevelBytes()) / float64(pl)
+}
+
+// PaperExample returns the Section 3.3 parameters with the given n, m,
+// page size, and overhead.
+func PaperExample(n, m, pageBytes, c int) TrafficParams {
+	return TrafficParams{
+		OuterTuples: n,
+		InnerTuples: m,
+		TupleBytes:  100,
+		PageBytes:   pageBytes,
+		OverheadC:   c,
+	}
+}

@@ -1,0 +1,128 @@
+package direct
+
+// cacheModel is the multiport CCD disk cache: a fixed number of page
+// frames with LRU replacement. A page fetched by a processor that is
+// not resident costs a disk read; a dirty intermediate page evicted
+// before its consumer has finished costs a disk write (and a later
+// re-read if a task still needs it). This is exactly the "movement of
+// data between a shared data cache and secondary memory" that the
+// paper's page-level pipelining minimizes.
+type cacheModel struct {
+	m      *machine
+	frames int
+	size   int
+	// Intrusive LRU list: head is most recently used.
+	head, tail *page
+}
+
+func newCacheModel(m *machine, frames int) *cacheModel {
+	return &cacheModel{m: m, frames: frames}
+}
+
+// ensureResident arranges for pg to be in the cache and calls ready
+// (immediately if it already is, after a disk read otherwise).
+// Concurrent requests for the same page share one disk read.
+func (c *cacheModel) ensureResident(pg *page, ready func()) {
+	if pg.resident {
+		c.m.report.CacheHits++
+		c.touch(pg)
+		c.m.sim.After(0, ready)
+		return
+	}
+	if pg.fetching {
+		pg.waiters = append(pg.waiters, ready)
+		return
+	}
+	c.m.report.CacheMisses++
+	c.m.report.DiskReads++
+	c.m.report.CacheDiskBytes += int64(c.m.cfg.HW.PageSize)
+	pg.fetching = true
+	pg.waiters = append(pg.waiters, ready)
+	// Source relations are staged with sequential transfers (the scan
+	// reads consecutive pages of a stored relation); spilled
+	// intermediates come back with a random access.
+	// Leaf scans read long sequential runs; staged intermediates are
+	// read back while the instruction's other operands contend for the
+	// same two drives, so they pay positioning time per page.
+	service := c.m.cfg.HW.Disk.AccessTime(c.m.cfg.HW.PageSize)
+	if pg.leaf {
+		service = c.m.cfg.HW.Disk.SequentialTime(c.m.cfg.HW.PageSize)
+	}
+	c.m.disk.Serve(service, func() {
+		pg.fetching = false
+		c.insert(pg)
+		ws := pg.waiters
+		pg.waiters = nil
+		for _, w := range ws {
+			w()
+		}
+	})
+}
+
+// insert makes pg resident, evicting least-recently-used pages as
+// needed.
+func (c *cacheModel) insert(pg *page) {
+	if pg.resident {
+		c.touch(pg)
+		return
+	}
+	for c.size >= c.frames {
+		c.evictLRU()
+	}
+	pg.resident = true
+	c.pushFront(pg)
+	c.size++
+}
+
+func (c *cacheModel) evictLRU() {
+	victim := c.tail
+	if victim == nil {
+		// More pinned concurrency than frames; shed the constraint
+		// rather than deadlock (the configuration clamp keeps this
+		// from happening in practice).
+		c.size--
+		return
+	}
+	c.remove(victim)
+	c.size--
+	victim.resident = false
+	if !victim.dead && !victim.onDisk {
+		// Dirty intermediate still needed: write it out. The write is
+		// asynchronous; the page is readable from disk thereafter.
+		victim.onDisk = true
+		c.m.report.DiskWrites++
+		c.m.report.CacheDiskBytes += int64(c.m.cfg.HW.PageSize)
+		c.m.disk.Serve(c.m.cfg.HW.Disk.AccessTime(c.m.cfg.HW.PageSize), nil)
+	}
+}
+
+func (c *cacheModel) touch(pg *page) {
+	c.remove(pg)
+	c.pushFront(pg)
+}
+
+func (c *cacheModel) pushFront(pg *page) {
+	pg.lruPrev = nil
+	pg.lruNext = c.head
+	if c.head != nil {
+		c.head.lruPrev = pg
+	}
+	c.head = pg
+	if c.tail == nil {
+		c.tail = pg
+	}
+}
+
+func (c *cacheModel) remove(pg *page) {
+	if pg.lruPrev != nil {
+		pg.lruPrev.lruNext = pg.lruNext
+	} else if c.head == pg {
+		c.head = pg.lruNext
+	}
+	if pg.lruNext != nil {
+		pg.lruNext.lruPrev = pg.lruPrev
+	} else if c.tail == pg {
+		c.tail = pg.lruPrev
+	}
+	pg.lruPrev, pg.lruNext = nil, nil
+}

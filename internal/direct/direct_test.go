@@ -1,0 +1,292 @@
+package direct
+
+import (
+	"testing"
+	"time"
+
+	"dfdbm/internal/core"
+	"dfdbm/internal/hw"
+	"dfdbm/internal/query"
+	"dfdbm/internal/workload"
+)
+
+// hwWithPages returns the 1979 hardware with the given operand page
+// size — profiles and machine must agree on it.
+func hwWithPages(pageSize int) hw.Config {
+	cfg := hw.Default1979()
+	cfg.PageSize = pageSize
+	return cfg
+}
+
+// testProfiles builds profiles of the benchmark at a reduced scale.
+func testProfiles(t testing.TB, scale float64, pageSize int) []QueryProfile {
+	t.Helper()
+	cat, qs, err := workload.Build(workload.Config{Seed: 5, Scale: scale, PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := ProfileAll(cat, qs, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return profs
+}
+
+func TestProfileShapes(t *testing.T) {
+	cat, qs, err := workload.Build(workload.Config{Seed: 5, Scale: 0.05, PageSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Profile(cat, qs[2], 2048) // 1 join, 2 restricts
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) != 3 {
+		t.Fatalf("profile has %d nodes, want 3", len(p.Nodes))
+	}
+	join := p.Nodes[p.Root()]
+	if join.Kind != query.OpJoin || join.NumInputs != 2 {
+		t.Errorf("root = %+v", join)
+	}
+	// The join's inputs are the two restricts.
+	if join.Inputs[0].Node < 0 || join.Inputs[1].Node < 0 {
+		t.Errorf("join inputs = %+v", join.Inputs)
+	}
+	// The restricts read leaf relations.
+	r0 := p.Nodes[join.Inputs[0].Node]
+	if r0.Kind != query.OpRestrict || r0.Inputs[0].Node != -1 || r0.Inputs[0].Rel == "" {
+		t.Errorf("restrict profile = %+v", r0)
+	}
+	// Output tuple width of the join is the concatenation (200 bytes).
+	if join.OutBytesPerTuple != 200 {
+		t.Errorf("join result tuple width = %d, want 200", join.OutBytesPerTuple)
+	}
+	// Page counts must cover the tuples.
+	if r0.OutPages == 0 && r0.OutTuples > 0 {
+		t.Error("restrict output pages = 0 with nonzero tuples")
+	}
+}
+
+func TestProfileConsistentWithSerial(t *testing.T) {
+	cat, qs, err := workload.Build(workload.Config{Seed: 5, Scale: 0.05, PageSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		prof, err := Profile(cat, q, 2048)
+		if err != nil {
+			t.Fatalf("query %d: %v", i+1, err)
+		}
+		want, err := query.ExecuteSerial(cat, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := prof.Nodes[prof.Root()]
+		if root.OutTuples != want.Cardinality() {
+			t.Errorf("query %d: profile root tuples = %d, serial = %d",
+				i+1, root.OutTuples, want.Cardinality())
+		}
+	}
+}
+
+func TestProfileBareScan(t *testing.T) {
+	cat, _, err := workload.Build(workload.Config{Seed: 5, Scale: 0.02, PageSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := query.Bind(query.MustParse("r15"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Profile(cat, tr, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) != 1 || p.Nodes[0].Inputs[0].Rel != "r15" {
+		t.Errorf("bare scan profile = %+v", p)
+	}
+}
+
+func TestRunCompletesBothStrategies(t *testing.T) {
+	profs := testProfiles(t, 0.05, 2048)
+	for _, strat := range []core.Granularity{core.PageLevel, core.RelationLevel} {
+		rep, err := Run(Config{Processors: 4, Strategy: strat, HW: hwWithPages(2048)}, profs)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if rep.Elapsed <= 0 {
+			t.Errorf("%s: Elapsed = %v", strat, rep.Elapsed)
+		}
+		if rep.Tasks == 0 || rep.ProcCacheBytes == 0 || rep.CacheDiskBytes == 0 {
+			t.Errorf("%s: empty report %+v", strat, rep)
+		}
+		if rep.DiskReads == 0 {
+			t.Errorf("%s: no disk reads", strat)
+		}
+	}
+}
+
+func TestMoreProcessorsNeverSlower(t *testing.T) {
+	profs := testProfiles(t, 0.05, 2048)
+	var prev time.Duration
+	for i, p := range []int{1, 4, 16} {
+		rep, err := Run(Config{Processors: p, Strategy: core.PageLevel, HW: hwWithPages(2048)}, profs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && rep.Elapsed > prev+prev/10 {
+			t.Errorf("%d processors slower than fewer: %v > %v", p, rep.Elapsed, prev)
+		}
+		prev = rep.Elapsed
+	}
+}
+
+// TestPageLevelBeatsRelationLevel is the Figure 3.1 claim: with enough
+// processors, page-level granularity outperforms relation-level.
+func TestPageLevelBeatsRelationLevel(t *testing.T) {
+	profs := testProfiles(t, 0.2, 4096)
+	for _, procs := range []int{8, 16} {
+		page, err := Run(Config{Processors: procs, Strategy: core.PageLevel, CacheFrames: 32, HW: hwWithPages(4096)}, profs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := Run(Config{Processors: procs, Strategy: core.RelationLevel, CacheFrames: 32, HW: hwWithPages(4096)}, profs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page.Elapsed >= rel.Elapsed {
+			t.Errorf("procs=%d: page %v not faster than relation %v",
+				procs, page.Elapsed, rel.Elapsed)
+		}
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	profs := testProfiles(t, 0.05, 2048)
+	a, err := Run(Config{Processors: 8, Strategy: core.PageLevel, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Processors: 8, Strategy: core.PageLevel, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("two identical runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSmallCacheCausesSpills: at page-level granularity intermediates
+// normally live and die in the cache; a tiny cache forces dirty
+// evictions (disk writes) and re-reads, slowing the run.
+func TestSmallCacheCausesSpills(t *testing.T) {
+	profs := testProfiles(t, 0.2, 2048)
+	small, err := Run(Config{Processors: 4, Strategy: core.PageLevel, CacheFrames: 8, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(Config{Processors: 4, Strategy: core.PageLevel, CacheFrames: 4096, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.DiskWrites <= big.DiskWrites {
+		t.Errorf("small cache wrote %d pages, big cache %d; expected more spills",
+			small.DiskWrites, big.DiskWrites)
+	}
+	if small.Elapsed <= big.Elapsed {
+		t.Errorf("small cache (%v) not slower than big cache (%v)", small.Elapsed, big.Elapsed)
+	}
+	// Relation-level granularity stages intermediates through mass
+	// storage by construction, so its write count is cache-independent.
+	relSmall, err := Run(Config{Processors: 4, Strategy: core.RelationLevel, CacheFrames: 8, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relBig, err := Run(Config{Processors: 4, Strategy: core.RelationLevel, CacheFrames: 4096, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relBig.DiskWrites == 0 {
+		t.Error("relation level with a big cache wrote nothing; staging policy missing")
+	}
+	if relSmall.DiskWrites < relBig.DiskWrites {
+		t.Errorf("relation-level writes fell with a smaller cache: %d < %d",
+			relSmall.DiskWrites, relBig.DiskWrites)
+	}
+}
+
+func TestBandwidthGrowsWithProcessors(t *testing.T) {
+	profs := testProfiles(t, 0.1, 2048)
+	r4, err := Run(Config{Processors: 4, Strategy: core.PageLevel, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r32, err := Run(Config{Processors: 32, Strategy: core.PageLevel, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r32.ProcCacheMbps() <= r4.ProcCacheMbps() {
+		t.Errorf("bandwidth demand did not grow: 4 procs %.2f Mbps, 32 procs %.2f Mbps",
+			r4.ProcCacheMbps(), r32.ProcCacheMbps())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Processors: 0}, nil); err == nil {
+		t.Error("zero processors accepted")
+	}
+	if _, err := Run(Config{Processors: 1, Strategy: core.TupleLevel}, nil); err == nil {
+		t.Error("tuple-level strategy accepted by the DIRECT simulator")
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	profs := testProfiles(t, 0.05, 2048)
+	rep, err := Run(Config{Processors: 2, Strategy: core.PageLevel, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProcUtilization <= 0 || rep.ProcUtilization > 1.0001 {
+		t.Errorf("processor utilization = %g", rep.ProcUtilization)
+	}
+	if rep.DiskUtilization <= 0 || rep.DiskUtilization > 1.0001 {
+		t.Errorf("disk utilization = %g", rep.DiskUtilization)
+	}
+}
+
+func TestTrafficAnalysisMatchesPaper(t *testing.T) {
+	// The paper: n·m·(200+c) versus n·m·(20 + c/100) — a factor of ten
+	// with 1000-byte pages, ignoring overhead.
+	p := PaperExample(1000, 1000, 1000, 0)
+	if got := p.TupleLevelBytes(); got != 1000*1000*200 {
+		t.Errorf("TupleLevelBytes = %d", got)
+	}
+	if got := p.PageLevelBytes(); got != 100*100*2000 {
+		t.Errorf("PageLevelBytes = %d", got)
+	}
+	if r := p.Ratio(); r != 10 {
+		t.Errorf("ratio = %g, want exactly 10 with zero overhead", r)
+	}
+	// 10000-byte pages: another factor of ten.
+	big := PaperExample(1000, 1000, 10000, 0)
+	if r := big.Ratio(); r != 100 {
+		t.Errorf("10K-page ratio = %g, want 100", r)
+	}
+	// Overhead c shifts both but keeps the ordering.
+	withC := PaperExample(1000, 1000, 1000, 32)
+	if withC.Ratio() <= 1 {
+		t.Errorf("ratio with overhead = %g", withC.Ratio())
+	}
+}
+
+func TestTrafficAnalysisEdgeCases(t *testing.T) {
+	// Page smaller than a tuple degrades to one tuple per page.
+	p := TrafficParams{OuterTuples: 10, InnerTuples: 10, TupleBytes: 100, PageBytes: 50, OverheadC: 0}
+	if got := p.PageLevelBytes(); got != 10*10*200 {
+		t.Errorf("degenerate PageLevelBytes = %d", got)
+	}
+	zero := TrafficParams{TupleBytes: 100, PageBytes: 1000}
+	if zero.Ratio() != 0 {
+		t.Errorf("empty ratio = %g", zero.Ratio())
+	}
+}

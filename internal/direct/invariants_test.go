@@ -1,0 +1,162 @@
+package direct
+
+import (
+	"testing"
+
+	"dfdbm/internal/core"
+)
+
+// Conservation and consistency invariants of the DIRECT simulator.
+
+func TestTrafficConservation(t *testing.T) {
+	profs := testProfiles(t, 0.1, 2048)
+	for _, strat := range []core.Granularity{core.PageLevel, core.RelationLevel} {
+		rep, err := Run(Config{Processors: 8, Strategy: strat, HW: hwWithPages(2048)}, profs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every leaf page must be fetched by a processor at least once,
+		// so IP⇄cache traffic is at least the leaf volume.
+		var leafBytes int64
+		seen := map[string]bool{}
+		for _, p := range profs {
+			for _, n := range p.Nodes {
+				for i := 0; i < n.NumInputs; i++ {
+					ref := n.Inputs[i]
+					if ref.Node == -1 && !seen[ref.Rel] {
+						seen[ref.Rel] = true
+						leafBytes += int64(ref.Pages) * 2048
+					}
+				}
+			}
+		}
+		if rep.ProcCacheBytes < leafBytes {
+			t.Errorf("%s: ProcCacheBytes %d below one pass over the leaves (%d)",
+				strat, rep.ProcCacheBytes, leafBytes)
+		}
+		// Disk traffic equals (reads+writes) × page size.
+		if rep.CacheDiskBytes != (rep.DiskReads+rep.DiskWrites)*2048 {
+			t.Errorf("%s: CacheDiskBytes %d inconsistent with %d reads + %d writes",
+				strat, rep.CacheDiskBytes, rep.DiskReads, rep.DiskWrites)
+		}
+		// Hits + misses cover every ensureResident call; misses == reads.
+		if rep.CacheMisses != rep.DiskReads {
+			t.Errorf("%s: misses %d != disk reads %d", strat, rep.CacheMisses, rep.DiskReads)
+		}
+	}
+}
+
+func TestRelationLevelStagesEveryIntermediatePage(t *testing.T) {
+	profs := testProfiles(t, 0.1, 2048)
+	rep, err := Run(Config{Processors: 8, Strategy: core.RelationLevel, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count non-root intermediate pages across all queries: each is
+	// written to mass storage by the staging policy.
+	var intermediate int64
+	for _, p := range profs {
+		for i, n := range p.Nodes {
+			if i == p.Root() {
+				continue
+			}
+			intermediate += int64(n.OutPages)
+		}
+	}
+	if rep.DiskWrites < intermediate {
+		t.Errorf("relation level wrote %d pages, but %d intermediate pages exist",
+			rep.DiskWrites, intermediate)
+	}
+}
+
+func TestPageLevelWritesLessThanRelationLevel(t *testing.T) {
+	profs := testProfiles(t, 0.2, 2048)
+	page, err := Run(Config{Processors: 8, Strategy: core.PageLevel, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := Run(Config{Processors: 8, Strategy: core.RelationLevel, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.DiskWrites >= rel.DiskWrites {
+		t.Errorf("page level wrote %d pages, relation level %d; pipelining should write less",
+			page.DiskWrites, rel.DiskWrites)
+	}
+}
+
+func TestConcurrentModeCompletes(t *testing.T) {
+	profs := testProfiles(t, 0.1, 2048)
+	// With a cache large enough to avoid inter-query thrash, running
+	// the mix concurrently cannot be slower than back to back: same
+	// work, strictly more overlap.
+	big := 8192
+	seq, err := Run(Config{Processors: 16, Strategy: core.PageLevel, CacheFrames: big, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := Run(Config{Processors: 16, Strategy: core.PageLevel, CacheFrames: big, Concurrent: true, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Elapsed > seq.Elapsed+seq.Elapsed/10 {
+		t.Errorf("concurrent mode (%v) much slower than sequential (%v)",
+			conc.Elapsed, seq.Elapsed)
+	}
+	if conc.Tasks != seq.Tasks {
+		t.Errorf("task count changed with admission mode: %d vs %d", conc.Tasks, seq.Tasks)
+	}
+	// With a small cache, ten queries' working sets thrash each other:
+	// the simulator must surface that as extra disk traffic.
+	concSmall, err := Run(Config{Processors: 16, Strategy: core.PageLevel, CacheFrames: 32, Concurrent: true, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if concSmall.DiskReads <= conc.DiskReads {
+		t.Errorf("small shared cache did not increase re-reads: %d vs %d",
+			concSmall.DiskReads, conc.DiskReads)
+	}
+}
+
+func TestControlTrafficTracksTasks(t *testing.T) {
+	profs := testProfiles(t, 0.05, 2048)
+	rep, err := Run(Config{Processors: 4, Strategy: core.PageLevel, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each task costs an instruction header + two control messages.
+	want := rep.Tasks * int64(64+32+32)
+	if rep.ControlBytes != want {
+		t.Errorf("ControlBytes = %d, want %d (= tasks × 128)", rep.ControlBytes, want)
+	}
+}
+
+func TestEmptyProfileListCompletesInstantly(t *testing.T) {
+	rep, err := Run(Config{Processors: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Elapsed != 0 || rep.Tasks != 0 {
+		t.Errorf("empty run: %+v", rep)
+	}
+}
+
+func TestProfilePageMath(t *testing.T) {
+	if got := pagesFor(0, 100, 2048); got != 0 {
+		t.Errorf("pagesFor(0) = %d", got)
+	}
+	// cap = (2048-16)/100 = 20.
+	if got := pagesFor(20, 100, 2048); got != 1 {
+		t.Errorf("pagesFor(20) = %d, want 1", got)
+	}
+	if got := pagesFor(21, 100, 2048); got != 2 {
+		t.Errorf("pagesFor(21) = %d, want 2", got)
+	}
+	// Tuples wider than a page degrade to one per page.
+	if got := capOf(5000, 2048); got != 1 {
+		t.Errorf("capOf(oversized tuple) = %d, want 1", got)
+	}
+	if _, err := Profile(nil, nil, 8); err == nil {
+		t.Error("Profile with absurd page size succeeded")
+	}
+}

@@ -1,0 +1,153 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"dfdbm/internal/core"
+	"dfdbm/internal/direct"
+	"dfdbm/internal/hw"
+	"dfdbm/internal/stats"
+)
+
+// Fig31ProcessorCounts is the x axis of Figure 3.1.
+var Fig31ProcessorCounts = []int{1, 2, 4, 8, 16, 32, 50, 64}
+
+// Fig31 reproduces Figure 3.1: execution time of the ten-query
+// benchmark on DIRECT as a function of the number of processors, under
+// page-level and relation-level granularity. The paper reports
+// page-level outperforming relation-level by a factor of about two.
+func Fig31(p Params) (string, error) {
+	p = p.withDefaults()
+	pageSize := hw.Default1979().PageSize
+	_, _, profs, err := benchmarkFor(p, pageSize)
+	if err != nil {
+		return "", err
+	}
+
+	fig := stats.NewFigure(
+		fmt.Sprintf("Figure 3.1 — benchmark execution time (s) vs processors (scale %.2f)", p.Scale),
+		"processors")
+	pageS := fig.NewSeries("page-level")
+	relS := fig.NewSeries("relation-level")
+	ratioS := fig.NewSeries("rel/page")
+
+	for _, procs := range Fig31ProcessorCounts {
+		pg, err := direct.Run(direct.Config{Processors: procs, Strategy: core.PageLevel}, profs)
+		if err != nil {
+			return "", err
+		}
+		rl, err := direct.Run(direct.Config{Processors: procs, Strategy: core.RelationLevel}, profs)
+		if err != nil {
+			return "", err
+		}
+		pageS.Add(float64(procs), pg.Elapsed.Seconds())
+		relS.Add(float64(procs), rl.Elapsed.Seconds())
+		ratioS.Add(float64(procs), stats.Ratio(rl.Elapsed.Seconds(), pg.Elapsed.Seconds()))
+	}
+	return fig.String(), nil
+}
+
+// Fig42ProcessorCounts is the x axis of Figure 4.2.
+var Fig42ProcessorCounts = []int{1, 2, 4, 8, 16, 32, 50, 64, 100, 128}
+
+// Fig42 reproduces Figure 4.2: the average bandwidth demand of DIRECT
+// with page-level granularity at each level of the storage hierarchy,
+// as a function of the number of instruction processors. The paper
+// concludes that a 40 Mbps ring suffices for up to about 50 IPs, with
+// ~100 Mbps needed for larger configurations.
+func Fig42(p Params) (string, error) {
+	p = p.withDefaults()
+	pageSize := hw.Default1979().PageSize
+	_, _, profs, err := benchmarkFor(p, pageSize)
+	if err != nil {
+		return "", err
+	}
+
+	fig := stats.NewFigure(
+		fmt.Sprintf("Figure 4.2 — average bandwidth (Mbps) vs instruction processors (scale %.2f)", p.Scale),
+		"IPs")
+	ipCache := fig.NewSeries("IP<->cache")
+	cacheDisk := fig.NewSeries("cache<->disk")
+	control := fig.NewSeries("control")
+
+	var crossed40 int
+	for _, procs := range Fig42ProcessorCounts {
+		rep, err := direct.Run(direct.Config{Processors: procs, Strategy: core.PageLevel}, profs)
+		if err != nil {
+			return "", err
+		}
+		ipCache.Add(float64(procs), rep.ProcCacheMbps())
+		cacheDisk.Add(float64(procs), rep.CacheDiskMbps())
+		control.Add(float64(procs), rep.ControlMbps())
+		if crossed40 == 0 && rep.ProcCacheMbps() > 40 {
+			crossed40 = procs
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(fig.String())
+	if crossed40 > 0 {
+		fmt.Fprintf(&b, "IP<->cache demand first exceeds the 40 Mbps ring at %d IPs\n", crossed40)
+	} else {
+		b.WriteString("IP<->cache demand stays under the 40 Mbps ring across the sweep\n")
+	}
+	return b.String(), nil
+}
+
+// Table33 reproduces the Section 3.3 closed-form analysis and confirms
+// it against traffic measured on the functional data-flow engine.
+func Table33(p Params) (string, error) {
+	p = p.withDefaults()
+
+	tb := stats.NewTable(
+		"Section 3.3 — arbitration-network bytes for a nested-loops join (n=m=1000, 100 B tuples)",
+		"page size", "overhead c", "tuple-level", "page-level", "ratio")
+	for _, pageBytes := range []int{1000, 10000} {
+		for _, c := range []int{0, 32, 100} {
+			tp := direct.PaperExample(1000, 1000, pageBytes, c)
+			tb.AddRow(pageBytes, c, tp.TupleLevelBytes(), tp.PageLevelBytes(), tp.Ratio())
+		}
+	}
+
+	measured, err := measuredTrafficRatio(p)
+	if err != nil {
+		return "", err
+	}
+	return tb.String() + measured, nil
+}
+
+// measuredTrafficRatio runs one benchmark join on the functional engine
+// at both granularities and reports the measured arbitration traffic.
+func measuredTrafficRatio(p Params) (string, error) {
+	// Tuple-level packets grow with the square of the restricted
+	// cardinalities; measure at a reduced scale.
+	mp := p
+	if mp.Scale > 0.2 {
+		mp.Scale = 0.2
+	}
+	cat, trees, _, err := benchmarkFor(mp, 1000)
+	if err != nil {
+		return "", err
+	}
+	q := trees[2] // 1 join, 2 restricts
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Measured on the functional engine (benchmark query 3, scale %.2f, 1000 B pages)", mp.Scale),
+		"granularity", "packets", "arbitration bytes")
+	var page, tuple int64
+	for _, g := range []core.Granularity{core.PageLevel, core.TupleLevel} {
+		eng := core.New(cat, core.Options{Granularity: g, Workers: 4, PageSize: 1000})
+		res, err := eng.Execute(q)
+		if err != nil {
+			return "", err
+		}
+		tb.AddRow(g.String(), res.Stats.InstructionPackets, res.Stats.ArbitrationBytes)
+		if g == core.PageLevel {
+			page = res.Stats.ArbitrationBytes
+		} else {
+			tuple = res.Stats.ArbitrationBytes
+		}
+	}
+	return tb.String() + fmt.Sprintf("measured tuple/page ratio: %.1f\n", stats.Ratio(float64(tuple), float64(page))), nil
+}

@@ -1,0 +1,203 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// small keeps figure tests quick: a 5% database.
+var small = Params{Scale: 0.05, Seed: 3}
+
+func TestAllFiguresRender(t *testing.T) {
+	for _, f := range All() {
+		f := f
+		t.Run(f.ID, func(t *testing.T) {
+			out, err := f.Render(small)
+			if err != nil {
+				t.Fatalf("%s: %v", f.ID, err)
+			}
+			if len(out) < 40 || !strings.Contains(out, "\n") {
+				t.Errorf("%s produced implausible output: %q", f.ID, out)
+			}
+		})
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range All() {
+		if f.ID == "" || f.Title == "" || f.Render == nil {
+			t.Errorf("incomplete figure entry %+v", f)
+		}
+		if seen[f.ID] {
+			t.Errorf("duplicate figure id %q", f.ID)
+		}
+		seen[f.ID] = true
+	}
+	if len(seen) != 11 {
+		t.Errorf("registry has %d figures, want 11", len(seen))
+	}
+}
+
+func TestFig31ShowsBothStrategies(t *testing.T) {
+	out, err := Fig31(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"page-level", "relation-level", "rel/page", "processors"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig31 missing %q:\n%s", want, out)
+		}
+	}
+	// One row per processor count.
+	lines := strings.Count(out, "\n")
+	if lines < len(Fig31ProcessorCounts)+3 {
+		t.Errorf("Fig31 too short (%d lines)", lines)
+	}
+}
+
+func TestTable33ShowsTenXRatio(t *testing.T) {
+	out, err := Table33(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tuple-level") || !strings.Contains(out, "page-level") {
+		t.Errorf("Table33 missing columns:\n%s", out)
+	}
+	if !strings.Contains(out, "measured tuple/page ratio") {
+		t.Errorf("Table33 missing measured section:\n%s", out)
+	}
+	// The zero-overhead 1000-byte row has ratio exactly 10.
+	if !strings.Contains(out, "10") {
+		t.Errorf("Table33 missing the 10x ratio:\n%s", out)
+	}
+}
+
+func TestFig42ShowsThreeLevels(t *testing.T) {
+	out, err := Fig42(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IP<->cache", "cache<->disk", "control", "40 Mbps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig42 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJoinAlgorithmsShowsCrossover(t *testing.T) {
+	out, err := JoinAlgorithms(Params{Scale: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sorted-merge") || !strings.Contains(out, "nested-loops") {
+		t.Errorf("JoinAlgorithms missing algorithms:\n%s", out)
+	}
+	// At this size the crossover falls inside the sweep: both winners
+	// appear.
+	if !strings.Contains(out, "winner") {
+		t.Errorf("missing winner column:\n%s", out)
+	}
+}
+
+func TestRingComparisonDLCNWins(t *testing.T) {
+	out, err := RingComparison(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "false") {
+		t.Errorf("DLCN lost at some load level:\n%s", out)
+	}
+}
+
+func TestBroadcastJoinAlwaysCorrect(t *testing.T) {
+	out, err := BroadcastJoin(Params{Scale: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "false") {
+		t.Errorf("broadcast join produced a wrong answer:\n%s", out)
+	}
+	if !strings.Contains(out, "broadcasts") {
+		t.Errorf("missing broadcasts column:\n%s", out)
+	}
+}
+
+func TestDirectRoutingSavesTraffic(t *testing.T) {
+	out, err := DirectRouting(Params{Scale: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "false") {
+		t.Errorf("direct routing produced a wrong answer:\n%s", out)
+	}
+	if !strings.Contains(out, "IP to IP") {
+		t.Errorf("missing direct row:\n%s", out)
+	}
+}
+
+func TestParallelProjectShowsSpeedupBound(t *testing.T) {
+	out, err := ParallelProject(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "serial-ic") || !strings.Contains(out, "partitioned") {
+		t.Errorf("missing strategies:\n%s", out)
+	}
+	if !strings.Contains(out, "serialization point") {
+		t.Errorf("missing serialization metric:\n%s", out)
+	}
+}
+
+func TestConcurrencyShowsConflictDelay(t *testing.T) {
+	out, err := Concurrency(Params{Scale: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "delayed by concurrency control") {
+		t.Errorf("missing conflict line:\n%s", out)
+	}
+	if strings.Contains(out, "0 of 3 queries delayed") {
+		t.Errorf("conflict was not observed:\n%s", out)
+	}
+}
+
+func TestBenchmarkCacheReuse(t *testing.T) {
+	// Two renders with identical params share the cached database; this
+	// just checks the cache does not corrupt results.
+	a, err := Fig31(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig31(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated Fig31 renders differ")
+	}
+}
+
+func TestPageSizeAblationShowsUCurve(t *testing.T) {
+	out, err := PageSizeAblation(Params{Scale: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2048", "16384", "262144", "exec time", "tasks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("page-size ablation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMemoryCellsAblation(t *testing.T) {
+	out, err := MemoryCellsAblation(Params{Scale: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cells/processor", "vs 2 cells", "+0.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cells ablation missing %q:\n%s", want, out)
+		}
+	}
+}

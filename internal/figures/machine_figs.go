@@ -1,0 +1,245 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"dfdbm/internal/hw"
+	"dfdbm/internal/machine"
+	"dfdbm/internal/query"
+	"dfdbm/internal/ringnet"
+	"dfdbm/internal/stats"
+)
+
+// RingComparison reproduces the Section 4.1 interconnect choice: the
+// DLCN shift-register insertion ring versus Newhall and Pierce loops
+// under a variable-length message load, at increasing offered load —
+// the comparison of Reames and Liu that the paper cites to justify the
+// insertion ring.
+func RingComparison(p Params) (string, error) {
+	p = p.withDefaults()
+	tb := stats.NewTable(
+		"Section 4.1 — loop networks, 16 nodes, 40 Mbps, 64-2048 B messages (mean delay µs)",
+		"mean gap (µs)", "offered Mbps", "dlcn", "newhall", "pierce", "dlcn wins")
+	for _, gapUS := range []int{2000, 500, 200, 100, 60} {
+		row := make(map[ringnet.Kind]ringnet.Result)
+		var offered float64
+		for _, k := range []ringnet.Kind{ringnet.DLCN, ringnet.Newhall, ringnet.Pierce} {
+			res, err := ringnet.Simulate(ringnet.Config{
+				Kind:     k,
+				Nodes:    16,
+				Messages: 3000,
+				MeanGap:  time.Duration(gapUS) * time.Microsecond,
+				MinLen:   64,
+				MaxLen:   2048,
+				Seed:     p.Seed,
+			})
+			if err != nil {
+				return "", err
+			}
+			row[k] = res
+			offered = res.OfferedMbps
+		}
+		wins := row[ringnet.DLCN].MeanDelay <= row[ringnet.Newhall].MeanDelay &&
+			row[ringnet.DLCN].MeanDelay <= row[ringnet.Pierce].MeanDelay
+		tb.AddRow(gapUS, offered,
+			float64(row[ringnet.DLCN].MeanDelay.Microseconds()),
+			float64(row[ringnet.Newhall].MeanDelay.Microseconds()),
+			float64(row[ringnet.Pierce].MeanDelay.Microseconds()),
+			fmt.Sprintf("%v", wins))
+	}
+	return tb.String(), nil
+}
+
+// machineHW scales the ring machine's operand pages with the database
+// scale so multi-page operands (and therefore the broadcast protocol)
+// are always exercised.
+func machineHW(p Params) hw.Config {
+	cfg := hw.Default1979()
+	if p.Scale < 0.5 {
+		cfg.PageSize = 2048
+	}
+	return cfg
+}
+
+// BroadcastJoin runs a benchmark join on the ring machine at several IP
+// buffer sizes, reporting the Section 4.2 protocol's behaviour: how
+// many broadcasts were sent, how many a full buffer forced an IP to
+// ignore, and how many missed-page recoveries followed — with the
+// answer checked against the serial executor every time.
+func BroadcastJoin(p Params) (string, error) {
+	p = p.withDefaults()
+	// Small operand pages keep the operands multi-page at every scale,
+	// so the protocol (and its drop/recovery path) is always exercised.
+	bhw := hw.Default1979()
+	bhw.PageSize = 2048
+	cat, trees, _, err := benchmarkFor(p, bhw.PageSize)
+	if err != nil {
+		return "", err
+	}
+	q := trees[2] // 1 join, 2 restricts
+	want, err := query.ExecuteSerial(cat, q, 0)
+	if err != nil {
+		return "", err
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Section 4.2 — broadcast join protocol (benchmark query 3, scale %.2f)", p.Scale),
+		"IP buffer pages", "broadcasts", "ignored", "recoveries", "outer-ring Mbps", "elapsed", "correct")
+	for _, buf := range []int{1, 2, 4, 8} {
+		m, err := machine.New(cat, machine.Config{
+			HW:                bhw,
+			IPs:               6,
+			IPsPerInstruction: 6,
+			IPBufferPages:     buf,
+		})
+		if err != nil {
+			return "", err
+		}
+		if err := m.Submit(q); err != nil {
+			return "", err
+		}
+		res, err := m.Run()
+		if err != nil {
+			return "", err
+		}
+		got := res.PerQuery[0].Relation
+		tb.AddRow(buf, res.Stats.Broadcasts, res.Stats.BroadcastsIgnored,
+			res.Stats.RecoveryRequests, res.OuterRingMbps(), res.Elapsed,
+			fmt.Sprintf("%v", got.EqualMultiset(want)))
+	}
+	return tb.String(), nil
+}
+
+// DirectRouting runs the Section 5 ablation: routing result pages
+// IP→IP (bypassing the consuming IC) against the baseline IP→IC→IP
+// path, measuring the outer-ring traffic saved.
+func DirectRouting(p Params) (string, error) {
+	p = p.withDefaults()
+	pageSize := machineHW(p).PageSize
+	cat, _, _, err := benchmarkFor(p, pageSize)
+	if err != nil {
+		return "", err
+	}
+	// A unary pipeline is the case the extension targets.
+	q, err := query.Bind(query.MustParse(
+		`restrict(restrict(r1, val < 500), k1 < 50)`), cat)
+	if err != nil {
+		return "", err
+	}
+	want, err := query.ExecuteSerial(cat, q, 0)
+	if err != nil {
+		return "", err
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Section 5 — IP→IP direct routing ablation (scale %.2f)", p.Scale),
+		"routing", "outer-ring bytes", "packets", "direct pages", "elapsed", "correct")
+	for _, direct := range []bool{false, true} {
+		m, err := machine.New(cat, machine.Config{HW: machineHW(p), DirectRouting: direct})
+		if err != nil {
+			return "", err
+		}
+		if err := m.Submit(q); err != nil {
+			return "", err
+		}
+		res, err := m.Run()
+		if err != nil {
+			return "", err
+		}
+		name := "via IC (paper)"
+		if direct {
+			name = "IP to IP (Section 5)"
+		}
+		tb.AddRow(name, res.Stats.OuterRingBytes, res.Stats.OuterRingPackets,
+			res.Stats.DirectRoutedPages, res.Elapsed,
+			fmt.Sprintf("%v", res.PerQuery[0].Relation.EqualMultiset(want)))
+	}
+	return tb.String(), nil
+}
+
+// Concurrency demonstrates the Section 4.0 requirement: the MC admits
+// non-conflicting queries simultaneously and serializes conflicting
+// ones, and running a read-only mix concurrently beats running it one
+// query at a time.
+func Concurrency(p Params) (string, error) {
+	p = p.withDefaults()
+	pageSize := machineHW(p).PageSize
+	cat, trees, _, err := benchmarkFor(p, pageSize)
+	if err != nil {
+		return "", err
+	}
+	mix := trees[:5]
+
+	runMix := func(ics int) (*machine.Results, error) {
+		m, err := machine.New(cat, machine.Config{HW: machineHW(p), ICs: ics, IPs: 16})
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range mix {
+			if err := m.Submit(q); err != nil {
+				return nil, err
+			}
+		}
+		return m.Run()
+	}
+
+	// Few ICs force near-serial admission; many ICs let the mix overlap.
+	serialish, err := runMix(3)
+	if err != nil {
+		return "", err
+	}
+	concurrent, err := runMix(16)
+	if err != nil {
+		return "", err
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Section 4.0 — multi-query execution (benchmark queries 1-5, scale %.2f)", p.Scale),
+		"configuration", "makespan", "IP utilization")
+	tb.AddRow("3 ICs (near-serial admission)", serialish.Elapsed, serialish.IPUtilization)
+	tb.AddRow("16 ICs (concurrent admission)", concurrent.Elapsed, concurrent.IPUtilization)
+
+	// Conflict demonstration: a writer on r14 behind a reader.
+	m, err := machine.New(cat, machine.Config{HW: machineHW(p)})
+	if err != nil {
+		return "", err
+	}
+	reader, err := query.Bind(query.MustParse(`restrict(r14, val < 500)`), cat)
+	if err != nil {
+		return "", err
+	}
+	// Clone the target so repeated figure runs do not mutate the shared
+	// benchmark database.
+	r14, err := cat.Get("r14")
+	if err != nil {
+		return "", err
+	}
+	scratch := r14.Clone("scratch14")
+	cat.Put(scratch)
+	defer cat.Drop("scratch14")
+	// The writer appends through a real subtree, so it holds its write
+	// lock for simulated time (a bare delete resolves instantaneously
+	// host-side and would never be observed holding the lock).
+	writer, err := query.Bind(query.MustParse(`append(scratch14, restrict(r1, val < 200))`), cat)
+	if err != nil {
+		return "", err
+	}
+	reader2, err := query.Bind(query.MustParse(`restrict(scratch14, val < 500)`), cat)
+	if err != nil {
+		return "", err
+	}
+	for _, q := range []*query.Tree{reader, writer, reader2} {
+		if err := m.Submit(q); err != nil {
+			return "", err
+		}
+	}
+	res, err := m.Run()
+	if err != nil {
+		return "", err
+	}
+	out := tb.String()
+	out += fmt.Sprintf("conflict check: %d of 3 queries delayed by concurrency control (reader on r14, writer and reader on scratch14)\n",
+		res.Stats.QueriesDelayedByConflict)
+	return out, nil
+}

@@ -1,0 +1,146 @@
+// Package hw models the hardware the paper assumes for its evaluation
+// (Section 4.1): PDP LSI-11 instruction processors that read a 16 KB
+// page in 33 ms, IBM 3330 disk drives, an Intel CCD multiport disk
+// cache reached through a cross-bar switch with broadcast, and loop
+// networks built from shift registers. Only timing matters: each device
+// is a set of published constants plus functions mapping work to time.
+package hw
+
+import "time"
+
+// Processor models a PDP LSI-11 instruction processor.
+type Processor struct {
+	// PageFetch16K is the time to move one 16 KB page between the data
+	// cache and the processor's memory: 33 ms, from the paper.
+	PageFetch16K time.Duration
+	// PerTupleRestrict is the cost of evaluating a restriction
+	// predicate against one tuple.
+	PerTupleRestrict time.Duration
+	// PerPairJoin is the cost of comparing one (outer, inner) tuple
+	// pair in the nested-loops inner loop.
+	PerPairJoin time.Duration
+	// PerTupleProject is the cost of projecting one tuple and probing
+	// the duplicate set.
+	PerTupleProject time.Duration
+}
+
+// FetchTime returns the time to move the given number of bytes between
+// the cache and the processor, scaled from the 16 KB / 33 ms figure.
+func (p Processor) FetchTime(bytes int) time.Duration {
+	return time.Duration(float64(p.PageFetch16K) * float64(bytes) / (16 * 1024))
+}
+
+// RestrictTime returns the compute time to restrict n tuples.
+func (p Processor) RestrictTime(tuples int) time.Duration {
+	return time.Duration(tuples) * p.PerTupleRestrict
+}
+
+// JoinTime returns the compute time for a nested-loops pass over
+// outerTuples × innerTuples pairs.
+func (p Processor) JoinTime(outerTuples, innerTuples int) time.Duration {
+	return time.Duration(outerTuples*innerTuples) * p.PerPairJoin
+}
+
+// ProjectTime returns the compute time to project n tuples.
+func (p Processor) ProjectTime(tuples int) time.Duration {
+	return time.Duration(tuples) * p.PerTupleProject
+}
+
+// Disk models an IBM 3330 disk drive.
+type Disk struct {
+	// AvgSeek is the average seek time (30 ms for the 3330).
+	AvgSeek time.Duration
+	// AvgRotation is the average rotational latency (half of the
+	// 16.7 ms revolution: 8.35 ms).
+	AvgRotation time.Duration
+	// TransferBytesPerSec is the sustained transfer rate (806 KB/s).
+	TransferBytesPerSec float64
+}
+
+// AccessTime returns the time to read or write the given number of
+// bytes at a random position (seek + rotation + transfer).
+func (d Disk) AccessTime(bytes int) time.Duration {
+	xfer := time.Duration(float64(bytes) / d.TransferBytesPerSec * float64(time.Second))
+	return d.AvgSeek + d.AvgRotation + xfer
+}
+
+// SequentialTime returns the transfer-only time for bytes already under
+// the head (cache staging of consecutive pages).
+func (d Disk) SequentialTime(bytes int) time.Duration {
+	return time.Duration(float64(bytes) / d.TransferBytesPerSec * float64(time.Second))
+}
+
+// Ring models a serial loop network of the Distributed Loop Computer
+// Network kind: shift-register insertion, variable-length messages.
+type Ring struct {
+	// BitsPerSec is the loop bandwidth. 25 ns shift registers
+	// (AM25LS164/299) give 40 Mbps; ECL or fiber optics give more.
+	BitsPerSec float64
+	// HopDelay is the delay contributed by each node's shift-register
+	// stage that a message passes through.
+	HopDelay time.Duration
+}
+
+// TransferTime returns the time for a message of the given size to
+// travel the given number of hops: serialization plus per-hop latency.
+func (r Ring) TransferTime(bytes, hops int) time.Duration {
+	ser := time.Duration(float64(bytes) * 8 / r.BitsPerSec * float64(time.Second))
+	return ser + time.Duration(hops)*r.HopDelay
+}
+
+// SerializationTime returns only the time the message occupies the
+// loop's insertion buffer — the quantity that bounds throughput.
+func (r Ring) SerializationTime(bytes int) time.Duration {
+	return time.Duration(float64(bytes) * 8 / r.BitsPerSec * float64(time.Second))
+}
+
+// Config gathers the device models of one machine configuration.
+type Config struct {
+	Proc      Processor
+	Disk      Disk
+	NumDisks  int
+	InnerRing Ring
+	OuterRing Ring
+	// CacheBytesPerSec is the transfer rate between an instruction
+	// controller's local memory and its segment of the multiport CCD
+	// disk cache.
+	CacheBytesPerSec float64
+	// PageSize is the operand page size (16 KB in Section 4.1).
+	PageSize int
+	// ControlBytes is the size of a control packet; InstrHeaderBytes is
+	// the non-operand portion of an instruction packet (Figure 4.3).
+	ControlBytes     int
+	InstrHeaderBytes int
+}
+
+// Default1979 returns the configuration of the paper's Section 4.1:
+// LSI-11 processors, two IBM 3330 drives, a 40 Mbps outer ring and a
+// 2 Mbps inner ring, 16 KB operand pages.
+func Default1979() Config {
+	return Config{
+		Proc: Processor{
+			PageFetch16K:     33 * time.Millisecond,
+			PerTupleRestrict: 50 * time.Microsecond,
+			PerPairJoin:      5 * time.Microsecond,
+			PerTupleProject:  80 * time.Microsecond,
+		},
+		Disk: Disk{
+			AvgSeek:             30 * time.Millisecond,
+			AvgRotation:         8350 * time.Microsecond,
+			TransferBytesPerSec: 806_000,
+		},
+		NumDisks: 2,
+		InnerRing: Ring{
+			BitsPerSec: 2e6, // 1-2 Mbps suffices for control (Section 4.1)
+			HopDelay:   200 * time.Nanosecond,
+		},
+		OuterRing: Ring{
+			BitsPerSec: 40e6, // 25 ns shift registers
+			HopDelay:   200 * time.Nanosecond,
+		},
+		CacheBytesPerSec: 4_000_000,
+		PageSize:         16 * 1024,
+		ControlBytes:     32,
+		InstrHeaderBytes: 64,
+	}
+}

@@ -1,0 +1,88 @@
+package hw
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProcessorFetchScalesLinearly(t *testing.T) {
+	p := Default1979().Proc
+	if got := p.FetchTime(16 * 1024); got != 33*time.Millisecond {
+		t.Errorf("FetchTime(16K) = %v, want 33ms", got)
+	}
+	if got := p.FetchTime(8 * 1024); got != 16500*time.Microsecond {
+		t.Errorf("FetchTime(8K) = %v, want 16.5ms", got)
+	}
+	if got := p.FetchTime(0); got != 0 {
+		t.Errorf("FetchTime(0) = %v", got)
+	}
+}
+
+func TestProcessorComputeTimes(t *testing.T) {
+	p := Default1979().Proc
+	if got := p.RestrictTime(100); got != 5*time.Millisecond {
+		t.Errorf("RestrictTime(100) = %v", got)
+	}
+	if got := p.JoinTime(100, 50); got != 25*time.Millisecond {
+		t.Errorf("JoinTime(100,50) = %v", got)
+	}
+	if got := p.ProjectTime(10); got != 800*time.Microsecond {
+		t.Errorf("ProjectTime(10) = %v", got)
+	}
+}
+
+func TestDiskAccess(t *testing.T) {
+	d := Default1979().Disk
+	// 16 KB at 806 KB/s ≈ 20.3 ms transfer + 30 + 8.35 ms.
+	got := d.AccessTime(16 * 1024)
+	if got < 58*time.Millisecond || got > 60*time.Millisecond {
+		t.Errorf("AccessTime(16K) = %v, want ≈58.7ms", got)
+	}
+	seq := d.SequentialTime(16 * 1024)
+	if seq >= got {
+		t.Error("sequential not faster than random access")
+	}
+	if seq < 20*time.Millisecond || seq > 21*time.Millisecond {
+		t.Errorf("SequentialTime(16K) = %v, want ≈20.3ms", seq)
+	}
+}
+
+func TestRingTransfer(t *testing.T) {
+	r := Default1979().OuterRing
+	// 16 KB at 40 Mbps ≈ 3.28 ms serialization.
+	ser := r.SerializationTime(16 * 1024)
+	if ser < 3200*time.Microsecond || ser > 3350*time.Microsecond {
+		t.Errorf("SerializationTime = %v, want ≈3.28ms", ser)
+	}
+	tt := r.TransferTime(16*1024, 10)
+	if tt != ser+10*r.HopDelay {
+		t.Errorf("TransferTime = %v, want serialization + 10 hops", tt)
+	}
+}
+
+func TestInnerRingIsControlSized(t *testing.T) {
+	cfg := Default1979()
+	if cfg.InnerRing.BitsPerSec > cfg.OuterRing.BitsPerSec {
+		t.Error("inner ring faster than outer ring")
+	}
+	// A control packet on the inner ring must be far below a millisecond.
+	if got := cfg.InnerRing.TransferTime(cfg.ControlBytes, 5); got > time.Millisecond {
+		t.Errorf("control packet takes %v", got)
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	cfg := Default1979()
+	if cfg.PageSize != 16*1024 {
+		t.Errorf("PageSize = %d", cfg.PageSize)
+	}
+	if cfg.NumDisks != 2 {
+		t.Errorf("NumDisks = %d", cfg.NumDisks)
+	}
+	if cfg.Proc.PageFetch16K != 33*time.Millisecond {
+		t.Errorf("PageFetch16K = %v", cfg.Proc.PageFetch16K)
+	}
+	if cfg.OuterRing.BitsPerSec != 40e6 {
+		t.Errorf("outer ring = %g bps", cfg.OuterRing.BitsPerSec)
+	}
+}

@@ -1,0 +1,122 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dfdbm/internal/hw"
+	"dfdbm/internal/relation"
+)
+
+// Config parameterizes a machine instance (Figure 4.1).
+type Config struct {
+	// ICs is the number of instruction controllers; a query needs one
+	// IC per operator node, so the largest admissible query has ICs
+	// instructions.
+	ICs int
+	// IPs is the size of the instruction-processor pool.
+	IPs int
+	// IPsPerInstruction is the allocation an IC requests from the MC
+	// when its instruction becomes enabled; grants may be smaller when
+	// the pool is contended, and are topped up as processors free, as
+	// in Section 4.2.
+	IPsPerInstruction int
+	// ICLocalPages is the capacity of an IC's local page memory;
+	// ICCachePages is its segment of the multiport disk cache. Pages
+	// overflow local memory into the cache and the cache onto disk —
+	// the three-level hierarchy of Section 4.1.
+	ICLocalPages int
+	ICCachePages int
+	// IPBufferPages bounds the inner-relation pages an IP can buffer
+	// during a broadcast join. A full buffer makes the IP ignore a
+	// broadcast, exercising the missed-page recovery of Section 4.2.
+	IPBufferPages int
+	// DirectRouting enables the Section 5 extension: result pages of an
+	// instruction feeding a unary consumer travel IP→IP instead of
+	// IP→IC→IP.
+	DirectRouting bool
+	// HW supplies device timings; zero value means hw.Default1979.
+	HW hw.Config
+	// Trace, when non-nil, receives one line per protocol event
+	// (admissions, grants, packets, broadcasts, completions), prefixed
+	// with the virtual time.
+	Trace io.Writer
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.ICs <= 0 {
+		c.ICs = 12
+	}
+	if c.IPs <= 0 {
+		c.IPs = 24
+	}
+	if c.IPsPerInstruction <= 0 {
+		c.IPsPerInstruction = 4
+	}
+	if c.ICLocalPages <= 0 {
+		c.ICLocalPages = 16
+	}
+	if c.ICCachePages <= 0 {
+		c.ICCachePages = 64
+	}
+	if c.IPBufferPages <= 0 {
+		c.IPBufferPages = 4
+	}
+	if c.HW.PageSize == 0 {
+		c.HW = hw.Default1979()
+	}
+	if c.ICs < 1 || c.IPs < 1 {
+		return c, fmt.Errorf("machine: need at least one IC and one IP")
+	}
+	return c, nil
+}
+
+// Stats meters one machine run.
+type Stats struct {
+	// Ring traffic.
+	OuterRingPackets, OuterRingBytes int64
+	InnerRingPackets, InnerRingBytes int64
+	// Packet counts by kind on the outer ring.
+	InstructionPackets, ResultPackets, ControlPackets int64
+	// Broadcast-join protocol events.
+	Broadcasts        int64
+	BroadcastsIgnored int64 // dropped for a full IP buffer
+	RecoveryRequests  int64 // re-requests of missed inner pages
+	// Storage hierarchy.
+	DiskReads, DiskWrites   int64
+	CacheReads, CacheWrites int64
+	// Direct IP→IP routing (Section 5 extension).
+	DirectRoutedPages int64
+	// Concurrency control.
+	QueriesDelayedByConflict int64
+}
+
+// QueryResult is the outcome of one submitted query.
+type QueryResult struct {
+	QueryID   int
+	Relation  *relation.Relation
+	Submitted time.Duration
+	Started   time.Duration
+	Finished  time.Duration
+}
+
+// Results is the outcome of a machine run.
+type Results struct {
+	PerQuery []QueryResult
+	Stats    Stats
+	// Elapsed is the completion time of the last query.
+	Elapsed time.Duration
+	// OuterRingUtilization is the outer ring's busy fraction.
+	OuterRingUtilization float64
+	// IPUtilization is the mean compute-busy fraction of the IP pool.
+	IPUtilization float64
+}
+
+// OuterRingMbps returns the average outer-ring load of the run.
+func (r Results) OuterRingMbps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Stats.OuterRingBytes) * 8 / 1e6 / r.Elapsed.Seconds()
+}

@@ -1,0 +1,709 @@
+package machine
+
+import (
+	"fmt"
+
+	"dfdbm/internal/query"
+	"dfdbm/internal/relation"
+)
+
+// operand is one source operand of an instruction, as seen by its IC: a
+// page table filled either from the catalog (leaf operands, whose pages
+// live on mass storage) or from result packets streaming in over the
+// outer ring (compressed into full pages on arrival, as Section 4.2
+// prescribes).
+type operand struct {
+	leaf       bool
+	pages      []*relation.Page
+	complete   bool
+	compressor *relation.Page
+	tupleLen   int
+	// directExpected is how many pages of this operand were routed
+	// IP→IP by the producer and must be accounted for by direct
+	// completions.
+	directExpected int
+}
+
+// ipSlot is the IC's bookkeeping for one granted processor.
+type ipSlot struct {
+	p         *ip
+	busy      bool
+	flushSent bool
+	released  bool
+	outerNo   int // join: outer page index being worked, -1 when none
+}
+
+// ic is one instruction controller.
+type ic struct {
+	m  *Machine
+	id int
+
+	cur   *minstr
+	store *icStore
+	ops   [2]*operand
+
+	slots       []*ipSlot
+	grantedIPs  int
+	releasedIPs int
+	// wantOutstanding counts processors requested from the MC but not
+	// yet granted.
+	wantOutstanding int
+
+	// Unary dispatch state.
+	dispatched int
+	processed  int
+	directDone int
+
+	// Join state.
+	outerNext     int
+	bcastInFlight map[int]bool
+	// bcastCount tracks how many times each inner page has been
+	// broadcast, distinguishing first broadcasts from missed-page
+	// recoveries.
+	bcastCount   map[int]int
+	pendingInner map[int][]*ip
+	markerSent   bool
+
+	// rrNext round-robins direct-routed pages across this IC's
+	// processors.
+	rrNext int
+
+	finished bool
+}
+
+func newIC(m *Machine, id int) *ic { return &ic{m: m, id: id} }
+
+// assign installs an instruction on this controller (sent by the MC
+// over the inner ring).
+func (c *ic) assign(mi *minstr) {
+	c.m.tracef("MC -> IC%d: assign %s of query %d (result %s)",
+		c.id, mi.node.Kind, mi.q.id, mi.node.Label())
+	c.cur = mi
+	c.store = newICStore(c.m, c.m.cfg.ICLocalPages, c.m.cfg.ICCachePages)
+	c.slots = nil
+	c.grantedIPs, c.releasedIPs = 0, 0
+	c.wantOutstanding = 0
+	c.dispatched, c.processed, c.directDone = 0, 0, 0
+	c.outerNext = 0
+	c.bcastInFlight = map[int]bool{}
+	c.bcastCount = map[int]int{}
+	c.pendingInner = map[int][]*ip{}
+	c.markerSent = false
+	c.finished = false
+
+	for i, in := range mi.node.Inputs {
+		op := &operand{tupleLen: in.Schema().TupleLen()}
+		if in.Kind == query.OpScan {
+			rel, err := c.m.cat.Get(in.Rel)
+			if err != nil {
+				c.m.fail(err)
+				return
+			}
+			// The MC sent a page table describing the stored relation:
+			// the operand is complete, its pages on mass storage.
+			op.leaf = true
+			op.pages = rel.Pages()
+			op.complete = true
+			for _, pg := range op.pages {
+				c.store.addLeaf(pg)
+			}
+		}
+		c.ops[i] = op
+	}
+	c.kick()
+}
+
+// isSafe reports whether every operand is complete: processors granted
+// to a safe instruction never block waiting for a producer.
+func (c *ic) isSafe() bool {
+	if c.cur == nil {
+		return true
+	}
+	for i := 0; i < len(c.cur.node.Inputs); i++ {
+		if !c.ops[i].complete {
+			return false
+		}
+	}
+	return true
+}
+
+// enabled implements the page-level firing rule: one page of each
+// operand (or a complete, empty operand).
+func (c *ic) enabled() bool {
+	for i := 0; i < len(c.cur.node.Inputs); i++ {
+		op := c.ops[i]
+		if len(op.pages) == 0 && !op.complete {
+			return false
+		}
+	}
+	return true
+}
+
+// kick advances the instruction: hand work to idle processors, return
+// processors with nothing to do to the MC (hoarding idle processors
+// would starve the producing instructions below — the MC must keep
+// processors "distributed across all nodes in the query tree"), request
+// more when work outruns the processors held, and check for completion.
+func (c *ic) kick() {
+	if c.cur == nil || c.finished || c.m.err != nil {
+		return
+	}
+	for _, s := range c.slots {
+		if !s.busy && !s.released {
+			c.assignWork(s)
+		}
+	}
+	// Anything still idle has no dispatchable work: give it back, except
+	// that an instruction still being fed by a producer keeps one
+	// processor parked for the pages about to arrive. (The MC's reserve
+	// rule keeps one processor grantable to "safe" instructions, so a
+	// parked processor can never starve the producers below.)
+	parked := false
+	for _, s := range c.slots {
+		if s.busy || s.released || s.flushSent {
+			continue
+		}
+		if !parked && !c.isSafe() && c.enabled() {
+			parked = true
+			continue
+		}
+		c.flushOrRelease(s)
+	}
+	// Ask the MC for processors whenever dispatchable work exceeds the
+	// processors held (and requested), up to the per-instruction
+	// allocation.
+	if c.enabled() {
+		capacity := c.usableSlots() + c.wantOutstanding
+		want := c.pendingWork() - capacity
+		if max := c.m.cfg.IPsPerInstruction - capacity; want > max {
+			want = max
+		}
+		if want > 0 {
+			c.wantOutstanding += want
+			c.m.requestIPs(c, c.cur, want)
+		}
+	}
+	c.checkDone()
+}
+
+// pendingWork counts dispatchable units: undispatched operand pages for
+// unary instructions, unassigned outer pages for joins.
+func (c *ic) pendingWork() int {
+	switch c.cur.node.Kind {
+	case query.OpJoin:
+		return len(c.ops[0].pages) - c.outerNext
+	default:
+		return len(c.ops[0].pages) - c.dispatched
+	}
+}
+
+// usableSlots counts processors currently held (busy or assignable).
+func (c *ic) usableSlots() int {
+	n := 0
+	for _, s := range c.slots {
+		if !s.released && !s.flushSent {
+			n++
+		}
+	}
+	return n
+}
+
+// gainIP integrates a processor granted by the MC.
+func (c *ic) gainIP(p *ip) {
+	if c.cur == nil || c.finished {
+		c.m.releaseIP(p)
+		return
+	}
+	if c.wantOutstanding > 0 {
+		c.wantOutstanding--
+	}
+	c.grantedIPs++
+	p.bind(c, c.cur)
+	s := &ipSlot{p: p, outerNo: -1}
+	c.slots = append(c.slots, s)
+	c.kick()
+}
+
+// assignWork gives one idle processor its next task.
+func (c *ic) assignWork(s *ipSlot) {
+	if c.cur == nil || c.finished || s.busy || s.released {
+		return
+	}
+	switch c.cur.node.Kind {
+	case query.OpJoin:
+		c.assignOuter(s)
+	default:
+		c.assignUnary(s)
+	}
+}
+
+func (c *ic) assignUnary(s *ipSlot) {
+	op := c.ops[0]
+	if c.dispatched < len(op.pages) {
+		idx := c.dispatched
+		c.dispatched++
+		pg := op.pages[idx]
+		flush := op.complete && idx == len(op.pages)-1
+		s.busy = true
+		// Prefetch the next few pages up the hierarchy while this one
+		// is fetched and shipped.
+		for k := idx + 1; k < len(op.pages) && k <= idx+3; k++ {
+			c.store.prefetch(op.pages[k])
+		}
+		c.store.get(pg, func() {
+			c.sendInstr(s, &InstructionPacket{
+				IPID:           s.p.id,
+				QueryID:        c.cur.q.id,
+				ICIDSender:     c.id,
+				ICIDDest:       c.destID(),
+				FlushWhenDone:  flush,
+				Opcode:         c.cur.opcode(),
+				ResultRelation: c.cur.node.Label(),
+				ResultTupleLen: c.cur.outTupleLen,
+				OuterPageNo:    idx,
+				Pages:          []*relation.Page{pg},
+			})
+		})
+		return
+	}
+	if op.complete {
+		c.flushOrRelease(s)
+	}
+	// Otherwise: idle until more pages stream in.
+}
+
+// flushOrRelease retires an idle processor: one flush packet to drain
+// its result buffer, then release to the MC.
+func (c *ic) flushOrRelease(s *ipSlot) {
+	if s.flushSent {
+		return
+	}
+	s.flushSent = true
+	s.busy = true
+	c.sendInstr(s, &InstructionPacket{
+		IPID:           s.p.id,
+		QueryID:        c.cur.q.id,
+		ICIDSender:     c.id,
+		ICIDDest:       c.destID(),
+		FlushWhenDone:  true,
+		Opcode:         c.cur.opcode(),
+		ResultRelation: c.cur.node.Label(),
+		ResultTupleLen: c.cur.outTupleLen,
+	})
+}
+
+// assignOuter hands a join processor its next outer page (with the
+// first inner page when available, as in the paper's first packet).
+func (c *ic) assignOuter(s *ipSlot) {
+	outer, inner := c.ops[0], c.ops[1]
+	if c.outerNext < len(outer.pages) {
+		idx := c.outerNext
+		c.outerNext++
+		s.busy = true
+		s.outerNo = idx
+		opg := outer.pages[idx]
+		c.store.get(opg, func() {
+			pkt := &InstructionPacket{
+				IPID:           s.p.id,
+				QueryID:        c.cur.q.id,
+				ICIDSender:     c.id,
+				ICIDDest:       c.destID(),
+				Opcode:         c.cur.opcode(),
+				ResultRelation: c.cur.node.Label(),
+				ResultTupleLen: c.cur.outTupleLen,
+				OuterPageNo:    idx,
+				InnerPageNo:    -1,
+				Pages:          []*relation.Page{opg},
+			}
+			if len(inner.pages) > 0 {
+				ipg := inner.pages[0]
+				c.store.get(ipg, func() {
+					pkt.InnerPageNo = 0
+					pkt.LastInner = inner.complete && len(inner.pages) == 1
+					pkt.Pages = append(pkt.Pages, ipg)
+					c.sendInstr(s, pkt)
+				})
+				return
+			}
+			c.sendInstr(s, pkt)
+		})
+		return
+	}
+	if outer.complete {
+		s.outerNo = -1
+		c.flushOrRelease(s)
+	}
+}
+
+func (c *ic) destID() int {
+	if c.cur.node.Kind == query.OpProject {
+		return c.id // serial duplicate elimination at this controller
+	}
+	if c.cur.destIC == nil {
+		return -1 // host
+	}
+	return c.cur.destIC.id
+}
+
+func (c *ic) sendInstr(s *ipSlot, pkt *InstructionPacket) {
+	c.m.stats.InstructionPackets++
+	if len(pkt.Pages) == 0 {
+		c.m.tracef("IC%d -> IP%d: flush", c.id, s.p.id)
+	} else {
+		c.m.tracef("IC%d -> IP%d: %s page %d of %s (flush=%v, %d operands)",
+			c.id, s.p.id, query.OpKind(pkt.Opcode), pkt.OuterPageNo,
+			pkt.ResultRelation, pkt.FlushWhenDone, len(pkt.Pages))
+	}
+	p := s.p
+	c.m.sendOuter(pkt.WireSize(), func() { p.receive(pkt) })
+}
+
+// ---- Operand reception (the distribution network's target) ----
+
+// receiveOperand integrates one arriving result page into operand
+// `input`, compressing partial pages into full pages.
+func (c *ic) receiveOperand(input int, pg *relation.Page) {
+	if c.cur == nil || c.finished {
+		c.m.fail(fmt.Errorf("IC %d received a page with no instruction", c.id))
+		return
+	}
+	op := c.ops[input]
+	if pg.TupleLen() != op.tupleLen {
+		c.m.fail(fmt.Errorf("IC %d: page tuple length %d, operand needs %d", c.id, pg.TupleLen(), op.tupleLen))
+		return
+	}
+	for _, full := range compress(op, pg) {
+		c.addOperandPage(input, full)
+	}
+	c.kick()
+}
+
+// compress folds pg into the operand's compression buffer and returns
+// any full pages now available.
+func compress(op *operand, pg *relation.Page) []*relation.Page {
+	if pg.Empty() {
+		return nil
+	}
+	if pg.Full() {
+		return []*relation.Page{pg}
+	}
+	if op.compressor == nil {
+		op.compressor = pg
+		return nil
+	}
+	var out []*relation.Page
+	if _, err := op.compressor.FillFrom(pg); err == nil && op.compressor.Full() {
+		out = append(out, op.compressor)
+		op.compressor = nil
+		if !pg.Empty() {
+			op.compressor = pg
+		}
+	}
+	return out
+}
+
+// addOperandPage registers a full (or final partial) page of an operand
+// and wakes anything waiting for it.
+func (c *ic) addOperandPage(input int, pg *relation.Page) {
+	op := c.ops[input]
+	idx := len(op.pages)
+	op.pages = append(op.pages, pg)
+	c.store.put(pg)
+	if c.cur.node.Kind == query.OpJoin && input == 1 {
+		// Newly arrived inner page: satisfy deferred requests.
+		if waiters := c.pendingInner[idx]; len(waiters) > 0 {
+			delete(c.pendingInner, idx)
+			c.broadcastInner(idx)
+		}
+	}
+}
+
+// operandComplete records the end of a streamed operand. directCount is
+// the producer's count of direct-routed pages (Section 5 extension).
+func (c *ic) operandComplete(input int, directCount int) {
+	if c.cur == nil || c.finished {
+		return
+	}
+	op := c.ops[input]
+	if op.compressor != nil && !op.compressor.Empty() {
+		c.addOperandPage(input, op.compressor)
+		op.compressor = nil
+	}
+	op.complete = true
+	op.directExpected = directCount
+	if c.cur.node.Kind == query.OpJoin && input == 1 {
+		// Requests beyond the final page are answered with the
+		// last-page marker so IPs can reconcile their IRC vectors.
+		for idx, waiters := range c.pendingInner {
+			if idx >= len(op.pages) && len(waiters) > 0 {
+				delete(c.pendingInner, idx)
+				c.sendMarker()
+			}
+		}
+	}
+	c.kick()
+}
+
+// ---- Control packets from processors ----
+
+func (c *ic) onControl(p *ip, pkt *ControlPacket) {
+	if c.cur == nil {
+		return
+	}
+	switch pkt.Message {
+	case msgDone:
+		switch pkt.PageNo {
+		case flushDonePage:
+			c.retire(p)
+		case directDonePage:
+			c.directDone++
+			c.kick()
+		default:
+			c.processed++
+			if s := c.slot(p); s != nil {
+				s.busy = false
+			}
+			c.kick()
+		}
+	case msgNeedInner:
+		c.onNeedInner(p, pkt.PageNo)
+	case msgNeedOuter:
+		if s := c.slot(p); s != nil {
+			s.busy = false
+			s.outerNo = -1
+		}
+		c.kick()
+	}
+}
+
+// Sentinel page numbers in done control packets.
+const (
+	flushDonePage  = -2
+	directDonePage = -3
+)
+
+func (c *ic) slot(p *ip) *ipSlot {
+	for _, s := range c.slots {
+		if s.p == p {
+			return s
+		}
+	}
+	return nil
+}
+
+// retire releases a flushed processor back to the MC. The slot is
+// removed outright: the processor may be re-granted to this same IC
+// later, and a stale slot would alias it.
+func (c *ic) retire(p *ip) {
+	s := c.slot(p)
+	if s == nil || s.released {
+		return
+	}
+	s.released = true
+	s.busy = false
+	c.releasedIPs++
+	for i, e := range c.slots {
+		if e == s {
+			c.slots = append(c.slots[:i], c.slots[i+1:]...)
+			break
+		}
+	}
+	c.m.releaseIP(p)
+	c.checkDone()
+}
+
+// onNeedInner implements the IC side of the broadcast-join protocol.
+func (c *ic) onNeedInner(p *ip, idx int) {
+	inner := c.ops[1]
+	if idx >= len(inner.pages) {
+		if inner.complete {
+			// The IP has requested past the end: tell everyone where
+			// the inner relation ends.
+			c.sendMarker()
+			return
+		}
+		c.pendingInner[idx] = append(c.pendingInner[idx], p)
+		return
+	}
+	c.broadcastInner(idx)
+}
+
+// broadcastInner broadcasts inner page idx to every processor working
+// on this join. Requests received while the broadcast is in flight are
+// ignored ("subsequent requests for the same page ... can be ignored");
+// a repeated request after delivery is a missed-page recovery and
+// triggers a fresh broadcast.
+func (c *ic) broadcastInner(idx int) {
+	if c.bcastInFlight[idx] {
+		return
+	}
+	if c.bcastCount == nil {
+		c.bcastCount = map[int]int{}
+	}
+	if c.bcastCount[idx] > 0 {
+		c.m.stats.RecoveryRequests++
+	}
+	c.bcastCount[idx]++
+	c.bcastInFlight[idx] = true
+	inner := c.ops[1]
+	pg := inner.pages[idx]
+	c.store.get(pg, func() {
+		if c.cur == nil || c.finished {
+			return
+		}
+		pkt := &InstructionPacket{
+			QueryID:        c.cur.q.id,
+			ICIDSender:     c.id,
+			ICIDDest:       c.destID(),
+			Opcode:         c.cur.opcode(),
+			ResultRelation: c.cur.node.Label(),
+			ResultTupleLen: c.cur.outTupleLen,
+			Broadcast:      true,
+			InnerPageNo:    idx,
+			LastInner:      inner.complete && idx == len(inner.pages)-1,
+			Pages:          []*relation.Page{pg},
+		}
+		c.m.stats.Broadcasts++
+		c.m.tracef("IC%d: broadcast inner page %d (last=%v)", c.id, idx, pkt.LastInner)
+		var deliver []func()
+		for _, s := range c.slots {
+			if s.released {
+				continue
+			}
+			p := s.p
+			deliver = append(deliver, func() { p.onBroadcast(pkt) })
+		}
+		c.m.broadcastOuter(pkt.WireSize(), append(deliver, func() {
+			c.bcastInFlight[idx] = false
+		}))
+	})
+}
+
+// sendMarker broadcasts the "that was the last inner page" indication.
+// Requests while a marker is in flight are ignored (they will see it);
+// a later request triggers a fresh marker, so processors granted after
+// the first marker still learn the inner relation's extent.
+func (c *ic) sendMarker() {
+	if c.markerSent {
+		return
+	}
+	c.markerSent = true
+	inner := c.ops[1]
+	pkt := &InstructionPacket{
+		QueryID:     c.cur.q.id,
+		ICIDSender:  c.id,
+		Opcode:      c.cur.opcode(),
+		Broadcast:   true,
+		LastInner:   true,
+		InnerPageNo: len(inner.pages),
+	}
+	c.m.stats.Broadcasts++
+	var deliver []func()
+	for _, s := range c.slots {
+		if s.released {
+			continue
+		}
+		p := s.p
+		deliver = append(deliver, func() { p.onBroadcast(pkt) })
+	}
+	c.m.broadcastOuter(pkt.WireSize(), append(deliver, func() { c.markerSent = false }))
+}
+
+// onProjectResult receives a project processor's (not yet
+// deduplicated) output and performs the serial duplicate elimination of
+// the baseline algorithm.
+func (c *ic) onProjectResult(pg *relation.Page) {
+	if c.cur == nil || c.finished {
+		return
+	}
+	mi := c.cur
+	n := pg.TupleCount()
+	for i := 0; i < n; i++ {
+		raw := pg.RawTuple(i)
+		if !mi.dedup.Add(raw) {
+			continue
+		}
+		full, err := mi.outPag.Add(raw)
+		if err != nil {
+			c.m.fail(err)
+			return
+		}
+		if full != nil {
+			c.forwardResult(full)
+		}
+	}
+}
+
+// forwardResult ships a finished result page toward the consumer (used
+// by project instructions, whose results pass through their own IC).
+func (c *ic) forwardResult(pg *relation.Page) {
+	mi := c.cur
+	c.m.stats.ResultPackets++
+	rp := &ResultPacket{QueryID: mi.q.id, Relation: mi.node.Label(), Page: pg}
+	if mi.destIC == nil {
+		q := mi.q
+		c.m.sendOuter(rp.WireSize(), func() { c.m.hostDeliver(q, pg) })
+		return
+	}
+	dest, input := mi.destIC, mi.destInput
+	rp.ICID = dest.id
+	c.m.sendOuter(rp.WireSize(), func() { dest.receiveOperand(input, pg) })
+}
+
+// ---- Completion ----
+
+func (c *ic) checkDone() {
+	if c.cur == nil || c.finished {
+		return
+	}
+	mi := c.cur
+	switch mi.node.Kind {
+	case query.OpJoin:
+		outer, inner := c.ops[0], c.ops[1]
+		if !outer.complete || !inner.complete {
+			return
+		}
+		if c.outerNext < len(outer.pages) {
+			return
+		}
+		if len(c.slots) != 0 {
+			return
+		}
+	default:
+		op := c.ops[0]
+		if !op.complete || c.dispatched < len(op.pages) || c.processed < c.dispatched {
+			return
+		}
+		if c.directDone < op.directExpected {
+			return
+		}
+		if len(c.slots) != 0 {
+			return
+		}
+	}
+	c.finish()
+}
+
+func (c *ic) finish() {
+	mi := c.cur
+	c.m.tracef("IC%d: instruction %s of query %d complete (%d packets dispatched)",
+		c.id, mi.node.Kind, mi.q.id, c.dispatched)
+	c.finished = true
+	// Project: flush the deduplicated output.
+	if mi.node.Kind == query.OpProject {
+		if last := mi.outPag.Flush(); last != nil {
+			c.forwardResult(last)
+		}
+	}
+	// Tell the consumer the operand is complete (with the count of
+	// direct-routed pages it should expect completions for), and tell
+	// the MC the instruction is finished.
+	if mi.destInstr != nil {
+		dest, input, direct := mi.destIC, mi.destInput, mi.directSent
+		cp := &ControlPacket{ICID: dest.id, QueryID: mi.q.id, Message: msgDone}
+		c.m.stats.ControlPackets++
+		c.m.sendOuter(cp.WireSize(), func() { dest.operandComplete(input, direct) })
+	}
+	c.cur = nil
+	c.m.sendInner(c.m.cfg.HW.ControlBytes, func() { c.m.instrFinished(mi) })
+}

@@ -1,0 +1,165 @@
+package machine
+
+import (
+	"time"
+
+	"dfdbm/internal/relation"
+)
+
+// storeLevel locates a page within an IC's three-level hierarchy.
+type storeLevel uint8
+
+const (
+	levelLocal storeLevel = iota + 1 // IC local memory
+	levelCache                       // the IC's disk-cache segment
+	levelDisk                        // mass storage
+)
+
+// icStore is one IC's view of the storage hierarchy: a local page
+// memory, a segment of the multiport disk cache, and mass storage.
+// Pages demoted out of local memory land in the cache segment; pages
+// demoted out of the cache are written to disk. Reads promote pages
+// back to local memory. Source-relation pages start on disk.
+type icStore struct {
+	m *Machine
+
+	localCap, cacheCap int
+	where              map[*relation.Page]storeLevel
+	// LRU order per level: index 0 is least recently used.
+	localLRU, cacheLRU []*relation.Page
+	fetching           map[*relation.Page][]func()
+}
+
+func newICStore(m *Machine, localCap, cacheCap int) *icStore {
+	return &icStore{
+		m:        m,
+		localCap: localCap,
+		cacheCap: cacheCap,
+		where:    map[*relation.Page]storeLevel{},
+		fetching: map[*relation.Page][]func(){},
+	}
+}
+
+// addLeaf registers a source-relation page as residing on mass storage.
+func (st *icStore) addLeaf(pg *relation.Page) { st.where[pg] = levelDisk }
+
+// put places a page arriving at the IC (from the outer ring) into
+// local memory, demoting older pages as needed.
+func (st *icStore) put(pg *relation.Page) {
+	st.where[pg] = levelLocal
+	st.localLRU = append(st.localLRU, pg)
+	st.balance()
+}
+
+// drop forgets a page the instruction no longer needs.
+func (st *icStore) drop(pg *relation.Page) {
+	switch st.where[pg] {
+	case levelLocal:
+		st.localLRU = removePage(st.localLRU, pg)
+	case levelCache:
+		st.cacheLRU = removePage(st.cacheLRU, pg)
+	}
+	delete(st.where, pg)
+}
+
+// get makes the page available in local memory and then calls ready.
+// The cost depends on where the page currently lives: free from local
+// memory, a cache transfer from the cache segment, or a disk read (the
+// paper's leaf operands and spilled pages).
+func (st *icStore) get(pg *relation.Page, ready func()) {
+	switch st.where[pg] {
+	case levelLocal:
+		st.touchLocal(pg)
+		st.m.s.After(0, ready)
+
+	case levelCache:
+		if st.enqueueFetch(pg, ready) {
+			return
+		}
+		st.m.stats.CacheReads++
+		d := time.Duration(float64(st.m.cfg.HW.PageSize) / st.m.cfg.HW.CacheBytesPerSec * float64(time.Second))
+		st.m.s.After(d, func() { st.finishFetch(pg, levelCache) })
+
+	case levelDisk:
+		if st.enqueueFetch(pg, ready) {
+			return
+		}
+		st.m.stats.DiskReads++
+		st.m.disk.Serve(st.m.cfg.HW.Disk.AccessTime(st.m.cfg.HW.PageSize), func() {
+			st.finishFetch(pg, levelDisk)
+		})
+
+	default:
+		// Unknown page: treat as freshly arrived.
+		st.put(pg)
+		st.m.s.After(0, ready)
+	}
+}
+
+// prefetch begins moving a page toward local memory without a waiter.
+func (st *icStore) prefetch(pg *relation.Page) {
+	if st.where[pg] == levelLocal {
+		return
+	}
+	if _, busy := st.fetching[pg]; busy {
+		return
+	}
+	st.get(pg, func() {})
+}
+
+// enqueueFetch coalesces concurrent fetches of one page; it reports
+// whether a fetch was already in flight.
+func (st *icStore) enqueueFetch(pg *relation.Page, ready func()) bool {
+	if waiters, busy := st.fetching[pg]; busy {
+		st.fetching[pg] = append(waiters, ready)
+		return true
+	}
+	st.fetching[pg] = []func(){ready}
+	return false
+}
+
+func (st *icStore) finishFetch(pg *relation.Page, from storeLevel) {
+	if from == levelCache {
+		st.cacheLRU = removePage(st.cacheLRU, pg)
+	}
+	st.where[pg] = levelLocal
+	st.localLRU = append(st.localLRU, pg)
+	st.balance()
+	ws := st.fetching[pg]
+	delete(st.fetching, pg)
+	for _, w := range ws {
+		w()
+	}
+}
+
+func (st *icStore) touchLocal(pg *relation.Page) {
+	st.localLRU = removePage(st.localLRU, pg)
+	st.localLRU = append(st.localLRU, pg)
+}
+
+// balance demotes LRU pages: local → cache segment → disk.
+func (st *icStore) balance() {
+	for len(st.localLRU) > st.localCap {
+		victim := st.localLRU[0]
+		st.localLRU = st.localLRU[1:]
+		st.where[victim] = levelCache
+		st.cacheLRU = append(st.cacheLRU, victim)
+		st.m.stats.CacheWrites++
+	}
+	for len(st.cacheLRU) > st.cacheCap {
+		victim := st.cacheLRU[0]
+		st.cacheLRU = st.cacheLRU[1:]
+		st.where[victim] = levelDisk
+		st.m.stats.DiskWrites++
+		st.m.disk.Serve(st.m.cfg.HW.Disk.AccessTime(st.m.cfg.HW.PageSize), nil)
+	}
+}
+
+func removePage(list []*relation.Page, pg *relation.Page) []*relation.Page {
+	for i, p := range list {
+		if p == pg {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}

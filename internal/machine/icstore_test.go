@@ -1,0 +1,172 @@
+package machine
+
+import (
+	"testing"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/relation"
+)
+
+// storeFixture builds a machine (for its sim clock, disk station, and
+// stats) plus a store with the given level capacities.
+func storeFixture(t *testing.T, localCap, cacheCap int) (*Machine, *icStore) {
+	t.Helper()
+	m, err := New(catalog.New(), Config{HW: smallHW()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, newICStore(m, localCap, cacheCap)
+}
+
+func pageN(t *testing.T, n int) []*relation.Page {
+	t.Helper()
+	out := make([]*relation.Page, n)
+	for i := range out {
+		out[i] = relation.MustNewPage(1000, 100)
+	}
+	return out
+}
+
+func TestStoreLocalHitIsFree(t *testing.T) {
+	m, st := storeFixture(t, 4, 8)
+	pg := pageN(t, 1)[0]
+	st.put(pg)
+	done := false
+	st.get(pg, func() { done = true })
+	m.s.Run()
+	if !done {
+		t.Fatal("get never completed")
+	}
+	if m.stats.CacheReads != 0 || m.stats.DiskReads != 0 {
+		t.Errorf("local hit touched lower levels: %+v", m.stats)
+	}
+}
+
+func TestStoreDemotionCascade(t *testing.T) {
+	m, st := storeFixture(t, 2, 2)
+	pgs := pageN(t, 6)
+	for _, pg := range pgs {
+		st.put(pg)
+	}
+	m.s.Run()
+	// 6 puts through local(2): 4 demoted to cache; cache(2) overflows:
+	// 2 written to disk.
+	if m.stats.CacheWrites != 4 {
+		t.Errorf("CacheWrites = %d, want 4", m.stats.CacheWrites)
+	}
+	if m.stats.DiskWrites != 2 {
+		t.Errorf("DiskWrites = %d, want 2", m.stats.DiskWrites)
+	}
+	// The oldest pages are the ones on disk (LRU).
+	if st.where[pgs[0]] != levelDisk || st.where[pgs[1]] != levelDisk {
+		t.Errorf("oldest pages not on disk: %v, %v", st.where[pgs[0]], st.where[pgs[1]])
+	}
+	if st.where[pgs[5]] != levelLocal {
+		t.Errorf("newest page not local: %v", st.where[pgs[5]])
+	}
+}
+
+func TestStoreCachePromotion(t *testing.T) {
+	m, st := storeFixture(t, 1, 4)
+	pgs := pageN(t, 2)
+	st.put(pgs[0])
+	st.put(pgs[1]) // demotes pgs[0] to cache
+	if st.where[pgs[0]] != levelCache {
+		t.Fatalf("precondition: pgs[0] at %v", st.where[pgs[0]])
+	}
+	var at int64
+	st.get(pgs[0], func() { at = int64(m.s.Now()) })
+	m.s.Run()
+	if at == 0 {
+		t.Fatal("cache get took no time or never ran")
+	}
+	if m.stats.CacheReads != 1 {
+		t.Errorf("CacheReads = %d, want 1", m.stats.CacheReads)
+	}
+	if st.where[pgs[0]] != levelLocal {
+		t.Errorf("page not promoted to local after get: %v", st.where[pgs[0]])
+	}
+}
+
+func TestStoreDiskReadUsesDiskStation(t *testing.T) {
+	m, st := storeFixture(t, 4, 4)
+	pg := pageN(t, 1)[0]
+	st.addLeaf(pg)
+	done := false
+	st.get(pg, func() { done = true })
+	end := m.s.Run()
+	if !done {
+		t.Fatal("disk get never completed")
+	}
+	if m.stats.DiskReads != 1 {
+		t.Errorf("DiskReads = %d, want 1", m.stats.DiskReads)
+	}
+	if end <= 0 {
+		t.Error("disk read took no simulated time")
+	}
+	if m.disk.BusyTime() <= 0 {
+		t.Error("disk station unused")
+	}
+}
+
+func TestStoreCoalescesConcurrentFetches(t *testing.T) {
+	m, st := storeFixture(t, 4, 4)
+	pg := pageN(t, 1)[0]
+	st.addLeaf(pg)
+	hits := 0
+	for i := 0; i < 3; i++ {
+		st.get(pg, func() { hits++ })
+	}
+	m.s.Run()
+	if hits != 3 {
+		t.Fatalf("%d of 3 waiters called", hits)
+	}
+	if m.stats.DiskReads != 1 {
+		t.Errorf("DiskReads = %d, want 1 (coalesced)", m.stats.DiskReads)
+	}
+}
+
+func TestStorePrefetchIdempotent(t *testing.T) {
+	m, st := storeFixture(t, 4, 4)
+	pg := pageN(t, 1)[0]
+	st.addLeaf(pg)
+	st.prefetch(pg)
+	st.prefetch(pg) // in flight: no second disk read
+	m.s.Run()
+	if m.stats.DiskReads != 1 {
+		t.Errorf("DiskReads = %d, want 1", m.stats.DiskReads)
+	}
+	st.prefetch(pg) // already local: no-op
+	m.s.Run()
+	if m.stats.DiskReads != 1 {
+		t.Errorf("DiskReads after local prefetch = %d, want 1", m.stats.DiskReads)
+	}
+}
+
+func TestStoreDrop(t *testing.T) {
+	m, st := storeFixture(t, 2, 2)
+	pgs := pageN(t, 2)
+	st.put(pgs[0])
+	st.put(pgs[1])
+	st.drop(pgs[0])
+	if _, ok := st.where[pgs[0]]; ok {
+		t.Error("dropped page still tracked")
+	}
+	// The freed slot means another put causes no demotion.
+	st.put(pageN(t, 1)[0])
+	m.s.Run()
+	if m.stats.CacheWrites != 0 {
+		t.Errorf("CacheWrites = %d after drop made room, want 0", m.stats.CacheWrites)
+	}
+}
+
+func TestStoreUnknownPageTreatedAsArrived(t *testing.T) {
+	m, st := storeFixture(t, 4, 4)
+	pg := pageN(t, 1)[0]
+	done := false
+	st.get(pg, func() { done = true })
+	m.s.Run()
+	if !done || st.where[pg] != levelLocal {
+		t.Error("unknown page not adopted into local memory")
+	}
+}

@@ -1,0 +1,395 @@
+package machine
+
+import (
+	"fmt"
+
+	"dfdbm/internal/query"
+	"dfdbm/internal/relation"
+)
+
+// ip is one instruction processor. It executes instruction packets from
+// its controlling IC, buffers result tuples internally (flushing full
+// pages as result packets, and everything on a flush-when-done packet),
+// and — for joins — runs the Section 4.2 broadcast protocol with an
+// inner-relation-control (IRC) vector: it joins whatever inner pages
+// reach it, ignores broadcasts when its buffer is full, and requests
+// the pages it missed once it learns where the inner relation ends.
+type ip struct {
+	m  *Machine
+	id int
+	// failed marks a processor removed from service (requirement 5:
+	// the machine survives an arbitrary number of disabled
+	// processors). Failure takes effect at allocation boundaries: a
+	// failed processor is never granted again and is dropped from the
+	// pool when released.
+	failed bool
+
+	ic    *ic
+	instr *minstr
+
+	queue []*InstructionPacket
+	busy  bool
+
+	pgtor *relation.Paginator
+
+	// Join state.
+	outer      *relation.Page
+	outerNo    int
+	irc        map[int]bool // IRC vector: inner page index → joined
+	innerTotal int          // -1 until the last-page indication arrives
+	innerBuf   []innerEntry
+	waitingFor int // inner index requested and awaited, or -1
+	execIdx    int // inner index being joined right now, or -1
+}
+
+type innerEntry struct {
+	idx  int
+	page *relation.Page
+	last bool
+}
+
+// bind attaches the processor to an instruction.
+func (p *ip) bind(c *ic, mi *minstr) {
+	if len(p.queue) > 0 {
+		p.m.fail(fmt.Errorf("IP %d rebound with %d packets queued", p.id, len(p.queue)))
+	}
+	p.ic = c
+	p.instr = mi
+	p.queue = nil
+	p.busy = false
+	pag, err := relation.NewPaginator(mi.outPageSize, mi.outTupleLen)
+	if err != nil {
+		p.m.fail(err)
+		return
+	}
+	p.pgtor = pag
+	p.outer = nil
+	p.outerNo = -1
+	p.irc = nil
+	p.innerTotal = -1
+	p.innerBuf = nil
+	p.waitingFor = -1
+	p.execIdx = -1
+}
+
+// receive accepts a non-broadcast instruction packet.
+func (p *ip) receive(pkt *InstructionPacket) {
+	p.queue = append(p.queue, pkt)
+	p.pump()
+}
+
+func (p *ip) pump() {
+	if p.busy || len(p.queue) == 0 {
+		return
+	}
+	pkt := p.queue[0]
+	p.queue = p.queue[1:]
+	p.exec(pkt)
+}
+
+func (p *ip) exec(pkt *InstructionPacket) {
+	if p.instr == nil {
+		p.m.fail(fmt.Errorf("IP %d executing with no instruction", p.id))
+		return
+	}
+	if len(pkt.Pages) == 0 && pkt.FlushWhenDone {
+		// Pure flush: drain the result buffer and report done.
+		p.flushResults()
+		p.sendDone(flushDonePage)
+		return
+	}
+	switch query.OpKind(pkt.Opcode) {
+	case query.OpRestrict, query.OpProject:
+		p.execUnary(pkt)
+	case query.OpJoin:
+		p.execJoinOuter(pkt)
+	default:
+		p.m.fail(fmt.Errorf("IP %d: unsupported opcode %d", p.id, pkt.Opcode))
+	}
+}
+
+// execUnary processes one data page of a restrict or project.
+func (p *ip) execUnary(pkt *InstructionPacket) {
+	pg := pkt.Pages[0]
+	mi := p.instr
+	var compute = p.m.cfg.HW.Proc.RestrictTime(pg.TupleCount())
+	if mi.node.Kind == query.OpProject {
+		compute = p.m.cfg.HW.Proc.ProjectTime(pg.TupleCount())
+	}
+	p.busy = true
+	p.m.ipBusy += compute
+	direct := pkt.ICIDSender != p.ic.id // page was routed IP→IP
+	p.m.s.After(compute, func() {
+		var err error
+		switch mi.node.Kind {
+		case query.OpRestrict:
+			_, err = restrictPage(pg, mi, p.emit)
+		case query.OpProject:
+			_, err = projectPage(pg, mi, p.emit)
+		}
+		if err != nil {
+			p.m.fail(err)
+			return
+		}
+		p.busy = false
+		// Direct-routed operands flush eagerly: the controlling IC does
+		// not track this processor's buffer for them, so tuples must
+		// not linger past a flush packet that may already be queued.
+		if pkt.FlushWhenDone || direct {
+			p.flushResults()
+		}
+		if direct {
+			p.sendDone(directDonePage)
+		} else {
+			p.sendDone(pkt.OuterPageNo)
+		}
+		p.pump()
+	})
+}
+
+// execJoinOuter installs a new outer page (the packet may carry the
+// first inner page too, per the paper's first instruction packet).
+func (p *ip) execJoinOuter(pkt *InstructionPacket) {
+	p.outer = pkt.Pages[0]
+	p.outerNo = pkt.OuterPageNo
+	p.irc = map[int]bool{}
+	p.waitingFor = -1
+	if len(pkt.Pages) > 1 {
+		if pkt.LastInner {
+			p.innerTotal = pkt.InnerPageNo + 1
+		}
+		p.execPair(pkt.InnerPageNo, pkt.Pages[1])
+		return
+	}
+	p.step()
+}
+
+// execPair joins the current outer page with one inner page.
+func (p *ip) execPair(idx int, inner *relation.Page) {
+	p.busy = true
+	p.execIdx = idx
+	compute := p.m.cfg.HW.Proc.JoinTime(p.outer.TupleCount(), inner.TupleCount())
+	p.m.ipBusy += compute
+	p.m.s.After(compute, func() {
+		mi := p.instr
+		if mi == nil {
+			return
+		}
+		if _, err := joinPages(p.outer, inner, mi, p.emit); err != nil {
+			p.m.fail(err)
+			return
+		}
+		p.irc[idx] = true
+		p.busy = false
+		p.execIdx = -1
+		p.step()
+	})
+}
+
+// step decides the idle join processor's next move: drain the inner
+// buffer, request the next inner page it is missing, or — when its IRC
+// vector shows every inner page joined — ask for a fresh outer page.
+func (p *ip) step() {
+	if p.busy || p.outer == nil || p.instr == nil {
+		return
+	}
+	for len(p.innerBuf) > 0 {
+		e := p.innerBuf[0]
+		p.innerBuf = p.innerBuf[1:]
+		if e.last {
+			p.innerTotal = e.idx + 1
+		}
+		if p.irc[e.idx] {
+			continue // joined meanwhile via a re-broadcast
+		}
+		p.waitingFor = -1
+		p.execPair(e.idx, e.page)
+		return
+	}
+	missing := p.firstMissing()
+	if p.innerTotal >= 0 && missing >= p.innerTotal {
+		// IRC vector satisfied: the outer page has met every inner
+		// page. Zero it and request more outer work.
+		p.outer = nil
+		p.outerNo = -1
+		p.irc = nil
+		p.waitingFor = -1
+		p.sendCtrl(msgNeedOuter, -1)
+		return
+	}
+	if p.waitingFor == missing {
+		return // request already outstanding
+	}
+	p.waitingFor = missing
+	p.sendCtrl(msgNeedInner, missing)
+}
+
+// firstMissing returns the smallest inner page index not yet joined.
+func (p *ip) firstMissing() int {
+	for i := 0; ; i++ {
+		if !p.irc[i] {
+			return i
+		}
+	}
+}
+
+// onBroadcast handles an inner-page broadcast (or the last-page
+// marker). Broadcasts for other queries are ignored by the Query ID
+// check; a busy processor buffers the page if it has room and otherwise
+// drops it, relying on the recovery pass.
+func (p *ip) onBroadcast(pkt *InstructionPacket) {
+	if p.instr == nil || pkt.QueryID != p.instr.q.id {
+		return
+	}
+	if len(pkt.Pages) == 0 {
+		// Last-page marker: InnerPageNo holds the page count.
+		if pkt.LastInner && p.innerTotal < 0 {
+			p.innerTotal = pkt.InnerPageNo
+		}
+		p.waitingFor = -1
+		p.step()
+		return
+	}
+	idx := pkt.InnerPageNo
+	if pkt.LastInner {
+		p.innerTotal = idx + 1
+	}
+	if p.outer == nil {
+		return // not joining right now
+	}
+	if p.irc[idx] || p.buffered(idx) || idx == p.execIdx {
+		return // already joined, buffered, or being joined right now
+	}
+	if p.busy {
+		if len(p.innerBuf) < p.m.cfg.IPBufferPages {
+			p.innerBuf = append(p.innerBuf, innerEntry{idx: idx, page: pkt.Pages[0], last: pkt.LastInner})
+		} else {
+			// No room: ignore the page; it will be re-requested once
+			// the IRC vector shows it missing.
+			p.m.stats.BroadcastsIgnored++
+			p.waitingFor = -1
+		}
+		return
+	}
+	p.waitingFor = -1
+	p.execPair(idx, pkt.Pages[0])
+}
+
+func (p *ip) buffered(idx int) bool {
+	for _, e := range p.innerBuf {
+		if e.idx == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// emit receives one encoded result tuple from an operator kernel.
+func (p *ip) emit(raw []byte) error {
+	full, err := p.pgtor.Add(raw)
+	if err != nil {
+		return err
+	}
+	if full != nil {
+		p.sendResult(full)
+	}
+	return nil
+}
+
+// flushResults drains the partial result page, if any.
+func (p *ip) flushResults() {
+	if last := p.pgtor.Flush(); last != nil {
+		p.sendResult(last)
+	}
+}
+
+// sendResult routes one result page: to the project's own IC for
+// duplicate elimination, to the host at the root, directly to a
+// consumer processor under DirectRouting, or to the consumer's IC.
+func (p *ip) sendResult(pg *relation.Page) {
+	mi := p.instr
+	m := p.m
+
+	if mi.node.Kind == query.OpProject {
+		own := p.ic
+		m.stats.ResultPackets++
+		rp := &ResultPacket{ICID: own.id, QueryID: mi.q.id, Relation: mi.node.Label(), Page: pg}
+		m.sendOuter(rp.WireSize(), func() { own.onProjectResult(pg) })
+		return
+	}
+	if mi.destIC == nil {
+		q := mi.q
+		m.stats.ResultPackets++
+		rp := &ResultPacket{ICID: -1, QueryID: mi.q.id, Relation: mi.node.Label(), Page: pg}
+		m.sendOuter(rp.WireSize(), func() { m.hostDeliver(q, pg) })
+		return
+	}
+	if m.cfg.DirectRouting && mi.destInstr != nil && isUnary(mi.destInstr.node.Kind) {
+		if target := mi.destIC.pickIP(); target != nil {
+			mi.directSent++
+			m.stats.DirectRoutedPages++
+			m.stats.InstructionPackets++
+			dest := mi.destInstr
+			pkt := &InstructionPacket{
+				IPID:           target.id,
+				QueryID:        mi.q.id,
+				ICIDSender:     p.ic.id, // differs from the target's IC: marks direct routing
+				ICIDDest:       dest.ic.destID(),
+				Opcode:         dest.opcode(),
+				ResultRelation: dest.node.Label(),
+				ResultTupleLen: dest.outTupleLen,
+				OuterPageNo:    -1,
+				Pages:          []*relation.Page{pg},
+			}
+			m.sendOuter(pkt.WireSize(), func() { target.receive(pkt) })
+			return
+		}
+	}
+	dest, input := mi.destIC, mi.destInput
+	m.stats.ResultPackets++
+	rp := &ResultPacket{ICID: dest.id, QueryID: mi.q.id, Relation: mi.node.Label(), Page: pg}
+	m.sendOuter(rp.WireSize(), func() { dest.receiveOperand(input, pg) })
+}
+
+func isUnary(k query.OpKind) bool {
+	return k == query.OpRestrict || k == query.OpProject
+}
+
+// pickIP returns one of the IC's live processors for direct routing
+// (round-robin over unreleased slots), or nil when it has none.
+func (c *ic) pickIP() *ip {
+	if c.cur == nil || c.finished {
+		return nil
+	}
+	n := len(c.slots)
+	if n == 0 {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		s := c.slots[(c.rrNext+i)%n]
+		if !s.released {
+			c.rrNext = (c.rrNext + i + 1) % n
+			return s.p
+		}
+	}
+	return nil
+}
+
+func (p *ip) sendDone(pageNo int) {
+	p.sendCtrl(msgDone, pageNo)
+}
+
+func (p *ip) sendCtrl(msg controlMsg, pageNo int) {
+	c := p.ic
+	switch msg {
+	case msgNeedInner:
+		p.m.tracef("IP%d -> IC%d: need inner page %d", p.id, c.id, pageNo)
+	case msgNeedOuter:
+		p.m.tracef("IP%d -> IC%d: outer done, need outer", p.id, c.id)
+	case msgDone:
+		p.m.tracef("IP%d -> IC%d: done (page %d)", p.id, c.id, pageNo)
+	}
+	pkt := &ControlPacket{ICID: c.id, IPID: p.id, QueryID: p.instr.q.id, Message: msg, PageNo: pageNo}
+	p.m.stats.ControlPackets++
+	p.m.sendOuter(pkt.WireSize(), func() { c.onControl(p, pkt) })
+}

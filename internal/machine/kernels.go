@@ -1,0 +1,26 @@
+package machine
+
+import (
+	"dfdbm/internal/relalg"
+	"dfdbm/internal/relation"
+)
+
+// The kernel wrappers run the real operator implementations against an
+// instruction's bound predicates; processors produce actual result
+// tuples, so a simulation's answers can be checked against the serial
+// reference executor.
+
+func restrictPage(pg *relation.Page, mi *minstr, emit relalg.EmitFunc) (int, error) {
+	return relalg.RestrictPage(pg, mi.boundPred, emit)
+}
+
+func projectPage(pg *relation.Page, mi *minstr, emit relalg.EmitFunc) (int, error) {
+	// No per-processor duplicate elimination: the instruction's IC
+	// deduplicates globally (the serial algorithm the paper's Section 5
+	// identifies as the open problem).
+	return relalg.ProjectPage(pg, mi.projector, nil, emit)
+}
+
+func joinPages(outer, inner *relation.Page, mi *minstr, emit relalg.EmitFunc) (int, error) {
+	return relalg.JoinPages(outer, inner, mi.boundJoin, emit)
+}

@@ -1,0 +1,609 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/pred"
+	"dfdbm/internal/query"
+	"dfdbm/internal/relalg"
+	"dfdbm/internal/relation"
+	"dfdbm/internal/sim"
+)
+
+// Machine is one simulated instance of the Section 4 design.
+type Machine struct {
+	cfg Config
+	cat *catalog.Catalog
+	s   *sim.Sim
+
+	outer *sim.Station // the 40 Mbps data ring
+	inner *sim.Station // the 1–2 Mbps control ring
+	disk  *sim.Station // mass storage (NumDisks drives)
+
+	ics     []*ic
+	ips     []*ip
+	freeICs []*ic
+	freeIPs []*ip
+	// ipRequests is the MC's FIFO of unsatisfied IP allocations.
+	ipRequests []*ipRequest
+
+	queue   []*mquery // submitted, not yet admitted
+	active  []*mquery
+	locks   map[string]*lockEntry
+	nextQID int
+
+	results []QueryResult
+	stats   Stats
+	ipBusy  time.Duration
+	err     error
+}
+
+type lockEntry struct {
+	readers int
+	writer  bool
+}
+
+type ipRequest struct {
+	ic    *ic
+	instr *minstr
+	want  int
+}
+
+// New builds a machine over the catalog.
+func New(cat *catalog.Catalog, cfg Config) (*Machine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:   cfg,
+		cat:   cat,
+		s:     sim.New(),
+		locks: map[string]*lockEntry{},
+	}
+	m.outer = sim.NewStation(m.s, 1)
+	m.inner = sim.NewStation(m.s, 1)
+	m.disk = sim.NewStation(m.s, cfg.HW.NumDisks)
+	for i := 0; i < cfg.ICs; i++ {
+		c := newIC(m, i)
+		m.ics = append(m.ics, c)
+		m.freeICs = append(m.freeICs, c)
+	}
+	for i := 0; i < cfg.IPs; i++ {
+		p := &ip{m: m, id: i}
+		m.ips = append(m.ips, p)
+		m.freeIPs = append(m.freeIPs, p)
+	}
+	return m, nil
+}
+
+// mquery is one submitted query.
+type mquery struct {
+	id        int
+	tree      *query.Tree
+	fp        query.Footprint
+	instrs    []*minstr // operator nodes in post order
+	remaining int
+	result    *relation.Relation
+	submitted time.Duration
+	started   time.Duration
+	delayed   bool
+	// effect describes an Append/Delete root applied host-side.
+	effectKind query.OpKind
+	effectNode *query.Node
+}
+
+// minstr is one instruction of a query.
+type minstr struct {
+	q    *mquery
+	node *query.Node
+	ic   *ic
+	// destIC receives result pages; nil means the host (query root).
+	destIC    *ic
+	destInput int
+	// destInstr is the consuming instruction (nil at the root).
+	destInstr *minstr
+
+	outTupleLen int
+	outPageSize int
+
+	// Bound operator kernels, prepared at admission.
+	boundPred pred.Bound
+	boundJoin *pred.BoundJoin
+	projector *relalg.Projector
+	// Serial-IC duplicate elimination state for project instructions.
+	dedup  *relalg.Dedup
+	outPag *relation.Paginator
+	// directSent counts result pages routed IP→IP under DirectRouting;
+	// the consumer IC must see that many direct completions before the
+	// operand counts as fully processed.
+	directSent int
+}
+
+func (mi *minstr) opcode() uint8 { return uint8(mi.node.Kind) }
+
+// prep binds the instruction's kernels against its input schemas.
+func (mi *minstr) prep() error {
+	n := mi.node
+	switch n.Kind {
+	case query.OpRestrict:
+		b, err := n.Pred.Bind(n.Inputs[0].Schema())
+		if err != nil {
+			return err
+		}
+		mi.boundPred = b
+	case query.OpJoin:
+		b, err := n.Join.Bind(n.Inputs[0].Schema(), n.Inputs[1].Schema())
+		if err != nil {
+			return err
+		}
+		mi.boundJoin = b
+	case query.OpProject:
+		p, err := relalg.NewProjector(n.Inputs[0].Schema(), n.Cols...)
+		if err != nil {
+			return err
+		}
+		mi.projector = p
+		mi.dedup = relalg.NewDedup()
+		pag, err := relation.NewPaginator(mi.outPageSize, mi.outTupleLen)
+		if err != nil {
+			return err
+		}
+		mi.outPag = pag
+	}
+	return nil
+}
+
+// Submit enqueues a bound query for execution. The query must fit the
+// machine: one IC per operator node.
+func (m *Machine) Submit(t *query.Tree) error {
+	nOps := 0
+	for _, n := range t.Nodes() {
+		if n.Kind != query.OpScan && n.Kind != query.OpAppend && n.Kind != query.OpDelete {
+			nOps++
+		}
+	}
+	if nOps > m.cfg.ICs {
+		return fmt.Errorf("machine: query has %d instructions but the machine has %d ICs", nOps, m.cfg.ICs)
+	}
+	q := &mquery{
+		id:        m.nextQID,
+		tree:      t,
+		fp:        query.Analyze(t.Root()),
+		submitted: m.s.Now(),
+	}
+	m.nextQID++
+	root := t.Root()
+	if root.Kind == query.OpAppend || root.Kind == query.OpDelete {
+		q.effectKind = root.Kind
+		q.effectNode = root
+	}
+	m.queue = append(m.queue, q)
+	return nil
+}
+
+// Run executes all submitted queries to completion and reports.
+func (m *Machine) Run() (*Results, error) {
+	m.s.After(0, m.tryAdmit)
+	end := m.s.Run()
+	if m.err != nil {
+		return nil, m.err
+	}
+	if len(m.queue) > 0 || len(m.active) > 0 {
+		return nil, fmt.Errorf("machine: stalled with %d queued and %d active queries",
+			len(m.queue), len(m.active))
+	}
+	res := &Results{PerQuery: m.results, Stats: m.stats}
+	var last time.Duration
+	for _, qr := range m.results {
+		if qr.Finished > last {
+			last = qr.Finished
+		}
+	}
+	res.Elapsed = last
+	_ = end
+	if last > 0 {
+		res.OuterRingUtilization = m.outer.Utilization(last)
+		res.IPUtilization = float64(m.ipBusy) / (float64(last) * float64(len(m.ips)))
+	}
+	return res, nil
+}
+
+func (m *Machine) fail(err error) {
+	if m.err == nil && err != nil {
+		m.err = fmt.Errorf("machine: %w", err)
+	}
+}
+
+// ---- Master controller: admission, concurrency control, allocation ----
+
+// conflicts reports whether q's footprint conflicts with any running
+// query.
+func (m *Machine) conflicts(q *mquery) bool {
+	for _, rel := range q.fp.Reads {
+		if e, ok := m.locks[rel]; ok && e.writer {
+			return true
+		}
+	}
+	for _, rel := range q.fp.Writes {
+		if e, ok := m.locks[rel]; ok && (e.writer || e.readers > 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Machine) lock(q *mquery) {
+	for _, rel := range q.fp.Reads {
+		e := m.locks[rel]
+		if e == nil {
+			e = &lockEntry{}
+			m.locks[rel] = e
+		}
+		e.readers++
+	}
+	for _, rel := range q.fp.Writes {
+		e := m.locks[rel]
+		if e == nil {
+			e = &lockEntry{}
+			m.locks[rel] = e
+		}
+		e.writer = true
+	}
+}
+
+func (m *Machine) unlock(q *mquery) {
+	for _, rel := range q.fp.Reads {
+		if e := m.locks[rel]; e != nil {
+			e.readers--
+			if e.readers == 0 && !e.writer {
+				delete(m.locks, rel)
+			}
+		}
+	}
+	for _, rel := range q.fp.Writes {
+		if e := m.locks[rel]; e != nil {
+			e.writer = false
+			if e.readers == 0 {
+				delete(m.locks, rel)
+			}
+		}
+	}
+}
+
+// tryAdmit scans the queue and admits every query that is conflict-free
+// and for which enough ICs are free.
+func (m *Machine) tryAdmit() {
+	if m.err != nil {
+		return
+	}
+	kept := m.queue[:0]
+	for _, q := range m.queue {
+		if m.admit(q) {
+			continue
+		}
+		kept = append(kept, q)
+	}
+	m.queue = append([]*mquery(nil), kept...)
+}
+
+func (m *Machine) admit(q *mquery) bool {
+	if m.conflicts(q) {
+		if !q.delayed {
+			q.delayed = true
+			m.stats.QueriesDelayedByConflict++
+		}
+		return false
+	}
+	nOps := 0
+	for _, n := range q.tree.Nodes() {
+		if isOperator(n) {
+			nOps++
+		}
+	}
+	if nOps > len(m.freeICs) {
+		return false
+	}
+
+	m.lock(q)
+	q.started = m.s.Now()
+	m.active = append(m.active, q)
+	m.tracef("MC: admit query %d (%d instructions, reads=%v writes=%v)",
+		q.id, nOps, q.fp.Reads, q.fp.Writes)
+
+	if nOps == 0 {
+		// A pure effect (delete), a bare scan, or append-of-scan: the
+		// host resolves it directly against the catalog.
+		var scan *query.Node
+		if q.effectKind == query.OpAppend {
+			scan = q.tree.Root().Inputs[0]
+		} else if q.tree.Root().Kind == query.OpScan {
+			scan = q.tree.Root()
+		}
+		if scan != nil {
+			rel, err := m.cat.Get(scan.Rel)
+			if err != nil {
+				m.fail(err)
+			}
+			q.result = rel
+		}
+		m.finishQuery(q)
+		return true
+	}
+
+	// Build instructions in post order and assign an IC to each.
+	byNode := map[*query.Node]*minstr{}
+	for _, n := range q.tree.Nodes() {
+		if !isOperator(n) {
+			continue
+		}
+		mi := &minstr{q: q, node: n, outTupleLen: n.Schema().TupleLen()}
+		mi.outPageSize = m.cfg.HW.PageSize
+		if min := relation.PageHeaderLen + mi.outTupleLen; mi.outPageSize < min {
+			mi.outPageSize = min
+		}
+		if err := mi.prep(); err != nil {
+			m.fail(err)
+			return true
+		}
+		c := m.freeICs[len(m.freeICs)-1]
+		m.freeICs = m.freeICs[:len(m.freeICs)-1]
+		mi.ic = c
+		byNode[n] = mi
+		q.instrs = append(q.instrs, mi)
+		q.remaining++
+	}
+	// Wire destinations: each instruction's results flow to the IC of
+	// the nearest operator ancestor, or to the host at the root.
+	streamRoot := q.tree.Root()
+	if q.effectKind != 0 && len(streamRoot.Inputs) > 0 {
+		streamRoot = streamRoot.Inputs[0]
+	}
+	for _, mi := range q.instrs {
+		parent, input := operatorParent(q.tree, mi.node)
+		if parent == nil || mi.node == streamRoot {
+			mi.destIC = nil
+		} else {
+			dest := byNode[parent]
+			mi.destIC = dest.ic
+			mi.destInstr = dest
+			mi.destInput = input
+		}
+	}
+	// Result relation for the stream root.
+	rootInstr := byNode[streamRoot]
+	rel, err := relation.New(streamRoot.Label(), streamRoot.Schema(), rootInstr.outPageSize)
+	if err != nil {
+		m.fail(err)
+		return true
+	}
+	q.result = rel
+
+	// The MC distributes the instructions over the inner ring.
+	for _, mi := range q.instrs {
+		mi := mi
+		m.sendInner(m.cfg.HW.InstrHeaderBytes, func() { mi.ic.assign(mi) })
+	}
+	return true
+}
+
+func isOperator(n *query.Node) bool {
+	return n.Kind == query.OpRestrict || n.Kind == query.OpJoin || n.Kind == query.OpProject
+}
+
+// operatorParent finds the nearest operator ancestor of n and which of
+// its inputs leads to n.
+func operatorParent(t *query.Tree, n *query.Node) (*query.Node, int) {
+	var walk func(cur *query.Node) (*query.Node, int, bool)
+	walk = func(cur *query.Node) (*query.Node, int, bool) {
+		for i, in := range cur.Inputs {
+			if in == n {
+				return cur, i, true
+			}
+			if p, j, ok := walk(in); ok {
+				return p, j, true
+			}
+		}
+		return nil, 0, false
+	}
+	p, i, ok := walk(t.Root())
+	if !ok || !isOperator(p) {
+		return nil, 0
+	}
+	return p, i
+}
+
+// hostDeliver receives a result page of the query's stream root.
+func (m *Machine) hostDeliver(q *mquery, pg *relation.Page) {
+	if pg.Empty() {
+		return
+	}
+	if err := q.result.AppendPage(pg); err != nil {
+		m.fail(err)
+	}
+}
+
+// instrFinished is called by an IC when its instruction completes; the
+// IC is freed and, at the root, the query finishes.
+func (m *Machine) instrFinished(mi *minstr) {
+	m.freeICs = append(m.freeICs, mi.ic)
+	mi.q.remaining--
+	if mi.q.remaining == 0 {
+		m.finishQuery(mi.q)
+	}
+	m.s.After(0, m.tryAdmit)
+}
+
+func (m *Machine) finishQuery(q *mquery) {
+	// Host-side effects.
+	switch q.effectKind {
+	case query.OpAppend:
+		dst, err := m.cat.Get(q.effectNode.Rel)
+		if err == nil {
+			_, err = relalg.Append(dst, q.result)
+		}
+		if err != nil {
+			m.fail(err)
+		} else {
+			q.result = dst
+		}
+	case query.OpDelete:
+		target, err := m.cat.Get(q.effectNode.Rel)
+		if err == nil {
+			_, err = relalg.Delete(target, q.effectNode.Pred)
+		}
+		if err != nil {
+			m.fail(err)
+		} else {
+			q.result = target
+		}
+	}
+	m.unlock(q)
+	for i, aq := range m.active {
+		if aq == q {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	m.tracef("MC: query %d finished", q.id)
+	m.results = append(m.results, QueryResult{
+		QueryID:   q.id,
+		Relation:  q.result,
+		Submitted: q.submitted,
+		Started:   q.started,
+		Finished:  m.s.Now(),
+	})
+	m.s.After(0, m.tryAdmit)
+}
+
+// ---- IP allocation (MC arbitrating the processor pool) ----
+
+// requestIPs records an IC's wish for processors; grants flow now and
+// as processors are released.
+func (m *Machine) requestIPs(c *ic, mi *minstr, want int) {
+	m.ipRequests = append(m.ipRequests, &ipRequest{ic: c, instr: mi, want: want})
+	m.pumpIPs()
+}
+
+// pumpIPs arbitrates the processor pool. An instruction whose operands
+// are all complete (or stored relations) is "safe": its processors can
+// always make progress. An instruction still waiting on a producer is
+// "unsafe": its processors may block awaiting pages. The MC never hands
+// the last free processor to an unsafe instruction — one processor is
+// always left for safe work, which guarantees the producers at the
+// bottom of every query tree keep running and the machine cannot
+// deadlock in a circular wait between processors and data.
+func (m *Machine) pumpIPs() {
+	for len(m.freeIPs) > 0 {
+		granted := false
+		kept := m.ipRequests[:0]
+		for _, req := range m.ipRequests {
+			if req.want <= 0 || req.ic.cur != req.instr || req.instr == nil {
+				continue // stale
+			}
+			if granted || len(m.freeIPs) == 0 {
+				kept = append(kept, req)
+				continue
+			}
+			if !req.ic.isSafe() && len(m.freeIPs) < 2 {
+				kept = append(kept, req) // hold the reserve
+				continue
+			}
+			p := m.freeIPs[len(m.freeIPs)-1]
+			m.freeIPs = m.freeIPs[:len(m.freeIPs)-1]
+			req.want--
+			if req.want > 0 {
+				kept = append(kept, req)
+			}
+			granted = true
+			c := req.ic
+			m.tracef("MC: grant IP %d to IC %d", p.id, c.id)
+			// The grant is a small control message on the inner ring.
+			m.sendInner(m.cfg.HW.ControlBytes, func() { c.gainIP(p) })
+		}
+		m.ipRequests = append([]*ipRequest(nil), kept...)
+		if !granted {
+			return
+		}
+	}
+}
+
+// releaseIP returns a processor to the pool (a control message to the
+// MC on the inner ring) and re-arbitrates. A processor that failed
+// while assigned is dropped from the pool instead.
+func (m *Machine) releaseIP(p *ip) {
+	p.instr = nil
+	p.ic = nil
+	m.sendInner(m.cfg.HW.ControlBytes, func() {
+		if !p.failed {
+			m.freeIPs = append(m.freeIPs, p)
+		}
+		m.pumpIPs()
+	})
+}
+
+// ScheduleIPFailure disables processor id at virtual time at. The MC
+// notices at the next allocation boundary: the processor is withdrawn
+// from the free pool (or dropped at its next release) and never granted
+// again — the paper's requirement 5 that the design "survive an
+// arbitrary number of disabled processors". Call before Run.
+func (m *Machine) ScheduleIPFailure(id int, at time.Duration) error {
+	if id < 0 || id >= len(m.ips) {
+		return fmt.Errorf("machine: no IP %d", id)
+	}
+	m.s.At(at, func() {
+		p := m.ips[id]
+		p.failed = true
+		for i, fp := range m.freeIPs {
+			if fp == p {
+				m.freeIPs = append(m.freeIPs[:i], m.freeIPs[i+1:]...)
+				break
+			}
+		}
+	})
+	return nil
+}
+
+// ---- Ring transport ----
+
+// sendOuter ships bytes over the outer ring, invoking deliver at
+// arrival. Serialization occupies the shared loop; propagation adds a
+// mean hop latency.
+func (m *Machine) sendOuter(bytes int, deliver func()) {
+	m.stats.OuterRingPackets++
+	m.stats.OuterRingBytes += int64(bytes)
+	ser := m.cfg.HW.OuterRing.SerializationTime(bytes)
+	prop := m.meanOuterHops()
+	m.outer.Serve(ser, func() { m.s.After(prop, deliver) })
+}
+
+// broadcastOuter ships one packet whose delivery fans out to several
+// recipients simultaneously — the broadcast facility of requirement 4.
+func (m *Machine) broadcastOuter(bytes int, deliver []func()) {
+	m.stats.OuterRingPackets++
+	m.stats.OuterRingBytes += int64(bytes)
+	ser := m.cfg.HW.OuterRing.SerializationTime(bytes)
+	prop := m.meanOuterHops()
+	m.outer.Serve(ser, func() {
+		m.s.After(prop, func() {
+			for _, fn := range deliver {
+				fn()
+			}
+		})
+	})
+}
+
+// sendInner ships a control message on the inner ring.
+func (m *Machine) sendInner(bytes int, deliver func()) {
+	m.stats.InnerRingPackets++
+	m.stats.InnerRingBytes += int64(bytes)
+	ser := m.cfg.HW.InnerRing.SerializationTime(bytes)
+	prop := time.Duration(m.cfg.ICs/2+1) * m.cfg.HW.InnerRing.HopDelay
+	m.inner.Serve(ser, func() { m.s.After(prop, deliver) })
+}
+
+func (m *Machine) meanOuterHops() time.Duration {
+	return time.Duration((m.cfg.ICs+m.cfg.IPs)/2+1) * m.cfg.HW.OuterRing.HopDelay
+}

@@ -1,0 +1,381 @@
+package machine
+
+import (
+	"testing"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/hw"
+	"dfdbm/internal/query"
+	"dfdbm/internal/relation"
+	"dfdbm/internal/workload"
+)
+
+// smallHW returns the 1979 hardware with 2 KB operand pages, matching
+// the reduced-scale test database so that multi-page operands (and the
+// broadcast-join protocol) are exercised.
+func smallHW() hw.Config {
+	cfg := hw.Default1979()
+	cfg.PageSize = 2048
+	return cfg
+}
+
+func testDB(t testing.TB, scale float64) (*catalog.Catalog, []*query.Tree) {
+	t.Helper()
+	cat, qs, err := workload.Build(workload.Config{Seed: 9, Scale: scale, PageSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, qs
+}
+
+// runOne executes a single query on a fresh machine and returns its
+// result relation plus the run's results.
+func runOne(t testing.TB, cat *catalog.Catalog, q *query.Tree, cfg Config) (*relation.Relation, *Results) {
+	t.Helper()
+	m, err := New(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerQuery) != 1 {
+		t.Fatalf("got %d query results, want 1", len(res.PerQuery))
+	}
+	return res.PerQuery[0].Relation, res
+}
+
+// TestMachineMatchesSerialReference is the machine's central
+// correctness property: every benchmark query computes exactly what the
+// serial executor computes, through the full MC/IC/IP packet protocol.
+func TestMachineMatchesSerialReference(t *testing.T) {
+	cat, qs := testDB(t, 0.05)
+	for i, q := range qs {
+		want, err := query.ExecuteSerial(cat, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, res := runOne(t, cat, q, Config{HW: smallHW()})
+		if !got.EqualMultiset(want) {
+			t.Errorf("query %d: machine %d tuples, serial %d",
+				i+1, got.Cardinality(), want.Cardinality())
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("query %d: no elapsed time", i+1)
+		}
+	}
+}
+
+func TestTinyIPBuffersStillCorrect(t *testing.T) {
+	// One-page buffers force broadcast drops and exercise the
+	// missed-page recovery path of Section 4.2.
+	cat, qs := testDB(t, 0.1)
+	q := qs[2] // 1 join, 2 restricts
+	want, err := query.ExecuteSerial(cat, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res := runOne(t, cat, q, Config{HW: smallHW(), IPBufferPages: 1, IPsPerInstruction: 6})
+	if !got.EqualMultiset(want) {
+		t.Fatalf("tiny buffers broke the join: %d tuples, want %d",
+			got.Cardinality(), want.Cardinality())
+	}
+	if res.Stats.Broadcasts == 0 {
+		t.Error("join executed without broadcasts")
+	}
+}
+
+func TestBroadcastRecoveryHappens(t *testing.T) {
+	cat, qs := testDB(t, 0.5)
+	q := qs[2]
+	want, err := query.ExecuteSerial(cat, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res := runOne(t, cat, q, Config{HW: smallHW(), IPs: 6, IPsPerInstruction: 6, IPBufferPages: 1})
+	if res.Stats.BroadcastsIgnored == 0 {
+		t.Error("no broadcast was dropped despite one-page buffers at this scale")
+	}
+	if res.Stats.RecoveryRequests == 0 {
+		t.Error("broadcasts were dropped but no recovery request was made")
+	}
+	if !got.EqualMultiset(want) {
+		t.Errorf("dropped broadcasts corrupted the join: %d tuples, want %d",
+			got.Cardinality(), want.Cardinality())
+	}
+}
+
+func TestScarceIPs(t *testing.T) {
+	// Fewer processors than instructions: allocation must still make
+	// progress and produce correct answers.
+	cat, qs := testDB(t, 0.05)
+	q := qs[7] // 3 joins, 4 restricts = 7 instructions
+	want, err := query.ExecuteSerial(cat, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := runOne(t, cat, q, Config{HW: smallHW(), IPs: 2, IPsPerInstruction: 1})
+	if !got.EqualMultiset(want) {
+		t.Errorf("scarce IPs: %d tuples, want %d", got.Cardinality(), want.Cardinality())
+	}
+}
+
+func TestTinyICMemorySpillsToHierarchy(t *testing.T) {
+	cat, qs := testDB(t, 0.2)
+	q := qs[5] // 2 joins, 3 restricts
+	want, err := query.ExecuteSerial(cat, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res := runOne(t, cat, q, Config{HW: smallHW(), ICLocalPages: 2, ICCachePages: 4})
+	if !got.EqualMultiset(want) {
+		t.Fatalf("tiny IC memory broke the query: %d tuples, want %d",
+			got.Cardinality(), want.Cardinality())
+	}
+	if res.Stats.CacheWrites == 0 {
+		t.Error("no pages moved to the disk-cache level despite tiny local memory")
+	}
+	if res.Stats.DiskWrites == 0 {
+		t.Error("no pages spilled to mass storage despite tiny cache segment")
+	}
+}
+
+func TestQueryTooLargeForICs(t *testing.T) {
+	cat, qs := testDB(t, 0.02)
+	m, err := New(cat, Config{ICs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(qs[9]); err == nil { // 11 instructions
+		t.Error("oversized query accepted")
+	}
+}
+
+func TestMultipleQueriesConcurrently(t *testing.T) {
+	cat, qs := testDB(t, 0.05)
+	m, err := New(cat, Config{HW: smallHW(), ICs: 16, IPs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs[:5] {
+		if err := m.Submit(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerQuery) != 5 {
+		t.Fatalf("finished %d queries, want 5", len(res.PerQuery))
+	}
+	for i, q := range qs[:5] {
+		want, err := query.ExecuteSerial(cat, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got *relation.Relation
+		for _, qr := range res.PerQuery {
+			if qr.QueryID == i {
+				got = qr.Relation
+			}
+		}
+		if got == nil || !got.EqualMultiset(want) {
+			t.Errorf("query %d wrong under concurrency", i+1)
+		}
+	}
+	// Read-only queries must overlap: at least one starts before
+	// another finishes.
+	overlap := false
+	for _, a := range res.PerQuery {
+		for _, b := range res.PerQuery {
+			if a.QueryID != b.QueryID && a.Started < b.Finished && b.Started < a.Finished {
+				overlap = true
+			}
+		}
+	}
+	if !overlap {
+		t.Error("read-only queries never overlapped")
+	}
+}
+
+func TestConcurrencyControlSerializesConflicts(t *testing.T) {
+	cat, _ := testDB(t, 0.05)
+	m, err := New(cat, Config{HW: smallHW()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := query.Bind(query.MustParse(`restrict(r14, val < 500)`), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer, err := query.Bind(query.MustParse(`delete(r14, val < 100)`), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(reader); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(writer); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.QueriesDelayedByConflict == 0 {
+		t.Error("conflicting writer was never delayed")
+	}
+	var rd, wr QueryResult
+	for _, qr := range res.PerQuery {
+		if qr.QueryID == 0 {
+			rd = qr
+		} else {
+			wr = qr
+		}
+	}
+	if wr.Started < rd.Finished {
+		t.Errorf("writer started at %v before reader finished at %v", wr.Started, rd.Finished)
+	}
+}
+
+func TestAppendAndDeleteRoots(t *testing.T) {
+	cat, _ := testDB(t, 0.05)
+	sink := relation.MustNew("sink_rel", workload.PaperSchema(), 2048)
+	cat.Put(sink)
+
+	app, err := query.Bind(query.MustParse(`append(sink_rel, restrict(r14, val < 500))`), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := runOne(t, cat, app, Config{HW: smallHW()})
+	if got.Name() != "sink_rel" || sink.Cardinality() == 0 {
+		t.Errorf("append produced %q with %d tuples", got.Name(), sink.Cardinality())
+	}
+
+	r14, _ := cat.Get("r14")
+	before := r14.Cardinality()
+	del, err := query.Bind(query.MustParse(`delete(r14, val < 100)`), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = runOne(t, cat, del, Config{HW: smallHW()})
+	if got.Cardinality() >= before {
+		t.Error("delete removed nothing")
+	}
+}
+
+func TestProjectThroughMachine(t *testing.T) {
+	cat, _ := testDB(t, 0.1)
+	q, err := query.Bind(query.MustParse(`project(restrict(r3, val < 300), [k1, k2])`), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := query.ExecuteSerial(cat, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := runOne(t, cat, q, Config{HW: smallHW()})
+	if !got.EqualMultiset(want) {
+		t.Errorf("project gave %d tuples, want %d", got.Cardinality(), want.Cardinality())
+	}
+}
+
+func TestDirectRoutingCorrectAndCheaper(t *testing.T) {
+	cat, qs := testDB(t, 0.1)
+	// A join feeding... benchmark queries have joins consuming
+	// restricts; direct routing applies to restrict-consumer edges, so
+	// use a query with a restrict above a restrict.
+	q, err := query.Bind(query.MustParse(
+		`restrict(restrict(r2, val < 400), k1 < 50)`), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := query.ExecuteSerial(cat, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPlain, resPlain := runOne(t, cat, q, Config{HW: smallHW()})
+	gotDirect, resDirect := runOne(t, cat, q, Config{HW: smallHW(), DirectRouting: true})
+	if !gotPlain.EqualMultiset(want) || !gotDirect.EqualMultiset(want) {
+		t.Fatalf("direct-routing changed answers: plain %d, direct %d, want %d",
+			gotPlain.Cardinality(), gotDirect.Cardinality(), want.Cardinality())
+	}
+	if resDirect.Stats.DirectRoutedPages == 0 {
+		t.Error("direct routing never engaged")
+	}
+	if resDirect.Stats.OuterRingBytes >= resPlain.Stats.OuterRingBytes {
+		t.Errorf("direct routing did not reduce outer-ring traffic: %d vs %d",
+			resDirect.Stats.OuterRingBytes, resPlain.Stats.OuterRingBytes)
+	}
+	_ = qs
+}
+
+func TestStatsPopulated(t *testing.T) {
+	cat, qs := testDB(t, 0.05)
+	_, res := runOne(t, cat, qs[2], Config{HW: smallHW()})
+	s := res.Stats
+	if s.InstructionPackets == 0 || s.ResultPackets == 0 || s.ControlPackets == 0 {
+		t.Errorf("packet stats empty: %+v", s)
+	}
+	if s.OuterRingBytes == 0 || s.InnerRingBytes == 0 {
+		t.Errorf("ring stats empty: %+v", s)
+	}
+	if s.DiskReads == 0 {
+		t.Error("no disk reads for leaf operands")
+	}
+	if res.OuterRingUtilization <= 0 || res.OuterRingUtilization > 1 {
+		t.Errorf("outer ring utilization = %g", res.OuterRingUtilization)
+	}
+	if res.IPUtilization <= 0 || res.IPUtilization > 1 {
+		t.Errorf("IP utilization = %g", res.IPUtilization)
+	}
+	if res.OuterRingMbps() <= 0 {
+		t.Error("no outer ring bandwidth")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cat, qs := testDB(t, 0.05)
+	_, a := runOne(t, cat, qs[5], Config{HW: smallHW()})
+	_, b := runOne(t, cat, qs[5], Config{HW: smallHW()})
+	if a.Elapsed != b.Elapsed || a.Stats != b.Stats {
+		t.Errorf("identical runs differ:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+}
+
+func TestBareScanQuery(t *testing.T) {
+	cat, _ := testDB(t, 0.02)
+	q, err := query.Bind(query.MustParse("r15"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := runOne(t, cat, q, Config{HW: smallHW()})
+	want, _ := cat.Get("r15")
+	if !got.EqualMultiset(want) {
+		t.Error("bare scan wrong through machine")
+	}
+}
+
+func TestEmptyResultThroughMachine(t *testing.T) {
+	cat, _ := testDB(t, 0.05)
+	q, err := query.Bind(query.MustParse(
+		`join(restrict(r1, val < 0), restrict(r2, val < 500), k1 = k1)`), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := runOne(t, cat, q, Config{HW: smallHW()})
+	if got.Cardinality() != 0 {
+		t.Errorf("empty join gave %d tuples", got.Cardinality())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(catalog.New(), Config{ICs: -1}); err == nil {
+		t.Skip("negative IC count defaults; acceptable")
+	}
+}

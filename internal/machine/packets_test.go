@@ -1,0 +1,135 @@
+package machine
+
+import (
+	"testing"
+
+	"dfdbm/internal/relation"
+)
+
+func samplePage(t *testing.T, tuples int) *relation.Page {
+	t.Helper()
+	pg := relation.MustNewPage(1000, 100)
+	for i := 0; i < tuples; i++ {
+		raw := make([]byte, 100)
+		raw[0] = byte(i + 1)
+		if err := pg.AppendRaw(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pg
+}
+
+func TestInstructionPacketRoundTrip(t *testing.T) {
+	pkt := &InstructionPacket{
+		IPID:           3,
+		QueryID:        7,
+		ICIDSender:     1,
+		ICIDDest:       2,
+		FlushWhenDone:  true,
+		Opcode:         4,
+		ResultRelation: "t9",
+		ResultTupleLen: 200,
+		Broadcast:      true,
+		InnerPageNo:    5,
+		LastInner:      true,
+		OuterPageNo:    8,
+		Pages:          []*relation.Page{samplePage(t, 3), samplePage(t, 9)},
+	}
+	blob := pkt.Marshal()
+	if len(blob) != pkt.WireSize() {
+		t.Fatalf("Marshal produced %d bytes, WireSize says %d", len(blob), pkt.WireSize())
+	}
+	got, err := UnmarshalInstruction(blob)
+	if err != nil {
+		t.Fatalf("UnmarshalInstruction: %v", err)
+	}
+	if got.IPID != 3 || got.QueryID != 7 || got.ICIDSender != 1 || got.ICIDDest != 2 ||
+		!got.FlushWhenDone || got.Opcode != 4 || got.ResultRelation != "t9" ||
+		got.ResultTupleLen != 200 || !got.Broadcast || got.InnerPageNo != 5 ||
+		!got.LastInner || got.OuterPageNo != 8 {
+		t.Errorf("fields lost: %+v", got)
+	}
+	if len(got.Pages) != 2 || got.Pages[0].TupleCount() != 3 || got.Pages[1].TupleCount() != 9 {
+		t.Errorf("pages lost: %d pages", len(got.Pages))
+	}
+}
+
+func TestInstructionPacketNoPages(t *testing.T) {
+	pkt := &InstructionPacket{IPID: 1, FlushWhenDone: true, ResultRelation: "x"}
+	got, err := UnmarshalInstruction(pkt.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pages) != 0 || !got.FlushWhenDone {
+		t.Errorf("flush packet mangled: %+v", got)
+	}
+}
+
+func TestInstructionPacketNegativeFields(t *testing.T) {
+	pkt := &InstructionPacket{ICIDDest: -1, InnerPageNo: -1, OuterPageNo: -1}
+	got, err := UnmarshalInstruction(pkt.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ICIDDest != -1 || got.InnerPageNo != -1 || got.OuterPageNo != -1 {
+		t.Errorf("negative sentinels lost: %+v", got)
+	}
+}
+
+func TestResultPacketRoundTrip(t *testing.T) {
+	pkt := &ResultPacket{ICID: 4, QueryID: 2, Relation: "t3", Page: samplePage(t, 5)}
+	blob := pkt.Marshal()
+	if len(blob) != pkt.WireSize() {
+		t.Fatalf("Marshal %d bytes, WireSize %d", len(blob), pkt.WireSize())
+	}
+	got, err := UnmarshalResult(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ICID != 4 || got.QueryID != 2 || got.Relation != "t3" || got.Page.TupleCount() != 5 {
+		t.Errorf("fields lost: %+v", got)
+	}
+}
+
+func TestControlPacketRoundTrip(t *testing.T) {
+	pkt := &ControlPacket{ICID: 1, IPID: 9, QueryID: 3, Message: msgNeedInner, PageNo: -2}
+	blob := pkt.Marshal()
+	if len(blob) != pkt.WireSize() {
+		t.Fatalf("Marshal %d bytes, WireSize %d", len(blob), pkt.WireSize())
+	}
+	got, err := UnmarshalControl(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *pkt {
+		t.Errorf("round trip: %+v != %+v", got, pkt)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good := (&InstructionPacket{ResultRelation: "r"}).Marshal()
+	cases := [][]byte{
+		nil,
+		good[:10],
+		append([]byte{9, 9, 9, 9}, good[4:]...), // bad magic
+		good[:len(good)-1],
+		append(append([]byte(nil), good...), 1), // trailing byte
+	}
+	for i, blob := range cases {
+		if _, err := UnmarshalInstruction(blob); err == nil {
+			t.Errorf("case %d: UnmarshalInstruction succeeded", i)
+		}
+	}
+	if _, err := UnmarshalResult([]byte{1, 2}); err == nil {
+		t.Error("UnmarshalResult of junk succeeded")
+	}
+	if _, err := UnmarshalControl([]byte{1, 2, 3}); err == nil {
+		t.Error("UnmarshalControl of junk succeeded")
+	}
+	// A control blob of the right length but wrong kind.
+	ctl := (&ControlPacket{}).Marshal()
+	ctl[4] = byte(pktResult)
+	if _, err := UnmarshalControl(ctl); err == nil {
+		t.Error("UnmarshalControl accepted a result packet")
+	}
+}

@@ -1,0 +1,144 @@
+package machine
+
+import (
+	"testing"
+	"time"
+
+	"dfdbm/internal/query"
+)
+
+// TestNoDuplicateJoinsUnderRebroadcast is the regression test for a
+// protocol race: while an IP is joining inner page i, a re-broadcast of
+// page i (another processor's recovery) must not be buffered and joined
+// a second time. At this scale the race occurs reliably without the
+// execIdx guard.
+func TestNoDuplicateJoinsUnderRebroadcast(t *testing.T) {
+	cat, qs := testDB(t, 0.3)
+	q := qs[2]
+	want, err := query.ExecuteSerial(cat, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res := runOne(t, cat, q, Config{HW: smallHW(), IPBufferPages: 1, IPsPerInstruction: 8})
+	if got.Cardinality() != want.Cardinality() {
+		t.Fatalf("machine %d tuples, serial %d (duplicate pairs joined?)",
+			got.Cardinality(), want.Cardinality())
+	}
+	if !got.EqualMultiset(want) {
+		t.Fatal("machine result differs from serial reference")
+	}
+	if res.Stats.RecoveryRequests == 0 {
+		t.Skip("no re-broadcasts occurred; race not exercised at this scale")
+	}
+}
+
+// TestFullBenchmarkLargerScale runs every benchmark query at a scale
+// where joins span many pages and several IPs work each instruction.
+func TestFullBenchmarkLargerScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger-scale sweep skipped in -short mode")
+	}
+	cat, qs := testDB(t, 0.3)
+	for i, q := range qs {
+		want, err := query.ExecuteSerial(cat, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := runOne(t, cat, q, Config{HW: smallHW(), IPsPerInstruction: 8, IPBufferPages: 2})
+		if !got.EqualMultiset(want) {
+			t.Errorf("query %d: machine %d tuples, serial %d",
+				i+1, got.Cardinality(), want.Cardinality())
+		}
+	}
+}
+
+// TestSurvivesDisabledProcessors exercises requirement 5: processors
+// failing during the run degrade capacity but not correctness.
+func TestSurvivesDisabledProcessors(t *testing.T) {
+	cat, qs := testDB(t, 0.1)
+	q := qs[5] // 2 joins, 3 restricts
+	want, err := query.ExecuteSerial(cat, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cat, Config{HW: smallHW(), IPs: 8, IPsPerInstruction: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill six of the eight processors shortly after the run starts.
+	for id := 0; id < 6; id++ {
+		if err := m.ScheduleIPFailure(id, 5*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PerQuery[0].Relation.EqualMultiset(want) {
+		t.Error("result wrong after processor failures")
+	}
+
+	// A healthy machine of the same size must be at least as fast.
+	healthy, err := New(cat, Config{HW: smallHW(), IPs: 8, IPsPerInstruction: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := healthy.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+	hres, err := healthy.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The degraded machine must not beat the healthy one by more than
+	// scheduling noise (this workload is disk-bound, so losing IPs
+	// barely moves the makespan — the point here is correctness).
+	if hres.Elapsed > res.Elapsed+res.Elapsed/20 {
+		t.Errorf("healthy machine (%v) much slower than degraded machine (%v)",
+			hres.Elapsed, res.Elapsed)
+	}
+}
+
+func TestScheduleIPFailureValidation(t *testing.T) {
+	cat, _ := testDB(t, 0.02)
+	m, err := New(cat, Config{HW: smallHW()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ScheduleIPFailure(-1, 0); err == nil {
+		t.Error("negative IP id accepted")
+	}
+	if err := m.ScheduleIPFailure(10_000, 0); err == nil {
+		t.Error("out-of-range IP id accepted")
+	}
+}
+
+// TestExpandability: adding processors speeds the benchmark up
+// (requirement 5's other half: processors can be added simply).
+func TestExpandability(t *testing.T) {
+	cat, qs := testDB(t, 0.2)
+	q := qs[7]
+	run := func(ips int) time.Duration {
+		m, err := New(cat, Config{HW: smallHW(), IPs: ips, IPsPerInstruction: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Submit(q); err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	small := run(2)
+	big := run(24)
+	if big >= small {
+		t.Errorf("24 IPs (%v) not faster than 2 IPs (%v)", big, small)
+	}
+}

@@ -1,0 +1,127 @@
+package pred
+
+import (
+	"fmt"
+
+	"dfdbm/internal/relation"
+)
+
+// JoinCond is a conjunction of attribute comparisons between an outer
+// (left) and an inner (right) relation — the "conditional cross product"
+// condition of the paper's join operator. An equi-join has a single term
+// with Op == EQ.
+type JoinCond struct {
+	Terms []JoinTerm
+}
+
+// JoinTerm compares one attribute of the outer relation with one of the
+// inner relation.
+type JoinTerm struct {
+	Left  string
+	Op    Op
+	Right string
+}
+
+// Equi returns an equi-join condition on the named attributes.
+func Equi(left, right string) JoinCond {
+	return JoinCond{Terms: []JoinTerm{{Left: left, Op: EQ, Right: right}}}
+}
+
+// String renders the condition in surface syntax.
+func (c JoinCond) String() string {
+	s := ""
+	for i, t := range c.Terms {
+		if i > 0 {
+			s += " and "
+		}
+		s += fmt.Sprintf("%s %s %s", t.Left, t.Op, t.Right)
+	}
+	return s
+}
+
+// LeftAttrs returns the outer-relation attributes the condition reads.
+func (c JoinCond) LeftAttrs() []string {
+	out := make([]string, len(c.Terms))
+	for i, t := range c.Terms {
+		out[i] = t.Left
+	}
+	return out
+}
+
+// RightAttrs returns the inner-relation attributes the condition reads.
+func (c JoinCond) RightAttrs() []string {
+	out := make([]string, len(c.Terms))
+	for i, t := range c.Terms {
+		out[i] = t.Right
+	}
+	return out
+}
+
+// Bind resolves the condition against the outer and inner schemas,
+// returning an evaluator over pairs of encoded tuples.
+func (c JoinCond) Bind(left, right *relation.Schema) (*BoundJoin, error) {
+	if len(c.Terms) == 0 {
+		return nil, fmt.Errorf("pred: join condition has no terms")
+	}
+	b := &BoundJoin{left: left, right: right}
+	for _, t := range c.Terms {
+		li, err := left.Index(t.Left)
+		if err != nil {
+			return nil, fmt.Errorf("pred: join outer side: %w", err)
+		}
+		ri, err := right.Index(t.Right)
+		if err != nil {
+			return nil, fmt.Errorf("pred: join inner side: %w", err)
+		}
+		if relation.KindFor(left.Attr(li).Type) != relation.KindFor(right.Attr(ri).Type) {
+			return nil, fmt.Errorf("pred: join attributes %q and %q are not comparable", t.Left, t.Right)
+		}
+		b.terms = append(b.terms, boundJoinTerm{li: li, op: t.Op, ri: ri})
+	}
+	return b, nil
+}
+
+// BoundJoin is a join condition bound to an (outer, inner) schema pair.
+type BoundJoin struct {
+	left, right *relation.Schema
+	terms       []boundJoinTerm
+}
+
+type boundJoinTerm struct {
+	li, ri int
+	op     Op
+}
+
+// EvalPair reports whether the encoded outer/inner tuple pair satisfies
+// the condition.
+func (b *BoundJoin) EvalPair(leftRaw, rightRaw []byte) (bool, error) {
+	for _, t := range b.terms {
+		lv, err := relation.DecodeValue(b.left, leftRaw, t.li)
+		if err != nil {
+			return false, err
+		}
+		rv, err := relation.DecodeValue(b.right, rightRaw, t.ri)
+		if err != nil {
+			return false, err
+		}
+		cmp, err := lv.Compare(rv)
+		if err != nil {
+			return false, err
+		}
+		if !t.op.holds(cmp) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// FirstEqui returns the bound attribute indexes of the first EQ term, if
+// any. Sort-merge join uses it to pick its sort keys.
+func (b *BoundJoin) FirstEqui() (leftIdx, rightIdx int, ok bool) {
+	for _, t := range b.terms {
+		if t.op == EQ {
+			return t.li, t.ri, true
+		}
+	}
+	return 0, 0, false
+}

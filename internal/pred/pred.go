@@ -1,0 +1,361 @@
+// Package pred implements the predicate language used by restrict and
+// join operators: comparisons between attributes and constants, combined
+// with AND, OR, and NOT.
+//
+// Predicates are built as abstract trees referencing attributes by name,
+// then bound to a schema. A bound predicate evaluates directly against
+// the encoded bytes of a tuple, decoding only the attributes it actually
+// mentions — the access pattern of a restrict processor scanning a page.
+package pred
+
+import (
+	"fmt"
+	"strings"
+
+	"dfdbm/internal/relation"
+)
+
+// Op is a comparison operator.
+type Op uint8
+
+// Comparison operators.
+const (
+	EQ Op = iota + 1
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String returns the SQL-ish spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// ParseOp parses the spelling of a comparison operator.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "=", "==":
+		return EQ, nil
+	case "!=", "<>":
+		return NE, nil
+	case "<":
+		return LT, nil
+	case "<=":
+		return LE, nil
+	case ">":
+		return GT, nil
+	case ">=":
+		return GE, nil
+	}
+	return 0, fmt.Errorf("pred: unknown comparison operator %q", s)
+}
+
+// holds reports whether "cmp o 0" matches the operator: cmp is the
+// three-way comparison result of left versus right.
+func (o Op) holds(cmp int) bool {
+	switch o {
+	case EQ:
+		return cmp == 0
+	case NE:
+		return cmp != 0
+	case LT:
+		return cmp < 0
+	case LE:
+		return cmp <= 0
+	case GT:
+		return cmp > 0
+	case GE:
+		return cmp >= 0
+	}
+	return false
+}
+
+// Pred is a predicate tree node. Implementations are Compare,
+// CompareAttrs, And, Or, Not, and the constants TruePred/FalsePred.
+type Pred interface {
+	// String renders the predicate in the surface syntax accepted by
+	// the query parser.
+	String() string
+	// Attrs appends the names of all attributes the predicate reads.
+	Attrs(dst []string) []string
+	// Bind resolves attribute names against a schema, returning an
+	// evaluator over encoded tuples.
+	Bind(s *relation.Schema) (Bound, error)
+}
+
+// Bound is a predicate bound to a schema, evaluable against the raw
+// bytes of one encoded tuple.
+type Bound interface {
+	Eval(raw []byte) (bool, error)
+}
+
+// Compare compares an attribute against a constant.
+type Compare struct {
+	Attr  string
+	Op    Op
+	Const relation.Value
+}
+
+// String implements Pred.
+func (c Compare) String() string {
+	if c.Const.Kind == relation.KindString {
+		return fmt.Sprintf("%s %s %q", c.Attr, c.Op, c.Const.Str)
+	}
+	return fmt.Sprintf("%s %s %s", c.Attr, c.Op, c.Const)
+}
+
+// Attrs implements Pred.
+func (c Compare) Attrs(dst []string) []string { return append(dst, c.Attr) }
+
+// Bind implements Pred.
+func (c Compare) Bind(s *relation.Schema) (Bound, error) {
+	i, err := s.Index(c.Attr)
+	if err != nil {
+		return nil, err
+	}
+	if want := relation.KindFor(s.Attr(i).Type); want != c.Const.Kind {
+		return nil, fmt.Errorf("pred: attribute %q is %s but constant %s is not", c.Attr, s.Attr(i).Type, c.Const)
+	}
+	return boundCompare{schema: s, attr: i, op: c.Op, konst: c.Const}, nil
+}
+
+type boundCompare struct {
+	schema *relation.Schema
+	attr   int
+	op     Op
+	konst  relation.Value
+}
+
+func (b boundCompare) Eval(raw []byte) (bool, error) {
+	v, err := relation.DecodeValue(b.schema, raw, b.attr)
+	if err != nil {
+		return false, err
+	}
+	cmp, err := v.Compare(b.konst)
+	if err != nil {
+		return false, err
+	}
+	return b.op.holds(cmp), nil
+}
+
+// CompareAttrs compares two attributes of the same tuple.
+type CompareAttrs struct {
+	A  string
+	Op Op
+	B  string
+}
+
+// String implements Pred.
+func (c CompareAttrs) String() string { return fmt.Sprintf("%s %s %s", c.A, c.Op, c.B) }
+
+// Attrs implements Pred.
+func (c CompareAttrs) Attrs(dst []string) []string { return append(dst, c.A, c.B) }
+
+// Bind implements Pred.
+func (c CompareAttrs) Bind(s *relation.Schema) (Bound, error) {
+	i, err := s.Index(c.A)
+	if err != nil {
+		return nil, err
+	}
+	j, err := s.Index(c.B)
+	if err != nil {
+		return nil, err
+	}
+	if relation.KindFor(s.Attr(i).Type) != relation.KindFor(s.Attr(j).Type) {
+		return nil, fmt.Errorf("pred: attributes %q and %q are not comparable", c.A, c.B)
+	}
+	return boundCompareAttrs{schema: s, a: i, op: c.Op, b: j}, nil
+}
+
+type boundCompareAttrs struct {
+	schema *relation.Schema
+	a, b   int
+	op     Op
+}
+
+func (b boundCompareAttrs) Eval(raw []byte) (bool, error) {
+	va, err := relation.DecodeValue(b.schema, raw, b.a)
+	if err != nil {
+		return false, err
+	}
+	vb, err := relation.DecodeValue(b.schema, raw, b.b)
+	if err != nil {
+		return false, err
+	}
+	cmp, err := va.Compare(vb)
+	if err != nil {
+		return false, err
+	}
+	return b.op.holds(cmp), nil
+}
+
+// And is the conjunction of its children.
+type And struct{ Kids []Pred }
+
+// Conj builds an And from the given predicates.
+func Conj(kids ...Pred) And { return And{Kids: kids} }
+
+// String implements Pred.
+func (a And) String() string { return joinKids(a.Kids, " and ") }
+
+// Attrs implements Pred.
+func (a And) Attrs(dst []string) []string {
+	for _, k := range a.Kids {
+		dst = k.Attrs(dst)
+	}
+	return dst
+}
+
+// Bind implements Pred.
+func (a And) Bind(s *relation.Schema) (Bound, error) {
+	kids, err := bindAll(a.Kids, s)
+	if err != nil {
+		return nil, err
+	}
+	return boundAnd(kids), nil
+}
+
+type boundAnd []Bound
+
+func (b boundAnd) Eval(raw []byte) (bool, error) {
+	for _, k := range b {
+		ok, err := k.Eval(raw)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Or is the disjunction of its children.
+type Or struct{ Kids []Pred }
+
+// Disj builds an Or from the given predicates.
+func Disj(kids ...Pred) Or { return Or{Kids: kids} }
+
+// String implements Pred.
+func (o Or) String() string { return joinKids(o.Kids, " or ") }
+
+// Attrs implements Pred.
+func (o Or) Attrs(dst []string) []string {
+	for _, k := range o.Kids {
+		dst = k.Attrs(dst)
+	}
+	return dst
+}
+
+// Bind implements Pred.
+func (o Or) Bind(s *relation.Schema) (Bound, error) {
+	kids, err := bindAll(o.Kids, s)
+	if err != nil {
+		return nil, err
+	}
+	return boundOr(kids), nil
+}
+
+type boundOr []Bound
+
+func (b boundOr) Eval(raw []byte) (bool, error) {
+	for _, k := range b {
+		ok, err := k.Eval(raw)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Not negates its child.
+type Not struct{ Kid Pred }
+
+// String implements Pred.
+func (n Not) String() string { return "not (" + n.Kid.String() + ")" }
+
+// Attrs implements Pred.
+func (n Not) Attrs(dst []string) []string { return n.Kid.Attrs(dst) }
+
+// Bind implements Pred.
+func (n Not) Bind(s *relation.Schema) (Bound, error) {
+	kid, err := n.Kid.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	return boundNot{kid}, nil
+}
+
+type boundNot struct{ kid Bound }
+
+func (b boundNot) Eval(raw []byte) (bool, error) {
+	ok, err := b.kid.Eval(raw)
+	return !ok, err
+}
+
+// Const is a constant predicate; TruePred accepts every tuple.
+type Const bool
+
+// TruePred accepts every tuple; FalsePred rejects every tuple.
+const (
+	TruePred  Const = true
+	FalsePred Const = false
+)
+
+// String implements Pred.
+func (c Const) String() string {
+	if c {
+		return "true"
+	}
+	return "false"
+}
+
+// Attrs implements Pred.
+func (c Const) Attrs(dst []string) []string { return dst }
+
+// Bind implements Pred.
+func (c Const) Bind(*relation.Schema) (Bound, error) { return boundConst(c), nil }
+
+type boundConst bool
+
+func (b boundConst) Eval([]byte) (bool, error) { return bool(b), nil }
+
+func bindAll(kids []Pred, s *relation.Schema) ([]Bound, error) {
+	if len(kids) == 0 {
+		return nil, fmt.Errorf("pred: empty connective")
+	}
+	out := make([]Bound, len(kids))
+	for i, k := range kids {
+		b, err := k.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+func joinKids(kids []Pred, sep string) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		parts[i] = "(" + k.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}

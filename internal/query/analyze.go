@@ -1,0 +1,112 @@
+package query
+
+import "sort"
+
+// Footprint summarizes which database relations a query reads and
+// writes. The master controller uses footprints for concurrency
+// control: two queries may run simultaneously unless one writes a
+// relation the other reads or writes.
+type Footprint struct {
+	Reads  []string // sorted, distinct
+	Writes []string // sorted, distinct
+}
+
+// Analyze computes the footprint of a bound (or unbound) tree root.
+func Analyze(root *Node) Footprint {
+	reads := map[string]bool{}
+	writes := map[string]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		switch n.Kind {
+		case OpScan:
+			reads[n.Rel] = true
+		case OpAppend:
+			writes[n.Rel] = true
+		case OpDelete:
+			reads[n.Rel] = true
+			writes[n.Rel] = true
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(root)
+	return Footprint{Reads: sortedKeys(reads), Writes: sortedKeys(writes)}
+}
+
+// Conflicts reports whether two footprints cannot run concurrently:
+// either writes anything the other reads or writes.
+func (f Footprint) Conflicts(g Footprint) bool {
+	return intersects(f.Writes, g.Reads) ||
+		intersects(f.Writes, g.Writes) ||
+		intersects(g.Writes, f.Reads)
+}
+
+func intersects(a, b []string) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Shape counts the operators in a tree: the metric the paper uses to
+// describe its benchmark mix ("3 queries with 1 join and 2 restricts
+// each", ...).
+type Shape struct {
+	Scans, Restricts, Joins, Projects, Appends, Deletes int
+}
+
+// ShapeOf computes the operator counts of a tree root.
+func ShapeOf(root *Node) Shape {
+	var s Shape
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		switch n.Kind {
+		case OpScan:
+			s.Scans++
+		case OpRestrict:
+			s.Restricts++
+		case OpJoin:
+			s.Joins++
+		case OpProject:
+			s.Projects++
+		case OpAppend:
+			s.Appends++
+		case OpDelete:
+			s.Deletes++
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(root)
+	return s
+}
+
+// Depth returns the height of the tree (a single node has depth 1).
+func Depth(root *Node) int {
+	max := 0
+	for _, in := range root.Inputs {
+		if d := Depth(in); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}

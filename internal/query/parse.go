@@ -1,0 +1,491 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"dfdbm/internal/pred"
+	"dfdbm/internal/relation"
+)
+
+// Parse builds an (unbound) query tree from the textual query language:
+//
+//	query    := node
+//	node     := IDENT
+//	          | 'restrict' '(' node ',' predicate ')'
+//	          | 'join'     '(' node ',' node ',' joincond ')'
+//	          | 'project'  '(' node ',' '[' IDENT {',' IDENT} ']' ')'
+//	          | 'append'   '(' IDENT ',' node ')'
+//	          | 'delete'   '(' IDENT ',' predicate ')'
+//	predicate:= conj {'or' conj}
+//	conj     := unary {'and' unary}
+//	unary    := 'not' unary | '(' predicate ')' | cmp | 'true' | 'false'
+//	cmp      := IDENT OP (NUMBER | STRING | IDENT)
+//	joincond := jterm {'and' jterm}
+//	jterm    := IDENT OP IDENT
+//	OP       := '=' '==' '!=' '<>' '<' '<=' '>' '>='
+//
+// A bare IDENT node scans the catalog relation of that name. Example:
+//
+//	project(join(restrict(orders, qty > 10), parts, pid = id), [pid, name])
+func Parse(src string) (*Node, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	n, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input at %q", p.tok.text)
+	}
+	return n, nil
+}
+
+// MustParse is Parse but panics on error; for statically known queries
+// in tests and examples.
+func MustParse(src string) *Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp     // comparison operator
+	tokLParen // (
+	tokRParen // )
+	tokLBrack // [
+	tokRBrack // ]
+	tokComma  // ,
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) lex() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "("}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")"}, nil
+	case c == '[':
+		l.pos++
+		return token{tokLBrack, "["}, nil
+	case c == ']':
+		l.pos++
+		return token{tokRBrack, "]"}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ","}, nil
+	case c == '"':
+		end := l.pos + 1
+		for end < len(l.src) && l.src[end] != '"' {
+			end++
+		}
+		if end >= len(l.src) {
+			return token{}, fmt.Errorf("query: unterminated string at %d", l.pos)
+		}
+		s := l.src[l.pos+1 : end]
+		l.pos = end + 1
+		return token{tokString, s}, nil
+	case strings.ContainsRune("=!<>", rune(c)):
+		start := l.pos
+		l.pos++
+		for l.pos < len(l.src) && strings.ContainsRune("=<>", rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{tokOp, l.src[start:l.pos]}, nil
+	case c == '-' || c == '+' || unicode.IsDigit(rune(c)):
+		start := l.pos
+		l.pos++
+		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.' || l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			l.pos++
+		}
+		return token{tokNumber, l.src[start:l.pos]}, nil
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.pos
+		for l.pos < len(l.src) {
+			r := rune(l.src[l.pos])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' && r != '.' {
+				break
+			}
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos]}, nil
+	default:
+		return token{}, fmt.Errorf("query: unexpected character %q at %d", c, l.pos)
+	}
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) next() error {
+	t, err := p.lex.lex()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, fmt.Errorf("query: expected %s, found %q", what, p.tok.text)
+	}
+	t := p.tok
+	if err := p.next(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) parseNode() (*Node, error) {
+	if p.tok.kind != tokIdent {
+		return nil, fmt.Errorf("query: expected operator or relation name, found %q", p.tok.text)
+	}
+	name := p.tok.text
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "restrict":
+		return p.parseRestrict()
+	case "join":
+		return p.parseJoin()
+	case "project":
+		return p.parseProject()
+	case "append":
+		return p.parseAppend()
+	case "delete":
+		return p.parseDelete()
+	default:
+		return Scan(name), nil
+	}
+}
+
+func (p *parser) parseRestrict() (*Node, error) {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	in, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, ","); err != nil {
+		return nil, err
+	}
+	pr, err := p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return Restrict(in, pr), nil
+}
+
+func (p *parser) parseJoin() (*Node, error) {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	outer, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, ","); err != nil {
+		return nil, err
+	}
+	inner, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, ","); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseJoinCond()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return Join(outer, inner, cond), nil
+}
+
+func (p *parser) parseProject() (*Node, error) {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	in, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, ","); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrack, "["); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		t, err := p.expect(tokIdent, "attribute name")
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, t.text)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokRBrack, "]"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return Project(in, cols...), nil
+}
+
+func (p *parser) parseAppend() (*Node, error) {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	dst, err := p.expect(tokIdent, "destination relation")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, ","); err != nil {
+		return nil, err
+	}
+	in, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return Append(dst.text, in), nil
+}
+
+func (p *parser) parseDelete() (*Node, error) {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	rel, err := p.expect(tokIdent, "target relation")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, ","); err != nil {
+		return nil, err
+	}
+	pr, err := p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return Delete(rel.text, pr), nil
+}
+
+func (p *parser) parsePredicate() (pred.Pred, error) {
+	left, err := p.parseConj()
+	if err != nil {
+		return nil, err
+	}
+	kids := []pred.Pred{left}
+	for p.tok.kind == tokIdent && p.tok.text == "or" {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseConj()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return pred.Disj(kids...), nil
+}
+
+func (p *parser) parseConj() (pred.Pred, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []pred.Pred{left}
+	for p.tok.kind == tokIdent && p.tok.text == "and" {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return pred.Conj(kids...), nil
+}
+
+func (p *parser) parseUnary() (pred.Pred, error) {
+	switch {
+	case p.tok.kind == tokIdent && p.tok.text == "not":
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		kid, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return pred.Not{Kid: kid}, nil
+	case p.tok.kind == tokIdent && p.tok.text == "true":
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return pred.TruePred, nil
+	case p.tok.kind == tokIdent && p.tok.text == "false":
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return pred.FalsePred, nil
+	case p.tok.kind == tokLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return p.parseCmp()
+	}
+}
+
+func (p *parser) parseCmp() (pred.Pred, error) {
+	attr, err := p.expect(tokIdent, "attribute name")
+	if err != nil {
+		return nil, err
+	}
+	opTok, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	op, err := pred.ParseOp(opTok.text)
+	if err != nil {
+		return nil, err
+	}
+	switch p.tok.kind {
+	case tokNumber:
+		v, err := parseNumber(p.tok.text)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return pred.Compare{Attr: attr.text, Op: op, Const: v}, nil
+	case tokString:
+		s := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return pred.Compare{Attr: attr.text, Op: op, Const: relation.StringVal(s)}, nil
+	case tokIdent:
+		other := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return pred.CompareAttrs{A: attr.text, Op: op, B: other}, nil
+	default:
+		return nil, fmt.Errorf("query: expected constant or attribute after %q %s", attr.text, op)
+	}
+}
+
+func (p *parser) parseJoinCond() (pred.JoinCond, error) {
+	var cond pred.JoinCond
+	for {
+		left, err := p.expect(tokIdent, "outer attribute")
+		if err != nil {
+			return cond, err
+		}
+		opTok, err := p.expect(tokOp, "comparison operator")
+		if err != nil {
+			return cond, err
+		}
+		op, err := pred.ParseOp(opTok.text)
+		if err != nil {
+			return cond, err
+		}
+		right, err := p.expect(tokIdent, "inner attribute")
+		if err != nil {
+			return cond, err
+		}
+		cond.Terms = append(cond.Terms, pred.JoinTerm{Left: left.text, Op: op, Right: right.text})
+		if p.tok.kind == tokIdent && p.tok.text == "and" {
+			if err := p.next(); err != nil {
+				return cond, err
+			}
+			continue
+		}
+		return cond, nil
+	}
+}
+
+func parseNumber(s string) (relation.Value, error) {
+	if !strings.ContainsAny(s, ".eE") {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return relation.Value{}, fmt.Errorf("query: bad integer %q: %w", s, err)
+		}
+		return relation.IntVal(n), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return relation.Value{}, fmt.Errorf("query: bad number %q: %w", s, err)
+	}
+	return relation.FloatVal(f), nil
+}

@@ -1,0 +1,160 @@
+package query
+
+import (
+	"testing"
+
+	"dfdbm/internal/pred"
+	"dfdbm/internal/relation"
+)
+
+func TestParseScan(t *testing.T) {
+	n, err := Parse("orders")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if n.Kind != OpScan || n.Rel != "orders" {
+		t.Errorf("got %+v", n)
+	}
+}
+
+func TestParseRestrict(t *testing.T) {
+	n, err := Parse(`restrict(orders, qty > 10 and pid != 3)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if n.Kind != OpRestrict || n.Inputs[0].Rel != "orders" {
+		t.Fatalf("got %+v", n)
+	}
+	conj, ok := n.Pred.(pred.And)
+	if !ok || len(conj.Kids) != 2 {
+		t.Fatalf("predicate = %v", n.Pred)
+	}
+	c0 := conj.Kids[0].(pred.Compare)
+	if c0.Attr != "qty" || c0.Op != pred.GT || c0.Const.Int != 10 {
+		t.Errorf("first term = %+v", c0)
+	}
+}
+
+func TestParsePredicateForms(t *testing.T) {
+	cases := []string{
+		`restrict(r, a = 1)`,
+		`restrict(r, a == 1)`,
+		`restrict(r, a != 1 or b <> 2)`,
+		`restrict(r, a < 1 and a <= 2 and a > 3 and a >= 4)`,
+		`restrict(r, not (a = 1))`,
+		`restrict(r, not a = 1)`,
+		`restrict(r, (a = 1 or b = 2) and c = 3)`,
+		`restrict(r, name = "widget")`,
+		`restrict(r, price > 1.5)`,
+		`restrict(r, price > -2)`,
+		`restrict(r, a = b)`,
+		`restrict(r, true)`,
+		`restrict(r, false)`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	n, err := Parse(`join(a, b, x = y and u < v)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if n.Kind != OpJoin || len(n.Join.Terms) != 2 {
+		t.Fatalf("got %+v", n)
+	}
+	if n.Join.Terms[0] != (pred.JoinTerm{Left: "x", Op: pred.EQ, Right: "y"}) {
+		t.Errorf("term 0 = %+v", n.Join.Terms[0])
+	}
+	if n.Join.Terms[1] != (pred.JoinTerm{Left: "u", Op: pred.LT, Right: "v"}) {
+		t.Errorf("term 1 = %+v", n.Join.Terms[1])
+	}
+}
+
+func TestParseProject(t *testing.T) {
+	n, err := Parse(`project(orders, [oid, qty])`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if n.Kind != OpProject || len(n.Cols) != 2 || n.Cols[0] != "oid" || n.Cols[1] != "qty" {
+		t.Errorf("got %+v", n)
+	}
+}
+
+func TestParseAppendDelete(t *testing.T) {
+	n, err := Parse(`append(archive, restrict(orders, qty = 0))`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if n.Kind != OpAppend || n.Rel != "archive" || n.Inputs[0].Kind != OpRestrict {
+		t.Errorf("got %+v", n)
+	}
+	d, err := Parse(`delete(orders, qty = 0)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.Kind != OpDelete || d.Rel != "orders" {
+		t.Errorf("got %+v", d)
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	src := `project(join(restrict(orders, qty > 2), join(parts, suppliers, sid = sid), pid = pid), [oid])`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if ShapeOf(n).Joins != 2 || ShapeOf(n).Scans != 3 {
+		t.Errorf("shape = %+v", ShapeOf(n))
+	}
+}
+
+func TestParseFloatAndString(t *testing.T) {
+	n := MustParse(`restrict(r, w >= 2.5e1 and tag = "hi there")`)
+	conj := n.Pred.(pred.And)
+	if c := conj.Kids[0].(pred.Compare); c.Const.Kind != relation.KindFloat || c.Const.Flt != 25 {
+		t.Errorf("float constant = %+v", c.Const)
+	}
+	if c := conj.Kids[1].(pred.Compare); c.Const.Str != "hi there" {
+		t.Errorf("string constant = %+v", c.Const)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`restrict(`,
+		`restrict(r)`,
+		`restrict(r, )`,
+		`restrict(r, a >)`,
+		`restrict(r, a ~ 1)`,
+		`restrict(r, a = "unterminated)`,
+		`join(a, b)`,
+		`join(a, b, x = 1)`, // join term must compare attributes
+		`project(r, [])`,
+		`project(r, [a)`,
+		`append(archive)`,
+		`delete(r)`,
+		`orders extra`,
+		`restrict(r, a = 1) trailing`,
+		`restrict(r, a = 99999999999999999999)`,
+		`(r)`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse of bad input did not panic")
+		}
+	}()
+	MustParse(`restrict(`)
+}

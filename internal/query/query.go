@@ -1,0 +1,275 @@
+// Package query implements relational-algebra query trees: the programs
+// of the data-flow database machine. A tree is built with the builder
+// functions (Scan, Restrict, Join, ...) or parsed from the textual
+// language (Parse), then bound against a catalog, which computes the
+// schema of every node and checks every predicate. Bound trees can be
+// executed by the serial reference executor here, by the concurrent
+// data-flow engine (internal/core), or by the machine simulators.
+package query
+
+import (
+	"fmt"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/pred"
+	"dfdbm/internal/relation"
+)
+
+// OpKind identifies the operation a query-tree node performs.
+type OpKind uint8
+
+// Node kinds. Scan is the leaf kind referencing a database relation; the
+// others correspond to the paper's instruction set (restrict, join,
+// project, append, delete).
+const (
+	OpScan OpKind = iota + 1
+	OpRestrict
+	OpJoin
+	OpProject
+	OpAppend
+	OpDelete
+)
+
+// String returns the lower-case operator name.
+func (k OpKind) String() string {
+	switch k {
+	case OpScan:
+		return "scan"
+	case OpRestrict:
+		return "restrict"
+	case OpJoin:
+		return "join"
+	case OpProject:
+		return "project"
+	case OpAppend:
+		return "append"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Node is one instruction of a query tree. Fields are used according to
+// Kind; unused fields are zero.
+type Node struct {
+	// ID is the node's index in post order, assigned by Bind. Before
+	// binding it is zero.
+	ID   int
+	Kind OpKind
+	// Rel names the catalog relation for Scan, the destination relation
+	// for Append, and the target relation for Delete.
+	Rel string
+	// Pred is the predicate of Restrict and Delete nodes.
+	Pred pred.Pred
+	// Join is the join condition of Join nodes; input 0 is the outer
+	// relation and input 1 the inner.
+	Join pred.JoinCond
+	// Cols lists the attributes kept by Project nodes.
+	Cols []string
+	// Inputs are the child nodes (operands).
+	Inputs []*Node
+
+	schema *relation.Schema
+}
+
+// Schema returns the output schema of the node. Valid only after Bind.
+func (n *Node) Schema() *relation.Schema { return n.schema }
+
+// Label names the node's output: the relation name for scans, otherwise
+// a temporary name derived from the node ID. Labels are used to prefix
+// colliding attribute names in join results, so every engine must use
+// the schemas computed by Bind rather than recomputing them.
+func (n *Node) Label() string {
+	if n.Kind == OpScan {
+		return n.Rel
+	}
+	return fmt.Sprintf("t%d", n.ID)
+}
+
+// Scan returns a leaf node reading the named catalog relation.
+func Scan(rel string) *Node { return &Node{Kind: OpScan, Rel: rel} }
+
+// Restrict returns a node filtering its input by p.
+func Restrict(in *Node, p pred.Pred) *Node {
+	return &Node{Kind: OpRestrict, Pred: p, Inputs: []*Node{in}}
+}
+
+// Join returns a node joining outer with inner under cond using the
+// nested-loops algorithm.
+func Join(outer, inner *Node, cond pred.JoinCond) *Node {
+	return &Node{Kind: OpJoin, Join: cond, Inputs: []*Node{outer, inner}}
+}
+
+// Project returns a node projecting its input onto cols and eliminating
+// duplicates.
+func Project(in *Node, cols ...string) *Node {
+	return &Node{Kind: OpProject, Cols: cols, Inputs: []*Node{in}}
+}
+
+// Append returns a root node appending its input's tuples to the named
+// catalog relation.
+func Append(dst string, in *Node) *Node {
+	return &Node{Kind: OpAppend, Rel: dst, Inputs: []*Node{in}}
+}
+
+// Delete returns a root node removing tuples satisfying p from the named
+// catalog relation.
+func Delete(rel string, p pred.Pred) *Node {
+	return &Node{Kind: OpDelete, Rel: rel, Pred: p}
+}
+
+// Tree is a bound query tree: a root node whose every descendant has an
+// ID, a schema, and validated predicates.
+type Tree struct {
+	root  *Node
+	nodes []*Node // post order; nodes[i].ID == i
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Nodes returns all nodes in post order (children before parents), so
+// iterating in order satisfies data dependencies.
+func (t *Tree) Nodes() []*Node { return t.nodes }
+
+// Node returns the node with the given ID.
+func (t *Tree) Node(id int) *Node { return t.nodes[id] }
+
+// NumNodes returns the number of nodes in the tree.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Bind validates a query tree against a catalog: it checks arity,
+// resolves every relation name, computes every node's output schema,
+// binds every predicate, and assigns post-order IDs. Append and Delete
+// may appear only at the root (they are effects, not streams).
+func Bind(root *Node, cat *catalog.Catalog) (*Tree, error) {
+	if root == nil {
+		return nil, fmt.Errorf("query: nil root")
+	}
+	t := &Tree{root: root}
+	if err := t.bind(root, cat, true); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Tree) bind(n *Node, cat *catalog.Catalog, isRoot bool) error {
+	for _, in := range n.Inputs {
+		if err := t.bind(in, cat, false); err != nil {
+			return err
+		}
+	}
+	n.ID = len(t.nodes)
+	t.nodes = append(t.nodes, n)
+
+	arity := map[OpKind]int{
+		OpScan: 0, OpRestrict: 1, OpJoin: 2, OpProject: 1, OpAppend: 1, OpDelete: 0,
+	}
+	want, known := arity[n.Kind]
+	if !known {
+		return fmt.Errorf("query: node %d has unknown kind %v", n.ID, n.Kind)
+	}
+	if len(n.Inputs) != want {
+		return fmt.Errorf("query: %s node %d has %d inputs, needs %d", n.Kind, n.ID, len(n.Inputs), want)
+	}
+	if (n.Kind == OpAppend || n.Kind == OpDelete) && !isRoot {
+		return fmt.Errorf("query: %s node %d must be the root of the tree", n.Kind, n.ID)
+	}
+
+	switch n.Kind {
+	case OpScan:
+		r, err := cat.Get(n.Rel)
+		if err != nil {
+			return err
+		}
+		n.schema = r.Schema()
+
+	case OpRestrict:
+		in := n.Inputs[0]
+		if n.Pred == nil {
+			return fmt.Errorf("query: restrict node %d has no predicate", n.ID)
+		}
+		if _, err := n.Pred.Bind(in.schema); err != nil {
+			return fmt.Errorf("query: restrict node %d: %w", n.ID, err)
+		}
+		n.schema = in.schema
+
+	case OpJoin:
+		outer, inner := n.Inputs[0], n.Inputs[1]
+		if _, err := n.Join.Bind(outer.schema, inner.schema); err != nil {
+			return fmt.Errorf("query: join node %d: %w", n.ID, err)
+		}
+		s, err := outer.schema.Concat(inner.schema, inner.Label())
+		if err != nil {
+			return fmt.Errorf("query: join node %d: %w", n.ID, err)
+		}
+		n.schema = s
+
+	case OpProject:
+		in := n.Inputs[0]
+		if len(n.Cols) == 0 {
+			return fmt.Errorf("query: project node %d keeps no attributes", n.ID)
+		}
+		s, err := in.schema.Project(n.Cols...)
+		if err != nil {
+			return fmt.Errorf("query: project node %d: %w", n.ID, err)
+		}
+		n.schema = s
+
+	case OpAppend:
+		dst, err := cat.Get(n.Rel)
+		if err != nil {
+			return err
+		}
+		in := n.Inputs[0]
+		if dst.Schema().TupleLen() != in.schema.TupleLen() {
+			return fmt.Errorf("query: append node %d: input layout %s does not match %q %s",
+				n.ID, in.schema, n.Rel, dst.Schema())
+		}
+		n.schema = dst.Schema()
+
+	case OpDelete:
+		r, err := cat.Get(n.Rel)
+		if err != nil {
+			return err
+		}
+		if n.Pred == nil {
+			return fmt.Errorf("query: delete node %d has no predicate", n.ID)
+		}
+		if _, err := n.Pred.Bind(r.Schema()); err != nil {
+			return fmt.Errorf("query: delete node %d: %w", n.ID, err)
+		}
+		n.schema = r.Schema()
+	}
+	return nil
+}
+
+// String renders the tree in the surface syntax accepted by Parse.
+func (t *Tree) String() string { return nodeString(t.root) }
+
+func nodeString(n *Node) string {
+	switch n.Kind {
+	case OpScan:
+		return n.Rel
+	case OpRestrict:
+		return fmt.Sprintf("restrict(%s, %s)", nodeString(n.Inputs[0]), n.Pred)
+	case OpJoin:
+		return fmt.Sprintf("join(%s, %s, %s)", nodeString(n.Inputs[0]), nodeString(n.Inputs[1]), n.Join)
+	case OpProject:
+		cols := ""
+		for i, c := range n.Cols {
+			if i > 0 {
+				cols += ", "
+			}
+			cols += c
+		}
+		return fmt.Sprintf("project(%s, [%s])", nodeString(n.Inputs[0]), cols)
+	case OpAppend:
+		return fmt.Sprintf("append(%s, %s)", n.Rel, nodeString(n.Inputs[0]))
+	case OpDelete:
+		return fmt.Sprintf("delete(%s, %s)", n.Rel, n.Pred)
+	default:
+		return "?"
+	}
+}

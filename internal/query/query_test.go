@@ -1,0 +1,220 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/pred"
+	"dfdbm/internal/relation"
+)
+
+// testCatalog builds a small catalog:
+//
+//	parts(pid, weight, pname)   12 tuples
+//	orders(oid, pid, qty)       30 tuples
+//	archive(oid, pid, qty)      empty, same layout as orders
+func testCatalog(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+
+	parts := relation.MustNew("parts", relation.MustSchema(
+		relation.Attr{Name: "pid", Type: relation.Int32},
+		relation.Attr{Name: "weight", Type: relation.Int32},
+		relation.Attr{Name: "pname", Type: relation.String, Width: 8},
+	), 256)
+	for i := 0; i < 12; i++ {
+		if err := parts.Insert(relation.Tuple{
+			relation.IntVal(int64(i)),
+			relation.IntVal(int64(i * 10)),
+			relation.StringVal("p"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat.Put(parts)
+
+	orders := relation.MustNew("orders", relation.MustSchema(
+		relation.Attr{Name: "oid", Type: relation.Int32},
+		relation.Attr{Name: "pid", Type: relation.Int32},
+		relation.Attr{Name: "qty", Type: relation.Int32},
+	), 256)
+	for i := 0; i < 30; i++ {
+		if err := orders.Insert(relation.Tuple{
+			relation.IntVal(int64(1000 + i)),
+			relation.IntVal(int64(i % 12)),
+			relation.IntVal(int64(i % 5)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat.Put(orders)
+
+	archive := relation.MustNew("archive", orders.Schema(), 256)
+	cat.Put(archive)
+	return cat
+}
+
+func TestBindAssignsPostorderIDs(t *testing.T) {
+	cat := testCatalog(t)
+	root := Join(
+		Restrict(Scan("orders"), pred.Compare{Attr: "qty", Op: pred.GT, Const: relation.IntVal(2)}),
+		Scan("parts"),
+		pred.Equi("pid", "pid"),
+	)
+	tr, err := Bind(root, cat)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if tr.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", tr.NumNodes())
+	}
+	for i, n := range tr.Nodes() {
+		if n.ID != i {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+		for _, in := range n.Inputs {
+			if in.ID >= n.ID {
+				t.Errorf("child %d not before parent %d", in.ID, n.ID)
+			}
+		}
+	}
+	if tr.Root() != root || tr.Node(root.ID) != root {
+		t.Error("root bookkeeping wrong")
+	}
+}
+
+func TestBindComputesSchemas(t *testing.T) {
+	cat := testCatalog(t)
+	root := Project(
+		Join(Scan("orders"), Scan("parts"), pred.Equi("pid", "pid")),
+		"oid", "pname",
+	)
+	if _, err := Bind(root, cat); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	join := root.Inputs[0]
+	// orders ⋈ parts: oid, pid, qty, parts.pid (collision), weight, pname.
+	if join.Schema().NumAttrs() != 6 {
+		t.Errorf("join schema %s, want 6 attrs", join.Schema())
+	}
+	if !join.Schema().HasAttr("parts.pid") {
+		t.Errorf("collision not prefixed with inner label: %s", join.Schema())
+	}
+	if root.Schema().NumAttrs() != 2 || !root.Schema().HasAttr("pname") {
+		t.Errorf("project schema %s", root.Schema())
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []struct {
+		name string
+		root *Node
+	}{
+		{"nil root", nil},
+		{"missing relation", Scan("nope")},
+		{"restrict bad attr", Restrict(Scan("parts"), pred.Compare{Attr: "zz", Op: pred.EQ, Const: relation.IntVal(1)})},
+		{"restrict nil pred", &Node{Kind: OpRestrict, Inputs: []*Node{Scan("parts")}}},
+		{"join bad attr", Join(Scan("parts"), Scan("orders"), pred.Equi("zz", "pid"))},
+		{"project missing col", Project(Scan("parts"), "zz")},
+		{"project no cols", &Node{Kind: OpProject, Inputs: []*Node{Scan("parts")}}},
+		{"append layout mismatch", Append("parts", Scan("orders"))},
+		{"append missing dst", Append("nope", Scan("orders"))},
+		{"delete missing rel", Delete("nope", pred.TruePred)},
+		{"delete nil pred", &Node{Kind: OpDelete, Rel: "parts"}},
+		{"append not at root", Restrict(Append("archive", Scan("orders")), pred.TruePred)},
+		{"bad arity", &Node{Kind: OpJoin, Inputs: []*Node{Scan("parts")}}},
+		{"unknown kind", &Node{Kind: OpKind(77)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Bind(c.root, cat); err == nil {
+				t.Error("Bind succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestAnalyzeFootprint(t *testing.T) {
+	root := Append("archive",
+		Join(Scan("orders"), Scan("parts"), pred.Equi("pid", "pid")))
+	// Note: layout mismatch makes this unbindable, but Analyze works on
+	// unbound trees.
+	fp := Analyze(root)
+	if strings.Join(fp.Reads, ",") != "orders,parts" {
+		t.Errorf("Reads = %v", fp.Reads)
+	}
+	if strings.Join(fp.Writes, ",") != "archive" {
+		t.Errorf("Writes = %v", fp.Writes)
+	}
+	del := Analyze(Delete("orders", pred.TruePred))
+	if strings.Join(del.Reads, ",") != "orders" || strings.Join(del.Writes, ",") != "orders" {
+		t.Errorf("Delete footprint = %+v", del)
+	}
+}
+
+func TestFootprintConflicts(t *testing.T) {
+	readOnly := Analyze(Scan("orders"))
+	readOnly2 := Analyze(Scan("orders"))
+	writer := Analyze(Delete("orders", pred.TruePred))
+	otherWriter := Analyze(Delete("parts", pred.TruePred))
+	if readOnly.Conflicts(readOnly2) {
+		t.Error("two readers conflict")
+	}
+	if !readOnly.Conflicts(writer) || !writer.Conflicts(readOnly) {
+		t.Error("reader/writer should conflict")
+	}
+	if !writer.Conflicts(writer) {
+		t.Error("writer/writer should conflict")
+	}
+	if writer.Conflicts(otherWriter) {
+		t.Error("writers of different relations conflict")
+	}
+}
+
+func TestShapeAndDepth(t *testing.T) {
+	root := Join(
+		Restrict(Scan("a"), pred.TruePred),
+		Join(Restrict(Scan("b"), pred.TruePred), Restrict(Scan("c"), pred.TruePred), pred.Equi("x", "y")),
+		pred.Equi("x", "y"),
+	)
+	s := ShapeOf(root)
+	if s.Scans != 3 || s.Restricts != 3 || s.Joins != 2 {
+		t.Errorf("Shape = %+v", s)
+	}
+	if d := Depth(root); d != 4 {
+		t.Errorf("Depth = %d, want 4", d)
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	cat := testCatalog(t)
+	src := `project(join(restrict(orders, qty > 2), parts, pid = pid), [oid, pname])`
+	root := MustParse(src)
+	tr, err := Bind(root, cat)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	// Round trip: rendering must reparse to an equivalent tree.
+	again, err := Parse(tr.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", tr.String(), err)
+	}
+	if _, err := Bind(again, cat); err != nil {
+		t.Errorf("rebind of rendered tree: %v", err)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	want := map[OpKind]string{
+		OpScan: "scan", OpRestrict: "restrict", OpJoin: "join",
+		OpProject: "project", OpAppend: "append", OpDelete: "delete",
+		OpKind(99): "op(99)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v.String() = %q, want %q", uint8(k), k.String(), s)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws a query tree as ASCII art in the style of the paper's
+// Figure 2.1 — operators above their operands, leaves at the bottom:
+//
+//	project [oid, pname]
+//	└─ join on pid = pid
+//	   ├─ restrict qty > 10
+//	   │  └─ orders
+//	   └─ parts
+//
+// Bound trees annotate each node with its node ID and output schema
+// size; unbound trees render structure only.
+func Render(root *Node) string {
+	var b strings.Builder
+	renderNode(&b, root, "", "")
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(describe(n))
+	b.WriteByte('\n')
+	for i, in := range n.Inputs {
+		last := i == len(n.Inputs)-1
+		connector, next := "├─ ", "│  "
+		if last {
+			connector, next = "└─ ", "   "
+		}
+		renderNode(b, in, childPrefix+connector, childPrefix+next)
+	}
+}
+
+func describe(n *Node) string {
+	var s string
+	switch n.Kind {
+	case OpScan:
+		s = n.Rel
+	case OpRestrict:
+		s = fmt.Sprintf("restrict %s", n.Pred)
+	case OpJoin:
+		s = fmt.Sprintf("join on %s", n.Join)
+	case OpProject:
+		s = fmt.Sprintf("project [%s]", strings.Join(n.Cols, ", "))
+	case OpAppend:
+		s = fmt.Sprintf("append into %s", n.Rel)
+	case OpDelete:
+		s = fmt.Sprintf("delete from %s where %s", n.Rel, n.Pred)
+	default:
+		s = n.Kind.String()
+	}
+	if n.Schema() != nil {
+		s += fmt.Sprintf("   (node %d, %d-byte tuples)", n.ID, n.Schema().TupleLen())
+	}
+	return s
+}
+
+// RenderTree draws a bound tree.
+func RenderTree(t *Tree) string { return Render(t.Root()) }

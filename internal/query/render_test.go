@@ -1,0 +1,50 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderUnboundTree(t *testing.T) {
+	n := MustParse(`project(join(restrict(orders, qty > 10), parts, pid = pid), [oid, pname])`)
+	out := Render(n)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	for i, want := range []string{"project [oid, pname]", "join on pid = pid", "restrict qty > 10", "orders", "parts"} {
+		if !strings.Contains(lines[i], want) {
+			t.Errorf("line %d = %q, want to contain %q", i, lines[i], want)
+		}
+	}
+	// Tree connectors present.
+	if !strings.Contains(out, "└─") || !strings.Contains(out, "├─") {
+		t.Errorf("missing connectors:\n%s", out)
+	}
+}
+
+func TestRenderBoundTreeShowsIDs(t *testing.T) {
+	cat := testCatalog(t)
+	tr, err := Bind(MustParse(`restrict(orders, qty > 2)`), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTree(tr)
+	if !strings.Contains(out, "node 1") || !strings.Contains(out, "node 0") {
+		t.Errorf("bound render missing node ids:\n%s", out)
+	}
+	if !strings.Contains(out, "12-byte tuples") {
+		t.Errorf("bound render missing tuple widths:\n%s", out)
+	}
+}
+
+func TestRenderEffects(t *testing.T) {
+	out := Render(MustParse(`append(archive, restrict(orders, qty = 0))`))
+	if !strings.Contains(out, "append into archive") {
+		t.Errorf("append render:\n%s", out)
+	}
+	out = Render(MustParse(`delete(orders, qty = 0)`))
+	if !strings.Contains(out, "delete from orders where qty = 0") {
+		t.Errorf("delete render:\n%s", out)
+	}
+}

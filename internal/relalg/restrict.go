@@ -1,0 +1,115 @@
+// Package relalg implements the relational-algebra operator kernels that
+// the machine's instruction processors execute: restrict, nested-loops
+// join, sort-merge join (the uniprocessor baseline of Blasgen and
+// Eswaran), project with duplicate elimination, append, and delete.
+//
+// Each operator exists in two forms: a page-at-a-time kernel (what one
+// IP does to the data pages in one instruction packet) and a whole-
+// relation helper used as the serial reference implementation in tests.
+package relalg
+
+import (
+	"fmt"
+
+	"dfdbm/internal/pred"
+	"dfdbm/internal/relation"
+)
+
+// EmitFunc receives the encoded bytes of one result tuple. The slice may
+// alias internal buffers: implementations must copy if they retain it.
+// (relation.Page.AppendRaw and Paginator.Add copy.)
+type EmitFunc func(raw []byte) error
+
+// RestrictPage applies a bound predicate to every tuple of a page,
+// emitting those that satisfy it. It returns the number of tuples
+// emitted. This is the kernel an IP runs for a restrict instruction
+// packet.
+func RestrictPage(p *relation.Page, b pred.Bound, emit EmitFunc) (int, error) {
+	n := p.TupleCount()
+	kept := 0
+	for i := 0; i < n; i++ {
+		raw := p.RawTuple(i)
+		ok, err := b.Eval(raw)
+		if err != nil {
+			return kept, err
+		}
+		if !ok {
+			continue
+		}
+		if err := emit(raw); err != nil {
+			return kept, err
+		}
+		kept++
+	}
+	return kept, nil
+}
+
+// Restrict applies a predicate to a whole relation, returning the
+// restricted relation under the given name. This is the serial reference
+// implementation.
+func Restrict(r *relation.Relation, p pred.Pred, name string) (*relation.Relation, error) {
+	b, err := p.Bind(r.Schema())
+	if err != nil {
+		return nil, err
+	}
+	out, err := relation.New(name, r.Schema(), r.PageSize())
+	if err != nil {
+		return nil, err
+	}
+	for _, page := range r.Pages() {
+		if _, err := RestrictPage(page, b, out.InsertRaw); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Count returns the number of tuples of r satisfying p. It exists so
+// callers can size selectivities without materializing results.
+func Count(r *relation.Relation, p pred.Pred) (int, error) {
+	b, err := p.Bind(r.Schema())
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, page := range r.Pages() {
+		n, err := RestrictPage(page, b, func([]byte) error { return nil })
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Append adds every tuple of src to dst. The schemas must have identical
+// byte layout. It returns the number of tuples appended.
+func Append(dst, src *relation.Relation) (int, error) {
+	if dst.Schema().TupleLen() != src.Schema().TupleLen() {
+		return 0, fmt.Errorf("relalg: append of %s into %s: tuple layouts differ", src.Name(), dst.Name())
+	}
+	n := 0
+	var failed error
+	src.EachRaw(func(raw []byte) bool {
+		if err := dst.InsertRaw(raw); err != nil {
+			failed = err
+			return false
+		}
+		n++
+		return true
+	})
+	return n, failed
+}
+
+// Delete removes every tuple of r satisfying p, compacting the relation
+// afterwards, and returns the number of tuples removed.
+func Delete(r *relation.Relation, p pred.Pred) (int, error) {
+	keep, err := Restrict(r, pred.Not{Kid: p}, r.Name())
+	if err != nil {
+		return 0, err
+	}
+	removed := r.Cardinality() - keep.Cardinality()
+	*r = *keep
+	r.Compact()
+	return removed, nil
+}

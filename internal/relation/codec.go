@@ -1,0 +1,97 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The tuple codec writes fixed-width values little-endian:
+//
+//	Int32   4 bytes (two's complement)
+//	Int64   8 bytes
+//	Float64 8 bytes (IEEE 754 bits)
+//	String  Width bytes, NUL padded
+//
+// A fixed-width encoding keeps every tuple of a schema the same length,
+// matching the paper's arithmetic, and makes pages trivially seekable.
+
+// EncodeTuple appends the encoding of t (under schema s) to dst and
+// returns the extended slice. The tuple must match the schema exactly.
+func EncodeTuple(dst []byte, s *Schema, t Tuple) ([]byte, error) {
+	if len(t) != s.NumAttrs() {
+		return dst, fmt.Errorf("relation: tuple has %d values, schema %s has %d attrs", len(t), s, s.NumAttrs())
+	}
+	for i, v := range t {
+		a := s.Attr(i)
+		if v.Kind != KindFor(a.Type) {
+			return dst, fmt.Errorf("relation: value %d is %v, attribute %q wants %s", i, v.Kind, a.Name, a.Type)
+		}
+		switch a.Type {
+		case Int32:
+			if v.Int > math.MaxInt32 || v.Int < math.MinInt32 {
+				return dst, fmt.Errorf("relation: value %d for int32 attribute %q out of range", v.Int, a.Name)
+			}
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(v.Int)))
+		case Int64:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v.Int))
+		case Float64:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Flt))
+		case String:
+			if len(v.Str) > a.Width {
+				return dst, fmt.Errorf("relation: string %q exceeds width %d of attribute %q", v.Str, a.Width, a.Name)
+			}
+			dst = append(dst, v.Str...)
+			for p := len(v.Str); p < a.Width; p++ {
+				dst = append(dst, 0)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// DecodeTuple decodes one tuple of schema s from raw, which must be
+// exactly s.TupleLen() bytes long.
+func DecodeTuple(s *Schema, raw []byte) (Tuple, error) {
+	if len(raw) != s.TupleLen() {
+		return nil, fmt.Errorf("relation: raw tuple is %d bytes, schema %s needs %d", len(raw), s, s.TupleLen())
+	}
+	t := make(Tuple, s.NumAttrs())
+	for i := 0; i < s.NumAttrs(); i++ {
+		v, err := DecodeValue(s, raw, i)
+		if err != nil {
+			return nil, err
+		}
+		t[i] = v
+	}
+	return t, nil
+}
+
+// DecodeValue decodes the i'th attribute of the encoded tuple raw without
+// decoding the rest of the tuple. This is what a restrict processor does
+// when evaluating a predicate over a page: it touches only the bytes of
+// the attributes the predicate mentions.
+func DecodeValue(s *Schema, raw []byte, i int) (Value, error) {
+	a := s.Attr(i)
+	off := s.Offset(i)
+	if off+a.ByteWidth() > len(raw) {
+		return Value{}, fmt.Errorf("relation: raw tuple too short for attribute %q", a.Name)
+	}
+	switch a.Type {
+	case Int32:
+		return IntVal(int64(int32(binary.LittleEndian.Uint32(raw[off:])))), nil
+	case Int64:
+		return IntVal(int64(binary.LittleEndian.Uint64(raw[off:]))), nil
+	case Float64:
+		return FloatVal(math.Float64frombits(binary.LittleEndian.Uint64(raw[off:]))), nil
+	case String:
+		b := raw[off : off+a.Width]
+		// Trim NUL padding.
+		end := len(b)
+		for end > 0 && b[end-1] == 0 {
+			end--
+		}
+		return StringVal(string(b[:end])), nil
+	}
+	return Value{}, fmt.Errorf("relation: unknown attribute type %v", a.Type)
+}

@@ -1,0 +1,146 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	tup := Tuple{IntVal(42), FloatVal(3.25), IntVal(-9e15), StringVal("hello")}
+	raw, err := EncodeTuple(nil, s, tup)
+	if err != nil {
+		t.Fatalf("EncodeTuple: %v", err)
+	}
+	if len(raw) != s.TupleLen() {
+		t.Fatalf("encoded length %d, want %d", len(raw), s.TupleLen())
+	}
+	got, err := DecodeTuple(s, raw)
+	if err != nil {
+		t.Fatalf("DecodeTuple: %v", err)
+	}
+	if !reflect.DeepEqual(got, tup) {
+		t.Errorf("round trip gave %v, want %v", got, tup)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	s := testSchema(t)
+	cases := []struct {
+		name string
+		tup  Tuple
+	}{
+		{"short tuple", Tuple{IntVal(1)}},
+		{"wrong kind", Tuple{StringVal("x"), FloatVal(0), IntVal(0), StringVal("")}},
+		{"int32 overflow", Tuple{IntVal(math.MaxInt32 + 1), FloatVal(0), IntVal(0), StringVal("")}},
+		{"int32 underflow", Tuple{IntVal(math.MinInt32 - 1), FloatVal(0), IntVal(0), StringVal("")}},
+		{"string too wide", Tuple{IntVal(1), FloatVal(0), IntVal(0), StringVal("thirteen chars")}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := EncodeTuple(nil, s, c.tup); err == nil {
+				t.Errorf("EncodeTuple(%v) succeeded, want error", c.tup)
+			}
+		})
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	s := testSchema(t)
+	if _, err := DecodeTuple(s, make([]byte, s.TupleLen()-1)); err == nil {
+		t.Error("DecodeTuple of short raw succeeded, want error")
+	}
+}
+
+func TestDecodeValueSingleAttribute(t *testing.T) {
+	s := testSchema(t)
+	tup := Tuple{IntVal(-7), FloatVal(2.5), IntVal(99), StringVal("ab")}
+	raw, err := EncodeTuple(nil, s, tup)
+	if err != nil {
+		t.Fatalf("EncodeTuple: %v", err)
+	}
+	for i, want := range tup {
+		got, err := DecodeValue(s, raw, i)
+		if err != nil {
+			t.Fatalf("DecodeValue(%d): %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("DecodeValue(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if _, err := DecodeValue(s, raw[:3], 0); err == nil {
+		t.Error("DecodeValue on truncated raw succeeded, want error")
+	}
+}
+
+// randomTuple builds a schema-conforming random tuple. Strings avoid
+// trailing NUL ambiguity by using printable ASCII only.
+func randomTuple(s *Schema, rng *rand.Rand) Tuple {
+	t := make(Tuple, s.NumAttrs())
+	for i := 0; i < s.NumAttrs(); i++ {
+		a := s.Attr(i)
+		switch a.Type {
+		case Int32:
+			t[i] = IntVal(int64(int32(rng.Uint32())))
+		case Int64:
+			t[i] = IntVal(int64(rng.Uint64()))
+		case Float64:
+			t[i] = FloatVal(rng.NormFloat64())
+		case String:
+			n := rng.Intn(a.Width + 1)
+			b := make([]byte, n)
+			for j := range b {
+				b[j] = byte('a' + rng.Intn(26))
+			}
+			t[i] = StringVal(string(b))
+		}
+	}
+	return t
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rng.Seed(seed)
+		tup := randomTuple(s, rng)
+		raw, err := EncodeTuple(nil, s, tup)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeTuple(s, raw)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, tup)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeAppendsToDst(t *testing.T) {
+	s := MustSchema(Attr{Name: "a", Type: Int32})
+	raw1, err := EncodeTuple(nil, s, Tuple{IntVal(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := EncodeTuple(raw1, s, Tuple{IntVal(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw2) != 8 {
+		t.Fatalf("appended encoding length = %d, want 8", len(raw2))
+	}
+	first, err := DecodeTuple(s, raw2[:4])
+	if err != nil || first[0].Int != 1 {
+		t.Errorf("first tuple = %v, %v", first, err)
+	}
+	second, err := DecodeTuple(s, raw2[4:])
+	if err != nil || second[0].Int != 2 {
+		t.Errorf("second tuple = %v, %v", second, err)
+	}
+}

@@ -1,0 +1,104 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the relation as CSV: a header row of attribute names
+// followed by one row per tuple, in page order.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	s := r.Schema()
+	header := make([]string, s.NumAttrs())
+	for i := range header {
+		header[i] = s.Attr(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, s.NumAttrs())
+	var failed error
+	err := r.Each(func(t Tuple) bool {
+		for i, v := range t {
+			switch v.Kind {
+			case KindInt:
+				row[i] = strconv.FormatInt(v.Int, 10)
+			case KindFloat:
+				row[i] = strconv.FormatFloat(v.Flt, 'g', -1, 64)
+			case KindString:
+				row[i] = v.Str
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			failed = err
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if failed != nil {
+		return failed
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV builds a relation from CSV input. The first record must be a
+// header whose column names match the schema's attributes (in order);
+// subsequent records are parsed according to the attribute types.
+func ReadCSV(rd io.Reader, name string, schema *Schema, pageSize int) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = schema.NumAttrs()
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	for i, name := range header {
+		if want := schema.Attr(i).Name; name != want {
+			return nil, fmt.Errorf("relation: CSV column %d is %q, schema expects %q", i, name, want)
+		}
+	}
+
+	out, err := New(name, schema, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	tup := make(Tuple, schema.NumAttrs())
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+		for i, field := range rec {
+			a := schema.Attr(i)
+			switch a.Type {
+			case Int32, Int64:
+				n, err := strconv.ParseInt(field, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: CSV line %d, column %q: %w", line, a.Name, err)
+				}
+				tup[i] = IntVal(n)
+			case Float64:
+				f, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: CSV line %d, column %q: %w", line, a.Name, err)
+				}
+				tup[i] = FloatVal(f)
+			case String:
+				tup[i] = StringVal(field)
+			}
+		}
+		if err := out.Insert(tup); err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+	}
+}

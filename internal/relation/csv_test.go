@@ -1,0 +1,84 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := MustSchema(
+		Attr{Name: "id", Type: Int32},
+		Attr{Name: "big", Type: Int64},
+		Attr{Name: "w", Type: Float64},
+		Attr{Name: "name", Type: String, Width: 16},
+	)
+	r := MustNew("stuff", s, 512)
+	for i := 0; i < 25; i++ {
+		if err := r.Insert(Tuple{
+			IntVal(int64(i)),
+			IntVal(int64(i) * 1e9),
+			FloatVal(float64(i) / 4),
+			StringVal("row"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, "stuff", s, 512)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !got.EqualMultiset(r) {
+		t.Errorf("round trip changed contents (%d vs %d tuples)",
+			got.Cardinality(), r.Cardinality())
+	}
+}
+
+func TestCSVHeader(t *testing.T) {
+	s := MustSchema(Attr{Name: "a", Type: Int32}, Attr{Name: "b", Type: String, Width: 4})
+	r := MustNew("r", s, 256)
+	_ = r.Insert(Tuple{IntVal(1), StringVal("x")})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,x" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	s := MustSchema(Attr{Name: "a", Type: Int32}, Attr{Name: "f", Type: Float64})
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"wrong header", "x,f\n1,2.0\n"},
+		{"bad int", "a,f\nnope,2.0\n"},
+		{"bad float", "a,f\n1,nope\n"},
+		{"short row", "a,f\n1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(c.in), "r", s, 256); err == nil {
+				t.Error("ReadCSV succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestReadCSVStringTooWide(t *testing.T) {
+	s := MustSchema(Attr{Name: "s", Type: String, Width: 3})
+	if _, err := ReadCSV(strings.NewReader("s\ntoolong\n"), "r", s, 256); err == nil {
+		t.Error("oversized string accepted")
+	}
+}

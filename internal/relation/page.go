@@ -1,0 +1,249 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageHeaderLen is the number of bytes of header carried by every page
+// when it is serialized or moved through an interconnection network. The
+// header identifies the page and lets a receiver decode it without out-
+// of-band information.
+const PageHeaderLen = 16
+
+// pageMagic marks serialized pages.
+const pageMagic uint32 = 0xDF_DB_19_79
+
+// DefaultPageSize is the operand page size assumed for DIRECT in the
+// paper's Section 4 (16 KB operands, which an LSI-11 reads in 33 ms).
+const DefaultPageSize = 16 * 1024
+
+// AnalysisPageSize is the 1000-byte page used in the Section 3.3
+// arbitration-network bandwidth analysis (ten 100-byte tuples per page).
+const AnalysisPageSize = 1000
+
+// Page is a fixed-capacity container of fixed-length tuples: the unit of
+// storage, transfer, and — at page-level granularity — scheduling. Pages
+// begin partially filled and may be compressed together (FillFrom) by an
+// instruction controller before being stored, as described in the paper.
+type Page struct {
+	size     int // serialized size budget: header + payload capacity
+	tupleLen int
+	data     []byte // encoded tuples, len == TupleCount()*tupleLen
+}
+
+// NewPage returns an empty page that serializes to at most pageSize bytes
+// and holds tuples of tupleLen bytes. pageSize must leave room for the
+// header and at least one tuple.
+func NewPage(pageSize, tupleLen int) (*Page, error) {
+	if tupleLen <= 0 {
+		return nil, fmt.Errorf("relation: tuple length %d must be positive", tupleLen)
+	}
+	if pageSize < PageHeaderLen+tupleLen {
+		return nil, fmt.Errorf("relation: page size %d too small for header plus one %d-byte tuple", pageSize, tupleLen)
+	}
+	return &Page{size: pageSize, tupleLen: tupleLen}, nil
+}
+
+// MustNewPage is NewPage but panics on error.
+func MustNewPage(pageSize, tupleLen int) *Page {
+	p, err := NewPage(pageSize, tupleLen)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PageSize returns the serialized size budget of the page.
+func (p *Page) PageSize() int { return p.size }
+
+// TupleLen returns the byte length of tuples stored in the page.
+func (p *Page) TupleLen() int { return p.tupleLen }
+
+// Capacity returns the maximum number of tuples the page can hold.
+func (p *Page) Capacity() int { return (p.size - PageHeaderLen) / p.tupleLen }
+
+// TupleCount returns the number of tuples currently in the page.
+func (p *Page) TupleCount() int { return len(p.data) / p.tupleLen }
+
+// Full reports whether the page has no free slots.
+func (p *Page) Full() bool { return p.TupleCount() >= p.Capacity() }
+
+// Empty reports whether the page holds no tuples.
+func (p *Page) Empty() bool { return len(p.data) == 0 }
+
+// AppendRaw appends an already-encoded tuple to the page.
+func (p *Page) AppendRaw(raw []byte) error {
+	if len(raw) != p.tupleLen {
+		return fmt.Errorf("relation: raw tuple is %d bytes, page holds %d-byte tuples", len(raw), p.tupleLen)
+	}
+	if p.Full() {
+		return fmt.Errorf("relation: page full (%d tuples)", p.TupleCount())
+	}
+	p.data = append(p.data, raw...)
+	return nil
+}
+
+// AppendTuple encodes t under schema s and appends it to the page.
+func (p *Page) AppendTuple(s *Schema, t Tuple) error {
+	if s.TupleLen() != p.tupleLen {
+		return fmt.Errorf("relation: schema tuple length %d != page tuple length %d", s.TupleLen(), p.tupleLen)
+	}
+	if p.Full() {
+		return fmt.Errorf("relation: page full (%d tuples)", p.TupleCount())
+	}
+	enc, err := EncodeTuple(p.data, s, t)
+	if err != nil {
+		return err
+	}
+	p.data = enc
+	return nil
+}
+
+// RawTuple returns the encoded bytes of tuple i. The returned slice
+// aliases the page; callers must not modify it.
+func (p *Page) RawTuple(i int) []byte {
+	return p.data[i*p.tupleLen : (i+1)*p.tupleLen]
+}
+
+// Tuple decodes tuple i under schema s.
+func (p *Page) Tuple(i int, s *Schema) (Tuple, error) {
+	return DecodeTuple(s, p.RawTuple(i))
+}
+
+// EachRaw calls fn for every encoded tuple in the page, stopping early if
+// fn returns false.
+func (p *Page) EachRaw(fn func(raw []byte) bool) {
+	n := p.TupleCount()
+	for i := 0; i < n; i++ {
+		if !fn(p.RawTuple(i)) {
+			return
+		}
+	}
+}
+
+// WireSize returns the number of bytes the page occupies on an
+// interconnection network: the header plus the bytes of the tuples it
+// actually holds. Partially full pages travel compacted.
+func (p *Page) WireSize() int { return PageHeaderLen + len(p.data) }
+
+// FillFrom moves tuples from src into p until p is full or src is empty,
+// returning the number of tuples moved. This is the page "compression"
+// an instruction controller performs on arriving partial pages so that
+// its memory and cache segment hold only full pages.
+func (p *Page) FillFrom(src *Page) (int, error) {
+	if src.tupleLen != p.tupleLen {
+		return 0, fmt.Errorf("relation: cannot compress %d-byte tuples into %d-byte-tuple page", src.tupleLen, p.tupleLen)
+	}
+	moved := 0
+	for !p.Full() && !src.Empty() {
+		last := src.TupleCount() - 1
+		raw := src.RawTuple(last)
+		if err := p.AppendRaw(raw); err != nil {
+			return moved, err
+		}
+		src.data = src.data[:last*src.tupleLen]
+		moved++
+	}
+	return moved, nil
+}
+
+// Clone returns a deep copy of the page.
+func (p *Page) Clone() *Page {
+	out := &Page{size: p.size, tupleLen: p.tupleLen}
+	out.data = append([]byte(nil), p.data...)
+	return out
+}
+
+// Marshal serializes the page (header plus payload). The result is
+// WireSize() bytes long.
+func (p *Page) Marshal() []byte {
+	out := make([]byte, 0, p.WireSize())
+	out = binary.LittleEndian.AppendUint32(out, pageMagic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.size))
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.tupleLen))
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.TupleCount()))
+	out = append(out, p.data...)
+	return out
+}
+
+// UnmarshalPage parses a page serialized by Marshal.
+func UnmarshalPage(b []byte) (*Page, error) {
+	if len(b) < PageHeaderLen {
+		return nil, fmt.Errorf("relation: page blob too short (%d bytes)", len(b))
+	}
+	if binary.LittleEndian.Uint32(b) != pageMagic {
+		return nil, fmt.Errorf("relation: bad page magic %#x", binary.LittleEndian.Uint32(b))
+	}
+	size := int(binary.LittleEndian.Uint32(b[4:]))
+	tupleLen := int(binary.LittleEndian.Uint32(b[8:]))
+	count := int(binary.LittleEndian.Uint32(b[12:]))
+	p, err := NewPage(size, tupleLen)
+	if err != nil {
+		return nil, err
+	}
+	want := count * tupleLen
+	if len(b) != PageHeaderLen+want {
+		return nil, fmt.Errorf("relation: page blob is %d bytes, header says %d", len(b), PageHeaderLen+want)
+	}
+	if count > p.Capacity() {
+		return nil, fmt.Errorf("relation: page blob holds %d tuples, capacity is %d", count, p.Capacity())
+	}
+	p.data = append(p.data, b[PageHeaderLen:]...)
+	return p, nil
+}
+
+// Paginator accumulates encoded tuples and emits full pages. Operators
+// use it to turn their per-tuple output stream into the page stream the
+// data-flow machine moves around.
+type Paginator struct {
+	pageSize int
+	tupleLen int
+	cur      *Page
+}
+
+// NewPaginator returns a paginator producing pages of the given size for
+// tuples of the given length.
+func NewPaginator(pageSize, tupleLen int) (*Paginator, error) {
+	if _, err := NewPage(pageSize, tupleLen); err != nil {
+		return nil, err
+	}
+	return &Paginator{pageSize: pageSize, tupleLen: tupleLen}, nil
+}
+
+// Add appends one encoded tuple. If the current page becomes full it is
+// returned (and a fresh page started); otherwise Add returns nil.
+func (g *Paginator) Add(raw []byte) (*Page, error) {
+	if g.cur == nil {
+		g.cur = MustNewPage(g.pageSize, g.tupleLen)
+	}
+	if err := g.cur.AppendRaw(raw); err != nil {
+		return nil, err
+	}
+	if g.cur.Full() {
+		out := g.cur
+		g.cur = nil
+		return out, nil
+	}
+	return nil, nil
+}
+
+// AddTuple encodes t under s and appends it, with the same semantics as
+// Add.
+func (g *Paginator) AddTuple(s *Schema, t Tuple) (*Page, error) {
+	raw, err := EncodeTuple(nil, s, t)
+	if err != nil {
+		return nil, err
+	}
+	return g.Add(raw)
+}
+
+// Flush returns the final partial page, or nil if no tuples are pending.
+func (g *Paginator) Flush() *Page {
+	out := g.cur
+	g.cur = nil
+	if out != nil && out.Empty() {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperSchema is a 100-byte tuple schema: the tuple size assumed in the
+// paper's Section 3.3 bandwidth analysis.
+func paperSchema(t testing.TB) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Attr{Name: "id", Type: Int32},
+		Attr{Name: "a", Type: Int32},
+		Attr{Name: "b", Type: Int32},
+		Attr{Name: "pad", Type: String, Width: 88},
+	)
+	if err != nil {
+		t.Fatalf("paperSchema: %v", err)
+	}
+	if s.TupleLen() != 100 {
+		t.Fatalf("paperSchema tuple length = %d, want 100", s.TupleLen())
+	}
+	return s
+}
+
+func TestPageCapacityMatchesPaper(t *testing.T) {
+	// 1000-byte pages of 100-byte tuples: the paper says ten tuples per
+	// page; our 16-byte header costs one slot, so nine fit. The analysis
+	// package accounts for this explicitly.
+	p := MustNewPage(AnalysisPageSize, 100)
+	if got := p.Capacity(); got != 9 {
+		t.Errorf("Capacity = %d, want 9 (1000-byte page, 16-byte header)", got)
+	}
+	big := MustNewPage(DefaultPageSize, 100)
+	if got := big.Capacity(); got != 163 {
+		t.Errorf("16K page capacity = %d, want 163", got)
+	}
+}
+
+func TestPageAppendAndRead(t *testing.T) {
+	s := paperSchema(t)
+	p := MustNewPage(AnalysisPageSize, s.TupleLen())
+	for i := 0; i < p.Capacity(); i++ {
+		tup := Tuple{IntVal(int64(i)), IntVal(int64(i * 2)), IntVal(int64(i * 3)), StringVal("x")}
+		if err := p.AppendTuple(s, tup); err != nil {
+			t.Fatalf("AppendTuple(%d): %v", i, err)
+		}
+	}
+	if !p.Full() {
+		t.Error("page not Full after Capacity appends")
+	}
+	if err := p.AppendTuple(s, Tuple{IntVal(0), IntVal(0), IntVal(0), StringVal("")}); err == nil {
+		t.Error("append to full page succeeded, want error")
+	}
+	for i := 0; i < p.TupleCount(); i++ {
+		tup, err := p.Tuple(i, s)
+		if err != nil {
+			t.Fatalf("Tuple(%d): %v", i, err)
+		}
+		if tup[0].Int != int64(i) || tup[1].Int != int64(i*2) {
+			t.Errorf("Tuple(%d) = %v", i, tup)
+		}
+	}
+}
+
+func TestPageValidation(t *testing.T) {
+	if _, err := NewPage(50, 100); err == nil {
+		t.Error("NewPage smaller than one tuple succeeded")
+	}
+	if _, err := NewPage(1000, 0); err == nil {
+		t.Error("NewPage with zero tuple length succeeded")
+	}
+	p := MustNewPage(1000, 100)
+	if err := p.AppendRaw(make([]byte, 99)); err == nil {
+		t.Error("AppendRaw with wrong length succeeded")
+	}
+	s := MustSchema(Attr{Name: "a", Type: Int32})
+	if err := p.AppendTuple(s, Tuple{IntVal(1)}); err == nil {
+		t.Error("AppendTuple with mismatched schema length succeeded")
+	}
+}
+
+func TestPageWireSize(t *testing.T) {
+	p := MustNewPage(1000, 100)
+	if got := p.WireSize(); got != PageHeaderLen {
+		t.Errorf("empty WireSize = %d, want %d", got, PageHeaderLen)
+	}
+	_ = p.AppendRaw(make([]byte, 100))
+	if got := p.WireSize(); got != PageHeaderLen+100 {
+		t.Errorf("WireSize = %d, want %d", got, PageHeaderLen+100)
+	}
+}
+
+func TestPageMarshalRoundTrip(t *testing.T) {
+	s := paperSchema(t)
+	p := MustNewPage(AnalysisPageSize, s.TupleLen())
+	for i := 0; i < 5; i++ {
+		if err := p.AppendTuple(s, Tuple{IntVal(int64(i)), IntVal(0), IntVal(0), StringVal("t")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob := p.Marshal()
+	if len(blob) != p.WireSize() {
+		t.Errorf("Marshal length = %d, want WireSize %d", len(blob), p.WireSize())
+	}
+	q, err := UnmarshalPage(blob)
+	if err != nil {
+		t.Fatalf("UnmarshalPage: %v", err)
+	}
+	if q.TupleCount() != p.TupleCount() || q.PageSize() != p.PageSize() || q.TupleLen() != p.TupleLen() {
+		t.Errorf("round trip mismatch: %+v vs %+v", q, p)
+	}
+	for i := 0; i < p.TupleCount(); i++ {
+		if !bytes.Equal(p.RawTuple(i), q.RawTuple(i)) {
+			t.Errorf("tuple %d differs after round trip", i)
+		}
+	}
+}
+
+func TestUnmarshalPageErrors(t *testing.T) {
+	p := MustNewPage(1000, 100)
+	_ = p.AppendRaw(make([]byte, 100))
+	good := p.Marshal()
+
+	cases := []struct {
+		name string
+		blob []byte
+	}{
+		{"short", good[:10]},
+		{"bad magic", append([]byte{1, 2, 3, 4}, good[4:]...)},
+		{"truncated payload", good[:len(good)-1]},
+		{"extra payload", append(append([]byte(nil), good...), 0)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := UnmarshalPage(c.blob); err == nil {
+				t.Error("UnmarshalPage succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestPageFillFrom(t *testing.T) {
+	dst := MustNewPage(1000, 100)
+	src := MustNewPage(1000, 100)
+	for i := 0; i < 4; i++ {
+		raw := make([]byte, 100)
+		raw[0] = byte(i + 1)
+		if err := src.AppendRaw(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// dst already has 7 tuples; capacity 9 leaves room for 2.
+	for i := 0; i < 7; i++ {
+		if err := dst.AppendRaw(make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved, err := dst.FillFrom(src)
+	if err != nil {
+		t.Fatalf("FillFrom: %v", err)
+	}
+	if moved != 2 || dst.TupleCount() != 9 || src.TupleCount() != 2 {
+		t.Errorf("moved=%d dst=%d src=%d; want 2, 9, 2", moved, dst.TupleCount(), src.TupleCount())
+	}
+	if !dst.Full() {
+		t.Error("dst not full after FillFrom")
+	}
+	other := MustNewPage(1000, 50)
+	if _, err := other.FillFrom(src); err == nil {
+		t.Error("FillFrom with mismatched tuple length succeeded")
+	}
+}
+
+func TestPageClone(t *testing.T) {
+	p := MustNewPage(1000, 100)
+	raw := make([]byte, 100)
+	raw[0] = 7
+	_ = p.AppendRaw(raw)
+	q := p.Clone()
+	q.RawTuple(0)[0] = 9
+	if p.RawTuple(0)[0] != 7 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestPaginator(t *testing.T) {
+	g, err := NewPaginator(AnalysisPageSize, 100)
+	if err != nil {
+		t.Fatalf("NewPaginator: %v", err)
+	}
+	var pages []*Page
+	total := 20
+	for i := 0; i < total; i++ {
+		raw := make([]byte, 100)
+		raw[0] = byte(i)
+		p, err := g.Add(raw)
+		if err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+		if p != nil {
+			pages = append(pages, p)
+		}
+	}
+	if last := g.Flush(); last != nil {
+		pages = append(pages, last)
+	}
+	if g.Flush() != nil {
+		t.Error("second Flush returned a page")
+	}
+	n := 0
+	for i, p := range pages {
+		if i < len(pages)-1 && !p.Full() {
+			t.Errorf("page %d not full", i)
+		}
+		n += p.TupleCount()
+	}
+	if n != total {
+		t.Errorf("paginator emitted %d tuples, want %d", n, total)
+	}
+}
+
+func TestPaginatorRejectsBadSizes(t *testing.T) {
+	if _, err := NewPaginator(10, 100); err == nil {
+		t.Error("NewPaginator with tiny page succeeded")
+	}
+}
+
+func TestQuickPaginatorConservesTuples(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)
+		g, err := NewPaginator(500, 20)
+		if err != nil {
+			return false
+		}
+		var inputs [][]byte
+		var pages []*Page
+		for i := 0; i < n; i++ {
+			raw := make([]byte, 20)
+			rng.Read(raw)
+			inputs = append(inputs, raw)
+			p, err := g.Add(raw)
+			if err != nil {
+				return false
+			}
+			if p != nil {
+				pages = append(pages, p)
+			}
+		}
+		if last := g.Flush(); last != nil {
+			pages = append(pages, last)
+		}
+		var out [][]byte
+		for _, p := range pages {
+			p.EachRaw(func(raw []byte) bool {
+				out = append(out, append([]byte(nil), raw...))
+				return true
+			})
+		}
+		if len(out) != len(inputs) {
+			return false
+		}
+		for i := range out {
+			if !bytes.Equal(out[i], inputs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

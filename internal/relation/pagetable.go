@@ -1,0 +1,86 @@
+package relation
+
+import "fmt"
+
+// Location identifies where a page of an operand currently resides in
+// the three-level storage hierarchy of the Section 4 machine.
+type Location uint8
+
+// Page locations, fastest first.
+const (
+	// InLocalMemory: in an instruction controller's local memory.
+	InLocalMemory Location = iota + 1
+	// InDiskCache: in the multiport disk cache.
+	InDiskCache
+	// OnMassStorage: on a mass-storage device.
+	OnMassStorage
+)
+
+// String returns a short name for the location.
+func (l Location) String() string {
+	switch l {
+	case InLocalMemory:
+		return "local"
+	case InDiskCache:
+		return "cache"
+	case OnMassStorage:
+		return "disk"
+	default:
+		return fmt.Sprintf("loc(%d)", uint8(l))
+	}
+}
+
+// PageRef names one page of an operand and records where it lives.
+type PageRef struct {
+	PageNo int
+	Where  Location
+}
+
+// PageTable describes one operand of an instruction: the pages known so
+// far and whether the producing instruction has finished. In the paper,
+// "the data is represented by page tables, pointing to pages either in a
+// cache or on mass storage"; a memory cell fires when its page tables
+// satisfy the granularity rule in force.
+type PageTable struct {
+	RelName  string
+	refs     []PageRef
+	complete bool
+}
+
+// NewPageTable returns an empty, incomplete page table for the named
+// operand relation.
+func NewPageTable(relName string) *PageTable {
+	return &PageTable{RelName: relName}
+}
+
+// Add appends a page reference and returns its index.
+func (pt *PageTable) Add(ref PageRef) int {
+	pt.refs = append(pt.refs, ref)
+	return len(pt.refs) - 1
+}
+
+// NumPages returns the number of pages known to the table.
+func (pt *PageTable) NumPages() int { return len(pt.refs) }
+
+// Ref returns the i'th page reference.
+func (pt *PageTable) Ref(i int) PageRef { return pt.refs[i] }
+
+// SetWhere updates the recorded location of page i.
+func (pt *PageTable) SetWhere(i int, where Location) { pt.refs[i].Where = where }
+
+// MarkComplete records that the producer of this operand has finished:
+// no further pages will be added.
+func (pt *PageTable) MarkComplete() { pt.complete = true }
+
+// Complete reports whether the operand has been fully computed.
+func (pt *PageTable) Complete() bool { return pt.complete }
+
+// Enabled reports whether the operand satisfies the firing rule for the
+// given granularity: at relation level the operand must be complete; at
+// page (or tuple) level one known page suffices.
+func (pt *PageTable) Enabled(relationLevel bool) bool {
+	if relationLevel {
+		return pt.complete
+	}
+	return len(pt.refs) > 0
+}

@@ -1,0 +1,217 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is an in-memory heap relation: a named schema plus an ordered
+// list of pages. It is the at-rest form of a relation; in flight, a
+// relation is a stream of pages.
+type Relation struct {
+	name     string
+	schema   *Schema
+	pageSize int
+	pages    []*Page
+}
+
+// New creates an empty relation with the given name, schema, and page
+// size.
+func New(name string, schema *Schema, pageSize int) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relation: empty relation name")
+	}
+	if _, err := NewPage(pageSize, schema.TupleLen()); err != nil {
+		return nil, err
+	}
+	return &Relation{name: name, schema: schema, pageSize: pageSize}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(name string, schema *Schema, pageSize int) *Relation {
+	r, err := New(name, schema, pageSize)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// PageSize returns the page size used by the relation.
+func (r *Relation) PageSize() int { return r.pageSize }
+
+// NumPages returns the number of pages in the relation.
+func (r *Relation) NumPages() int { return len(r.pages) }
+
+// Page returns page i. The page is shared, not copied.
+func (r *Relation) Page(i int) *Page { return r.pages[i] }
+
+// Pages returns the page list. The slice is shared, not copied.
+func (r *Relation) Pages() []*Page { return r.pages }
+
+// Cardinality returns the total number of tuples.
+func (r *Relation) Cardinality() int {
+	n := 0
+	for _, p := range r.pages {
+		n += p.TupleCount()
+	}
+	return n
+}
+
+// ByteSize returns the total payload-plus-header bytes of all pages —
+// the relation's footprint in the storage hierarchy.
+func (r *Relation) ByteSize() int {
+	n := 0
+	for _, p := range r.pages {
+		n += p.WireSize()
+	}
+	return n
+}
+
+// Insert appends a tuple, creating a new page when the last one is full.
+func (r *Relation) Insert(t Tuple) error {
+	raw, err := EncodeTuple(nil, r.schema, t)
+	if err != nil {
+		return err
+	}
+	return r.InsertRaw(raw)
+}
+
+// InsertRaw appends an already-encoded tuple.
+func (r *Relation) InsertRaw(raw []byte) error {
+	if len(r.pages) == 0 || r.pages[len(r.pages)-1].Full() {
+		p, err := NewPage(r.pageSize, r.schema.TupleLen())
+		if err != nil {
+			return err
+		}
+		r.pages = append(r.pages, p)
+	}
+	return r.pages[len(r.pages)-1].AppendRaw(raw)
+}
+
+// AppendPage appends an entire page to the relation. The page must hold
+// tuples of the schema's length.
+func (r *Relation) AppendPage(p *Page) error {
+	if p.TupleLen() != r.schema.TupleLen() {
+		return fmt.Errorf("relation: page holds %d-byte tuples, relation %q needs %d", p.TupleLen(), r.name, r.schema.TupleLen())
+	}
+	r.pages = append(r.pages, p)
+	return nil
+}
+
+// Each calls fn for every tuple in page order, stopping early if fn
+// returns false.
+func (r *Relation) Each(fn func(t Tuple) bool) error {
+	for _, p := range r.pages {
+		n := p.TupleCount()
+		for i := 0; i < n; i++ {
+			t, err := p.Tuple(i, r.schema)
+			if err != nil {
+				return err
+			}
+			if !fn(t) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// EachRaw calls fn for every encoded tuple in page order, stopping early
+// if fn returns false.
+func (r *Relation) EachRaw(fn func(raw []byte) bool) {
+	for _, p := range r.pages {
+		stop := false
+		p.EachRaw(func(raw []byte) bool {
+			if !fn(raw) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Tuples materializes every tuple. Intended for tests and small results.
+func (r *Relation) Tuples() ([]Tuple, error) {
+	out := make([]Tuple, 0, r.Cardinality())
+	err := r.Each(func(t Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out, err
+}
+
+// Compact rewrites the relation so that all pages except possibly the
+// last are full. Operators that delete tuples leave holes; the paper's
+// instruction controllers perform the same compression on arriving
+// partial pages.
+func (r *Relation) Compact() {
+	var compacted []*Page
+	var cur *Page
+	for _, p := range r.pages {
+		p.EachRaw(func(raw []byte) bool {
+			if cur == nil {
+				cur = MustNewPage(r.pageSize, r.schema.TupleLen())
+			}
+			// Appending to a non-full fresh page cannot fail.
+			_ = cur.AppendRaw(raw)
+			if cur.Full() {
+				compacted = append(compacted, cur)
+				cur = nil
+			}
+			return true
+		})
+	}
+	if cur != nil && !cur.Empty() {
+		compacted = append(compacted, cur)
+	}
+	r.pages = compacted
+}
+
+// Clone returns a deep copy of the relation under a new name.
+func (r *Relation) Clone(name string) *Relation {
+	out := &Relation{name: name, schema: r.schema, pageSize: r.pageSize}
+	for _, p := range r.pages {
+		out.pages = append(out.pages, p.Clone())
+	}
+	return out
+}
+
+// SortedKeys returns the multiset of encoded tuples, sorted
+// lexicographically. Two relations are multiset-equal iff their
+// SortedKeys are equal; tests use this to compare results across engines
+// that emit tuples in different orders.
+func (r *Relation) SortedKeys() []string {
+	keys := make([]string, 0, r.Cardinality())
+	r.EachRaw(func(raw []byte) bool {
+		keys = append(keys, string(raw))
+		return true
+	})
+	sort.Strings(keys)
+	return keys
+}
+
+// EqualMultiset reports whether r and o contain the same multiset of
+// encoded tuples (schema byte-layouts must match for this to be
+// meaningful).
+func (r *Relation) EqualMultiset(o *Relation) bool {
+	a, b := r.SortedKeys(), o.SortedKeys()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,156 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema describes the attributes of a relation. A schema fixes the byte
+// length of every tuple, which in turn fixes the number of tuples that
+// fit on a page — the quantity at the heart of the paper's granularity
+// analysis (100-byte tuples, 1000-byte pages, ten tuples per page).
+type Schema struct {
+	attrs    []Attr
+	byName   map[string]int
+	offsets  []int
+	tupleLen int
+}
+
+// NewSchema builds a schema from the given attributes. Attribute names
+// must be non-empty and unique; String attributes must have positive
+// width.
+func NewSchema(attrs ...Attr) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("relation: schema needs at least one attribute")
+	}
+	s := &Schema{
+		attrs:   make([]Attr, len(attrs)),
+		byName:  make(map[string]int, len(attrs)),
+		offsets: make([]int, len(attrs)),
+	}
+	copy(s.attrs, attrs)
+	off := 0
+	for i, a := range s.attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("relation: attribute %d has empty name", i)
+		}
+		if !a.Type.Valid() {
+			return nil, fmt.Errorf("relation: attribute %q has invalid type", a.Name)
+		}
+		if a.Type == String && a.Width <= 0 {
+			return nil, fmt.Errorf("relation: string attribute %q needs positive width", a.Name)
+		}
+		if _, dup := s.byName[a.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate attribute name %q", a.Name)
+		}
+		s.byName[a.Name] = i
+		s.offsets[i] = off
+		off += a.ByteWidth()
+	}
+	s.tupleLen = off
+	return s, nil
+}
+
+// MustSchema is NewSchema but panics on error. It is intended for
+// statically known schemas in tests and examples.
+func MustSchema(attrs ...Attr) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumAttrs returns the number of attributes.
+func (s *Schema) NumAttrs() int { return len(s.attrs) }
+
+// Attr returns the i'th attribute.
+func (s *Schema) Attr(i int) Attr { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attr {
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Index returns the position of the named attribute, or an error if the
+// schema has no such attribute.
+func (s *Schema) Index(name string) (int, error) {
+	i, ok := s.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("relation: no attribute %q (have %s)", name, s)
+	}
+	return i, nil
+}
+
+// HasAttr reports whether the schema contains the named attribute.
+func (s *Schema) HasAttr(name string) bool {
+	_, ok := s.byName[name]
+	return ok
+}
+
+// Offset returns the byte offset of attribute i within an encoded tuple.
+func (s *Schema) Offset(i int) int { return s.offsets[i] }
+
+// TupleLen returns the fixed byte length of every tuple of this schema.
+func (s *Schema) TupleLen() int { return s.tupleLen }
+
+// String renders the schema as "(name type, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", a.Name, a.Type)
+		if a.Type == String {
+			fmt.Fprintf(&b, "[%d]", a.Width)
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports whether two schemas have identical attribute lists.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.NumAttrs() != o.NumAttrs() {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a new schema containing only the named attributes, in
+// the order given.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	attrs := make([]Attr, 0, len(names))
+	for _, n := range names {
+		i, err := s.Index(n)
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, s.attrs[i])
+	}
+	return NewSchema(attrs...)
+}
+
+// Concat returns the schema of the concatenation of a tuple of s followed
+// by a tuple of o, as produced by a join. Name collisions are resolved by
+// prefixing the colliding attribute of o with prefix + ".".
+func (s *Schema) Concat(o *Schema, prefix string) (*Schema, error) {
+	attrs := make([]Attr, 0, len(s.attrs)+len(o.attrs))
+	attrs = append(attrs, s.attrs...)
+	for _, a := range o.attrs {
+		if s.HasAttr(a.Name) {
+			a.Name = prefix + "." + a.Name
+		}
+		attrs = append(attrs, a)
+	}
+	return NewSchema(attrs...)
+}

@@ -1,0 +1,167 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Attr{Name: "id", Type: Int32},
+		Attr{Name: "weight", Type: Float64},
+		Attr{Name: "serial", Type: Int64},
+		Attr{Name: "name", Type: String, Width: 12},
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func TestSchemaLayout(t *testing.T) {
+	s := testSchema(t)
+	if got, want := s.TupleLen(), 4+8+8+12; got != want {
+		t.Errorf("TupleLen = %d, want %d", got, want)
+	}
+	wantOffsets := []int{0, 4, 12, 20}
+	for i, want := range wantOffsets {
+		if got := s.Offset(i); got != want {
+			t.Errorf("Offset(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := testSchema(t)
+	i, err := s.Index("serial")
+	if err != nil || i != 2 {
+		t.Errorf("Index(serial) = %d, %v; want 2, nil", i, err)
+	}
+	if _, err := s.Index("nope"); err == nil {
+		t.Error("Index(nope) succeeded, want error")
+	}
+	if !s.HasAttr("name") || s.HasAttr("nope") {
+		t.Error("HasAttr misbehaves")
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		attrs []Attr
+	}{
+		{"empty", nil},
+		{"unnamed", []Attr{{Type: Int32}}},
+		{"duplicate", []Attr{{Name: "a", Type: Int32}, {Name: "a", Type: Int64}}},
+		{"zero-width string", []Attr{{Name: "s", Type: String}}},
+		{"bad type", []Attr{{Name: "x", Type: Type(99)}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewSchema(c.attrs...); err == nil {
+				t.Errorf("NewSchema(%v) succeeded, want error", c.attrs)
+			}
+		})
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := testSchema(t)
+	p, err := s.Project("name", "id")
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if p.NumAttrs() != 2 || p.Attr(0).Name != "name" || p.Attr(1).Name != "id" {
+		t.Errorf("Project gave %s", p)
+	}
+	if p.TupleLen() != 16 {
+		t.Errorf("projected TupleLen = %d, want 16", p.TupleLen())
+	}
+	if _, err := s.Project("missing"); err == nil {
+		t.Error("Project(missing) succeeded, want error")
+	}
+}
+
+func TestSchemaConcat(t *testing.T) {
+	a := MustSchema(Attr{Name: "id", Type: Int32}, Attr{Name: "x", Type: Int32})
+	b := MustSchema(Attr{Name: "id", Type: Int32}, Attr{Name: "y", Type: Int32})
+	c, err := a.Concat(b, "b")
+	if err != nil {
+		t.Fatalf("Concat: %v", err)
+	}
+	names := make([]string, c.NumAttrs())
+	for i := range names {
+		names[i] = c.Attr(i).Name
+	}
+	if got := strings.Join(names, ","); got != "id,x,b.id,y" {
+		t.Errorf("Concat names = %s, want id,x,b.id,y", got)
+	}
+	if c.TupleLen() != a.TupleLen()+b.TupleLen() {
+		t.Errorf("Concat TupleLen = %d", c.TupleLen())
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := testSchema(t)
+	b := testSchema(t)
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	c := MustSchema(Attr{Name: "id", Type: Int32})
+	if a.Equal(c) {
+		t.Error("different schemas Equal")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema(Attr{Name: "id", Type: Int32}, Attr{Name: "n", Type: String, Width: 8})
+	if got := s.String(); got != "(id int32, n string[8])" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntVal(1), IntVal(2), -1},
+		{IntVal(2), IntVal(2), 0},
+		{IntVal(3), IntVal(2), 1},
+		{FloatVal(1.5), FloatVal(2.5), -1},
+		{FloatVal(2.5), FloatVal(2.5), 0},
+		{StringVal("a"), StringVal("b"), -1},
+		{StringVal("b"), StringVal("b"), 0},
+		{StringVal("c"), StringVal("b"), 1},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, %v; want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+	if _, err := IntVal(1).Compare(StringVal("x")); err == nil {
+		t.Error("cross-kind Compare succeeded, want error")
+	}
+	if !IntVal(7).Equal(IntVal(7)) || IntVal(7).Equal(IntVal(8)) || IntVal(7).Equal(StringVal("7")) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+func TestAttrByteWidth(t *testing.T) {
+	cases := []struct {
+		a    Attr
+		want int
+	}{
+		{Attr{Name: "a", Type: Int32}, 4},
+		{Attr{Name: "a", Type: Int64}, 8},
+		{Attr{Name: "a", Type: Float64}, 8},
+		{Attr{Name: "a", Type: String, Width: 13}, 13},
+	}
+	for _, c := range cases {
+		if got := c.a.ByteWidth(); got != c.want {
+			t.Errorf("ByteWidth(%v) = %d, want %d", c.a.Type, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package relation implements the storage representation used throughout
+// dfdbm: schemas of fixed-width attributes, tuples, fixed-size slotted
+// pages, page tables, and in-memory heap relations.
+//
+// The representation deliberately follows the assumptions of Boral and
+// DeWitt's 1979 design study: tuples have a fixed length determined by
+// their schema, a relation is stored as (and processed as) a stream of
+// fixed-size pages, and every page carries a small header so that it can
+// travel through an interconnection network as a self-describing operand.
+package relation
+
+import "fmt"
+
+// Type identifies the storage type of an attribute.
+type Type uint8
+
+// Supported attribute types. Strings are fixed width (padded with NUL
+// bytes) so that every tuple of a schema has the same length, exactly as
+// in the paper's 100-byte-tuple analysis.
+const (
+	Int32 Type = iota + 1
+	Int64
+	Float64
+	String
+)
+
+// String returns the lower-case name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t is one of the defined types.
+func (t Type) Valid() bool { return t >= Int32 && t <= String }
+
+// Attr describes a single attribute (column) of a schema.
+type Attr struct {
+	Name string
+	Type Type
+	// Width is the storage width in bytes for String attributes. It is
+	// ignored for the numeric types, whose width is fixed.
+	Width int
+}
+
+// ByteWidth returns the number of bytes the attribute occupies in the
+// fixed-width tuple encoding.
+func (a Attr) ByteWidth() int {
+	switch a.Type {
+	case Int32:
+		return 4
+	case Int64, Float64:
+		return 8
+	case String:
+		return a.Width
+	default:
+		return 0
+	}
+}
+
+// Kind identifies which variant a Value holds. It mirrors Type but exists
+// separately so that Value does not depend on storage widths.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindInt Kind = iota + 1
+	KindFloat
+	KindString
+)
+
+// Value is a dynamically typed attribute value. Integral values (Int32
+// and Int64 attributes) are both carried as int64.
+type Value struct {
+	Kind Kind
+	Int  int64
+	Flt  float64
+	Str  string
+}
+
+// IntVal returns an integer Value.
+func IntVal(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// FloatVal returns a floating-point Value.
+func FloatVal(v float64) Value { return Value{Kind: KindFloat, Flt: v} }
+
+// StringVal returns a string Value.
+func StringVal(v string) Value { return Value{Kind: KindString, Str: v} }
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.Flt)
+	case KindString:
+		return v.Str
+	default:
+		return "<nil>"
+	}
+}
+
+// Compare orders two values of the same kind: -1 if v < o, 0 if equal,
+// +1 if v > o. Comparing values of different kinds returns an error.
+func (v Value) Compare(o Value) (int, error) {
+	if v.Kind != o.Kind {
+		return 0, fmt.Errorf("relation: cannot compare %v with %v", v.Kind, o.Kind)
+	}
+	switch v.Kind {
+	case KindInt:
+		switch {
+		case v.Int < o.Int:
+			return -1, nil
+		case v.Int > o.Int:
+			return 1, nil
+		}
+		return 0, nil
+	case KindFloat:
+		switch {
+		case v.Flt < o.Flt:
+			return -1, nil
+		case v.Flt > o.Flt:
+			return 1, nil
+		}
+		return 0, nil
+	case KindString:
+		switch {
+		case v.Str < o.Str:
+			return -1, nil
+		case v.Str > o.Str:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("relation: unknown value kind %d", v.Kind)
+}
+
+// Equal reports whether two values have the same kind and contents.
+func (v Value) Equal(o Value) bool {
+	c, err := v.Compare(o)
+	return err == nil && c == 0
+}
+
+// KindFor returns the Value kind used to carry values of storage type t.
+func KindFor(t Type) Kind {
+	switch t {
+	case Int32, Int64:
+		return KindInt
+	case Float64:
+		return KindFloat
+	case String:
+		return KindString
+	default:
+		return 0
+	}
+}
+
+// Tuple is a decoded row: one Value per schema attribute, in schema order.
+type Tuple []Value
+
+// Clone returns a copy of the tuple that shares no storage with t.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}

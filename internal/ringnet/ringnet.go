@@ -1,0 +1,350 @@
+// Package ringnet models the three loop-network architectures the paper
+// weighs for its interconnect (Section 4.1): the Distributed Loop
+// Computer Network's shift-register insertion ring (Liu and Reames),
+// the Newhall control-token loop, and the Pierce slotted loop. The
+// comparison simulation reproduces the finding the paper cites from
+// Reames and Liu: with variable-length messages, the insertion ring
+// delivers lower delay than either alternative — which is why the
+// machine's rings use shift-register insertion.
+//
+// The models are deliberately comparable: all three share the loop
+// bandwidth, per-hop shift-register delay, topology, and offered load.
+//
+//   - DLCN: a node inserts a message as soon as its outgoing link is
+//     free; the message cuts through intermediate nodes with one hop
+//     delay each, so disjoint loop segments carry traffic concurrently.
+//   - Newhall: a single control token circulates; only the token holder
+//     transmits, one whole message per acquisition. Variable lengths
+//     are handled naturally but the loop is monopolized per message.
+//   - Pierce: messages are segmented into fixed slots (with per-slot
+//     header overhead and padding of the final slot); slots cut through
+//     like DLCN but each slot pays the fixed framing cost.
+package ringnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Kind selects a loop architecture.
+type Kind uint8
+
+// The three loop architectures of the Section 4.1 discussion.
+const (
+	DLCN Kind = iota + 1
+	Newhall
+	Pierce
+)
+
+// String returns the architecture name.
+func (k Kind) String() string {
+	switch k {
+	case DLCN:
+		return "dlcn"
+	case Newhall:
+		return "newhall"
+	case Pierce:
+		return "pierce"
+	default:
+		return fmt.Sprintf("ring(%d)", uint8(k))
+	}
+}
+
+// Config parameterizes one loop simulation.
+type Config struct {
+	Kind  Kind
+	Nodes int
+	// BitsPerSec is the loop bandwidth (40e6 for the paper's 25 ns
+	// shift registers).
+	BitsPerSec float64
+	// HopDelay is the shift-register delay per node traversed.
+	HopDelay time.Duration
+	// Messages is the number of messages to deliver.
+	Messages int
+	// MeanGap is the mean inter-arrival time between messages,
+	// loop-wide (exponential arrivals).
+	MeanGap time.Duration
+	// MinLen and MaxLen bound the (uniform) message length in bytes —
+	// the "variable length messages" of the DLCN design.
+	MinLen, MaxLen int
+	// SlotPayload and SlotHeader shape Pierce slots. Defaults: 128-byte
+	// payload, 8-byte header.
+	SlotPayload int
+	SlotHeader  int
+	// Seed drives arrival times, lengths, sources, and destinations.
+	Seed int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Kind == 0 {
+		c.Kind = DLCN
+	}
+	if c.Kind != DLCN && c.Kind != Newhall && c.Kind != Pierce {
+		return c, fmt.Errorf("ringnet: unknown kind %v", c.Kind)
+	}
+	if c.Nodes < 2 {
+		return c, fmt.Errorf("ringnet: need at least 2 nodes, have %d", c.Nodes)
+	}
+	if c.BitsPerSec <= 0 {
+		c.BitsPerSec = 40e6
+	}
+	if c.HopDelay <= 0 {
+		c.HopDelay = 200 * time.Nanosecond
+	}
+	if c.Messages <= 0 {
+		c.Messages = 2000
+	}
+	if c.MeanGap <= 0 {
+		c.MeanGap = 100 * time.Microsecond
+	}
+	if c.MinLen <= 0 {
+		c.MinLen = 64
+	}
+	if c.MaxLen < c.MinLen {
+		c.MaxLen = c.MinLen
+	}
+	if c.SlotPayload <= 0 {
+		c.SlotPayload = 128
+	}
+	if c.SlotHeader <= 0 {
+		c.SlotHeader = 8
+	}
+	return c, nil
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Delivered   int
+	MeanDelay   time.Duration
+	MaxDelay    time.Duration
+	P95Delay    time.Duration
+	Makespan    time.Duration
+	OfferedMbps float64 // payload offered per unit time
+	CarriedMbps float64 // payload delivered over the makespan
+}
+
+// message is one offered message.
+type message struct {
+	arrive   time.Duration
+	src, dst int
+	bytes    int
+}
+
+// genLoad builds the deterministic offered load shared by all three
+// architectures.
+func genLoad(c Config) []message {
+	rng := rand.New(rand.NewSource(c.Seed))
+	msgs := make([]message, c.Messages)
+	t := time.Duration(0)
+	for i := range msgs {
+		t += time.Duration(rng.ExpFloat64() * float64(c.MeanGap))
+		src := rng.Intn(c.Nodes)
+		dst := rng.Intn(c.Nodes - 1)
+		if dst >= src {
+			dst++
+		}
+		msgs[i] = message{
+			arrive: t,
+			src:    src,
+			dst:    dst,
+			bytes:  c.MinLen + rng.Intn(c.MaxLen-c.MinLen+1),
+		}
+	}
+	return msgs
+}
+
+// Simulate runs one loop simulation and reports delay statistics.
+func Simulate(cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	msgs := genLoad(cfg)
+	var delays []time.Duration
+	var makespan time.Duration
+	switch cfg.Kind {
+	case DLCN:
+		delays, makespan = simulateInsertion(cfg, msgs, cfg.MinLen+cfg.MaxLen, false)
+	case Pierce:
+		delays, makespan = simulateInsertion(cfg, msgs, 0, true)
+	case Newhall:
+		delays, makespan = simulateNewhall(cfg, msgs)
+	}
+
+	res := Result{Delivered: len(delays), Makespan: makespan}
+	var sum time.Duration
+	for _, d := range delays {
+		sum += d
+		if d > res.MaxDelay {
+			res.MaxDelay = d
+		}
+	}
+	if len(delays) > 0 {
+		res.MeanDelay = sum / time.Duration(len(delays))
+		sorted := append([]time.Duration(nil), delays...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		res.P95Delay = sorted[len(sorted)*95/100]
+	}
+	var payload int64
+	for _, m := range msgs {
+		payload += int64(m.bytes)
+	}
+	if last := msgs[len(msgs)-1].arrive; last > 0 {
+		res.OfferedMbps = float64(payload) * 8 / 1e6 / last.Seconds()
+	}
+	if makespan > 0 {
+		res.CarriedMbps = float64(payload) * 8 / 1e6 / makespan.Seconds()
+	}
+	return res, nil
+}
+
+// serTime returns the serialization time of the given bytes on the loop.
+func serTime(c Config, bytes int) time.Duration {
+	return time.Duration(float64(bytes) * 8 / c.BitsPerSec * float64(time.Second))
+}
+
+// hops returns the path length from src to dst on the unidirectional
+// loop.
+func hops(c Config, src, dst int) int {
+	return ((dst - src) + c.Nodes) % c.Nodes
+}
+
+// simulateInsertion models a shift-register insertion loop with virtual
+// cut-through: a unit (whole message for DLCN, one slot for Pierce)
+// reserves each link along its path; the reservation at link k starts
+// one hop delay after link k-1 (or later if the link is still busy with
+// earlier traffic), and holds the link for the unit's serialization
+// time. Units are processed in arrival order, which preserves FIFO
+// fairness at each insertion point.
+func simulateInsertion(cfg Config, msgs []message, _ int, slotted bool) ([]time.Duration, time.Duration) {
+	linkFree := make([]time.Duration, cfg.Nodes) // link i: node i -> i+1
+	delays := make([]time.Duration, 0, len(msgs))
+	var makespan time.Duration
+
+	// sendUnit reserves the path for one unit starting no earlier than
+	// start, returning (insertion completion, delivery time).
+	sendUnit := func(src, dst int, bytes int, start time.Duration) (time.Duration, time.Duration) {
+		ser := serTime(cfg, bytes)
+		t := start
+		n := hops(cfg, src, dst)
+		var depart time.Duration
+		for k := 0; k < n; k++ {
+			link := (src + k) % cfg.Nodes
+			if linkFree[link] > t {
+				t = linkFree[link]
+			}
+			linkFree[link] = t + ser
+			if k == 0 {
+				depart = t + ser
+			}
+			t += cfg.HopDelay
+		}
+		// Delivery: last link's occupation ends ser after its start.
+		return depart, t - cfg.HopDelay + ser + cfg.HopDelay
+	}
+
+	for _, m := range msgs {
+		var delivered time.Duration
+		if !slotted {
+			_, delivered = sendUnit(m.src, m.dst, m.bytes, m.arrive)
+		} else {
+			// Pierce: segment into fixed slots; each slot pays the
+			// header, the last is padded to the slot boundary. Slots
+			// follow each other down the loop; delivery is the last
+			// slot's arrival.
+			remaining := m.bytes
+			start := m.arrive
+			for remaining > 0 {
+				slotBytes := cfg.SlotPayload + cfg.SlotHeader
+				var d time.Duration
+				start, d = sendUnit(m.src, m.dst, slotBytes, start)
+				if d > delivered {
+					delivered = d
+				}
+				remaining -= cfg.SlotPayload
+			}
+		}
+		delays = append(delays, delivered-m.arrive)
+		if delivered > makespan {
+			makespan = delivered
+		}
+	}
+	return delays, makespan
+}
+
+// simulateNewhall models a control-token loop: the token circulates
+// node to node; a node holding the token transmits one whole queued
+// message (occupying the entire loop for its serialization time) before
+// passing the token on.
+func simulateNewhall(cfg Config, msgs []message) ([]time.Duration, time.Duration) {
+	type qmsg struct {
+		message
+		idx int
+	}
+	queues := make([][]qmsg, cfg.Nodes)
+	delays := make([]time.Duration, len(msgs))
+	var makespan time.Duration
+
+	next := 0 // next message (by arrival) not yet enqueued
+	enqueueUpTo := func(t time.Duration) {
+		for next < len(msgs) && msgs[next].arrive <= t {
+			m := msgs[next]
+			queues[m.src] = append(queues[m.src], qmsg{m, next})
+			next++
+		}
+	}
+
+	tokenAt := 0
+	now := time.Duration(0)
+	remaining := len(msgs)
+	for remaining > 0 {
+		enqueueUpTo(now)
+		if q := queues[tokenAt]; len(q) > 0 {
+			m := q[0]
+			queues[tokenAt] = q[1:]
+			ser := serTime(cfg, m.bytes)
+			delivered := now + ser + time.Duration(hops(cfg, m.src, m.dst))*cfg.HopDelay
+			delays[m.idx] = delivered - m.arrive
+			if delivered > makespan {
+				makespan = delivered
+			}
+			remaining--
+			// The loop is busy until the tail of the message returns;
+			// the token moves on after transmission completes.
+			now += ser + cfg.HopDelay
+			tokenAt = (tokenAt + 1) % cfg.Nodes
+			continue
+		}
+		// Idle hop. If every queue is empty, jump the token forward to
+		// the next arrival instead of spinning hop by hop.
+		idle := true
+		for _, q := range queues {
+			if len(q) > 0 {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			if next >= len(msgs) {
+				break
+			}
+			target := msgs[next]
+			// Advance the token until it reaches target.src no earlier
+			// than the arrival time.
+			steps := hops(cfg, tokenAt, target.src)
+			t := now + time.Duration(steps)*cfg.HopDelay
+			for t < target.arrive {
+				t += time.Duration(cfg.Nodes) * cfg.HopDelay
+			}
+			now = t
+			tokenAt = target.src
+			enqueueUpTo(now)
+			continue
+		}
+		now += cfg.HopDelay
+		tokenAt = (tokenAt + 1) % cfg.Nodes
+	}
+	return delays, makespan
+}

@@ -1,0 +1,247 @@
+package ringnet
+
+import (
+	"testing"
+	"time"
+)
+
+func base(kind Kind) Config {
+	return Config{
+		Kind:     kind,
+		Nodes:    16,
+		Messages: 1500,
+		MeanGap:  60 * time.Microsecond,
+		MinLen:   64,
+		MaxLen:   2048,
+		Seed:     42,
+	}
+}
+
+func TestAllKindsDeliverEverything(t *testing.T) {
+	for _, k := range []Kind{DLCN, Newhall, Pierce} {
+		res, err := Simulate(base(k))
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if res.Delivered != 1500 {
+			t.Errorf("%s delivered %d of 1500", k, res.Delivered)
+		}
+		if res.MeanDelay <= 0 || res.MaxDelay < res.MeanDelay || res.P95Delay <= 0 {
+			t.Errorf("%s delay stats inconsistent: %+v", k, res)
+		}
+		if res.Makespan <= 0 || res.CarriedMbps <= 0 {
+			t.Errorf("%s makespan/throughput missing: %+v", k, res)
+		}
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a, err := Simulate(base(DLCN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(base(DLCN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("identical configs differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestDLCNBeatsAlternatives reproduces the Reames–Liu comparison the
+// paper cites: for variable-length messages at moderate load, the
+// insertion ring has lower mean delay than both the token loop and the
+// slotted loop.
+func TestDLCNBeatsAlternatives(t *testing.T) {
+	dlcn, err := Simulate(base(DLCN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newhall, err := Simulate(base(Newhall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pierce, err := Simulate(base(Pierce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dlcn.MeanDelay >= newhall.MeanDelay {
+		t.Errorf("DLCN (%v) not faster than Newhall (%v)", dlcn.MeanDelay, newhall.MeanDelay)
+	}
+	if dlcn.MeanDelay >= pierce.MeanDelay {
+		t.Errorf("DLCN (%v) not faster than Pierce (%v)", dlcn.MeanDelay, pierce.MeanDelay)
+	}
+}
+
+func TestDelayGrowsWithLoad(t *testing.T) {
+	for _, k := range []Kind{DLCN, Newhall, Pierce} {
+		light := base(k)
+		light.MeanGap = 2 * time.Millisecond
+		heavy := base(k)
+		heavy.MeanGap = 40 * time.Microsecond
+		lr, err := Simulate(light)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr, err := Simulate(heavy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hr.MeanDelay <= lr.MeanDelay {
+			t.Errorf("%s: heavy load (%v) not slower than light load (%v)",
+				k, hr.MeanDelay, lr.MeanDelay)
+		}
+	}
+}
+
+func TestLightLoadDelayNearServiceTime(t *testing.T) {
+	// At very light load a DLCN message's delay is close to its own
+	// serialization plus hop delays — no queueing.
+	cfg := base(DLCN)
+	cfg.MeanGap = 50 * time.Millisecond
+	cfg.MinLen, cfg.MaxLen = 1000, 1000
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := cfg.withDefaults()
+	ser := serTime(full, 1000)
+	// Mean path is ~Nodes/2 hops; delay should be within [ser, ser + N·hop + slack].
+	min := ser
+	max := ser + time.Duration(full.Nodes)*full.HopDelay + ser/2
+	if res.MeanDelay < min || res.MeanDelay > max {
+		t.Errorf("light-load mean delay %v outside [%v, %v]", res.MeanDelay, min, max)
+	}
+}
+
+func TestPierceFragmentationOverhead(t *testing.T) {
+	// A single long message on an idle loop: Pierce pays per-slot
+	// headers and padding, so it must be slower than DLCN end to end.
+	cfg := base(DLCN)
+	cfg.Messages = 1
+	cfg.MinLen, cfg.MaxLen = 1500, 1500
+	d, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Kind = Pierce
+	p, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MeanDelay <= d.MeanDelay {
+		t.Errorf("Pierce single-message delay %v not above DLCN %v", p.MeanDelay, d.MeanDelay)
+	}
+}
+
+func TestNewhallMonopolizesLoop(t *testing.T) {
+	// Two messages between disjoint node pairs arriving together: DLCN
+	// carries them concurrently, Newhall serializes them.
+	mk := func(k Kind) Result {
+		cfg := base(k)
+		cfg.Messages = 40
+		cfg.MeanGap = time.Nanosecond // effectively simultaneous
+		cfg.MinLen, cfg.MaxLen = 2048, 2048
+		r, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	d := mk(DLCN)
+	n := mk(Newhall)
+	if n.Makespan <= d.Makespan {
+		t.Errorf("Newhall makespan %v not above DLCN %v under burst", n.Makespan, d.Makespan)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Simulate(Config{Kind: Kind(9), Nodes: 4}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Simulate(Config{Kind: DLCN, Nodes: 1}); err == nil {
+		t.Error("single-node loop accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if DLCN.String() != "dlcn" || Newhall.String() != "newhall" ||
+		Pierce.String() != "pierce" || Kind(9).String() != "ring(9)" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestHopsWrapAround(t *testing.T) {
+	cfg, _ := Config{Kind: DLCN, Nodes: 8}.withDefaults()
+	if hops(cfg, 6, 2) != 4 || hops(cfg, 2, 6) != 4 || hops(cfg, 0, 7) != 7 {
+		t.Error("hops computes wrong path lengths")
+	}
+}
+
+// TestCarriedNeverExceedsCapacity: the loop cannot deliver more payload
+// per unit time than its raw bandwidth.
+func TestCarriedNeverExceedsCapacity(t *testing.T) {
+	for _, k := range []Kind{DLCN, Newhall, Pierce} {
+		cfg := base(k)
+		cfg.MeanGap = 10 * time.Microsecond // overload
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// DLCN's spatial reuse lets disjoint segments carry concurrent
+		// transfers, so aggregate payload can exceed a single link's
+		// rate, but never the sum of all link rates.
+		full, _ := cfg.withDefaults()
+		cap := full.BitsPerSec / 1e6 * float64(full.Nodes)
+		if res.CarriedMbps > cap {
+			t.Errorf("%s carried %.1f Mbps, above any physical bound %.1f", k, res.CarriedMbps, cap)
+		}
+	}
+}
+
+// TestDelayAtLeastSerialization: no message is delivered faster than
+// its own serialization time.
+func TestDelayAtLeastSerialization(t *testing.T) {
+	for _, k := range []Kind{DLCN, Newhall, Pierce} {
+		cfg := base(k)
+		cfg.Messages = 300
+		cfg.MinLen, cfg.MaxLen = 512, 512
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, _ := cfg.withDefaults()
+		minDelay := serTime(full, 512)
+		if res.MeanDelay < minDelay {
+			t.Errorf("%s mean delay %v below serialization time %v", k, res.MeanDelay, minDelay)
+		}
+	}
+}
+
+// TestTwoNodeLoop: the degenerate smallest topology still works.
+func TestTwoNodeLoop(t *testing.T) {
+	for _, k := range []Kind{DLCN, Newhall, Pierce} {
+		cfg := base(k)
+		cfg.Nodes = 2
+		cfg.Messages = 100
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if res.Delivered != 100 {
+			t.Errorf("%s delivered %d of 100 on a 2-node loop", k, res.Delivered)
+		}
+	}
+}
+
+// TestDefaultsApplied: the zero-value knobs get sane defaults.
+func TestDefaultsApplied(t *testing.T) {
+	res, err := Simulate(Config{Kind: DLCN, Nodes: 4, Messages: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 50 {
+		t.Errorf("defaults broke delivery: %+v", res)
+	}
+}

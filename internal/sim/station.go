@@ -1,0 +1,117 @@
+package sim
+
+import "time"
+
+// Station is a k-server FCFS service center: jobs are served in arrival
+// order, each occupying one server for its service time. It models
+// devices with known service times — a disk, a ring link, a processor —
+// and accumulates busy time for utilization reporting.
+type Station struct {
+	sim *Sim
+	// freeAt[i] is the time server i finishes its last assigned job.
+	freeAt []time.Duration
+	busy   time.Duration
+	jobs   int64
+}
+
+// NewStation returns a station with k servers (k ≥ 1).
+func NewStation(s *Sim, k int) *Station {
+	if k < 1 {
+		k = 1
+	}
+	return &Station{sim: s, freeAt: make([]time.Duration, k)}
+}
+
+// Serve enqueues a job with the given service time; done (which may be
+// nil) runs at its completion. Serve returns the completion time.
+func (st *Station) Serve(service time.Duration, done func()) time.Duration {
+	// Pick the server that frees earliest.
+	best := 0
+	for i := 1; i < len(st.freeAt); i++ {
+		if st.freeAt[i] < st.freeAt[best] {
+			best = i
+		}
+	}
+	start := st.sim.Now()
+	if st.freeAt[best] > start {
+		start = st.freeAt[best]
+	}
+	finish := start + service
+	st.freeAt[best] = finish
+	st.busy += service
+	st.jobs++
+	if done != nil {
+		st.sim.At(finish, done)
+	}
+	return finish
+}
+
+// BusyTime returns the total service time accumulated across servers.
+func (st *Station) BusyTime() time.Duration { return st.busy }
+
+// Jobs returns the number of jobs served (including queued ones).
+func (st *Station) Jobs() int64 { return st.jobs }
+
+// Utilization returns busy time divided by (elapsed × servers), using
+// the given elapsed duration.
+func (st *Station) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(st.busy) / (float64(elapsed) * float64(len(st.freeAt)))
+}
+
+// Resource is a counted semaphore with a FIFO wait queue: the sim-world
+// analogue of acquiring one of a pool of identical units (instruction
+// processors, cache page frames).
+type Resource struct {
+	sim     *Sim
+	free    int
+	total   int
+	waiters []func()
+}
+
+// NewResource returns a resource with n units available.
+func NewResource(s *Sim, n int) *Resource {
+	return &Resource{sim: s, free: n, total: n}
+}
+
+// Acquire requests one unit; fn runs (as an immediate event) once a unit
+// is granted.
+func (r *Resource) Acquire(fn func()) {
+	if r.free > 0 {
+		r.free--
+		r.sim.After(0, fn)
+		return
+	}
+	r.waiters = append(r.waiters, fn)
+}
+
+// TryAcquire takes a unit if one is free, reporting success.
+func (r *Resource) TryAcquire() bool {
+	if r.free > 0 {
+		r.free--
+		return true
+	}
+	return false
+}
+
+// Release returns one unit, granting it to the oldest waiter if any.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		fn := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.sim.After(0, fn)
+		return
+	}
+	r.free++
+	if r.free > r.total {
+		panic("sim: Resource released more units than acquired")
+	}
+}
+
+// Free returns the number of available units.
+func (r *Resource) Free() int { return r.free }
+
+// Waiting returns the number of queued acquirers.
+func (r *Resource) Waiting() int { return len(r.waiters) }

@@ -1,0 +1,187 @@
+// Package stats provides the small measurement and reporting helpers the
+// experiment harness uses: byte/time unit conversions, aligned text
+// tables, and named data series matching the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Mbps converts a byte count moved over a duration to average megabits
+// per second — the unit of the paper's Figure 4.2 ("the bandwidth values
+// represent average values and not peak load values").
+func Mbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / 1e6 / d.Seconds()
+}
+
+// Ratio returns a/b, or 0 when b is zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v, floats with %.3g
+// unless already strings.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case time.Duration:
+			row[i] = v.Round(time.Millisecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with a title line, a header line, a rule, and
+// aligned rows.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named curve of a figure: (x, y) points in x order.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the y value for the given x, or 0 and false if absent.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a set of series over a shared x axis, rendered as a table
+// with one column per series — the textual equivalent of a paper figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	Series []*Series
+}
+
+// NewFigure returns an empty figure.
+func NewFigure(title, xLabel string) *Figure {
+	return &Figure{Title: title, XLabel: xLabel}
+}
+
+// NewSeries adds a named series to the figure and returns it.
+func (f *Figure) NewSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// String renders the figure as an aligned table: the union of x values in
+// ascending order, one column per series ("-" where a series has no
+// point).
+func (f *Figure) String() string {
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	headers := append([]string{f.XLabel}, make([]string, len(f.Series))...)
+	for i, s := range f.Series {
+		headers[i+1] = s.Name
+	}
+	t := NewTable(f.Title, headers...)
+	for _, x := range sorted {
+		row := make([]interface{}, 0, len(headers))
+		row = append(row, fmt.Sprintf("%g", x))
+		for _, s := range f.Series {
+			if y, ok := s.YAt(x); ok {
+				row = append(row, y)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}

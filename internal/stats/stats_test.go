@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMbps(t *testing.T) {
+	// 1 MB over 1 second = 8 Mbps.
+	if got := Mbps(1_000_000, time.Second); got != 8 {
+		t.Errorf("Mbps = %g, want 8", got)
+	}
+	if got := Mbps(500, 0); got != 0 {
+		t.Errorf("Mbps with zero duration = %g, want 0", got)
+	}
+	// 16 KB in 33 ms (the LSI-11 page read) ≈ 3.97 Mbps.
+	got := Mbps(16*1024, 33*time.Millisecond)
+	if got < 3.9 || got > 4.1 {
+		t.Errorf("LSI-11 page-read rate = %g Mbps, want ≈3.97", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 4) != 2.5 {
+		t.Error("Ratio(10,4) != 2.5")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio(_,0) != 0")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("Results", "name", "count", "time")
+	tb.AddRow("alpha", 10, 1500*time.Millisecond)
+	tb.AddRow("a-much-longer-name", 2, 33*time.Millisecond)
+	tb.AddRow("pi", 3.14159, "n/a")
+	out := tb.String()
+	if !strings.HasPrefix(out, "Results\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("table has %d lines, want 6:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "count") {
+		t.Errorf("header line wrong: %q", lines[1])
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Errorf("float not formatted with %%.4g:\n%s", out)
+	}
+	if !strings.Contains(out, "1.5s") {
+		t.Errorf("duration not rounded:\n%s", out)
+	}
+	if tb.NumRows() != 3 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if y, ok := s.YAt(2); !ok || y != 20 {
+		t.Errorf("YAt(2) = %g, %v", y, ok)
+	}
+	if _, ok := s.YAt(3); ok {
+		t.Error("YAt(3) found a point")
+	}
+}
+
+func TestFigureRendersUnionOfX(t *testing.T) {
+	f := NewFigure("Fig test", "procs")
+	a := f.NewSeries("page")
+	b := f.NewSeries("relation")
+	a.Add(1, 100)
+	a.Add(4, 30)
+	b.Add(4, 60)
+	b.Add(8, 40)
+	out := f.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + rule + 3 x-values.
+	if len(lines) != 6 {
+		t.Fatalf("figure has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "procs") || !strings.Contains(lines[1], "page") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// x=1 row has "-" for the relation series.
+	if !strings.Contains(lines[3], "-") {
+		t.Errorf("missing placeholder in row %q", lines[3])
+	}
+	// Rows are sorted by x.
+	if !strings.HasPrefix(strings.TrimSpace(lines[3]), "1") ||
+		!strings.HasPrefix(strings.TrimSpace(lines[4]), "4") ||
+		!strings.HasPrefix(strings.TrimSpace(lines[5]), "8") {
+		t.Errorf("rows not sorted by x:\n%s", out)
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/pred"
+	"dfdbm/internal/query"
+	"dfdbm/internal/relation"
+)
+
+// RandomQuery generates a random, always-bindable query tree over a
+// database built by BuildDatabase. The generator drives the
+// cross-engine equivalence fuzz tests: any tree it produces must
+// compute the same multiset on the serial executor, the data-flow
+// engine at every granularity, and the ring machine.
+//
+// joins bounds the join count (keeping intermediate sizes sane);
+// depth bounds tree height. The same (rng state) always yields the
+// same tree.
+func RandomQuery(rng *rand.Rand, cat *catalog.Catalog, joins, depth int) (*query.Tree, error) {
+	g := &randGen{rng: rng, joinsLeft: joins}
+	root := g.node(depth)
+	// Wrap a project on top sometimes, to cover duplicate elimination.
+	if rng.Intn(3) == 0 {
+		root = query.Project(root, g.projCols()...)
+	}
+	t, err := query.Bind(root, cat)
+	if err != nil {
+		return nil, fmt.Errorf("workload: generated unbindable tree %v: %w", root, err)
+	}
+	return t, nil
+}
+
+type randGen struct {
+	rng       *rand.Rand
+	joinsLeft int
+}
+
+// node produces a subtree whose output schema is always the paper
+// schema extended by join concatenation — predicates reference only k*
+// and val attributes, which survive every join on the outer side.
+func (g *randGen) node(depth int) *query.Node {
+	if depth <= 1 {
+		return g.leaf()
+	}
+	roll := g.rng.Intn(10)
+	switch {
+	case roll < 5: // restrict
+		return query.Restrict(g.node(depth-1), g.pred())
+	case roll < 8 && g.joinsLeft > 0: // join
+		g.joinsLeft--
+		key := fmt.Sprintf("k%d", g.rng.Intn(4)+1)
+		// Restrict both sides so the cross product stays small.
+		outer := query.Restrict(g.node(depth-1), g.selPred(150))
+		inner := query.Restrict(g.leaf(), g.selPred(150))
+		return query.Join(outer, inner, pred.Equi(key, key))
+	default:
+		return g.leaf()
+	}
+}
+
+func (g *randGen) leaf() *query.Node {
+	names := RelationNames()
+	return query.Scan(names[g.rng.Intn(len(names))])
+}
+
+// selPred returns `val < cut` with cut below the given bound.
+func (g *randGen) selPred(bound int) pred.Pred {
+	return pred.Compare{
+		Attr:  "val",
+		Op:    pred.LT,
+		Const: relation.IntVal(int64(g.rng.Intn(bound) + 20)),
+	}
+}
+
+// pred returns a random predicate over the always-present attributes.
+func (g *randGen) pred() pred.Pred {
+	attr := fmt.Sprintf("k%d", g.rng.Intn(4)+1)
+	cut := int64(g.rng.Intn(keyDomains[3]))
+	ops := []pred.Op{pred.LT, pred.LE, pred.GT, pred.GE, pred.NE}
+	base := pred.Compare{Attr: attr, Op: ops[g.rng.Intn(len(ops))], Const: relation.IntVal(cut)}
+	switch g.rng.Intn(4) {
+	case 0:
+		return pred.Conj(base, g.selPred(600))
+	case 1:
+		return pred.Disj(base, pred.Compare{
+			Attr: "val", Op: pred.LT, Const: relation.IntVal(int64(g.rng.Intn(50))),
+		})
+	case 2:
+		return pred.Not{Kid: base}
+	default:
+		return base
+	}
+}
+
+// projCols picks a non-empty subset of the always-present attributes.
+func (g *randGen) projCols() []string {
+	all := []string{"k1", "k2", "k3", "k4", "val"}
+	n := g.rng.Intn(3) + 1
+	g.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:n]
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"dfdbm/internal/query"
+)
+
+func TestRandomQueryAlwaysBindable(t *testing.T) {
+	cat, err := BuildDatabase(Config{Seed: 3, Scale: 0.02, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q, err := RandomQuery(rng, cat, 3, 5)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if q.NumNodes() < 1 {
+			t.Fatalf("seed %d: empty tree", seed)
+		}
+	}
+}
+
+func TestRandomQueryRespectsJoinBound(t *testing.T) {
+	cat, err := BuildDatabase(Config{Seed: 3, Scale: 0.02, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		maxJoins := int(seed % 4)
+		q, err := RandomQuery(rng, cat, maxJoins, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := query.ShapeOf(q.Root()).Joins; got > maxJoins {
+			t.Errorf("seed %d: %d joins, bound %d", seed, got, maxJoins)
+		}
+	}
+}
+
+func TestRandomQueryExecutes(t *testing.T) {
+	cat, err := BuildDatabase(Config{Seed: 3, Scale: 0.02, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q, err := RandomQuery(rng, cat, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := query.ExecuteSerial(cat, q, 0); err != nil {
+			t.Errorf("seed %d: serial execution failed: %v (query %v)", seed, err, q)
+		}
+	}
+}
+
+func TestRandomQueryVariety(t *testing.T) {
+	cat, err := BuildDatabase(Config{Seed: 3, Scale: 0.02, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joins, restricts, projects int
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q, err := RandomQuery(rng, cat, 2, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := query.ShapeOf(q.Root())
+		joins += s.Joins
+		restricts += s.Restricts
+		projects += s.Projects
+	}
+	if joins == 0 || restricts == 0 || projects == 0 {
+		t.Errorf("generator lacks variety: %d joins, %d restricts, %d projects over 100 trees",
+			joins, restricts, projects)
+	}
+}

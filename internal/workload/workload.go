@@ -1,0 +1,249 @@
+// Package workload builds the paper's benchmark: a relational database
+// of 15 relations with a combined size of 5.5 megabytes, and the ten-
+// query mix of Section 3.2 — 2 queries with 1 restrict only, 3 queries
+// with 1 join and 2 restricts, 2 queries with 2 joins and 3 restricts,
+// 1 query with 3 joins and 4 restricts, 1 query with 4 joins and 4
+// restricts, and 1 query with 5 joins and 6 restricts.
+//
+// The original database contents are lost; this package generates a
+// deterministic synthetic equivalent. Every tuple is 100 bytes (the
+// tuple size of the paper's Section 3.3 analysis), join keys are drawn
+// from bounded domains so that selectivities shrink up the query tree,
+// and relation cardinalities sum to exactly 55,000 tuples — 5.5 MB of
+// tuple data at full scale.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/query"
+	"dfdbm/internal/relation"
+)
+
+// Config parameterizes database generation.
+type Config struct {
+	// Seed drives the deterministic generator. Two equal configs build
+	// byte-identical databases.
+	Seed int64
+	// PageSize is the page size of every relation. Defaults to
+	// relation.DefaultPageSize (16 KB, the DIRECT operand size).
+	PageSize int
+	// Scale multiplies every relation's cardinality. 1.0 reproduces the
+	// paper's 5.5 MB database; tests use smaller scales. Defaults to 1.0.
+	Scale float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize == 0 {
+		c.PageSize = relation.DefaultPageSize
+	}
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	return c
+}
+
+// relTuples holds the full-scale cardinality of each of the 15
+// relations; the values sum to 55,000 (5.5 MB of 100-byte tuples).
+var relTuples = []int{
+	8000, 7000, 6000, 5000, 5000,
+	4000, 4000, 3500, 3000, 2500,
+	2000, 1800, 1500, 1000, 700,
+}
+
+// Key domains: ki is uniform on [0, keyDomain[i]). Wider domains deeper
+// in a join chain keep intermediate results from exploding.
+var keyDomains = [4]int{100, 200, 400, 800}
+
+// ValDomain is the exclusive upper bound of the selection attribute
+// "val"; a predicate `val < v` has selectivity v/ValDomain.
+const ValDomain = 1000
+
+// NumRelations is the number of database relations (the paper's 15).
+const NumRelations = 15
+
+// RelationNames returns the names r1..r15.
+func RelationNames() []string {
+	out := make([]string, NumRelations)
+	for i := range out {
+		out[i] = fmt.Sprintf("r%d", i+1)
+	}
+	return out
+}
+
+// PaperSchema returns the shared 100-byte-tuple schema:
+//
+//	id  int32   unique row id
+//	k1..k4 int32 join keys on bounded domains
+//	val int32   uniform selection attribute on [0, ValDomain)
+//	pad string  filler bringing the tuple to exactly 100 bytes
+func PaperSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attr{Name: "id", Type: relation.Int32},
+		relation.Attr{Name: "k1", Type: relation.Int32},
+		relation.Attr{Name: "k2", Type: relation.Int32},
+		relation.Attr{Name: "k3", Type: relation.Int32},
+		relation.Attr{Name: "k4", Type: relation.Int32},
+		relation.Attr{Name: "val", Type: relation.Int32},
+		relation.Attr{Name: "pad", Type: relation.String, Width: 76},
+	)
+}
+
+// BuildDatabase generates the 15-relation database.
+func BuildDatabase(cfg Config) (*catalog.Catalog, error) {
+	cfg = cfg.withDefaults()
+	schema := PaperSchema()
+	if schema.TupleLen() != 100 {
+		return nil, fmt.Errorf("workload: schema is %d bytes per tuple, want 100", schema.TupleLen())
+	}
+	cat := catalog.New()
+	for i, name := range RelationNames() {
+		n := int(float64(relTuples[i]) * cfg.Scale)
+		if n < 1 {
+			n = 1
+		}
+		r, err := relation.New(name, schema, cfg.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(i+1)))
+		tup := make(relation.Tuple, 7)
+		for row := 0; row < n; row++ {
+			tup[0] = relation.IntVal(int64(row))
+			tup[1] = relation.IntVal(int64(rng.Intn(keyDomains[0])))
+			tup[2] = relation.IntVal(int64(rng.Intn(keyDomains[1])))
+			tup[3] = relation.IntVal(int64(rng.Intn(keyDomains[2])))
+			tup[4] = relation.IntVal(int64(rng.Intn(keyDomains[3])))
+			tup[5] = relation.IntVal(int64(rng.Intn(ValDomain)))
+			tup[6] = relation.StringVal("x")
+			if err := r.Insert(tup); err != nil {
+				return nil, err
+			}
+		}
+		cat.Put(r)
+	}
+	return cat, nil
+}
+
+// QueryTexts returns the ten benchmark queries in the paper's mix, in
+// the surface syntax of internal/query.
+func QueryTexts() []string {
+	return []string{
+		// 2 queries with 1 restrict operator only.
+		`restrict(r1, val < 100)`,
+		`restrict(r9, val < 300)`,
+		// 3 queries with 1 join and 2 restricts each. Selectivities are
+		// chosen so that intermediate relations are comparable in volume
+		// to the source relations, the regime in which the paper's
+		// page-level pipelining pays off.
+		`join(restrict(r2, val < 120), restrict(r3, val < 120), k1 = k1)`,
+		`join(restrict(r4, val < 150), restrict(r10, val < 150), k1 = k1)`,
+		`join(restrict(r5, val < 120), restrict(r11, val < 150), k2 = k2)`,
+		// 2 queries with 2 joins and 3 restricts each.
+		`join(join(restrict(r1, val < 100), restrict(r6, val < 100), k1 = k1), restrict(r12, val < 150), k2 = k2)`,
+		`join(join(restrict(r7, val < 100), restrict(r8, val < 100), k1 = k1), restrict(r13, val < 150), k2 = k2)`,
+		// 1 query with 3 joins and 4 restricts.
+		`join(join(join(restrict(r2, val < 80), restrict(r9, val < 80), k1 = k1), restrict(r14, val < 250), k2 = k2), restrict(r5, val < 100), k3 = k3)`,
+		// 1 query with 4 joins and 4 restricts.
+		`join(join(join(join(restrict(r3, val < 80), restrict(r10, val < 100), k1 = k1), restrict(r12, val < 150), k2 = k2), restrict(r6, val < 100), k3 = k3), r15, k4 = k4)`,
+		// 1 query with 5 joins and 6 restricts.
+		`join(join(join(join(join(restrict(r4, val < 80), restrict(r11, val < 100), k1 = k1), restrict(r13, val < 150), k2 = k2), restrict(r7, val < 100), k3 = k3), restrict(r14, val < 250), k4 = k4), restrict(r15, val < 500), k1 = k1)`,
+	}
+}
+
+// BuildQueries parses and binds the ten benchmark queries against a
+// database built by BuildDatabase.
+func BuildQueries(cat *catalog.Catalog) ([]*query.Tree, error) {
+	texts := QueryTexts()
+	out := make([]*query.Tree, len(texts))
+	for i, src := range texts {
+		root, err := query.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("workload: query %d: %w", i+1, err)
+		}
+		t, err := query.Bind(root, cat)
+		if err != nil {
+			return nil, fmt.Errorf("workload: query %d: %w", i+1, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Build generates the database and binds the benchmark queries.
+func Build(cfg Config) (*catalog.Catalog, []*query.Tree, error) {
+	cat, err := BuildDatabase(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	qs, err := BuildQueries(cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cat, qs, nil
+}
+
+// JoinPair generates two relations of the given cardinalities sharing
+// the 100-byte schema, for the join-algorithm comparison benchmark
+// (nested loops versus sort-merge, Section 2.1).
+func JoinPair(seed int64, pageSize, outerN, innerN int) (outer, inner *relation.Relation, err error) {
+	schema := PaperSchema()
+	mk := func(name string, n int, salt int64) (*relation.Relation, error) {
+		r, err := relation.New(name, schema, pageSize)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + salt))
+		for row := 0; row < n; row++ {
+			if err := r.Insert(relation.Tuple{
+				relation.IntVal(int64(row)),
+				relation.IntVal(int64(rng.Intn(keyDomains[0]))),
+				relation.IntVal(int64(rng.Intn(keyDomains[1]))),
+				relation.IntVal(int64(rng.Intn(keyDomains[2]))),
+				relation.IntVal(int64(rng.Intn(keyDomains[3]))),
+				relation.IntVal(int64(rng.Intn(ValDomain))),
+				relation.StringVal("x"),
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return r, nil
+	}
+	outer, err = mk("outer", outerN, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	inner, err = mk("inner", innerN, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return outer, inner, nil
+}
+
+// DuplicateHeavy generates a relation in which the (k1, k2) projection
+// has heavy duplication, for the parallel-project benchmark (Section 5's
+// open problem).
+func DuplicateHeavy(seed int64, pageSize, n int) (*relation.Relation, error) {
+	schema := PaperSchema()
+	r, err := relation.New("dups", schema, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for row := 0; row < n; row++ {
+		if err := r.Insert(relation.Tuple{
+			relation.IntVal(int64(row)),
+			relation.IntVal(int64(rng.Intn(20))),
+			relation.IntVal(int64(rng.Intn(20))),
+			relation.IntVal(int64(rng.Intn(keyDomains[2]))),
+			relation.IntVal(int64(rng.Intn(keyDomains[3]))),
+			relation.IntVal(int64(rng.Intn(ValDomain))),
+			relation.StringVal("x"),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"testing"
+
+	"dfdbm/internal/query"
+	"dfdbm/internal/relation"
+)
+
+func TestPaperSchemaIs100Bytes(t *testing.T) {
+	if got := PaperSchema().TupleLen(); got != 100 {
+		t.Errorf("tuple length = %d, want 100", got)
+	}
+}
+
+func TestFullScaleDatabaseSize(t *testing.T) {
+	cat, err := BuildDatabase(Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("BuildDatabase: %v", err)
+	}
+	if cat.Len() != 15 {
+		t.Errorf("database has %d relations, want 15", cat.Len())
+	}
+	total := 0
+	for _, name := range RelationNames() {
+		r, err := cat.Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		total += r.Cardinality()
+	}
+	if total != 55000 {
+		t.Errorf("total tuples = %d, want 55000 (5.5 MB of 100-byte tuples)", total)
+	}
+	// Byte footprint including page headers should be a little over 5.5 MB.
+	if b := cat.TotalBytes(); b < 5_500_000 || b > 5_600_000 {
+		t.Errorf("TotalBytes = %d, want ≈5.5e6", b)
+	}
+}
+
+func TestScaledDatabase(t *testing.T) {
+	cat, err := BuildDatabase(Config{Seed: 1, Scale: 0.1, PageSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := cat.Get("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cardinality() != 800 {
+		t.Errorf("scaled r1 has %d tuples, want 800", r1.Cardinality())
+	}
+	if r1.PageSize() != 1000 {
+		t.Errorf("page size = %d, want 1000", r1.PageSize())
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, err := BuildDatabase(Config{Seed: 7, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildDatabase(Config{Seed: 7, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range RelationNames() {
+		ra, _ := a.Get(name)
+		rb, _ := b.Get(name)
+		if !ra.EqualMultiset(rb) {
+			t.Errorf("relation %s differs between identical configs", name)
+		}
+	}
+	c, err := BuildDatabase(Config{Seed: 8, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := a.Get("r1")
+	rc, _ := c.Get("r1")
+	if ra.EqualMultiset(rc) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestQueryMixMatchesPaper(t *testing.T) {
+	cat, qs, err := Build(Config{Seed: 1, Scale: 0.02})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if cat.Len() != 15 || len(qs) != 10 {
+		t.Fatalf("got %d relations, %d queries", cat.Len(), len(qs))
+	}
+	type mix struct{ joins, restricts int }
+	var got []mix
+	for _, q := range qs {
+		s := query.ShapeOf(q.Root())
+		got = append(got, mix{s.Joins, s.Restricts})
+	}
+	want := []mix{
+		{0, 1}, {0, 1},
+		{1, 2}, {1, 2}, {1, 2},
+		{2, 3}, {2, 3},
+		{3, 4},
+		{4, 4},
+		{5, 6},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("query %d shape = %+v, want %+v", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestBenchmarkQueriesExecute(t *testing.T) {
+	cat, qs, err := Build(Config{Seed: 1, Scale: 0.05, PageSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		out, err := query.ExecuteSerial(cat, q, 0)
+		if err != nil {
+			t.Fatalf("query %d: %v", i+1, err)
+		}
+		if out == nil {
+			t.Fatalf("query %d returned nil", i+1)
+		}
+		// Queries 1 and 2 are plain restricts; they must keep something
+		// at this scale.
+		if i < 2 && out.Cardinality() == 0 {
+			t.Errorf("query %d produced no tuples", i+1)
+		}
+	}
+}
+
+func TestJoinPair(t *testing.T) {
+	outer, inner, err := JoinPair(3, 1000, 120, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Cardinality() != 120 || inner.Cardinality() != 80 {
+		t.Errorf("cardinalities = %d, %d", outer.Cardinality(), inner.Cardinality())
+	}
+	if !outer.Schema().Equal(PaperSchema()) {
+		t.Error("JoinPair schema differs from paper schema")
+	}
+}
+
+func TestDuplicateHeavy(t *testing.T) {
+	r, err := DuplicateHeavy(3, 1000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cardinality() != 500 {
+		t.Errorf("cardinality = %d, want 500", r.Cardinality())
+	}
+	// The (k1, k2) projection has at most 400 distinct values, so 500
+	// rows must contain duplicates.
+	seen := map[[2]int64]bool{}
+	_ = r.Each(func(tup relation.Tuple) bool {
+		seen[[2]int64{tup[1].Int, tup[2].Int}] = true
+		return true
+	})
+	if len(seen) >= 500 {
+		t.Errorf("projection has %d distinct pairs out of 500 rows; wanted duplication", len(seen))
+	}
+}
+
+func TestRelationNames(t *testing.T) {
+	names := RelationNames()
+	if len(names) != NumRelations || names[0] != "r1" || names[14] != "r15" {
+		t.Errorf("RelationNames = %v", names)
+	}
+}
+
+func TestTinyScaleClampsToOneTuple(t *testing.T) {
+	cat, err := BuildDatabase(Config{Seed: 1, Scale: 0.000001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range RelationNames() {
+		r, _ := cat.Get(name)
+		if r.Cardinality() < 1 {
+			t.Errorf("relation %s is empty at tiny scale", name)
+		}
+	}
+}

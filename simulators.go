@@ -1,0 +1,99 @@
+package dfdbm
+
+import (
+	"dfdbm/internal/direct"
+	"dfdbm/internal/figures"
+	"dfdbm/internal/hw"
+	"dfdbm/internal/machine"
+	"dfdbm/internal/ringnet"
+)
+
+// Hardware models (the paper's Section 4.1 assumptions).
+type (
+	// HWConfig gathers the 1979 device timing models: LSI-11
+	// processors, IBM 3330 drives, the CCD cache, and the rings.
+	HWConfig = hw.Config
+)
+
+// DefaultHW returns the paper's hardware: LSI-11 IPs (16 KB page in
+// 33 ms), two IBM 3330 drives, a 40 Mbps outer ring, 16 KB pages.
+func DefaultHW() HWConfig { return hw.Default1979() }
+
+// DIRECT simulator (Figures 3.1 and 4.2).
+type (
+	// DirectConfig parameterizes a simulated DIRECT machine.
+	DirectConfig = direct.Config
+	// DirectReport summarizes a simulated benchmark execution.
+	DirectReport = direct.Report
+	// QueryProfile is a query's cardinality profile for the simulator.
+	QueryProfile = direct.QueryProfile
+	// TrafficParams is the Section 3.3 closed-form traffic analysis.
+	TrafficParams = direct.TrafficParams
+)
+
+// ProfileQueries extracts the cardinality profiles the DIRECT simulator
+// executes, by running each query once on the serial executor.
+func ProfileQueries(db *DB, qs []*Query, pageSize int) ([]QueryProfile, error) {
+	return direct.ProfileAll(db.Catalog(), qs, pageSize)
+}
+
+// SimulateDIRECT runs the profiled queries on a simulated DIRECT
+// configuration and reports execution time and per-level bandwidth.
+func SimulateDIRECT(cfg DirectConfig, profiles []QueryProfile) (DirectReport, error) {
+	return direct.Run(cfg, profiles)
+}
+
+// TrafficExample returns the Section 3.3 example with the given join
+// cardinalities, page size, and per-packet overhead.
+func TrafficExample(n, m, pageBytes, overhead int) TrafficParams {
+	return direct.PaperExample(n, m, pageBytes, overhead)
+}
+
+// Ring data-flow machine (the paper's Section 4 design).
+type (
+	// MachineConfig parameterizes the ring machine.
+	MachineConfig = machine.Config
+	// Machine is one simulated ring data-flow database machine.
+	Machine = machine.Machine
+	// MachineResults is the outcome of a machine run.
+	MachineResults = machine.Results
+	// MachineStats meters a machine run.
+	MachineStats = machine.Stats
+)
+
+// NewMachine builds a ring data-flow machine over the database.
+func NewMachine(db *DB, cfg MachineConfig) (*Machine, error) {
+	return machine.New(db.Catalog(), cfg)
+}
+
+// Loop networks (the paper's Section 4.1 interconnect choice).
+type (
+	// RingConfig parameterizes a loop-network simulation.
+	RingConfig = ringnet.Config
+	// RingResult reports delay and throughput statistics.
+	RingResult = ringnet.Result
+	// RingKind selects DLCN, Newhall, or Pierce.
+	RingKind = ringnet.Kind
+)
+
+// Loop architectures.
+const (
+	DLCN        = ringnet.DLCN
+	NewhallLoop = ringnet.Newhall
+	PierceLoop  = ringnet.Pierce
+)
+
+// SimulateRing runs one loop-network simulation.
+func SimulateRing(cfg RingConfig) (RingResult, error) { return ringnet.Simulate(cfg) }
+
+// Experiment harness.
+type (
+	// Figure is one regenerable table or figure of the paper.
+	Figure = figures.Figure
+	// FigureParams configures a figure rendering.
+	FigureParams = figures.Params
+)
+
+// Figures returns every experiment of the paper's evaluation, in paper
+// order. Rendering one returns the text table it produces.
+func Figures() []Figure { return figures.All() }

@@ -1,0 +1,150 @@
+package dfdbm
+
+import (
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/core"
+	"dfdbm/internal/pred"
+	"dfdbm/internal/query"
+	"dfdbm/internal/relation"
+	"dfdbm/internal/workload"
+)
+
+// Storage layer.
+type (
+	// Schema describes a relation's attributes.
+	Schema = relation.Schema
+	// Attr is one attribute of a schema.
+	Attr = relation.Attr
+	// Tuple is a decoded row.
+	Tuple = relation.Tuple
+	// Value is one attribute value.
+	Value = relation.Value
+	// Page is a fixed-size container of tuples: the unit of storage,
+	// transfer, and page-level scheduling.
+	Page = relation.Page
+	// Relation is a named collection of pages.
+	Relation = relation.Relation
+	// Catalog is a named collection of relations.
+	Catalog = catalog.Catalog
+)
+
+// Attribute storage types.
+const (
+	Int32   = relation.Int32
+	Int64   = relation.Int64
+	Float64 = relation.Float64
+	String  = relation.String
+)
+
+// IntVal returns an integer Value.
+func IntVal(v int64) Value { return relation.IntVal(v) }
+
+// FloatVal returns a floating-point Value.
+func FloatVal(v float64) Value { return relation.FloatVal(v) }
+
+// StringVal returns a string Value.
+func StringVal(v string) Value { return relation.StringVal(v) }
+
+// Predicates.
+type (
+	// Pred is a predicate tree for restrict and delete.
+	Pred = pred.Pred
+	// Compare compares an attribute against a constant.
+	Compare = pred.Compare
+	// CompareAttrs compares two attributes of one tuple.
+	CompareAttrs = pred.CompareAttrs
+	// JoinCond is a join condition between outer and inner relations.
+	JoinCond = pred.JoinCond
+	// JoinTerm is one comparison of a join condition.
+	JoinTerm = pred.JoinTerm
+)
+
+// Comparison operators.
+const (
+	EQ = pred.EQ
+	NE = pred.NE
+	LT = pred.LT
+	LE = pred.LE
+	GT = pred.GT
+	GE = pred.GE
+)
+
+// And builds the conjunction of predicates.
+func And(kids ...Pred) Pred { return pred.Conj(kids...) }
+
+// Or builds the disjunction of predicates.
+func Or(kids ...Pred) Pred { return pred.Disj(kids...) }
+
+// Not negates a predicate.
+func Not(kid Pred) Pred { return pred.Not{Kid: kid} }
+
+// Equi returns an equi-join condition on the named attributes.
+func Equi(left, right string) JoinCond { return pred.Equi(left, right) }
+
+// Queries.
+type (
+	// Query is a bound query tree.
+	Query = query.Tree
+	// QueryNode is one node of an unbound query tree.
+	QueryNode = query.Node
+	// Footprint is the read/write set used for concurrency control.
+	Footprint = query.Footprint
+)
+
+// Scan returns a leaf node reading the named relation.
+func Scan(rel string) *QueryNode { return query.Scan(rel) }
+
+// RestrictNode filters its input by p.
+func RestrictNode(in *QueryNode, p Pred) *QueryNode { return query.Restrict(in, p) }
+
+// JoinNode joins outer with inner under cond (nested loops).
+func JoinNode(outer, inner *QueryNode, cond JoinCond) *QueryNode {
+	return query.Join(outer, inner, cond)
+}
+
+// ProjectNode projects its input onto cols, eliminating duplicates.
+func ProjectNode(in *QueryNode, cols ...string) *QueryNode { return query.Project(in, cols...) }
+
+// AppendNode appends its input's tuples to the named relation.
+func AppendNode(dst string, in *QueryNode) *QueryNode { return query.Append(dst, in) }
+
+// DeleteNode removes tuples satisfying p from the named relation.
+func DeleteNode(rel string, p Pred) *QueryNode { return query.Delete(rel, p) }
+
+// Analyze computes a query's read/write footprint.
+func Analyze(root *QueryNode) Footprint { return query.Analyze(root) }
+
+// Data-flow engine.
+type (
+	// EngineOptions configures the concurrent data-flow engine.
+	EngineOptions = core.Options
+	// Result is a query execution outcome: the answer plus traffic
+	// statistics.
+	Result = core.Result
+	// EngineStats meters one execution.
+	EngineStats = core.Stats
+	// Granularity selects the scheduling unit (the paper's Section 3).
+	Granularity = core.Granularity
+	// ProjectStrategy selects the duplicate-elimination algorithm.
+	ProjectStrategy = core.ProjectStrategy
+)
+
+// The three operand granularities of the paper's Section 3.
+const (
+	RelationLevel = core.RelationLevel
+	PageLevel     = core.PageLevel
+	TupleLevel    = core.TupleLevel
+)
+
+// Duplicate-elimination strategies for the project operator.
+const (
+	// ProjectSerialIC funnels every tuple through one controller (the
+	// paper's open problem).
+	ProjectSerialIC = core.ProjectSerialIC
+	// ProjectPartitioned eliminates duplicates in hash partitions in
+	// parallel.
+	ProjectPartitioned = core.ProjectPartitioned
+)
+
+// BenchmarkConfig parameterizes the paper benchmark generator.
+type BenchmarkConfig = workload.Config
