@@ -11,6 +11,12 @@
 //	dfdbm [flags] direct [-procs N] [-strategy page|relation]
 //
 // Shared flags (before the subcommand): -scale, -seed, -pagesize.
+//
+// The run, machine, and direct subcommands accept observability flags:
+// -trace-out FILE with -trace-format text|jsonl|chrome writes the
+// structured event trace, and -metrics-out FILE writes the metrics
+// registry (counters, gauges, and time-bucketed bandwidth timelines) as
+// JSONL, with -metrics-bucket setting the timeline bucket width.
 package main
 
 import (
@@ -111,6 +117,58 @@ func check(err error) {
 	}
 }
 
+// obsFlags holds the observability flags shared by the run, machine,
+// and direct subcommands.
+type obsFlags struct {
+	traceOut    string
+	traceFormat string
+	metricsOut  string
+	bucket      time.Duration
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	f := &obsFlags{}
+	fs.StringVar(&f.traceOut, "trace-out", "", "write the structured event trace to this file")
+	fs.StringVar(&f.traceFormat, "trace-format", "text", "trace format: text, jsonl, or chrome")
+	fs.StringVar(&f.metricsOut, "metrics-out", "", "write the metrics registry as JSONL to this file")
+	fs.DurationVar(&f.bucket, "metrics-bucket", 100*time.Millisecond, "bucket width of metric timelines")
+	return f
+}
+
+// build returns the observer the flags request (nil when none) and a
+// finish function that finalizes the trace and writes the metrics file.
+func (f *obsFlags) build() (*dfdbm.Observer, func()) {
+	var sink dfdbm.TraceSink
+	var traceFile *os.File
+	if f.traceOut != "" {
+		var err error
+		traceFile, err = os.Create(f.traceOut)
+		check(err)
+		sink, err = dfdbm.NewTraceSink(f.traceFormat, traceFile)
+		check(err)
+	}
+	var reg *dfdbm.Metrics
+	if f.metricsOut != "" {
+		reg = dfdbm.NewMetrics(f.bucket)
+	}
+	if sink == nil && reg == nil {
+		return nil, func() {}
+	}
+	o := dfdbm.NewObserver(sink, reg)
+	return o, func() {
+		check(o.Close())
+		if traceFile != nil {
+			check(traceFile.Close())
+		}
+		if reg != nil {
+			mf, err := os.Create(f.metricsOut)
+			check(err)
+			check(reg.WriteJSONL(mf))
+			check(mf.Close())
+		}
+	}
+}
+
 func cmdInfo(db *dfdbm.DB) {
 	fmt.Printf("%-8s %10s %10s %10s\n", "relation", "tuples", "pages", "bytes")
 	totalT, totalB := 0, 0
@@ -128,6 +186,7 @@ func cmdRun(db *dfdbm.DB, args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	gran := fs.String("g", "page", "granularity: page, relation, or tuple")
 	workers := fs.Int("workers", 4, "instruction processors")
+	of := addObsFlags(fs)
 	check(fs.Parse(args))
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dfdbm run [-g page|relation|tuple] [-workers N] '<query>'")
@@ -138,7 +197,9 @@ func cmdRun(db *dfdbm.DB, args []string) {
 	g, err := parseGranularity(*gran)
 	check(err)
 
-	res, err := db.Execute(q, dfdbm.EngineOptions{Granularity: g, Workers: *workers})
+	o, finishObs := of.build()
+	res, err := db.Execute(q, dfdbm.EngineOptions{Granularity: g, Workers: *workers, Obs: o})
+	finishObs()
 	check(err)
 	fmt.Printf("%d tuples in %v at %s granularity\n",
 		res.Relation.Cardinality(), res.Stats.Elapsed.Round(time.Microsecond), g)
@@ -178,6 +239,7 @@ func cmdBench(db *dfdbm.DB, queries []*dfdbm.Query, pageSize int) {
 func cmdMachine(db *dfdbm.DB, queries []*dfdbm.Query, args []string, pageSize int) {
 	fs := flag.NewFlagSet("machine", flag.ExitOnError)
 	trace := fs.Bool("trace", false, "print the packet-protocol trace to stderr")
+	of := addObsFlags(fs)
 	check(fs.Parse(args))
 	hw := dfdbm.DefaultHW()
 	hw.PageSize = pageSize
@@ -185,6 +247,8 @@ func cmdMachine(db *dfdbm.DB, queries []*dfdbm.Query, args []string, pageSize in
 	if *trace {
 		cfg.Trace = os.Stderr
 	}
+	o, finishObs := of.build()
+	cfg.Obs = o
 	m, err := dfdbm.NewMachine(db, cfg)
 	check(err)
 	picked := fs.Args()
@@ -199,6 +263,7 @@ func cmdMachine(db *dfdbm.DB, queries []*dfdbm.Query, args []string, pageSize in
 		check(m.Submit(queries[n-1]))
 	}
 	res, err := m.Run()
+	finishObs()
 	check(err)
 	for _, qr := range res.PerQuery {
 		fmt.Printf("query %d: %d tuples, started %v, finished %v\n",
@@ -213,13 +278,16 @@ func cmdDirect(db *dfdbm.DB, queries []*dfdbm.Query, args []string) {
 	fs := flag.NewFlagSet("direct", flag.ExitOnError)
 	procs := fs.Int("procs", 16, "instruction processors")
 	strat := fs.String("strategy", "page", "page or relation")
+	of := addObsFlags(fs)
 	check(fs.Parse(args))
 	g, err := parseGranularity(*strat)
 	check(err)
 
 	profiles, err := dfdbm.ProfileQueries(db, queries, dfdbm.DefaultHW().PageSize)
 	check(err)
-	rep, err := dfdbm.SimulateDIRECT(dfdbm.DirectConfig{Processors: *procs, Strategy: g}, profiles)
+	o, finishObs := of.build()
+	rep, err := dfdbm.SimulateDIRECT(dfdbm.DirectConfig{Processors: *procs, Strategy: g, Obs: o}, profiles)
+	finishObs()
 	check(err)
 	fmt.Printf("DIRECT with %d processors, %s-level granularity:\n", *procs, g)
 	fmt.Printf("  benchmark execution time : %v\n", rep.Elapsed)

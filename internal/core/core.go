@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"dfdbm/internal/catalog"
+	"dfdbm/internal/obs"
 	"dfdbm/internal/query"
 	"dfdbm/internal/relalg"
 	"dfdbm/internal/relation"
@@ -107,6 +108,13 @@ type Options struct {
 	// Project selects the duplicate-elimination strategy. Default
 	// ProjectSerialIC (the paper's baseline).
 	Project ProjectStrategy
+	// Obs, when non-nil, receives one structured obs.Event per
+	// dispatched instruction packet, task completion, and node
+	// completion — stamped with real time since the execution started —
+	// and, when it carries a registry, the core.* bandwidth timelines
+	// plus each run's Stats re-expressed as counters (counters
+	// accumulate across executions of the same engine).
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -179,6 +187,38 @@ func (e *Engine) Options() Options { return e.opts }
 // are independent; an engine may execute several queries concurrently
 // as long as their footprints do not conflict (see query.Footprint).
 func (e *Engine) Execute(t *query.Tree) (*Result, error) {
+	res, err := e.execute(t)
+	if err == nil {
+		e.exportMetrics(res)
+	}
+	if err == nil {
+		if serr := e.opts.Obs.Err(); serr != nil {
+			return nil, fmt.Errorf("core: trace sink: %w", serr)
+		}
+	}
+	return res, err
+}
+
+// exportMetrics re-expresses one execution's Stats through the metrics
+// registry. Counters accumulate across executions of the same engine.
+func (e *Engine) exportMetrics(res *Result) {
+	o := e.opts.Obs
+	if !o.MetricsOn() {
+		return
+	}
+	r := o.Registry()
+	s := res.Stats
+	r.Inc("core.instruction_packets", s.InstructionPackets)
+	r.Inc("core.operand_bytes", s.OperandBytes)
+	r.Inc("core.arbitration_bytes_total", s.ArbitrationBytes)
+	r.Inc("core.result_packets", s.ResultPackets)
+	r.Inc("core.result_bytes_total", s.ResultBytes)
+	r.Inc("core.pages_moved", s.PagesMoved)
+	r.Inc("core.tuples_out", s.TuplesOut)
+	r.SetGauge("core.elapsed_seconds", s.Elapsed.Seconds())
+}
+
+func (e *Engine) execute(t *query.Tree) (*Result, error) {
 	start := time.Now()
 	root := t.Root()
 

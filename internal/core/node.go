@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"dfdbm/internal/obs"
 	"dfdbm/internal/pred"
 	"dfdbm/internal/query"
 	"dfdbm/internal/relalg"
@@ -47,6 +49,10 @@ type outlet struct {
 type engineRun struct {
 	eng  *Engine
 	tree *query.Tree
+	// obs and t0 stamp structured events with real time since the
+	// execution started (the concurrent engine has no virtual clock).
+	obs *obs.Observer
+	t0  time.Time
 
 	arb      chan *task
 	stopped  chan struct{}
@@ -68,8 +74,36 @@ func newEngineRun(e *Engine, t *query.Tree) *engineRun {
 	return &engineRun{
 		eng:     e,
 		tree:    t,
+		obs:     e.opts.Obs,
+		t0:      time.Now(),
 		arb:     make(chan *task, e.opts.Workers*e.opts.CellsPerWorker),
 		stopped: make(chan struct{}),
+	}
+}
+
+// event emits one structured event stamped with real time since the
+// execution started; safe from any goroutine of the run.
+func (r *engineRun) event(kind obs.EventKind, comp string, instr, bytes int, format string, args ...interface{}) {
+	o := r.obs
+	if !o.Enabled() {
+		return
+	}
+	o.Emit(obs.Event{
+		TS:    time.Since(r.t0),
+		Kind:  kind,
+		Comp:  comp,
+		Query: -1,
+		Instr: instr,
+		Page:  -1,
+		Bytes: bytes,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// observe accumulates v into the named real-time timeline.
+func (r *engineRun) observe(name string, v float64) {
+	if o := r.obs; o.MetricsOn() {
+		o.Registry().Add(name, time.Since(r.t0), v)
 	}
 }
 
@@ -120,6 +154,7 @@ func (r *engineRun) build(n *query.Node, out outlet) error {
 
 	ne := &nodeExec{
 		run:        r,
+		id:         len(r.nodes),
 		node:       n,
 		events:     newInfChan(),
 		out:        out,
@@ -255,7 +290,10 @@ type dedupPart struct {
 // nodeExec is one operator node's instruction controller plus its
 // execution state.
 type nodeExec struct {
-	run  *engineRun
+	run *engineRun
+	// id numbers the node's controller within the run (the component
+	// "node<id>" of its structured events).
+	id   int
 	node *query.Node
 
 	events *infChan
@@ -390,7 +428,11 @@ func (n *nodeExec) dispatch(ops ...*relation.Page) {
 	}
 	atomic.AddInt64(&n.run.stInstr, 1)
 	atomic.AddInt64(&n.run.stOperand, int64(payload))
-	atomic.AddInt64(&n.run.stArb, int64(payload+n.run.eng.opts.PacketOverhead))
+	wire := payload + n.run.eng.opts.PacketOverhead
+	atomic.AddInt64(&n.run.stArb, int64(wire))
+	n.run.observe("core.arbitration_bytes", float64(wire))
+	n.run.event(obs.EvInstr, fmt.Sprintf("node%d", n.id), n.id, wire,
+		"node%d: dispatch %s packet (%d operand bytes)", n.id, n.node.Kind, payload)
 	t := &task{node: n, operands: ops}
 	select {
 	case n.run.arb <- t:
@@ -471,5 +513,7 @@ func (n *nodeExec) finish() {
 		n.send(n.pending)
 		n.pending = nil
 	}
+	n.run.event(obs.EvInstrDone, fmt.Sprintf("node%d", n.id), n.id, 0,
+		"node%d: %s complete (%d packets dispatched)", n.id, n.node.Kind, n.dispatched)
 	n.out.done()
 }

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dfdbm/internal/obs"
+)
+
+// TestObsTimelinesMatchStats: the network-traffic timelines are
+// recorded increment for increment with the atomic Stats counters, so
+// their integrals must agree exactly even though workers emit
+// concurrently.
+func TestObsTimelinesMatchStats(t *testing.T) {
+	cat, qs := testDB(t, 0.02, 1000)
+	reg := obs.NewRegistry(0)
+	eng := New(cat, Options{Granularity: PageLevel, Workers: 4, PageSize: 1000,
+		Obs: obs.New(nil, reg)})
+	res, err := eng.Execute(qs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb := reg.Timeline("core.arbitration_bytes")
+	if arb == nil {
+		t.Fatal("no arbitration timeline recorded")
+	}
+	if got, want := arb.Integral(), float64(res.Stats.ArbitrationBytes); got != want {
+		t.Errorf("arbitration timeline integral %g, Stats.ArbitrationBytes %g", got, want)
+	}
+	resTl := reg.Timeline("core.result_bytes")
+	if resTl == nil || resTl.Integral() != float64(res.Stats.ResultBytes) {
+		t.Error("result-bytes timeline does not match Stats.ResultBytes")
+	}
+	for _, c := range []struct {
+		name string
+		want int64
+	}{
+		{"core.instruction_packets", res.Stats.InstructionPackets},
+		{"core.operand_bytes", res.Stats.OperandBytes},
+		{"core.arbitration_bytes_total", res.Stats.ArbitrationBytes},
+		{"core.result_packets", res.Stats.ResultPackets},
+		{"core.result_bytes_total", res.Stats.ResultBytes},
+		{"core.pages_moved", res.Stats.PagesMoved},
+		{"core.tuples_out", res.Stats.TuplesOut},
+	} {
+		if got := reg.Counter(c.name); got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestObsJSONLFromEngine: every line the JSONL sink writes during a
+// concurrent execution must be a complete, parseable object — the
+// Observer must serialize emissions from all worker goroutines.
+func TestObsJSONLFromEngine(t *testing.T) {
+	cat, qs := testDB(t, 0.02, 1000)
+	var buf bytes.Buffer
+	eng := New(cat, Options{Granularity: PageLevel, Workers: 8, PageSize: 1000,
+		Obs: obs.New(obs.NewJSONLSink(&buf), nil)})
+	if _, err := eng.Execute(qs[5]); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var ev struct {
+			Kind string `json:"kind"`
+			Comp string `json:"comp"`
+			TS   *int64 `json:"ts_ns"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", lines, err)
+		}
+		if ev.Kind == "" || ev.Comp == "" || ev.TS == nil {
+			t.Fatalf("line %d missing kind/comp/ts_ns: %s", lines, sc.Text())
+		}
+	}
+	if lines == 0 {
+		t.Fatal("engine emitted no events")
+	}
+}
+
+// TestExecuteSurfacesSinkError: a failing sink must turn into an
+// Execute error instead of a silently truncated trace.
+func TestExecuteSurfacesSinkError(t *testing.T) {
+	cat, qs := testDB(t, 0.02, 1000)
+	eng := New(cat, Options{Granularity: PageLevel, Workers: 4, PageSize: 1000,
+		Obs: obs.New(obs.NewTextSink(failWriter{}), nil)})
+	_, err := eng.Execute(qs[2])
+	if err == nil || !strings.Contains(err.Error(), "sink closed") {
+		t.Errorf("Execute did not surface the sink error: %v", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errSinkClosed }
+
+var errSinkClosed = &sinkClosedError{}
+
+type sinkClosedError struct{}
+
+func (*sinkClosedError) Error() string { return "sink closed" }

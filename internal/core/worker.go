@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"dfdbm/internal/obs"
 	"dfdbm/internal/query"
 	"dfdbm/internal/relalg"
 	"dfdbm/internal/relation"
@@ -82,9 +83,17 @@ func (r *engineRun) execTask(t *task) {
 		out = append(out, last)
 	}
 
+	resBytes := 0
 	for _, pg := range out {
 		atomic.AddInt64(&r.stResPkts, 1)
-		atomic.AddInt64(&r.stResBytes, int64(pg.TupleCount()*pg.TupleLen()+r.eng.opts.PacketOverhead))
+		wire := pg.TupleCount()*pg.TupleLen() + r.eng.opts.PacketOverhead
+		atomic.AddInt64(&r.stResBytes, int64(wire))
+		resBytes += wire
 	}
+	if resBytes > 0 {
+		r.observe("core.result_bytes", float64(resBytes))
+	}
+	r.event(obs.EvResult, fmt.Sprintf("node%d", n.id), n.id, resBytes,
+		"node%d: task complete (%d result pages)", n.id, len(out))
 	n.events.Send(event{kind: evTaskDone, pages: out})
 }

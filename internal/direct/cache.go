@@ -1,5 +1,7 @@
 package direct
 
+import "dfdbm/internal/obs"
+
 // cacheModel is the multiport CCD disk cache: a fixed number of page
 // frames with LRU replacement. A page fetched by a processor that is
 // not resident costs a disk read; a dirty intermediate page evicted
@@ -25,6 +27,8 @@ func newCacheModel(m *machine, frames int) *cacheModel {
 func (c *cacheModel) ensureResident(pg *page, ready func()) {
 	if pg.resident {
 		c.m.report.CacheHits++
+		c.m.event(obs.EvCacheRead, "cache", -1, -1, pg.id, c.m.cfg.HW.PageSize,
+			"cache: hit page %d", pg.id)
 		c.touch(pg)
 		c.m.sim.After(0, ready)
 		return
@@ -36,6 +40,9 @@ func (c *cacheModel) ensureResident(pg *page, ready func()) {
 	c.m.report.CacheMisses++
 	c.m.report.DiskReads++
 	c.m.report.CacheDiskBytes += int64(c.m.cfg.HW.PageSize)
+	c.m.observe("direct.cache_disk_bytes", float64(c.m.cfg.HW.PageSize))
+	c.m.event(obs.EvDiskRead, "disk", -1, -1, pg.id, c.m.cfg.HW.PageSize,
+		"disk: read page %d into the cache (miss)", pg.id)
 	pg.fetching = true
 	pg.waiters = append(pg.waiters, ready)
 	// Source relations are staged with sequential transfers (the scan
@@ -92,6 +99,9 @@ func (c *cacheModel) evictLRU() {
 		victim.onDisk = true
 		c.m.report.DiskWrites++
 		c.m.report.CacheDiskBytes += int64(c.m.cfg.HW.PageSize)
+		c.m.observe("direct.cache_disk_bytes", float64(c.m.cfg.HW.PageSize))
+		c.m.event(obs.EvDiskWrite, "disk", -1, -1, victim.id, c.m.cfg.HW.PageSize,
+			"disk: write back evicted page %d", victim.id)
 		c.m.disk.Serve(c.m.cfg.HW.Disk.AccessTime(c.m.cfg.HW.PageSize), nil)
 	}
 }

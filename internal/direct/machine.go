@@ -6,6 +6,7 @@ import (
 
 	"dfdbm/internal/core"
 	"dfdbm/internal/hw"
+	"dfdbm/internal/obs"
 	"dfdbm/internal/query"
 	"dfdbm/internal/sim"
 	"dfdbm/internal/stats"
@@ -33,6 +34,13 @@ type Config struct {
 	Concurrent bool
 	// HW supplies the device timing; zero value means hw.Default1979.
 	HW hw.Config
+	// Obs, when non-nil, receives one structured obs.Event per
+	// dispatch, page emission, cache/disk transfer, and query
+	// completion — stamped with the virtual time — and, when it carries
+	// a registry, the direct.* bandwidth timelines (whose integrals
+	// equal the Report byte totals exactly) plus the Report re-expressed
+	// as counters and gauges.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -121,12 +129,43 @@ func Run(cfg Config, profiles []QueryProfile) (Report, error) {
 	r.DiskBusy = m.disk.BusyTime()
 	r.ProcUtilization = m.procs.Utilization(m.finishedAt)
 	r.DiskUtilization = m.disk.Utilization(m.finishedAt)
+	exportMetrics(cfg.Obs, r)
+	if serr := cfg.Obs.Err(); serr != nil {
+		return Report{}, fmt.Errorf("direct: trace sink: %w", serr)
+	}
 	return r, nil
+}
+
+// exportMetrics re-expresses the Report through the metrics registry,
+// alongside the direct.* timelines recorded while running.
+func exportMetrics(o *obs.Observer, rep Report) {
+	if !o.MetricsOn() {
+		return
+	}
+	r := o.Registry()
+	r.Inc("direct.tasks", rep.Tasks)
+	r.Inc("direct.proc_cache_bytes_total", rep.ProcCacheBytes)
+	r.Inc("direct.cache_disk_bytes_total", rep.CacheDiskBytes)
+	r.Inc("direct.control_bytes_total", rep.ControlBytes)
+	r.Inc("direct.disk_reads", rep.DiskReads)
+	r.Inc("direct.disk_writes", rep.DiskWrites)
+	r.Inc("direct.cache_hits", rep.CacheHits)
+	r.Inc("direct.cache_misses", rep.CacheMisses)
+	r.SetGauge("direct.elapsed_seconds", rep.Elapsed.Seconds())
+	r.SetGauge("direct.proc_utilization", rep.ProcUtilization)
+	r.SetGauge("direct.disk_utilization", rep.DiskUtilization)
+	r.SetGauge("direct.proc_cache_mbps", rep.ProcCacheMbps())
+	r.SetGauge("direct.cache_disk_mbps", rep.CacheDiskMbps())
+	r.SetGauge("direct.control_mbps", rep.ControlMbps())
+	if total := rep.CacheHits + rep.CacheMisses; total > 0 {
+		r.SetGauge("direct.cache_hit_rate", float64(rep.CacheHits)/float64(total))
+	}
 }
 
 // machine is the simulated hardware plus scheduler state.
 type machine struct {
 	cfg   Config
+	obs   *obs.Observer
 	sim   *sim.Sim
 	disk  *sim.Station
 	procs *sim.Station
@@ -145,6 +184,7 @@ func newMachine(cfg Config) *machine {
 	s := sim.New()
 	m := &machine{
 		cfg:       cfg,
+		obs:       cfg.Obs,
 		sim:       s,
 		disk:      sim.NewStation(s, cfg.HW.NumDisks),
 		procs:     sim.NewStation(s, cfg.Processors),
@@ -153,6 +193,35 @@ func newMachine(cfg Config) *machine {
 	}
 	m.cache = newCacheModel(m, cfg.CacheFrames)
 	return m
+}
+
+// event emits one structured event stamped with the virtual time. qid,
+// instr, and page are -1 when not applicable; bytes is the moved
+// payload size or 0.
+func (m *machine) event(kind obs.EventKind, comp string, qid, instr, pageNo, bytes int, format string, args ...interface{}) {
+	o := m.obs
+	if !o.Enabled() {
+		return
+	}
+	o.Emit(obs.Event{
+		TS:    m.sim.Now(),
+		Kind:  kind,
+		Comp:  comp,
+		Query: qid,
+		Instr: instr,
+		Page:  pageNo,
+		Bytes: bytes,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// observe accumulates v into the named virtual-time timeline. Every
+// Report byte counter is mirrored here increment for increment, so each
+// timeline's integral equals the corresponding total exactly.
+func (m *machine) observe(name string, v float64) {
+	if o := m.obs; o.MetricsOn() {
+		o.Registry().Add(name, m.sim.Now(), v)
+	}
 }
 
 // page is one page token in the simulation.
@@ -241,7 +310,7 @@ type nodeState struct {
 }
 
 func (m *machine) addQuery(p QueryProfile) {
-	q := &queryInstance{m: m}
+	q := &queryInstance{m: m, index: len(m.queries)}
 	q.nodes = make([]*nodeState, len(p.Nodes))
 	for i, np := range p.Nodes {
 		cap := capOf(np.OutBytesPerTuple, m.cfg.HW.PageSize)
@@ -283,7 +352,8 @@ func (m *machine) start() {
 // storage).
 func (m *machine) startQuery(idx int) {
 	q := m.queries[idx]
-	q.index = idx
+	m.event(obs.EvAdmit, "MC", idx, -1, -1, 0,
+		"MC: start query %d (%d instructions)", idx, len(q.nodes))
 	for _, n := range q.nodes {
 		n := n
 		for i := 0; i < n.prof.NumInputs; i++ {
@@ -366,7 +436,12 @@ func (n *nodeState) dispatch(ops ...*page) {
 	n.dispatched++
 	m := n.m
 	m.report.Tasks++
-	m.report.ControlBytes += int64(m.cfg.HW.InstrHeaderBytes + m.cfg.HW.ControlBytes)
+	ctl := m.cfg.HW.InstrHeaderBytes + m.cfg.HW.ControlBytes
+	m.report.ControlBytes += int64(ctl)
+	m.observe("direct.control_bytes", float64(ctl))
+	m.event(obs.EvInstr, fmt.Sprintf("node%d", n.prof.ID), n.q.index, n.prof.ID, -1, ctl,
+		"node%d: dispatch %s packet of query %d (%d operands)",
+		n.prof.ID, n.prof.Kind, n.q.index, len(ops))
 	ops = append([]*page(nil), ops...)
 	for _, op := range ops {
 		op.pendingReads++
@@ -398,6 +473,7 @@ func (n *nodeState) execute(ops []*page) {
 
 	fetch := proc.FetchTime(len(ops) * pageBytes)
 	m.report.ProcCacheBytes += int64(len(ops) * pageBytes)
+	m.observe("direct.proc_cache_bytes", float64(len(ops)*pageBytes))
 
 	var compute time.Duration
 	var share float64
@@ -425,6 +501,7 @@ func (n *nodeState) execute(ops []*page) {
 		m.cells.Release()
 		n.completed++
 		m.report.ControlBytes += int64(m.cfg.HW.ControlBytes)
+		m.observe("direct.control_bytes", float64(m.cfg.HW.ControlBytes))
 		for _, op := range ops {
 			op.pendingReads--
 			op.maybeDie()
@@ -456,6 +533,9 @@ func (n *nodeState) emit(tuples int) {
 	pg.consumer = n.parent
 	n.outEmitted += tuples
 	m.report.ProcCacheBytes += int64(m.cfg.HW.PageSize)
+	m.observe("direct.proc_cache_bytes", float64(m.cfg.HW.PageSize))
+	m.event(obs.EvResult, fmt.Sprintf("node%d", n.prof.ID), n.q.index, n.prof.ID, pg.id, m.cfg.HW.PageSize,
+		"node%d: emit result page %d (%d tuples)", n.prof.ID, pg.id, tuples)
 	if n.parent == nil {
 		// Root output: returned to the host; the page is not needed
 		// again.
@@ -468,6 +548,9 @@ func (n *nodeState) emit(tuples int) {
 		pg.staged = true
 		m.report.DiskWrites++
 		m.report.CacheDiskBytes += int64(m.cfg.HW.PageSize)
+		m.observe("direct.cache_disk_bytes", float64(m.cfg.HW.PageSize))
+		m.event(obs.EvDiskWrite, "disk", n.q.index, n.prof.ID, pg.id, m.cfg.HW.PageSize,
+			"disk: stage intermediate page %d", pg.id)
 		m.disk.Serve(m.cfg.HW.Disk.SequentialTime(m.cfg.HW.PageSize), nil)
 	} else {
 		m.cache.insert(pg)
@@ -507,6 +590,8 @@ func (n *nodeState) maybeFinish() {
 		return
 	}
 	// Root finished: the query is done.
+	m.event(obs.EvQueryDone, "MC", n.q.index, -1, -1, 0,
+		"MC: query %d finished", n.q.index)
 	m.queriesLeft--
 	if m.queriesLeft == 0 {
 		m.finishedAt = m.sim.Now()

@@ -1,0 +1,80 @@
+package direct
+
+import (
+	"bytes"
+	"testing"
+
+	"dfdbm/internal/core"
+	"dfdbm/internal/obs"
+)
+
+// TestObsTimelinesMatchReport: the bandwidth timelines are recorded at
+// every site that increments the Report byte totals, so the integrals
+// must equal the totals exactly — this is what makes the time-resolved
+// Figure 4.2 traffic curves trustworthy.
+func TestObsTimelinesMatchReport(t *testing.T) {
+	profs := testProfiles(t, 0.05, 2048)
+	reg := obs.NewRegistry(0)
+	rep, err := Run(Config{Processors: 8, Strategy: core.PageLevel, HW: hwWithPages(2048),
+		Obs: obs.New(nil, reg)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		timeline string
+		want     int64
+	}{
+		{"direct.proc_cache_bytes", rep.ProcCacheBytes},
+		{"direct.cache_disk_bytes", rep.CacheDiskBytes},
+		{"direct.control_bytes", rep.ControlBytes},
+	} {
+		tl := reg.Timeline(tc.timeline)
+		if tl == nil {
+			t.Errorf("no %s timeline recorded", tc.timeline)
+			continue
+		}
+		if got := tl.Integral(); got != float64(tc.want) {
+			t.Errorf("%s integral = %g, Report total = %d", tc.timeline, got, tc.want)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		want int64
+	}{
+		{"direct.tasks", rep.Tasks},
+		{"direct.proc_cache_bytes_total", rep.ProcCacheBytes},
+		{"direct.cache_disk_bytes_total", rep.CacheDiskBytes},
+		{"direct.control_bytes_total", rep.ControlBytes},
+		{"direct.disk_reads", rep.DiskReads},
+		{"direct.disk_writes", rep.DiskWrites},
+		{"direct.cache_hits", rep.CacheHits},
+		{"direct.cache_misses", rep.CacheMisses},
+	} {
+		if got := reg.Counter(c.name); got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestObsTraceDeterministic: the simulator is event-ordered
+// deterministically, so two runs of the same profiles must emit
+// byte-identical traces.
+func TestObsTraceDeterministic(t *testing.T) {
+	profs := testProfiles(t, 0.05, 2048)
+	run := func() []byte {
+		var buf bytes.Buffer
+		_, err := Run(Config{Processors: 8, Strategy: core.PageLevel, HW: hwWithPages(2048),
+			Obs: obs.New(obs.NewTextSink(&buf), nil)}, profs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("same-profile runs produced different traces")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dfdbm/internal/hw"
+	"dfdbm/internal/obs"
 	"dfdbm/internal/relation"
 )
 
@@ -40,8 +41,15 @@ type Config struct {
 	HW hw.Config
 	// Trace, when non-nil, receives one line per protocol event
 	// (admissions, grants, packets, broadcasts, completions), prefixed
-	// with the virtual time.
+	// with the virtual time. It is the legacy text-only path: when Obs
+	// is nil, a text-sink observer is built over it.
 	Trace io.Writer
+	// Obs, when non-nil, receives every protocol event as a structured
+	// obs.Event (virtual-time stamps) through its sink, and — when it
+	// carries a registry — virtual-time metric timelines plus the run's
+	// Stats re-expressed as counters and gauges. Obs takes precedence
+	// over Trace.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() (Config, error) {

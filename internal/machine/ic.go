@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"dfdbm/internal/obs"
 	"dfdbm/internal/query"
 	"dfdbm/internal/relation"
 )
@@ -76,7 +77,8 @@ func newIC(m *Machine, id int) *ic { return &ic{m: m, id: id} }
 // assign installs an instruction on this controller (sent by the MC
 // over the inner ring).
 func (c *ic) assign(mi *minstr) {
-	c.m.tracef("MC -> IC%d: assign %s of query %d (result %s)",
+	c.m.event(obs.EvAssign, "MC", mi.q.id, mi.id, -1, 0,
+		"MC -> IC%d: assign %s of query %d (result %s)",
 		c.id, mi.node.Kind, mi.q.id, mi.node.Label())
 	c.cur = mi
 	c.store = newICStore(c.m, c.m.cfg.ICLocalPages, c.m.cfg.ICCachePages)
@@ -347,15 +349,19 @@ func (c *ic) destID() int {
 
 func (c *ic) sendInstr(s *ipSlot, pkt *InstructionPacket) {
 	c.m.stats.InstructionPackets++
+	size := pkt.WireSize()
+	mi := c.cur
 	if len(pkt.Pages) == 0 {
-		c.m.tracef("IC%d -> IP%d: flush", c.id, s.p.id)
+		c.m.event(obs.EvInstr, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, -1, size,
+			"IC%d -> IP%d: flush", c.id, s.p.id)
 	} else {
-		c.m.tracef("IC%d -> IP%d: %s page %d of %s (flush=%v, %d operands)",
+		c.m.event(obs.EvInstr, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, pkt.OuterPageNo, size,
+			"IC%d -> IP%d: %s page %d of %s (flush=%v, %d operands)",
 			c.id, s.p.id, query.OpKind(pkt.Opcode), pkt.OuterPageNo,
 			pkt.ResultRelation, pkt.FlushWhenDone, len(pkt.Pages))
 	}
 	p := s.p
-	c.m.sendOuter(pkt.WireSize(), func() { p.receive(pkt) })
+	c.m.sendOuter(size, func() { p.receive(pkt) })
 }
 
 // ---- Operand reception (the distribution network's target) ----
@@ -564,7 +570,8 @@ func (c *ic) broadcastInner(idx int) {
 			Pages:          []*relation.Page{pg},
 		}
 		c.m.stats.Broadcasts++
-		c.m.tracef("IC%d: broadcast inner page %d (last=%v)", c.id, idx, pkt.LastInner)
+		c.m.event(obs.EvBroadcast, fmt.Sprintf("IC%d", c.id), c.cur.q.id, c.cur.id, idx, pkt.WireSize(),
+			"IC%d: broadcast inner page %d (last=%v)", c.id, idx, pkt.LastInner)
 		var deliver []func()
 		for _, s := range c.slots {
 			if s.released {
@@ -686,7 +693,8 @@ func (c *ic) checkDone() {
 
 func (c *ic) finish() {
 	mi := c.cur
-	c.m.tracef("IC%d: instruction %s of query %d complete (%d packets dispatched)",
+	c.m.event(obs.EvInstrDone, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, -1, 0,
+		"IC%d: instruction %s of query %d complete (%d packets dispatched)",
 		c.id, mi.node.Kind, mi.q.id, c.dispatched)
 	c.finished = true
 	// Project: flush the deduplicated output.

@@ -3,6 +3,7 @@ package machine
 import (
 	"time"
 
+	"dfdbm/internal/obs"
 	"dfdbm/internal/relation"
 )
 
@@ -77,6 +78,9 @@ func (st *icStore) get(pg *relation.Page, ready func()) {
 			return
 		}
 		st.m.stats.CacheReads++
+		st.m.observe("machine.cache_bytes", float64(st.m.cfg.HW.PageSize))
+		st.m.event(obs.EvCacheRead, "cache", -1, -1, -1, st.m.cfg.HW.PageSize,
+			"cache: read page into IC local memory")
 		d := time.Duration(float64(st.m.cfg.HW.PageSize) / st.m.cfg.HW.CacheBytesPerSec * float64(time.Second))
 		st.m.s.After(d, func() { st.finishFetch(pg, levelCache) })
 
@@ -85,6 +89,9 @@ func (st *icStore) get(pg *relation.Page, ready func()) {
 			return
 		}
 		st.m.stats.DiskReads++
+		st.m.observe("machine.disk_bytes", float64(st.m.cfg.HW.PageSize))
+		st.m.event(obs.EvDiskRead, "disk", -1, -1, -1, st.m.cfg.HW.PageSize,
+			"disk: read page into IC local memory")
 		st.m.disk.Serve(st.m.cfg.HW.Disk.AccessTime(st.m.cfg.HW.PageSize), func() {
 			st.finishFetch(pg, levelDisk)
 		})
@@ -145,12 +152,18 @@ func (st *icStore) balance() {
 		st.where[victim] = levelCache
 		st.cacheLRU = append(st.cacheLRU, victim)
 		st.m.stats.CacheWrites++
+		st.m.observe("machine.cache_bytes", float64(st.m.cfg.HW.PageSize))
+		st.m.event(obs.EvCacheWrite, "cache", -1, -1, -1, st.m.cfg.HW.PageSize,
+			"cache: page demoted from IC local memory")
 	}
 	for len(st.cacheLRU) > st.cacheCap {
 		victim := st.cacheLRU[0]
 		st.cacheLRU = st.cacheLRU[1:]
 		st.where[victim] = levelDisk
 		st.m.stats.DiskWrites++
+		st.m.observe("machine.disk_bytes", float64(st.m.cfg.HW.PageSize))
+		st.m.event(obs.EvDiskWrite, "disk", -1, -1, -1, st.m.cfg.HW.PageSize,
+			"disk: page demoted from the cache segment")
 		st.m.disk.Serve(st.m.cfg.HW.Disk.AccessTime(st.m.cfg.HW.PageSize), nil)
 	}
 }

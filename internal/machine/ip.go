@@ -2,7 +2,9 @@ package machine
 
 import (
 	"fmt"
+	"time"
 
+	"dfdbm/internal/obs"
 	"dfdbm/internal/query"
 	"dfdbm/internal/relation"
 )
@@ -26,6 +28,10 @@ type ip struct {
 
 	ic    *ic
 	instr *minstr
+
+	// busyTotal accumulates this processor's compute time, feeding the
+	// per-IP utilization gauges.
+	busyTotal time.Duration
 
 	queue []*InstructionPacket
 	busy  bool
@@ -118,6 +124,8 @@ func (p *ip) execUnary(pkt *InstructionPacket) {
 	}
 	p.busy = true
 	p.m.ipBusy += compute
+	p.busyTotal += compute
+	p.m.observe("machine.ip_busy_us", float64(compute.Microseconds()))
 	direct := pkt.ICIDSender != p.ic.id // page was routed IP→IP
 	p.m.s.After(compute, func() {
 		var err error
@@ -170,6 +178,8 @@ func (p *ip) execPair(idx int, inner *relation.Page) {
 	p.execIdx = idx
 	compute := p.m.cfg.HW.Proc.JoinTime(p.outer.TupleCount(), inner.TupleCount())
 	p.m.ipBusy += compute
+	p.busyTotal += compute
+	p.m.observe("machine.ip_busy_us", float64(compute.Microseconds()))
 	p.m.s.After(compute, func() {
 		mi := p.instr
 		if mi == nil {
@@ -267,6 +277,8 @@ func (p *ip) onBroadcast(pkt *InstructionPacket) {
 			// No room: ignore the page; it will be re-requested once
 			// the IRC vector shows it missing.
 			p.m.stats.BroadcastsIgnored++
+			p.m.event(obs.EvBcastIgnored, fmt.Sprintf("IP%d", p.id), p.instr.q.id, p.instr.id, idx, 0,
+				"IP%d: ignored broadcast of inner page %d (buffer full)", p.id, idx)
 			p.waitingFor = -1
 		}
 		return
@@ -314,6 +326,8 @@ func (p *ip) sendResult(pg *relation.Page) {
 		own := p.ic
 		m.stats.ResultPackets++
 		rp := &ResultPacket{ICID: own.id, QueryID: mi.q.id, Relation: mi.node.Label(), Page: pg}
+		m.event(obs.EvResult, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, -1, rp.WireSize(),
+			"IP%d -> IC%d: project result page of %s", p.id, own.id, mi.node.Label())
 		m.sendOuter(rp.WireSize(), func() { own.onProjectResult(pg) })
 		return
 	}
@@ -321,6 +335,8 @@ func (p *ip) sendResult(pg *relation.Page) {
 		q := mi.q
 		m.stats.ResultPackets++
 		rp := &ResultPacket{ICID: -1, QueryID: mi.q.id, Relation: mi.node.Label(), Page: pg}
+		m.event(obs.EvResult, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, -1, rp.WireSize(),
+			"IP%d -> host: result page of %s", p.id, mi.node.Label())
 		m.sendOuter(rp.WireSize(), func() { m.hostDeliver(q, pg) })
 		return
 	}
@@ -341,6 +357,8 @@ func (p *ip) sendResult(pg *relation.Page) {
 				OuterPageNo:    -1,
 				Pages:          []*relation.Page{pg},
 			}
+			m.event(obs.EvResult, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, -1, pkt.WireSize(),
+				"IP%d -> IP%d: direct result page of %s", p.id, target.id, mi.node.Label())
 			m.sendOuter(pkt.WireSize(), func() { target.receive(pkt) })
 			return
 		}
@@ -348,6 +366,8 @@ func (p *ip) sendResult(pg *relation.Page) {
 	dest, input := mi.destIC, mi.destInput
 	m.stats.ResultPackets++
 	rp := &ResultPacket{ICID: dest.id, QueryID: mi.q.id, Relation: mi.node.Label(), Page: pg}
+	m.event(obs.EvResult, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, -1, rp.WireSize(),
+		"IP%d -> IC%d: result page of %s", p.id, dest.id, mi.node.Label())
 	m.sendOuter(rp.WireSize(), func() { dest.receiveOperand(input, pg) })
 }
 
@@ -381,15 +401,20 @@ func (p *ip) sendDone(pageNo int) {
 
 func (p *ip) sendCtrl(msg controlMsg, pageNo int) {
 	c := p.ic
+	pkt := &ControlPacket{ICID: c.id, IPID: p.id, QueryID: p.instr.q.id, Message: msg, PageNo: pageNo}
+	size := pkt.WireSize()
+	comp := fmt.Sprintf("IP%d", p.id)
 	switch msg {
 	case msgNeedInner:
-		p.m.tracef("IP%d -> IC%d: need inner page %d", p.id, c.id, pageNo)
+		p.m.event(obs.EvControl, comp, p.instr.q.id, p.instr.id, pageNo, size,
+			"IP%d -> IC%d: need inner page %d", p.id, c.id, pageNo)
 	case msgNeedOuter:
-		p.m.tracef("IP%d -> IC%d: outer done, need outer", p.id, c.id)
+		p.m.event(obs.EvControl, comp, p.instr.q.id, p.instr.id, -1, size,
+			"IP%d -> IC%d: outer done, need outer", p.id, c.id)
 	case msgDone:
-		p.m.tracef("IP%d -> IC%d: done (page %d)", p.id, c.id, pageNo)
+		p.m.event(obs.EvControl, comp, p.instr.q.id, p.instr.id, pageNo, size,
+			"IP%d -> IC%d: done (page %d)", p.id, c.id, pageNo)
 	}
-	pkt := &ControlPacket{ICID: c.id, IPID: p.id, QueryID: p.instr.q.id, Message: msg, PageNo: pageNo}
 	p.m.stats.ControlPackets++
-	p.m.sendOuter(pkt.WireSize(), func() { c.onControl(p, pkt) })
+	p.m.sendOuter(size, func() { c.onControl(p, pkt) })
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dfdbm/internal/catalog"
+	"dfdbm/internal/obs"
 	"dfdbm/internal/pred"
 	"dfdbm/internal/query"
 	"dfdbm/internal/relalg"
@@ -17,6 +18,9 @@ type Machine struct {
 	cfg Config
 	cat *catalog.Catalog
 	s   *sim.Sim
+	// obs is the observability layer: cfg.Obs, or a text-sink observer
+	// wrapped around the legacy cfg.Trace writer. Nil when disabled.
+	obs *obs.Observer
 
 	outer *sim.Station // the 40 Mbps data ring
 	inner *sim.Station // the 1–2 Mbps control ring
@@ -63,6 +67,10 @@ func New(cat *catalog.Catalog, cfg Config) (*Machine, error) {
 		s:     sim.New(),
 		locks: map[string]*lockEntry{},
 	}
+	m.obs = cfg.Obs
+	if m.obs == nil && cfg.Trace != nil {
+		m.obs = obs.New(obs.NewTextSink(cfg.Trace), nil)
+	}
 	m.outer = sim.NewStation(m.s, 1)
 	m.inner = sim.NewStation(m.s, 1)
 	m.disk = sim.NewStation(m.s, cfg.HW.NumDisks)
@@ -97,7 +105,10 @@ type mquery struct {
 
 // minstr is one instruction of a query.
 type minstr struct {
-	q    *mquery
+	q *mquery
+	// id is the instruction's index within its query (the instruction
+	// ID carried by structured trace events).
+	id   int
 	node *query.Node
 	ic   *ic
 	// destIC receives result pages; nil means the host (query root).
@@ -208,7 +219,52 @@ func (m *Machine) Run() (*Results, error) {
 		res.OuterRingUtilization = m.outer.Utilization(last)
 		res.IPUtilization = float64(m.ipBusy) / (float64(last) * float64(len(m.ips)))
 	}
+	m.exportMetrics(res)
+	if err := m.obs.Err(); err != nil {
+		return nil, fmt.Errorf("machine: trace sink: %w", err)
+	}
 	return res, nil
+}
+
+// exportMetrics re-expresses the run's Stats and derived figures through
+// the metrics registry, alongside the virtual-time timelines recorded
+// while running.
+func (m *Machine) exportMetrics(res *Results) {
+	o := m.obs
+	if !o.MetricsOn() {
+		return
+	}
+	r := o.Registry()
+	s := res.Stats
+	r.Inc("machine.outer_ring_packets", s.OuterRingPackets)
+	r.Inc("machine.outer_ring_bytes_total", s.OuterRingBytes)
+	r.Inc("machine.inner_ring_packets", s.InnerRingPackets)
+	r.Inc("machine.inner_ring_bytes_total", s.InnerRingBytes)
+	r.Inc("machine.instruction_packets", s.InstructionPackets)
+	r.Inc("machine.result_packets", s.ResultPackets)
+	r.Inc("machine.control_packets", s.ControlPackets)
+	r.Inc("machine.broadcasts", s.Broadcasts)
+	r.Inc("machine.broadcasts_ignored", s.BroadcastsIgnored)
+	r.Inc("machine.recovery_requests", s.RecoveryRequests)
+	r.Inc("machine.disk_reads", s.DiskReads)
+	r.Inc("machine.disk_writes", s.DiskWrites)
+	r.Inc("machine.cache_reads", s.CacheReads)
+	r.Inc("machine.cache_writes", s.CacheWrites)
+	r.Inc("machine.direct_routed_pages", s.DirectRoutedPages)
+	r.Inc("machine.queries_delayed_by_conflict", s.QueriesDelayedByConflict)
+	r.SetGauge("machine.elapsed_seconds", res.Elapsed.Seconds())
+	r.SetGauge("machine.outer_ring_utilization", res.OuterRingUtilization)
+	r.SetGauge("machine.outer_ring_mbps", res.OuterRingMbps())
+	r.SetGauge("machine.ip_utilization", res.IPUtilization)
+	if reads := s.CacheReads + s.DiskReads; reads > 0 {
+		r.SetGauge("machine.cache_hit_rate", float64(s.CacheReads)/float64(reads))
+	}
+	if res.Elapsed > 0 {
+		for _, p := range m.ips {
+			r.SetGauge(fmt.Sprintf("machine.ip%d_busy_fraction", p.id),
+				float64(p.busyTotal)/float64(res.Elapsed))
+		}
+	}
 }
 
 func (m *Machine) fail(err error) {
@@ -310,7 +366,8 @@ func (m *Machine) admit(q *mquery) bool {
 	m.lock(q)
 	q.started = m.s.Now()
 	m.active = append(m.active, q)
-	m.tracef("MC: admit query %d (%d instructions, reads=%v writes=%v)",
+	m.event(obs.EvAdmit, "MC", q.id, -1, -1, 0,
+		"MC: admit query %d (%d instructions, reads=%v writes=%v)",
 		q.id, nOps, q.fp.Reads, q.fp.Writes)
 
 	if nOps == 0 {
@@ -339,7 +396,7 @@ func (m *Machine) admit(q *mquery) bool {
 		if !isOperator(n) {
 			continue
 		}
-		mi := &minstr{q: q, node: n, outTupleLen: n.Schema().TupleLen()}
+		mi := &minstr{q: q, id: len(q.instrs), node: n, outTupleLen: n.Schema().TupleLen()}
 		mi.outPageSize = m.cfg.HW.PageSize
 		if min := relation.PageHeaderLen + mi.outTupleLen; mi.outPageSize < min {
 			mi.outPageSize = min
@@ -467,7 +524,7 @@ func (m *Machine) finishQuery(q *mquery) {
 			break
 		}
 	}
-	m.tracef("MC: query %d finished", q.id)
+	m.event(obs.EvQueryDone, "MC", q.id, -1, -1, 0, "MC: query %d finished", q.id)
 	m.results = append(m.results, QueryResult{
 		QueryID:   q.id,
 		Relation:  q.result,
@@ -485,6 +542,7 @@ func (m *Machine) finishQuery(q *mquery) {
 func (m *Machine) requestIPs(c *ic, mi *minstr, want int) {
 	m.ipRequests = append(m.ipRequests, &ipRequest{ic: c, instr: mi, want: want})
 	m.pumpIPs()
+	m.sample("machine.ip_request_queue", float64(len(m.ipRequests)))
 }
 
 // pumpIPs arbitrates the processor pool. An instruction whose operands
@@ -519,7 +577,8 @@ func (m *Machine) pumpIPs() {
 			}
 			granted = true
 			c := req.ic
-			m.tracef("MC: grant IP %d to IC %d", p.id, c.id)
+			m.event(obs.EvGrant, "MC", req.instr.q.id, req.instr.id, -1, 0,
+				"MC: grant IP %d to IC %d", p.id, c.id)
 			// The grant is a small control message on the inner ring.
 			m.sendInner(m.cfg.HW.ControlBytes, func() { c.gainIP(p) })
 		}
@@ -574,6 +633,7 @@ func (m *Machine) ScheduleIPFailure(id int, at time.Duration) error {
 func (m *Machine) sendOuter(bytes int, deliver func()) {
 	m.stats.OuterRingPackets++
 	m.stats.OuterRingBytes += int64(bytes)
+	m.observe("machine.outer_ring_bytes", float64(bytes))
 	ser := m.cfg.HW.OuterRing.SerializationTime(bytes)
 	prop := m.meanOuterHops()
 	m.outer.Serve(ser, func() { m.s.After(prop, deliver) })
@@ -584,6 +644,7 @@ func (m *Machine) sendOuter(bytes int, deliver func()) {
 func (m *Machine) broadcastOuter(bytes int, deliver []func()) {
 	m.stats.OuterRingPackets++
 	m.stats.OuterRingBytes += int64(bytes)
+	m.observe("machine.outer_ring_bytes", float64(bytes))
 	ser := m.cfg.HW.OuterRing.SerializationTime(bytes)
 	prop := m.meanOuterHops()
 	m.outer.Serve(ser, func() {
@@ -599,6 +660,7 @@ func (m *Machine) broadcastOuter(bytes int, deliver []func()) {
 func (m *Machine) sendInner(bytes int, deliver func()) {
 	m.stats.InnerRingPackets++
 	m.stats.InnerRingBytes += int64(bytes)
+	m.observe("machine.inner_ring_bytes", float64(bytes))
 	ser := m.cfg.HW.InnerRing.SerializationTime(bytes)
 	prop := time.Duration(m.cfg.ICs/2+1) * m.cfg.HW.InnerRing.HopDelay
 	m.inner.Serve(ser, func() { m.s.After(prop, deliver) })

@@ -2,12 +2,15 @@ package machine
 
 import (
 	"fmt"
-	"io"
+
+	"dfdbm/internal/obs"
 )
 
-// Tracing: when Config.Trace is set, the machine writes one line per
-// protocol event, prefixed with the virtual time. The trace makes the
-// packet protocol of Figures 4.3–4.5 observable:
+// Tracing and metrics: when Config.Obs carries a sink (or the legacy
+// Config.Trace writer is set), the machine emits one structured event
+// per protocol step, stamped with the virtual time. Through the text
+// sink the trace reads as it always has, making the packet protocol of
+// Figures 4.3–4.5 observable:
 //
 //	[  12.345ms] MC: admit query 0 (4 instructions)
 //	[  13.001ms] MC: grant IP 3 to IC 2
@@ -17,13 +20,51 @@ import (
 //	[  61.440ms] IP5: ignored broadcast of inner page 2 (buffer full)
 //	[  99.018ms] IC4: instruction join complete
 //
-// Tracing costs nothing when disabled (a nil check per event).
+// The JSONL and Chrome sinks carry the same events with their full
+// structured context (component, query, instruction, page, bytes).
+// Each text line is built in one buffer and written with a single
+// Write, so writers shared between machines cannot interleave within a
+// line; the first sink error stops the stream and is reported by Run.
+//
+// When Config.Obs carries a metrics registry, the ring/processor/
+// storage meters additionally record virtual-time timelines (see the
+// machine.* metric names in Run).
+//
+// Tracing and metrics cost ~nothing when disabled: one nil check per
+// event or sample.
 
-func (m *Machine) tracef(format string, args ...interface{}) {
-	if m.cfg.Trace == nil {
+// event emits one structured protocol event when tracing is enabled.
+// qid, instr, and page are -1 when not applicable; bytes is the moved
+// payload size or 0.
+func (m *Machine) event(kind obs.EventKind, comp string, qid, instr, page, bytes int, format string, args ...interface{}) {
+	o := m.obs
+	if !o.Enabled() {
 		return
 	}
-	fmt.Fprintf(m.cfg.Trace, "[%12v] ", m.s.Now())
-	fmt.Fprintf(m.cfg.Trace, format, args...)
-	io.WriteString(m.cfg.Trace, "\n")
+	o.Emit(obs.Event{
+		TS:    m.s.Now(),
+		Kind:  kind,
+		Comp:  comp,
+		Query: qid,
+		Instr: instr,
+		Page:  page,
+		Bytes: bytes,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// observe accumulates v into the named virtual-time timeline when
+// metrics are enabled.
+func (m *Machine) observe(name string, v float64) {
+	if o := m.obs; o.MetricsOn() {
+		o.Registry().Add(name, m.s.Now(), v)
+	}
+}
+
+// sample appends a (now, v) point to the named series when metrics are
+// enabled.
+func (m *Machine) sample(name string, v float64) {
+	if o := m.obs; o.MetricsOn() {
+		o.Registry().Sample(name, m.s.Now(), v)
+	}
 }

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultBucket is the timeline bucket width used when a Registry is
+// built with a zero bucket.
+const DefaultBucket = 100 * time.Millisecond
+
+// Registry is a metrics registry: named counters (monotonic totals),
+// gauges (last-value), series (sampled (t, v) points, e.g. queue
+// depths), and timelines (time-bucketed accumulators, e.g. ring bytes
+// per 100 ms of virtual time — the raw material of a time-resolved
+// Figure 4.2). All methods are safe for concurrent use.
+type Registry struct {
+	mu        sync.Mutex
+	bucket    time.Duration
+	counters  map[string]int64
+	gauges    map[string]float64
+	series    map[string]*Series
+	timelines map[string]*Timeline
+}
+
+// NewRegistry returns a registry whose timelines bucket time into
+// widths of bucket (DefaultBucket when zero).
+func NewRegistry(bucket time.Duration) *Registry {
+	if bucket <= 0 {
+		bucket = DefaultBucket
+	}
+	return &Registry{
+		bucket:    bucket,
+		counters:  map[string]int64{},
+		gauges:    map[string]float64{},
+		series:    map[string]*Series{},
+		timelines: map[string]*Timeline{},
+	}
+}
+
+// Bucket returns the timeline bucket width.
+func (r *Registry) Bucket() time.Duration { return r.bucket }
+
+// Inc adds delta to the named counter.
+func (r *Registry) Inc(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Counter returns the named counter's value (0 when absent).
+func (r *Registry) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// SetGauge records the named gauge's current value.
+func (r *Registry) SetGauge(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Gauge returns the named gauge and whether it was ever set.
+func (r *Registry) Gauge(name string) (float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gauges[name]
+	return v, ok
+}
+
+// Add accumulates v into the named timeline's bucket at time ts.
+func (r *Registry) Add(name string, ts time.Duration, v float64) {
+	r.mu.Lock()
+	tl, ok := r.timelines[name]
+	if !ok {
+		tl = &Timeline{Bucket: r.bucket}
+		r.timelines[name] = tl
+	}
+	tl.Add(ts, v)
+	r.mu.Unlock()
+}
+
+// Timeline returns the named timeline, or nil. The returned value is
+// live: read it only after the producing run has completed.
+func (r *Registry) Timeline(name string) *Timeline {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.timelines[name]
+}
+
+// Sample appends a (ts, v) point to the named series.
+func (r *Registry) Sample(name string, ts time.Duration, v float64) {
+	r.mu.Lock()
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{}
+		r.series[name] = s
+	}
+	s.T = append(s.T, ts)
+	s.V = append(s.V, v)
+	r.mu.Unlock()
+}
+
+// Series returns the named sampled series, or nil. Like Timeline, the
+// returned value is live.
+func (r *Registry) Series(name string) *Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.series[name]
+}
+
+// Series is a sampled metric: parallel (time, value) slices in
+// recording order.
+type Series struct {
+	T []time.Duration
+	V []float64
+}
+
+// Timeline is a time-bucketed accumulator: Vals[i] is the sum of
+// values recorded with Bucket*i <= ts < Bucket*(i+1).
+type Timeline struct {
+	Bucket time.Duration
+	Vals   []float64
+}
+
+// Add accumulates v into the bucket containing ts.
+func (t *Timeline) Add(ts time.Duration, v float64) {
+	if ts < 0 {
+		ts = 0
+	}
+	idx := int(ts / t.Bucket)
+	for len(t.Vals) <= idx {
+		t.Vals = append(t.Vals, 0)
+	}
+	t.Vals[idx] += v
+}
+
+// Integral returns the sum over all buckets — for a bytes timeline,
+// the run-total byte count.
+func (t *Timeline) Integral() float64 {
+	var sum float64
+	for _, v := range t.Vals {
+		sum += v
+	}
+	return sum
+}
+
+// Rate returns bucket i's value expressed per second (for a bytes
+// timeline: bytes/sec; multiply by 8e-6 for Mbps).
+func (t *Timeline) Rate(i int) float64 {
+	if i < 0 || i >= len(t.Vals) {
+		return 0
+	}
+	return t.Vals[i] / t.Bucket.Seconds()
+}
+
+// metricLine is the JSONL export schema: one line per metric.
+type metricLine struct {
+	Metric   string       `json:"metric"`
+	Type     string       `json:"type"`
+	Value    *float64     `json:"value,omitempty"`
+	BucketUS int64        `json:"bucket_us,omitempty"`
+	Points   [][2]float64 `json:"points,omitempty"`
+}
+
+// WriteJSONL exports every metric as one JSON line, in sorted name
+// order within each type (counters, then gauges, then series, then
+// timelines). Timeline and series points are [t_us, value] pairs.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	emit := func(l metricLine) error {
+		b, err := json.Marshal(l)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", b)
+		return err
+	}
+	for _, name := range sortedKeys(r.counters) {
+		v := float64(r.counters[name])
+		if err := emit(metricLine{Metric: name, Type: "counter", Value: &v}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		v := r.gauges[name]
+		if err := emit(metricLine{Metric: name, Type: "gauge", Value: &v}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.series) {
+		s := r.series[name]
+		pts := make([][2]float64, len(s.T))
+		for i := range s.T {
+			pts[i] = [2]float64{float64(s.T[i].Microseconds()), s.V[i]}
+		}
+		if err := emit(metricLine{Metric: name, Type: "series", Points: pts}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.timelines) {
+		tl := r.timelines[name]
+		pts := make([][2]float64, len(tl.Vals))
+		for i, v := range tl.Vals {
+			pts[i] = [2]float64{float64(time.Duration(i) * tl.Bucket / time.Microsecond), v}
+		}
+		if err := emit(metricLine{
+			Metric: name, Type: "timeline",
+			BucketUS: tl.Bucket.Microseconds(), Points: pts,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package obs is the unified observability layer shared by the three
+// execution layers of the reproduction: the concurrent data-flow engine
+// (internal/core, real-time stamps), the Section 4 ring machine
+// (internal/machine, virtual-time stamps), and the DIRECT simulator
+// (internal/direct, virtual-time stamps).
+//
+// It has two halves:
+//
+//   - Structured event tracing: every protocol event (admission, grant,
+//     instruction packet, broadcast, disk transfer, ...) is a typed
+//     Event carrying a timestamp, the emitting component, and the query
+//     / instruction / page / byte-size context. Events flow to a
+//     pluggable Sink: human-readable text (the legacy trace format),
+//     JSONL, or Chrome trace-event JSON loadable in Perfetto or
+//     chrome://tracing.
+//
+//   - A metrics Registry: counters, gauges, sampled series, and
+//     time-bucketed timelines, giving time-resolved measurements
+//     (outer-ring Mbps over time, per-IP busy fraction, cache hit rate)
+//     instead of only end-of-run totals.
+//
+// Both halves cost ~nothing when disabled: a nil *Observer is valid,
+// and every accessor on it reports "off" after a single nil check.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind classifies a structured trace event.
+type EventKind uint8
+
+// The event kinds emitted by the three execution layers.
+const (
+	// EvAdmit: the controller admits a query for execution.
+	EvAdmit EventKind = iota + 1
+	// EvAssign: an instruction is installed on a controller.
+	EvAssign
+	// EvGrant: the MC grants a processor to a controller.
+	EvGrant
+	// EvInstr: an instruction packet is dispatched to a processor.
+	EvInstr
+	// EvResult: a result page moves toward its consumer.
+	EvResult
+	// EvControl: a control message (done, need-inner, need-outer, ...).
+	EvControl
+	// EvBroadcast: an inner page (or last-page marker) is broadcast.
+	EvBroadcast
+	// EvBcastIgnored: a processor dropped a broadcast (buffer full).
+	EvBcastIgnored
+	// EvInstrDone: an instruction completed.
+	EvInstrDone
+	// EvQueryDone: a query completed.
+	EvQueryDone
+	// EvDiskRead and EvDiskWrite: mass-storage transfers.
+	EvDiskRead
+	EvDiskWrite
+	// EvCacheRead and EvCacheWrite: disk-cache transfers.
+	EvCacheRead
+	EvCacheWrite
+	// EvNote: anything else.
+	EvNote
+)
+
+// String returns the kind's wire name (used by the JSONL and Chrome
+// sinks as the event name).
+func (k EventKind) String() string {
+	switch k {
+	case EvAdmit:
+		return "admit"
+	case EvAssign:
+		return "assign"
+	case EvGrant:
+		return "grant"
+	case EvInstr:
+		return "instr"
+	case EvResult:
+		return "result"
+	case EvControl:
+		return "control"
+	case EvBroadcast:
+		return "broadcast"
+	case EvBcastIgnored:
+		return "bcast-ignored"
+	case EvInstrDone:
+		return "instr-done"
+	case EvQueryDone:
+		return "query-done"
+	case EvDiskRead:
+		return "disk-read"
+	case EvDiskWrite:
+		return "disk-write"
+	case EvCacheRead:
+		return "cache-read"
+	case EvCacheWrite:
+		return "cache-write"
+	default:
+		return "note"
+	}
+}
+
+// Event is one structured trace event.
+type Event struct {
+	// TS is the event time: virtual time in the simulators, elapsed
+	// real time in the concurrent engine.
+	TS time.Duration
+	// Kind classifies the event.
+	Kind EventKind
+	// Comp is the emitting component: "MC", "IC2", "IP3", "disk",
+	// "cache", "node4", ...
+	Comp string
+	// Query, Instr, and Page identify the query, instruction (within
+	// its query), and page the event concerns; -1 when not applicable.
+	Query int
+	Instr int
+	Page  int
+	// Bytes is the payload size the event moved, or 0.
+	Bytes int
+	// Msg is the human-readable line (what the text sink prints after
+	// the timestamp).
+	Msg string
+}
+
+// Sink receives events. Implementations are not required to be
+// goroutine-safe: Observer serializes Emit calls.
+type Sink interface {
+	// Emit records one event. A returned error stops the stream: the
+	// Observer records the first error and drops subsequent events.
+	Emit(ev Event) error
+	// Close flushes and finalizes the stream (the Chrome sink writes
+	// its closing bracket here). It returns the first error seen.
+	Close() error
+}
+
+// Observer couples an event sink and a metrics registry. Either half
+// may be nil; a nil *Observer is valid and fully disabled, so the hot
+// paths of the execution layers pay only a nil check when tracing and
+// metrics are off.
+type Observer struct {
+	mu   sync.Mutex
+	sink Sink
+	reg  *Registry
+	err  error
+}
+
+// New returns an observer over the given sink and registry (either may
+// be nil).
+func New(sink Sink, reg *Registry) *Observer {
+	return &Observer{sink: sink, reg: reg}
+}
+
+// Enabled reports whether events should be built and emitted. Callers
+// must check it before constructing an Event — that check is the
+// disabled fast path.
+func (o *Observer) Enabled() bool { return o != nil && o.sink != nil }
+
+// MetricsOn reports whether a metrics registry is attached.
+func (o *Observer) MetricsOn() bool { return o != nil && o.reg != nil }
+
+// Registry returns the attached metrics registry, or nil.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Emit forwards one event to the sink. Safe for concurrent use (the
+// engine's workers emit from many goroutines). After a sink error,
+// further events are dropped and the first error is kept.
+func (o *Observer) Emit(ev Event) {
+	if !o.Enabled() {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.err != nil {
+		return
+	}
+	o.err = o.sink.Emit(ev)
+}
+
+// Err returns the first sink error, if any.
+func (o *Observer) Err() error {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+// Close finalizes the sink and returns the first error seen (emit or
+// close).
+func (o *Observer) Close() error {
+	if o == nil || o.sink == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	cerr := o.sink.Close()
+	if o.err == nil {
+		o.err = cerr
+	}
+	return o.err
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ev(ts time.Duration, kind EventKind, comp, msg string) Event {
+	return Event{TS: ts, Kind: kind, Comp: comp, Query: 0, Instr: 1, Page: 2, Bytes: 128, Msg: msg}
+}
+
+func TestNilObserverIsDisabled(t *testing.T) {
+	var o *Observer
+	if o.Enabled() || o.MetricsOn() {
+		t.Fatal("nil observer reports enabled")
+	}
+	if o.Registry() != nil || o.Err() != nil || o.Close() != nil {
+		t.Fatal("nil observer accessors not inert")
+	}
+	o.Emit(Event{}) // must not panic
+}
+
+func TestTextSinkMatchesLegacyFormat(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewTextSink(&buf)
+	now := 12345678 * time.Nanosecond
+	if err := s.Emit(ev(now, EvGrant, "MC", "MC: grant IP 3 to IC 2")); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("[%12v] MC: grant IP 3 to IC 2\n", now)
+	if got := buf.String(); got != want {
+		t.Errorf("text line %q, want %q", got, want)
+	}
+}
+
+// countingWriter counts Write calls and can fail from a given call on.
+type countingWriter struct {
+	writes  int
+	failAt  int // fail on the n-th write (1-based); 0 = never
+	written bytes.Buffer
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.failAt > 0 && w.writes >= w.failAt {
+		return 0, errors.New("sink broke")
+	}
+	w.written.Write(p)
+	return len(p), nil
+}
+
+func TestTextSinkSingleWritePerEvent(t *testing.T) {
+	w := &countingWriter{}
+	s := NewTextSink(w)
+	for i := 0; i < 5; i++ {
+		if err := s.Emit(ev(time.Duration(i)*time.Millisecond, EvNote, "MC", "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.writes != 5 {
+		t.Errorf("5 events made %d writes, want exactly one write per event", w.writes)
+	}
+}
+
+func TestObserverRecordsFirstSinkError(t *testing.T) {
+	w := &countingWriter{failAt: 2}
+	o := New(NewTextSink(w), nil)
+	o.Emit(ev(0, EvNote, "MC", "first"))
+	if o.Err() != nil {
+		t.Fatal("first emit should succeed")
+	}
+	o.Emit(ev(0, EvNote, "MC", "second")) // fails
+	o.Emit(ev(0, EvNote, "MC", "third"))  // dropped
+	if o.Err() == nil {
+		t.Fatal("sink error not recorded")
+	}
+	if w.writes != 2 {
+		t.Errorf("events kept flowing after the sink error: %d writes", w.writes)
+	}
+	if err := o.Close(); err == nil {
+		t.Error("Close did not surface the emit error")
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	if err := s.Emit(ev(3*time.Millisecond, EvBroadcast, "IC4", "IC4: broadcast inner page 2")); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSONL line: %v", err)
+	}
+	if got["kind"] != "broadcast" || got["comp"] != "IC4" {
+		t.Errorf("bad fields: %v", got)
+	}
+	if got["ts_ns"] != float64(3*time.Millisecond) {
+		t.Errorf("ts_ns = %v", got["ts_ns"])
+	}
+	if got["page"] != 2.0 || got["bytes"] != 128.0 {
+		t.Errorf("context fields lost: %v", got)
+	}
+}
+
+// chromeDoc mirrors the Chrome trace-event JSON Object Format.
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	TS   *float64        `json:"ts"`
+	PID  *int            `json:"pid"`
+	TID  *int            `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+func TestChromeSinkProducesValidTrace(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeSink(&buf)
+	events := []Event{
+		ev(0, EvAdmit, "MC", "MC: admit query 0"),
+		ev(time.Millisecond, EvInstr, "IC2", "IC2 -> IP3: restrict page 0"),
+		ev(2*time.Millisecond, EvControl, "IP3", "IP3 -> IC2: done (page 0)"),
+	}
+	for _, e := range events {
+		if err := s.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v\n%s", err, buf.String())
+	}
+	instants, metas := 0, 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "" || e.PID == nil || e.TID == nil {
+			t.Fatalf("event missing required ph/pid/tid: %+v", e)
+		}
+		switch e.Ph {
+		case "i":
+			instants++
+			if e.TS == nil || *e.TS < 0 {
+				t.Fatalf("instant event without ts: %+v", e)
+			}
+		case "M":
+			metas++
+		}
+	}
+	if instants != len(events) {
+		t.Errorf("%d instant events, want %d", instants, len(events))
+	}
+	if metas != 3 { // MC, IC2, IP3 thread names
+		t.Errorf("%d thread_name metadata events, want 3", metas)
+	}
+}
+
+func TestChromeSinkEmptyTraceStillValid(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeSink(&buf)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+}
+
+func TestNewSink(t *testing.T) {
+	var buf bytes.Buffer
+	for _, format := range []string{"", "text", "jsonl", "chrome"} {
+		if _, err := NewSink(format, &buf); err != nil {
+			t.Errorf("NewSink(%q): %v", format, err)
+		}
+	}
+	if _, err := NewSink("xml", &buf); err == nil || !strings.Contains(err.Error(), "xml") {
+		t.Errorf("bad format accepted: %v", err)
+	}
+}

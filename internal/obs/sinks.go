@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// NewSink builds a sink of the named format ("text", "jsonl", or
+// "chrome") over w.
+func NewSink(format string, w io.Writer) (Sink, error) {
+	switch format {
+	case "", "text":
+		return NewTextSink(w), nil
+	case "jsonl":
+		return NewJSONLSink(w), nil
+	case "chrome":
+		return NewChromeSink(w), nil
+	}
+	return nil, fmt.Errorf("obs: unknown trace format %q (want text, jsonl, or chrome)", format)
+}
+
+// ---- Text ----
+
+// TextSink writes the legacy human-readable trace: one line per event,
+// prefixed with the timestamp. Each line is built in one buffer and
+// written with a single Write, so concurrent writers sharing the
+// destination cannot interleave within a line.
+type TextSink struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewTextSink returns a text sink over w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Emit writes "[<time>] <msg>\n" in a single Write.
+func (s *TextSink) Emit(ev Event) error {
+	s.buf = fmt.Appendf(s.buf[:0], "[%12v] %s\n", ev.TS, ev.Msg)
+	_, err := s.w.Write(s.buf)
+	return err
+}
+
+// Close is a no-op (the sink does not own w).
+func (s *TextSink) Close() error { return nil }
+
+// ---- JSONL ----
+
+// JSONLSink writes one JSON object per event, one per line.
+type JSONLSink struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewJSONLSink returns a JSONL sink over w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+type jsonEvent struct {
+	TSNS  int64  `json:"ts_ns"`
+	Kind  string `json:"kind"`
+	Comp  string `json:"comp"`
+	Query int    `json:"query"`
+	Instr int    `json:"instr"`
+	Page  int    `json:"page"`
+	Bytes int    `json:"bytes"`
+	Msg   string `json:"msg"`
+}
+
+// Emit writes the event as one JSON line.
+func (s *JSONLSink) Emit(ev Event) error {
+	line, err := json.Marshal(jsonEvent{
+		TSNS:  ev.TS.Nanoseconds(),
+		Kind:  ev.Kind.String(),
+		Comp:  ev.Comp,
+		Query: ev.Query,
+		Instr: ev.Instr,
+		Page:  ev.Page,
+		Bytes: ev.Bytes,
+		Msg:   ev.Msg,
+	})
+	if err != nil {
+		return err
+	}
+	s.buf = append(append(s.buf[:0], line...), '\n')
+	_, err = s.w.Write(s.buf)
+	return err
+}
+
+// Close is a no-op.
+func (s *JSONLSink) Close() error { return nil }
+
+// ---- Chrome trace-event JSON ----
+
+// ChromeSink writes the Chrome trace-event format (the JSON Object
+// Format: {"traceEvents":[...]}), loadable in Perfetto or
+// chrome://tracing. Each event becomes an instant event ("ph":"i") on
+// a thread named after its component; timestamps are microseconds.
+type ChromeSink struct {
+	w      io.Writer
+	buf    []byte
+	tids   map[string]int
+	opened bool
+	closed bool
+	first  bool
+}
+
+// NewChromeSink returns a Chrome trace sink over w.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	return &ChromeSink{w: w, tids: map[string]int{}, first: true}
+}
+
+const chromePID = 1
+
+func (s *ChromeSink) open() error {
+	if s.opened {
+		return nil
+	}
+	s.opened = true
+	_, err := io.WriteString(s.w, `{"traceEvents":[`)
+	return err
+}
+
+// tid maps a component name to a stable thread id, emitting the
+// thread_name metadata event on first sight.
+func (s *ChromeSink) tid(comp string) (int, error) {
+	if id, ok := s.tids[comp]; ok {
+		return id, nil
+	}
+	id := len(s.tids) + 1
+	s.tids[comp] = id
+	meta := fmt.Sprintf(
+		`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+		chromePID, id, jsonString(comp))
+	return id, s.writeRecord(meta)
+}
+
+func (s *ChromeSink) writeRecord(rec string) error {
+	s.buf = s.buf[:0]
+	if !s.first {
+		s.buf = append(s.buf, ',', '\n')
+	}
+	s.first = false
+	s.buf = append(s.buf, rec...)
+	_, err := s.w.Write(s.buf)
+	return err
+}
+
+// Emit writes one instant event.
+func (s *ChromeSink) Emit(ev Event) error {
+	if err := s.open(); err != nil {
+		return err
+	}
+	tid, err := s.tid(ev.Comp)
+	if err != nil {
+		return err
+	}
+	rec := fmt.Sprintf(
+		`{"name":%s,"ph":"i","s":"t","ts":%.3f,"pid":%d,"tid":%d,"args":{"msg":%s,"query":%d,"instr":%d,"page":%d,"bytes":%d}}`,
+		jsonString(ev.Kind.String()), float64(ev.TS.Nanoseconds())/1e3,
+		chromePID, tid, jsonString(ev.Msg), ev.Query, ev.Instr, ev.Page, ev.Bytes)
+	return s.writeRecord(rec)
+}
+
+// Close writes the closing brackets; the output is valid JSON even
+// when no event was emitted.
+func (s *ChromeSink) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.open(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(s.w, "]}\n")
+	return err
+}
+
+// jsonString encodes s as a JSON string literal.
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return `""`
+	}
+	return string(b)
+}
+
+// sortedKeys returns m's keys in sorted order (shared by the metric
+// export paths for deterministic output).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,45 @@
+package dfdbm
+
+import (
+	"io"
+	"time"
+
+	"dfdbm/internal/obs"
+)
+
+// Observability layer: structured event tracing and a metrics registry
+// shared by the concurrent engine (EngineOptions.Obs), the ring machine
+// (MachineConfig.Obs), and the DIRECT simulator (DirectConfig.Obs).
+type (
+	// Observer couples a trace sink and a metrics registry; either half
+	// may be nil. A nil *Observer disables observability entirely.
+	Observer = obs.Observer
+	// TraceEvent is one structured trace event.
+	TraceEvent = obs.Event
+	// TraceEventKind classifies a trace event.
+	TraceEventKind = obs.EventKind
+	// TraceSink receives trace events (text, JSONL, or Chrome formats).
+	TraceSink = obs.Sink
+	// Metrics is a registry of counters, gauges, sampled series, and
+	// time-bucketed timelines.
+	Metrics = obs.Registry
+	// Timeline is a time-bucketed metric: Vals[i] sums the values
+	// recorded in bucket i.
+	Timeline = obs.Timeline
+	// Series is a sampled (time, value) metric.
+	Series = obs.Series
+)
+
+// NewObserver couples a trace sink and a metrics registry; either may
+// be nil.
+func NewObserver(sink TraceSink, metrics *Metrics) *Observer { return obs.New(sink, metrics) }
+
+// NewMetrics returns a metrics registry whose timelines use the given
+// bucket width (0 means the 100 ms default).
+func NewMetrics(bucket time.Duration) *Metrics { return obs.NewRegistry(bucket) }
+
+// NewTraceSink builds a trace sink of the named format over w: "text"
+// (the legacy human-readable trace; also the default for ""), "jsonl"
+// (one JSON object per event), or "chrome" (Chrome trace-event JSON,
+// loadable in Perfetto or chrome://tracing).
+func NewTraceSink(format string, w io.Writer) (TraceSink, error) { return obs.NewSink(format, w) }
