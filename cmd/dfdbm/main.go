@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -186,10 +187,11 @@ func cmdRun(db *dfdbm.DB, args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	gran := fs.String("g", "page", "granularity: page, relation, or tuple")
 	workers := fs.Int("workers", 4, "instruction processors")
+	timeout := fs.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
 	of := addObsFlags(fs)
 	check(fs.Parse(args))
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dfdbm run [-g page|relation|tuple] [-workers N] '<query>'")
+		fmt.Fprintln(os.Stderr, "usage: dfdbm run [-g page|relation|tuple] [-workers N] [-timeout D] '<query>'")
 		os.Exit(2)
 	}
 	q, err := db.Parse(fs.Arg(0))
@@ -197,8 +199,14 @@ func cmdRun(db *dfdbm.DB, args []string) {
 	g, err := parseGranularity(*gran)
 	check(err)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	o, finishObs := of.build()
-	res, err := db.Execute(q, dfdbm.EngineOptions{Granularity: g, Workers: *workers, Obs: o})
+	res, err := db.ExecuteContext(ctx, q, dfdbm.EngineOptions{Granularity: g, Workers: *workers, Obs: o})
 	finishObs()
 	check(err)
 	fmt.Printf("%d tuples in %v at %s granularity\n",
@@ -239,11 +247,44 @@ func cmdBench(db *dfdbm.DB, queries []*dfdbm.Query, pageSize int) {
 func cmdMachine(db *dfdbm.DB, queries []*dfdbm.Query, args []string, pageSize int) {
 	fs := flag.NewFlagSet("machine", flag.ExitOnError)
 	trace := fs.Bool("trace", false, "print the packet-protocol trace to stderr")
+	failIPs := fs.Int("fail-ips", 0, "crash this many IPs (0..n-1) during the run")
+	failAt := fs.Duration("fail-at", 5*time.Millisecond, "virtual time of the first crash")
+	failStep := fs.Duration("fail-step", 1*time.Millisecond, "virtual-time stagger between crashes")
+	dropOuter := fs.Float64("drop-outer", 0, "drop probability for outer-ring IC<->IP packets")
+	dropInner := fs.Float64("drop-inner", 0, "drop probability for inner-ring control packets")
+	dup := fs.Float64("dup", 0, "duplication probability, all packet classes")
+	faultSeed := fs.Int64("fault-seed", 1, "fault plan seed")
+	watchdog := fs.Duration("watchdog", 0, "IC watchdog timeout (0 = default)")
+	retryBudget := fs.Int("retry-budget", 0, "re-dispatch budget per work unit (0 = default)")
 	of := addObsFlags(fs)
 	check(fs.Parse(args))
 	hw := dfdbm.DefaultHW()
 	hw.PageSize = pageSize
-	cfg := dfdbm.MachineConfig{HW: hw, ICs: 16, IPs: 16}
+	cfg := dfdbm.MachineConfig{HW: hw, ICs: 16, IPs: 16,
+		WatchdogTimeout: *watchdog, RetryBudget: *retryBudget}
+	if *failIPs > 0 || *dropOuter > 0 || *dropInner > 0 || *dup > 0 {
+		fc := dfdbm.FaultConfig{Seed: *faultSeed,
+			Crashes: dfdbm.CrashSpread(*failIPs, *failAt, *failStep)}
+		if *dropOuter > 0 {
+			fc.Drop = map[dfdbm.FaultClass]float64{
+				dfdbm.FaultClassInstruction: *dropOuter,
+				dfdbm.FaultClassBroadcast:   *dropOuter,
+				dfdbm.FaultClassControl:     *dropOuter,
+				dfdbm.FaultClassCompletion:  *dropOuter,
+				dfdbm.FaultClassResult:      *dropOuter,
+			}
+		}
+		if *dropInner > 0 {
+			if fc.Drop == nil {
+				fc.Drop = map[dfdbm.FaultClass]float64{}
+			}
+			fc.Drop[dfdbm.FaultClassInner] = *dropInner
+		}
+		if *dup > 0 {
+			fc.Dup = dfdbm.UniformDrop(*dup)
+		}
+		cfg.Fault = dfdbm.NewFaultPlan(fc)
+	}
 	if *trace {
 		cfg.Trace = os.Stderr
 	}
@@ -272,12 +313,19 @@ func cmdMachine(db *dfdbm.DB, queries []*dfdbm.Query, args []string, pageSize in
 	s := res.Stats
 	fmt.Printf("makespan %v; outer ring %.2f Mbps (%d packets, %d broadcasts); IP utilization %.1f%%\n",
 		res.Elapsed, res.OuterRingMbps(), s.OuterRingPackets, s.Broadcasts, 100*res.IPUtilization)
+	if cfg.Fault != nil {
+		fmt.Printf("faults: %d injected (%d crashes, %d drops, %d dups); %d IPs failed, %d watchdog timeouts, %d re-dispatches, %d recovered units, %d retransmits\n",
+			s.FaultsInjected, s.IPsCrashed, s.PacketsDropped, s.PacketsDuplicated,
+			s.IPsFailed, s.WatchdogTimeouts, s.Redispatches, s.RecoveredPages, s.Retransmits)
+	}
 }
 
 func cmdDirect(db *dfdbm.DB, queries []*dfdbm.Query, args []string) {
 	fs := flag.NewFlagSet("direct", flag.ExitOnError)
 	procs := fs.Int("procs", 16, "instruction processors")
 	strat := fs.String("strategy", "page", "page or relation")
+	cacheFault := fs.Float64("cache-fault", 0, "transient cache-frame read-fault probability")
+	faultSeed := fs.Int64("fault-seed", 1, "fault plan seed")
 	of := addObsFlags(fs)
 	check(fs.Parse(args))
 	g, err := parseGranularity(*strat)
@@ -286,7 +334,11 @@ func cmdDirect(db *dfdbm.DB, queries []*dfdbm.Query, args []string) {
 	profiles, err := dfdbm.ProfileQueries(db, queries, dfdbm.DefaultHW().PageSize)
 	check(err)
 	o, finishObs := of.build()
-	rep, err := dfdbm.SimulateDIRECT(dfdbm.DirectConfig{Processors: *procs, Strategy: g, Obs: o}, profiles)
+	dcfg := dfdbm.DirectConfig{Processors: *procs, Strategy: g, Obs: o}
+	if *cacheFault > 0 {
+		dcfg.Fault = dfdbm.NewFaultPlan(dfdbm.FaultConfig{Seed: *faultSeed, CacheReadFault: *cacheFault})
+	}
+	rep, err := dfdbm.SimulateDIRECT(dcfg, profiles)
 	finishObs()
 	check(err)
 	fmt.Printf("DIRECT with %d processors, %s-level granularity:\n", *procs, g)
@@ -297,6 +349,9 @@ func cmdDirect(db *dfdbm.DB, queries []*dfdbm.Query, args []string) {
 	fmt.Printf("  processor utilization    : %.1f%%\n", 100*rep.ProcUtilization)
 	fmt.Printf("  disk utilization         : %.1f%%\n", 100*rep.DiskUtilization)
 	fmt.Printf("  disk traffic             : %d reads, %d writes\n", rep.DiskReads, rep.DiskWrites)
+	if *cacheFault > 0 {
+		fmt.Printf("  cache read faults        : %d (all retried)\n", rep.CacheReadFaults)
+	}
 }
 
 func parseGranularity(s string) (dfdbm.Granularity, error) {

@@ -2,7 +2,10 @@ package dfdbm_test
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
+	"time"
 
 	"dfdbm"
 )
@@ -123,6 +126,88 @@ func TestCrossEngineDirectRoutingEquivalence(t *testing.T) {
 		if !res.PerQuery[0].Relation.EqualMultiset(want) {
 			t.Errorf("trial %d: machine %d tuples, serial %d (query %v)",
 				trial, res.PerQuery[0].Relation.Cardinality(), want.Cardinality(), q)
+		}
+	}
+}
+
+// TestCrossEngineChaosEquivalence extends the equivalence sweep with
+// fault injection: the ring machine running under a fault plan — two
+// staggered IP crashes plus 1% packet loss and 0.5% duplication on
+// every class — must still compute exactly what the functional
+// data-flow engine and the serial reference compute. DFDBM_CHAOS_SEED
+// pins the fault-plan seed (the CI chaos matrix sweeps three).
+func TestCrossEngineChaosEquivalence(t *testing.T) {
+	db, _, err := dfdbm.PaperBenchmark(dfdbm.BenchmarkConfig{
+		Seed: 77, Scale: 0.04, PageSize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := dfdbm.DefaultHW()
+	hw.PageSize = 1024
+
+	faultSeeds := []int64{1, 2, 3}
+	if s := os.Getenv("DFDBM_CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("DFDBM_CHAOS_SEED=%q: %v", s, err)
+		}
+		faultSeeds = []int64{n}
+	}
+
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		for _, fseed := range faultSeeds {
+			t.Run(fmt.Sprintf("query=%d/fault=%d", trial, fseed), func(t *testing.T) {
+				q, err := dfdbm.RandomQuery(int64(3000+trial), db, 2, 4)
+				if err != nil {
+					t.Fatalf("generator: %v", err)
+				}
+				want, err := db.ExecuteSerial(q)
+				if err != nil {
+					t.Fatalf("serial: %v (query %v)", err, q)
+				}
+				res, err := db.Execute(q, dfdbm.EngineOptions{
+					Granularity: dfdbm.PageLevel, Workers: 4, PageSize: 1024,
+				})
+				if err != nil {
+					t.Fatalf("engine: %v (query %v)", err, q)
+				}
+				if !res.Relation.EqualMultiset(want) {
+					t.Fatalf("engine: %d tuples, serial %d (query %v)",
+						res.Relation.Cardinality(), want.Cardinality(), q)
+				}
+
+				m, err := dfdbm.NewMachine(db, dfdbm.MachineConfig{
+					HW: hw, IPs: 8, IPsPerInstruction: 4, ICs: 24,
+					Fault: dfdbm.NewFaultPlan(dfdbm.FaultConfig{
+						Seed:    fseed,
+						Crashes: dfdbm.CrashSpread(2, 2*time.Millisecond, 3*time.Millisecond),
+						Drop:    dfdbm.UniformDrop(0.01),
+						Dup:     dfdbm.UniformDrop(0.005),
+					}),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Submit(q); err != nil {
+					t.Fatalf("machine submit: %v (query %v)", err, q)
+				}
+				mres, err := m.Run()
+				if err != nil {
+					t.Fatalf("machine: %v (query %v)", err, q)
+				}
+				if !mres.PerQuery[0].Relation.EqualMultiset(want) {
+					t.Errorf("machine under faults: %d tuples, serial %d (query %v)",
+						mres.PerQuery[0].Relation.Cardinality(), want.Cardinality(), q)
+				}
+				if mres.Stats.IPsCrashed != 2 {
+					t.Errorf("IPsCrashed = %d, want 2", mres.Stats.IPsCrashed)
+				}
+			})
 		}
 	}
 }

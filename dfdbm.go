@@ -30,6 +30,7 @@
 package dfdbm
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -91,6 +92,12 @@ func (db *DB) Bind(root *QueryNode) (*Query, error) {
 // Execute runs a bound query on the concurrent data-flow engine.
 func (db *DB) Execute(q *Query, opts EngineOptions) (*Result, error) {
 	return core.New(db.cat, opts).Execute(q)
+}
+
+// ExecuteContext is Execute under a context: cancellation or timeout
+// stops the run's workers and returns the context's error.
+func (db *DB) ExecuteContext(ctx context.Context, q *Query, opts EngineOptions) (*Result, error) {
+	return core.New(db.cat, opts).ExecuteContext(ctx, q)
 }
 
 // ExecuteSerial runs a bound query on the single-processor reference

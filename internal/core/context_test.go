@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestExecuteContextPreCancelled: a context cancelled before the call
+// returns immediately with the context's error, before any work starts.
+func TestExecuteContextPreCancelled(t *testing.T) {
+	cat, qs := testDB(t, 0.02, 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := New(cat, Options{Granularity: PageLevel, Workers: 2})
+	if _, err := eng.ExecuteContext(ctx, qs[2]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestExecuteContextCancelMidRun: cancelling while the run is in flight
+// unwinds the workers and controllers and surfaces the context error —
+// the engine must not deadlock on its bounded channels.
+func TestExecuteContextCancelMidRun(t *testing.T) {
+	cat, qs := testDB(t, 0.1, 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := New(cat, Options{Granularity: TupleLevel, Workers: 2})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.ExecuteContext(ctx, qs[5])
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		// The run may legitimately win the race and finish before the
+		// cancellation lands; anything else must be the context error.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled or nil", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("cancelled run never returned")
+	}
+}
+
+// TestExecuteContextTimeout: a timeout that always fires mid-run stops
+// the execution with context.DeadlineExceeded.
+func TestExecuteContextTimeout(t *testing.T) {
+	cat, qs := testDB(t, 0.1, 1000)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // deadline certainly past
+	eng := New(cat, Options{Granularity: PageLevel, Workers: 2})
+	if _, err := eng.ExecuteContext(ctx, qs[2]); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestExecuteContextBackground: a background context changes nothing —
+// same result as plain Execute.
+func TestExecuteContextBackground(t *testing.T) {
+	cat, qs := testDB(t, 0.02, 1000)
+	eng := New(cat, Options{Granularity: PageLevel, Workers: 2})
+	want, err := eng.Execute(qs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.ExecuteContext(context.Background(), qs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Relation.EqualMultiset(want.Relation) {
+		t.Errorf("ExecuteContext %d tuples, Execute %d",
+			got.Relation.Cardinality(), want.Relation.Cardinality())
+	}
+}

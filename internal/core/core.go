@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -187,7 +188,14 @@ func (e *Engine) Options() Options { return e.opts }
 // are independent; an engine may execute several queries concurrently
 // as long as their footprints do not conflict (see query.Footprint).
 func (e *Engine) Execute(t *query.Tree) (*Result, error) {
-	res, err := e.execute(t)
+	return e.ExecuteContext(context.Background(), t)
+}
+
+// ExecuteContext is Execute under a context: when ctx is cancelled or
+// times out, the run's workers and controllers are stopped, blocked
+// channel operations unwind, and the context's error is returned.
+func (e *Engine) ExecuteContext(ctx context.Context, t *query.Tree) (*Result, error) {
+	res, err := e.execute(ctx, t)
 	if err == nil {
 		e.exportMetrics(res)
 	}
@@ -218,7 +226,10 @@ func (e *Engine) exportMetrics(res *Result) {
 	r.SetGauge("core.elapsed_seconds", s.Elapsed.Seconds())
 }
 
-func (e *Engine) execute(t *query.Tree) (*Result, error) {
+func (e *Engine) execute(ctx context.Context, t *query.Tree) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	root := t.Root()
 
@@ -236,7 +247,7 @@ func (e *Engine) execute(t *query.Tree) (*Result, error) {
 		return &Result{Relation: target, Stats: Stats{Elapsed: time.Since(start)}}, nil
 
 	case query.OpAppend:
-		sub, err := e.executeStream(t, root.Inputs[0])
+		sub, err := e.executeStream(ctx, t, root.Inputs[0])
 		if err != nil {
 			return nil, err
 		}
@@ -252,7 +263,7 @@ func (e *Engine) execute(t *query.Tree) (*Result, error) {
 		return sub, nil
 
 	default:
-		res, err := e.executeStream(t, root)
+		res, err := e.executeStream(ctx, t, root)
 		if err != nil {
 			return nil, err
 		}
@@ -262,9 +273,24 @@ func (e *Engine) execute(t *query.Tree) (*Result, error) {
 }
 
 // executeStream runs the pure (side-effect free) subtree rooted at top.
-func (e *Engine) executeStream(t *query.Tree, top *query.Node) (*Result, error) {
+func (e *Engine) executeStream(ctx context.Context, t *query.Tree, top *query.Node) (*Result, error) {
 	run := newEngineRun(e, t)
 	defer run.shutdown()
+
+	// Cancellation propagates as a run failure: closing run.stopped
+	// unblocks every worker, controller, and channel send of the run.
+	if ctx.Done() != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				run.fail(ctx.Err())
+			case <-watchDone:
+			case <-run.stopped:
+			}
+		}()
+	}
 
 	sinkDone := make(chan struct{})
 	resultName := top.Label()

@@ -30,6 +30,15 @@ func (c *cacheModel) ensureResident(pg *page, ready func()) {
 		c.m.event(obs.EvCacheRead, "cache", -1, -1, pg.id, c.m.cfg.HW.PageSize,
 			"cache: hit page %d", pg.id)
 		c.touch(pg)
+		if c.m.cfg.Fault.CacheFault() {
+			// Transient frame read fault, caught by the frame's check
+			// bits: the read is retried, costing one extra page fetch.
+			c.m.report.CacheReadFaults++
+			c.m.event(obs.EvFault, "cache", -1, -1, pg.id, c.m.cfg.HW.PageSize,
+				"fault: transient read fault on cache frame of page %d (retrying)", pg.id)
+			c.m.sim.After(c.m.cfg.HW.Proc.FetchTime(c.m.cfg.HW.PageSize), ready)
+			return
+		}
 		c.m.sim.After(0, ready)
 		return
 	}

@@ -1,0 +1,60 @@
+package direct
+
+import (
+	"testing"
+
+	"dfdbm/internal/core"
+	"dfdbm/internal/fault"
+)
+
+// TestCacheReadFaultsRetried: transient cache-frame read faults cost a
+// re-fetch delay, are counted, and never change what the simulation
+// computes — the run completes with the same task and traffic totals as
+// a fault-free run, just later.
+func TestCacheReadFaultsRetried(t *testing.T) {
+	profs := testProfiles(t, 0.05, 2048)
+	base := Config{Processors: 4, Strategy: core.PageLevel, HW: hwWithPages(2048)}
+
+	clean, err := Run(base, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := base
+	faulty.Fault = fault.New(fault.Config{Seed: 3, CacheReadFault: 0.2})
+	rep, err := Run(faulty, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheReadFaults == 0 {
+		t.Fatal("no cache read fault was ever injected at 20% probability")
+	}
+	if rep.Tasks != clean.Tasks {
+		t.Errorf("faults changed the work: %d tasks vs %d", rep.Tasks, clean.Tasks)
+	}
+	if rep.ProcCacheBytes != clean.ProcCacheBytes || rep.CacheDiskBytes != clean.CacheDiskBytes {
+		t.Errorf("faults changed traffic: %d/%d bytes vs %d/%d",
+			rep.ProcCacheBytes, rep.CacheDiskBytes, clean.ProcCacheBytes, clean.CacheDiskBytes)
+	}
+	if rep.Elapsed < clean.Elapsed {
+		t.Errorf("faulty run finished earlier (%v) than clean run (%v)", rep.Elapsed, clean.Elapsed)
+	}
+}
+
+// TestCacheFaultDeterminism: same plan seed, same simulation.
+func TestCacheFaultDeterminism(t *testing.T) {
+	profs := testProfiles(t, 0.05, 2048)
+	run := func() Report {
+		cfg := Config{Processors: 4, Strategy: core.PageLevel, HW: hwWithPages(2048),
+			Fault: fault.New(fault.Config{Seed: 9, CacheReadFault: 0.1})}
+		rep, err := Run(cfg, profs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same fault seed, different reports:\n%+v\n%+v", a, b)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dfdbm/internal/core"
+	"dfdbm/internal/fault"
 	"dfdbm/internal/hw"
 	"dfdbm/internal/obs"
 	"dfdbm/internal/query"
@@ -41,6 +42,12 @@ type Config struct {
 	// equal the Report byte totals exactly) plus the Report re-expressed
 	// as counters and gauges.
 	Obs *obs.Observer
+	// Fault, when non-nil, injects transient cache-frame read faults
+	// per its CacheReadFault probability: a faulted read is detected
+	// (ECC style), costs one extra processor-cache fetch to retry, and
+	// is counted in Report.CacheReadFaults. Build one fresh Plan per
+	// Run.
+	Fault *fault.Plan
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -87,6 +94,9 @@ type Report struct {
 
 	DiskReads, DiskWrites  int64
 	CacheHits, CacheMisses int64
+	// CacheReadFaults counts transient cache-frame read faults injected
+	// by Config.Fault; each was detected and retried.
+	CacheReadFaults int64
 
 	ProcBusy, DiskBusy               time.Duration
 	ProcUtilization, DiskUtilization float64
@@ -151,6 +161,7 @@ func exportMetrics(o *obs.Observer, rep Report) {
 	r.Inc("direct.disk_writes", rep.DiskWrites)
 	r.Inc("direct.cache_hits", rep.CacheHits)
 	r.Inc("direct.cache_misses", rep.CacheMisses)
+	r.Inc("direct.cache_read_faults", rep.CacheReadFaults)
 	r.SetGauge("direct.elapsed_seconds", rep.Elapsed.Seconds())
 	r.SetGauge("direct.proc_utilization", rep.ProcUtilization)
 	r.SetGauge("direct.disk_utilization", rep.DiskUtilization)

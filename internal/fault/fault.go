@@ -1,0 +1,171 @@
+// Package fault provides seeded, deterministic fault plans for the
+// simulators: IP crashes at arbitrary virtual times, dropped and
+// duplicated packets by packet class on either ring, and transient
+// cache-frame read faults in the DIRECT simulator.
+//
+// A Plan draws from a single math/rand stream seeded explicitly, and
+// the simulators consume that stream in virtual-event order, so a run
+// with a given plan configuration is exactly reproducible: same seed,
+// same faults, same recovery, same statistics. Because the Plan carries
+// stream state, one Plan must not be shared between simulator runs —
+// build a fresh Plan (same Config) per run.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Class identifies a packet class for drop/duplication probabilities.
+type Class uint8
+
+const (
+	// ClassInstruction: IC -> IP instruction packets on the outer ring.
+	ClassInstruction Class = iota
+	// ClassBroadcast: inner-page broadcasts and last-page markers,
+	// drawn once per recipient (a broadcast can reach some processors
+	// and miss others, which is what Section 4.2 recovery repairs).
+	ClassBroadcast
+	// ClassControl: IP -> IC control packets (need-inner, need-outer).
+	ClassControl
+	// ClassCompletion: IP -> IC completion packets carrying result
+	// pages.
+	ClassCompletion
+	// ClassResult: IC -> IC and IC -> host result pages and
+	// operand-complete markers on the outer ring. These flows use a
+	// retransmitting channel, so a drop here costs latency and ring
+	// bandwidth rather than data.
+	ClassResult
+	// ClassInner: MC <-> IC control traffic on the inner ring (also
+	// retransmitted on loss).
+	ClassInner
+
+	numClasses
+)
+
+// String returns a short name for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassInstruction:
+		return "instruction"
+	case ClassBroadcast:
+		return "broadcast"
+	case ClassControl:
+		return "control"
+	case ClassCompletion:
+		return "completion"
+	case ClassResult:
+		return "result"
+	case ClassInner:
+		return "inner"
+	}
+	return "unknown"
+}
+
+// IPCrash schedules instruction processor IP to crash at virtual time
+// At. A crashed processor silently discards everything — instruction
+// packets, broadcasts, in-flight computations — abandoning its buffered
+// pages and IRC state, exactly like a board pulled from the ring.
+type IPCrash struct {
+	IP int
+	At time.Duration
+}
+
+// Config describes a fault plan.
+type Config struct {
+	// Seed seeds the plan's random stream.
+	Seed int64
+	// Crashes lists processor crashes by virtual time.
+	Crashes []IPCrash
+	// Drop maps a packet class to its per-packet drop probability.
+	Drop map[Class]float64
+	// Dup maps a packet class to its per-packet duplication
+	// probability. Duplicates cost an extra ring transit; the receiver
+	// discards them by sequence number.
+	Dup map[Class]float64
+	// CacheReadFault is the per-read probability of a transient
+	// cache-frame fault in the DIRECT simulator (the read is retried
+	// after an extra frame-transfer delay).
+	CacheReadFault float64
+}
+
+// CrashN returns n crashes covering IPs 0..n-1, staggered from start by
+// step — a convenient shape for degradation-curve experiments.
+func CrashN(n int, start, step time.Duration) []IPCrash {
+	crashes := make([]IPCrash, 0, n)
+	for i := 0; i < n; i++ {
+		crashes = append(crashes, IPCrash{IP: i, At: start + time.Duration(i)*step})
+	}
+	return crashes
+}
+
+// UniformDrop returns a Drop map assigning probability p to every
+// packet class.
+func UniformDrop(p float64) map[Class]float64 {
+	m := make(map[Class]float64, int(numClasses))
+	for c := Class(0); c < numClasses; c++ {
+		m[c] = p
+	}
+	return m
+}
+
+// Plan is a live fault plan: Config plus the seeded random stream. All
+// draw methods are nil-safe (a nil *Plan never injects anything), so
+// simulator hot paths need no separate enable check.
+type Plan struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New builds a Plan from cfg with a fresh random stream.
+func New(cfg Config) *Plan {
+	return &Plan{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Seed returns the plan's seed.
+func (p *Plan) Seed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.cfg.Seed
+}
+
+// Crashes returns the scheduled processor crashes.
+func (p *Plan) Crashes() []IPCrash {
+	if p == nil {
+		return nil
+	}
+	return p.cfg.Crashes
+}
+
+func (p *Plan) draw(prob float64) bool {
+	if p == nil || prob <= 0 {
+		return false
+	}
+	return p.rng.Float64() < prob
+}
+
+// Drop reports whether the next packet of class c is lost.
+func (p *Plan) Drop(c Class) bool {
+	if p == nil {
+		return false
+	}
+	return p.draw(p.cfg.Drop[c])
+}
+
+// Dup reports whether the next packet of class c is duplicated.
+func (p *Plan) Dup(c Class) bool {
+	if p == nil {
+		return false
+	}
+	return p.draw(p.cfg.Dup[c])
+}
+
+// CacheFault reports whether the next DIRECT cache read suffers a
+// transient frame fault.
+func (p *Plan) CacheFault() bool {
+	if p == nil {
+		return false
+	}
+	return p.draw(p.cfg.CacheReadFault)
+}

@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilPlanNeverInjects(t *testing.T) {
+	var p *Plan
+	for c := Class(0); c < numClasses; c++ {
+		if p.Drop(c) || p.Dup(c) {
+			t.Fatalf("nil plan injected a %s fault", c)
+		}
+	}
+	if p.CacheFault() {
+		t.Fatal("nil plan injected a cache fault")
+	}
+	if p.Crashes() != nil || p.Seed() != 0 {
+		t.Fatal("nil plan has crashes or a seed")
+	}
+}
+
+func TestDeterministicStream(t *testing.T) {
+	cfg := Config{Seed: 42, Drop: UniformDrop(0.3), Dup: map[Class]float64{ClassResult: 0.2}, CacheReadFault: 0.1}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 1000; i++ {
+		c := Class(i % int(numClasses))
+		if a.Drop(c) != b.Drop(c) || a.Dup(c) != b.Dup(c) || a.CacheFault() != b.CacheFault() {
+			t.Fatalf("same-seed plans diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDropRateRoughlyHonored(t *testing.T) {
+	p := New(Config{Seed: 7, Drop: map[Class]float64{ClassInstruction: 0.25}})
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.Drop(ClassInstruction) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.22 || got > 0.28 {
+		t.Errorf("drop rate %.3f, want ~0.25", got)
+	}
+	// A class with no configured probability never drops, and checking
+	// it consumes no draw (zero-probability checks must not perturb the
+	// stream seen by configured classes).
+	a := New(Config{Seed: 7, Drop: map[Class]float64{ClassInstruction: 0.25}})
+	b := New(Config{Seed: 7, Drop: map[Class]float64{ClassInstruction: 0.25}})
+	for i := 0; i < 100; i++ {
+		if a.Drop(ClassBroadcast) {
+			t.Fatal("class with no configured probability dropped a packet")
+		}
+		if a.Drop(ClassInstruction) != b.Drop(ClassInstruction) {
+			t.Fatal("zero-probability check consumed a random draw")
+		}
+	}
+}
+
+func TestCrashN(t *testing.T) {
+	crashes := CrashN(3, 10*time.Millisecond, 5*time.Millisecond)
+	if len(crashes) != 3 {
+		t.Fatalf("got %d crashes, want 3", len(crashes))
+	}
+	for i, cr := range crashes {
+		if cr.IP != i {
+			t.Errorf("crash %d targets IP %d", i, cr.IP)
+		}
+		want := 10*time.Millisecond + time.Duration(i)*5*time.Millisecond
+		if cr.At != want {
+			t.Errorf("crash %d at %v, want %v", i, cr.At, want)
+		}
+	}
+	if CrashN(0, 0, 0) == nil {
+		// zero-length non-nil slice is fine; nothing to assert
+		t.Log("CrashN(0) returned nil")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Class(0); c < numClasses; c++ {
+		s := c.String()
+		if s == "unknown" || seen[s] {
+			t.Errorf("class %d has bad or duplicate name %q", c, s)
+		}
+		seen[s] = true
+	}
+	if numClasses.String() != "unknown" {
+		t.Error("out-of-range class has a name")
+	}
+}

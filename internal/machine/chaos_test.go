@@ -1,0 +1,320 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/fault"
+	"dfdbm/internal/obs"
+	"dfdbm/internal/query"
+)
+
+// chaosSeeds returns the fault-plan seeds the chaos tests sweep.
+// DFDBM_CHAOS_SEED pins a single seed (the CI chaos matrix sets it).
+func chaosSeeds(t *testing.T) []int64 {
+	t.Helper()
+	if s := os.Getenv("DFDBM_CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("DFDBM_CHAOS_SEED=%q: %v", s, err)
+		}
+		return []int64{n}
+	}
+	return []int64{1, 2, 3}
+}
+
+// runChaos executes one query under a fault plan and returns the
+// result, failing the test on any run error.
+func runChaos(t *testing.T, cat *catalog.Catalog, q *query.Tree, cfg Config) *Results {
+	t.Helper()
+	m, err := New(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("guarded run: %v", err)
+	}
+	return res
+}
+
+// TestGuardedFaultFreeMatchesSerial: an empty fault plan switches the
+// machine into the guarded protocol (completion packets, watchdogs,
+// reliable channels) without injecting anything — results must still
+// match the serial reference exactly.
+func TestGuardedFaultFreeMatchesSerial(t *testing.T) {
+	cat, qs := testDB(t, 0.05)
+	for _, i := range []int{1, 2, 5} {
+		want, err := query.ExecuteSerial(cat, qs[i], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runChaos(t, cat, qs[i], Config{
+			HW: smallHW(), IPs: 8, IPsPerInstruction: 4,
+			Fault: fault.New(fault.Config{Seed: 1}),
+		})
+		if got := res.PerQuery[0].Relation; !got.EqualMultiset(want) {
+			t.Errorf("query %d: guarded %d tuples, serial %d",
+				i, got.Cardinality(), want.Cardinality())
+		}
+		if res.Stats.FaultsInjected != 0 {
+			t.Errorf("query %d: empty plan injected %d faults", i, res.Stats.FaultsInjected)
+		}
+	}
+}
+
+// TestChaosCrashMidJoinRecovers is the tentpole acceptance property:
+// processors crash mid-join — abandoning buffered pages and IRC state —
+// and the watchdog/re-dispatch path still produces results identical to
+// the serial reference, across several plan seeds.
+func TestChaosCrashMidJoinRecovers(t *testing.T) {
+	cat, qs := testDB(t, 0.1)
+	q := qs[2] // one join, two restricts: broadcasts in flight early
+	want, err := query.ExecuteSerial(cat, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res := runChaos(t, cat, q, Config{
+				HW: smallHW(), IPs: 8, IPsPerInstruction: 8,
+				Fault: fault.New(fault.Config{
+					Seed:    seed,
+					Crashes: fault.CrashN(2, 2*time.Millisecond, 3*time.Millisecond),
+				}),
+			})
+			got := res.PerQuery[0].Relation
+			if !got.EqualMultiset(want) {
+				t.Errorf("machine %d tuples, serial %d", got.Cardinality(), want.Cardinality())
+			}
+			s := res.Stats
+			if s.IPsCrashed != 2 {
+				t.Errorf("IPsCrashed = %d, want 2", s.IPsCrashed)
+			}
+			if s.WatchdogTimeouts == 0 || s.IPsFailed == 0 {
+				t.Errorf("crash went undetected: timeouts=%d failed=%d",
+					s.WatchdogTimeouts, s.IPsFailed)
+			}
+			if s.Redispatches == 0 {
+				t.Error("no work was re-dispatched after the crashes")
+			}
+			if s.RecoveredPages == 0 {
+				t.Error("no re-dispatched work unit was recovered")
+			}
+		})
+	}
+}
+
+// TestChaosPacketLossEquivalence: 1% drop plus 0.5% duplication on
+// every packet class must not change any query answer (the acceptance
+// bar for the lossy-ring recovery paths).
+func TestChaosPacketLossEquivalence(t *testing.T) {
+	cat, qs := testDB(t, 0.1)
+	q := qs[2]
+	want, err := query.ExecuteSerial(cat, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dropped int64
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res := runChaos(t, cat, q, Config{
+				HW: smallHW(), IPs: 8, IPsPerInstruction: 8,
+				Fault: fault.New(fault.Config{
+					Seed: seed,
+					Drop: fault.UniformDrop(0.01),
+					Dup:  fault.UniformDrop(0.005),
+				}),
+			})
+			got := res.PerQuery[0].Relation
+			if !got.EqualMultiset(want) {
+				t.Errorf("machine %d tuples, serial %d", got.Cardinality(), want.Cardinality())
+			}
+			dropped += res.Stats.PacketsDropped
+		})
+	}
+	if dropped == 0 {
+		t.Error("no packet was ever dropped across the seed sweep; plan inert?")
+	}
+}
+
+// TestChaosBroadcastLossRecovery (satellite): inner-relation broadcast
+// pages lost on the wire must be re-requested through the Section 4.2
+// missed-page path — Stats.RecoveryRequests and the exported
+// machine.recovery_requests counter both observe it — and the join
+// output must be unchanged.
+func TestChaosBroadcastLossRecovery(t *testing.T) {
+	cat, qs := testDB(t, 0.1)
+	q := qs[2]
+	want, err := query.ExecuteSerial(cat, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry(0)
+	res := runChaos(t, cat, q, Config{
+		HW: smallHW(), IPs: 8, IPsPerInstruction: 8,
+		Obs: obs.New(nil, reg),
+		Fault: fault.New(fault.Config{
+			Seed: 7,
+			Drop: map[fault.Class]float64{fault.ClassBroadcast: 0.3},
+		}),
+	})
+	got := res.PerQuery[0].Relation
+	if !got.EqualMultiset(want) {
+		t.Errorf("machine %d tuples, serial %d", got.Cardinality(), want.Cardinality())
+	}
+	if res.Stats.PacketsDropped == 0 {
+		t.Fatal("no broadcast page was dropped; raise the drop rate")
+	}
+	if res.Stats.RecoveryRequests == 0 {
+		t.Error("broadcast loss never drove a Section 4.2 recovery request")
+	}
+	if n := reg.Counter("machine.recovery_requests"); n != res.Stats.RecoveryRequests {
+		t.Errorf("machine.recovery_requests counter = %d, Stats say %d",
+			n, res.Stats.RecoveryRequests)
+	}
+}
+
+// TestChaosRetryExhaustionFails: with every completion packet lost, no
+// work unit can ever be acknowledged; the machine must give up with a
+// typed FaultError within its watchdog/retry bounds instead of hanging.
+func TestChaosRetryExhaustionFails(t *testing.T) {
+	cat, qs := testDB(t, 0.05)
+	m, err := New(cat, Config{
+		HW: smallHW(), IPs: 4, IPsPerInstruction: 4,
+		WatchdogTimeout: 50 * time.Millisecond, RetryBudget: 2,
+		Fault: fault.New(fault.Config{
+			Seed: 1,
+			Drop: map[fault.Class]float64{fault.ClassCompletion: 1.0},
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(qs[2]); err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		res *Results
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := m.Run()
+		done <- outcome{res, err}
+	}()
+	select {
+	case out := <-done:
+		if out.err == nil {
+			t.Fatal("run succeeded with 100% completion loss")
+		}
+		var fe *FaultError
+		if !errors.As(out.err, &fe) {
+			t.Fatalf("error is %T (%v), want *FaultError", out.err, out.err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("machine hung instead of returning a FaultError")
+	}
+}
+
+// TestChaosDeterminism: two fresh plans with the same seed must drive
+// byte-identical executions — every counter equal.
+func TestChaosDeterminism(t *testing.T) {
+	cat, qs := testDB(t, 0.05)
+	run := func() Stats {
+		res := runChaos(t, cat, qs[2], Config{
+			HW: smallHW(), IPs: 8, IPsPerInstruction: 8,
+			Fault: fault.New(fault.Config{
+				Seed:    42,
+				Crashes: fault.CrashN(1, 2*time.Millisecond, time.Millisecond),
+				Drop:    fault.UniformDrop(0.01),
+				Dup:     fault.UniformDrop(0.005),
+			}),
+		})
+		return res.Stats
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same fault seed, different stats:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestFaultExcludesDirectRouting: the guarded protocol and the
+// Section 5 direct-routing extension are mutually exclusive.
+func TestFaultExcludesDirectRouting(t *testing.T) {
+	cat, _ := testDB(t, 0.02)
+	_, err := New(cat, Config{
+		HW: smallHW(), DirectRouting: true,
+		Fault: fault.New(fault.Config{Seed: 1}),
+	})
+	if err == nil {
+		t.Fatal("New accepted Fault together with DirectRouting")
+	}
+}
+
+// TestScheduleIPFailureIdempotent (satellite regression): scheduling
+// the same processor's failure twice — or at a time already in the
+// past — must disable it exactly once. The old implementation removed
+// the processor from the free pool on every call, silently corrupting
+// the pool.
+func TestScheduleIPFailureIdempotent(t *testing.T) {
+	cat, qs := testDB(t, 0.05)
+	want, err := query.ExecuteSerial(cat, qs[2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cat, Config{HW: smallHW(), IPs: 4, IPsPerInstruction: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []time.Duration{time.Millisecond, time.Millisecond, 0} {
+		if err := m.ScheduleIPFailure(0, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Submit(qs[2]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IPsFailed != 1 {
+		t.Errorf("IPsFailed = %d, want 1 (duplicate schedules double-counted)",
+			res.Stats.IPsFailed)
+	}
+	if got := res.PerQuery[0].Relation; !got.EqualMultiset(want) {
+		t.Errorf("machine %d tuples, serial %d", got.Cardinality(), want.Cardinality())
+	}
+}
+
+// TestAllIPsFailedReturnsFaultError: losing the whole pool with work
+// outstanding must surface as a typed error, not a silent stall.
+func TestAllIPsFailedReturnsFaultError(t *testing.T) {
+	cat, qs := testDB(t, 0.05)
+	m, err := New(cat, Config{HW: smallHW(), IPs: 4, IPsPerInstruction: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 4; id++ {
+		if err := m.ScheduleIPFailure(id, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Submit(qs[2]); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run()
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error is %T (%v), want *FaultError", err, err)
+	}
+}

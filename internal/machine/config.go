@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"dfdbm/internal/fault"
 	"dfdbm/internal/hw"
 	"dfdbm/internal/obs"
 	"dfdbm/internal/relation"
@@ -39,6 +40,24 @@ type Config struct {
 	DirectRouting bool
 	// HW supplies device timings; zero value means hw.Default1979.
 	HW hw.Config
+	// Fault, when non-nil, injects the plan's faults (IP crashes,
+	// dropped and duplicated packets) and switches the machine into its
+	// resilient protocol: IPs report work completion in atomic
+	// completion packets, ICs watch outstanding instruction packets
+	// with a virtual-time watchdog and re-dispatch lost work, and
+	// MC <-> IC control traffic retransmits on loss. Build one fresh
+	// Plan per machine. Mutually exclusive with DirectRouting.
+	Fault *fault.Plan
+	// WatchdogTimeout is how long (virtual time) an IC waits without
+	// progress from a busy processor before suspecting it and reporting
+	// the failure to the MC. Zero means 3s. Only used when Fault is
+	// set.
+	WatchdogTimeout time.Duration
+	// RetryBudget bounds how often one work unit (an operand page or a
+	// join outer page) may be re-dispatched after faults before Run
+	// gives up with a FaultError. Zero means 8. Only used when Fault is
+	// set.
+	RetryBudget int
 	// Trace, when non-nil, receives one line per protocol event
 	// (admissions, grants, packets, broadcasts, completions), prefixed
 	// with the virtual time. It is the legacy text-only path: when Obs
@@ -74,8 +93,17 @@ func (c Config) withDefaults() (Config, error) {
 	if c.HW.PageSize == 0 {
 		c.HW = hw.Default1979()
 	}
+	if c.WatchdogTimeout <= 0 {
+		c.WatchdogTimeout = 3 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 8
+	}
 	if c.ICs < 1 || c.IPs < 1 {
 		return c, fmt.Errorf("machine: need at least one IC and one IP")
+	}
+	if c.Fault != nil && c.DirectRouting {
+		return c, fmt.Errorf("machine: fault injection and direct routing are mutually exclusive")
 	}
 	return c, nil
 }
@@ -98,6 +126,17 @@ type Stats struct {
 	DirectRoutedPages int64
 	// Concurrency control.
 	QueriesDelayedByConflict int64
+	// Fault injection and recovery (populated only when Config.Fault is
+	// set, except IPsFailed which ScheduleIPFailure also counts).
+	FaultsInjected    int64 // crashes + drops + dups + cache faults injected
+	PacketsDropped    int64 // packets lost to the plan
+	PacketsDuplicated int64 // duplicate transits injected (discarded on arrival)
+	IPsCrashed        int64 // processors crashed by the plan
+	IPsFailed         int64 // processors the MC marked failed
+	WatchdogTimeouts  int64 // IC watchdog expiries (suspected processors)
+	Redispatches      int64 // work units re-dispatched after a fault
+	RecoveredPages    int64 // re-dispatched work units that later completed
+	Retransmits       int64 // retransmissions on the reliable channels
 }
 
 // QueryResult is the outcome of one submitted query.

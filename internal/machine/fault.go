@@ -1,0 +1,301 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"dfdbm/internal/fault"
+	"dfdbm/internal/obs"
+)
+
+// Fault injection and the resilient transport.
+//
+// With Config.Fault set the machine runs a guarded variant of the
+// Section 4 protocol that tolerates the plan's faults:
+//
+//   - IC <-> IP traffic on the outer ring (instruction packets,
+//     completion packets, control requests, broadcasts) stays
+//     genuinely lossy. Losses there are recovered end-to-end: the IC's
+//     watchdog re-dispatches work units whose completion never arrives,
+//     and IPs re-issue need-inner/need-outer requests, driving the
+//     Section 4.2 missed-broadcast recovery path.
+//
+//   - Control-plane traffic that the protocol cannot regenerate —
+//     MC <-> IC messages on the inner ring, and IC -> IC / IC -> host
+//     result pages with their operand-complete markers — travels over
+//     reliable channels: per-flow FIFO queues that retransmit after a
+//     timeout, so a drop costs latency and ring bandwidth, never state.
+//
+//   - Duplicated packets cost an extra ring transit and are discarded
+//     on arrival by sequence number, on every class.
+//
+// Detection is strictly end-to-end: a crashed IP is never announced —
+// the owning IC suspects it when its watchdog expires, reports it to
+// the MC over the inner ring, and the MC marks it failed and withholds
+// it from all future grants.
+
+// FaultError is returned by Run when fault recovery is exhausted: a
+// work unit ran out of retry budget, a reliable channel ran out of
+// retransmissions, or every processor failed with work outstanding.
+type FaultError struct {
+	// QueryID and Instr identify the instruction that gave up, or -1
+	// for machine-wide conditions.
+	QueryID int
+	Instr   int
+	// Page is the work unit (operand page or join outer page) that
+	// exhausted its budget, or -1.
+	Page int
+	// Retries is how many re-dispatches were attempted.
+	Retries int
+	// Reason describes the exhausted mechanism.
+	Reason string
+}
+
+func (e *FaultError) Error() string {
+	if e.QueryID < 0 {
+		return fmt.Sprintf("machine: fault recovery exhausted: %s", e.Reason)
+	}
+	return fmt.Sprintf("machine: fault recovery exhausted for query %d instruction %d page %d after %d retries: %s",
+		e.QueryID, e.Instr, e.Page, e.Retries, e.Reason)
+}
+
+// guarded reports whether the resilient protocol is active.
+func (m *Machine) guarded() bool { return m.plan != nil }
+
+// maxRetransmits bounds per-message retransmissions on the reliable
+// channels; past it the machine fails rather than livelocks (only
+// reachable with drop probabilities near 1).
+const maxRetransmits = 64
+
+// relRetransmitDelay is the sender's retransmission timeout on the
+// reliable channels.
+const relRetransmitDelay = 2 * time.Millisecond
+
+// relKey identifies one reliable flow. The inner ring is a single
+// global flow (it is one FCFS station, so a global FIFO preserves every
+// ordering the fault-free machine had); outer-ring reliable flows are
+// per (sender IC, receiver IC-or-host) pair.
+type relKey struct {
+	inner    bool
+	from, to int
+}
+
+type relMsg struct {
+	bytes   int
+	class   fault.Class
+	tries   int
+	deliver func()
+}
+
+// relChannel is a stop-and-wait ARQ FIFO: one message outstanding,
+// retransmitted until delivered, later messages queued behind it.
+type relChannel struct {
+	m    *Machine
+	key  relKey
+	q    []*relMsg
+	busy bool
+}
+
+func (m *Machine) relChan(key relKey) *relChannel {
+	if ch, ok := m.rel[key]; ok {
+		return ch
+	}
+	ch := &relChannel{m: m, key: key}
+	m.rel[key] = ch
+	return ch
+}
+
+// reliableSend enqueues a message on the flow's channel. Outside
+// guarded mode it degenerates to the plain ring send.
+func (m *Machine) reliableSend(key relKey, class fault.Class, bytes int, deliver func()) {
+	if !m.guarded() {
+		if key.inner {
+			m.sendInner(bytes, deliver)
+		} else {
+			m.sendOuter(bytes, deliver)
+		}
+		return
+	}
+	ch := m.relChan(key)
+	ch.q = append(ch.q, &relMsg{bytes: bytes, class: class, deliver: deliver})
+	ch.pump()
+}
+
+func (ch *relChannel) pump() {
+	if ch.busy || len(ch.q) == 0 {
+		return
+	}
+	ch.busy = true
+	ch.transmit(ch.q[0])
+}
+
+func (ch *relChannel) transmit(msg *relMsg) {
+	m := ch.m
+	if m.err != nil {
+		return
+	}
+	msg.tries++
+	arrive := func() {
+		if m.plan.Drop(msg.class) {
+			m.injectDrop(msg.class)
+			if msg.tries > maxRetransmits {
+				m.fail(&FaultError{QueryID: -1, Instr: -1, Page: -1, Retries: msg.tries - 1,
+					Reason: fmt.Sprintf("reliable %s channel exhausted retransmissions", msg.class)})
+				return
+			}
+			m.s.After(relRetransmitDelay, func() {
+				m.stats.Retransmits++
+				m.event(obs.EvRecovery, "MC", -1, -1, -1, msg.bytes,
+					"retransmit %s message (%d bytes, try %d)", msg.class, msg.bytes, msg.tries+1)
+				ch.transmit(msg)
+			})
+			return
+		}
+		ch.q = ch.q[1:]
+		ch.busy = false
+		m.maybeDup(msg.class, ch.key.inner, msg.bytes)
+		msg.deliver()
+		ch.pump()
+	}
+	if ch.key.inner {
+		m.sendInner(msg.bytes, arrive)
+	} else {
+		m.sendOuter(msg.bytes, arrive)
+	}
+}
+
+// innerSend routes an inner-ring control message: plain in the
+// fault-free machine, over the global reliable inner channel under a
+// fault plan.
+func (m *Machine) innerSend(bytes int, deliver func()) {
+	m.reliableSend(relKey{inner: true}, fault.ClassInner, bytes, deliver)
+}
+
+// lossyOuter ships an IC<->IP packet on the outer ring, subject to the
+// plan's drop and duplication probabilities for its class. Dropped
+// packets are recovered end-to-end by the protocol, not retransmitted.
+func (m *Machine) lossyOuter(class fault.Class, bytes int, deliver func()) {
+	if !m.guarded() {
+		m.sendOuter(bytes, deliver)
+		return
+	}
+	m.sendOuter(bytes, func() {
+		if m.plan.Drop(class) {
+			m.injectDrop(class)
+			return
+		}
+		deliver()
+	})
+	m.maybeDup(class, false, bytes)
+}
+
+// lossyDeliver wraps one broadcast recipient's delivery with the
+// plan's per-recipient drop draw (a broadcast can reach some IPs and
+// miss others).
+func (m *Machine) lossyDeliver(class fault.Class, fn func()) func() {
+	if !m.guarded() {
+		return fn
+	}
+	return func() {
+		if m.plan.Drop(class) {
+			m.injectDrop(class)
+			return
+		}
+		fn()
+	}
+}
+
+func (m *Machine) injectDrop(class fault.Class) {
+	m.stats.FaultsInjected++
+	m.stats.PacketsDropped++
+	m.event(obs.EvFault, "ring", -1, -1, -1, 0, "fault: dropped %s packet", class)
+}
+
+// maybeDup injects a duplicate transit of the packet just delivered.
+// The duplicate occupies the ring like the original; the receiver's
+// sequence filter discards it on arrival, so it never reaches protocol
+// state.
+func (m *Machine) maybeDup(class fault.Class, inner bool, bytes int) {
+	if !m.plan.Dup(class) {
+		return
+	}
+	m.stats.FaultsInjected++
+	m.stats.PacketsDuplicated++
+	m.event(obs.EvFault, "ring", -1, -1, -1, bytes, "fault: duplicated %s packet", class)
+	discard := func() {
+		m.event(obs.EvFault, "ring", -1, -1, -1, bytes, "fault: discarded duplicate %s packet", class)
+	}
+	if inner {
+		m.sendInner(bytes, discard)
+	} else {
+		m.sendOuter(bytes, discard)
+	}
+}
+
+// scheduleCrashes installs the plan's IP crashes on the virtual clock.
+func (m *Machine) scheduleCrashes() {
+	for _, cr := range m.plan.Crashes() {
+		if cr.IP < 0 || cr.IP >= len(m.ips) {
+			continue
+		}
+		p := m.ips[cr.IP]
+		m.s.At(cr.At, func() { m.crashIP(p) })
+	}
+}
+
+// crashIP kills a processor mid-whatever-it-was-doing: every queued
+// instruction packet, buffered broadcast page, partial result, and its
+// IRC vector are abandoned. Nothing is announced — the owning IC's
+// watchdog makes the discovery.
+func (m *Machine) crashIP(p *ip) {
+	if p.crashed {
+		return
+	}
+	p.crashed = true
+	m.stats.FaultsInjected++
+	m.stats.IPsCrashed++
+	abandoned := len(p.innerBuf) + len(p.queue)
+	if p.outer != nil {
+		abandoned++
+	}
+	m.event(obs.EvFault, fmt.Sprintf("IP%d", p.id), -1, -1, -1, 0,
+		"fault: IP %d crashed (abandoning %d buffered pages and IRC state)", p.id, abandoned)
+}
+
+// failIP is the MC marking a processor failed: it is withdrawn from
+// the free pool and never granted again. Idempotent.
+func (m *Machine) failIP(p *ip, why string) {
+	if p.failed {
+		return
+	}
+	p.failed = true
+	m.stats.IPsFailed++
+	for i, fp := range m.freeIPs {
+		if fp == p {
+			m.freeIPs = append(m.freeIPs[:i], m.freeIPs[i+1:]...)
+			break
+		}
+	}
+	m.event(obs.EvFault, "MC", -1, -1, -1, 0, "MC: IP %d marked failed (%s)", p.id, why)
+	m.checkAllFailed()
+}
+
+// ipSuspected handles an IC's watchdog report arriving at the MC.
+func (m *Machine) ipSuspected(p *ip, icID int) {
+	m.failIP(p, fmt.Sprintf("watchdog report from IC %d", icID))
+}
+
+// checkAllFailed surfaces total processor loss as a FaultError instead
+// of letting the run stall silently.
+func (m *Machine) checkAllFailed() {
+	for _, p := range m.ips {
+		if !p.failed {
+			return
+		}
+	}
+	if len(m.active)+len(m.queue) > 0 {
+		m.fail(&FaultError{QueryID: -1, Instr: -1, Page: -1,
+			Reason: fmt.Sprintf("all %d instruction processors failed with %d queries outstanding",
+				len(m.ips), len(m.active)+len(m.queue))})
+	}
+}

@@ -2,7 +2,10 @@ package machine
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
+	"dfdbm/internal/fault"
 	"dfdbm/internal/obs"
 	"dfdbm/internal/query"
 	"dfdbm/internal/relation"
@@ -32,6 +35,19 @@ type ipSlot struct {
 	flushSent bool
 	released  bool
 	outerNo   int // join: outer page index being worked, -1 when none
+
+	// Guarded-mode (fault plan) watchdog state.
+	pageNo int // unary: operand page index being worked, -1 when none
+	// lastBeat is the last virtual time this processor demonstrated
+	// progress (a dispatched packet, an accepted completion, a
+	// broadcast it was sent).
+	lastBeat time.Duration
+	// watchArmed marks an active watchdog check loop for this slot.
+	watchArmed bool
+	// waitingProducer marks a processor blocked on an inner page the
+	// producing instruction has not delivered yet; the watchdog does
+	// not charge that wait against the processor.
+	waitingProducer bool
 }
 
 // ic is one instruction controller.
@@ -70,6 +86,21 @@ type ic struct {
 	rrNext int
 
 	finished bool
+
+	// Guarded-mode (fault plan) recovery state.
+	//
+	// suspects are processors this IC has written off after a watchdog
+	// expiry: their packets are discarded, their unfinished work
+	// re-dispatched. unaryDone and joined record accepted completion
+	// packets (per operand page, and per (outer, inner) join step) —
+	// the IC-side dedup that makes re-dispatch exactly-once. requeue
+	// holds work units awaiting re-dispatch; retries counts
+	// re-dispatches per work unit against Config.RetryBudget.
+	suspects  map[*ip]bool
+	unaryDone map[int]bool
+	joined    map[int]map[int]bool
+	requeue   []int
+	retries   map[int]int
 }
 
 func newIC(m *Machine, id int) *ic { return &ic{m: m, id: id} }
@@ -92,6 +123,11 @@ func (c *ic) assign(mi *minstr) {
 	c.pendingInner = map[int][]*ip{}
 	c.markerSent = false
 	c.finished = false
+	c.suspects = map[*ip]bool{}
+	c.unaryDone = map[int]bool{}
+	c.joined = map[int]map[int]bool{}
+	c.requeue = nil
+	c.retries = map[int]int{}
 
 	for i, in := range mi.node.Inputs {
 		op := &operand{tupleLen: in.Schema().TupleLen()}
@@ -161,6 +197,7 @@ func (c *ic) kick() {
 	// rule keeps one processor grantable to "safe" instructions, so a
 	// parked processor can never starve the producers below.)
 	parked := false
+	var idle []*ipSlot
 	for _, s := range c.slots {
 		if s.busy || s.released || s.flushSent {
 			continue
@@ -169,7 +206,15 @@ func (c *ic) kick() {
 			parked = true
 			continue
 		}
+		idle = append(idle, s)
+	}
+	// Released outside the range loop: the guarded release removes the
+	// slot from c.slots — and may finish the instruction outright.
+	for _, s := range idle {
 		c.flushOrRelease(s)
+	}
+	if c.cur == nil || c.finished {
+		return
 	}
 	// Ask the MC for processors whenever dispatchable work exceeds the
 	// processors held (and requested), up to the per-instruction
@@ -193,9 +238,9 @@ func (c *ic) kick() {
 func (c *ic) pendingWork() int {
 	switch c.cur.node.Kind {
 	case query.OpJoin:
-		return len(c.ops[0].pages) - c.outerNext
+		return len(c.ops[0].pages) - c.outerNext + len(c.requeue)
 	default:
-		return len(c.ops[0].pages) - c.dispatched
+		return len(c.ops[0].pages) - c.dispatched + len(c.requeue)
 	}
 }
 
@@ -221,7 +266,7 @@ func (c *ic) gainIP(p *ip) {
 	}
 	c.grantedIPs++
 	p.bind(c, c.cur)
-	s := &ipSlot{p: p, outerNo: -1}
+	s := &ipSlot{p: p, outerNo: -1, pageNo: -1}
 	c.slots = append(c.slots, s)
 	c.kick()
 }
@@ -241,12 +286,23 @@ func (c *ic) assignWork(s *ipSlot) {
 
 func (c *ic) assignUnary(s *ipSlot) {
 	op := c.ops[0]
-	if c.dispatched < len(op.pages) {
-		idx := c.dispatched
+	idx := -1
+	if len(c.requeue) > 0 {
+		// Re-dispatch work lost to a fault before taking fresh pages.
+		idx = c.requeue[0]
+		c.requeue = c.requeue[1:]
+	} else if c.dispatched < len(op.pages) {
+		idx = c.dispatched
 		c.dispatched++
+	}
+	if idx >= 0 {
 		pg := op.pages[idx]
-		flush := op.complete && idx == len(op.pages)-1
+		// Under a fault plan results ride completion packets, so no
+		// flush pass is needed (or wanted: it would not be fault
+		// tolerant).
+		flush := !c.m.guarded() && op.complete && idx == len(op.pages)-1
 		s.busy = true
+		s.pageNo = idx
 		// Prefetch the next few pages up the hierarchy while this one
 		// is fetched and shipped.
 		for k := idx + 1; k < len(op.pages) && k <= idx+3; k++ {
@@ -275,8 +331,26 @@ func (c *ic) assignUnary(s *ipSlot) {
 }
 
 // flushOrRelease retires an idle processor: one flush packet to drain
-// its result buffer, then release to the MC.
+// its result buffer, then release to the MC. Under a fault plan
+// processors flush into every completion packet, so their buffers are
+// empty by construction and the slot is released directly.
 func (c *ic) flushOrRelease(s *ipSlot) {
+	if c.m.guarded() {
+		if s.released {
+			return
+		}
+		s.released = true
+		c.releasedIPs++
+		for i, e := range c.slots {
+			if e == s {
+				c.slots = append(c.slots[:i], c.slots[i+1:]...)
+				break
+			}
+		}
+		c.m.releaseIP(s.p)
+		c.checkDone()
+		return
+	}
 	if s.flushSent {
 		return
 	}
@@ -298,12 +372,30 @@ func (c *ic) flushOrRelease(s *ipSlot) {
 // first inner page when available, as in the paper's first packet).
 func (c *ic) assignOuter(s *ipSlot) {
 	outer, inner := c.ops[0], c.ops[1]
-	if c.outerNext < len(outer.pages) {
-		idx := c.outerNext
+	idx, redispatched := -1, false
+	if len(c.requeue) > 0 {
+		idx = c.requeue[0]
+		c.requeue = c.requeue[1:]
+		redispatched = true
+	} else if c.outerNext < len(outer.pages) {
+		idx = c.outerNext
 		c.outerNext++
+	}
+	if idx >= 0 {
 		s.busy = true
 		s.outerNo = idx
 		opg := outer.pages[idx]
+		// A re-dispatched outer page seeds the replacement processor's
+		// IRC vector with the join steps already accepted, so only the
+		// lost work is redone; the missing inner pages are re-requested
+		// through the Section 4.2 recovery path rather than piggybacked.
+		var seed []int
+		if redispatched {
+			for inIdx := range c.joined[idx] {
+				seed = append(seed, inIdx)
+			}
+			sort.Ints(seed)
+		}
 		c.store.get(opg, func() {
 			pkt := &InstructionPacket{
 				IPID:           s.p.id,
@@ -315,9 +407,10 @@ func (c *ic) assignOuter(s *ipSlot) {
 				ResultTupleLen: c.cur.outTupleLen,
 				OuterPageNo:    idx,
 				InnerPageNo:    -1,
+				JoinedInner:    seed,
 				Pages:          []*relation.Page{opg},
 			}
-			if len(inner.pages) > 0 {
+			if !redispatched && len(inner.pages) > 0 {
 				ipg := inner.pages[0]
 				c.store.get(ipg, func() {
 					pkt.InnerPageNo = 0
@@ -361,7 +454,188 @@ func (c *ic) sendInstr(s *ipSlot, pkt *InstructionPacket) {
 			pkt.ResultRelation, pkt.FlushWhenDone, len(pkt.Pages))
 	}
 	p := s.p
+	if c.m.guarded() {
+		// Arm the watchdog for this processor: the packet is now
+		// outstanding, and only evidence of progress (completions,
+		// broadcasts sent to it) resets the clock.
+		s.lastBeat = c.m.s.Now()
+		if !s.watchArmed {
+			s.watchArmed = true
+			c.m.s.After(c.m.cfg.WatchdogTimeout, func() { c.watchdogCheck(s, mi) })
+		}
+		c.m.lossyOuter(fault.ClassInstruction, size, func() { p.receive(pkt) })
+		return
+	}
 	c.m.sendOuter(size, func() { p.receive(pkt) })
+}
+
+// watchdogCheck is the IC's virtual-time watchdog loop for one busy
+// slot: if the processor has shown no progress for a full
+// WatchdogTimeout (and is not waiting on an unproduced inner page), it
+// is suspected. The loop disarms when the slot goes idle and is
+// re-armed by the next dispatch.
+func (c *ic) watchdogCheck(s *ipSlot, mi *minstr) {
+	if c.m.err != nil || c.cur != mi || c.finished || s.released || c.suspects[s.p] {
+		s.watchArmed = false
+		return
+	}
+	if !s.busy {
+		s.watchArmed = false
+		return
+	}
+	now := c.m.s.Now()
+	deadline := s.lastBeat + c.m.cfg.WatchdogTimeout
+	if s.waitingProducer || now < deadline {
+		wait := deadline - now
+		if s.waitingProducer || wait <= 0 {
+			wait = c.m.cfg.WatchdogTimeout
+		}
+		c.m.s.After(wait, func() { c.watchdogCheck(s, mi) })
+		return
+	}
+	c.suspect(s)
+}
+
+// suspect writes off a processor whose watchdog expired: report it to
+// the MC over the inner ring, reclaim the slot, and re-queue its
+// unfinished work unit. A suspected processor that was merely slow is
+// harmless — its late packets are discarded and its work unit runs
+// again elsewhere, deduplicated on acceptance.
+func (c *ic) suspect(s *ipSlot) {
+	p := s.p
+	c.suspects[p] = true
+	c.m.stats.WatchdogTimeouts++
+	mi := c.cur
+	c.m.event(obs.EvFault, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, s.pageNo, 0,
+		"IC%d: watchdog expired for IP %d (no progress for %v)", c.id, p.id, c.m.cfg.WatchdogTimeout)
+	// The failure report is an inner-ring control message to the MC,
+	// which marks the processor failed machine-wide.
+	c.m.stats.ControlPackets++
+	c.m.innerSend(c.m.cfg.HW.ControlBytes, func() { c.m.ipSuspected(p, c.id) })
+	for i, e := range c.slots {
+		if e == s {
+			c.slots = append(c.slots[:i], c.slots[i+1:]...)
+			break
+		}
+	}
+	idx := s.pageNo
+	if mi.node.Kind == query.OpJoin {
+		idx = s.outerNo
+	}
+	if idx >= 0 && !c.workUnitDone(idx) {
+		c.queueRedispatch(idx)
+	}
+	c.kick()
+}
+
+// workUnitDone reports whether work unit idx (operand page, or join
+// outer page) has been fully accepted.
+func (c *ic) workUnitDone(idx int) bool {
+	if c.cur.node.Kind == query.OpJoin {
+		return c.fullyJoined(idx)
+	}
+	return c.unaryDone[idx]
+}
+
+// fullyJoined reports whether outer page idx has accepted join steps
+// against every inner page.
+func (c *ic) fullyJoined(idx int) bool {
+	inner := c.ops[1]
+	return inner.complete && len(c.joined[idx]) >= len(inner.pages)
+}
+
+// queueRedispatch schedules work unit idx for re-dispatch, charging its
+// retry budget; past the budget the whole run fails with a FaultError
+// (within the watchdog bound — better a typed error than a silent
+// hang).
+func (c *ic) queueRedispatch(idx int) {
+	if c.m.err != nil {
+		return
+	}
+	mi := c.cur
+	c.retries[idx]++
+	if c.retries[idx] > c.m.cfg.RetryBudget {
+		c.m.fail(&FaultError{QueryID: mi.q.id, Instr: mi.id, Page: idx,
+			Retries: c.retries[idx] - 1, Reason: "retry budget exhausted"})
+		return
+	}
+	c.m.stats.Redispatches++
+	c.m.event(obs.EvRecovery, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, idx, 0,
+		"IC%d: re-dispatch work unit %d (attempt %d)", c.id, idx, c.retries[idx]+1)
+	c.requeue = append(c.requeue, idx)
+}
+
+// onCompletion accepts one atomic work-unit completion from a
+// processor: the IC-side serialization point of the guarded protocol.
+// Completions from suspected or stale processors are discarded whole —
+// their work units were (or will be) re-dispatched — and accepted
+// units are deduplicated, so every work unit lands exactly once no
+// matter how packets were lost, duplicated, or raced by recovery.
+func (c *ic) onCompletion(p *ip, pkt *CompletionPacket) {
+	if c.cur == nil || c.finished || p.instr != c.cur || pkt.QueryID != c.cur.q.id {
+		return
+	}
+	if p.failed || c.suspects[p] {
+		c.m.event(obs.EvFault, fmt.Sprintf("IC%d", c.id), pkt.QueryID, c.cur.id, pkt.OuterPageNo, 0,
+			"IC%d: discarded completion from failed IP %d", c.id, p.id)
+		return
+	}
+	s := c.slot(p)
+	if s != nil {
+		s.lastBeat = c.m.s.Now()
+	}
+	if pkt.InnerPageNo >= 0 {
+		// One join step of outer page OuterPageNo.
+		jm := c.joined[pkt.OuterPageNo]
+		if jm == nil {
+			jm = map[int]bool{}
+			c.joined[pkt.OuterPageNo] = jm
+		}
+		if jm[pkt.InnerPageNo] {
+			return // already accepted from an earlier incarnation
+		}
+		jm[pkt.InnerPageNo] = true
+		if c.retries[pkt.OuterPageNo] > 0 && c.fullyJoined(pkt.OuterPageNo) {
+			c.noteRecovered(pkt.OuterPageNo)
+		}
+	} else {
+		if c.unaryDone[pkt.OuterPageNo] {
+			return
+		}
+		c.unaryDone[pkt.OuterPageNo] = true
+		c.processed++
+		if c.retries[pkt.OuterPageNo] > 0 {
+			c.noteRecovered(pkt.OuterPageNo)
+		}
+		if s != nil {
+			s.busy = false
+			s.pageNo = -1
+		}
+	}
+	for _, pg := range pkt.Pages {
+		c.routeResult(pg)
+	}
+	c.kick()
+}
+
+// noteRecovered records that a re-dispatched work unit made it.
+func (c *ic) noteRecovered(idx int) {
+	c.m.stats.RecoveredPages++
+	mi := c.cur
+	c.m.event(obs.EvRecovery, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, idx, 0,
+		"IC%d: re-dispatched work unit %d completed", c.id, idx)
+}
+
+// routeResult forwards one result page from an accepted completion.
+func (c *ic) routeResult(pg *relation.Page) {
+	if pg == nil || pg.Empty() {
+		return
+	}
+	if c.cur.node.Kind == query.OpProject {
+		c.onProjectResult(pg)
+		return
+	}
+	c.forwardResult(pg)
 }
 
 // ---- Operand reception (the distribution network's target) ----
@@ -456,6 +730,11 @@ func (c *ic) onControl(p *ip, pkt *ControlPacket) {
 	if c.cur == nil {
 		return
 	}
+	if c.m.guarded() && (p.failed || c.suspects[p] || p.instr != c.cur) {
+		c.m.event(obs.EvFault, fmt.Sprintf("IC%d", c.id), pkt.QueryID, c.cur.id, pkt.PageNo, 0,
+			"IC%d: discarded control packet from failed IP %d", c.id, p.id)
+		return
+	}
 	switch pkt.Message {
 	case msgDone:
 		switch pkt.PageNo {
@@ -475,6 +754,26 @@ func (c *ic) onControl(p *ip, pkt *ControlPacket) {
 		c.onNeedInner(p, pkt.PageNo)
 	case msgNeedOuter:
 		if s := c.slot(p); s != nil {
+			if c.m.guarded() {
+				// The guarded request names the outer page it finishes,
+				// so a late retry of an already-accepted request is
+				// recognized and ignored.
+				if s.outerNo < 0 || s.outerNo != pkt.PageNo {
+					break
+				}
+				idx := s.outerNo
+				s.lastBeat = c.m.s.Now()
+				s.busy = false
+				s.outerNo = -1
+				if !c.fullyJoined(idx) {
+					// The processor believes the page is done but some
+					// join-step completions were lost in transit:
+					// re-dispatch it (seeded with what was accepted).
+					c.queueRedispatch(idx)
+				}
+				c.kick()
+				return
+			}
 			s.busy = false
 			s.outerNo = -1
 		}
@@ -528,6 +827,12 @@ func (c *ic) onNeedInner(p *ip, idx int) {
 			c.sendMarker()
 			return
 		}
+		// The page does not exist yet: the processor is waiting on the
+		// producing instruction, which must not count against its
+		// watchdog.
+		if s := c.slot(p); s != nil {
+			s.waitingProducer = true
+		}
 		c.pendingInner[idx] = append(c.pendingInner[idx], p)
 		return
 	}
@@ -572,18 +877,36 @@ func (c *ic) broadcastInner(idx int) {
 		c.m.stats.Broadcasts++
 		c.m.event(obs.EvBroadcast, fmt.Sprintf("IC%d", c.id), c.cur.q.id, c.cur.id, idx, pkt.WireSize(),
 			"IC%d: broadcast inner page %d (last=%v)", c.id, idx, pkt.LastInner)
-		var deliver []func()
-		for _, s := range c.slots {
-			if s.released {
-				continue
-			}
-			p := s.p
-			deliver = append(deliver, func() { p.onBroadcast(pkt) })
-		}
+		deliver := c.broadcastTargets(pkt)
 		c.m.broadcastOuter(pkt.WireSize(), append(deliver, func() {
 			c.bcastInFlight[idx] = false
 		}))
 	})
+}
+
+// broadcastTargets builds the per-recipient delivery closures for a
+// broadcast. Under a fault plan each recipient's delivery is an
+// independent drop draw (a broadcast can reach some processors and miss
+// others), recipients get a progress beat (the IC just fed them), and a
+// parked producer wait ends.
+func (c *ic) broadcastTargets(pkt *InstructionPacket) []func() {
+	var deliver []func()
+	guarded := c.m.guarded()
+	now := c.m.s.Now()
+	for _, s := range c.slots {
+		if s.released {
+			continue
+		}
+		p := s.p
+		if guarded {
+			s.lastBeat = now
+			s.waitingProducer = false
+			deliver = append(deliver, c.m.lossyDeliver(fault.ClassBroadcast, func() { p.onBroadcast(pkt) }))
+			continue
+		}
+		deliver = append(deliver, func() { p.onBroadcast(pkt) })
+	}
+	return deliver
 }
 
 // sendMarker broadcasts the "that was the last inner page" indication.
@@ -605,14 +928,7 @@ func (c *ic) sendMarker() {
 		InnerPageNo: len(inner.pages),
 	}
 	c.m.stats.Broadcasts++
-	var deliver []func()
-	for _, s := range c.slots {
-		if s.released {
-			continue
-		}
-		p := s.p
-		deliver = append(deliver, func() { p.onBroadcast(pkt) })
-	}
+	deliver := c.broadcastTargets(pkt)
 	c.m.broadcastOuter(pkt.WireSize(), append(deliver, func() { c.markerSent = false }))
 }
 
@@ -649,12 +965,14 @@ func (c *ic) forwardResult(pg *relation.Page) {
 	rp := &ResultPacket{QueryID: mi.q.id, Relation: mi.node.Label(), Page: pg}
 	if mi.destIC == nil {
 		q := mi.q
-		c.m.sendOuter(rp.WireSize(), func() { c.m.hostDeliver(q, pg) })
+		c.m.reliableSend(relKey{from: c.id, to: -1}, fault.ClassResult,
+			rp.WireSize(), func() { c.m.hostDeliver(q, pg) })
 		return
 	}
 	dest, input := mi.destIC, mi.destInput
 	rp.ICID = dest.id
-	c.m.sendOuter(rp.WireSize(), func() { dest.receiveOperand(input, pg) })
+	c.m.reliableSend(relKey{from: c.id, to: dest.id}, fault.ClassResult,
+		rp.WireSize(), func() { dest.receiveOperand(input, pg) })
 }
 
 // ---- Completion ----
@@ -670,8 +988,17 @@ func (c *ic) checkDone() {
 		if !outer.complete || !inner.complete {
 			return
 		}
-		if c.outerNext < len(outer.pages) {
+		if c.outerNext < len(outer.pages) || len(c.requeue) > 0 {
 			return
+		}
+		if c.m.guarded() {
+			// Done means accepted, not dispatched: every outer page must
+			// have an accepted join step against every inner page.
+			for idx := 0; idx < len(outer.pages); idx++ {
+				if !c.fullyJoined(idx) {
+					return
+				}
+			}
 		}
 		if len(c.slots) != 0 {
 			return
@@ -680,6 +1007,16 @@ func (c *ic) checkDone() {
 		op := c.ops[0]
 		if !op.complete || c.dispatched < len(op.pages) || c.processed < c.dispatched {
 			return
+		}
+		if len(c.requeue) > 0 {
+			return
+		}
+		if c.m.guarded() {
+			for idx := 0; idx < len(op.pages); idx++ {
+				if !c.unaryDone[idx] {
+					return
+				}
+			}
 		}
 		if c.directDone < op.directExpected {
 			return
@@ -710,8 +1047,12 @@ func (c *ic) finish() {
 		dest, input, direct := mi.destIC, mi.destInput, mi.directSent
 		cp := &ControlPacket{ICID: dest.id, QueryID: mi.q.id, Message: msgDone}
 		c.m.stats.ControlPackets++
-		c.m.sendOuter(cp.WireSize(), func() { dest.operandComplete(input, direct) })
+		// The operand-complete marker shares the result pages' reliable
+		// FIFO flow, so it can never overtake (or be lost behind) the
+		// pages it finalizes.
+		c.m.reliableSend(relKey{from: c.id, to: dest.id}, fault.ClassResult,
+			cp.WireSize(), func() { dest.operandComplete(input, direct) })
 	}
 	c.cur = nil
-	c.m.sendInner(c.m.cfg.HW.ControlBytes, func() { c.m.instrFinished(mi) })
+	c.m.innerSend(c.m.cfg.HW.ControlBytes, func() { c.m.instrFinished(mi) })
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dfdbm/internal/fault"
 	"dfdbm/internal/obs"
 	"dfdbm/internal/query"
 	"dfdbm/internal/relation"
@@ -25,6 +26,11 @@ type ip struct {
 	// failed processor is never granted again and is dropped from the
 	// pool when released.
 	failed bool
+	// crashed marks a processor killed by the fault plan: it stops
+	// executing, buffering, and sending mid-whatever-it-was-doing,
+	// abandoning its IRC state and buffered pages. Nobody is told —
+	// the owning IC discovers the loss through its watchdog.
+	crashed bool
 
 	ic    *ic
 	instr *minstr
@@ -37,6 +43,13 @@ type ip struct {
 	busy  bool
 
 	pgtor *relation.Paginator
+
+	// outPages accumulates the in-flight work unit's finished result
+	// pages when the resilient protocol is active: they ride to the IC
+	// inside one atomic completion packet instead of streaming as
+	// result packets, so a loss costs the whole unit (re-dispatched)
+	// and never half of it.
+	outPages []*relation.Page
 
 	// Join state.
 	outer      *relation.Page
@@ -69,6 +82,7 @@ func (p *ip) bind(c *ic, mi *minstr) {
 		return
 	}
 	p.pgtor = pag
+	p.outPages = nil
 	p.outer = nil
 	p.outerNo = -1
 	p.irc = nil
@@ -80,6 +94,9 @@ func (p *ip) bind(c *ic, mi *minstr) {
 
 // receive accepts a non-broadcast instruction packet.
 func (p *ip) receive(pkt *InstructionPacket) {
+	if p.crashed {
+		return // dead hardware swallows the packet
+	}
 	p.queue = append(p.queue, pkt)
 	p.pump()
 }
@@ -128,6 +145,9 @@ func (p *ip) execUnary(pkt *InstructionPacket) {
 	p.m.observe("machine.ip_busy_us", float64(compute.Microseconds()))
 	direct := pkt.ICIDSender != p.ic.id // page was routed IP→IP
 	p.m.s.After(compute, func() {
+		if p.crashed {
+			return
+		}
 		var err error
 		switch mi.node.Kind {
 		case query.OpRestrict:
@@ -140,6 +160,12 @@ func (p *ip) execUnary(pkt *InstructionPacket) {
 			return
 		}
 		p.busy = false
+		if p.m.guarded() {
+			// Results and the done indication travel together.
+			p.sendCompletion(pkt.OuterPageNo, -1)
+			p.pump()
+			return
+		}
 		// Direct-routed operands flush eagerly: the controlling IC does
 		// not track this processor's buffer for them, so tuples must
 		// not linger past a flush packet that may already be queued.
@@ -161,6 +187,12 @@ func (p *ip) execJoinOuter(pkt *InstructionPacket) {
 	p.outer = pkt.Pages[0]
 	p.outerNo = pkt.OuterPageNo
 	p.irc = map[int]bool{}
+	// A re-dispatched outer page carries the inner indices whose join
+	// steps the IC already accepted; seeding the IRC vector keeps the
+	// retry from re-producing their result tuples.
+	for _, i := range pkt.JoinedInner {
+		p.irc[i] = true
+	}
 	p.waitingFor = -1
 	if len(pkt.Pages) > 1 {
 		if pkt.LastInner {
@@ -182,7 +214,7 @@ func (p *ip) execPair(idx int, inner *relation.Page) {
 	p.m.observe("machine.ip_busy_us", float64(compute.Microseconds()))
 	p.m.s.After(compute, func() {
 		mi := p.instr
-		if mi == nil {
+		if mi == nil || p.crashed {
 			return
 		}
 		if _, err := joinPages(p.outer, inner, mi, p.emit); err != nil {
@@ -192,6 +224,9 @@ func (p *ip) execPair(idx int, inner *relation.Page) {
 		p.irc[idx] = true
 		p.busy = false
 		p.execIdx = -1
+		if p.m.guarded() {
+			p.sendCompletion(p.outerNo, idx)
+		}
 		p.step()
 	})
 }
@@ -220,10 +255,18 @@ func (p *ip) step() {
 	if p.innerTotal >= 0 && missing >= p.innerTotal {
 		// IRC vector satisfied: the outer page has met every inner
 		// page. Zero it and request more outer work.
+		finished := p.outerNo
 		p.outer = nil
 		p.outerNo = -1
 		p.irc = nil
 		p.waitingFor = -1
+		if p.m.guarded() {
+			// The request names the finished outer page so the IC can
+			// tell a fresh request from a duplicated or stale one.
+			p.sendCtrl(msgNeedOuter, finished)
+			p.armOuterRetry(finished, 0)
+			return
+		}
 		p.sendCtrl(msgNeedOuter, -1)
 		return
 	}
@@ -232,6 +275,50 @@ func (p *ip) step() {
 	}
 	p.waitingFor = missing
 	p.sendCtrl(msgNeedInner, missing)
+	p.armInnerRetry(missing, 0)
+}
+
+// maxRequestRetries bounds how often an IP re-issues one control
+// request; past it the IP goes quiet and the IC's watchdog takes over.
+const maxRequestRetries = 16
+
+// requestRetryDelay is the IP's control-request retransmission
+// interval — well inside the IC's watchdog, so a lost request or
+// broadcast is retried several times before anyone is suspected.
+func (p *ip) requestRetryDelay() time.Duration {
+	return p.m.cfg.WatchdogTimeout / 8
+}
+
+// armInnerRetry re-issues a need-inner request whose answer never
+// arrived: the Section 4.2 missed-broadcast recovery path, driven here
+// by genuine packet loss rather than a full buffer.
+func (p *ip) armInnerRetry(idx, tries int) {
+	if !p.m.guarded() || tries >= maxRequestRetries {
+		return
+	}
+	mi := p.instr
+	p.m.s.After(p.requestRetryDelay(), func() {
+		if p.crashed || p.failed || p.instr != mi || p.busy || p.outer == nil || p.waitingFor != idx {
+			return
+		}
+		p.sendCtrl(msgNeedInner, idx)
+		p.armInnerRetry(idx, tries+1)
+	})
+}
+
+// armOuterRetry re-issues a need-outer request that went unanswered.
+func (p *ip) armOuterRetry(finished, tries int) {
+	if tries >= maxRequestRetries {
+		return
+	}
+	mi := p.instr
+	p.m.s.After(p.requestRetryDelay(), func() {
+		if p.crashed || p.failed || p.instr != mi || p.busy || p.outer != nil || len(p.queue) > 0 {
+			return
+		}
+		p.sendCtrl(msgNeedOuter, finished)
+		p.armOuterRetry(finished, tries+1)
+	})
 }
 
 // firstMissing returns the smallest inner page index not yet joined.
@@ -248,7 +335,7 @@ func (p *ip) firstMissing() int {
 // check; a busy processor buffers the page if it has room and otherwise
 // drops it, relying on the recovery pass.
 func (p *ip) onBroadcast(pkt *InstructionPacket) {
-	if p.instr == nil || pkt.QueryID != p.instr.q.id {
+	if p.crashed || p.instr == nil || pkt.QueryID != p.instr.q.id {
 		return
 	}
 	if len(pkt.Pages) == 0 {
@@ -303,9 +390,39 @@ func (p *ip) emit(raw []byte) error {
 		return err
 	}
 	if full != nil {
-		p.sendResult(full)
+		if p.m.guarded() {
+			p.outPages = append(p.outPages, full)
+		} else {
+			p.sendResult(full)
+		}
 	}
 	return nil
+}
+
+// takeResults drains the work unit's buffered result pages, partial
+// page included, for shipment inside a completion packet.
+func (p *ip) takeResults() []*relation.Page {
+	if last := p.pgtor.Flush(); last != nil {
+		p.outPages = append(p.outPages, last)
+	}
+	pages := p.outPages
+	p.outPages = nil
+	return pages
+}
+
+// sendCompletion reports one finished work unit to the controlling IC:
+// the result pages and the done indication ride one atomic packet.
+func (p *ip) sendCompletion(outerNo, innerNo int) {
+	mi := p.instr
+	c := p.ic
+	pkt := &CompletionPacket{ICID: c.id, IPID: p.id, QueryID: mi.q.id,
+		OuterPageNo: outerNo, InnerPageNo: innerNo, Pages: p.takeResults()}
+	size := pkt.WireSize()
+	p.m.stats.ControlPackets++
+	p.m.event(obs.EvControl, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, outerNo, size,
+		"IP%d -> IC%d: completion (outer %d, inner %d, %d result pages)",
+		p.id, c.id, outerNo, innerNo, len(pkt.Pages))
+	p.m.lossyOuter(fault.ClassCompletion, size, func() { c.onCompletion(p, pkt) })
 }
 
 // flushResults drains the partial result page, if any.
@@ -400,6 +517,9 @@ func (p *ip) sendDone(pageNo int) {
 }
 
 func (p *ip) sendCtrl(msg controlMsg, pageNo int) {
+	if p.crashed {
+		return
+	}
 	c := p.ic
 	pkt := &ControlPacket{ICID: c.id, IPID: p.id, QueryID: p.instr.q.id, Message: msg, PageNo: pageNo}
 	size := pkt.WireSize()
@@ -416,5 +536,5 @@ func (p *ip) sendCtrl(msg controlMsg, pageNo int) {
 			"IP%d -> IC%d: done (page %d)", p.id, c.id, pageNo)
 	}
 	p.m.stats.ControlPackets++
-	p.m.sendOuter(size, func() { c.onControl(p, pkt) })
+	p.m.lossyOuter(fault.ClassControl, size, func() { c.onControl(p, pkt) })
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dfdbm/internal/catalog"
+	"dfdbm/internal/fault"
 	"dfdbm/internal/obs"
 	"dfdbm/internal/pred"
 	"dfdbm/internal/query"
@@ -42,6 +43,11 @@ type Machine struct {
 	stats   Stats
 	ipBusy  time.Duration
 	err     error
+
+	// plan is the fault plan (nil in the fault-free machine); rel holds
+	// the reliable ARQ channels of the guarded transport.
+	plan *fault.Plan
+	rel  map[relKey]*relChannel
 }
 
 type lockEntry struct {
@@ -66,6 +72,8 @@ func New(cat *catalog.Catalog, cfg Config) (*Machine, error) {
 		cat:   cat,
 		s:     sim.New(),
 		locks: map[string]*lockEntry{},
+		plan:  cfg.Fault,
+		rel:   map[relKey]*relChannel{},
 	}
 	m.obs = cfg.Obs
 	if m.obs == nil && cfg.Trace != nil {
@@ -197,6 +205,9 @@ func (m *Machine) Submit(t *query.Tree) error {
 
 // Run executes all submitted queries to completion and reports.
 func (m *Machine) Run() (*Results, error) {
+	if m.guarded() {
+		m.scheduleCrashes()
+	}
 	m.s.After(0, m.tryAdmit)
 	end := m.s.Run()
 	if m.err != nil {
@@ -252,6 +263,15 @@ func (m *Machine) exportMetrics(res *Results) {
 	r.Inc("machine.cache_writes", s.CacheWrites)
 	r.Inc("machine.direct_routed_pages", s.DirectRoutedPages)
 	r.Inc("machine.queries_delayed_by_conflict", s.QueriesDelayedByConflict)
+	r.Inc("machine.faults_injected", s.FaultsInjected)
+	r.Inc("machine.packets_dropped", s.PacketsDropped)
+	r.Inc("machine.packets_duplicated", s.PacketsDuplicated)
+	r.Inc("machine.ips_crashed", s.IPsCrashed)
+	r.Inc("machine.ips_failed", s.IPsFailed)
+	r.Inc("machine.watchdog_timeouts", s.WatchdogTimeouts)
+	r.Inc("machine.redispatches", s.Redispatches)
+	r.Inc("machine.recovered_pages", s.RecoveredPages)
+	r.Inc("machine.retransmits", s.Retransmits)
 	r.SetGauge("machine.elapsed_seconds", res.Elapsed.Seconds())
 	r.SetGauge("machine.outer_ring_utilization", res.OuterRingUtilization)
 	r.SetGauge("machine.outer_ring_mbps", res.OuterRingMbps())
@@ -441,7 +461,7 @@ func (m *Machine) admit(q *mquery) bool {
 	// The MC distributes the instructions over the inner ring.
 	for _, mi := range q.instrs {
 		mi := mi
-		m.sendInner(m.cfg.HW.InstrHeaderBytes, func() { mi.ic.assign(mi) })
+		m.innerSend(m.cfg.HW.InstrHeaderBytes, func() { mi.ic.assign(mi) })
 	}
 	return true
 }
@@ -580,7 +600,7 @@ func (m *Machine) pumpIPs() {
 			m.event(obs.EvGrant, "MC", req.instr.q.id, req.instr.id, -1, 0,
 				"MC: grant IP %d to IC %d", p.id, c.id)
 			// The grant is a small control message on the inner ring.
-			m.sendInner(m.cfg.HW.ControlBytes, func() { c.gainIP(p) })
+			m.innerSend(m.cfg.HW.ControlBytes, func() { c.gainIP(p) })
 		}
 		m.ipRequests = append([]*ipRequest(nil), kept...)
 		if !granted {
@@ -595,7 +615,7 @@ func (m *Machine) pumpIPs() {
 func (m *Machine) releaseIP(p *ip) {
 	p.instr = nil
 	p.ic = nil
-	m.sendInner(m.cfg.HW.ControlBytes, func() {
+	m.innerSend(m.cfg.HW.ControlBytes, func() {
 		if !p.failed {
 			m.freeIPs = append(m.freeIPs, p)
 		}
@@ -608,20 +628,17 @@ func (m *Machine) releaseIP(p *ip) {
 // from the free pool (or dropped at its next release) and never granted
 // again — the paper's requirement 5 that the design "survive an
 // arbitrary number of disabled processors". Call before Run.
+//
+// A time in the past is clamped to "now" by the simulator's monotonic
+// clock, and failing an already-failed processor is a no-op, so
+// repeated or late calls are safe. If every processor ends up failed
+// while queries are outstanding, Run returns a FaultError rather than
+// stalling.
 func (m *Machine) ScheduleIPFailure(id int, at time.Duration) error {
 	if id < 0 || id >= len(m.ips) {
 		return fmt.Errorf("machine: no IP %d", id)
 	}
-	m.s.At(at, func() {
-		p := m.ips[id]
-		p.failed = true
-		for i, fp := range m.freeIPs {
-			if fp == p {
-				m.freeIPs = append(m.freeIPs[:i], m.freeIPs[i+1:]...)
-				break
-			}
-		}
-	})
+	m.s.At(at, func() { m.failIP(m.ips[id], "scheduled failure") })
 	return nil
 }
 

@@ -28,6 +28,7 @@ const (
 	pktInstruction packetKind = iota + 1
 	pktResult
 	pktControl
+	pktCompletion
 )
 
 // Control message codes (the Message field of Figure 4.5).
@@ -63,6 +64,12 @@ type InstructionPacket struct {
 	LastInner   bool
 	// OuterPageNo tags the outer operand for join bookkeeping.
 	OuterPageNo int
+	// JoinedInner seeds the receiving IP's IRC vector with inner pages
+	// already joined against this outer page. It is non-empty only when
+	// a fault plan re-dispatches a partially-joined outer page to a
+	// replacement processor (the regenerated IRC of the recovery
+	// protocol).
+	JoinedInner []int
 	// Pages are the source-operand data pages (Figure 4.3 allows one
 	// per source operand; restrict packets carry one, join packets up
 	// to two, flush packets zero).
@@ -93,7 +100,7 @@ const packetMagic uint32 = 0x0DF1_0479
 // fixed header fields of Figure 4.3 plus the wire size of each data
 // page. (Marshal produces exactly this many bytes.)
 func (p *InstructionPacket) WireSize() int {
-	n := instrFixedHeader + len(p.ResultRelation)
+	n := instrFixedHeader + len(p.ResultRelation) + 4*len(p.JoinedInner)
 	for _, pg := range p.Pages {
 		n += 4 + pg.WireSize()
 	}
@@ -101,9 +108,9 @@ func (p *InstructionPacket) WireSize() int {
 }
 
 // instrFixedHeader covers magic (4), kind (1), eight numeric fields
-// (32), three flags plus the opcode (4), a reserved word (4), and the
-// relation-name length and pad (2).
-const instrFixedHeader = 4 + 1 + 4*8 + 4 + 4 + 2
+// (32), three flags plus the opcode (4), a reserved word (4), the
+// relation-name length and pad (2), and the IRC-seed entry count (2).
+const instrFixedHeader = 4 + 1 + 4*8 + 4 + 4 + 2 + 2
 
 // Marshal encodes the packet.
 func (p *InstructionPacket) Marshal() []byte {
@@ -119,6 +126,10 @@ func (p *InstructionPacket) Marshal() []byte {
 	out = binary.LittleEndian.AppendUint32(out, 0) // reserved
 	out = append(out, byte(len(p.ResultRelation)), 0)
 	out = append(out, p.ResultRelation...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(p.JoinedInner)))
+	for _, idx := range p.JoinedInner {
+		out = binary.LittleEndian.AppendUint32(out, uint32(int32(idx)))
+	}
 	for _, pg := range p.Pages {
 		blob := pg.Marshal()
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(blob)))
@@ -157,6 +168,18 @@ func UnmarshalInstruction(b []byte) (*InstructionPacket, error) {
 	}
 	p.ResultRelation = string(b[off : off+nameLen])
 	off += nameLen
+	if off+2 > len(b) {
+		return nil, fmt.Errorf("machine: truncated IRC seed count")
+	}
+	nJoined := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if off+4*nJoined > len(b) {
+		return nil, fmt.Errorf("machine: truncated IRC seed")
+	}
+	for i := 0; i < nJoined; i++ {
+		p.JoinedInner = append(p.JoinedInner, int(int32(binary.LittleEndian.Uint32(b[off:]))))
+		off += 4
+	}
 	for i := 0; i < nPages; i++ {
 		if off+4 > len(b) {
 			return nil, fmt.Errorf("machine: truncated page length")
@@ -259,6 +282,97 @@ func UnmarshalControl(b []byte) (*ControlPacket, error) {
 		Message: controlMsg(b[17]),
 		PageNo:  int(int32(binary.LittleEndian.Uint32(b[18:]))),
 	}, nil
+}
+
+// CompletionPacket reports one finished work unit — an operand page of
+// a unary instruction, or one (outer page, inner page) join step — from
+// an IP to its controlling IC, carrying the result pages the unit
+// produced. Shipping results and the done notice in one atomic packet
+// is what makes recovery exact: either the IC sees the unit complete
+// with all its output, or the packet is lost and the unit is
+// re-dispatched whole. Used only under a fault plan; the fault-free
+// protocol streams results and signals done separately.
+type CompletionPacket struct {
+	ICID    int
+	IPID    int
+	QueryID int
+	// OuterPageNo is the finished operand page (unary) or outer page
+	// (join).
+	OuterPageNo int
+	// InnerPageNo is the inner page just joined, or -1 for unary work.
+	InnerPageNo int
+	// Pages are the result pages the work unit produced.
+	Pages []*relation.Page
+}
+
+// completionFixedHeader covers magic (4), kind (1), five numeric
+// fields (20), and the page count (4).
+const completionFixedHeader = 4 + 1 + 4*5 + 4
+
+// WireSize returns the bytes the packet occupies on the ring.
+func (p *CompletionPacket) WireSize() int {
+	n := completionFixedHeader
+	for _, pg := range p.Pages {
+		n += 4 + pg.WireSize()
+	}
+	return n
+}
+
+// Marshal encodes the packet.
+func (p *CompletionPacket) Marshal() []byte {
+	out := make([]byte, 0, p.WireSize())
+	out = binary.LittleEndian.AppendUint32(out, packetMagic)
+	out = append(out, byte(pktCompletion))
+	for _, v := range []int{p.ICID, p.IPID, p.QueryID, p.OuterPageNo, p.InnerPageNo} {
+		out = binary.LittleEndian.AppendUint32(out, uint32(int32(v)))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Pages)))
+	for _, pg := range p.Pages {
+		blob := pg.Marshal()
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(blob)))
+		out = append(out, blob...)
+	}
+	return out
+}
+
+// UnmarshalCompletion decodes a completion packet.
+func UnmarshalCompletion(b []byte) (*CompletionPacket, error) {
+	if len(b) < completionFixedHeader {
+		return nil, fmt.Errorf("machine: completion packet too short (%d bytes)", len(b))
+	}
+	if binary.LittleEndian.Uint32(b) != packetMagic || b[4] != byte(pktCompletion) {
+		return nil, fmt.Errorf("machine: not a completion packet")
+	}
+	p := &CompletionPacket{}
+	off := 5
+	ints := make([]int, 5)
+	for i := range ints {
+		ints[i] = int(int32(binary.LittleEndian.Uint32(b[off:])))
+		off += 4
+	}
+	p.ICID, p.IPID, p.QueryID, p.OuterPageNo, p.InnerPageNo = ints[0], ints[1], ints[2], ints[3], ints[4]
+	nPages := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	for i := 0; i < nPages; i++ {
+		if off+4 > len(b) {
+			return nil, fmt.Errorf("machine: truncated page length")
+		}
+		n := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if off+n > len(b) {
+			return nil, fmt.Errorf("machine: truncated page payload")
+		}
+		pg, err := relation.UnmarshalPage(b[off : off+n])
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		p.Pages = append(p.Pages, pg)
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("machine: %d trailing bytes in completion packet", len(b)-off)
+	}
+	return p, nil
 }
 
 func boolByte(b bool) byte {

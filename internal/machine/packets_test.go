@@ -76,6 +76,56 @@ func TestInstructionPacketNegativeFields(t *testing.T) {
 	}
 }
 
+func TestInstructionPacketJoinedInner(t *testing.T) {
+	pkt := &InstructionPacket{
+		IPID: 2, OuterPageNo: 4, ResultRelation: "t1",
+		JoinedInner: []int{0, 3, 17},
+		Pages:       []*relation.Page{samplePage(t, 2)},
+	}
+	blob := pkt.Marshal()
+	if len(blob) != pkt.WireSize() {
+		t.Fatalf("Marshal %d bytes, WireSize %d", len(blob), pkt.WireSize())
+	}
+	got, err := UnmarshalInstruction(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.JoinedInner) != 3 || got.JoinedInner[0] != 0 ||
+		got.JoinedInner[1] != 3 || got.JoinedInner[2] != 17 {
+		t.Errorf("JoinedInner lost: %v", got.JoinedInner)
+	}
+	if len(got.Pages) != 1 || got.Pages[0].TupleCount() != 2 {
+		t.Errorf("pages lost after JoinedInner: %d pages", len(got.Pages))
+	}
+}
+
+func TestCompletionPacketRoundTrip(t *testing.T) {
+	pkt := &CompletionPacket{
+		ICID: 2, IPID: 7, QueryID: 3, OuterPageNo: 5, InnerPageNo: -1,
+		Pages: []*relation.Page{samplePage(t, 4), samplePage(t, 1)},
+	}
+	blob := pkt.Marshal()
+	if len(blob) != pkt.WireSize() {
+		t.Fatalf("Marshal %d bytes, WireSize %d", len(blob), pkt.WireSize())
+	}
+	got, err := UnmarshalCompletion(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ICID != 2 || got.IPID != 7 || got.QueryID != 3 ||
+		got.OuterPageNo != 5 || got.InnerPageNo != -1 {
+		t.Errorf("fields lost: %+v", got)
+	}
+	if len(got.Pages) != 2 || got.Pages[0].TupleCount() != 4 || got.Pages[1].TupleCount() != 1 {
+		t.Errorf("pages lost: %d pages", len(got.Pages))
+	}
+	for _, bad := range [][]byte{nil, blob[:8], blob[:len(blob)-2]} {
+		if _, err := UnmarshalCompletion(bad); err == nil {
+			t.Error("UnmarshalCompletion accepted a truncated blob")
+		}
+	}
+}
+
 func TestResultPacketRoundTrip(t *testing.T) {
 	pkt := &ResultPacket{ICID: 4, QueryID: 2, Relation: "t3", Page: samplePage(t, 5)}
 	blob := pkt.Marshal()

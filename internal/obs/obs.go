@@ -61,6 +61,14 @@ const (
 	EvCacheWrite
 	// EvNote: anything else.
 	EvNote
+	// EvFault: an injected fault (processor crash, dropped or
+	// duplicated packet, cache read fault) or its detection (a watchdog
+	// expiry, a discarded stale packet).
+	EvFault
+	// EvRecovery: a recovery action (re-dispatch of lost work,
+	// retransmission on a reliable channel, completion of retried
+	// work).
+	EvRecovery
 )
 
 // String returns the kind's wire name (used by the JSONL and Chrome
@@ -95,6 +103,10 @@ func (k EventKind) String() string {
 		return "cache-read"
 	case EvCacheWrite:
 		return "cache-write"
+	case EvFault:
+		return "fault"
+	case EvRecovery:
+		return "recovery"
 	default:
 		return "note"
 	}

@@ -1,7 +1,10 @@
 package dfdbm
 
 import (
+	"time"
+
 	"dfdbm/internal/direct"
+	"dfdbm/internal/fault"
 	"dfdbm/internal/figures"
 	"dfdbm/internal/hw"
 	"dfdbm/internal/machine"
@@ -65,6 +68,46 @@ type (
 func NewMachine(db *DB, cfg MachineConfig) (*Machine, error) {
 	return machine.New(db.Catalog(), cfg)
 }
+
+// Fault injection (IP crashes, packet loss/duplication, cache faults)
+// and the machine's MC-driven recovery.
+type (
+	// FaultConfig describes one deterministic fault plan.
+	FaultConfig = fault.Config
+	// FaultPlan is a built plan; pass one fresh plan per machine via
+	// MachineConfig.Fault (or DirectConfig.Fault for cache faults).
+	FaultPlan = fault.Plan
+	// FaultClass partitions packets for per-class drop/duplication
+	// probabilities.
+	FaultClass = fault.Class
+	// IPCrash schedules one processor crash at a virtual time.
+	IPCrash = fault.IPCrash
+	// FaultError is returned by Machine.Run when recovery is exhausted;
+	// test with errors.As.
+	FaultError = machine.FaultError
+)
+
+// Packet classes for FaultConfig.Drop and FaultConfig.Dup.
+const (
+	FaultClassInstruction = fault.ClassInstruction
+	FaultClassBroadcast   = fault.ClassBroadcast
+	FaultClassControl     = fault.ClassControl
+	FaultClassCompletion  = fault.ClassCompletion
+	FaultClassResult      = fault.ClassResult
+	FaultClassInner       = fault.ClassInner
+)
+
+// NewFaultPlan builds a deterministic fault plan from the config.
+func NewFaultPlan(cfg FaultConfig) *FaultPlan { return fault.New(cfg) }
+
+// CrashSpread schedules n processor crashes (IPs 0..n-1) staggered from
+// start by step — the degradation-curve experiment's input.
+func CrashSpread(n int, start, step time.Duration) []IPCrash {
+	return fault.CrashN(n, start, step)
+}
+
+// UniformDrop gives every packet class the same drop probability.
+func UniformDrop(p float64) map[FaultClass]float64 { return fault.UniformDrop(p) }
 
 // Loop networks (the paper's Section 4.1 interconnect choice).
 type (
