@@ -131,8 +131,9 @@ func BenchmarkFig42Bandwidth(b *testing.B) {
 }
 
 // BenchmarkJoinAlgorithms regenerates the Section 2.1 contrast on real
-// kernels: nested loops (the multiprocessor algorithm) versus sorted
-// merge (the uniprocessor winner), measured on the host.
+// kernels — nested loops (the paper's multiprocessor algorithm) versus
+// the equi-join hash kernel the engines now auto-select — measured on
+// the host, plus the serial and data-flow executions around them.
 func BenchmarkJoinAlgorithms(b *testing.B) {
 	db, qs, _ := benchSetup(b)
 	_ = qs
@@ -144,26 +145,79 @@ func BenchmarkJoinAlgorithms(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	cond := dfdbm.Equi("k3", "k3")
 	q, err := db.Parse(`join(r5, r11, k3 = k3)`)
 	if err != nil {
 		b.Fatal(err)
 	}
-	_ = outer
-	_ = inner
-	b.Run("nested-loops-serial", func(b *testing.B) {
+	b.Run("kernel/nested-loops", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dfdbm.NestedLoopsJoin(outer, inner, cond, "out"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("kernel/hash", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dfdbm.HashJoin(outer, inner, cond, "out"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := db.ExecuteSerial(q); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
-	b.Run("nested-loops-dataflow-8w", func(b *testing.B) {
+	b.Run("dataflow-8w", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := db.Execute(q, dfdbm.EngineOptions{Workers: 8}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+// BenchmarkMachinePagePool measures the ring machine's multi-query run
+// with and without the page pool; the simulated makespan is invariant,
+// only host-side allocation behaviour differs (counters attached).
+func BenchmarkMachinePagePool(b *testing.B) {
+	db, qs, _ := benchSetup(b)
+	hw := dfdbm.DefaultHW()
+	hw.PageSize = 2048
+	for _, noPool := range []bool{false, true} {
+		name := "pooled"
+		if noPool {
+			name = "no-pool"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var res *dfdbm.MachineResults
+			for i := 0; i < b.N; i++ {
+				m, err := dfdbm.NewMachine(db, dfdbm.MachineConfig{HW: hw, ICs: 16, IPs: 16, NoPagePool: noPool})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, n := range []int{0, 2, 5} {
+					if err := m.Submit(qs[n]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				res, err = m.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Stats.PagesRecycled), "pages-recycled")
+			b.ReportMetric(float64(res.Stats.PoolHits), "pool-hits")
+			b.ReportMetric(float64(res.Stats.HashProbes), "hash-probes")
+			b.ReportMetric(res.Elapsed.Seconds(), "sim-seconds")
+		})
+	}
 }
 
 // BenchmarkRingNetworks regenerates the Section 4.1 loop comparison:

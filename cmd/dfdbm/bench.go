@@ -1,0 +1,424 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"dfdbm"
+	"dfdbm/internal/pred"
+	"dfdbm/internal/relalg"
+	"dfdbm/internal/relation"
+)
+
+// The machine-readable benchmark harness behind `dfdbm bench -json`.
+// It measures the hot execution path the ISSUE's cost model is
+// dominated by — the per-page-pair join kernel and the page traffic
+// around it — and emits BENCH_machine.json so future changes can be
+// diffed against these numbers.
+
+// benchEntry is one measured benchmark in the JSON report.
+type benchEntry struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchReport is the whole BENCH_machine.json document.
+type benchReport struct {
+	Harness    string  `json:"harness"`
+	Scale      float64 `json:"scale"`
+	Seed       int64   `json:"seed"`
+	PageSize   int     `json:"page_size"`
+	JoinTuples int     `json:"join_tuples"`
+
+	Benchmarks []benchEntry `json:"benchmarks"`
+
+	// EquijoinHashSpeedup is nested-loops ns/op over hash ns/op on the
+	// large equi-join workload.
+	EquijoinHashSpeedup float64 `json:"equijoin_hash_speedup"`
+	// MachineAllocReduction is the fractional allocs/op saved by the
+	// page pool on the machine hot-path benchmark (0.5 = half).
+	MachineAllocReduction float64 `json:"machine_alloc_reduction"`
+	// EnginesMatchSerial records the cross-engine identity check: the
+	// functional engine and the ring machine produced results identical
+	// to the serial reference on the paper queries.
+	EnginesMatchSerial bool `json:"engines_match_serial"`
+}
+
+func entryFrom(name string, r testing.BenchmarkResult, metrics map[string]float64) benchEntry {
+	return benchEntry{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Metrics:     metrics,
+	}
+}
+
+// buildEquiJoinWorkload builds the large synthetic equi-join inputs:
+// n tuples per side, 64-bit keys in pseudo-random order, exactly one
+// inner match per outer tuple.
+func buildEquiJoinWorkload(n, pageSize int) (outer, inner *relation.Relation, cond pred.JoinCond, err error) {
+	oschema, err := relation.NewSchema(
+		relation.Attr{Name: "ok", Type: relation.Int64},
+		relation.Attr{Name: "ov", Type: relation.Int64},
+	)
+	if err != nil {
+		return nil, nil, cond, err
+	}
+	ischema, err := relation.NewSchema(
+		relation.Attr{Name: "ik", Type: relation.Int64},
+		relation.Attr{Name: "iv", Type: relation.Int64},
+	)
+	if err != nil {
+		return nil, nil, cond, err
+	}
+	outer, err = relation.New("bench_outer", oschema, pageSize)
+	if err != nil {
+		return nil, nil, cond, err
+	}
+	inner, err = relation.New("bench_inner", ischema, pageSize)
+	if err != nil {
+		return nil, nil, cond, err
+	}
+	// Two different full-cycle permutations of 0..n-1 so matching pairs
+	// land on unrelated page positions.
+	perm := func(i, a, b int) int64 { return int64((i*a + b) % n) }
+	for i := 0; i < n; i++ {
+		if err := outer.Insert(relation.Tuple{relation.IntVal(perm(i, 7, 3)), relation.IntVal(int64(i))}); err != nil {
+			return nil, nil, cond, err
+		}
+		if err := inner.Insert(relation.Tuple{relation.IntVal(perm(i, 11, 5)), relation.IntVal(int64(i))}); err != nil {
+			return nil, nil, cond, err
+		}
+	}
+	return outer, inner, pred.Equi("ok", "ik"), nil
+}
+
+// benchEquiJoin times the nested-loops and hash kernels on the large
+// workload and verifies the hash result is byte-identical first.
+func benchEquiJoin(n, pageSize int) (nested, hash benchEntry, speedup float64, err error) {
+	outer, inner, cond, err := buildEquiJoinWorkload(n, pageSize)
+	if err != nil {
+		return nested, hash, 0, err
+	}
+	ref, err := relalg.NestedLoopsJoin(outer, inner, cond, "ref")
+	if err != nil {
+		return nested, hash, 0, err
+	}
+	got, err := relalg.HashJoin(outer, inner, cond, "ref")
+	if err != nil {
+		return nested, hash, 0, err
+	}
+	if err := relationsIdentical(ref, got); err != nil {
+		return nested, hash, 0, fmt.Errorf("hash kernel result differs from nested loops: %w", err)
+	}
+
+	nr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := relalg.NestedLoopsJoin(outer, inner, cond, "out"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	hr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := relalg.HashJoin(outer, inner, cond, "out"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// One instrumented pass for the kernel counters.
+	bound, err := cond.Bind(outer.Schema(), inner.Schema())
+	if err != nil {
+		return nested, hash, 0, err
+	}
+	var ks relalg.KernelStats
+	st := relalg.NewJoinState(bound, &ks)
+	st.MaxTables = inner.NumPages()
+	sink := func([]byte) error { return nil }
+	for _, op := range outer.Pages() {
+		for _, ip := range inner.Pages() {
+			if _, err := st.JoinPages(op, ip, sink); err != nil {
+				return nested, hash, 0, err
+			}
+		}
+	}
+	k := ks.Load()
+
+	pairs := float64(outer.Cardinality()) * float64(inner.Cardinality())
+	nested = entryFrom("equijoin/nested-loops", nr, map[string]float64{
+		"tuple_pairs": pairs,
+		"tuples_out":  float64(ref.Cardinality()),
+	})
+	hash = entryFrom("equijoin/hash", hr, map[string]float64{
+		"hash_probes":     float64(k.HashProbes),
+		"hash_builds":     float64(k.HashBuilds),
+		"hash_table_hits": float64(k.TableHits),
+		"tuples_out":      float64(got.Cardinality()),
+	})
+	speedup = nested.NsPerOp / hash.NsPerOp
+	return nested, hash, speedup, nil
+}
+
+// benchMachineHotPath measures the machine's per-IP hot loop — pooled
+// paginator out, JoinState kernel, operand pages recycled after use —
+// with and without the page pool, over a paper-sized join.
+func benchMachineHotPath(db *dfdbm.DB, pageSize int) (pooled, bare benchEntry, reduction float64, err error) {
+	outer, err := db.Get("r5")
+	if err != nil {
+		return pooled, bare, 0, err
+	}
+	inner, err := db.Get("r11")
+	if err != nil {
+		return pooled, bare, 0, err
+	}
+	cond := pred.Equi("k3", "k3")
+	bound, err := cond.Bind(outer.Schema(), inner.Schema())
+	if err != nil {
+		return pooled, bare, 0, err
+	}
+	schema, err := relalg.JoinSchema(outer, inner)
+	if err != nil {
+		return pooled, bare, 0, err
+	}
+	tupleLen := schema.TupleLen()
+	outSize := relation.PageHeaderLen + 8*tupleLen
+
+	run := func(pool *relation.PagePool, ks *relalg.KernelStats) error {
+		st := relalg.NewJoinState(bound, ks)
+		st.MaxTables = inner.NumPages()
+		pag, err := relation.NewPooledPaginator(outSize, tupleLen, pool)
+		if err != nil {
+			return err
+		}
+		emit := func(raw []byte) error {
+			full, err := pag.Add(raw)
+			if err != nil {
+				return err
+			}
+			if full != nil {
+				pool.Put(full) // the consumer is done with it
+			}
+			return nil
+		}
+		for _, op := range outer.Pages() {
+			// Each outer page probes every resident inner page, as one
+			// IP does across the broadcast rounds of Section 4.2.
+			for _, ip := range inner.Pages() {
+				if _, err := st.JoinPages(op, ip, emit); err != nil {
+					return err
+				}
+			}
+		}
+		if last := pag.Flush(); last != nil {
+			pool.Put(last)
+		}
+		return nil
+	}
+
+	var ks relalg.KernelStats
+	pool := relation.NewPagePool()
+	pr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := run(pool, &ks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := run(nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ps := pool.Stats()
+	k := ks.Load()
+	pooled = entryFrom("machine/hot-path/pooled", pr, map[string]float64{
+		"pool_hits":      float64(ps.Hits),
+		"pool_misses":    float64(ps.Misses),
+		"pages_recycled": float64(ps.Recycled),
+		"hash_probes":    float64(k.HashProbes),
+		"hash_builds":    float64(k.HashBuilds),
+	})
+	bare = entryFrom("machine/hot-path/no-pool", br, nil)
+	if bare.AllocsPerOp > 0 {
+		reduction = 1 - float64(pooled.AllocsPerOp)/float64(bare.AllocsPerOp)
+	}
+	return pooled, bare, reduction, nil
+}
+
+// benchMachineRun measures a full ring-machine multi-query run (paper
+// queries 1, 3, 6) and reports the pool and kernel counters alongside
+// the simulated makespan.
+func benchMachineRun(db *dfdbm.DB, queries []*dfdbm.Query, pageSize int) (benchEntry, error) {
+	hw := dfdbm.DefaultHW()
+	hw.PageSize = pageSize
+	var res *dfdbm.MachineResults
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := dfdbm.NewMachine(db, dfdbm.MachineConfig{HW: hw, ICs: 16, IPs: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, n := range []int{0, 2, 5} {
+				if err := m.Submit(queries[n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			res, err = m.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	s := res.Stats
+	return entryFrom("machine/ring-run", r, map[string]float64{
+		"sim_makespan_seconds": res.Elapsed.Seconds(),
+		"pool_hits":            float64(s.PoolHits),
+		"pool_misses":          float64(s.PoolMisses),
+		"pages_recycled":       float64(s.PagesRecycled),
+		"hash_probes":          float64(s.HashProbes),
+		"hash_builds":          float64(s.HashBuilds),
+		"hash_table_hits":      float64(s.HashTableHits),
+		"nested_pairs":         float64(s.NestedPairs),
+	}), nil
+}
+
+// benchDirectRun measures the DIRECT simulator on the paper benchmark
+// and reports its page-descriptor recycling.
+func benchDirectRun(db *dfdbm.DB, queries []*dfdbm.Query, pageSize int) (benchEntry, error) {
+	profiles, err := dfdbm.ProfileQueries(db, queries, pageSize)
+	if err != nil {
+		return benchEntry{}, err
+	}
+	hw := dfdbm.DefaultHW()
+	hw.PageSize = pageSize
+	var rep dfdbm.DirectReport
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			rep, err = dfdbm.SimulateDIRECT(dfdbm.DirectConfig{Processors: 16, HW: hw}, profiles)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return entryFrom("direct/run", r, map[string]float64{
+		"sim_elapsed_seconds": rep.Elapsed.Seconds(),
+		"pages_recycled":      float64(rep.PagesRecycled),
+		"disk_reads":          float64(rep.DiskReads),
+		"disk_writes":         float64(rep.DiskWrites),
+	}), nil
+}
+
+// checkEnginesMatchSerial runs the paper join/project queries through
+// the functional engine and the ring machine and compares both against
+// the serial reference.
+func checkEnginesMatchSerial(db *dfdbm.DB, queries []*dfdbm.Query, pageSize int) error {
+	hw := dfdbm.DefaultHW()
+	hw.PageSize = pageSize
+	for _, n := range []int{0, 2, 5} {
+		q := queries[n]
+		want, err := db.ExecuteSerial(q)
+		if err != nil {
+			return err
+		}
+		res, err := db.Execute(q, dfdbm.EngineOptions{Granularity: dfdbm.PageLevel, Workers: 4, PageSize: pageSize})
+		if err != nil {
+			return err
+		}
+		if !res.Relation.EqualMultiset(want) {
+			return fmt.Errorf("query %d: functional engine differs from serial reference", n+1)
+		}
+		m, err := dfdbm.NewMachine(db, dfdbm.MachineConfig{HW: hw})
+		if err != nil {
+			return err
+		}
+		if err := m.Submit(q); err != nil {
+			return err
+		}
+		mres, err := m.Run()
+		if err != nil {
+			return err
+		}
+		if !mres.PerQuery[0].Relation.EqualMultiset(want) {
+			return fmt.Errorf("query %d: ring machine differs from serial reference", n+1)
+		}
+	}
+	return nil
+}
+
+func relationsIdentical(a, b *relation.Relation) error {
+	if a.Cardinality() != b.Cardinality() {
+		return fmt.Errorf("cardinality %d vs %d", a.Cardinality(), b.Cardinality())
+	}
+	if !a.EqualMultiset(b) {
+		return fmt.Errorf("tuple sets differ")
+	}
+	return nil
+}
+
+// runBenchJSON runs the harness and writes the report.
+func runBenchJSON(db *dfdbm.DB, queries []*dfdbm.Query, out string, scale float64, seed int64, pageSize, joinTuples int) {
+	rep := benchReport{
+		Harness:    "dfdbm bench -json",
+		Scale:      scale,
+		Seed:       seed,
+		PageSize:   pageSize,
+		JoinTuples: joinTuples,
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: large equi-join (%d x %d tuples), nested vs hash...\n", joinTuples, joinTuples)
+	nested, hash, speedup, err := benchEquiJoin(joinTuples, pageSize)
+	check(err)
+	rep.Benchmarks = append(rep.Benchmarks, nested, hash)
+	rep.EquijoinHashSpeedup = speedup
+	fmt.Fprintf(os.Stderr, "bench:   nested %.0f ns/op, hash %.0f ns/op — %.1fx\n",
+		nested.NsPerOp, hash.NsPerOp, speedup)
+
+	fmt.Fprintln(os.Stderr, "bench: machine hot path, pooled vs no-pool...")
+	pooled, bare, reduction, err := benchMachineHotPath(db, pageSize)
+	check(err)
+	rep.Benchmarks = append(rep.Benchmarks, pooled, bare)
+	rep.MachineAllocReduction = reduction
+	fmt.Fprintf(os.Stderr, "bench:   %d vs %d allocs/op — %.0f%% fewer\n",
+		pooled.AllocsPerOp, bare.AllocsPerOp, 100*reduction)
+
+	fmt.Fprintln(os.Stderr, "bench: ring-machine multi-query run...")
+	mrun, err := benchMachineRun(db, queries, pageSize)
+	check(err)
+	rep.Benchmarks = append(rep.Benchmarks, mrun)
+
+	fmt.Fprintln(os.Stderr, "bench: DIRECT benchmark run...")
+	drun, err := benchDirectRun(db, queries, pageSize)
+	check(err)
+	rep.Benchmarks = append(rep.Benchmarks, drun)
+
+	fmt.Fprintln(os.Stderr, "bench: cross-engine identity check...")
+	check(checkEnginesMatchSerial(db, queries, pageSize))
+	rep.EnginesMatchSerial = true
+
+	f, err := os.Create(out)
+	check(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	check(enc.Encode(rep))
+	check(f.Close())
+	fmt.Printf("bench: wrote %s (equi-join speedup %.1fx, hot-path alloc reduction %.0f%%, engines match serial: %v)\n",
+		out, rep.EquijoinHashSpeedup, 100*rep.MachineAllocReduction, rep.EnginesMatchSerial)
+}

@@ -74,7 +74,7 @@ func main() {
 	case "run":
 		cmdRun(db, flag.Args()[1:])
 	case "bench":
-		cmdBench(db, queries, *pageSize)
+		cmdBench(db, queries, flag.Args()[1:], *scale, *seed, *pageSize)
 	case "machine":
 		cmdMachine(db, queries, flag.Args()[1:], *pageSize)
 	case "direct":
@@ -225,7 +225,15 @@ func cmdRun(db *dfdbm.DB, args []string) {
 		s.InstructionPackets, s.ArbitrationBytes, s.ResultPackets, s.PagesMoved)
 }
 
-func cmdBench(db *dfdbm.DB, queries []*dfdbm.Query, pageSize int) {
+func cmdBench(db *dfdbm.DB, queries []*dfdbm.Query, args []string, scale float64, seed int64, pageSize int) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	jsonOut := fs.String("json", "", "run the measured harness and write machine-readable results to this file (e.g. BENCH_machine.json)")
+	joinTuples := fs.Int("join-tuples", 10000, "tuples per side of the large equi-join workload")
+	check(fs.Parse(args))
+	if *jsonOut != "" {
+		runBenchJSON(db, queries, *jsonOut, scale, seed, pageSize, *joinTuples)
+		return
+	}
 	fmt.Printf("%-6s %10s | %-14s %-14s %-14s\n", "query", "tuples", "relation", "page", "tuple")
 	for i, q := range queries {
 		fmt.Printf("q%-5d ", i+1)
@@ -247,6 +255,8 @@ func cmdBench(db *dfdbm.DB, queries []*dfdbm.Query, pageSize int) {
 func cmdMachine(db *dfdbm.DB, queries []*dfdbm.Query, args []string, pageSize int) {
 	fs := flag.NewFlagSet("machine", flag.ExitOnError)
 	trace := fs.Bool("trace", false, "print the packet-protocol trace to stderr")
+	ips := fs.Int("ips", 16, "instruction processors in the pool")
+	hashTiming := fs.Bool("hash-timing", false, "charge equi-joins at the hash kernel's O(n+m) cost instead of the paper's nested-loops n*m")
 	failIPs := fs.Int("fail-ips", 0, "crash this many IPs (0..n-1) during the run")
 	failAt := fs.Duration("fail-at", 5*time.Millisecond, "virtual time of the first crash")
 	failStep := fs.Duration("fail-step", 1*time.Millisecond, "virtual-time stagger between crashes")
@@ -260,7 +270,8 @@ func cmdMachine(db *dfdbm.DB, queries []*dfdbm.Query, args []string, pageSize in
 	check(fs.Parse(args))
 	hw := dfdbm.DefaultHW()
 	hw.PageSize = pageSize
-	cfg := dfdbm.MachineConfig{HW: hw, ICs: 16, IPs: 16,
+	cfg := dfdbm.MachineConfig{HW: hw, ICs: 16, IPs: *ips,
+		HashJoinTiming:  *hashTiming,
 		WatchdogTimeout: *watchdog, RetryBudget: *retryBudget}
 	if *failIPs > 0 || *dropOuter > 0 || *dropInner > 0 || *dup > 0 {
 		fc := dfdbm.FaultConfig{Seed: *faultSeed,
@@ -297,11 +308,16 @@ func cmdMachine(db *dfdbm.DB, queries []*dfdbm.Query, args []string, pageSize in
 		picked = []string{"1", "3", "6"}
 	}
 	for _, a := range picked {
-		n, err := strconv.Atoi(a)
-		if err != nil || n < 1 || n > len(queries) {
-			check(fmt.Errorf("bad query number %q (1-%d)", a, len(queries)))
+		if n, err := strconv.Atoi(a); err == nil {
+			if n < 1 || n > len(queries) {
+				check(fmt.Errorf("bad query number %q (1-%d)", a, len(queries)))
+			}
+			check(m.Submit(queries[n-1]))
+			continue
 		}
-		check(m.Submit(queries[n-1]))
+		q, err := db.Parse(a)
+		check(err)
+		check(m.Submit(q))
 	}
 	res, err := m.Run()
 	finishObs()

@@ -109,6 +109,10 @@ type Options struct {
 	// Project selects the duplicate-elimination strategy. Default
 	// ProjectSerialIC (the paper's baseline).
 	Project ProjectStrategy
+	// NoPagePool disables recycling of intermediate pages through the
+	// engine's relation.PagePool. Pooling is on by default; the knob
+	// exists so benchmarks can measure the allocation baseline.
+	NoPagePool bool
 	// Obs, when non-nil, receives one structured obs.Event per
 	// dispatched instruction packet, task completion, and node
 	// completion — stamped with real time since the execution started —
@@ -157,6 +161,20 @@ type Stats struct {
 	PagesMoved int64
 	// TuplesOut is the cardinality of the query result.
 	TuplesOut int64
+	// PoolHits, PoolMisses, and PagesRecycled meter the intermediate-
+	// page pool: pages served from the pool, pages freshly allocated,
+	// and dead pages handed back for reuse.
+	PoolHits      int64
+	PoolMisses    int64
+	PagesRecycled int64
+	// HashProbes, HashBuilds, and HashTableHits meter the hash join
+	// kernel (outer tuples probed, inner-page tables built, page pairs
+	// served by a cached table); NestedPairs counts tuple pairs compared
+	// by the nested-loops kernel.
+	HashProbes    int64
+	HashBuilds    int64
+	HashTableHits int64
+	NestedPairs   int64
 	// Elapsed is wall-clock execution time.
 	Elapsed time.Duration
 }
@@ -174,11 +192,18 @@ type Result struct {
 type Engine struct {
 	cat  *catalog.Catalog
 	opts Options
+	// pool recycles intermediate pages across the engine's executions;
+	// nil when Options.NoPagePool is set.
+	pool *relation.PagePool
 }
 
 // New returns an engine over the catalog.
 func New(cat *catalog.Catalog, opts Options) *Engine {
-	return &Engine{cat: cat, opts: opts.withDefaults()}
+	e := &Engine{cat: cat, opts: opts.withDefaults()}
+	if !e.opts.NoPagePool {
+		e.pool = relation.NewPagePool()
+	}
+	return e
 }
 
 // Options returns the engine's effective (defaulted) options.
@@ -223,6 +248,13 @@ func (e *Engine) exportMetrics(res *Result) {
 	r.Inc("core.result_bytes_total", s.ResultBytes)
 	r.Inc("core.pages_moved", s.PagesMoved)
 	r.Inc("core.tuples_out", s.TuplesOut)
+	r.Inc("core.pool_hits", s.PoolHits)
+	r.Inc("core.pool_misses", s.PoolMisses)
+	r.Inc("core.pages_recycled", s.PagesRecycled)
+	r.Inc("core.join_hash_probes", s.HashProbes)
+	r.Inc("core.join_hash_builds", s.HashBuilds)
+	r.Inc("core.join_table_hits", s.HashTableHits)
+	r.Inc("core.join_nested_pairs", s.NestedPairs)
 	r.SetGauge("core.elapsed_seconds", s.Elapsed.Seconds())
 }
 

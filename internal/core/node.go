@@ -68,6 +68,12 @@ type engineRun struct {
 	stInstr, stOperand, stArb int64
 	stResPkts, stResBytes     int64
 	stPages                   int64
+
+	// kstats aggregates join-kernel counters across this run's workers;
+	// pool0 is the engine pool's counters at run start, so the snapshot
+	// reports per-run deltas.
+	kstats relalg.KernelStats
+	pool0  relation.PoolStats
 }
 
 func newEngineRun(e *Engine, t *query.Tree) *engineRun {
@@ -78,7 +84,15 @@ func newEngineRun(e *Engine, t *query.Tree) *engineRun {
 		t0:      time.Now(),
 		arb:     make(chan *task, e.opts.Workers*e.opts.CellsPerWorker),
 		stopped: make(chan struct{}),
+		pool0:   e.pool.Stats(),
 	}
+}
+
+// recycle hands a dead intermediate page back to the engine pool. Put
+// is a no-op for catalog pages and pages retained by a relation, so
+// callers only guarantee no *other engine component* still reads pg.
+func (r *engineRun) recycle(pg *relation.Page) {
+	r.eng.pool.Put(pg)
 }
 
 // event emits one structured event stamped with real time since the
@@ -130,6 +144,8 @@ func (r *engineRun) errValue() error {
 }
 
 func (r *engineRun) snapshotStats() Stats {
+	ks := r.kstats.Load()
+	ps := r.eng.pool.Stats()
 	return Stats{
 		InstructionPackets: atomic.LoadInt64(&r.stInstr),
 		OperandBytes:       atomic.LoadInt64(&r.stOperand),
@@ -137,6 +153,13 @@ func (r *engineRun) snapshotStats() Stats {
 		ResultPackets:      atomic.LoadInt64(&r.stResPkts),
 		ResultBytes:        atomic.LoadInt64(&r.stResBytes),
 		PagesMoved:         atomic.LoadInt64(&r.stPages),
+		PoolHits:           ps.Hits - r.pool0.Hits,
+		PoolMisses:         ps.Misses - r.pool0.Misses,
+		PagesRecycled:      ps.Recycled - r.pool0.Recycled,
+		HashProbes:         ks.HashProbes,
+		HashBuilds:         ks.HashBuilds,
+		HashTableHits:      ks.TableHits,
+		NestedPairs:        ks.NestedPairs,
 	}
 }
 
@@ -202,7 +225,7 @@ func (r *engineRun) build(n *query.Node, out outlet) error {
 			}
 		} else {
 			ne.dedup = relalg.NewDedup()
-			pg, err := relation.NewPaginator(ne.outPageSize, ne.outTupleLen)
+			pg, err := relation.NewPooledPaginator(ne.outPageSize, ne.outTupleLen, r.eng.pool)
 			if err != nil {
 				return err
 			}
@@ -265,7 +288,7 @@ func (r *engineRun) feedScan(rel *relation.Relation, out outlet) {
 		}
 		n := pg.TupleCount()
 		for i := 0; i < n; i++ {
-			one, err := relation.NewPage(relation.PageHeaderLen+pg.TupleLen(), pg.TupleLen())
+			one, err := r.eng.pool.Get(relation.PageHeaderLen+pg.TupleLen(), pg.TupleLen())
 			if err != nil {
 				r.fail(err)
 				return
@@ -461,6 +484,9 @@ func (n *nodeExec) onResults(pages []*relation.Page) {
 					n.send(full)
 				}
 			}
+			// The page's tuples now live in the dedup set / paginator;
+			// the page itself is dead.
+			n.run.recycle(pg)
 		}
 		return
 	}
@@ -493,7 +519,12 @@ func (n *nodeExec) forward(pg *relation.Page) {
 		n.pending = nil
 		if !pg.Empty() {
 			n.pending = pg
+			return
 		}
+	}
+	if pg.Empty() {
+		// Fully drained into the compressor: the source page is dead.
+		n.run.recycle(pg)
 	}
 }
 

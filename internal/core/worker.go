@@ -16,19 +16,23 @@ import (
 // controlling node.
 func (r *engineRun) worker() {
 	defer r.wg.Done()
+	// joins carries this worker's reusable join-kernel state, one per
+	// join node: the scratch buffers and (for equi-joins) the cached
+	// inner-page hash tables survive across instruction packets.
+	joins := make(map[*nodeExec]*relalg.JoinState)
 	for {
 		select {
 		case t := <-r.arb:
-			r.execTask(t)
+			r.execTask(t, joins)
 		case <-r.stopped:
 			return
 		}
 	}
 }
 
-func (r *engineRun) execTask(t *task) {
+func (r *engineRun) execTask(t *task, joins map[*nodeExec]*relalg.JoinState) {
 	n := t.node
-	pgtor, err := relation.NewPaginator(n.outPageSize, n.outTupleLen)
+	pgtor, err := relation.NewPooledPaginator(n.outPageSize, n.outTupleLen, r.eng.pool)
 	if err != nil {
 		r.fail(err)
 		return
@@ -45,12 +49,23 @@ func (r *engineRun) execTask(t *task) {
 		return nil
 	}
 
+	// Unary operand pages are dead once the kernel has read them; join
+	// operands stay buffered in the controller for future pairings and
+	// must not be recycled.
+	recycleOperands := false
+
 	switch n.node.Kind {
 	case query.OpRestrict:
 		_, err = relalg.RestrictPage(t.operands[0], n.boundPred, emit)
+		recycleOperands = true
 
 	case query.OpJoin:
-		_, err = relalg.JoinPages(t.operands[0], t.operands[1], n.boundJoin, emit)
+		st := joins[n]
+		if st == nil {
+			st = relalg.NewJoinState(n.boundJoin, &r.kstats)
+			joins[n] = st
+		}
+		_, err = st.JoinPages(t.operands[0], t.operands[1], emit)
 
 	case query.OpProject:
 		sink := emit
@@ -71,6 +86,7 @@ func (r *engineRun) execTask(t *task) {
 			}
 		}
 		_, err = relalg.ProjectPage(t.operands[0], n.projector, nil, sink)
+		recycleOperands = true
 
 	default:
 		err = fmt.Errorf("core: worker received %s task", n.node.Kind)
@@ -81,6 +97,11 @@ func (r *engineRun) execTask(t *task) {
 	}
 	if last := pgtor.Flush(); last != nil {
 		out = append(out, last)
+	}
+	if recycleOperands {
+		for _, pg := range t.operands {
+			r.recycle(pg)
+		}
 	}
 
 	resBytes := 0

@@ -102,6 +102,13 @@ func (c *cacheModel) evictLRU() {
 	c.remove(victim)
 	c.size--
 	victim.resident = false
+	if victim.dead && !victim.fetching && len(victim.waiters) == 0 &&
+		(victim.consumer == nil || victim.consumer.finished) {
+		// Nothing will ever touch this descriptor again: hand it back to
+		// the machine's freelist for newPage to reissue (fresh id).
+		c.m.pageFree = append(c.m.pageFree, victim)
+		return
+	}
 	if !victim.dead && !victim.onDisk {
 		// Dirty intermediate still needed: write it out. The write is
 		// asynchronous; the page is readable from disk thereafter.

@@ -97,6 +97,10 @@ type Report struct {
 	// CacheReadFaults counts transient cache-frame read faults injected
 	// by Config.Fault; each was detected and retried.
 	CacheReadFaults int64
+	// PagesRecycled counts dead page descriptors reclaimed at eviction
+	// and reissued by newPage (host-side allocation behaviour only;
+	// recycled descriptors get fresh ids, so traces are unaffected).
+	PagesRecycled int64
 
 	ProcBusy, DiskBusy               time.Duration
 	ProcUtilization, DiskUtilization float64
@@ -162,6 +166,7 @@ func exportMetrics(o *obs.Observer, rep Report) {
 	r.Inc("direct.cache_hits", rep.CacheHits)
 	r.Inc("direct.cache_misses", rep.CacheMisses)
 	r.Inc("direct.cache_read_faults", rep.CacheReadFaults)
+	r.Inc("direct.pages_recycled", rep.PagesRecycled)
 	r.SetGauge("direct.elapsed_seconds", rep.Elapsed.Seconds())
 	r.SetGauge("direct.proc_utilization", rep.ProcUtilization)
 	r.SetGauge("direct.disk_utilization", rep.DiskUtilization)
@@ -185,6 +190,7 @@ type machine struct {
 
 	queries     []*queryInstance
 	leafPages   map[string][]*page
+	pageFree    []*page
 	nextPageID  int
 	queriesLeft int
 	finishedAt  time.Duration
@@ -273,6 +279,16 @@ func (pg *page) maybeDie() {
 
 func (m *machine) newPage(tuples int, leaf bool) *page {
 	m.nextPageID++
+	if n := len(m.pageFree); n > 0 {
+		pg := m.pageFree[n-1]
+		m.pageFree[n-1] = nil
+		m.pageFree = m.pageFree[:n-1]
+		m.report.PagesRecycled++
+		// Fully reset, with a fresh id: recycling must be invisible to
+		// traces and to any id-based accounting.
+		*pg = page{id: m.nextPageID, tuples: tuples, leaf: leaf, onDisk: leaf}
+		return pg
+	}
 	return &page{id: m.nextPageID, tuples: tuples, leaf: leaf, onDisk: leaf}
 }
 

@@ -1,0 +1,30 @@
+package direct
+
+import (
+	"testing"
+
+	"dfdbm/internal/core"
+)
+
+// TestPageDescriptorRecycling: under cache pressure, dead intermediate
+// pages evicted at page-level granularity hand their descriptors back
+// to the freelist; with no evictions nothing is recycled. Either way
+// the simulated timings are untouched (TestDeterministicSimulation
+// covers run-to-run identity, recycled ids are freshly numbered).
+func TestPageDescriptorRecycling(t *testing.T) {
+	profs := testProfiles(t, 0.2, 2048)
+	small, err := Run(Config{Processors: 4, Strategy: core.PageLevel, CacheFrames: 8, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.PagesRecycled == 0 {
+		t.Error("tiny cache evicted dead pages but recycled none")
+	}
+	big, err := Run(Config{Processors: 4, Strategy: core.PageLevel, CacheFrames: 1 << 20, HW: hwWithPages(2048)}, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.PagesRecycled != 0 {
+		t.Errorf("nothing was evicted yet %d pages were recycled", big.PagesRecycled)
+	}
+}

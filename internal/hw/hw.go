@@ -22,6 +22,13 @@ type Processor struct {
 	// PerTupleProject is the cost of projecting one tuple and probing
 	// the duplicate set.
 	PerTupleProject time.Duration
+	// PerTupleHashBuild and PerTupleHashProbe cost the hash-join
+	// kernel: inserting one inner tuple into the hash table, and
+	// probing one outer tuple against it. These do not appear in the
+	// paper — its IPs run nested loops only — and are charged only when
+	// a machine opts into hash-join timing.
+	PerTupleHashBuild time.Duration
+	PerTupleHashProbe time.Duration
 }
 
 // FetchTime returns the time to move the given number of bytes between
@@ -39,6 +46,17 @@ func (p Processor) RestrictTime(tuples int) time.Duration {
 // outerTuples × innerTuples pairs.
 func (p Processor) JoinTime(outerTuples, innerTuples int) time.Duration {
 	return time.Duration(outerTuples*innerTuples) * p.PerPairJoin
+}
+
+// HashJoinTime returns the compute time for a hash-join pass: probing
+// outerTuples against the inner page's table, plus building the table
+// over innerTuples when it is not already resident (build).
+func (p Processor) HashJoinTime(outerTuples, innerTuples int, build bool) time.Duration {
+	t := time.Duration(outerTuples) * p.PerTupleHashProbe
+	if build {
+		t += time.Duration(innerTuples) * p.PerTupleHashBuild
+	}
+	return t
 }
 
 // ProjectTime returns the compute time to project n tuples.
@@ -123,6 +141,11 @@ func Default1979() Config {
 			PerTupleRestrict: 50 * time.Microsecond,
 			PerPairJoin:      5 * time.Microsecond,
 			PerTupleProject:  80 * time.Microsecond,
+			// Hash steps cost more than one nested-loops comparison
+			// (hashing plus chasing a bucket), but are paid per tuple
+			// instead of per pair.
+			PerTupleHashBuild: 10 * time.Microsecond,
+			PerTupleHashProbe: 8 * time.Microsecond,
 		},
 		Disk: Disk{
 			AvgSeek:             30 * time.Millisecond,

@@ -38,6 +38,17 @@ type Config struct {
 	// instruction feeding a unary consumer travel IP→IP instead of
 	// IP→IC→IP.
 	DirectRouting bool
+	// HashJoinTiming charges equi-join work at the hash kernel's
+	// O(n+m) cost (hw.Processor.HashJoinTime, with builds skipped for
+	// inner pages whose table is already resident on the processor)
+	// instead of the paper's nested-loops n·m. Off by default so the
+	// simulated timings — and golden traces — match the paper's model;
+	// results are identical either way.
+	HashJoinTiming bool
+	// NoPagePool disables recycling of intermediate pages through the
+	// machine's relation.PagePool (pooling affects only host-side
+	// allocation behaviour, never simulated results or timings).
+	NoPagePool bool
 	// HW supplies device timings; zero value means hw.Default1979.
 	HW hw.Config
 	// Fault, when non-nil, injects the plan's faults (IP crashes,
@@ -124,6 +135,13 @@ type Stats struct {
 	CacheReads, CacheWrites int64
 	// Direct IP→IP routing (Section 5 extension).
 	DirectRoutedPages int64
+	// Host-side page pool (intermediate pages recycled between hops).
+	PoolHits, PoolMisses, PagesRecycled int64
+	// Join kernels: outer tuples probed, inner-page hash tables built,
+	// page pairs served by a resident table, and nested-loops tuple
+	// pairs compared.
+	HashProbes, HashBuilds, HashTableHits int64
+	NestedPairs                           int64
 	// Concurrency control.
 	QueriesDelayedByConflict int64
 	// Fault injection and recovery (populated only when Config.Fault is

@@ -655,6 +655,11 @@ func (c *ic) receiveOperand(input int, pg *relation.Page) {
 	for _, full := range compress(op, pg) {
 		c.addOperandPage(input, full)
 	}
+	if pg.Empty() && op.compressor != pg {
+		// The arriving partial page was fully drained into the
+		// compression buffer: the page itself is dead.
+		c.m.recycle(pg)
+	}
 	c.kick()
 }
 
@@ -955,6 +960,9 @@ func (c *ic) onProjectResult(pg *relation.Page) {
 			c.forwardResult(full)
 		}
 	}
+	// Every tuple now lives in the dedup set or the output paginator;
+	// the carrier page is dead.
+	c.m.recycle(pg)
 }
 
 // forwardResult ships a finished result page toward the consumer (used

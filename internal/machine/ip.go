@@ -7,6 +7,7 @@ import (
 	"dfdbm/internal/fault"
 	"dfdbm/internal/obs"
 	"dfdbm/internal/query"
+	"dfdbm/internal/relalg"
 	"dfdbm/internal/relation"
 )
 
@@ -51,7 +52,11 @@ type ip struct {
 	// and never half of it.
 	outPages []*relation.Page
 
-	// Join state.
+	// Join state. join holds the reusable kernel state — the scratch
+	// buffers plus, for equi-joins, the hash tables of inner pages this
+	// processor has already met (the IRC-vector residency of Section
+	// 4.2: broadcast inner pages stay useful between outer pages).
+	join       *relalg.JoinState
 	outer      *relation.Page
 	outerNo    int
 	irc        map[int]bool // IRC vector: inner page index → joined
@@ -76,13 +81,14 @@ func (p *ip) bind(c *ic, mi *minstr) {
 	p.instr = mi
 	p.queue = nil
 	p.busy = false
-	pag, err := relation.NewPaginator(mi.outPageSize, mi.outTupleLen)
+	pag, err := relation.NewPooledPaginator(mi.outPageSize, mi.outTupleLen, p.m.pool)
 	if err != nil {
 		p.m.fail(err)
 		return
 	}
 	p.pgtor = pag
 	p.outPages = nil
+	p.join = nil
 	p.outer = nil
 	p.outerNo = -1
 	p.irc = nil
@@ -208,7 +214,20 @@ func (p *ip) execJoinOuter(pkt *InstructionPacket) {
 func (p *ip) execPair(idx int, inner *relation.Page) {
 	p.busy = true
 	p.execIdx = idx
-	compute := p.m.cfg.HW.Proc.JoinTime(p.outer.TupleCount(), inner.TupleCount())
+	if p.join == nil {
+		p.join = relalg.NewJoinState(p.instr.boundJoin, &p.m.kstats)
+	}
+	// The simulated cost defaults to the paper's nested-loops n·m model
+	// regardless of which kernel computes the answer (the kernels emit
+	// identical results); HashJoinTiming opts into the O(n+m) model,
+	// charging the build only when the inner page's table is not
+	// already resident on this processor.
+	var compute time.Duration
+	if p.m.cfg.HashJoinTiming && p.join.Kernel() == relalg.KernelHash {
+		compute = p.m.cfg.HW.Proc.HashJoinTime(p.outer.TupleCount(), inner.TupleCount(), !p.join.TableCached(inner))
+	} else {
+		compute = p.m.cfg.HW.Proc.JoinTime(p.outer.TupleCount(), inner.TupleCount())
+	}
 	p.m.ipBusy += compute
 	p.busyTotal += compute
 	p.m.observe("machine.ip_busy_us", float64(compute.Microseconds()))
@@ -217,7 +236,7 @@ func (p *ip) execPair(idx int, inner *relation.Page) {
 		if mi == nil || p.crashed {
 			return
 		}
-		if _, err := joinPages(p.outer, inner, mi, p.emit); err != nil {
+		if _, err := p.join.JoinPages(p.outer, inner, p.emit); err != nil {
 			p.m.fail(err)
 			return
 		}

@@ -21,6 +21,6 @@ func projectPage(pg *relation.Page, mi *minstr, emit relalg.EmitFunc) (int, erro
 	return relalg.ProjectPage(pg, mi.projector, nil, emit)
 }
 
-func joinPages(outer, inner *relation.Page, mi *minstr, emit relalg.EmitFunc) (int, error) {
-	return relalg.JoinPages(outer, inner, mi.boundJoin, emit)
-}
+// Joins run through the per-IP relalg.JoinState (see ip.execPair): the
+// kernel — hash for equi-joins, nested loops otherwise — is selected
+// from the bound condition, and both kernels emit identical results.

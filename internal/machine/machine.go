@@ -48,6 +48,11 @@ type Machine struct {
 	// the reliable ARQ channels of the guarded transport.
 	plan *fault.Plan
 	rel  map[relKey]*relChannel
+
+	// pool recycles intermediate pages host-side (nil when disabled);
+	// kstats aggregates join-kernel counters across the machine's IPs.
+	pool   *relation.PagePool
+	kstats relalg.KernelStats
 }
 
 type lockEntry struct {
@@ -78,6 +83,9 @@ func New(cat *catalog.Catalog, cfg Config) (*Machine, error) {
 	m.obs = cfg.Obs
 	if m.obs == nil && cfg.Trace != nil {
 		m.obs = obs.New(obs.NewTextSink(cfg.Trace), nil)
+	}
+	if !cfg.NoPagePool {
+		m.pool = relation.NewPagePool()
 	}
 	m.outer = sim.NewStation(m.s, 1)
 	m.inner = sim.NewStation(m.s, 1)
@@ -144,7 +152,7 @@ type minstr struct {
 func (mi *minstr) opcode() uint8 { return uint8(mi.node.Kind) }
 
 // prep binds the instruction's kernels against its input schemas.
-func (mi *minstr) prep() error {
+func (mi *minstr) prep(pool *relation.PagePool) error {
 	n := mi.node
 	switch n.Kind {
 	case query.OpRestrict:
@@ -166,7 +174,7 @@ func (mi *minstr) prep() error {
 		}
 		mi.projector = p
 		mi.dedup = relalg.NewDedup()
-		pag, err := relation.NewPaginator(mi.outPageSize, mi.outTupleLen)
+		pag, err := relation.NewPooledPaginator(mi.outPageSize, mi.outTupleLen, pool)
 		if err != nil {
 			return err
 		}
@@ -217,6 +225,11 @@ func (m *Machine) Run() (*Results, error) {
 		return nil, fmt.Errorf("machine: stalled with %d queued and %d active queries",
 			len(m.queue), len(m.active))
 	}
+	ps := m.pool.Stats()
+	ks := m.kstats.Load()
+	m.stats.PoolHits, m.stats.PoolMisses, m.stats.PagesRecycled = ps.Hits, ps.Misses, ps.Recycled
+	m.stats.HashProbes, m.stats.HashBuilds = ks.HashProbes, ks.HashBuilds
+	m.stats.HashTableHits, m.stats.NestedPairs = ks.TableHits, ks.NestedPairs
 	res := &Results{PerQuery: m.results, Stats: m.stats}
 	var last time.Duration
 	for _, qr := range m.results {
@@ -262,6 +275,13 @@ func (m *Machine) exportMetrics(res *Results) {
 	r.Inc("machine.cache_reads", s.CacheReads)
 	r.Inc("machine.cache_writes", s.CacheWrites)
 	r.Inc("machine.direct_routed_pages", s.DirectRoutedPages)
+	r.Inc("machine.pool_hits", s.PoolHits)
+	r.Inc("machine.pool_misses", s.PoolMisses)
+	r.Inc("machine.pages_recycled", s.PagesRecycled)
+	r.Inc("machine.join_hash_probes", s.HashProbes)
+	r.Inc("machine.join_hash_builds", s.HashBuilds)
+	r.Inc("machine.join_table_hits", s.HashTableHits)
+	r.Inc("machine.join_nested_pairs", s.NestedPairs)
 	r.Inc("machine.queries_delayed_by_conflict", s.QueriesDelayedByConflict)
 	r.Inc("machine.faults_injected", s.FaultsInjected)
 	r.Inc("machine.packets_dropped", s.PacketsDropped)
@@ -285,6 +305,17 @@ func (m *Machine) exportMetrics(res *Results) {
 				float64(p.busyTotal)/float64(res.Elapsed))
 		}
 	}
+}
+
+// recycle hands a dead intermediate page back to the machine's pool.
+// Recycling is disabled entirely under the guarded (fault-injecting)
+// protocol: retransmit closures and duplicated packets may still alias
+// a page after its consumer has drained it.
+func (m *Machine) recycle(pg *relation.Page) {
+	if m.guarded() {
+		return
+	}
+	m.pool.Put(pg)
 }
 
 func (m *Machine) fail(err error) {
@@ -421,7 +452,7 @@ func (m *Machine) admit(q *mquery) bool {
 		if min := relation.PageHeaderLen + mi.outTupleLen; mi.outPageSize < min {
 			mi.outPageSize = min
 		}
-		if err := mi.prep(); err != nil {
+		if err := mi.prep(m.pool); err != nil {
 			m.fail(err)
 			return true
 		}

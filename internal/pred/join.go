@@ -1,7 +1,10 @@
 package pred
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"dfdbm/internal/relation"
 )
@@ -73,10 +76,18 @@ func (c JoinCond) Bind(left, right *relation.Schema) (*BoundJoin, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pred: join inner side: %w", err)
 		}
-		if relation.KindFor(left.Attr(li).Type) != relation.KindFor(right.Attr(ri).Type) {
+		kind := relation.KindFor(left.Attr(li).Type)
+		if kind != relation.KindFor(right.Attr(ri).Type) {
 			return nil, fmt.Errorf("pred: join attributes %q and %q are not comparable", t.Left, t.Right)
 		}
-		b.terms = append(b.terms, boundJoinTerm{li: li, op: t.Op, ri: ri})
+		b.terms = append(b.terms, boundJoinTerm{
+			li: li, op: t.Op, ri: ri,
+			kind:   kind,
+			lOff:   left.Offset(li),
+			lWidth: left.Attr(li).ByteWidth(),
+			rOff:   right.Offset(ri),
+			rWidth: right.Attr(ri).ByteWidth(),
+		})
 	}
 	return b, nil
 }
@@ -87,32 +98,137 @@ type BoundJoin struct {
 	terms       []boundJoinTerm
 }
 
+// boundJoinTerm carries the precomputed byte layout of both sides so
+// that EvalPair can compare encoded attributes in place — no Value
+// boxing, no per-tuple allocation.
 type boundJoinTerm struct {
-	li, ri int
-	op     Op
+	li, ri       int
+	op           Op
+	kind         relation.Kind
+	lOff, lWidth int
+	rOff, rWidth int
 }
 
 // EvalPair reports whether the encoded outer/inner tuple pair satisfies
-// the condition.
+// the condition. It compares the raw attribute bytes directly, with the
+// same semantics as DecodeValue + Value.Compare.
 func (b *BoundJoin) EvalPair(leftRaw, rightRaw []byte) (bool, error) {
-	for _, t := range b.terms {
-		lv, err := relation.DecodeValue(b.left, leftRaw, t.li)
-		if err != nil {
-			return false, err
+	for i := range b.terms {
+		t := &b.terms[i]
+		if t.lOff+t.lWidth > len(leftRaw) {
+			return false, fmt.Errorf("pred: raw outer tuple too short for attribute %q", b.left.Attr(t.li).Name)
 		}
-		rv, err := relation.DecodeValue(b.right, rightRaw, t.ri)
-		if err != nil {
-			return false, err
+		if t.rOff+t.rWidth > len(rightRaw) {
+			return false, fmt.Errorf("pred: raw inner tuple too short for attribute %q", b.right.Attr(t.ri).Name)
 		}
-		cmp, err := lv.Compare(rv)
-		if err != nil {
-			return false, err
+		var cmp int
+		switch t.kind {
+		case relation.KindInt:
+			cmp = compareInt(decodeInt(leftRaw[t.lOff:], t.lWidth), decodeInt(rightRaw[t.rOff:], t.rWidth))
+		case relation.KindFloat:
+			// Float ordering matches Value.Compare: NaN compares
+			// neither less nor greater, so it lands on cmp == 0.
+			lf := math.Float64frombits(binary.LittleEndian.Uint64(leftRaw[t.lOff:]))
+			rf := math.Float64frombits(binary.LittleEndian.Uint64(rightRaw[t.rOff:]))
+			switch {
+			case lf < rf:
+				cmp = -1
+			case lf > rf:
+				cmp = 1
+			default:
+				cmp = 0
+			}
+		case relation.KindString:
+			cmp = bytes.Compare(trimNULs(leftRaw[t.lOff:t.lOff+t.lWidth]), trimNULs(rightRaw[t.rOff:t.rOff+t.rWidth]))
+		default:
+			return false, fmt.Errorf("pred: unknown join term kind %d", t.kind)
 		}
 		if !t.op.holds(cmp) {
 			return false, nil
 		}
 	}
 	return true, nil
+}
+
+// decodeInt reads a little-endian signed integer of width 4 or 8 —
+// exactly the encodings of the Int32 and Int64 storage types.
+func decodeInt(raw []byte, width int) int64 {
+	if width == 4 {
+		return int64(int32(binary.LittleEndian.Uint32(raw)))
+	}
+	return int64(binary.LittleEndian.Uint64(raw))
+}
+
+func compareInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// trimNULs strips the NUL padding the fixed-width string encoding
+// appends, yielding the logical string bytes without allocating.
+func trimNULs(b []byte) []byte {
+	end := len(b)
+	for end > 0 && b[end-1] == 0 {
+		end--
+	}
+	return b[:end]
+}
+
+// HashKey describes the byte layout of a join's hash key: the first
+// equality term whose raw encoding is canonicalizable to a value-equal
+// byte key. Int32/Int64 keys canonicalize to a little-endian int64;
+// string keys canonicalize by trimming NUL padding. Float terms are
+// excluded — their value equality (-0 == +0, and Compare's NaN == NaN)
+// is not byte equality.
+type HashKey struct {
+	Kind         relation.Kind
+	LOff, LWidth int
+	ROff, RWidth int
+}
+
+// HashKey returns the layout of the first hashable equality term, if
+// any. A hash kernel may bucket on this key and must re-verify
+// candidates with EvalPair (which also applies residual terms).
+func (b *BoundJoin) HashKey() (HashKey, bool) {
+	for i := range b.terms {
+		t := &b.terms[i]
+		if t.op != EQ {
+			continue
+		}
+		if t.kind != relation.KindInt && t.kind != relation.KindString {
+			continue
+		}
+		return HashKey{
+			Kind: t.kind,
+			LOff: t.lOff, LWidth: t.lWidth,
+			ROff: t.rOff, RWidth: t.rWidth,
+		}, true
+	}
+	return HashKey{}, false
+}
+
+// AppendLeftKey appends the canonical key bytes of the outer tuple's
+// join attribute to dst: equal values always produce equal key bytes,
+// even across Int32/Int64 widths or string widths.
+func (k HashKey) AppendLeftKey(dst, raw []byte) []byte {
+	return k.appendKey(dst, raw, k.LOff, k.LWidth)
+}
+
+// AppendRightKey is AppendLeftKey for the inner tuple.
+func (k HashKey) AppendRightKey(dst, raw []byte) []byte {
+	return k.appendKey(dst, raw, k.ROff, k.RWidth)
+}
+
+func (k HashKey) appendKey(dst, raw []byte, off, width int) []byte {
+	if k.Kind == relation.KindInt {
+		return binary.LittleEndian.AppendUint64(dst, uint64(decodeInt(raw[off:], width)))
+	}
+	return append(dst, trimNULs(raw[off:off+width])...)
 }
 
 // FirstEqui returns the bound attribute indexes of the first EQ term, if

@@ -1,0 +1,249 @@
+package relalg
+
+import (
+	"sync/atomic"
+
+	"dfdbm/internal/pred"
+	"dfdbm/internal/relation"
+)
+
+// Kernel identifies which per-page-pair join algorithm a JoinState runs.
+type Kernel uint8
+
+const (
+	// KernelNestedLoops is the paper's O(n·m) kernel: every outer tuple
+	// compared with every inner tuple.
+	KernelNestedLoops Kernel = iota
+	// KernelHash builds a hash table over the inner page once and probes
+	// each outer tuple against it — O(n+m) per page pair for equi-joins.
+	KernelHash
+)
+
+// String names the kernel for traces and benchmark reports.
+func (k Kernel) String() string {
+	if k == KernelHash {
+		return "hash"
+	}
+	return "nested-loops"
+}
+
+// KernelFor selects the join kernel for a bound condition: hash for
+// conditions with a hashable equality term (int or string key), nested
+// loops otherwise. Float equality terms fall back to nested loops
+// because their value equality is not byte equality (-0 == +0, NaN).
+func KernelFor(cond *pred.BoundJoin) Kernel {
+	if _, ok := cond.HashKey(); ok {
+		return KernelHash
+	}
+	return KernelNestedLoops
+}
+
+// KernelStats aggregates join-kernel work counters across the
+// JoinStates that share it. Fields are updated atomically: engines
+// snapshot them while workers may still be running.
+type KernelStats struct {
+	HashProbes  int64 // outer tuples probed against a hash table
+	HashBuilds  int64 // inner-page hash tables built
+	TableHits   int64 // page pairs served by a cached table
+	NestedPairs int64 // tuple pairs compared by the nested kernel
+}
+
+// Load returns an atomically read copy of the counters.
+func (ks *KernelStats) Load() KernelStats {
+	return KernelStats{
+		HashProbes:  atomic.LoadInt64(&ks.HashProbes),
+		HashBuilds:  atomic.LoadInt64(&ks.HashBuilds),
+		TableHits:   atomic.LoadInt64(&ks.TableHits),
+		NestedPairs: atomic.LoadInt64(&ks.NestedPairs),
+	}
+}
+
+// defaultTableCache bounds how many inner-page hash tables a JoinState
+// retains. In the ring machine this is the IRC-vector effect of the
+// paper's Section 4.2 broadcast join: the inner pages a processor has
+// already seen stay resident between instruction packets.
+const defaultTableCache = 64
+
+// JoinState is the reusable per-executor state of the join kernels: the
+// kernel selection for one bound condition, the scratch emit and key
+// buffers, and a cache of inner-page hash tables keyed by page
+// identity. A JoinState is owned by a single goroutine at a time (one
+// per worker or per IP); only the shared KernelStats is concurrency-safe.
+//
+// Both kernels emit byte-identical output in identical order: the hash
+// kernel's bucket lists hold inner tuple indexes in ascending order and
+// every candidate is re-verified with the full condition, so for each
+// outer tuple the matching pairs appear exactly as the nested kernel
+// produces them.
+type JoinState struct {
+	cond   *pred.BoundJoin
+	stats  *KernelStats
+	kernel Kernel
+	key    pred.HashKey
+
+	// MaxTables bounds the inner-page table cache; oldest-built tables
+	// are evicted first (deterministically) when it overflows.
+	MaxTables int
+
+	buf    []byte // emit scratch: concatenated result tuple
+	kbuf   []byte // key scratch: canonical hash-key bytes
+	tables map[*relation.Page]map[uint64][]int32
+	order  []*relation.Page // build order, for FIFO eviction
+}
+
+// NewJoinState returns a JoinState for the bound condition, selecting
+// the kernel automatically. stats may be nil.
+func NewJoinState(cond *pred.BoundJoin, stats *KernelStats) *JoinState {
+	s := &JoinState{cond: cond, stats: stats, MaxTables: defaultTableCache}
+	if key, ok := cond.HashKey(); ok {
+		s.kernel = KernelHash
+		s.key = key
+	}
+	return s
+}
+
+// Kernel reports which kernel the state runs.
+func (s *JoinState) Kernel() Kernel { return s.kernel }
+
+// TableCached reports whether the inner page's hash table is already
+// resident — the machine's timing model charges no build cost for a
+// cached table.
+func (s *JoinState) TableCached(inner *relation.Page) bool {
+	_, ok := s.tables[inner]
+	return ok
+}
+
+// Reset drops the cached hash tables (a new instruction packet means a
+// new inner operand) but keeps the scratch buffers.
+func (s *JoinState) Reset() {
+	s.tables = nil
+	s.order = s.order[:0]
+}
+
+// JoinPages joins one (outer page, inner page) pair with the selected
+// kernel, emitting concatenated result tuples. The emitted raw slice is
+// reused between calls; receivers must copy.
+func (s *JoinState) JoinPages(outer, inner *relation.Page, emit EmitFunc) (int, error) {
+	if s.kernel == KernelHash {
+		return s.hashJoinPages(outer, inner, emit)
+	}
+	emitted, buf, err := joinPagesNested(outer, inner, s.cond, s.buf, emit)
+	s.buf = buf
+	if s.stats != nil {
+		atomic.AddInt64(&s.stats.NestedPairs, int64(outer.TupleCount())*int64(inner.TupleCount()))
+	}
+	return emitted, err
+}
+
+func (s *JoinState) hashJoinPages(outer, inner *relation.Page, emit EmitFunc) (int, error) {
+	no := outer.TupleCount()
+	if no == 0 || inner.TupleCount() == 0 {
+		return 0, nil
+	}
+	table := s.table(inner)
+	emitted := 0
+	for i := 0; i < no; i++ {
+		oraw := outer.RawTuple(i)
+		s.kbuf = s.key.AppendLeftKey(s.kbuf[:0], oraw)
+		for _, j := range table[fnv1a64(s.kbuf)] {
+			iraw := inner.RawTuple(int(j))
+			// Candidates share the key's hash, not necessarily the key:
+			// the full condition re-verifies (and applies residual terms).
+			ok, err := s.cond.EvalPair(oraw, iraw)
+			if err != nil {
+				return emitted, err
+			}
+			if !ok {
+				continue
+			}
+			s.buf = append(append(s.buf[:0], oraw...), iraw...)
+			if err := emit(s.buf); err != nil {
+				return emitted, err
+			}
+			emitted++
+		}
+	}
+	if s.stats != nil {
+		atomic.AddInt64(&s.stats.HashProbes, int64(no))
+	}
+	return emitted, nil
+}
+
+// table returns the hash table for the inner page, building it on first
+// use and caching it under the page's identity.
+func (s *JoinState) table(inner *relation.Page) map[uint64][]int32 {
+	if t, ok := s.tables[inner]; ok {
+		if s.stats != nil {
+			atomic.AddInt64(&s.stats.TableHits, 1)
+		}
+		return t
+	}
+	ni := inner.TupleCount()
+	t := make(map[uint64][]int32, ni)
+	for j := 0; j < ni; j++ {
+		s.kbuf = s.key.AppendRightKey(s.kbuf[:0], inner.RawTuple(j))
+		h := fnv1a64(s.kbuf)
+		t[h] = append(t[h], int32(j))
+	}
+	if s.stats != nil {
+		atomic.AddInt64(&s.stats.HashBuilds, 1)
+	}
+	if s.tables == nil {
+		s.tables = make(map[*relation.Page]map[uint64][]int32)
+	}
+	if s.MaxTables > 0 && len(s.order) >= s.MaxTables {
+		delete(s.tables, s.order[0])
+		s.order = s.order[1:]
+	}
+	s.tables[inner] = t
+	s.order = append(s.order, inner)
+	return t
+}
+
+// HashJoin joins two whole relations with the hash kernel, iterating
+// page pairs exactly as NestedLoopsJoin does so the result relation is
+// byte-identical. The condition must have a hashable equality term.
+func HashJoin(outer, inner *relation.Relation, cond pred.JoinCond, name string) (*relation.Relation, error) {
+	bound, err := cond.Bind(outer.Schema(), inner.Schema())
+	if err != nil {
+		return nil, err
+	}
+	schema, err := JoinSchema(outer, inner)
+	if err != nil {
+		return nil, err
+	}
+	out, err := relation.New(name, schema, pagedSizeFor(outer, inner, schema))
+	if err != nil {
+		return nil, err
+	}
+	st := NewJoinState(bound, nil)
+	if n := len(inner.Pages()); n > st.MaxTables {
+		// Whole-relation form: every inner page recurs once per outer
+		// page, so cap the table cache at the inner size rather than
+		// thrash the FIFO.
+		st.MaxTables = n
+	}
+	for _, op := range outer.Pages() {
+		for _, ip := range inner.Pages() {
+			if _, err := st.JoinPages(op, ip, out.InsertRaw); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// FNV-1a 64-bit, inlined so key hashing allocates nothing.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnv1a64(b []byte) uint64 {
+	h := fnvOffset64
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}

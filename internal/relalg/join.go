@@ -15,9 +15,21 @@ import (
 // packet of a join, and the unit of cost in the paper's n·m analysis.
 //
 // The emitted raw slice is reused between calls; receivers must copy.
+// Callers on the hot path should prefer a reusable JoinState, which
+// keeps the scratch buffer (and, for equi-joins, hash tables) alive
+// between page pairs.
 func JoinPages(outer, inner *relation.Page, cond *pred.BoundJoin, emit EmitFunc) (int, error) {
+	emitted, _, err := joinPagesNested(outer, inner, cond, nil, emit)
+	return emitted, err
+}
+
+// joinPagesNested is the nested-loops kernel over a caller-owned scratch
+// buffer; it returns the (possibly grown) buffer for reuse.
+func joinPagesNested(outer, inner *relation.Page, cond *pred.BoundJoin, buf []byte, emit EmitFunc) (int, []byte, error) {
 	no, ni := outer.TupleCount(), inner.TupleCount()
-	buf := make([]byte, 0, outer.TupleLen()+inner.TupleLen())
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, outer.TupleLen()+inner.TupleLen())
+	}
 	emitted := 0
 	for i := 0; i < no; i++ {
 		oraw := outer.RawTuple(i)
@@ -25,21 +37,19 @@ func JoinPages(outer, inner *relation.Page, cond *pred.BoundJoin, emit EmitFunc)
 			iraw := inner.RawTuple(j)
 			ok, err := cond.EvalPair(oraw, iraw)
 			if err != nil {
-				return emitted, err
+				return emitted, buf, err
 			}
 			if !ok {
 				continue
 			}
-			buf = buf[:0]
-			buf = append(buf, oraw...)
-			buf = append(buf, iraw...)
+			buf = append(append(buf[:0], oraw...), iraw...)
 			if err := emit(buf); err != nil {
-				return emitted, err
+				return emitted, buf, err
 			}
 			emitted++
 		}
 	}
-	return emitted, nil
+	return emitted, buf, nil
 }
 
 // JoinSchema returns the result schema of joining outer with inner:

@@ -1,7 +1,7 @@
 package relalg
 
 import (
-	"hash/fnv"
+	"bytes"
 
 	"dfdbm/internal/relation"
 )
@@ -46,27 +46,36 @@ func (p *Projector) Apply(dst, raw []byte) []byte {
 	return dst
 }
 
-// Dedup tracks tuples already seen, for duplicate elimination. The zero
-// value is not usable; call NewDedup.
+// Dedup tracks tuples already seen, for duplicate elimination. It is a
+// hash-then-verify map: tuples are bucketed by a 64-bit hash of their
+// bytes with per-bucket collision lists, so probing a duplicate
+// allocates nothing (the old map[string] scheme converted every tuple
+// to a string on the way in). The zero value is not usable; call
+// NewDedup.
 type Dedup struct {
-	seen map[string]struct{}
+	seen map[uint64][][]byte
+	n    int
 }
 
 // NewDedup returns an empty duplicate tracker.
-func NewDedup() *Dedup { return &Dedup{seen: make(map[string]struct{})} }
+func NewDedup() *Dedup { return &Dedup{seen: make(map[uint64][][]byte)} }
 
 // Add records raw and reports whether it was new.
 func (d *Dedup) Add(raw []byte) bool {
-	k := string(raw)
-	if _, dup := d.seen[k]; dup {
-		return false
+	h := fnv1a64(raw)
+	bucket := d.seen[h]
+	for _, b := range bucket {
+		if bytes.Equal(b, raw) {
+			return false
+		}
 	}
-	d.seen[k] = struct{}{}
+	d.seen[h] = append(bucket, append([]byte(nil), raw...))
+	d.n++
 	return true
 }
 
 // Len returns the number of distinct tuples seen.
-func (d *Dedup) Len() int { return len(d.seen) }
+func (d *Dedup) Len() int { return d.n }
 
 // ProjectPage projects every tuple of a page and emits the distinct
 // results, using the shared dedup tracker. It returns the number of
@@ -127,7 +136,11 @@ func HashPartition(raw []byte, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	h := fnv.New32a()
-	_, _ = h.Write(raw)
-	return int(h.Sum32() % uint32(n))
+	// Inline FNV-1a 32: identical values to hash/fnv, zero allocations.
+	h := uint32(2166136261)
+	for _, c := range raw {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return int(h % uint32(n))
 }

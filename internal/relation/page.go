@@ -30,6 +30,7 @@ type Page struct {
 	size     int // serialized size budget: header + payload capacity
 	tupleLen int
 	data     []byte // encoded tuples, len == TupleCount()*tupleLen
+	pooled   bool   // came from a PagePool and may be recycled by Put
 }
 
 // NewPage returns an empty page that serializes to at most pageSize bytes
@@ -200,6 +201,7 @@ type Paginator struct {
 	pageSize int
 	tupleLen int
 	cur      *Page
+	pool     *PagePool
 }
 
 // NewPaginator returns a paginator producing pages of the given size for
@@ -211,11 +213,22 @@ func NewPaginator(pageSize, tupleLen int) (*Paginator, error) {
 	return &Paginator{pageSize: pageSize, tupleLen: tupleLen}, nil
 }
 
+// NewPooledPaginator is NewPaginator drawing its pages from pool (which
+// may be nil for plain allocation).
+func NewPooledPaginator(pageSize, tupleLen int, pool *PagePool) (*Paginator, error) {
+	g, err := NewPaginator(pageSize, tupleLen)
+	if err != nil {
+		return nil, err
+	}
+	g.pool = pool
+	return g, nil
+}
+
 // Add appends one encoded tuple. If the current page becomes full it is
 // returned (and a fresh page started); otherwise Add returns nil.
 func (g *Paginator) Add(raw []byte) (*Page, error) {
 	if g.cur == nil {
-		g.cur = MustNewPage(g.pageSize, g.tupleLen)
+		g.cur = g.pool.MustGet(g.pageSize, g.tupleLen)
 	}
 	if err := g.cur.AppendRaw(raw); err != nil {
 		return nil, err

@@ -1,0 +1,100 @@
+package relation
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PagePool recycles Page structs and their payload buffers by size
+// class. The engines allocate intermediate pages at a furious rate —
+// every operator hop produces fresh pages that die as soon as the
+// consumer has read them — so recycling them removes the dominant
+// allocation on the hot execution path.
+//
+// Ownership discipline: only pages obtained from a pool (Get) are ever
+// recycled (Put); Put on any other page — a catalog page, a result page
+// retained by Relation.AppendPage — is a no-op, because those pages are
+// aliased by live readers. A nil *PagePool is valid and degrades to
+// plain allocation, so pooling is a pure opt-in.
+type PagePool struct {
+	classes  sync.Map // pageClass -> *sync.Pool
+	hits     int64    // atomic: Gets served from the pool
+	misses   int64    // atomic: Gets that allocated fresh
+	recycled int64    // atomic: Puts accepted
+}
+
+type pageClass struct{ size, tupleLen int }
+
+// NewPagePool returns an empty pool.
+func NewPagePool() *PagePool { return &PagePool{} }
+
+// PoolStats is a point-in-time copy of a pool's counters.
+type PoolStats struct {
+	Hits     int64 // pages served from the pool
+	Misses   int64 // pages freshly allocated
+	Recycled int64 // pages returned for reuse
+}
+
+// Stats returns the pool's counters, read atomically. A nil pool
+// reports zeros.
+func (p *PagePool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return PoolStats{
+		Hits:     atomic.LoadInt64(&p.hits),
+		Misses:   atomic.LoadInt64(&p.misses),
+		Recycled: atomic.LoadInt64(&p.recycled),
+	}
+}
+
+// Get returns an empty page of the given size class, reusing a recycled
+// page when one is available. On a nil pool it simply allocates.
+func (p *PagePool) Get(pageSize, tupleLen int) (*Page, error) {
+	if p == nil {
+		return NewPage(pageSize, tupleLen)
+	}
+	if c, ok := p.classes.Load(pageClass{pageSize, tupleLen}); ok {
+		if pg, _ := c.(*sync.Pool).Get().(*Page); pg != nil {
+			atomic.AddInt64(&p.hits, 1)
+			pg.pooled = true
+			return pg, nil
+		}
+	}
+	pg, err := NewPage(pageSize, tupleLen)
+	if err != nil {
+		return nil, err
+	}
+	atomic.AddInt64(&p.misses, 1)
+	pg.pooled = true
+	return pg, nil
+}
+
+// MustGet is Get but panics on error; for size classes already
+// validated by the caller.
+func (p *PagePool) MustGet(pageSize, tupleLen int) *Page {
+	pg, err := p.Get(pageSize, tupleLen)
+	if err != nil {
+		panic(err)
+	}
+	return pg
+}
+
+// Put returns a page to the pool for reuse. Only pages that came from a
+// pool are accepted — Put on a catalog or retained page is a no-op —
+// and a page is marked non-pooled on the way in, so a double Put cannot
+// hand the same page out twice.
+func (p *PagePool) Put(pg *Page) {
+	if p == nil || pg == nil || !pg.pooled {
+		return
+	}
+	pg.pooled = false
+	pg.data = pg.data[:0]
+	key := pageClass{pg.size, pg.tupleLen}
+	c, ok := p.classes.Load(key)
+	if !ok {
+		c, _ = p.classes.LoadOrStore(key, &sync.Pool{})
+	}
+	c.(*sync.Pool).Put(pg)
+	atomic.AddInt64(&p.recycled, 1)
+}

@@ -100,6 +100,9 @@ func (r *Relation) AppendPage(p *Page) error {
 	if p.TupleLen() != r.schema.TupleLen() {
 		return fmt.Errorf("relation: page holds %d-byte tuples, relation %q needs %d", p.TupleLen(), r.name, r.schema.TupleLen())
 	}
+	// The relation retains (aliases) the page: it must never be handed
+	// back to a PagePool, however it was obtained.
+	p.pooled = false
 	r.pages = append(r.pages, p)
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"dfdbm/internal/core"
 	"dfdbm/internal/pred"
 	"dfdbm/internal/query"
+	"dfdbm/internal/relalg"
 	"dfdbm/internal/relation"
 	"dfdbm/internal/workload"
 )
@@ -97,7 +98,9 @@ func Scan(rel string) *QueryNode { return query.Scan(rel) }
 // RestrictNode filters its input by p.
 func RestrictNode(in *QueryNode, p Pred) *QueryNode { return query.Restrict(in, p) }
 
-// JoinNode joins outer with inner under cond (nested loops).
+// JoinNode joins outer with inner under cond. Engines pick the kernel
+// from cond: a hash join for equi-joins on integer or string
+// attributes, nested loops otherwise; both produce identical results.
 func JoinNode(outer, inner *QueryNode, cond JoinCond) *QueryNode {
 	return query.Join(outer, inner, cond)
 }
@@ -148,3 +151,16 @@ const (
 
 // BenchmarkConfig parameterizes the paper benchmark generator.
 type BenchmarkConfig = workload.Config
+
+// NestedLoopsJoin joins two relations with the paper's O(n·m)
+// nested-loops kernel, exposed for benchmarking against HashJoin.
+func NestedLoopsJoin(outer, inner *Relation, cond JoinCond, name string) (*Relation, error) {
+	return relalg.NestedLoopsJoin(outer, inner, cond, name)
+}
+
+// HashJoin joins two relations with the equi-join hash kernel; the
+// result is byte-identical to NestedLoopsJoin. The condition must
+// carry an equality term on integer or string attributes.
+func HashJoin(outer, inner *Relation, cond JoinCond, name string) (*Relation, error) {
+	return relalg.HashJoin(outer, inner, cond, name)
+}
