@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"dfdbm"
 	"dfdbm/internal/pred"
@@ -371,6 +372,42 @@ func relationsIdentical(a, b *relation.Relation) error {
 		return fmt.Errorf("tuple sets differ")
 	}
 	return nil
+}
+
+// writeBenchProfile re-runs the ring-machine multi-query workload once
+// with spans and per-bucket metrics enabled and writes the EXPLAIN
+// ANALYZE + saturation report as JSON. CI uploads the file next to
+// BENCH_machine.json so every build carries its own attribution
+// artifact.
+func writeBenchProfile(db *dfdbm.DB, queries []*dfdbm.Query, out string, pageSize int) error {
+	hw := dfdbm.DefaultHW()
+	hw.PageSize = pageSize
+	o := dfdbm.NewObserver(nil, dfdbm.NewMetrics(time.Millisecond))
+	o.EnableSpans()
+	m, err := dfdbm.NewMachine(db, dfdbm.MachineConfig{HW: hw, ICs: 16, IPs: 16, Obs: o})
+	if err != nil {
+		return err
+	}
+	for _, n := range []int{0, 2, 5} {
+		if err := m.Submit(queries[n]); err != nil {
+			return err
+		}
+	}
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+	prof := dfdbm.BuildProfile(o.Spans().Snapshot(), res.Elapsed)
+	sat := dfdbm.Saturation(o.Registry(), res.Elapsed, m.Resources())
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := prof.JSON(f, sat); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runBenchJSON runs the harness and writes the report.

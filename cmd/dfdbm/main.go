@@ -17,6 +17,13 @@
 // structured event trace, and -metrics-out FILE writes the metrics
 // registry (counters, gauges, and time-bucketed bandwidth timelines) as
 // JSONL, with -metrics-bucket setting the timeline bucket width.
+// -profile prints a per-node EXPLAIN ANALYZE profile and resource
+// saturation report after the run (-profile-out FILE writes it as
+// JSON), and -http ADDR serves live introspection — Prometheus-format
+// /metrics, the active span tree at /spans, raw timelines at
+// /timeline, and /debug/pprof — while the simulation runs.
+// `dfdbm explain -analyze '<query>'` executes the query on the
+// simulated ring machine and prints the same profile.
 package main
 
 import (
@@ -80,13 +87,7 @@ func main() {
 	case "direct":
 		cmdDirect(db, queries, flag.Args()[1:])
 	case "explain":
-		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: dfdbm explain '<query>'")
-			os.Exit(2)
-		}
-		q, err := db.Parse(flag.Arg(1))
-		check(err)
-		fmt.Print(dfdbm.Explain(q))
+		cmdExplain(db, flag.Args()[1:], *pageSize)
 	case "export":
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "usage: dfdbm export <relation>")
@@ -125,6 +126,9 @@ type obsFlags struct {
 	traceFormat string
 	metricsOut  string
 	bucket      time.Duration
+	profile     bool
+	profileOut  string
+	httpAddr    string
 }
 
 func addObsFlags(fs *flag.FlagSet) *obsFlags {
@@ -133,41 +137,136 @@ func addObsFlags(fs *flag.FlagSet) *obsFlags {
 	fs.StringVar(&f.traceFormat, "trace-format", "text", "trace format: text, jsonl, or chrome")
 	fs.StringVar(&f.metricsOut, "metrics-out", "", "write the metrics registry as JSONL to this file")
 	fs.DurationVar(&f.bucket, "metrics-bucket", 100*time.Millisecond, "bucket width of metric timelines")
+	fs.BoolVar(&f.profile, "profile", false, "print a per-node EXPLAIN ANALYZE profile and saturation report after the run")
+	fs.StringVar(&f.profileOut, "profile-out", "", "write the profile and saturation report as JSON to this file")
+	fs.StringVar(&f.httpAddr, "http", "", "serve live introspection (/metrics, /spans, /timeline, /debug/pprof) on this address while running")
 	return f
 }
 
-// build returns the observer the flags request (nil when none) and a
-// finish function that finalizes the trace and writes the metrics file.
-func (f *obsFlags) build() (*dfdbm.Observer, func()) {
+// wantsProfile reports whether the run must record spans and metrics
+// for an EXPLAIN ANALYZE report.
+func (f *obsFlags) wantsProfile() bool { return f.profile || f.profileOut != "" }
+
+// obsSession is one subcommand's observability state: the observer
+// handed to the engine, plus everything needed to finalize outputs and
+// render the profile afterwards.
+type obsSession struct {
+	f         *obsFlags
+	o         *dfdbm.Observer
+	reg       *dfdbm.Metrics
+	traceFile *os.File
+	server    *dfdbm.ObsServer
+}
+
+// build returns the observer the flags request (nil when none) and the
+// session that finalizes the outputs.
+func (f *obsFlags) build() (*dfdbm.Observer, *obsSession) {
+	s := &obsSession{f: f}
 	var sink dfdbm.TraceSink
-	var traceFile *os.File
 	if f.traceOut != "" {
 		var err error
-		traceFile, err = os.Create(f.traceOut)
+		s.traceFile, err = os.Create(f.traceOut)
 		check(err)
-		sink, err = dfdbm.NewTraceSink(f.traceFormat, traceFile)
+		sink, err = dfdbm.NewTraceSink(f.traceFormat, s.traceFile)
 		check(err)
 	}
-	var reg *dfdbm.Metrics
-	if f.metricsOut != "" {
-		reg = dfdbm.NewMetrics(f.bucket)
+	if f.metricsOut != "" || f.wantsProfile() || f.httpAddr != "" {
+		s.reg = dfdbm.NewMetrics(f.bucket)
 	}
-	if sink == nil && reg == nil {
-		return nil, func() {}
+	if sink == nil && s.reg == nil {
+		return nil, s
 	}
-	o := dfdbm.NewObserver(sink, reg)
-	return o, func() {
-		check(o.Close())
-		if traceFile != nil {
-			check(traceFile.Close())
+	s.o = dfdbm.NewObserver(sink, s.reg)
+	if f.wantsProfile() || f.httpAddr != "" {
+		s.o.EnableSpans()
+	}
+	if f.httpAddr != "" {
+		srv, err := dfdbm.StartObsServer(f.httpAddr, s.reg, s.o.Spans())
+		check(err)
+		s.server = srv
+		fmt.Fprintf(os.Stderr, "dfdbm: introspection server on http://%s\n", srv.Addr())
+	}
+	return s.o, s
+}
+
+// finish finalizes the trace and metrics outputs and stops the
+// introspection server.
+func (s *obsSession) finish() {
+	if s.o == nil {
+		return
+	}
+	check(s.o.Close())
+	if s.traceFile != nil {
+		check(s.traceFile.Close())
+	}
+	if s.f.metricsOut != "" {
+		mf, err := os.Create(s.f.metricsOut)
+		check(err)
+		check(s.reg.WriteJSONL(mf))
+		check(mf.Close())
+	}
+	if s.server != nil {
+		check(s.server.Close())
+	}
+}
+
+// report renders the EXPLAIN ANALYZE profile and saturation report for
+// a finished run. makespan is the run's total (virtual or real) time;
+// specs names the devices whose busy timelines were recorded.
+func (s *obsSession) report(makespan time.Duration, specs []dfdbm.ResourceSpec) {
+	if s.o == nil || !s.f.wantsProfile() {
+		return
+	}
+	prof := dfdbm.BuildProfile(s.o.Spans().Snapshot(), makespan)
+	var sat *dfdbm.SaturationReport
+	if len(specs) > 0 {
+		sat = dfdbm.Saturation(s.reg, makespan, specs)
+	}
+	if s.f.profile {
+		check(prof.Text(os.Stdout))
+		if sat != nil {
+			check(sat.Text(os.Stdout))
 		}
-		if reg != nil {
-			mf, err := os.Create(f.metricsOut)
-			check(err)
-			check(reg.WriteJSONL(mf))
-			check(mf.Close())
-		}
 	}
+	if s.f.profileOut != "" {
+		pf, err := os.Create(s.f.profileOut)
+		check(err)
+		check(prof.JSON(pf, sat))
+		check(pf.Close())
+	}
+}
+
+// cmdExplain prints the static plan; with -analyze it also executes
+// the query on the simulated ring machine with spans enabled and
+// prints the per-node EXPLAIN ANALYZE profile and saturation report.
+func cmdExplain(db *dfdbm.DB, args []string, pageSize int) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	analyze := fs.Bool("analyze", false, "execute on the simulated ring machine and print the per-node profile")
+	ips := fs.Int("ips", 16, "instruction processors (with -analyze)")
+	check(fs.Parse(args))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dfdbm explain [-analyze [-ips N]] '<query>'")
+		os.Exit(2)
+	}
+	q, err := db.Parse(fs.Arg(0))
+	check(err)
+	fmt.Print(dfdbm.Explain(q))
+	if !*analyze {
+		return
+	}
+	hw := dfdbm.DefaultHW()
+	hw.PageSize = pageSize
+	o := dfdbm.NewObserver(nil, dfdbm.NewMetrics(time.Millisecond))
+	o.EnableSpans()
+	m, err := dfdbm.NewMachine(db, dfdbm.MachineConfig{HW: hw, ICs: 16, IPs: *ips, Obs: o})
+	check(err)
+	check(m.Submit(q))
+	res, err := m.Run()
+	check(err)
+	fmt.Println()
+	prof := dfdbm.BuildProfile(o.Spans().Snapshot(), res.Elapsed)
+	check(prof.Text(os.Stdout))
+	check(dfdbm.Saturation(o.Registry(), res.Elapsed, m.Resources()).Text(os.Stdout))
 }
 
 func cmdInfo(db *dfdbm.DB) {
@@ -205,10 +304,13 @@ func cmdRun(db *dfdbm.DB, args []string) {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	o, finishObs := of.build()
+	o, sess := of.build()
 	res, err := db.ExecuteContext(ctx, q, dfdbm.EngineOptions{Granularity: g, Workers: *workers, Obs: o})
-	finishObs()
+	sess.finish()
 	check(err)
+	sess.report(res.Stats.Elapsed, []dfdbm.ResourceSpec{
+		{Name: "worker pool", Timeline: "core.worker_busy_us", Servers: *workers},
+	})
 	fmt.Printf("%d tuples in %v at %s granularity\n",
 		res.Relation.Cardinality(), res.Stats.Elapsed.Round(time.Microsecond), g)
 	shown := 0
@@ -228,10 +330,20 @@ func cmdRun(db *dfdbm.DB, args []string) {
 func cmdBench(db *dfdbm.DB, queries []*dfdbm.Query, args []string, scale float64, seed int64, pageSize int) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	jsonOut := fs.String("json", "", "run the measured harness and write machine-readable results to this file (e.g. BENCH_machine.json)")
+	profileOut := fs.String("profile-out", "", "also run the ring-machine workload with spans enabled and write the EXPLAIN/saturation profile JSON here (e.g. PROFILE_machine.json)")
 	joinTuples := fs.Int("join-tuples", 10000, "tuples per side of the large equi-join workload")
 	check(fs.Parse(args))
 	if *jsonOut != "" {
 		runBenchJSON(db, queries, *jsonOut, scale, seed, pageSize, *joinTuples)
+		if *profileOut != "" {
+			check(writeBenchProfile(db, queries, *profileOut, pageSize))
+			fmt.Printf("bench: wrote %s (ring-machine explain/saturation profile)\n", *profileOut)
+		}
+		return
+	}
+	if *profileOut != "" {
+		check(writeBenchProfile(db, queries, *profileOut, pageSize))
+		fmt.Printf("bench: wrote %s (ring-machine explain/saturation profile)\n", *profileOut)
 		return
 	}
 	fmt.Printf("%-6s %10s | %-14s %-14s %-14s\n", "query", "tuples", "relation", "page", "tuple")
@@ -299,7 +411,7 @@ func cmdMachine(db *dfdbm.DB, queries []*dfdbm.Query, args []string, pageSize in
 	if *trace {
 		cfg.Trace = os.Stderr
 	}
-	o, finishObs := of.build()
+	o, sess := of.build()
 	cfg.Obs = o
 	m, err := dfdbm.NewMachine(db, cfg)
 	check(err)
@@ -320,8 +432,9 @@ func cmdMachine(db *dfdbm.DB, queries []*dfdbm.Query, args []string, pageSize in
 		check(m.Submit(q))
 	}
 	res, err := m.Run()
-	finishObs()
+	sess.finish()
 	check(err)
+	sess.report(res.Elapsed, m.Resources())
 	for _, qr := range res.PerQuery {
 		fmt.Printf("query %d: %d tuples, started %v, finished %v\n",
 			qr.QueryID+1, qr.Relation.Cardinality(), qr.Started, qr.Finished)
@@ -349,14 +462,15 @@ func cmdDirect(db *dfdbm.DB, queries []*dfdbm.Query, args []string) {
 
 	profiles, err := dfdbm.ProfileQueries(db, queries, dfdbm.DefaultHW().PageSize)
 	check(err)
-	o, finishObs := of.build()
+	o, sess := of.build()
 	dcfg := dfdbm.DirectConfig{Processors: *procs, Strategy: g, Obs: o}
 	if *cacheFault > 0 {
 		dcfg.Fault = dfdbm.NewFaultPlan(dfdbm.FaultConfig{Seed: *faultSeed, CacheReadFault: *cacheFault})
 	}
 	rep, err := dfdbm.SimulateDIRECT(dcfg, profiles)
-	finishObs()
+	sess.finish()
 	check(err)
+	sess.report(rep.Elapsed, dfdbm.DirectResources(dcfg))
 	fmt.Printf("DIRECT with %d processors, %s-level granularity:\n", *procs, g)
 	fmt.Printf("  benchmark execution time : %v\n", rep.Elapsed)
 	fmt.Printf("  IP<->cache bandwidth     : %.2f Mbps\n", rep.ProcCacheMbps())

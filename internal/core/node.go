@@ -74,6 +74,11 @@ type engineRun struct {
 	// reports per-run deltas.
 	kstats relalg.KernelStats
 	pool0  relation.PoolStats
+
+	// span is the run's query span when Config.Obs has spans enabled.
+	// The concurrent engine records spans in real time; worker exec
+	// spans attribute wall-clock busy intervals to their node.
+	span *obs.Span
 }
 
 func newEngineRun(e *Engine, t *query.Tree) *engineRun {
@@ -120,6 +125,14 @@ func (r *engineRun) observe(name string, v float64) {
 		o.Registry().Add(name, time.Since(r.t0), v)
 	}
 }
+
+// tracing and spansOn guard event and span call sites, so the disabled
+// path costs one nil check and zero allocations per event.
+func (r *engineRun) tracing() bool { return r.obs.Enabled() }
+func (r *engineRun) spansOn() bool { return r.obs.SpansOn() }
+
+// now is the run-relative real-time clock spans are stamped with.
+func (r *engineRun) now() time.Duration { return time.Since(r.t0) }
 
 func (r *engineRun) fail(err error) {
 	if err == nil {
@@ -245,6 +258,15 @@ func (r *engineRun) build(n *query.Node, out outlet) error {
 }
 
 func (r *engineRun) start() {
+	if r.spansOn() {
+		r.span = r.obs.Spans().Begin(obs.SpanQuery, nil, r.now(),
+			"engine", "query", -1, -1, -1)
+		for _, ne := range r.nodes {
+			ne.span = r.obs.Spans().Begin(obs.SpanInstr, r.span, r.now(),
+				fmt.Sprintf("node%d", ne.id),
+				fmt.Sprintf("%s node%d", ne.node.Kind, ne.id), -1, ne.id, -1)
+		}
+	}
 	for i := 0; i < r.eng.opts.Workers; i++ {
 		r.wg.Add(1)
 		go r.worker()
@@ -269,6 +291,19 @@ func (r *engineRun) shutdown() {
 		c.Stop()
 	}
 	r.wg.Wait()
+	if r.spansOn() {
+		// End is idempotent, so node spans already closed by finish stay
+		// as they were; a failed run's open spans close at shutdown time.
+		end := r.now()
+		for _, ne := range r.nodes {
+			if ne.span != nil {
+				r.obs.Spans().End(ne.span, end)
+			}
+		}
+		if r.span != nil {
+			r.obs.Spans().End(r.span, end)
+		}
+	}
 }
 
 // feedScan streams the pages of a source relation to the consumer. At
@@ -318,6 +353,7 @@ type nodeExec struct {
 	// "node<id>" of its structured events).
 	id   int
 	node *query.Node
+	span *obs.Span
 
 	events *infChan
 	out    outlet
@@ -454,8 +490,14 @@ func (n *nodeExec) dispatch(ops ...*relation.Page) {
 	wire := payload + n.run.eng.opts.PacketOverhead
 	atomic.AddInt64(&n.run.stArb, int64(wire))
 	n.run.observe("core.arbitration_bytes", float64(wire))
-	n.run.event(obs.EvInstr, fmt.Sprintf("node%d", n.id), n.id, wire,
-		"node%d: dispatch %s packet (%d operand bytes)", n.id, n.node.Kind, payload)
+	if n.run.tracing() {
+		n.run.event(obs.EvInstr, fmt.Sprintf("node%d", n.id), n.id, wire,
+			"node%d: dispatch %s packet (%d operand bytes)", n.id, n.node.Kind, payload)
+	}
+	if s := n.span; s != nil {
+		s.Firings.Add(1)
+		s.Bytes.Add(int64(wire))
+	}
 	t := &task{node: n, operands: ops}
 	select {
 	case n.run.arb <- t:
@@ -544,7 +586,12 @@ func (n *nodeExec) finish() {
 		n.send(n.pending)
 		n.pending = nil
 	}
-	n.run.event(obs.EvInstrDone, fmt.Sprintf("node%d", n.id), n.id, 0,
-		"node%d: %s complete (%d packets dispatched)", n.id, n.node.Kind, n.dispatched)
+	if n.run.tracing() {
+		n.run.event(obs.EvInstrDone, fmt.Sprintf("node%d", n.id), n.id, 0,
+			"node%d: %s complete (%d packets dispatched)", n.id, n.node.Kind, n.dispatched)
+	}
+	if s := n.span; s != nil {
+		n.run.obs.Spans().End(s, n.run.now())
+	}
 	n.out.done()
 }

@@ -32,6 +32,7 @@ func (r *engineRun) worker() {
 
 func (r *engineRun) execTask(t *task, joins map[*nodeExec]*relalg.JoinState) {
 	n := t.node
+	start := r.now()
 	pgtor, err := relation.NewPooledPaginator(n.outPageSize, n.outTupleLen, r.eng.pool)
 	if err != nil {
 		r.fail(err)
@@ -114,7 +115,23 @@ func (r *engineRun) execTask(t *task, joins map[*nodeExec]*relalg.JoinState) {
 	if resBytes > 0 {
 		r.observe("core.result_bytes", float64(resBytes))
 	}
-	r.event(obs.EvResult, fmt.Sprintf("node%d", n.id), n.id, resBytes,
-		"node%d: task complete (%d result pages)", n.id, len(out))
+	end := r.now()
+	r.observe("core.worker_busy_us", float64((end - start).Microseconds()))
+	if r.spansOn() {
+		r.obs.Spans().Record(obs.SpanExec, n.span, start, end, "worker", "exec", -1, n.id, -1)
+		if s := n.span; s != nil {
+			s.PagesIn.Add(int64(len(t.operands)))
+			s.PagesOut.Add(int64(len(out)))
+			var tup int64
+			for _, pg := range out {
+				tup += int64(pg.TupleCount())
+			}
+			s.TuplesOut.Add(tup)
+		}
+	}
+	if r.tracing() {
+		r.event(obs.EvResult, fmt.Sprintf("node%d", n.id), n.id, resBytes,
+			"node%d: task complete (%d result pages)", n.id, len(out))
+	}
 	n.events.Send(event{kind: evTaskDone, pages: out})
 }

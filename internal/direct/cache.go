@@ -27,15 +27,19 @@ func newCacheModel(m *machine, frames int) *cacheModel {
 func (c *cacheModel) ensureResident(pg *page, ready func()) {
 	if pg.resident {
 		c.m.report.CacheHits++
-		c.m.event(obs.EvCacheRead, "cache", -1, -1, pg.id, c.m.cfg.HW.PageSize,
-			"cache: hit page %d", pg.id)
+		if c.m.tracing() {
+			c.m.event(obs.EvCacheRead, "cache", -1, -1, pg.id, c.m.cfg.HW.PageSize,
+				"cache: hit page %d", pg.id)
+		}
 		c.touch(pg)
 		if c.m.cfg.Fault.CacheFault() {
 			// Transient frame read fault, caught by the frame's check
 			// bits: the read is retried, costing one extra page fetch.
 			c.m.report.CacheReadFaults++
-			c.m.event(obs.EvFault, "cache", -1, -1, pg.id, c.m.cfg.HW.PageSize,
-				"fault: transient read fault on cache frame of page %d (retrying)", pg.id)
+			if c.m.tracing() {
+				c.m.event(obs.EvFault, "cache", -1, -1, pg.id, c.m.cfg.HW.PageSize,
+					"fault: transient read fault on cache frame of page %d (retrying)", pg.id)
+			}
 			c.m.sim.After(c.m.cfg.HW.Proc.FetchTime(c.m.cfg.HW.PageSize), ready)
 			return
 		}
@@ -50,8 +54,10 @@ func (c *cacheModel) ensureResident(pg *page, ready func()) {
 	c.m.report.DiskReads++
 	c.m.report.CacheDiskBytes += int64(c.m.cfg.HW.PageSize)
 	c.m.observe("direct.cache_disk_bytes", float64(c.m.cfg.HW.PageSize))
-	c.m.event(obs.EvDiskRead, "disk", -1, -1, pg.id, c.m.cfg.HW.PageSize,
-		"disk: read page %d into the cache (miss)", pg.id)
+	if c.m.tracing() {
+		c.m.event(obs.EvDiskRead, "disk", -1, -1, pg.id, c.m.cfg.HW.PageSize,
+			"disk: read page %d into the cache (miss)", pg.id)
+	}
 	pg.fetching = true
 	pg.waiters = append(pg.waiters, ready)
 	// Source relations are staged with sequential transfers (the scan
@@ -64,7 +70,7 @@ func (c *cacheModel) ensureResident(pg *page, ready func()) {
 	if pg.leaf {
 		service = c.m.cfg.HW.Disk.SequentialTime(c.m.cfg.HW.PageSize)
 	}
-	c.m.disk.Serve(service, func() {
+	finish := c.m.disk.Serve(service, func() {
 		pg.fetching = false
 		c.insert(pg)
 		ws := pg.waiters
@@ -73,6 +79,11 @@ func (c *cacheModel) ensureResident(pg *page, ready func()) {
 			w()
 		}
 	})
+	c.m.observeBusy("direct.disk_busy_us", finish-service, service)
+	if c.m.spansOn() {
+		c.m.recordSpan(obs.SpanXfer, nil, finish-service, finish,
+			"disk", "cache fill", -1, -1, pg.id)
+	}
 }
 
 // insert makes pg resident, evicting least-recently-used pages as
@@ -116,9 +127,13 @@ func (c *cacheModel) evictLRU() {
 		c.m.report.DiskWrites++
 		c.m.report.CacheDiskBytes += int64(c.m.cfg.HW.PageSize)
 		c.m.observe("direct.cache_disk_bytes", float64(c.m.cfg.HW.PageSize))
-		c.m.event(obs.EvDiskWrite, "disk", -1, -1, victim.id, c.m.cfg.HW.PageSize,
-			"disk: write back evicted page %d", victim.id)
-		c.m.disk.Serve(c.m.cfg.HW.Disk.AccessTime(c.m.cfg.HW.PageSize), nil)
+		if c.m.tracing() {
+			c.m.event(obs.EvDiskWrite, "disk", -1, -1, victim.id, c.m.cfg.HW.PageSize,
+				"disk: write back evicted page %d", victim.id)
+		}
+		service := c.m.cfg.HW.Disk.AccessTime(c.m.cfg.HW.PageSize)
+		finish := c.m.disk.Serve(service, nil)
+		c.m.observeBusy("direct.disk_busy_us", finish-service, service)
 	}
 }
 

@@ -134,6 +134,7 @@ func Run(cfg Config, profiles []QueryProfile) (Report, error) {
 	}
 	m.start()
 	m.sim.Run()
+	cfg.Obs.Spans().CloseAt(m.finishedAt)
 	if m.queriesLeft != 0 {
 		return Report{}, fmt.Errorf("direct: simulation stalled with %d queries unfinished", m.queriesLeft)
 	}
@@ -241,6 +242,47 @@ func (m *machine) observe(name string, v float64) {
 	}
 }
 
+// observeBusy charges a device busy interval [start, start+d) into the
+// named timeline, spread across the buckets it overlaps, so the
+// saturation report sees the actual service interval rather than a
+// point charge at the enqueue time.
+func (m *machine) observeBusy(name string, start, d time.Duration) {
+	if o := m.obs; o.MetricsOn() {
+		o.Registry().AddBusy(name, start, d)
+	}
+}
+
+// tracing and spansOn guard event and span call sites, so the disabled
+// path costs one nil check and zero allocations per event.
+func (m *machine) tracing() bool { return m.obs.Enabled() }
+func (m *machine) spansOn() bool { return m.obs.SpansOn() }
+
+func (m *machine) beginSpan(kind obs.SpanKind, parent *obs.Span, comp, name string, qid, instr, pageNo int) *obs.Span {
+	return m.obs.Spans().Begin(kind, parent, m.sim.Now(), comp, name, qid, instr, pageNo)
+}
+
+func (m *machine) endSpan(s *obs.Span) {
+	if s != nil {
+		m.obs.Spans().End(s, m.sim.Now())
+	}
+}
+
+func (m *machine) recordSpan(kind obs.SpanKind, parent *obs.Span, start, end time.Duration, comp, name string, qid, instr, pageNo int) {
+	m.obs.Spans().Record(kind, parent, start, end, comp, name, qid, instr, pageNo)
+}
+
+// Resources names the simulated devices for the saturation report,
+// mapping each to the busy timeline it accumulates during a run.
+func Resources(cfg Config) []obs.ResourceSpec {
+	cfg, _ = cfg.withDefaults()
+	return []obs.ResourceSpec{
+		{Name: "processor pool", Timeline: "direct.proc_busy_us", Servers: cfg.Processors},
+		{Name: "disk", Timeline: "direct.disk_busy_us", Servers: cfg.HW.NumDisks},
+		{Name: "cache ports", Timeline: "direct.cache_port_busy_us", Servers: cfg.Processors},
+		{Name: "control bus", Timeline: "direct.control_busy_us", Servers: 1},
+	}
+}
+
 // page is one page token in the simulation.
 type page struct {
 	id       int
@@ -313,6 +355,7 @@ type queryInstance struct {
 	m     *machine
 	index int
 	nodes []*nodeState
+	span  *obs.Span
 }
 
 // nodeState is the controller state of one instruction.
@@ -334,6 +377,8 @@ type nodeState struct {
 	outCredit  float64
 	outEmitted int
 	finished   bool
+
+	span *obs.Span
 }
 
 func (m *machine) addQuery(p QueryProfile) {
@@ -379,8 +424,20 @@ func (m *machine) start() {
 // storage).
 func (m *machine) startQuery(idx int) {
 	q := m.queries[idx]
-	m.event(obs.EvAdmit, "MC", idx, -1, -1, 0,
-		"MC: start query %d (%d instructions)", idx, len(q.nodes))
+	if m.tracing() {
+		m.event(obs.EvAdmit, "MC", idx, -1, -1, 0,
+			"MC: start query %d (%d instructions)", idx, len(q.nodes))
+	}
+	if m.spansOn() {
+		q.span = m.beginSpan(obs.SpanQuery, nil, "MC",
+			fmt.Sprintf("query %d", idx), idx, -1, -1)
+		for _, n := range q.nodes {
+			n.span = m.beginSpan(obs.SpanInstr, q.span,
+				fmt.Sprintf("node%d", n.prof.ID),
+				fmt.Sprintf("%s node%d", n.prof.Kind, n.prof.ID),
+				idx, n.prof.ID, -1)
+		}
+	}
 	for _, n := range q.nodes {
 		n := n
 		for i := 0; i < n.prof.NumInputs; i++ {
@@ -466,9 +523,17 @@ func (n *nodeState) dispatch(ops ...*page) {
 	ctl := m.cfg.HW.InstrHeaderBytes + m.cfg.HW.ControlBytes
 	m.report.ControlBytes += int64(ctl)
 	m.observe("direct.control_bytes", float64(ctl))
-	m.event(obs.EvInstr, fmt.Sprintf("node%d", n.prof.ID), n.q.index, n.prof.ID, -1, ctl,
-		"node%d: dispatch %s packet of query %d (%d operands)",
-		n.prof.ID, n.prof.Kind, n.q.index, len(ops))
+	m.observeBusy("direct.control_busy_us", m.sim.Now(),
+		m.cfg.HW.InnerRing.SerializationTime(ctl))
+	if m.tracing() {
+		m.event(obs.EvInstr, fmt.Sprintf("node%d", n.prof.ID), n.q.index, n.prof.ID, -1, ctl,
+			"node%d: dispatch %s packet of query %d (%d operands)",
+			n.prof.ID, n.prof.Kind, n.q.index, len(ops))
+	}
+	if s := n.span; s != nil {
+		s.Firings.Add(1)
+		s.Bytes.Add(int64(ctl))
+	}
 	ops = append([]*page(nil), ops...)
 	for _, op := range ops {
 		op.pendingReads++
@@ -486,6 +551,13 @@ func (n *nodeState) stage(ops []*page) {
 		}
 	}
 	for _, op := range ops {
+		if s := n.span; s != nil {
+			if op.resident {
+				s.CacheHits.Add(1)
+			} else {
+				s.CacheMiss.Add(1)
+			}
+		}
 		m.cache.ensureResident(op, ready)
 	}
 }
@@ -524,11 +596,14 @@ func (n *nodeState) execute(ops []*page) {
 	}
 	store := proc.FetchTime(int(share * float64(n.prof.OutBytesPerTuple)))
 
-	m.procs.Serve(fetch+compute+store, func() {
+	service := fetch + compute + store
+	finish := m.procs.Serve(service, func() {
 		m.cells.Release()
 		n.completed++
 		m.report.ControlBytes += int64(m.cfg.HW.ControlBytes)
 		m.observe("direct.control_bytes", float64(m.cfg.HW.ControlBytes))
+		m.observeBusy("direct.control_busy_us", m.sim.Now(),
+			m.cfg.HW.InnerRing.SerializationTime(m.cfg.HW.ControlBytes))
 		for _, op := range ops {
 			op.pendingReads--
 			op.maybeDie()
@@ -540,6 +615,15 @@ func (n *nodeState) execute(ops []*page) {
 		}
 		n.maybeFinish()
 	})
+	m.observeBusy("direct.proc_busy_us", finish-service, service)
+	m.observeBusy("direct.cache_port_busy_us", finish-service, fetch+store)
+	if m.spansOn() {
+		m.recordSpan(obs.SpanExec, n.span, finish-service, finish,
+			"proc", "exec", n.q.index, n.prof.ID, -1)
+		if s := n.span; s != nil {
+			s.PagesIn.Add(int64(len(ops)))
+		}
+	}
 }
 
 // emit produces one result page of the given tuple count, stores it,
@@ -561,8 +645,14 @@ func (n *nodeState) emit(tuples int) {
 	n.outEmitted += tuples
 	m.report.ProcCacheBytes += int64(m.cfg.HW.PageSize)
 	m.observe("direct.proc_cache_bytes", float64(m.cfg.HW.PageSize))
-	m.event(obs.EvResult, fmt.Sprintf("node%d", n.prof.ID), n.q.index, n.prof.ID, pg.id, m.cfg.HW.PageSize,
-		"node%d: emit result page %d (%d tuples)", n.prof.ID, pg.id, tuples)
+	if m.tracing() {
+		m.event(obs.EvResult, fmt.Sprintf("node%d", n.prof.ID), n.q.index, n.prof.ID, pg.id, m.cfg.HW.PageSize,
+			"node%d: emit result page %d (%d tuples)", n.prof.ID, pg.id, tuples)
+	}
+	if s := n.span; s != nil {
+		s.PagesOut.Add(1)
+		s.TuplesOut.Add(int64(tuples))
+	}
 	if n.parent == nil {
 		// Root output: returned to the host; the page is not needed
 		// again.
@@ -576,9 +666,17 @@ func (n *nodeState) emit(tuples int) {
 		m.report.DiskWrites++
 		m.report.CacheDiskBytes += int64(m.cfg.HW.PageSize)
 		m.observe("direct.cache_disk_bytes", float64(m.cfg.HW.PageSize))
-		m.event(obs.EvDiskWrite, "disk", n.q.index, n.prof.ID, pg.id, m.cfg.HW.PageSize,
-			"disk: stage intermediate page %d", pg.id)
-		m.disk.Serve(m.cfg.HW.Disk.SequentialTime(m.cfg.HW.PageSize), nil)
+		if m.tracing() {
+			m.event(obs.EvDiskWrite, "disk", n.q.index, n.prof.ID, pg.id, m.cfg.HW.PageSize,
+				"disk: stage intermediate page %d", pg.id)
+		}
+		service := m.cfg.HW.Disk.SequentialTime(m.cfg.HW.PageSize)
+		finish := m.disk.Serve(service, nil)
+		m.observeBusy("direct.disk_busy_us", finish-service, service)
+		if m.spansOn() {
+			m.recordSpan(obs.SpanXfer, n.span, finish-service, finish,
+				"disk", "stage write", n.q.index, n.prof.ID, pg.id)
+		}
 	} else {
 		m.cache.insert(pg)
 	}
@@ -611,14 +709,18 @@ func (n *nodeState) maybeFinish() {
 		}
 	}
 	m := n.m
+	m.endSpan(n.span)
 	if n.parent != nil {
 		parent, input := n.parent, n.parentInput
 		m.sim.After(0, func() { parent.onInputDone(input) })
 		return
 	}
 	// Root finished: the query is done.
-	m.event(obs.EvQueryDone, "MC", n.q.index, -1, -1, 0,
-		"MC: query %d finished", n.q.index)
+	if m.tracing() {
+		m.event(obs.EvQueryDone, "MC", n.q.index, -1, -1, 0,
+			"MC: query %d finished", n.q.index)
+	}
+	m.endSpan(n.q.span)
 	m.queriesLeft--
 	if m.queriesLeft == 0 {
 		m.finishedAt = m.sim.Now()

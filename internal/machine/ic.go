@@ -36,6 +36,10 @@ type ipSlot struct {
 	released  bool
 	outerNo   int // join: outer page index being worked, -1 when none
 
+	// span is the causal span of the packet this slot's processor is
+	// working (nil when spans are off or the slot is idle).
+	span *obs.Span
+
 	// Guarded-mode (fault plan) watchdog state.
 	pageNo int // unary: operand page index being worked, -1 when none
 	// lastBeat is the last virtual time this processor demonstrated
@@ -101,6 +105,9 @@ type ic struct {
 	joined    map[int]map[int]bool
 	requeue   []int
 	retries   map[int]int
+	// recSpans holds the open recovery span per re-dispatched work
+	// unit (spans only).
+	recSpans map[int]*obs.Span
 }
 
 func newIC(m *Machine, id int) *ic { return &ic{m: m, id: id} }
@@ -108,11 +115,17 @@ func newIC(m *Machine, id int) *ic { return &ic{m: m, id: id} }
 // assign installs an instruction on this controller (sent by the MC
 // over the inner ring).
 func (c *ic) assign(mi *minstr) {
-	c.m.event(obs.EvAssign, "MC", mi.q.id, mi.id, -1, 0,
-		"MC -> IC%d: assign %s of query %d (result %s)",
-		c.id, mi.node.Kind, mi.q.id, mi.node.Label())
+	if c.m.tracing() {
+		c.m.event(obs.EvAssign, "MC", mi.q.id, mi.id, -1, 0,
+			"MC -> IC%d: assign %s of query %d (result %s)",
+			c.id, mi.node.Kind, mi.q.id, mi.node.Label())
+	}
+	if c.m.spansOn() {
+		mi.span = c.m.beginSpan(obs.SpanInstr, mi.q.span, fmt.Sprintf("IC%d", c.id),
+			fmt.Sprintf("%s %s", mi.node.Kind, mi.node.Label()), mi.q.id, mi.id, -1)
+	}
 	c.cur = mi
-	c.store = newICStore(c.m, c.m.cfg.ICLocalPages, c.m.cfg.ICCachePages)
+	c.store = newICStore(c, c.m.cfg.ICLocalPages, c.m.cfg.ICCachePages)
 	c.slots = nil
 	c.grantedIPs, c.releasedIPs = 0, 0
 	c.wantOutstanding = 0
@@ -128,6 +141,7 @@ func (c *ic) assign(mi *minstr) {
 	c.joined = map[int]map[int]bool{}
 	c.requeue = nil
 	c.retries = map[int]int{}
+	c.recSpans = nil
 
 	for i, in := range mi.node.Inputs {
 		op := &operand{tupleLen: in.Schema().TupleLen()}
@@ -444,14 +458,27 @@ func (c *ic) sendInstr(s *ipSlot, pkt *InstructionPacket) {
 	c.m.stats.InstructionPackets++
 	size := pkt.WireSize()
 	mi := c.cur
-	if len(pkt.Pages) == 0 {
-		c.m.event(obs.EvInstr, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, -1, size,
-			"IC%d -> IP%d: flush", c.id, s.p.id)
-	} else {
-		c.m.event(obs.EvInstr, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, pkt.OuterPageNo, size,
-			"IC%d -> IP%d: %s page %d of %s (flush=%v, %d operands)",
-			c.id, s.p.id, query.OpKind(pkt.Opcode), pkt.OuterPageNo,
-			pkt.ResultRelation, pkt.FlushWhenDone, len(pkt.Pages))
+	if c.m.tracing() {
+		if len(pkt.Pages) == 0 {
+			c.m.event(obs.EvInstr, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, -1, size,
+				"IC%d -> IP%d: flush", c.id, s.p.id)
+		} else {
+			c.m.event(obs.EvInstr, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, pkt.OuterPageNo, size,
+				"IC%d -> IP%d: %s page %d of %s (flush=%v, %d operands)",
+				c.id, s.p.id, query.OpKind(pkt.Opcode), pkt.OuterPageNo,
+				pkt.ResultRelation, pkt.FlushWhenDone, len(pkt.Pages))
+		}
+	}
+	if c.m.spansOn() {
+		name, page := "flush packet", -1
+		if len(pkt.Pages) > 0 {
+			name, page = "instr packet", pkt.OuterPageNo
+			mi.span.Firings.Add(1)
+		}
+		c.m.endSpan(s.span) // a prior packet span left open ends here
+		s.span = c.m.beginSpan(obs.SpanPacket, mi.span, fmt.Sprintf("IP%d", s.p.id),
+			name, mi.q.id, mi.id, page)
+		s.span.Bytes.Add(int64(size))
 	}
 	p := s.p
 	if c.m.guarded() {
@@ -506,8 +533,13 @@ func (c *ic) suspect(s *ipSlot) {
 	c.suspects[p] = true
 	c.m.stats.WatchdogTimeouts++
 	mi := c.cur
-	c.m.event(obs.EvFault, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, s.pageNo, 0,
-		"IC%d: watchdog expired for IP %d (no progress for %v)", c.id, p.id, c.m.cfg.WatchdogTimeout)
+	if c.m.tracing() {
+		c.m.event(obs.EvFault, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, s.pageNo, 0,
+			"IC%d: watchdog expired for IP %d (no progress for %v)", c.id, p.id, c.m.cfg.WatchdogTimeout)
+	}
+	// The packet died with its processor.
+	c.m.endSpan(s.span)
+	s.span = nil
 	// The failure report is an inner-ring control message to the MC,
 	// which marks the processor failed machine-wide.
 	c.m.stats.ControlPackets++
@@ -560,8 +592,17 @@ func (c *ic) queueRedispatch(idx int) {
 		return
 	}
 	c.m.stats.Redispatches++
-	c.m.event(obs.EvRecovery, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, idx, 0,
-		"IC%d: re-dispatch work unit %d (attempt %d)", c.id, idx, c.retries[idx]+1)
+	if c.m.tracing() {
+		c.m.event(obs.EvRecovery, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, idx, 0,
+			"IC%d: re-dispatch work unit %d (attempt %d)", c.id, idx, c.retries[idx]+1)
+	}
+	if c.m.spansOn() && c.recSpans[idx] == nil {
+		if c.recSpans == nil {
+			c.recSpans = map[int]*obs.Span{}
+		}
+		c.recSpans[idx] = c.m.beginSpan(obs.SpanRecovery, mi.span, fmt.Sprintf("IC%d", c.id),
+			fmt.Sprintf("re-dispatch unit %d", idx), mi.q.id, mi.id, idx)
+	}
 	c.requeue = append(c.requeue, idx)
 }
 
@@ -576,8 +617,10 @@ func (c *ic) onCompletion(p *ip, pkt *CompletionPacket) {
 		return
 	}
 	if p.failed || c.suspects[p] {
-		c.m.event(obs.EvFault, fmt.Sprintf("IC%d", c.id), pkt.QueryID, c.cur.id, pkt.OuterPageNo, 0,
-			"IC%d: discarded completion from failed IP %d", c.id, p.id)
+		if c.m.tracing() {
+			c.m.event(obs.EvFault, fmt.Sprintf("IC%d", c.id), pkt.QueryID, c.cur.id, pkt.OuterPageNo, 0,
+				"IC%d: discarded completion from failed IP %d", c.id, p.id)
+		}
 		return
 	}
 	s := c.slot(p)
@@ -610,6 +653,8 @@ func (c *ic) onCompletion(p *ip, pkt *CompletionPacket) {
 		if s != nil {
 			s.busy = false
 			s.pageNo = -1
+			c.m.endSpan(s.span)
+			s.span = nil
 		}
 	}
 	for _, pg := range pkt.Pages {
@@ -622,8 +667,14 @@ func (c *ic) onCompletion(p *ip, pkt *CompletionPacket) {
 func (c *ic) noteRecovered(idx int) {
 	c.m.stats.RecoveredPages++
 	mi := c.cur
-	c.m.event(obs.EvRecovery, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, idx, 0,
-		"IC%d: re-dispatched work unit %d completed", c.id, idx)
+	if c.m.tracing() {
+		c.m.event(obs.EvRecovery, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, idx, 0,
+			"IC%d: re-dispatched work unit %d completed", c.id, idx)
+	}
+	if s := c.recSpans[idx]; s != nil {
+		c.m.endSpan(s)
+		delete(c.recSpans, idx)
+	}
 }
 
 // routeResult forwards one result page from an accepted completion.
@@ -736,8 +787,10 @@ func (c *ic) onControl(p *ip, pkt *ControlPacket) {
 		return
 	}
 	if c.m.guarded() && (p.failed || c.suspects[p] || p.instr != c.cur) {
-		c.m.event(obs.EvFault, fmt.Sprintf("IC%d", c.id), pkt.QueryID, c.cur.id, pkt.PageNo, 0,
-			"IC%d: discarded control packet from failed IP %d", c.id, p.id)
+		if c.m.tracing() {
+			c.m.event(obs.EvFault, fmt.Sprintf("IC%d", c.id), pkt.QueryID, c.cur.id, pkt.PageNo, 0,
+				"IC%d: discarded control packet from failed IP %d", c.id, p.id)
+		}
 		return
 	}
 	switch pkt.Message {
@@ -752,6 +805,8 @@ func (c *ic) onControl(p *ip, pkt *ControlPacket) {
 			c.processed++
 			if s := c.slot(p); s != nil {
 				s.busy = false
+				c.m.endSpan(s.span)
+				s.span = nil
 			}
 			c.kick()
 		}
@@ -770,6 +825,8 @@ func (c *ic) onControl(p *ip, pkt *ControlPacket) {
 				s.lastBeat = c.m.s.Now()
 				s.busy = false
 				s.outerNo = -1
+				c.m.endSpan(s.span)
+				s.span = nil
 				if !c.fullyJoined(idx) {
 					// The processor believes the page is done but some
 					// join-step completions were lost in transit:
@@ -781,6 +838,8 @@ func (c *ic) onControl(p *ip, pkt *ControlPacket) {
 			}
 			s.busy = false
 			s.outerNo = -1
+			c.m.endSpan(s.span)
+			s.span = nil
 		}
 		c.kick()
 	}
@@ -811,6 +870,8 @@ func (c *ic) retire(p *ip) {
 	}
 	s.released = true
 	s.busy = false
+	c.m.endSpan(s.span)
+	s.span = nil
 	c.releasedIPs++
 	for i, e := range c.slots {
 		if e == s {
@@ -880,11 +941,20 @@ func (c *ic) broadcastInner(idx int) {
 			Pages:          []*relation.Page{pg},
 		}
 		c.m.stats.Broadcasts++
-		c.m.event(obs.EvBroadcast, fmt.Sprintf("IC%d", c.id), c.cur.q.id, c.cur.id, idx, pkt.WireSize(),
-			"IC%d: broadcast inner page %d (last=%v)", c.id, idx, pkt.LastInner)
+		if c.m.tracing() {
+			c.m.event(obs.EvBroadcast, fmt.Sprintf("IC%d", c.id), c.cur.q.id, c.cur.id, idx, pkt.WireSize(),
+				"IC%d: broadcast inner page %d (last=%v)", c.id, idx, pkt.LastInner)
+		}
+		var bspan *obs.Span
+		if c.m.spansOn() {
+			bspan = c.m.beginSpan(obs.SpanBroadcast, c.cur.span, fmt.Sprintf("IC%d", c.id),
+				fmt.Sprintf("broadcast inner %d", idx), c.cur.q.id, c.cur.id, idx)
+			bspan.Bytes.Add(int64(pkt.WireSize()))
+		}
 		deliver := c.broadcastTargets(pkt)
 		c.m.broadcastOuter(pkt.WireSize(), append(deliver, func() {
 			c.bcastInFlight[idx] = false
+			c.m.endSpan(bspan)
 		}))
 	})
 }
@@ -970,6 +1040,7 @@ func (c *ic) onProjectResult(pg *relation.Page) {
 func (c *ic) forwardResult(pg *relation.Page) {
 	mi := c.cur
 	c.m.stats.ResultPackets++
+	c.m.noteResultOut(mi, pg.TupleCount())
 	rp := &ResultPacket{QueryID: mi.q.id, Relation: mi.node.Label(), Page: pg}
 	if mi.destIC == nil {
 		q := mi.q
@@ -1038,9 +1109,11 @@ func (c *ic) checkDone() {
 
 func (c *ic) finish() {
 	mi := c.cur
-	c.m.event(obs.EvInstrDone, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, -1, 0,
-		"IC%d: instruction %s of query %d complete (%d packets dispatched)",
-		c.id, mi.node.Kind, mi.q.id, c.dispatched)
+	if c.m.tracing() {
+		c.m.event(obs.EvInstrDone, fmt.Sprintf("IC%d", c.id), mi.q.id, mi.id, -1, 0,
+			"IC%d: instruction %s of query %d complete (%d packets dispatched)",
+			c.id, mi.node.Kind, mi.q.id, c.dispatched)
+	}
 	c.finished = true
 	// Project: flush the deduplicated output.
 	if mi.node.Kind == query.OpProject {
@@ -1061,6 +1134,7 @@ func (c *ic) finish() {
 		c.m.reliableSend(relKey{from: c.id, to: dest.id}, fault.ClassResult,
 			cp.WireSize(), func() { dest.operandComplete(input, direct) })
 	}
+	c.m.endSpan(mi.span)
 	c.cur = nil
 	c.m.innerSend(c.m.cfg.HW.ControlBytes, func() { c.m.instrFinished(mi) })
 }

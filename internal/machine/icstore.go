@@ -23,6 +23,9 @@ const (
 // back to local memory. Source-relation pages start on disk.
 type icStore struct {
 	m *Machine
+	// c is the owning controller: transfer spans and cache hit/miss
+	// counters attribute to its current instruction.
+	c *ic
 
 	localCap, cacheCap int
 	where              map[*relation.Page]storeLevel
@@ -31,13 +34,51 @@ type icStore struct {
 	fetching           map[*relation.Page][]func()
 }
 
-func newICStore(m *Machine, localCap, cacheCap int) *icStore {
+func newICStore(c *ic, localCap, cacheCap int) *icStore {
 	return &icStore{
-		m:        m,
+		m:        c.m,
+		c:        c,
 		localCap: localCap,
 		cacheCap: cacheCap,
 		where:    map[*relation.Page]storeLevel{},
 		fetching: map[*relation.Page][]func(){},
+	}
+}
+
+// instrSpan returns the owning instruction's span (nil when spans are
+// off or the instruction already finished).
+func (st *icStore) instrSpan() *obs.Span {
+	if st.c.cur == nil {
+		return nil
+	}
+	return st.c.cur.span
+}
+
+// instrQuery and instrID return the owning instruction's query and
+// instruction ids, or -1 when it already finished.
+func (st *icStore) instrQuery() int {
+	if st.c.cur == nil {
+		return -1
+	}
+	return st.c.cur.q.id
+}
+
+func (st *icStore) instrID() int {
+	if st.c.cur == nil {
+		return -1
+	}
+	return st.c.cur.id
+}
+
+// noteFetch credits an operand fetch to the instruction span: local
+// memory and the cache segment count as hits, disk reads as misses.
+func (st *icStore) noteFetch(hit bool) {
+	if s := st.instrSpan(); s != nil {
+		if hit {
+			s.CacheHits.Add(1)
+		} else {
+			s.CacheMiss.Add(1)
+		}
 	}
 }
 
@@ -71,30 +112,49 @@ func (st *icStore) get(pg *relation.Page, ready func()) {
 	switch st.where[pg] {
 	case levelLocal:
 		st.touchLocal(pg)
+		st.noteFetch(true)
 		st.m.s.After(0, ready)
 
 	case levelCache:
+		st.noteFetch(true)
 		if st.enqueueFetch(pg, ready) {
 			return
 		}
 		st.m.stats.CacheReads++
 		st.m.observe("machine.cache_bytes", float64(st.m.cfg.HW.PageSize))
-		st.m.event(obs.EvCacheRead, "cache", -1, -1, -1, st.m.cfg.HW.PageSize,
-			"cache: read page into IC local memory")
+		if st.m.tracing() {
+			st.m.event(obs.EvCacheRead, "cache", -1, -1, -1, st.m.cfg.HW.PageSize,
+				"cache: read page into IC local memory")
+		}
 		d := time.Duration(float64(st.m.cfg.HW.PageSize) / st.m.cfg.HW.CacheBytesPerSec * float64(time.Second))
+		st.m.observeBusy("machine.cache_busy_us", st.m.s.Now(), d)
+		if st.m.spansOn() {
+			now := st.m.s.Now()
+			st.m.recordSpan(obs.SpanXfer, st.instrSpan(), now, now+d,
+				"cache", "cache read", st.instrQuery(), st.instrID(), -1)
+		}
 		st.m.s.After(d, func() { st.finishFetch(pg, levelCache) })
 
 	case levelDisk:
+		st.noteFetch(false)
 		if st.enqueueFetch(pg, ready) {
 			return
 		}
 		st.m.stats.DiskReads++
 		st.m.observe("machine.disk_bytes", float64(st.m.cfg.HW.PageSize))
-		st.m.event(obs.EvDiskRead, "disk", -1, -1, -1, st.m.cfg.HW.PageSize,
-			"disk: read page into IC local memory")
-		st.m.disk.Serve(st.m.cfg.HW.Disk.AccessTime(st.m.cfg.HW.PageSize), func() {
+		if st.m.tracing() {
+			st.m.event(obs.EvDiskRead, "disk", -1, -1, -1, st.m.cfg.HW.PageSize,
+				"disk: read page into IC local memory")
+		}
+		access := st.m.cfg.HW.Disk.AccessTime(st.m.cfg.HW.PageSize)
+		finish := st.m.disk.Serve(access, func() {
 			st.finishFetch(pg, levelDisk)
 		})
+		st.m.observeBusy("machine.disk_busy_us", finish-access, access)
+		if st.m.spansOn() {
+			st.m.recordSpan(obs.SpanXfer, st.instrSpan(), finish-access, finish,
+				"disk", "disk read", st.instrQuery(), st.instrID(), -1)
+		}
 
 	default:
 		// Unknown page: treat as freshly arrived.
@@ -153,8 +213,15 @@ func (st *icStore) balance() {
 		st.cacheLRU = append(st.cacheLRU, victim)
 		st.m.stats.CacheWrites++
 		st.m.observe("machine.cache_bytes", float64(st.m.cfg.HW.PageSize))
-		st.m.event(obs.EvCacheWrite, "cache", -1, -1, -1, st.m.cfg.HW.PageSize,
-			"cache: page demoted from IC local memory")
+		// The demotion occupies a cache port for the transfer duration
+		// even though the simulation does not wait on it; the busy
+		// timeline records the occupancy for the saturation report.
+		d := time.Duration(float64(st.m.cfg.HW.PageSize) / st.m.cfg.HW.CacheBytesPerSec * float64(time.Second))
+		st.m.observeBusy("machine.cache_busy_us", st.m.s.Now(), d)
+		if st.m.tracing() {
+			st.m.event(obs.EvCacheWrite, "cache", -1, -1, -1, st.m.cfg.HW.PageSize,
+				"cache: page demoted from IC local memory")
+		}
 	}
 	for len(st.cacheLRU) > st.cacheCap {
 		victim := st.cacheLRU[0]
@@ -162,9 +229,13 @@ func (st *icStore) balance() {
 		st.where[victim] = levelDisk
 		st.m.stats.DiskWrites++
 		st.m.observe("machine.disk_bytes", float64(st.m.cfg.HW.PageSize))
-		st.m.event(obs.EvDiskWrite, "disk", -1, -1, -1, st.m.cfg.HW.PageSize,
-			"disk: page demoted from the cache segment")
-		st.m.disk.Serve(st.m.cfg.HW.Disk.AccessTime(st.m.cfg.HW.PageSize), nil)
+		if st.m.tracing() {
+			st.m.event(obs.EvDiskWrite, "disk", -1, -1, -1, st.m.cfg.HW.PageSize,
+				"disk: page demoted from the cache segment")
+		}
+		access := st.m.cfg.HW.Disk.AccessTime(st.m.cfg.HW.PageSize)
+		finish := st.m.disk.Serve(access, nil)
+		st.m.observeBusy("machine.disk_busy_us", finish-access, access)
 	}
 }
 

@@ -15,7 +15,7 @@ func storeFixture(t *testing.T, localCap, cacheCap int) (*Machine, *icStore) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return m, newICStore(m, localCap, cacheCap)
+	return m, newICStore(newIC(m, 0), localCap, cacheCap)
 }
 
 func pageN(t *testing.T, n int) []*relation.Page {

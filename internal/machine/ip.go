@@ -148,7 +148,13 @@ func (p *ip) execUnary(pkt *InstructionPacket) {
 	p.busy = true
 	p.m.ipBusy += compute
 	p.busyTotal += compute
-	p.m.observe("machine.ip_busy_us", float64(compute.Microseconds()))
+	p.m.observeBusy("machine.ip_busy_us", p.m.s.Now(), compute)
+	if p.m.spansOn() {
+		now := p.m.s.Now()
+		p.m.recordSpan(obs.SpanExec, mi.span, now, now+compute,
+			fmt.Sprintf("IP%d", p.id), "exec", mi.q.id, mi.id, pkt.OuterPageNo)
+		mi.span.PagesIn.Add(1)
+	}
 	direct := pkt.ICIDSender != p.ic.id // page was routed IP→IP
 	p.m.s.After(compute, func() {
 		if p.crashed {
@@ -190,6 +196,9 @@ func (p *ip) execUnary(pkt *InstructionPacket) {
 // execJoinOuter installs a new outer page (the packet may carry the
 // first inner page too, per the paper's first instruction packet).
 func (p *ip) execJoinOuter(pkt *InstructionPacket) {
+	if p.m.spansOn() && p.instr.span != nil {
+		p.instr.span.PagesIn.Add(1) // the installed outer page
+	}
 	p.outer = pkt.Pages[0]
 	p.outerNo = pkt.OuterPageNo
 	p.irc = map[int]bool{}
@@ -230,7 +239,14 @@ func (p *ip) execPair(idx int, inner *relation.Page) {
 	}
 	p.m.ipBusy += compute
 	p.busyTotal += compute
-	p.m.observe("machine.ip_busy_us", float64(compute.Microseconds()))
+	p.m.observeBusy("machine.ip_busy_us", p.m.s.Now(), compute)
+	if p.m.spansOn() {
+		mi := p.instr
+		now := p.m.s.Now()
+		p.m.recordSpan(obs.SpanExec, mi.span, now, now+compute,
+			fmt.Sprintf("IP%d", p.id), "join exec", mi.q.id, mi.id, idx)
+		mi.span.PagesIn.Add(1)
+	}
 	p.m.s.After(compute, func() {
 		mi := p.instr
 		if mi == nil || p.crashed {
@@ -383,8 +399,10 @@ func (p *ip) onBroadcast(pkt *InstructionPacket) {
 			// No room: ignore the page; it will be re-requested once
 			// the IRC vector shows it missing.
 			p.m.stats.BroadcastsIgnored++
-			p.m.event(obs.EvBcastIgnored, fmt.Sprintf("IP%d", p.id), p.instr.q.id, p.instr.id, idx, 0,
-				"IP%d: ignored broadcast of inner page %d (buffer full)", p.id, idx)
+			if p.m.tracing() {
+				p.m.event(obs.EvBcastIgnored, fmt.Sprintf("IP%d", p.id), p.instr.q.id, p.instr.id, idx, 0,
+					"IP%d: ignored broadcast of inner page %d (buffer full)", p.id, idx)
+			}
 			p.waitingFor = -1
 		}
 		return
@@ -438,9 +456,11 @@ func (p *ip) sendCompletion(outerNo, innerNo int) {
 		OuterPageNo: outerNo, InnerPageNo: innerNo, Pages: p.takeResults()}
 	size := pkt.WireSize()
 	p.m.stats.ControlPackets++
-	p.m.event(obs.EvControl, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, outerNo, size,
-		"IP%d -> IC%d: completion (outer %d, inner %d, %d result pages)",
-		p.id, c.id, outerNo, innerNo, len(pkt.Pages))
+	if p.m.tracing() {
+		p.m.event(obs.EvControl, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, outerNo, size,
+			"IP%d -> IC%d: completion (outer %d, inner %d, %d result pages)",
+			p.id, c.id, outerNo, innerNo, len(pkt.Pages))
+	}
 	p.m.lossyOuter(fault.ClassCompletion, size, func() { c.onCompletion(p, pkt) })
 }
 
@@ -462,17 +482,22 @@ func (p *ip) sendResult(pg *relation.Page) {
 		own := p.ic
 		m.stats.ResultPackets++
 		rp := &ResultPacket{ICID: own.id, QueryID: mi.q.id, Relation: mi.node.Label(), Page: pg}
-		m.event(obs.EvResult, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, -1, rp.WireSize(),
-			"IP%d -> IC%d: project result page of %s", p.id, own.id, mi.node.Label())
+		if m.tracing() {
+			m.event(obs.EvResult, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, -1, rp.WireSize(),
+				"IP%d -> IC%d: project result page of %s", p.id, own.id, mi.node.Label())
+		}
 		m.sendOuter(rp.WireSize(), func() { own.onProjectResult(pg) })
 		return
 	}
 	if mi.destIC == nil {
 		q := mi.q
 		m.stats.ResultPackets++
+		m.noteResultOut(mi, pg.TupleCount())
 		rp := &ResultPacket{ICID: -1, QueryID: mi.q.id, Relation: mi.node.Label(), Page: pg}
-		m.event(obs.EvResult, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, -1, rp.WireSize(),
-			"IP%d -> host: result page of %s", p.id, mi.node.Label())
+		if m.tracing() {
+			m.event(obs.EvResult, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, -1, rp.WireSize(),
+				"IP%d -> host: result page of %s", p.id, mi.node.Label())
+		}
 		m.sendOuter(rp.WireSize(), func() { m.hostDeliver(q, pg) })
 		return
 	}
@@ -481,6 +506,7 @@ func (p *ip) sendResult(pg *relation.Page) {
 			mi.directSent++
 			m.stats.DirectRoutedPages++
 			m.stats.InstructionPackets++
+			m.noteResultOut(mi, pg.TupleCount())
 			dest := mi.destInstr
 			pkt := &InstructionPacket{
 				IPID:           target.id,
@@ -493,17 +519,22 @@ func (p *ip) sendResult(pg *relation.Page) {
 				OuterPageNo:    -1,
 				Pages:          []*relation.Page{pg},
 			}
-			m.event(obs.EvResult, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, -1, pkt.WireSize(),
-				"IP%d -> IP%d: direct result page of %s", p.id, target.id, mi.node.Label())
+			if m.tracing() {
+				m.event(obs.EvResult, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, -1, pkt.WireSize(),
+					"IP%d -> IP%d: direct result page of %s", p.id, target.id, mi.node.Label())
+			}
 			m.sendOuter(pkt.WireSize(), func() { target.receive(pkt) })
 			return
 		}
 	}
 	dest, input := mi.destIC, mi.destInput
 	m.stats.ResultPackets++
+	m.noteResultOut(mi, pg.TupleCount())
 	rp := &ResultPacket{ICID: dest.id, QueryID: mi.q.id, Relation: mi.node.Label(), Page: pg}
-	m.event(obs.EvResult, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, -1, rp.WireSize(),
-		"IP%d -> IC%d: result page of %s", p.id, dest.id, mi.node.Label())
+	if m.tracing() {
+		m.event(obs.EvResult, fmt.Sprintf("IP%d", p.id), mi.q.id, mi.id, -1, rp.WireSize(),
+			"IP%d -> IC%d: result page of %s", p.id, dest.id, mi.node.Label())
+	}
 	m.sendOuter(rp.WireSize(), func() { dest.receiveOperand(input, pg) })
 }
 
@@ -542,17 +573,19 @@ func (p *ip) sendCtrl(msg controlMsg, pageNo int) {
 	c := p.ic
 	pkt := &ControlPacket{ICID: c.id, IPID: p.id, QueryID: p.instr.q.id, Message: msg, PageNo: pageNo}
 	size := pkt.WireSize()
-	comp := fmt.Sprintf("IP%d", p.id)
-	switch msg {
-	case msgNeedInner:
-		p.m.event(obs.EvControl, comp, p.instr.q.id, p.instr.id, pageNo, size,
-			"IP%d -> IC%d: need inner page %d", p.id, c.id, pageNo)
-	case msgNeedOuter:
-		p.m.event(obs.EvControl, comp, p.instr.q.id, p.instr.id, -1, size,
-			"IP%d -> IC%d: outer done, need outer", p.id, c.id)
-	case msgDone:
-		p.m.event(obs.EvControl, comp, p.instr.q.id, p.instr.id, pageNo, size,
-			"IP%d -> IC%d: done (page %d)", p.id, c.id, pageNo)
+	if p.m.tracing() {
+		comp := fmt.Sprintf("IP%d", p.id)
+		switch msg {
+		case msgNeedInner:
+			p.m.event(obs.EvControl, comp, p.instr.q.id, p.instr.id, pageNo, size,
+				"IP%d -> IC%d: need inner page %d", p.id, c.id, pageNo)
+		case msgNeedOuter:
+			p.m.event(obs.EvControl, comp, p.instr.q.id, p.instr.id, -1, size,
+				"IP%d -> IC%d: outer done, need outer", p.id, c.id)
+		case msgDone:
+			p.m.event(obs.EvControl, comp, p.instr.q.id, p.instr.id, pageNo, size,
+				"IP%d -> IC%d: done (page %d)", p.id, c.id, pageNo)
+		}
 	}
 	p.m.stats.ControlPackets++
 	p.m.lossyOuter(fault.ClassControl, size, func() { c.onControl(p, pkt) })

@@ -44,6 +44,13 @@ type Machine struct {
 	ipBusy  time.Duration
 	err     error
 
+	// mcCost is the attribution-only per-message MC handling cost
+	// charged to the machine.mc_busy_us timeline; mcFree serializes the
+	// charges so the single MC never appears more than 100% busy in any
+	// bucket (see observeMC).
+	mcCost time.Duration
+	mcFree time.Duration
+
 	// plan is the fault plan (nil in the fault-free machine); rel holds
 	// the reliable ARQ channels of the guarded transport.
 	plan *fault.Plan
@@ -84,6 +91,7 @@ func New(cat *catalog.Catalog, cfg Config) (*Machine, error) {
 	if m.obs == nil && cfg.Trace != nil {
 		m.obs = obs.New(obs.NewTextSink(cfg.Trace), nil)
 	}
+	m.mcCost = cfg.HW.InnerRing.SerializationTime(cfg.HW.ControlBytes)
 	if !cfg.NoPagePool {
 		m.pool = relation.NewPagePool()
 	}
@@ -114,6 +122,8 @@ type mquery struct {
 	submitted time.Duration
 	started   time.Duration
 	delayed   bool
+	// span is the query's causal span (nil when spans are off).
+	span *obs.Span
 	// effect describes an Append/Delete root applied host-side.
 	effectKind query.OpKind
 	effectNode *query.Node
@@ -132,6 +142,9 @@ type minstr struct {
 	destInput int
 	// destInstr is the consuming instruction (nil at the root).
 	destInstr *minstr
+	// span is the instruction's causal span, opened when the IC
+	// installs it (nil when spans are off).
+	span *obs.Span
 
 	outTupleLen int
 	outPageSize int
@@ -239,6 +252,9 @@ func (m *Machine) Run() (*Results, error) {
 	}
 	res.Elapsed = last
 	_ = end
+	// Sweep up spans that never closed (e.g. packets lost to faults) so
+	// the profile accounts for the whole makespan.
+	m.obs.Spans().CloseAt(last)
 	if last > 0 {
 		res.OuterRingUtilization = m.outer.Utilization(last)
 		res.IPUtilization = float64(m.ipBusy) / (float64(last) * float64(len(m.ips)))
@@ -417,9 +433,14 @@ func (m *Machine) admit(q *mquery) bool {
 	m.lock(q)
 	q.started = m.s.Now()
 	m.active = append(m.active, q)
-	m.event(obs.EvAdmit, "MC", q.id, -1, -1, 0,
-		"MC: admit query %d (%d instructions, reads=%v writes=%v)",
-		q.id, nOps, q.fp.Reads, q.fp.Writes)
+	if m.tracing() {
+		m.event(obs.EvAdmit, "MC", q.id, -1, -1, 0,
+			"MC: admit query %d (%d instructions, reads=%v writes=%v)",
+			q.id, nOps, q.fp.Reads, q.fp.Writes)
+	}
+	if m.spansOn() {
+		q.span = m.beginSpan(obs.SpanQuery, nil, "MC", fmt.Sprintf("query %d", q.id), q.id, -1, -1)
+	}
 
 	if nOps == 0 {
 		// A pure effect (delete), a bare scan, or append-of-scan: the
@@ -492,9 +513,30 @@ func (m *Machine) admit(q *mquery) bool {
 	// The MC distributes the instructions over the inner ring.
 	for _, mi := range q.instrs {
 		mi := mi
+		m.observeMC()
 		m.innerSend(m.cfg.HW.InstrHeaderBytes, func() { mi.ic.assign(mi) })
 	}
 	return true
+}
+
+// observeMC charges one MC message-handling cost to the
+// machine.mc_busy_us timeline. The cost is an attribution-only proxy
+// (the control-message serialization time, per Section 4.4's
+// memory-management-cost-per-enabling argument): it feeds the
+// saturation report but never alters simulated timing. Charges are
+// serialized behind mcFree — the MC is one processor, so a burst of
+// simultaneous control messages queues rather than stacking into one
+// bucket as >100% utilization.
+func (m *Machine) observeMC() {
+	if !m.obs.MetricsOn() {
+		return
+	}
+	start := m.s.Now()
+	if start < m.mcFree {
+		start = m.mcFree
+	}
+	m.mcFree = start + m.mcCost
+	m.obs.Registry().AddBusy("machine.mc_busy_us", start, m.mcCost)
 }
 
 func isOperator(n *query.Node) bool {
@@ -536,6 +578,7 @@ func (m *Machine) hostDeliver(q *mquery, pg *relation.Page) {
 // instrFinished is called by an IC when its instruction completes; the
 // IC is freed and, at the root, the query finishes.
 func (m *Machine) instrFinished(mi *minstr) {
+	m.observeMC()
 	m.freeICs = append(m.freeICs, mi.ic)
 	mi.q.remaining--
 	if mi.q.remaining == 0 {
@@ -575,7 +618,10 @@ func (m *Machine) finishQuery(q *mquery) {
 			break
 		}
 	}
-	m.event(obs.EvQueryDone, "MC", q.id, -1, -1, 0, "MC: query %d finished", q.id)
+	if m.tracing() {
+		m.event(obs.EvQueryDone, "MC", q.id, -1, -1, 0, "MC: query %d finished", q.id)
+	}
+	m.endSpan(q.span)
 	m.results = append(m.results, QueryResult{
 		QueryID:   q.id,
 		Relation:  q.result,
@@ -591,6 +637,7 @@ func (m *Machine) finishQuery(q *mquery) {
 // requestIPs records an IC's wish for processors; grants flow now and
 // as processors are released.
 func (m *Machine) requestIPs(c *ic, mi *minstr, want int) {
+	m.observeMC()
 	m.ipRequests = append(m.ipRequests, &ipRequest{ic: c, instr: mi, want: want})
 	m.pumpIPs()
 	m.sample("machine.ip_request_queue", float64(len(m.ipRequests)))
@@ -628,8 +675,11 @@ func (m *Machine) pumpIPs() {
 			}
 			granted = true
 			c := req.ic
-			m.event(obs.EvGrant, "MC", req.instr.q.id, req.instr.id, -1, 0,
-				"MC: grant IP %d to IC %d", p.id, c.id)
+			if m.tracing() {
+				m.event(obs.EvGrant, "MC", req.instr.q.id, req.instr.id, -1, 0,
+					"MC: grant IP %d to IC %d", p.id, c.id)
+			}
+			m.observeMC()
 			// The grant is a small control message on the inner ring.
 			m.innerSend(m.cfg.HW.ControlBytes, func() { c.gainIP(p) })
 		}
@@ -647,6 +697,7 @@ func (m *Machine) releaseIP(p *ip) {
 	p.instr = nil
 	p.ic = nil
 	m.innerSend(m.cfg.HW.ControlBytes, func() {
+		m.observeMC()
 		if !p.failed {
 			m.freeIPs = append(m.freeIPs, p)
 		}
@@ -684,7 +735,8 @@ func (m *Machine) sendOuter(bytes int, deliver func()) {
 	m.observe("machine.outer_ring_bytes", float64(bytes))
 	ser := m.cfg.HW.OuterRing.SerializationTime(bytes)
 	prop := m.meanOuterHops()
-	m.outer.Serve(ser, func() { m.s.After(prop, deliver) })
+	finish := m.outer.Serve(ser, func() { m.s.After(prop, deliver) })
+	m.observeBusy("machine.outer_ring_busy_us", finish-ser, ser)
 }
 
 // broadcastOuter ships one packet whose delivery fans out to several
@@ -695,13 +747,14 @@ func (m *Machine) broadcastOuter(bytes int, deliver []func()) {
 	m.observe("machine.outer_ring_bytes", float64(bytes))
 	ser := m.cfg.HW.OuterRing.SerializationTime(bytes)
 	prop := m.meanOuterHops()
-	m.outer.Serve(ser, func() {
+	finish := m.outer.Serve(ser, func() {
 		m.s.After(prop, func() {
 			for _, fn := range deliver {
 				fn()
 			}
 		})
 	})
+	m.observeBusy("machine.outer_ring_busy_us", finish-ser, ser)
 }
 
 // sendInner ships a control message on the inner ring.
@@ -711,7 +764,8 @@ func (m *Machine) sendInner(bytes int, deliver func()) {
 	m.observe("machine.inner_ring_bytes", float64(bytes))
 	ser := m.cfg.HW.InnerRing.SerializationTime(bytes)
 	prop := time.Duration(m.cfg.ICs/2+1) * m.cfg.HW.InnerRing.HopDelay
-	m.inner.Serve(ser, func() { m.s.After(prop, deliver) })
+	finish := m.inner.Serve(ser, func() { m.s.After(prop, deliver) })
+	m.observeBusy("machine.inner_ring_busy_us", finish-ser, ser)
 }
 
 func (m *Machine) meanOuterHops() time.Duration {

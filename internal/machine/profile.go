@@ -1,0 +1,19 @@
+package machine
+
+import "dfdbm/internal/obs"
+
+// Resources names the machine's shared devices for the saturation
+// report, mapping each to the busy timeline it accumulates during a
+// run. Servers scales a pooled resource's capacity: the IP pool is
+// saturated only when all processors are busy for a whole bucket, the
+// disk when every arm is seeking.
+func (m *Machine) Resources() []obs.ResourceSpec {
+	return []obs.ResourceSpec{
+		{Name: "outer ring", Timeline: "machine.outer_ring_busy_us", Servers: 1},
+		{Name: "inner ring", Timeline: "machine.inner_ring_busy_us", Servers: 1},
+		{Name: "IP pool", Timeline: "machine.ip_busy_us", Servers: m.cfg.IPs},
+		{Name: "disk", Timeline: "machine.disk_busy_us", Servers: m.cfg.HW.NumDisks},
+		{Name: "cache ports", Timeline: "machine.cache_busy_us", Servers: m.cfg.ICs},
+		{Name: "MC", Timeline: "machine.mc_busy_us", Servers: 1},
+	}
+}

@@ -1,0 +1,281 @@
+package machine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dfdbm/internal/obs"
+)
+
+// spanRun executes one query with spans and metrics enabled and
+// returns the observer plus the run's results.
+func spanRun(t testing.TB, queryIdx int, cfg Config) (*obs.Observer, *Results) {
+	t.Helper()
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New(nil, obs.NewRegistry(time.Millisecond))
+	}
+	cfg.Obs.EnableSpans()
+	cat, qs := testDB(t, 0.05)
+	m, err := New(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(qs[queryIdx]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg.Obs, res
+}
+
+// TestGoldenSpanTraceDeterminism extends the golden-trace property to
+// spans: two same-seed runs with spans enabled produce byte-identical
+// JSONL and Chrome traces.
+func TestGoldenSpanTraceDeterminism(t *testing.T) {
+	for _, format := range []string{"jsonl", "chrome"} {
+		var bufs [2]bytes.Buffer
+		for i := range bufs {
+			sink, err := obs.NewSink(format, &bufs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := obs.New(sink, nil)
+			o.EnableSpans()
+			traceOne(t, o, 2)
+			if err := o.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bufs[0].Len() == 0 {
+			t.Fatalf("%s: empty trace", format)
+		}
+		if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+			t.Errorf("%s: same-seed span traces differ", format)
+		}
+	}
+}
+
+// TestSpansLeaveEventStreamUnchanged: enabling spans only adds
+// span-begin/span-end lines — stripping them recovers exactly the
+// spans-disabled JSONL stream, so existing trace consumers are
+// unaffected.
+func TestSpansLeaveEventStreamUnchanged(t *testing.T) {
+	var plain, spanned bytes.Buffer
+	o := obs.New(obs.NewJSONLSink(&plain), nil)
+	traceOne(t, o, 2)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	os := obs.New(obs.NewJSONLSink(&spanned), nil)
+	os.EnableSpans()
+	traceOne(t, os, 2)
+	if err := os.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	sawSpans := false
+	for _, line := range strings.Split(spanned.String(), "\n") {
+		if strings.Contains(line, `"kind":"span-begin"`) || strings.Contains(line, `"kind":"span-end"`) {
+			sawSpans = true
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if !sawSpans {
+		t.Fatal("spans enabled but no span events in the stream")
+	}
+	if got := strings.Join(kept, "\n"); got != plain.String() {
+		t.Error("span events perturbed the legacy event stream")
+	}
+}
+
+// TestSpanStreamReconstructs: the JSONL stream round-trips through
+// ReadSpans into the same profile the live tracker produces.
+func TestSpanStreamReconstructs(t *testing.T) {
+	var buf bytes.Buffer
+	o := obs.New(obs.NewJSONLSink(&buf), nil)
+	o.EnableSpans()
+	res := traceOne(t, o, 2)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fromStream, err := obs.ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := o.Spans().Snapshot()
+	if len(fromStream) != len(live) || len(live) == 0 {
+		t.Fatalf("stream has %d spans, tracker %d", len(fromStream), len(live))
+	}
+	lp := obs.BuildProfile(live, res.Elapsed)
+	sp := obs.BuildProfile(fromStream, res.Elapsed)
+	if len(lp.Nodes) != len(sp.Nodes) {
+		t.Fatalf("profiles differ: %d vs %d nodes", len(lp.Nodes), len(sp.Nodes))
+	}
+	for i := range lp.Nodes {
+		if lp.Nodes[i].Busy != sp.Nodes[i].Busy || lp.Nodes[i].Wait != sp.Nodes[i].Wait {
+			t.Errorf("node %d: live busy/wait %v/%v, stream %v/%v",
+				i, lp.Nodes[i].Busy, lp.Nodes[i].Wait, sp.Nodes[i].Busy, sp.Nodes[i].Wait)
+		}
+	}
+}
+
+// TestProfileAttributionIdentity is the acceptance criterion for the
+// EXPLAIN ANALYZE report on a real run: per-node busy + wait plus idle
+// sums to the makespan exactly, and the counters are populated.
+func TestProfileAttributionIdentity(t *testing.T) {
+	o, res := spanRun(t, 2, Config{HW: smallHW()})
+	p := obs.BuildProfile(o.Spans().Snapshot(), res.Elapsed)
+	if got := p.Attributed() + p.Idle; got != res.Elapsed {
+		t.Fatalf("attributed %v + idle %v = %v != makespan %v",
+			p.Attributed(), p.Idle, got, res.Elapsed)
+	}
+	if len(p.Nodes) == 0 || len(p.Queries) != 1 {
+		t.Fatalf("profile shape: %d nodes, %d queries", len(p.Nodes), len(p.Queries))
+	}
+	var firings, pagesIn int64
+	var busy time.Duration
+	for i := range p.Nodes {
+		firings += p.Nodes[i].Firings
+		pagesIn += p.Nodes[i].PagesIn
+		busy += p.Nodes[i].Busy
+	}
+	if firings == 0 || pagesIn == 0 || busy == 0 {
+		t.Errorf("profile counters empty: firings=%d pages-in=%d busy=%v", firings, pagesIn, busy)
+	}
+	if p.Nodes[len(p.Nodes)-1].TuplesOut == 0 {
+		t.Error("root node produced no tuples")
+	}
+	var text bytes.Buffer
+	if err := p.Text(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "EXPLAIN ANALYZE") {
+		t.Error("text report missing header")
+	}
+	if o.Spans().ActiveCount() != 0 {
+		t.Errorf("%d spans still open after the run", o.Spans().ActiveCount())
+	}
+}
+
+// TestSaturationDistinguishesWorkloads is the other acceptance
+// criterion: the saturation report names different first-saturating
+// resources for two different workloads — a memory-starved
+// configuration bottlenecks on the disk, while a slow outer ring with
+// ample memory bottlenecks on the ring.
+func TestSaturationDistinguishesWorkloads(t *testing.T) {
+	bottleneck := func(cfg Config) string {
+		o := obs.New(nil, obs.NewRegistry(time.Millisecond))
+		cfg.Obs = o
+		cfg.Obs.EnableSpans()
+		cat, qs := testDB(t, 0.05)
+		m, err := New(cat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Submit(qs[2]); err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return obs.Saturation(o.Registry(), res.Elapsed, m.Resources()).First()
+	}
+
+	// Workload 1: two pages of local memory and two of cache force
+	// every operand through the two 3330 drives.
+	diskBound := bottleneck(Config{HW: smallHW(), ICLocalPages: 2, ICCachePages: 2})
+
+	// Workload 2: ample memory but a 100x slower outer ring.
+	slow := smallHW()
+	slow.OuterRing.BitsPerSec = 4e5
+	slow.Disk.AvgSeek = 0
+	slow.Disk.AvgRotation = 0
+	slow.Disk.TransferBytesPerSec = 1e9
+	ringBound := bottleneck(Config{HW: slow, ICLocalPages: 64, ICCachePages: 256})
+
+	if diskBound != "disk" {
+		t.Errorf("memory-starved workload bottleneck = %q, want disk", diskBound)
+	}
+	if ringBound != "outer ring" {
+		t.Errorf("slow-ring workload bottleneck = %q, want outer ring", ringBound)
+	}
+	if diskBound == ringBound {
+		t.Errorf("both workloads report the same bottleneck %q", diskBound)
+	}
+}
+
+// TestDisabledObservabilityAllocs enforces the zero-cost contract: with
+// no observer attached, the per-event instrumentation path — the
+// tracing/metrics/span guards every hot site goes through — allocates
+// nothing.
+func TestDisabledObservabilityAllocs(t *testing.T) {
+	cat, qs := testDB(t, 0.05)
+	m, err := New(cat, Config{HW: smallHW()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = qs
+	allocs := testing.AllocsPerRun(1000, func() {
+		// The exact shape of every instrumented call site: guard first,
+		// then (never, here) the event or span construction.
+		if m.tracing() {
+			m.event(obs.EvInstr, "IP0", 0, 0, 0, 0, "instr page %d", 0)
+		}
+		if m.spansOn() {
+			m.recordSpan(obs.SpanExec, nil, 0, time.Millisecond, "IP0", "exec", 0, 0, 0)
+		}
+		m.observe("machine.outer_ring_bytes", 4096)
+		m.observeBusy("machine.ip_busy_us", 0, time.Millisecond)
+		m.sample("machine.pool_pages", 1)
+		m.observeMC()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled observability allocates %v per event, want 0", allocs)
+	}
+}
+
+// BenchmarkMachineWithJSONLTrace and BenchmarkMachineWithSpans complete
+// the BenchmarkMachine family (nil sink vs text in obs_test.go): the
+// structured sink and the full span tree.
+func BenchmarkMachineWithJSONLTrace(b *testing.B) {
+	cat, qs := testDB(b, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		m, err := New(cat, Config{HW: smallHW(), Obs: obs.New(obs.NewJSONLSink(&buf), nil)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Submit(qs[2]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMachineWithSpans(b *testing.B) {
+	cat, qs := testDB(b, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := obs.New(nil, obs.NewRegistry(0))
+		o.EnableSpans()
+		m, err := New(cat, Config{HW: smallHW(), Obs: o})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Submit(qs[2]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

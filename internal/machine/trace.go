@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"time"
 
 	"dfdbm/internal/obs"
 )
@@ -33,6 +34,12 @@ import (
 // Tracing and metrics cost ~nothing when disabled: one nil check per
 // event or sample.
 
+// tracing reports whether event emission is on. Call sites guard with
+// it before building an event's arguments, so the disabled path costs
+// one nil check and zero allocations per event (the zero-overhead
+// guarantee, enforced by TestDisabledObservabilityAllocs).
+func (m *Machine) tracing() bool { return m.obs.Enabled() }
+
 // event emits one structured protocol event when tracing is enabled.
 // qid, instr, and page are -1 when not applicable; bytes is the moved
 // payload size or 0.
@@ -61,10 +68,62 @@ func (m *Machine) observe(name string, v float64) {
 	}
 }
 
+// observeBusy charges a device busy interval [start, start+d) into the
+// named timeline, spread across the buckets it overlaps, so the
+// saturation report sees the actual service interval rather than a
+// point charge at the enqueue time.
+func (m *Machine) observeBusy(name string, start, d time.Duration) {
+	if o := m.obs; o.MetricsOn() {
+		o.Registry().AddBusy(name, start, d)
+	}
+}
+
 // sample appends a (now, v) point to the named series when metrics are
 // enabled.
 func (m *Machine) sample(name string, v float64) {
 	if o := m.obs; o.MetricsOn() {
 		o.Registry().Sample(name, m.s.Now(), v)
+	}
+}
+
+// ---- Causal spans ----
+//
+// When Config.Obs has spans enabled (Observer.EnableSpans), the
+// machine additionally records the causal span tree of the run: a
+// query span per admitted query, an instruction span per query-tree
+// node, a packet span per dispatched instruction packet, an exec span
+// per processor compute burst, plus broadcast rounds, cache/disk
+// transfers, and recovery episodes. obs.BuildProfile folds the tree
+// into the per-node EXPLAIN ANALYZE report. Spans are strictly opt-in:
+// without a tracker the event stream and all timings are unchanged.
+
+// spansOn reports whether span recording is enabled; like tracing, the
+// disabled path is a nil check.
+func (m *Machine) spansOn() bool { return m.obs.SpansOn() }
+
+// beginSpan opens a span at the current virtual time.
+func (m *Machine) beginSpan(kind obs.SpanKind, parent *obs.Span, comp, name string, qid, instr, page int) *obs.Span {
+	return m.obs.Spans().Begin(kind, parent, m.s.Now(), comp, name, qid, instr, page)
+}
+
+// endSpan closes a span at the current virtual time (nil-safe).
+func (m *Machine) endSpan(s *obs.Span) {
+	if s != nil {
+		m.obs.Spans().End(s, m.s.Now())
+	}
+}
+
+// recordSpan records a span whose extent is already known (a compute
+// burst or transfer scheduled from start to end).
+func (m *Machine) recordSpan(kind obs.SpanKind, parent *obs.Span, start, end time.Duration, comp, name string, qid, instr, page int) {
+	m.obs.Spans().Record(kind, parent, start, end, comp, name, qid, instr, page)
+}
+
+// noteResultOut credits one egress result page to the instruction's
+// span counters.
+func (m *Machine) noteResultOut(mi *minstr, tuples int) {
+	if s := mi.span; s != nil {
+		s.PagesOut.Add(1)
+		s.TuplesOut.Add(int64(tuples))
 	}
 }

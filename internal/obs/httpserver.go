@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the opt-in live introspection endpoint: while a simulation
+// runs it serves
+//
+//	/metrics        the registry in Prometheus exposition format
+//	/debug/pprof/*  the standard Go profiling endpoints (live CPU
+//	                profiles of a running simulation)
+//	/spans          the active span tree as JSON
+//	/timeline       every registry timeline as JSON
+//
+// All read paths take the registry / tracker locks, so scraping a
+// running simulation is safe (the concurrent engine emits from many
+// goroutines; the simulators from one).
+type Server struct {
+	reg   *Registry
+	spans *Tracker
+	ln    net.Listener
+	srv   *http.Server
+}
+
+// StartServer listens on addr (":0" picks a free port) and serves the
+// introspection endpoints for the given registry and span tracker
+// (either may be nil) until Close.
+func StartServer(addr string, reg *Registry, spans *Tracker) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: introspection server: %w", err)
+	}
+	s := &Server{reg: reg, spans: spans, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/timeline", s.handleTimeline)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close.
+	return s, nil
+}
+
+// Addr returns the bound address ("127.0.0.1:43781").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.reg == nil {
+		return
+	}
+	s.reg.WritePrometheus(w) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.spans.WriteActiveTree(w) //nolint:errcheck // client went away
+}
+
+// timelineJSON is the /timeline schema: one entry per registry
+// timeline, points as [t_us, value] pairs.
+type timelineJSON struct {
+	Metric   string       `json:"metric"`
+	BucketUS int64        `json:"bucket_us"`
+	Points   [][2]float64 `json:"points"`
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	out := []timelineJSON{}
+	if s.reg != nil {
+		s.reg.mu.Lock()
+		for _, name := range sortedKeys(s.reg.timelines) {
+			tl := s.reg.timelines[name]
+			e := timelineJSON{Metric: name, BucketUS: tl.Bucket.Microseconds(), Points: [][2]float64{}}
+			for i, v := range tl.Vals {
+				e.Points = append(e.Points, [2]float64{float64(time.Duration(i) * tl.Bucket / time.Microsecond), v})
+			}
+			out = append(out, e)
+		}
+		s.reg.mu.Unlock()
+	}
+	json.NewEncoder(w).Encode(struct { //nolint:errcheck // client went away
+		Timelines []timelineJSON `json:"timelines"`
+	}{out})
+}

@@ -85,6 +85,37 @@ func (r *Registry) Add(name string, ts time.Duration, v float64) {
 	r.mu.Unlock()
 }
 
+// AddBusy spreads a busy interval of duration d starting at start
+// across the named timeline's buckets, charging each bucket its
+// overlap in microseconds. Device busy timelines recorded this way
+// divide cleanly by (bucket width × servers) into utilization even
+// when one service interval spans several buckets, where a point
+// charge would pile the whole interval into its first bucket.
+func (r *Registry) AddBusy(name string, start, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if start < 0 {
+		start = 0
+	}
+	r.mu.Lock()
+	tl, ok := r.timelines[name]
+	if !ok {
+		tl = &Timeline{Bucket: r.bucket}
+		r.timelines[name] = tl
+	}
+	end := start + d
+	for t := start; t < end; {
+		next := (t/tl.Bucket + 1) * tl.Bucket
+		if next > end {
+			next = end
+		}
+		tl.Add(t, float64((next - t).Microseconds()))
+		t = next
+	}
+	r.mu.Unlock()
+}
+
 // Timeline returns the named timeline, or nil. The returned value is
 // live: read it only after the producing run has completed.
 func (r *Registry) Timeline(name string) *Timeline {

@@ -69,6 +69,11 @@ const (
 	// retransmission on a reliable channel, completion of retried
 	// work).
 	EvRecovery
+	// EvSpanBegin and EvSpanEnd: a causal span (see span.go) opened or
+	// closed. Emitted only when spans are enabled on the observer, so
+	// the default event stream is unchanged.
+	EvSpanBegin
+	EvSpanEnd
 )
 
 // String returns the kind's wire name (used by the JSONL and Chrome
@@ -107,6 +112,10 @@ func (k EventKind) String() string {
 		return "fault"
 	case EvRecovery:
 		return "recovery"
+	case EvSpanBegin:
+		return "span-begin"
+	case EvSpanEnd:
+		return "span-end"
 	default:
 		return "note"
 	}
@@ -132,6 +141,14 @@ type Event struct {
 	// Msg is the human-readable line (what the text sink prints after
 	// the timestamp).
 	Msg string
+	// Span, Parent, SK, and Dur are set only on span events: the span
+	// and parent-span ids, the span kind, and (on EvSpanEnd) the span's
+	// duration. The Chrome sink uses Dur to render the span as a
+	// complete event; ReadSpans uses the ids to rebuild the tree.
+	Span   int
+	Parent int
+	SK     SpanKind
+	Dur    time.Duration
 }
 
 // Sink receives events. Implementations are not required to be
@@ -150,16 +167,45 @@ type Sink interface {
 // paths of the execution layers pay only a nil check when tracing and
 // metrics are off.
 type Observer struct {
-	mu   sync.Mutex
-	sink Sink
-	reg  *Registry
-	err  error
+	mu    sync.Mutex
+	sink  Sink
+	reg   *Registry
+	spans *Tracker
+	err   error
 }
 
 // New returns an observer over the given sink and registry (either may
 // be nil).
 func New(sink Sink, reg *Registry) *Observer {
 	return &Observer{sink: sink, reg: reg}
+}
+
+// EnableSpans attaches a span tracker and returns it. Span begin/end
+// are mirrored into the event sink (if any), so a JSONL trace of a
+// span-enabled run is self-describing. Spans are strictly opt-in: an
+// observer without a tracker emits exactly the legacy event stream.
+func (o *Observer) EnableSpans() *Tracker {
+	if o == nil {
+		return nil
+	}
+	if o.spans == nil {
+		o.spans = NewTracker()
+		o.spans.obs = o
+	}
+	return o.spans
+}
+
+// SpansOn reports whether a span tracker is attached. Callers must
+// check it before building spans — that check is the disabled fast
+// path.
+func (o *Observer) SpansOn() bool { return o != nil && o.spans != nil }
+
+// Spans returns the attached span tracker, or nil.
+func (o *Observer) Spans() *Tracker {
+	if o == nil {
+		return nil
+	}
+	return o.spans
 }
 
 // Enabled reports whether events should be built and emitted. Callers

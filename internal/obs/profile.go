@@ -1,0 +1,563 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// The profiler: BuildProfile folds a finished span tree into a
+// per-query-tree-node EXPLAIN ANALYZE report, and Saturation folds the
+// registry's busy-time timelines into a per-resource utilization
+// report naming the first resource to saturate.
+//
+// Attribution is a sweep over the union of instruction-span (active)
+// and exec-span (busy) intervals. Each segment of the makespan is
+// split equally among the nodes active in it; a node's share counts as
+// Busy when one of its processors was computing in that segment and as
+// Wait otherwise, and segments with no active node accrue to Idle.
+// By construction,
+//
+//	sum over nodes (Busy + Wait) + Idle == makespan
+//
+// exactly — the report is an accounting identity, not an estimate.
+// A node's Exclusive time (its critical-path contribution) is the
+// portion of the makespan during which it was the *only* node
+// computing: shortening that work must shorten the run.
+
+// NodeReport is one EXPLAIN ANALYZE row: one query-tree node.
+type NodeReport struct {
+	Query int    // query id
+	Instr int    // instruction (node) id within the query
+	Name  string // operator label ("restrict r5", "join r5xr11")
+
+	Firings   int64 // instruction packets dispatched
+	PagesIn   int64 // operand pages consumed
+	PagesOut  int64 // result pages produced
+	TuplesOut int64 // result tuples produced
+	CacheHits int64 // operand fetches served by memory or cache
+	CacheMiss int64 // operand fetches that went to disk
+
+	Busy      time.Duration // share of makespan with this node computing
+	Wait      time.Duration // share of makespan active but not computing
+	Exclusive time.Duration // makespan during which only this node computed
+}
+
+// CacheHitRatio returns hits/(hits+misses), or -1 when the node made
+// no operand fetches.
+func (n *NodeReport) CacheHitRatio() float64 {
+	total := n.CacheHits + n.CacheMiss
+	if total == 0 {
+		return -1
+	}
+	return float64(n.CacheHits) / float64(total)
+}
+
+// QueryReport summarizes one query span.
+type QueryReport struct {
+	Query      int
+	Start, End time.Duration
+}
+
+// Profile is the EXPLAIN ANALYZE report for one run.
+type Profile struct {
+	Makespan time.Duration
+	// Idle is the portion of the makespan with no query-tree node
+	// active (admission latency, host consumption, drain).
+	Idle    time.Duration
+	Queries []QueryReport
+	Nodes   []NodeReport
+}
+
+// Attributed returns the total time attributed to nodes; Attributed()
+// + Idle == Makespan.
+func (p *Profile) Attributed() time.Duration {
+	var sum time.Duration
+	for i := range p.Nodes {
+		sum += p.Nodes[i].Busy + p.Nodes[i].Wait
+	}
+	return sum
+}
+
+// nodeKey identifies a query-tree node across spans.
+type nodeKey struct{ query, instr int }
+
+// BuildProfile folds a span snapshot (Tracker.Snapshot or ReadSpans)
+// into the per-node report. Spans with a zero End (never closed) are
+// clamped to the makespan.
+func BuildProfile(spans []SpanData, makespan time.Duration) *Profile {
+	p := &Profile{Makespan: makespan}
+	rows := map[nodeKey]*NodeReport{}
+	var order []nodeKey
+
+	clamp := func(s SpanData) (time.Duration, time.Duration) {
+		start, end := s.Start, s.End
+		if end <= 0 || end > makespan {
+			end = makespan
+		}
+		if start < 0 {
+			start = 0
+		}
+		if start > end {
+			start = end
+		}
+		return start, end
+	}
+
+	// Boundary sweep input: per-node active (instr span) and busy
+	// (exec span) interval edges.
+	type edge struct {
+		t    time.Duration
+		key  nodeKey
+		busy bool // busy edge vs. active edge
+		d    int  // +1 open, -1 close
+	}
+	var edges []edge
+
+	for _, s := range spans {
+		switch s.Kind {
+		case SpanQuery:
+			start, end := clamp(s)
+			p.Queries = append(p.Queries, QueryReport{Query: s.Query, Start: start, End: end})
+		case SpanInstr:
+			k := nodeKey{s.Query, s.Instr}
+			row, ok := rows[k]
+			if !ok {
+				row = &NodeReport{Query: s.Query, Instr: s.Instr, Name: s.Name}
+				rows[k] = row
+				order = append(order, k)
+			}
+			if row.Name == "" {
+				row.Name = s.Name
+			}
+			row.Firings += s.Firings
+			row.PagesIn += s.PagesIn
+			row.PagesOut += s.PagesOut
+			row.TuplesOut += s.TuplesOut
+			row.CacheHits += s.CacheHits
+			row.CacheMiss += s.CacheMiss
+			start, end := clamp(s)
+			if end > start {
+				edges = append(edges,
+					edge{start, k, false, +1}, edge{end, k, false, -1})
+			}
+		case SpanExec:
+			if s.Instr < 0 {
+				continue
+			}
+			k := nodeKey{s.Query, s.Instr}
+			if _, ok := rows[k]; !ok {
+				// Exec span for a node with no instr span (possible in
+				// partial streams): synthesize the row so its compute
+				// time is still attributed.
+				rows[k] = &NodeReport{Query: s.Query, Instr: s.Instr, Name: s.Name}
+				order = append(order, k)
+			}
+			start, end := clamp(s)
+			if end > start {
+				edges = append(edges,
+					edge{start, k, true, +1}, edge{end, k, true, -1},
+					// A busy node is by definition active too, even if
+					// its instr span is missing or misaligned.
+					edge{start, k, false, +1}, edge{end, k, false, -1})
+			}
+		}
+	}
+
+	sort.Slice(edges, func(i, j int) bool { return edges[i].t < edges[j].t })
+	sort.Slice(p.Queries, func(i, j int) bool {
+		if p.Queries[i].Start != p.Queries[j].Start {
+			return p.Queries[i].Start < p.Queries[j].Start
+		}
+		return p.Queries[i].Query < p.Queries[j].Query
+	})
+
+	active := map[nodeKey]int{}
+	busy := map[nodeKey]int{}
+	nActive := 0 // nodes with active>0
+	nBusy := 0   // nodes with busy>0
+
+	settle := func(t1, t2 time.Duration) {
+		dt := t2 - t1
+		if dt <= 0 {
+			return
+		}
+		if nActive == 0 {
+			p.Idle += dt
+			return
+		}
+		share := dt / time.Duration(nActive)
+		rem := dt - share*time.Duration(nActive)
+		first := true
+		for _, k := range order {
+			if active[k] <= 0 {
+				continue
+			}
+			s := share
+			if first {
+				// Integer-division remainder lands on the first active
+				// node so the accounting identity holds to the
+				// nanosecond (and deterministically).
+				s += rem
+				first = false
+			}
+			row := rows[k]
+			if busy[k] > 0 {
+				row.Busy += s
+				if nBusy == 1 {
+					row.Exclusive += dt
+				}
+			} else {
+				row.Wait += s
+			}
+		}
+	}
+
+	cur := time.Duration(0)
+	i := 0
+	for i < len(edges) {
+		t := edges[i].t
+		if t > makespan {
+			break
+		}
+		settle(cur, t)
+		cur = t
+		for i < len(edges) && edges[i].t == t {
+			e := edges[i]
+			m := active
+			if e.busy {
+				m = busy
+			}
+			before := m[e.key]
+			m[e.key] = before + e.d
+			if e.busy {
+				if before == 0 && e.d > 0 {
+					nBusy++
+				} else if before == 1 && e.d < 0 {
+					nBusy--
+				}
+			} else {
+				if before == 0 && e.d > 0 {
+					nActive++
+				} else if before == 1 && e.d < 0 {
+					nActive--
+				}
+			}
+			i++
+		}
+	}
+	settle(cur, makespan)
+
+	for _, k := range order {
+		p.Nodes = append(p.Nodes, *rows[k])
+	}
+	sort.Slice(p.Nodes, func(i, j int) bool {
+		if p.Nodes[i].Query != p.Nodes[j].Query {
+			return p.Nodes[i].Query < p.Nodes[j].Query
+		}
+		return p.Nodes[i].Instr < p.Nodes[j].Instr
+	})
+	return p
+}
+
+// Text renders the report as an aligned table.
+func (p *Profile) Text(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "EXPLAIN ANALYZE  makespan %v, %d queries, %d nodes\n",
+		p.Makespan, len(p.Queries), len(p.Nodes)); err != nil {
+		return err
+	}
+	for _, q := range p.Queries {
+		if _, err := fmt.Fprintf(w, "query %d: [%v .. %v]  elapsed %v\n",
+			q.Query, q.Start, q.End, q.End-q.Start); err != nil {
+			return err
+		}
+	}
+	const hdr = "%-5s %-6s %-18s %8s %8s %9s %8s %12s %12s %9s %9s\n"
+	const row = "%-5d %-6d %-18s %8d %8d %9d %8d %12v %12v %9s %8.1f%%\n"
+	if _, err := fmt.Fprintf(w, hdr, "query", "node", "op",
+		"firings", "pages-in", "pages-out", "tuples", "busy", "wait", "cache-hit", "critpath"); err != nil {
+		return err
+	}
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		hit := "-"
+		if r := n.CacheHitRatio(); r >= 0 {
+			hit = fmt.Sprintf("%.1f%%", 100*r)
+		}
+		crit := 0.0
+		if p.Makespan > 0 {
+			crit = 100 * float64(n.Exclusive) / float64(p.Makespan)
+		}
+		if _, err := fmt.Fprintf(w, row, n.Query, n.Instr, n.Name,
+			n.Firings, n.PagesIn, n.PagesOut, n.TuplesOut,
+			n.Busy.Round(time.Microsecond), n.Wait.Round(time.Microsecond),
+			hit, crit); err != nil {
+			return err
+		}
+	}
+	var busy, wait time.Duration
+	for i := range p.Nodes {
+		busy += p.Nodes[i].Busy
+		wait += p.Nodes[i].Wait
+	}
+	_, err := fmt.Fprintf(w, "attributed: busy %v + wait %v + idle %v = %v\n",
+		busy.Round(time.Microsecond), wait.Round(time.Microsecond),
+		p.Idle.Round(time.Microsecond), p.Makespan)
+	return err
+}
+
+// jsonProfile mirrors Profile with microsecond fields for export.
+type jsonProfile struct {
+	MakespanUS int64           `json:"makespan_us"`
+	IdleUS     int64           `json:"idle_us"`
+	Queries    []jsonQueryRow  `json:"queries"`
+	Nodes      []jsonNodeRow   `json:"nodes"`
+	Saturation *jsonSaturation `json:"saturation,omitempty"`
+}
+
+type jsonQueryRow struct {
+	Query   int   `json:"query"`
+	StartUS int64 `json:"start_us"`
+	EndUS   int64 `json:"end_us"`
+}
+
+type jsonNodeRow struct {
+	Query       int     `json:"query"`
+	Instr       int     `json:"instr"`
+	Name        string  `json:"op"`
+	Firings     int64   `json:"firings"`
+	PagesIn     int64   `json:"pages_in"`
+	PagesOut    int64   `json:"pages_out"`
+	TuplesOut   int64   `json:"tuples_out"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMiss   int64   `json:"cache_misses"`
+	BusyUS      int64   `json:"busy_us"`
+	WaitUS      int64   `json:"wait_us"`
+	ExclusiveUS int64   `json:"exclusive_us"`
+	CritPath    float64 `json:"critical_path_fraction"`
+}
+
+func (p *Profile) jsonValue(sat *SaturationReport) jsonProfile {
+	jp := jsonProfile{
+		MakespanUS: p.Makespan.Microseconds(),
+		IdleUS:     p.Idle.Microseconds(),
+		Queries:    []jsonQueryRow{},
+		Nodes:      []jsonNodeRow{},
+	}
+	for _, q := range p.Queries {
+		jp.Queries = append(jp.Queries, jsonQueryRow{q.Query, q.Start.Microseconds(), q.End.Microseconds()})
+	}
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		crit := 0.0
+		if p.Makespan > 0 {
+			crit = float64(n.Exclusive) / float64(p.Makespan)
+		}
+		jp.Nodes = append(jp.Nodes, jsonNodeRow{
+			Query: n.Query, Instr: n.Instr, Name: n.Name,
+			Firings: n.Firings, PagesIn: n.PagesIn, PagesOut: n.PagesOut,
+			TuplesOut: n.TuplesOut, CacheHits: n.CacheHits, CacheMiss: n.CacheMiss,
+			BusyUS: n.Busy.Microseconds(), WaitUS: n.Wait.Microseconds(),
+			ExclusiveUS: n.Exclusive.Microseconds(), CritPath: crit,
+		})
+	}
+	if sat != nil {
+		js := sat.jsonValue()
+		jp.Saturation = &js
+	}
+	return jp
+}
+
+// JSON writes the report (optionally with an attached saturation
+// report) as indented JSON.
+func (p *Profile) JSON(w io.Writer, sat *SaturationReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.jsonValue(sat))
+}
+
+// ---- Resource saturation ----
+
+// SaturationThreshold is the per-bucket utilization above which a
+// resource counts as saturated.
+const SaturationThreshold = 0.9
+
+// ResourceSpec names one hardware resource for the saturation report:
+// a busy-time timeline (microseconds of busy time per bucket) and the
+// number of parallel servers it aggregates.
+type ResourceSpec struct {
+	Name     string // display name ("outer ring", "disk cache ports")
+	Timeline string // registry timeline accumulating busy µs
+	Servers  int    // parallel capacity (≥1)
+}
+
+// ResourceUsage is one saturation-report row.
+type ResourceUsage struct {
+	Name     string
+	Servers  int
+	MeanUtil float64       // busy time / (elapsed × servers)
+	PeakUtil float64       // highest single-bucket utilization
+	PeakAt   time.Duration // start of the peak bucket
+	// SatAt is the start of the first bucket whose utilization crossed
+	// SaturationThreshold, or -1 if the resource never saturated.
+	SatAt time.Duration
+	// SatDur is the total width of saturated buckets — how long the
+	// resource ran at its ceiling.
+	SatDur time.Duration
+}
+
+// SaturationReport ranks resources by who held the run back.
+type SaturationReport struct {
+	Elapsed   time.Duration
+	Threshold float64
+	// Resources is sorted: the resource saturated for the longest leads
+	// (a one-bucket startup transient does not outrank a resource
+	// pegged for the whole run), ties by earlier SatAt, then by higher
+	// peak and mean utilization.
+	Resources []ResourceUsage
+}
+
+// Saturation builds the report from the registry's busy timelines.
+// Resources whose timeline is absent are reported with zero
+// utilization (the workload never touched them).
+func Saturation(reg *Registry, elapsed time.Duration, specs []ResourceSpec) *SaturationReport {
+	rep := &SaturationReport{Elapsed: elapsed, Threshold: SaturationThreshold}
+	for _, spec := range specs {
+		u := ResourceUsage{Name: spec.Name, Servers: spec.Servers, SatAt: -1}
+		if u.Servers < 1 {
+			u.Servers = 1
+		}
+		var tl *Timeline
+		if reg != nil {
+			tl = reg.Timeline(spec.Timeline)
+		}
+		if tl != nil && elapsed > 0 {
+			var totalBusyUS float64
+			for i, busyUS := range tl.Vals {
+				totalBusyUS += busyUS
+				bstart := time.Duration(i) * tl.Bucket
+				width := tl.Bucket
+				if bstart+width > elapsed {
+					// Final partial bucket: normalize by the time the
+					// run actually spent in it.
+					width = elapsed - bstart
+					if width <= 0 {
+						continue
+					}
+				}
+				util := busyUS / (float64(width.Microseconds()) * float64(u.Servers))
+				if util > u.PeakUtil {
+					u.PeakUtil = util
+					u.PeakAt = bstart
+				}
+				if util >= rep.Threshold {
+					if u.SatAt < 0 {
+						u.SatAt = bstart
+					}
+					u.SatDur += width
+				}
+			}
+			u.MeanUtil = totalBusyUS / (float64(elapsed.Microseconds()) * float64(u.Servers))
+		}
+		rep.Resources = append(rep.Resources, u)
+	}
+	sort.SliceStable(rep.Resources, func(i, j int) bool {
+		a, b := rep.Resources[i], rep.Resources[j]
+		if a.SatDur != b.SatDur {
+			return a.SatDur > b.SatDur
+		}
+		asat, bsat := a.SatAt >= 0, b.SatAt >= 0
+		if asat != bsat {
+			return asat
+		}
+		if asat && a.SatAt != b.SatAt {
+			return a.SatAt < b.SatAt
+		}
+		if a.PeakUtil != b.PeakUtil {
+			return a.PeakUtil > b.PeakUtil
+		}
+		return a.MeanUtil > b.MeanUtil
+	})
+	return rep
+}
+
+// First returns the name of the bottleneck: the first resource to
+// saturate, or — when none saturated — the one with the highest peak
+// utilization.
+func (r *SaturationReport) First() string {
+	if len(r.Resources) == 0 {
+		return ""
+	}
+	return r.Resources[0].Name
+}
+
+// Text renders the saturation report as an aligned table.
+func (r *SaturationReport) Text(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "resource saturation  elapsed %v, threshold %.0f%%\n",
+		r.Elapsed, 100*r.Threshold); err != nil {
+		return err
+	}
+	const hdr = "%-18s %7s %9s %9s %12s %12s %12s\n"
+	if _, err := fmt.Fprintf(w, hdr, "resource", "servers", "mean", "peak", "peak-at", "saturated-at", "sat-time"); err != nil {
+		return err
+	}
+	for _, u := range r.Resources {
+		sat, dur := "-", "-"
+		if u.SatAt >= 0 {
+			sat = u.SatAt.String()
+			dur = u.SatDur.String()
+		}
+		if _, err := fmt.Fprintf(w, "%-18s %7d %8.1f%% %8.1f%% %12v %12s %12s\n",
+			u.Name, u.Servers, 100*u.MeanUtil, 100*u.PeakUtil, u.PeakAt, sat, dur); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "bottleneck: %s\n", r.First())
+	return err
+}
+
+type jsonSaturation struct {
+	ElapsedUS  int64          `json:"elapsed_us"`
+	Threshold  float64        `json:"threshold"`
+	Bottleneck string         `json:"bottleneck"`
+	Resources  []jsonResource `json:"resources"`
+}
+
+type jsonResource struct {
+	Name     string  `json:"name"`
+	Servers  int     `json:"servers"`
+	MeanUtil float64 `json:"mean_util"`
+	PeakUtil float64 `json:"peak_util"`
+	PeakAtUS int64   `json:"peak_at_us"`
+	SatAtUS  int64   `json:"saturated_at_us"` // -1: never saturated
+	SatDurUS int64   `json:"saturated_us"`
+}
+
+func (r *SaturationReport) jsonValue() jsonSaturation {
+	js := jsonSaturation{
+		ElapsedUS: r.Elapsed.Microseconds(), Threshold: r.Threshold,
+		Bottleneck: r.First(), Resources: []jsonResource{},
+	}
+	for _, u := range r.Resources {
+		sat := int64(-1)
+		if u.SatAt >= 0 {
+			sat = u.SatAt.Microseconds()
+		}
+		js.Resources = append(js.Resources, jsonResource{
+			Name: u.Name, Servers: u.Servers,
+			MeanUtil: u.MeanUtil, PeakUtil: u.PeakUtil,
+			PeakAtUS: u.PeakAt.Microseconds(), SatAtUS: sat,
+			SatDurUS: u.SatDur.Microseconds(),
+		})
+	}
+	return js
+}
+
+// JSON writes the saturation report alone as indented JSON.
+func (r *SaturationReport) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.jsonValue())
+}

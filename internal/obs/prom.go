@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus exports the registry in the Prometheus text
+// exposition format (version 0.0.4): counters as counter samples,
+// gauges as gauge samples, and each timeline's running integral as a
+// counter (scrapers recover per-bucket rates by deriving it). Series
+// are exported as their last sample, gauge-typed. Metric names are
+// sanitized (dots become underscores) and the output is sorted, so
+// repeated scrapes of a quiet registry are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	write := func(name, typ string, v float64) error {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, typ); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %g\n", n, v)
+		return err
+	}
+	for _, name := range sortedKeys(r.counters) {
+		if err := write(name, "counter", float64(r.counters[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		if err := write(name, "gauge", r.gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.series) {
+		s := r.series[name]
+		if len(s.V) == 0 {
+			continue
+		}
+		if err := write(name, "gauge", s.V[len(s.V)-1]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.timelines) {
+		if err := write(name+"_total", "counter", r.timelines[name].Integral()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName sanitizes a registry metric name ("machine.outer_ring_bytes")
+// into a valid Prometheus metric name ("machine_outer_ring_bytes").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -65,11 +65,18 @@ type jsonEvent struct {
 	Page  int    `json:"page"`
 	Bytes int    `json:"bytes"`
 	Msg   string `json:"msg"`
+	// Span fields, present only on span-begin / span-end events (see
+	// span.go); their absence keeps non-span streams byte-identical to
+	// the pre-span format.
+	Span     int    `json:"span,omitempty"`
+	Parent   int    `json:"parent,omitempty"`
+	SpanKind string `json:"skind,omitempty"`
+	DurUS    int64  `json:"dur_us,omitempty"`
 }
 
 // Emit writes the event as one JSON line.
 func (s *JSONLSink) Emit(ev Event) error {
-	line, err := json.Marshal(jsonEvent{
+	je := jsonEvent{
 		TSNS:  ev.TS.Nanoseconds(),
 		Kind:  ev.Kind.String(),
 		Comp:  ev.Comp,
@@ -78,7 +85,14 @@ func (s *JSONLSink) Emit(ev Event) error {
 		Page:  ev.Page,
 		Bytes: ev.Bytes,
 		Msg:   ev.Msg,
-	})
+	}
+	if ev.Span != 0 {
+		je.Span = ev.Span
+		je.Parent = ev.Parent
+		je.SpanKind = ev.SK.String()
+		je.DurUS = ev.Dur.Microseconds()
+	}
+	line, err := json.Marshal(je)
 	if err != nil {
 		return err
 	}
@@ -146,14 +160,29 @@ func (s *ChromeSink) writeRecord(rec string) error {
 	return err
 }
 
-// Emit writes one instant event.
+// Emit writes one instant event; span ends become complete ("X")
+// events so Perfetto renders real duration bars.
 func (s *ChromeSink) Emit(ev Event) error {
 	if err := s.open(); err != nil {
 		return err
 	}
+	if ev.Kind == EvSpanBegin {
+		// The matching span-end carries the full extent; emitting the
+		// begin too would double every span as an instant marker.
+		return nil
+	}
 	tid, err := s.tid(ev.Comp)
 	if err != nil {
 		return err
+	}
+	if ev.Kind == EvSpanEnd {
+		rec := fmt.Sprintf(
+			`{"name":%s,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"msg":%s,"span":%d,"parent":%d,"query":%d,"instr":%d,"page":%d,"bytes":%d}}`,
+			jsonString(ev.SK.String()), float64((ev.TS-ev.Dur).Nanoseconds())/1e3,
+			float64(ev.Dur.Nanoseconds())/1e3,
+			chromePID, tid, jsonString(ev.Msg), ev.Span, ev.Parent,
+			ev.Query, ev.Instr, ev.Page, ev.Bytes)
+		return s.writeRecord(rec)
 	}
 	rec := fmt.Sprintf(
 		`{"name":%s,"ph":"i","s":"t","ts":%.3f,"pid":%d,"tid":%d,"args":{"msg":%s,"query":%d,"instr":%d,"page":%d,"bytes":%d}}`,

@@ -1,0 +1,388 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Causal spans: where the event stream answers "what happened", spans
+// answer "where did the time go". Every unit of attributable work — a
+// query, an instruction (query-tree node), an instruction packet, a
+// processor's compute burst, a broadcast round, a cache or disk
+// transfer, a recovery episode — becomes a Span with a parent link,
+// forming the tree
+//
+//	query → instruction → packet → exec
+//	                    → broadcast / transfer / recovery
+//
+// Spans are tracked live by a Tracker (the /spans endpoint serves the
+// active tree while a simulation runs) and, when the observer also has
+// a sink, mirrored into the event stream as span-begin / span-end
+// events, so a JSONL trace is sufficient to reconstruct the whole tree
+// offline (see ReadSpans). BuildProfile turns a finished tree into the
+// EXPLAIN-ANALYZE report.
+//
+// Like the rest of the layer, spans cost nothing when disabled: callers
+// guard with Observer.SpansOn, a single nil check.
+
+// SpanKind classifies a span.
+type SpanKind uint8
+
+// The span kinds emitted by the execution layers.
+const (
+	// SpanQuery covers a query from admission to completion.
+	SpanQuery SpanKind = iota + 1
+	// SpanInstr covers one instruction (query-tree node) from
+	// installation on a controller to its completion.
+	SpanInstr
+	// SpanPacket covers one instruction packet from dispatch until its
+	// work unit is retired.
+	SpanPacket
+	// SpanExec covers one processor compute burst (the busy intervals
+	// the profiler attributes makespan to).
+	SpanExec
+	// SpanBroadcast covers one broadcast round (send to delivery).
+	SpanBroadcast
+	// SpanXfer covers one storage-hierarchy transfer (cache or disk).
+	SpanXfer
+	// SpanRecovery covers one recovery episode: from the re-dispatch
+	// decision until the re-dispatched work unit completes.
+	SpanRecovery
+)
+
+// String returns the kind's wire name.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanQuery:
+		return "query"
+	case SpanInstr:
+		return "instr"
+	case SpanPacket:
+		return "packet"
+	case SpanExec:
+		return "exec"
+	case SpanBroadcast:
+		return "broadcast"
+	case SpanXfer:
+		return "xfer"
+	case SpanRecovery:
+		return "recovery"
+	default:
+		return "span"
+	}
+}
+
+// spanKindFromString inverts SpanKind.String (used by ReadSpans).
+func spanKindFromString(s string) SpanKind {
+	for k := SpanQuery; k <= SpanRecovery; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
+}
+
+// Span is one unit of attributable work. The identity and timing
+// fields are written once by the Tracker; the counter fields are
+// accumulated by the instrumentation sites (atomically, so the
+// concurrent engine's workers may share a span) and read by the
+// profiler after End.
+type Span struct {
+	// ID is the span's tracker-unique id (1-based; ids are assigned in
+	// Begin order, so a deterministic simulation yields deterministic
+	// ids). Parent is the enclosing span's id, or 0 at the root.
+	ID     int
+	Parent int
+	Kind   SpanKind
+	// Name labels the span in reports ("join r5xr11", "exec page 3").
+	Name string
+	// Comp is the component that did the work ("MC", "IC2", "IP3",
+	// "disk", "cache", "node4").
+	Comp string
+	// Query, Instr, and Page carry the same context as Event; -1 when
+	// not applicable.
+	Query int
+	Instr int
+	Page  int
+	// Start and End bound the span (virtual time in the simulators,
+	// elapsed real time in the concurrent engine). End is zero until
+	// the span ends.
+	Start time.Duration
+	End   time.Duration
+
+	// Counters accumulated while the span is open. For SpanInstr these
+	// feed the per-node EXPLAIN ANALYZE columns.
+	Firings   atomic.Int64 // instruction packets dispatched
+	PagesIn   atomic.Int64 // operand pages consumed
+	PagesOut  atomic.Int64 // result pages produced
+	TuplesOut atomic.Int64 // result tuples produced
+	Bytes     atomic.Int64 // payload bytes moved
+	CacheHits atomic.Int64 // operand fetches served by memory or cache
+	CacheMiss atomic.Int64 // operand fetches that went to disk
+
+	ended bool
+}
+
+// SpanData is an immutable snapshot of a span (counters flattened).
+type SpanData struct {
+	ID, Parent         int
+	Kind               SpanKind
+	Name, Comp         string
+	Query, Instr, Page int
+	Start, End         time.Duration
+	Firings            int64
+	PagesIn, PagesOut  int64
+	TuplesOut, Bytes   int64
+	CacheHits          int64
+	CacheMiss          int64
+}
+
+// Duration returns End-Start.
+func (d SpanData) Duration() time.Duration { return d.End - d.Start }
+
+func (s *Span) data() SpanData {
+	return SpanData{
+		ID: s.ID, Parent: s.Parent, Kind: s.Kind, Name: s.Name, Comp: s.Comp,
+		Query: s.Query, Instr: s.Instr, Page: s.Page, Start: s.Start, End: s.End,
+		Firings: s.Firings.Load(), PagesIn: s.PagesIn.Load(), PagesOut: s.PagesOut.Load(),
+		TuplesOut: s.TuplesOut.Load(), Bytes: s.Bytes.Load(),
+		CacheHits: s.CacheHits.Load(), CacheMiss: s.CacheMiss.Load(),
+	}
+}
+
+// Tracker records spans: the live active set (served by the /spans
+// endpoint) plus every finished span (the profiler's input). All
+// methods are safe for concurrent use, and all tolerate a nil receiver
+// or nil span arguments, so instrumentation sites need no guards
+// beyond Observer.SpansOn.
+type Tracker struct {
+	mu     sync.Mutex
+	nextID int
+	spans  []*Span
+	active map[int]*Span
+	// obs mirrors span begin/end into the observer's event sink (nil
+	// when the tracker is used standalone).
+	obs *Observer
+}
+
+// NewTracker returns an empty span tracker.
+func NewTracker() *Tracker { return &Tracker{active: map[int]*Span{}} }
+
+// Begin opens a span at ts under parent (nil for a root span).
+func (t *Tracker) Begin(kind SpanKind, parent *Span, ts time.Duration, comp, name string, query, instr, page int) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{Kind: kind, Name: name, Comp: comp, Query: query, Instr: instr, Page: page, Start: ts}
+	t.mu.Lock()
+	t.nextID++
+	s.ID = t.nextID
+	if parent != nil {
+		s.Parent = parent.ID
+	}
+	t.spans = append(t.spans, s)
+	t.active[s.ID] = s
+	o := t.obs
+	t.mu.Unlock()
+	if o.Enabled() {
+		o.Emit(Event{
+			TS: ts, Kind: EvSpanBegin, Comp: comp, Query: query, Instr: instr, Page: page,
+			Span: s.ID, Parent: s.Parent, SK: kind,
+			Msg: fmt.Sprintf("span %d begin %s %s", s.ID, kind, name),
+		})
+	}
+	return s
+}
+
+// End closes the span at ts. Ending a nil or already-ended span is a
+// no-op, so recovery paths may End defensively.
+func (t *Tracker) End(s *Span, ts time.Duration) {
+	if t == nil || s == nil {
+		return
+	}
+	t.mu.Lock()
+	if s.ended {
+		t.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.End = ts
+	delete(t.active, s.ID)
+	o := t.obs
+	t.mu.Unlock()
+	if o.Enabled() {
+		o.Emit(Event{
+			TS: ts, Kind: EvSpanEnd, Comp: s.Comp, Query: s.Query, Instr: s.Instr, Page: s.Page,
+			Bytes: int(s.Bytes.Load()), Span: s.ID, Parent: s.Parent, SK: s.Kind,
+			Dur: ts - s.Start,
+			Msg: fmt.Sprintf("span %d end %s %s (%v)", s.ID, s.Kind, s.Name, ts-s.Start),
+		})
+	}
+}
+
+// Record opens and closes a span in one call — for work whose extent
+// is known when it is scheduled (a compute burst, a transfer).
+func (t *Tracker) Record(kind SpanKind, parent *Span, start, end time.Duration, comp, name string, query, instr, page int) *Span {
+	s := t.Begin(kind, parent, start, comp, name, query, instr, page)
+	t.End(s, end)
+	return s
+}
+
+// CloseAt ends every still-active span at ts (a crashed processor's
+// packet span, for instance, has no natural end; the run's close sweeps
+// it up so the profile accounts for all time).
+func (t *Tracker) CloseAt(ts time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	open := make([]*Span, 0, len(t.active))
+	for _, s := range t.active {
+		open = append(open, s)
+	}
+	t.mu.Unlock()
+	sort.Slice(open, func(i, j int) bool { return open[i].ID < open[j].ID })
+	for _, s := range open {
+		t.End(s, ts)
+	}
+}
+
+// Snapshot returns an immutable copy of every span begun so far, in
+// Begin order.
+func (t *Tracker) Snapshot() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, len(t.spans))
+	for i, s := range t.spans {
+		out[i] = s.data()
+	}
+	return out
+}
+
+// ActiveCount returns the number of open spans.
+func (t *Tracker) ActiveCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active)
+}
+
+// spanNode is the /spans JSON schema: the active span tree.
+type spanNode struct {
+	ID       int         `json:"id"`
+	Kind     string      `json:"kind"`
+	Name     string      `json:"name"`
+	Comp     string      `json:"comp,omitempty"`
+	Query    int         `json:"query"`
+	Instr    int         `json:"instr"`
+	Page     int         `json:"page"`
+	StartUS  int64       `json:"start_us"`
+	Children []*spanNode `json:"children,omitempty"`
+}
+
+// WriteActiveTree writes the currently-open spans as a JSON forest
+// (children nested under their nearest open ancestor; spans whose
+// parent already ended surface as roots).
+func (t *Tracker) WriteActiveTree(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"active":[]}`+"\n")
+		return err
+	}
+	t.mu.Lock()
+	nodes := map[int]*spanNode{}
+	ids := make([]int, 0, len(t.active))
+	for id := range t.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s := t.active[id]
+		nodes[id] = &spanNode{
+			ID: s.ID, Kind: s.Kind.String(), Name: s.Name, Comp: s.Comp,
+			Query: s.Query, Instr: s.Instr, Page: s.Page,
+			StartUS: s.Start.Microseconds(),
+		}
+	}
+	parentOf := map[int]int{}
+	for _, id := range ids {
+		parentOf[id] = t.active[id].Parent
+	}
+	t.mu.Unlock()
+
+	var roots []*spanNode
+	for _, id := range ids {
+		n := nodes[id]
+		if p, ok := nodes[parentOf[id]]; ok {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	if roots == nil {
+		roots = []*spanNode{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		Active []*spanNode `json:"active"`
+	}{roots})
+}
+
+// ReadSpans reconstructs the span tree from a JSONL event stream (the
+// output of a JSONL sink attached to an observer with spans enabled).
+// Non-span events are skipped; a begin without a matching end yields a
+// span with a zero End.
+func ReadSpans(r io.Reader) ([]SpanData, error) {
+	dec := json.NewDecoder(r)
+	byID := map[int]int{} // span id → index in out
+	var out []SpanData
+	for {
+		var je jsonEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: reading span stream: %w", err)
+		}
+		switch je.Kind {
+		case EvSpanBegin.String():
+			sd := SpanData{
+				ID: je.Span, Parent: je.Parent, Kind: spanKindFromString(je.SpanKind),
+				Name: spanNameFromMsg(je.Msg), Comp: je.Comp,
+				Query: je.Query, Instr: je.Instr, Page: je.Page,
+				Start: time.Duration(je.TSNS),
+			}
+			byID[sd.ID] = len(out)
+			out = append(out, sd)
+		case EvSpanEnd.String():
+			if i, ok := byID[je.Span]; ok {
+				out[i].End = time.Duration(je.TSNS)
+				out[i].Bytes = int64(je.Bytes)
+			}
+		}
+	}
+	return out, nil
+}
+
+// spanNameFromMsg recovers the span name from the begin message
+// ("span <id> begin <kind> <name>").
+func spanNameFromMsg(msg string) string {
+	fields := 0
+	for i := 0; i < len(msg); i++ {
+		if msg[i] == ' ' {
+			fields++
+			if fields == 4 {
+				return msg[i+1:]
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTrackerSpanLifecycle pins the tracker's core contract: ids are
+// assigned in Begin order, parents link, End is idempotent, and CloseAt
+// sweeps up whatever is still open.
+func TestTrackerSpanLifecycle(t *testing.T) {
+	tr := NewTracker()
+	q := tr.Begin(SpanQuery, nil, 0, "MC", "q0", 0, -1, -1)
+	n := tr.Begin(SpanInstr, q, time.Millisecond, "IC1", "join", 0, 3, -1)
+	if q.ID != 1 || n.ID != 2 || n.Parent != q.ID {
+		t.Fatalf("ids/parent: q=%d n=%d parent=%d", q.ID, n.ID, n.Parent)
+	}
+	if got := tr.ActiveCount(); got != 2 {
+		t.Fatalf("ActiveCount = %d, want 2", got)
+	}
+	x := tr.Record(SpanExec, n, 2*time.Millisecond, 5*time.Millisecond, "IP2", "exec", 0, 3, 7)
+	if x.End != 5*time.Millisecond || tr.ActiveCount() != 2 {
+		t.Fatalf("Record did not close the span: end=%v active=%d", x.End, tr.ActiveCount())
+	}
+	tr.End(n, 6*time.Millisecond)
+	tr.End(n, 9*time.Millisecond) // idempotent
+	if n.End != 6*time.Millisecond {
+		t.Fatalf("second End moved the close time to %v", n.End)
+	}
+	tr.CloseAt(10 * time.Millisecond)
+	if tr.ActiveCount() != 0 {
+		t.Fatal("CloseAt left spans open")
+	}
+	if q.End != 10*time.Millisecond {
+		t.Fatalf("CloseAt ended the query span at %v", q.End)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 3 || snap[0].Kind != SpanQuery || snap[2].Kind != SpanExec {
+		t.Fatalf("snapshot order/kinds wrong: %+v", snap)
+	}
+}
+
+// TestTrackerNilSafety: a nil tracker and nil spans are inert, so
+// instrumentation sites need no guards beyond SpansOn.
+func TestTrackerNilSafety(t *testing.T) {
+	var tr *Tracker
+	s := tr.Begin(SpanQuery, nil, 0, "", "", 0, -1, -1)
+	if s != nil {
+		t.Fatal("nil tracker returned a span")
+	}
+	tr.End(nil, 0)
+	tr.CloseAt(0)
+	if tr.Snapshot() != nil || tr.ActiveCount() != 0 {
+		t.Fatal("nil tracker not empty")
+	}
+	live := NewTracker()
+	live.End(nil, 0) // nil span on a live tracker
+}
+
+// TestSpanJSONLRoundTrip: spans mirrored into a JSONL event stream must
+// reconstruct — ids, parents, kinds, bounds — via ReadSpans.
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(NewJSONLSink(&buf), nil)
+	tr := o.EnableSpans()
+	q := tr.Begin(SpanQuery, nil, 0, "MC", "q0", 0, -1, -1)
+	n := tr.Begin(SpanInstr, q, time.Millisecond, "IC1", "join r5xr11", 0, 2, -1)
+	n.Bytes.Add(4096)
+	tr.Record(SpanXfer, n, 2*time.Millisecond, 3*time.Millisecond, "disk", "cache fill", 0, 2, 9)
+	tr.End(n, 4*time.Millisecond)
+	tr.End(q, 5*time.Millisecond)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("round-trip count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.ID != w.ID || g.Parent != w.Parent || g.Kind != w.Kind ||
+			g.Start != w.Start || g.End != w.End || g.Name != w.Name {
+			t.Errorf("span %d: got %+v, want %+v", i, g, w)
+		}
+	}
+	if got[1].Bytes != 4096 {
+		t.Errorf("span-end event dropped the byte counter: %d", got[1].Bytes)
+	}
+}
+
+// TestBuildProfileIdentity verifies the accounting identity on a
+// hand-computable span layout:
+//
+//	node A active [0,10ms], busy [0,4ms]
+//	node B active [2,10ms], busy [6,10ms]
+//	makespan 12ms (2ms trailing idle)
+//
+// Sweep segments: [0,2) A alone+busy; [2,4) shared, A busy; [4,6)
+// shared, none busy; [6,10) shared, B busy; [10,12) idle.
+func TestBuildProfileIdentity(t *testing.T) {
+	ms := time.Millisecond
+	spans := []SpanData{
+		{ID: 1, Kind: SpanQuery, Query: 0, Start: 0, End: 10 * ms},
+		{ID: 2, Kind: SpanInstr, Query: 0, Instr: 0, Name: "A", Start: 0, End: 10 * ms},
+		{ID: 3, Kind: SpanInstr, Query: 0, Instr: 1, Name: "B", Start: 2 * ms, End: 10 * ms},
+		{ID: 4, Kind: SpanExec, Query: 0, Instr: 0, Start: 0, End: 4 * ms},
+		{ID: 5, Kind: SpanExec, Query: 0, Instr: 1, Start: 6 * ms, End: 10 * ms},
+	}
+	p := BuildProfile(spans, 12*ms)
+	if got := p.Attributed() + p.Idle; got != p.Makespan {
+		t.Fatalf("attributed %v + idle %v != makespan %v", p.Attributed(), p.Idle, p.Makespan)
+	}
+	if p.Idle != 2*ms {
+		t.Errorf("idle = %v, want 2ms", p.Idle)
+	}
+	if len(p.Nodes) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(p.Nodes))
+	}
+	a, b := p.Nodes[0], p.Nodes[1]
+	// A: busy 2ms (alone) + 1ms (shared half of [2,4)) = 3ms;
+	// wait = half of [4,6) + half of [6,10) = 3ms.
+	if a.Busy != 3*ms || a.Wait != 3*ms {
+		t.Errorf("A busy/wait = %v/%v, want 3ms/3ms", a.Busy, a.Wait)
+	}
+	// B: busy half of [6,10) = 2ms; wait = half of [2,4)+[4,6) = 2ms.
+	if b.Busy != 2*ms || b.Wait != 2*ms {
+		t.Errorf("B busy/wait = %v/%v, want 2ms/2ms", b.Busy, b.Wait)
+	}
+	// Exclusive: A alone-busy on [0,2) and [2,4); B on [6,10).
+	if a.Exclusive != 4*ms || b.Exclusive != 4*ms {
+		t.Errorf("exclusive = %v/%v, want 4ms/4ms", a.Exclusive, b.Exclusive)
+	}
+	if len(p.Queries) != 1 || p.Queries[0].End != 10*ms {
+		t.Errorf("query rows wrong: %+v", p.Queries)
+	}
+}
+
+// TestBuildProfileClampsOpenSpans: spans that never closed (a crash)
+// are clamped to the makespan and the identity still holds.
+func TestBuildProfileClampsOpenSpans(t *testing.T) {
+	ms := time.Millisecond
+	spans := []SpanData{
+		{ID: 1, Kind: SpanInstr, Query: 0, Instr: 0, Name: "A", Start: 1 * ms, End: 0},
+		{ID: 2, Kind: SpanExec, Query: 0, Instr: 0, Start: 2 * ms, End: 99 * ms},
+	}
+	p := BuildProfile(spans, 8*ms)
+	if got := p.Attributed() + p.Idle; got != 8*ms {
+		t.Fatalf("identity broken with open spans: %v", got)
+	}
+	if p.Nodes[0].Busy != 6*ms || p.Nodes[0].Wait != 1*ms || p.Idle != 1*ms {
+		t.Errorf("clamped attribution = busy %v wait %v idle %v", p.Nodes[0].Busy, p.Nodes[0].Wait, p.Idle)
+	}
+}
+
+// TestAddBusySpreadsAcrossBuckets: a busy interval is charged to each
+// bucket it overlaps, by its overlap — never more than the bucket
+// width, so utilization cannot exceed 100% per server.
+func TestAddBusySpreadsAcrossBuckets(t *testing.T) {
+	reg := NewRegistry(time.Millisecond)
+	reg.AddBusy("busy", 500*time.Microsecond, 2*time.Millisecond)
+	tl := reg.Timeline("busy")
+	if tl == nil {
+		t.Fatal("no timeline")
+	}
+	want := []float64{500, 1000, 500}
+	if len(tl.Vals) != len(want) {
+		t.Fatalf("buckets = %v, want %v", tl.Vals, want)
+	}
+	for i, v := range want {
+		if tl.Vals[i] != v {
+			t.Errorf("bucket %d = %g µs, want %g", i, tl.Vals[i], v)
+		}
+	}
+	// Zero and negative durations are ignored; negative starts clamp.
+	reg.AddBusy("busy", time.Millisecond, 0)
+	reg.AddBusy("busy2", -time.Millisecond, 500*time.Microsecond)
+	if tl2 := reg.Timeline("busy2"); tl2 == nil || tl2.Vals[0] != 500 {
+		t.Errorf("negative start not clamped: %+v", tl2)
+	}
+}
+
+// TestSaturationRanksBottleneckFirst: the resource that crosses the
+// threshold earliest leads the report, and per-server normalization is
+// applied.
+func TestSaturationRanksBottleneckFirst(t *testing.T) {
+	reg := NewRegistry(time.Millisecond)
+	// "disk" saturates in bucket 0 (1 server, 100% of the bucket).
+	reg.AddBusy("disk_busy", 0, time.Millisecond)
+	// "pool" has 4 servers and only one busy: 25% — never saturates.
+	reg.AddBusy("pool_busy", 0, time.Millisecond)
+	rep := Saturation(reg, 4*time.Millisecond, []ResourceSpec{
+		{Name: "pool", Timeline: "pool_busy", Servers: 4},
+		{Name: "disk", Timeline: "disk_busy", Servers: 1},
+		{Name: "unused", Timeline: "missing", Servers: 1},
+	})
+	if rep.First() != "disk" {
+		t.Fatalf("bottleneck = %q, want disk", rep.First())
+	}
+	var disk, pool, unused *ResourceUsage
+	for i := range rep.Resources {
+		switch rep.Resources[i].Name {
+		case "disk":
+			disk = &rep.Resources[i]
+		case "pool":
+			pool = &rep.Resources[i]
+		case "unused":
+			unused = &rep.Resources[i]
+		}
+	}
+	if disk.SatAt != 0 || disk.PeakUtil != 1 {
+		t.Errorf("disk sat=%v peak=%g", disk.SatAt, disk.PeakUtil)
+	}
+	if pool.SatAt != -1 || pool.PeakUtil != 0.25 {
+		t.Errorf("pool sat=%v peak=%g, want never/0.25", pool.SatAt, pool.PeakUtil)
+	}
+	if unused.MeanUtil != 0 || unused.SatAt != -1 {
+		t.Errorf("missing timeline not reported as idle: %+v", unused)
+	}
+	var buf bytes.Buffer
+	if err := rep.Text(&buf); err != nil || !strings.Contains(buf.String(), "bottleneck: disk") {
+		t.Errorf("Text output wrong: %v %q", err, buf.String())
+	}
+}
+
+// TestWritePrometheusFormat checks the exposition format: sanitized
+// names, TYPE lines, sorted deterministic output.
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry(time.Millisecond)
+	reg.Inc("machine.disk_reads", 7)
+	reg.SetGauge("machine.outer_ring_utilization", 0.5)
+	reg.AddBusy("machine.ip_busy_us", 0, time.Millisecond)
+	var a, b bytes.Buffer
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("repeated scrapes differ")
+	}
+	out := a.String()
+	for _, want := range []string{
+		"# TYPE machine_disk_reads counter\nmachine_disk_reads 7\n",
+		"# TYPE machine_outer_ring_utilization gauge\nmachine_outer_ring_utilization 0.5\n",
+		"# TYPE machine_ip_busy_us_total counter\nmachine_ip_busy_us_total 1000\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestServerEndpoints scrapes a live introspection server: /metrics in
+// Prometheus format, /spans as the active tree, /timeline as JSON, and
+// the pprof index.
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry(time.Millisecond)
+	reg.Inc("machine.broadcasts", 3)
+	tr := NewTracker()
+	q := tr.Begin(SpanQuery, nil, 0, "MC", "q0", 0, -1, -1)
+	tr.Begin(SpanInstr, q, time.Millisecond, "IC1", "join", 0, 1, -1)
+
+	srv, err := StartServer("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if m := get("/metrics"); !strings.Contains(m, "machine_broadcasts 3") {
+		t.Errorf("/metrics missing counter:\n%s", m)
+	}
+	var tree struct {
+		Active []struct {
+			Kind     string `json:"kind"`
+			Children []struct {
+				Kind string `json:"kind"`
+			} `json:"children"`
+		} `json:"active"`
+	}
+	if err := json.Unmarshal([]byte(get("/spans")), &tree); err != nil {
+		t.Fatalf("/spans not JSON: %v", err)
+	}
+	if len(tree.Active) != 1 || tree.Active[0].Kind != "query" ||
+		len(tree.Active[0].Children) != 1 || tree.Active[0].Children[0].Kind != "instr" {
+		t.Errorf("/spans tree wrong: %+v", tree.Active)
+	}
+	var tls struct {
+		Timelines []struct {
+			Metric string `json:"metric"`
+		} `json:"timelines"`
+	}
+	if err := json.Unmarshal([]byte(get("/timeline")), &tls); err != nil {
+		t.Fatalf("/timeline not JSON: %v", err)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+}

@@ -26,6 +26,8 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"dfdbm/internal/obs"
 )
 
 // Kind selects a loop architecture.
@@ -75,6 +77,13 @@ type Config struct {
 	SlotHeader  int
 	// Seed drives arrival times, lengths, sources, and destinations.
 	Seed int64
+	// Obs, when non-nil and carrying a sink, receives one structured
+	// event per delivered message stamped with the virtual delivery
+	// time; when it carries a registry, the ringnet.loop_busy_us
+	// timeline accumulates link occupancy (serialization × hops), so
+	// the loop appears in saturation reports alongside the machine's
+	// rings.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -171,6 +180,28 @@ func Simulate(cfg Config) (Result, error) {
 		delays, makespan = simulateInsertion(cfg, msgs, 0, true)
 	case Newhall:
 		delays, makespan = simulateNewhall(cfg, msgs)
+	}
+
+	// Delays are recorded in offered order, so msgs[i] delivered at
+	// msgs[i].arrive + delays[i].
+	if o := cfg.Obs; len(delays) == len(msgs) && (o.Enabled() || o.MetricsOn()) {
+		for i, d := range delays {
+			m := msgs[i]
+			deliver := m.arrive + d
+			if o.Enabled() {
+				o.Emit(obs.Event{
+					TS: deliver, Kind: obs.EvControl, Comp: cfg.Kind.String(),
+					Query: -1, Instr: -1, Page: -1, Bytes: m.bytes,
+					Msg: fmt.Sprintf("%s: node %d -> node %d delivered %d bytes",
+						cfg.Kind, m.src, m.dst, m.bytes),
+				})
+			}
+			if o.MetricsOn() {
+				busy := serTime(cfg, m.bytes) * time.Duration(hops(cfg, m.src, m.dst))
+				o.Registry().AddBusy("ringnet.loop_busy_us", deliver-busy, busy)
+				o.Registry().Add("ringnet.delivered_bytes", deliver, float64(m.bytes))
+			}
+		}
 	}
 
 	res := Result{Delivered: len(delays), Makespan: makespan}

@@ -1,0 +1,105 @@
+package dfdbm_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dfdbm"
+)
+
+// TestLiveIntrospectionUnderLoad is the acceptance test for the -http
+// introspection server: while the concurrent engine executes queries
+// (spans and metrics flowing from many goroutines), a scraper hits
+// /metrics (Prometheus exposition format), /spans (the live span
+// tree), and /debug/pprof/profile. Run under -race this also pins the
+// tracker's and registry's thread-safety.
+func TestLiveIntrospectionUnderLoad(t *testing.T) {
+	db := buildTinyDB(t)
+	q, err := db.Parse(`project(join(restrict(orders, qty > 4), parts, pid = pid), [oid, pname])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := dfdbm.NewObserver(nil, dfdbm.NewMetrics(time.Millisecond))
+	o.EnableSpans()
+	srv, err := dfdbm.StartObsServer("127.0.0.1:0", o.Registry(), o.Spans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Keep the engine busy in the background until the scrapes finish.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := db.Execute(q, dfdbm.EngineOptions{
+				Granularity: dfdbm.PageLevel, Workers: 4, PageSize: 1024, Obs: o,
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	// Prometheus scrape mid-run: the engine's counters must be present
+	// in exposition format.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := get("/metrics")
+		if strings.Contains(m, "# TYPE core_instruction_packets counter") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/metrics never showed engine counters:\n%s", m)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Live span tree and timelines respond while spans churn.
+	if s := get("/spans"); !strings.Contains(s, `"active"`) {
+		t.Errorf("/spans malformed: %s", s)
+	}
+	if tl := get("/timeline"); !strings.Contains(tl, `"timelines"`) {
+		t.Errorf("/timeline malformed: %s", tl)
+	}
+	// A live CPU profile of the running process (the shortest pprof
+	// window is one second).
+	if p := get("/debug/pprof/profile?seconds=1"); len(p) == 0 {
+		t.Error("/debug/pprof/profile returned an empty profile")
+	}
+
+	close(stop)
+	wg.Wait()
+	if err := o.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Spans().ActiveCount() != 0 {
+		t.Errorf("%d spans still open after the load stopped", o.Spans().ActiveCount())
+	}
+}

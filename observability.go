@@ -28,7 +28,57 @@ type (
 	Timeline = obs.Timeline
 	// Series is a sampled (time, value) metric.
 	Series = obs.Series
+
+	// Span is one node of the causal span tree an Observer records when
+	// spans are enabled (Observer.EnableSpans): queries, query-tree
+	// nodes, instruction packets, processor bursts, broadcast rounds,
+	// cache/disk transfers, and recovery episodes, each with a parent
+	// link and attributed counters.
+	Span = obs.Span
+	// SpanData is an immutable snapshot of one span.
+	SpanData = obs.SpanData
+	// SpanTracker records spans and serves snapshots of the live tree.
+	SpanTracker = obs.Tracker
+	// Profile is the per-query-tree-node EXPLAIN ANALYZE report built
+	// from a run's spans (BuildProfile).
+	Profile = obs.Profile
+	// ProfileNode is one node row of a Profile.
+	ProfileNode = obs.NodeReport
+	// ResourceSpec names a device and the busy timeline that measures
+	// it, for saturation analysis.
+	ResourceSpec = obs.ResourceSpec
+	// SaturationReport ranks resources by peak utilization and names
+	// the first to saturate.
+	SaturationReport = obs.SaturationReport
+	// ObsServer is the live introspection HTTP server (StartObsServer).
+	ObsServer = obs.Server
 )
+
+// BuildProfile folds a run's spans into the per-node EXPLAIN ANALYZE
+// profile: firings, page and tuple counts, busy versus wait time,
+// cache hit ratios, and critical-path (exclusive) contribution, with
+// busy + wait + idle summing exactly to the makespan.
+func BuildProfile(spans []SpanData, makespan time.Duration) *Profile {
+	return obs.BuildProfile(spans, makespan)
+}
+
+// ReadSpans reconstructs the span tree from a JSONL trace stream
+// previously written through a JSONL sink with spans enabled.
+func ReadSpans(r io.Reader) ([]SpanData, error) { return obs.ReadSpans(r) }
+
+// Saturation computes per-resource utilization timelines from the
+// registry's busy metrics and reports which device saturates first.
+func Saturation(m *Metrics, elapsed time.Duration, specs []ResourceSpec) *SaturationReport {
+	return obs.Saturation(m, elapsed, specs)
+}
+
+// StartObsServer starts the live introspection HTTP server on addr,
+// serving Prometheus-format /metrics, /spans (the active span tree),
+// /timeline (raw busy timelines), and /debug/pprof/* while a
+// simulation runs. Close the returned server when done.
+func StartObsServer(addr string, m *Metrics, spans *SpanTracker) (*obs.Server, error) {
+	return obs.StartServer(addr, m, spans)
+}
 
 // NewObserver couples a trace sink and a metrics registry; either may
 // be nil.

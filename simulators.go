@@ -46,6 +46,10 @@ func SimulateDIRECT(cfg DirectConfig, profiles []QueryProfile) (DirectReport, er
 	return direct.Run(cfg, profiles)
 }
 
+// DirectResources names the simulated DIRECT devices and their busy
+// timelines for saturation analysis of a run made with cfg.
+func DirectResources(cfg DirectConfig) []ResourceSpec { return direct.Resources(cfg) }
+
 // TrafficExample returns the Section 3.3 example with the given join
 // cardinalities, page size, and per-packet overhead.
 func TrafficExample(n, m, pageBytes, overhead int) TrafficParams {
