@@ -410,6 +410,66 @@ func writeBenchProfile(db *dfdbm.DB, queries []*dfdbm.Query, out string, pageSiz
 	return f.Close()
 }
 
+// compareBenchReports guards against performance regressions: it loads
+// the committed baseline report and a fresh one and fails when any
+// benchmark present in both lost more than 25% throughput (fresh
+// ns/op more than 4/3 of the baseline). New benchmarks — present only
+// in the fresh report — pass; a benchmark that disappeared is an
+// error, since silently dropping a measurement is how regressions
+// hide.
+func compareBenchReports(basePath, freshPath string) error {
+	load := func(path string) (benchReport, error) {
+		var rep benchReport
+		f, err := os.Open(path)
+		if err != nil {
+			return rep, err
+		}
+		defer f.Close()
+		return rep, json.NewDecoder(f).Decode(&rep)
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return fmt.Errorf("bench compare: baseline %s: %w", basePath, err)
+	}
+	fresh, err := load(freshPath)
+	if err != nil {
+		return fmt.Errorf("bench compare: fresh %s: %w", freshPath, err)
+	}
+	freshByName := map[string]benchEntry{}
+	for _, b := range fresh.Benchmarks {
+		freshByName[b.Name] = b
+	}
+	const floor = 0.75 // fresh throughput must stay above 75% of baseline
+	var regressed []string
+	for _, old := range base.Benchmarks {
+		now, ok := freshByName[old.Name]
+		if !ok {
+			return fmt.Errorf("bench compare: %s is in the baseline but missing from the fresh report", old.Name)
+		}
+		if old.NsPerOp <= 0 || now.NsPerOp <= 0 {
+			continue
+		}
+		ratio := old.NsPerOp / now.NsPerOp // relative throughput: <1 means slower now
+		verdict := "ok"
+		if ratio < floor {
+			verdict = "REGRESSION"
+			regressed = append(regressed,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.0f%% of baseline throughput)", old.Name, old.NsPerOp, now.NsPerOp, 100*ratio))
+		}
+		fmt.Printf("bench compare: %-28s %10.0f -> %10.0f ns/op  %5.2fx  %s\n",
+			old.Name, old.NsPerOp, now.NsPerOp, ratio, verdict)
+	}
+	if len(regressed) > 0 {
+		msg := "bench compare: throughput regressed more than 25%:"
+		for _, r := range regressed {
+			msg += "\n  " + r
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	fmt.Printf("bench compare: %d benchmarks within 25%% of %s\n", len(base.Benchmarks), basePath)
+	return nil
+}
+
 // runBenchJSON runs the harness and writes the report.
 func runBenchJSON(db *dfdbm.DB, queries []*dfdbm.Query, out string, scale float64, seed int64, pageSize, joinTuples int) {
 	rep := benchReport{

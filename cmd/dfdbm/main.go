@@ -9,8 +9,18 @@
 //	dfdbm [flags] bench
 //	dfdbm [flags] machine [queries...]
 //	dfdbm [flags] direct [-procs N] [-strategy page|relation]
+//	dfdbm [flags] serve [-addr A] [-engine core|machine] [-max-sessions N] [-queue-depth N] [-runners N] [-max-inflight N] [-drain-timeout D]
+//	dfdbm client [-addr A] [-engine core|machine] [-priority high|normal|low] '<query>' ...
 //
 // Shared flags (before the subcommand): -scale, -seed, -pagesize.
+//
+// serve exposes the database over TCP: sessions speak the
+// length-prefixed internal/wire protocol (dfdbm client is the matching
+// client), each query is admitted by the multi-query scheduler —
+// non-conflicting read/write sets run concurrently, conflicting ones
+// queue, overload is shed — and SIGTERM drains gracefully: in-flight
+// queries finish streaming, new work is refused, and the process exits
+// within -drain-timeout.
 //
 // The run, machine, and direct subcommands accept observability flags:
 // -trace-out FILE with -trace-format text|jsonl|chrome writes the
@@ -86,6 +96,10 @@ func main() {
 		cmdMachine(db, queries, flag.Args()[1:], *pageSize)
 	case "direct":
 		cmdDirect(db, queries, flag.Args()[1:])
+	case "serve":
+		cmdServe(db, flag.Args()[1:])
+	case "client":
+		cmdClient(flag.Args()[1:])
 	case "explain":
 		cmdExplain(db, flag.Args()[1:], *pageSize)
 	case "export":
@@ -108,7 +122,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dfdbm [-scale S -seed N -pagesize B -db FILE] info|run|bench|machine|direct|save|export|explain ...")
+	fmt.Fprintln(os.Stderr, "usage: dfdbm [-scale S -seed N -pagesize B -db FILE] info|run|bench|machine|direct|serve|client|save|export|explain ...")
 	os.Exit(2)
 }
 
@@ -116,123 +130,6 @@ func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dfdbm:", err)
 		os.Exit(1)
-	}
-}
-
-// obsFlags holds the observability flags shared by the run, machine,
-// and direct subcommands.
-type obsFlags struct {
-	traceOut    string
-	traceFormat string
-	metricsOut  string
-	bucket      time.Duration
-	profile     bool
-	profileOut  string
-	httpAddr    string
-}
-
-func addObsFlags(fs *flag.FlagSet) *obsFlags {
-	f := &obsFlags{}
-	fs.StringVar(&f.traceOut, "trace-out", "", "write the structured event trace to this file")
-	fs.StringVar(&f.traceFormat, "trace-format", "text", "trace format: text, jsonl, or chrome")
-	fs.StringVar(&f.metricsOut, "metrics-out", "", "write the metrics registry as JSONL to this file")
-	fs.DurationVar(&f.bucket, "metrics-bucket", 100*time.Millisecond, "bucket width of metric timelines")
-	fs.BoolVar(&f.profile, "profile", false, "print a per-node EXPLAIN ANALYZE profile and saturation report after the run")
-	fs.StringVar(&f.profileOut, "profile-out", "", "write the profile and saturation report as JSON to this file")
-	fs.StringVar(&f.httpAddr, "http", "", "serve live introspection (/metrics, /spans, /timeline, /debug/pprof) on this address while running")
-	return f
-}
-
-// wantsProfile reports whether the run must record spans and metrics
-// for an EXPLAIN ANALYZE report.
-func (f *obsFlags) wantsProfile() bool { return f.profile || f.profileOut != "" }
-
-// obsSession is one subcommand's observability state: the observer
-// handed to the engine, plus everything needed to finalize outputs and
-// render the profile afterwards.
-type obsSession struct {
-	f         *obsFlags
-	o         *dfdbm.Observer
-	reg       *dfdbm.Metrics
-	traceFile *os.File
-	server    *dfdbm.ObsServer
-}
-
-// build returns the observer the flags request (nil when none) and the
-// session that finalizes the outputs.
-func (f *obsFlags) build() (*dfdbm.Observer, *obsSession) {
-	s := &obsSession{f: f}
-	var sink dfdbm.TraceSink
-	if f.traceOut != "" {
-		var err error
-		s.traceFile, err = os.Create(f.traceOut)
-		check(err)
-		sink, err = dfdbm.NewTraceSink(f.traceFormat, s.traceFile)
-		check(err)
-	}
-	if f.metricsOut != "" || f.wantsProfile() || f.httpAddr != "" {
-		s.reg = dfdbm.NewMetrics(f.bucket)
-	}
-	if sink == nil && s.reg == nil {
-		return nil, s
-	}
-	s.o = dfdbm.NewObserver(sink, s.reg)
-	if f.wantsProfile() || f.httpAddr != "" {
-		s.o.EnableSpans()
-	}
-	if f.httpAddr != "" {
-		srv, err := dfdbm.StartObsServer(f.httpAddr, s.reg, s.o.Spans())
-		check(err)
-		s.server = srv
-		fmt.Fprintf(os.Stderr, "dfdbm: introspection server on http://%s\n", srv.Addr())
-	}
-	return s.o, s
-}
-
-// finish finalizes the trace and metrics outputs and stops the
-// introspection server.
-func (s *obsSession) finish() {
-	if s.o == nil {
-		return
-	}
-	check(s.o.Close())
-	if s.traceFile != nil {
-		check(s.traceFile.Close())
-	}
-	if s.f.metricsOut != "" {
-		mf, err := os.Create(s.f.metricsOut)
-		check(err)
-		check(s.reg.WriteJSONL(mf))
-		check(mf.Close())
-	}
-	if s.server != nil {
-		check(s.server.Close())
-	}
-}
-
-// report renders the EXPLAIN ANALYZE profile and saturation report for
-// a finished run. makespan is the run's total (virtual or real) time;
-// specs names the devices whose busy timelines were recorded.
-func (s *obsSession) report(makespan time.Duration, specs []dfdbm.ResourceSpec) {
-	if s.o == nil || !s.f.wantsProfile() {
-		return
-	}
-	prof := dfdbm.BuildProfile(s.o.Spans().Snapshot(), makespan)
-	var sat *dfdbm.SaturationReport
-	if len(specs) > 0 {
-		sat = dfdbm.Saturation(s.reg, makespan, specs)
-	}
-	if s.f.profile {
-		check(prof.Text(os.Stdout))
-		if sat != nil {
-			check(sat.Text(os.Stdout))
-		}
-	}
-	if s.f.profileOut != "" {
-		pf, err := os.Create(s.f.profileOut)
-		check(err)
-		check(prof.JSON(pf, sat))
-		check(pf.Close())
 	}
 }
 
@@ -330,11 +227,18 @@ func cmdRun(db *dfdbm.DB, args []string) {
 func cmdBench(db *dfdbm.DB, queries []*dfdbm.Query, args []string, scale float64, seed int64, pageSize int) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	jsonOut := fs.String("json", "", "run the measured harness and write machine-readable results to this file (e.g. BENCH_machine.json)")
+	compareWith := fs.String("compare", "", "with -json: compare the fresh results against this committed report and fail on >25% throughput regression")
 	profileOut := fs.String("profile-out", "", "also run the ring-machine workload with spans enabled and write the EXPLAIN/saturation profile JSON here (e.g. PROFILE_machine.json)")
 	joinTuples := fs.Int("join-tuples", 10000, "tuples per side of the large equi-join workload")
 	check(fs.Parse(args))
+	if *compareWith != "" && *jsonOut == "" {
+		check(fmt.Errorf("bench: -compare needs -json (the fresh results to compare)"))
+	}
 	if *jsonOut != "" {
 		runBenchJSON(db, queries, *jsonOut, scale, seed, pageSize, *joinTuples)
+		if *compareWith != "" {
+			check(compareBenchReports(*compareWith, *jsonOut))
+		}
 		if *profileOut != "" {
 			check(writeBenchProfile(db, queries, *profileOut, pageSize))
 			fmt.Printf("bench: wrote %s (ring-machine explain/saturation profile)\n", *profileOut)

@@ -1,0 +1,146 @@
+package main
+
+// Observability flag plumbing shared by every subcommand that can run
+// with tracing, metrics, spans, or the live introspection server: run,
+// machine, direct, and serve all register the same flags through
+// addObsFlags and manage their lifecycle through obsSession. This is
+// the single place observability wiring lives; subcommands never touch
+// sinks or registries directly.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dfdbm"
+)
+
+// obsFlags holds the observability flags shared by the run, machine,
+// direct, and serve subcommands.
+type obsFlags struct {
+	traceOut    string
+	traceFormat string
+	metricsOut  string
+	bucket      time.Duration
+	profile     bool
+	profileOut  string
+	httpAddr    string
+	// forceMetrics makes build always attach a metrics registry, even
+	// when no output flag asks for one (set via buildAlways).
+	forceMetrics bool
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	f := &obsFlags{}
+	fs.StringVar(&f.traceOut, "trace-out", "", "write the structured event trace to this file")
+	fs.StringVar(&f.traceFormat, "trace-format", "text", "trace format: text, jsonl, or chrome")
+	fs.StringVar(&f.metricsOut, "metrics-out", "", "write the metrics registry as JSONL to this file")
+	fs.DurationVar(&f.bucket, "metrics-bucket", 100*time.Millisecond, "bucket width of metric timelines")
+	fs.BoolVar(&f.profile, "profile", false, "print a per-node EXPLAIN ANALYZE profile and saturation report after the run")
+	fs.StringVar(&f.profileOut, "profile-out", "", "write the profile and saturation report as JSON to this file")
+	fs.StringVar(&f.httpAddr, "http", "", "serve live introspection (/metrics, /spans, /timeline, /debug/pprof) on this address while running")
+	return f
+}
+
+// wantsProfile reports whether the run must record spans and metrics
+// for an EXPLAIN ANALYZE report.
+func (f *obsFlags) wantsProfile() bool { return f.profile || f.profileOut != "" }
+
+// obsSession is one subcommand's observability state: the observer
+// handed to the engine, plus everything needed to finalize outputs and
+// render the profile afterwards.
+type obsSession struct {
+	f         *obsFlags
+	o         *dfdbm.Observer
+	reg       *dfdbm.Metrics
+	traceFile *os.File
+	server    *dfdbm.ObsServer
+}
+
+// build returns the observer the flags request (nil when none) and the
+// session that finalizes the outputs.
+func (f *obsFlags) build() (*dfdbm.Observer, *obsSession) {
+	s := &obsSession{f: f}
+	var sink dfdbm.TraceSink
+	if f.traceOut != "" {
+		var err error
+		s.traceFile, err = os.Create(f.traceOut)
+		check(err)
+		sink, err = dfdbm.NewTraceSink(f.traceFormat, s.traceFile)
+		check(err)
+	}
+	if f.metricsOut != "" || f.wantsProfile() || f.httpAddr != "" || f.forceMetrics {
+		s.reg = dfdbm.NewMetrics(f.bucket)
+	}
+	if sink == nil && s.reg == nil {
+		return nil, s
+	}
+	s.o = dfdbm.NewObserver(sink, s.reg)
+	if f.wantsProfile() || f.httpAddr != "" {
+		s.o.EnableSpans()
+	}
+	if f.httpAddr != "" {
+		srv, err := dfdbm.StartObsServer(f.httpAddr, s.reg, s.o.Spans())
+		check(err)
+		s.server = srv
+		fmt.Fprintf(os.Stderr, "dfdbm: introspection server on http://%s\n", srv.Addr())
+	}
+	return s.o, s
+}
+
+// buildAlways is build, but guarantees a metrics-backed observer even
+// when no output flag asks for one. The serve subcommand uses it: a
+// server should always meter its sessions and scheduler so the /metrics
+// endpoint has content the moment -http is added.
+func (f *obsFlags) buildAlways() (*dfdbm.Observer, *obsSession) {
+	f.forceMetrics = true
+	return f.build()
+}
+
+// finish finalizes the trace and metrics outputs and stops the
+// introspection server.
+func (s *obsSession) finish() {
+	if s.o == nil {
+		return
+	}
+	check(s.o.Close())
+	if s.traceFile != nil {
+		check(s.traceFile.Close())
+	}
+	if s.f.metricsOut != "" {
+		mf, err := os.Create(s.f.metricsOut)
+		check(err)
+		check(s.reg.WriteJSONL(mf))
+		check(mf.Close())
+	}
+	if s.server != nil {
+		check(s.server.Close())
+	}
+}
+
+// report renders the EXPLAIN ANALYZE profile and saturation report for
+// a finished run. makespan is the run's total (virtual or real) time;
+// specs names the devices whose busy timelines were recorded.
+func (s *obsSession) report(makespan time.Duration, specs []dfdbm.ResourceSpec) {
+	if s.o == nil || !s.f.wantsProfile() {
+		return
+	}
+	prof := dfdbm.BuildProfile(s.o.Spans().Snapshot(), makespan)
+	var sat *dfdbm.SaturationReport
+	if len(specs) > 0 {
+		sat = dfdbm.Saturation(s.reg, makespan, specs)
+	}
+	if s.f.profile {
+		check(prof.Text(os.Stdout))
+		if sat != nil {
+			check(sat.Text(os.Stdout))
+		}
+	}
+	if s.f.profileOut != "" {
+		pf, err := os.Create(s.f.profileOut)
+		check(err)
+		check(prof.JSON(pf, sat))
+		check(pf.Close())
+	}
+}

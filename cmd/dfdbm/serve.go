@@ -1,0 +1,151 @@
+package main
+
+// The serve and client subcommands: the network query service of the
+// root package's Serve/Dial façade, exposed from the shell.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dfdbm"
+)
+
+func cmdServe(db *dfdbm.DB, args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7432", "TCP listen address")
+	engine := fs.String("engine", dfdbm.ServeEngineCore, "default session engine: core or machine")
+	maxSessions := fs.Int("max-sessions", 64, "maximum concurrent sessions")
+	maxInflight := fs.Int("max-inflight", 4, "maximum in-flight queries per session")
+	queueDepth := fs.Int("queue-depth", 64, "admission queue depth (beyond it, queries are shed)")
+	runners := fs.Int("runners", 4, "engine runner pool size")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may take before in-flight queries are cancelled")
+	sessionTimeout := fs.Duration("session-timeout", 5*time.Minute, "idle session deadline")
+	workers := fs.Int("workers", 4, "core-engine workers per query")
+	ips := fs.Int("ips", 16, "machine-engine instruction processors per query")
+	of := addObsFlags(fs)
+	check(fs.Parse(args))
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: dfdbm serve [-addr A] [-engine core|machine] [-max-sessions N] [-queue-depth N] [-runners N] [-max-inflight N] [-drain-timeout D]")
+		os.Exit(2)
+	}
+
+	// A server always meters itself: session/scheduler counters and
+	// gauges exist even before -http or -metrics-out ask for them.
+	o, sess := of.buildAlways()
+	srv, err := dfdbm.Serve(db, dfdbm.ServeConfig{
+		Addr:           *addr,
+		Engine:         *engine,
+		MaxSessions:    *maxSessions,
+		MaxInflight:    *maxInflight,
+		QueueDepth:     *queueDepth,
+		Runners:        *runners,
+		SessionTimeout: *sessionTimeout,
+		Workers:        *workers,
+		IPs:            *ips,
+		Obs:            o,
+	})
+	check(err)
+	fmt.Printf("dfdbm: serving %d relations on %s (engine=%s, runners=%d, queue=%d)\n",
+		len(db.Names()), srv.Addr(), *engine, *runners, *queueDepth)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Fprintf(os.Stderr, "dfdbm: draining (timeout %v)...\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	err = srv.Shutdown(dctx)
+	sess.finish()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfdbm: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "dfdbm: drained cleanly")
+}
+
+// readQueryFile loads a query-per-line file; blank lines and
+// #-comments are skipped.
+func readQueryFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, nil
+}
+
+func cmdClient(args []string) {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7432", "server address")
+	engine := fs.String("engine", "", "request this engine for the session (empty = server default)")
+	priority := fs.String("priority", "normal", "admission priority: high, normal, or low")
+	name := fs.String("name", "dfdbm-client", "session name shown in server logs")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-query timeout")
+	quiet := fs.Bool("quiet", false, "print stats only, not result tuples")
+	file := fs.String("f", "", "read queries from this file (one per line; # starts a comment) before any argument queries")
+	check(fs.Parse(args))
+	queries := fs.Args()
+	if *file != "" {
+		fromFile, err := readQueryFile(*file)
+		check(err)
+		queries = append(fromFile, queries...)
+	}
+	if len(queries) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dfdbm client [-addr A] [-engine core|machine] [-priority P] [-f FILE] '<query>' ...")
+		os.Exit(2)
+	}
+	var prio uint8
+	switch *priority {
+	case "high":
+		prio = 0
+	case "normal":
+		prio = 1
+	case "low":
+		prio = 2
+	default:
+		check(fmt.Errorf("unknown priority %q (want high, normal, or low)", *priority))
+	}
+
+	c, err := dfdbm.Dial(*addr, dfdbm.ClientConfig{Engine: *engine, Name: *name, Timeout: *timeout})
+	check(err)
+	defer c.Close()
+	for _, text := range queries {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		res, err := c.QueryPriority(ctx, text, prio)
+		cancel()
+		check(err)
+		if !*quiet {
+			shown := 0
+			_ = res.Relation.Each(func(t dfdbm.Tuple) bool {
+				fmt.Println(" ", t)
+				shown++
+				return shown < 10
+			})
+			if res.Relation.Cardinality() > shown {
+				fmt.Printf("  ... and %d more\n", res.Relation.Cardinality()-shown)
+			}
+		}
+		st := res.Stats
+		deferred := ""
+		if st.Deferred {
+			deferred = ", deferred on conflict"
+		}
+		fmt.Printf("%d tuples in %d pages (%dB) on %s; queued %v, ran %v%s\n",
+			st.Tuples, st.Pages, st.ResultBytes, st.Engine,
+			st.Queued.Round(time.Microsecond), st.Exec.Round(time.Microsecond), deferred)
+	}
+}

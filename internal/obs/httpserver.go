@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -54,12 +55,21 @@ func StartServer(addr string, reg *Registry, spans *Tracker) (*Server, error) {
 // Addr returns the bound address ("127.0.0.1:43781").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server immediately.
+// Close stops the server gracefully: the listener closes at once, but
+// in-flight scrapes get a short grace period to finish — a Prometheus
+// scrape of a large registry should not come back truncated because
+// the simulation ended first. Connections still open after the grace
+// period are torn down.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

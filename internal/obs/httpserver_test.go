@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCloseFinishesInflightScrape is the regression test for graceful
+// HTTP shutdown: a /metrics scrape that is mid-body when Close is
+// called must still receive the complete exposition, not a torn
+// connection. The registry is made large enough that the response
+// cannot fit in kernel socket buffers, so the handler is genuinely
+// mid-write while the client stalls.
+func TestCloseFinishesInflightScrape(t *testing.T) {
+	reg := NewRegistry(time.Millisecond)
+	for i := 0; i < 20000; i++ {
+		reg.Inc(fmt.Sprintf("scrape.test.counter_%05d", i), int64(i))
+	}
+	srv, err := StartServer("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "GET /metrics HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n", srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Read only the status line, then stall: the handler is now blocked
+	// writing the rest of the body.
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "200") {
+		t.Fatalf("scrape status %q", strings.TrimSpace(status))
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+
+	// Drain the rest of the response while Close is in flight; the full
+	// body — including the last counter — must arrive.
+	var body strings.Builder
+	buf := make([]byte, 64<<10)
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for {
+		n, err := br.Read(buf)
+		body.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close during in-flight scrape: %v", err)
+	}
+	if !strings.Contains(body.String(), "scrape_test_counter_19999") {
+		t.Fatalf("scrape was truncated by Close: %d bytes, missing final counter", body.Len())
+	}
+}

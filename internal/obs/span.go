@@ -53,6 +53,10 @@ const (
 	// SpanRecovery covers one recovery episode: from the re-dispatch
 	// decision until the re-dispatched work unit completes.
 	SpanRecovery
+	// SpanSession covers one network session of the query server, from
+	// accepted connection to close; its children are the session's
+	// query spans.
+	SpanSession
 )
 
 // String returns the kind's wire name.
@@ -72,6 +76,8 @@ func (k SpanKind) String() string {
 		return "xfer"
 	case SpanRecovery:
 		return "recovery"
+	case SpanSession:
+		return "session"
 	default:
 		return "span"
 	}
@@ -79,7 +85,7 @@ func (k SpanKind) String() string {
 
 // spanKindFromString inverts SpanKind.String (used by ReadSpans).
 func spanKindFromString(s string) SpanKind {
-	for k := SpanQuery; k <= SpanRecovery; k++ {
+	for k := SpanQuery; k <= SpanSession; k++ {
 		if k.String() == s {
 			return k
 		}

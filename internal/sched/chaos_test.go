@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"dfdbm/internal/fault"
+	"dfdbm/internal/hw"
+	"dfdbm/internal/machine"
+	"dfdbm/internal/query"
+	"dfdbm/internal/workload"
+)
+
+// chaosSeeds mirrors the machine chaos tests: sweep a few fault-plan
+// seeds, or pin one via DFDBM_CHAOS_SEED (the CI chaos matrix).
+func chaosSeeds(t *testing.T) []int64 {
+	t.Helper()
+	if s := os.Getenv("DFDBM_CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("DFDBM_CHAOS_SEED=%q: %v", s, err)
+		}
+		return []int64{n}
+	}
+	return []int64{1, 7}
+}
+
+// TestChaosRunnerFaultReturnsTypedError kills the engine under a
+// scheduled query: the runner executes a ring machine whose fault plan
+// (100% completion-packet loss, tiny retry budget) exhausts recovery.
+// The session side must receive a typed machine.FaultError through the
+// scheduler — not a hang, and not a stuck runner: the pool must still
+// execute a healthy query afterwards.
+func TestChaosRunnerFaultReturnsTypedError(t *testing.T) {
+	cat, qs, err := workload.Build(workload.Config{Seed: 42, Scale: 0.05, PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := hw.Default1979()
+	small.PageSize = 512
+
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := New(Config{Runners: 2, QueueDepth: 8})
+			defer s.Close()
+
+			doomed := &Job{
+				Session: "chaos", Label: "chaos/q3", QueryID: -1,
+				Footprint: query.Analyze(qs[2].Root()),
+				Exec: func(ctx context.Context) (any, error) {
+					m, err := machine.New(cat, machine.Config{
+						HW: small, IPs: 4, IPsPerInstruction: 4,
+						WatchdogTimeout: 50 * time.Millisecond, RetryBudget: 2,
+						Fault: fault.New(fault.Config{
+							Seed: seed,
+							Drop: map[fault.Class]float64{fault.ClassCompletion: 1.0},
+						}),
+					})
+					if err != nil {
+						return nil, err
+					}
+					if err := m.Submit(qs[2]); err != nil {
+						return nil, err
+					}
+					res, err := m.Run()
+					if err != nil {
+						return nil, err
+					}
+					return res, nil
+				},
+			}
+			out, err := s.Submit(doomed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case o := <-out:
+				if o.Err == nil {
+					t.Fatal("faulted run succeeded with 100% completion loss")
+				}
+				var fe *machine.FaultError
+				if !errors.As(o.Err, &fe) {
+					t.Fatalf("outcome error is %T (%v), want *machine.FaultError", o.Err, o.Err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("session hung waiting for the faulted runner")
+			}
+
+			// The pool must still serve healthy work.
+			healthy := &Job{
+				Session: "chaos", Label: "chaos/q1", QueryID: -1,
+				Footprint: query.Analyze(qs[0].Root()),
+				Exec: func(ctx context.Context) (any, error) {
+					return query.ExecuteSerial(cat, qs[0], 0)
+				},
+			}
+			out, err = s.Submit(healthy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case o := <-out:
+				if o.Err != nil {
+					t.Fatalf("healthy query after fault: %v", o.Err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("healthy query hung after a faulted runner")
+			}
+		})
+	}
+}

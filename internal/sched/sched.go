@@ -1,0 +1,480 @@
+// Package sched implements the query server's real-time admission
+// scheduler. It generalizes the concurrency control the paper gives
+// the master controller in Section 4: before a query runs, its
+// read/write footprint (internal/query.Analyze) is checked against
+// every running query, and the query is admitted only when no running
+// query writes a relation it reads or writes (and vice versa). Queries
+// that cannot be admitted yet wait in a bounded queue — FIFO within a
+// priority lane, lanes served high to low, sessions within a lane
+// served round-robin so one chatty session cannot starve the rest.
+// When the queue is full, Submit sheds load with ErrOverloaded instead
+// of blocking the caller, and the server turns that into an
+// "overloaded" error frame: backpressure reaches the client instead of
+// piling up in the host.
+//
+// Admitted queries are dispatched to a fixed pool of engine runners
+// (goroutines); the scheduler never admits more queries than it has
+// runners, so an admitted query starts immediately and the conflict
+// check is exact: the running set is precisely the admitted set.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dfdbm/internal/obs"
+	"dfdbm/internal/query"
+)
+
+// Typed scheduler errors. Servers map them onto wire error codes; test
+// with errors.Is.
+var (
+	// ErrOverloaded is returned by Submit when the admission queue is
+	// full. The query was shed, not queued.
+	ErrOverloaded = errors.New("sched: overloaded, admission queue full")
+	// ErrDraining is returned by Submit after Drain began.
+	ErrDraining = errors.New("sched: draining, not accepting queries")
+	// ErrClosed is returned by Submit after Close, and delivered as the
+	// outcome of queued queries a drain deadline cancelled.
+	ErrClosed = errors.New("sched: scheduler closed")
+)
+
+// Lane is an admission priority lane.
+type Lane uint8
+
+// Lanes, served high to low.
+const (
+	LaneHigh Lane = iota
+	LaneNormal
+	LaneLow
+	numLanes
+)
+
+// String returns the lane name.
+func (l Lane) String() string {
+	switch l {
+	case LaneHigh:
+		return "high"
+	case LaneNormal:
+		return "normal"
+	case LaneLow:
+		return "low"
+	default:
+		return fmt.Sprintf("lane(%d)", uint8(l))
+	}
+}
+
+// LaneFromPriority maps a wire priority byte (0 high, 1 normal, 2 low;
+// anything higher is clamped) onto a lane.
+func LaneFromPriority(p uint8) Lane {
+	if p >= uint8(numLanes) {
+		return LaneLow
+	}
+	return Lane(p)
+}
+
+// Job is one query submitted for scheduling.
+type Job struct {
+	// Session identifies the submitting session for fair-share
+	// dispatch; jobs of one session keep their relative order.
+	Session string
+	// Label names the job in traces ("s3/q7").
+	Label string
+	// Lane is the admission priority lane.
+	Lane Lane
+	// Footprint is the query's read/write set; admission guarantees no
+	// two running jobs have conflicting footprints.
+	Footprint query.Footprint
+	// QueryID tags the job's obs events; -1 when unknown.
+	QueryID int
+	// Exec runs the query on an engine runner. The context is
+	// cancelled when the scheduler is closed or a drain deadline
+	// expires.
+	Exec func(ctx context.Context) (any, error)
+
+	seq      int64
+	enqueued time.Time
+	deferred bool
+	outc     chan Outcome
+}
+
+// Outcome is the result of one scheduled job.
+type Outcome struct {
+	// Value is what Exec returned.
+	Value any
+	// Err is Exec's error, or ErrClosed when the scheduler was closed
+	// before the job ran.
+	Err error
+	// Queued is how long the job waited for admission; Run is Exec's
+	// duration.
+	Queued time.Duration
+	Run    time.Duration
+	// Deferred reports whether admission was delayed at least once by
+	// a footprint conflict with a running job.
+	Deferred bool
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Runners is the engine-runner pool size. Default 4.
+	Runners int
+	// QueueDepth bounds the admission queue across all lanes; a full
+	// queue sheds new jobs with ErrOverloaded. Default 64.
+	QueueDepth int
+	// Obs, when non-nil, receives admission decisions as events
+	// (admit/defer/shed/complete), the sched.admitted / sched.deferred
+	// / sched.shed / sched.completed / sched.failed counters, queue-
+	// depth and busy-runner gauges, and a sched.runner_busy_us busy
+	// timeline for saturation analysis.
+	Obs *obs.Observer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runners <= 0 {
+		c.Runners = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// sessionQueue is one session's FIFO within a lane.
+type sessionQueue struct {
+	session string
+	jobs    []*Job
+}
+
+// lane is one priority lane: per-session FIFOs served round-robin.
+type lane struct {
+	sessions []*sessionQueue
+	rr       int // round-robin cursor into sessions
+}
+
+func (l *lane) push(j *Job) {
+	for _, sq := range l.sessions {
+		if sq.session == j.Session {
+			sq.jobs = append(sq.jobs, j)
+			return
+		}
+	}
+	l.sessions = append(l.sessions, &sessionQueue{session: j.Session, jobs: []*Job{j}})
+}
+
+// Scheduler admits and dispatches jobs.
+type Scheduler struct {
+	cfg   Config
+	start time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	lanes    [numLanes]lane
+	queued   int
+	running  []*Job
+	busy     int
+	draining bool
+	closed   bool
+	nextSeq  int64
+	empty    chan struct{} // closed when draining and no work remains
+
+	readyc chan *Job
+	wg     sync.WaitGroup
+}
+
+// New starts a scheduler and its runner pool.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:    cfg,
+		start:  time.Now(),
+		ctx:    ctx,
+		cancel: cancel,
+		empty:  make(chan struct{}),
+		readyc: make(chan *Job, cfg.Runners),
+	}
+	for i := 0; i < cfg.Runners; i++ {
+		s.wg.Add(1)
+		go s.runner(i)
+	}
+	return s
+}
+
+// Runners returns the runner-pool size.
+func (s *Scheduler) Runners() int { return s.cfg.Runners }
+
+// Submit offers a job. It never blocks: the job is queued (its outcome
+// arrives on the returned channel), or shed with ErrOverloaded /
+// ErrDraining / ErrClosed.
+func (s *Scheduler) Submit(j *Job) (<-chan Outcome, error) {
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		return nil, ErrClosed
+	case s.draining:
+		s.mu.Unlock()
+		return nil, ErrDraining
+	case s.queued >= s.cfg.QueueDepth:
+		s.mu.Unlock()
+		s.count("sched.shed", 1)
+		s.event(obs.EvNote, j, "shed %s: queue full (%d)", j.Label, s.cfg.QueueDepth)
+		return nil, ErrOverloaded
+	}
+	j.seq = s.nextSeq
+	s.nextSeq++
+	j.enqueued = time.Now()
+	j.outc = make(chan Outcome, 1)
+	if j.Lane >= numLanes {
+		j.Lane = LaneLow
+	}
+	s.lanes[j.Lane].push(j)
+	s.queued++
+	s.gauges()
+	s.dispatchLocked()
+	s.mu.Unlock()
+	return j.outc, nil
+}
+
+// QueueDepth returns the number of queued (not yet admitted) jobs.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// RunningCount returns the number of admitted, running jobs.
+func (s *Scheduler) RunningCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.running)
+}
+
+// conflictsLocked reports whether j's footprint conflicts with any
+// running job's.
+func (s *Scheduler) conflictsLocked(j *Job) bool {
+	for _, r := range s.running {
+		if j.Footprint.Conflicts(r.Footprint) {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchLocked admits queued jobs onto free runners. Lanes are
+// scanned high to low; within a lane, sessions round-robin and each
+// session's own jobs stay FIFO (only the head of a session queue is
+// considered, so one session's dependent queries never reorder).
+// A job whose footprint conflicts with a running job is passed over
+// (deferred) and reconsidered on every completion — the paper's MC
+// scanning its wait queue.
+func (s *Scheduler) dispatchLocked() {
+	for s.busy < s.cfg.Runners {
+		j := s.pickLocked()
+		if j == nil {
+			return
+		}
+		s.queued--
+		s.running = append(s.running, j)
+		s.busy++
+		s.count("sched.admitted", 1)
+		s.gauges()
+		s.event(obs.EvAdmit, j, "admit %s lane=%s wait=%v", j.Label, j.Lane, time.Since(j.enqueued).Round(time.Microsecond))
+		s.readyc <- j // never blocks: buffered to Runners, busy < Runners
+	}
+}
+
+// pickLocked removes and returns the next admissible job, or nil.
+func (s *Scheduler) pickLocked() *Job {
+	for li := range s.lanes {
+		l := &s.lanes[li]
+		n := len(l.sessions)
+		for off := 0; off < n; off++ {
+			sq := l.sessions[(l.rr+off)%n]
+			if len(sq.jobs) == 0 {
+				continue
+			}
+			j := sq.jobs[0]
+			if s.conflictsLocked(j) {
+				if !j.deferred {
+					j.deferred = true
+					s.count("sched.deferred", 1)
+					s.event(obs.EvNote, j, "defer %s: footprint conflict with running query", j.Label)
+				}
+				continue
+			}
+			sq.jobs = sq.jobs[1:]
+			// Compact empty session queues lazily so lanes do not grow
+			// without bound over a long-lived server.
+			if len(sq.jobs) == 0 {
+				idx := (l.rr + off) % n
+				l.sessions = append(l.sessions[:idx], l.sessions[idx+1:]...)
+				l.rr = 0
+			} else {
+				l.rr = (l.rr + off + 1) % n
+			}
+			return j
+		}
+	}
+	return nil
+}
+
+// runner is one engine runner of the pool.
+func (s *Scheduler) runner(id int) {
+	defer s.wg.Done()
+	for j := range s.readyc {
+		started := time.Now()
+		v, err := j.Exec(s.ctx)
+		s.finish(j, id, started, v, err)
+	}
+}
+
+// finish retires a completed job and re-scans the queue.
+func (s *Scheduler) finish(j *Job, runner int, started time.Time, v any, err error) {
+	dur := time.Since(started)
+	s.mu.Lock()
+	for i, r := range s.running {
+		if r == j {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			break
+		}
+	}
+	s.busy--
+	if err != nil {
+		s.count("sched.failed", 1)
+	} else {
+		s.count("sched.completed", 1)
+	}
+	s.event(obs.EvQueryDone, j, "complete %s runner=%d run=%v err=%v", j.Label, runner, dur.Round(time.Microsecond), err)
+	if s.Obs().MetricsOn() {
+		s.Obs().Registry().AddBusy("sched.runner_busy_us", started.Sub(s.start), dur)
+	}
+	s.gauges()
+	s.dispatchLocked()
+	s.checkEmptyLocked()
+	s.mu.Unlock()
+	j.outc <- Outcome{
+		Value:    v,
+		Err:      err,
+		Queued:   started.Sub(j.enqueued),
+		Run:      dur,
+		Deferred: j.deferred,
+	}
+}
+
+// checkEmptyLocked signals a waiting Drain once nothing is queued or
+// running.
+func (s *Scheduler) checkEmptyLocked() {
+	if s.draining && s.queued == 0 && len(s.running) == 0 {
+		select {
+		case <-s.empty:
+		default:
+			close(s.empty)
+		}
+	}
+}
+
+// Drain stops accepting new jobs and waits until every queued and
+// running job has finished, or until ctx expires — at which point the
+// remaining work is cancelled (running Execs see their context
+// cancelled; still-queued jobs complete with ErrClosed) and ctx's
+// error is returned.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.checkEmptyLocked()
+	s.mu.Unlock()
+
+	select {
+	case <-s.empty:
+		s.shutdown()
+		return nil
+	case <-ctx.Done():
+		s.shutdown()
+		return ctx.Err()
+	}
+}
+
+// Close cancels everything immediately: running jobs see their context
+// cancelled, queued jobs complete with ErrClosed.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.shutdown()
+}
+
+// shutdown flushes the queue with ErrClosed, cancels the run context,
+// and stops the runner pool. Idempotent.
+func (s *Scheduler) shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	select {
+	case <-s.empty:
+	default:
+		close(s.empty)
+	}
+	var orphans []*Job
+	for li := range s.lanes {
+		for _, sq := range s.lanes[li].sessions {
+			orphans = append(orphans, sq.jobs...)
+			sq.jobs = nil
+		}
+		s.lanes[li].sessions = nil
+	}
+	s.queued = 0
+	s.gauges()
+	s.mu.Unlock()
+
+	for _, j := range orphans {
+		j.outc <- Outcome{Err: ErrClosed, Queued: time.Since(j.enqueued), Deferred: j.deferred}
+	}
+	s.cancel()
+	close(s.readyc)
+	s.wg.Wait()
+}
+
+// Obs returns the configured observer (possibly nil, which is valid).
+func (s *Scheduler) Obs() *obs.Observer { return s.cfg.Obs }
+
+func (s *Scheduler) count(name string, delta int64) {
+	if s.cfg.Obs.MetricsOn() {
+		s.cfg.Obs.Registry().Inc(name, delta)
+	}
+}
+
+// gauges refreshes the queue-depth and busy-runner gauges. Callers
+// hold s.mu (or are on the Submit shed path, which reads no state).
+func (s *Scheduler) gauges() {
+	if !s.cfg.Obs.MetricsOn() {
+		return
+	}
+	reg := s.cfg.Obs.Registry()
+	reg.SetGauge("sched.queue_depth", float64(s.queued))
+	reg.SetGauge("sched.runners_busy", float64(s.busy))
+	reg.SetGauge("sched.runner_utilization", float64(s.busy)/float64(s.cfg.Runners))
+}
+
+func (s *Scheduler) event(kind obs.EventKind, j *Job, format string, args ...any) {
+	if !s.cfg.Obs.Enabled() {
+		return
+	}
+	s.cfg.Obs.Emit(obs.Event{
+		TS:    time.Since(s.start),
+		Kind:  kind,
+		Comp:  "sched",
+		Query: j.QueryID,
+		Instr: -1,
+		Page:  -1,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}

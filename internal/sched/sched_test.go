@@ -1,0 +1,468 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"dfdbm/internal/obs"
+	"dfdbm/internal/query"
+)
+
+func fp(reads, writes []string) query.Footprint {
+	return query.Footprint{Reads: reads, Writes: writes}
+}
+
+// waitJob returns a job whose Exec blocks until release is closed.
+func waitJob(session string, f query.Footprint, release <-chan struct{}, ran *int32, mu *sync.Mutex) *Job {
+	return &Job{
+		Session:   session,
+		Label:     session,
+		Lane:      LaneNormal,
+		Footprint: f,
+		QueryID:   -1,
+		Exec: func(ctx context.Context) (any, error) {
+			mu.Lock()
+			*ran++
+			mu.Unlock()
+			select {
+			case <-release:
+				return "ok", nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	}
+}
+
+func TestSubmitRunsJob(t *testing.T) {
+	s := New(Config{Runners: 2, QueueDepth: 8})
+	defer s.Close()
+	out, err := s.Submit(&Job{
+		Session: "s1", Label: "s1/q1", QueryID: -1,
+		Footprint: fp([]string{"r1"}, nil),
+		Exec:      func(context.Context) (any, error) { return 42, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := <-out
+	if o.Err != nil || o.Value != 42 {
+		t.Fatalf("outcome %+v", o)
+	}
+	if o.Deferred {
+		t.Error("uncontended job reported deferred")
+	}
+}
+
+// TestOverloadSheds fills the runner pool and the queue, then asserts
+// the next Submit sheds with ErrOverloaded instead of blocking.
+func TestOverloadSheds(t *testing.T) {
+	const runners, depth = 2, 3
+	s := New(Config{Runners: runners, QueueDepth: depth})
+	defer s.Close()
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var ran int32
+	var outs []<-chan Outcome
+	// Occupy every runner. Same footprint reads conflict-free.
+	for i := 0; i < runners; i++ {
+		out, err := s.Submit(waitJob(fmt.Sprintf("s%d", i), fp([]string{"r1"}, nil), release, &ran, &mu))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	// Wait until both are running so the queue accounting is exact.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.RunningCount() != runners {
+		if time.Now().After(deadline) {
+			t.Fatal("runners never became busy")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Fill the queue.
+	for i := 0; i < depth; i++ {
+		out, err := s.Submit(waitJob("sq", fp([]string{"r1"}, nil), release, &ran, &mu))
+		if err != nil {
+			t.Fatalf("queue slot %d: %v", i, err)
+		}
+		outs = append(outs, out)
+	}
+	if got := s.QueueDepth(); got != depth {
+		t.Fatalf("queue depth %d, want %d", got, depth)
+	}
+	// One more must shed.
+	if _, err := s.Submit(waitJob("sq", fp([]string{"r1"}, nil), release, &ran, &mu)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("got %v, want ErrOverloaded", err)
+	}
+	close(release)
+	for _, out := range outs {
+		if o := <-out; o.Err != nil {
+			t.Fatalf("queued job failed: %v", o.Err)
+		}
+	}
+}
+
+// TestWriteConflictDefersAndReportsDeferred: a writer of r1 and a
+// reader of r1 never run concurrently, and the second reports it was
+// deferred.
+func TestWriteConflictDefersAndReportsDeferred(t *testing.T) {
+	s := New(Config{Runners: 4, QueueDepth: 8})
+	defer s.Close()
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var ran int32
+	wout, err := s.Submit(waitJob("w", fp([]string{"r1"}, []string{"r1"}), release, &ran, &mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.RunningCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rout, err := s.Submit(&Job{
+		Session: "r", Label: "r", QueryID: -1,
+		Footprint: fp([]string{"r1"}, nil),
+		Exec:      func(context.Context) (any, error) { return "read", nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reader must stay queued while the writer runs.
+	time.Sleep(20 * time.Millisecond)
+	if got := s.QueueDepth(); got != 1 {
+		t.Fatalf("reader not deferred: queue depth %d", got)
+	}
+	close(release)
+	if o := <-wout; o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	o := <-rout
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if !o.Deferred {
+		t.Error("conflicting reader did not report Deferred")
+	}
+}
+
+// TestLanePriority: with one runner busy, a queued high-lane job is
+// admitted before an earlier-queued low-lane job.
+func TestLanePriority(t *testing.T) {
+	s := New(Config{Runners: 1, QueueDepth: 8})
+	defer s.Close()
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var ran int32
+	first, err := s.Submit(waitJob("a", fp([]string{"r1"}, nil), release, &ran, &mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.RunningCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var order []string
+	var omu sync.Mutex
+	mk := func(name string, lane Lane) *Job {
+		return &Job{
+			Session: name, Label: name, Lane: lane, QueryID: -1,
+			Footprint: fp([]string{"r2"}, nil),
+			Exec: func(context.Context) (any, error) {
+				omu.Lock()
+				order = append(order, name)
+				omu.Unlock()
+				return nil, nil
+			},
+		}
+	}
+	louts, err := s.Submit(mk("low", LaneLow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	houts, err := s.Submit(mk("high", LaneHigh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	<-first
+	<-louts
+	<-houts
+	if len(order) != 2 || order[0] != "high" {
+		t.Fatalf("admission order %v, want high first", order)
+	}
+}
+
+// TestFairShareAcrossSessions: with one session flooding the queue, a
+// second session's job is dispatched before the flood drains.
+func TestFairShareAcrossSessions(t *testing.T) {
+	s := New(Config{Runners: 1, QueueDepth: 32})
+	defer s.Close()
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var ran int32
+	first, err := s.Submit(waitJob("flood", fp([]string{"r1"}, nil), release, &ran, &mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.RunningCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var order []string
+	var omu sync.Mutex
+	mk := func(session string, i int) *Job {
+		name := fmt.Sprintf("%s/%d", session, i)
+		return &Job{
+			Session: session, Label: name, Lane: LaneNormal, QueryID: -1,
+			Footprint: fp([]string{"r2"}, nil),
+			Exec: func(context.Context) (any, error) {
+				omu.Lock()
+				order = append(order, session)
+				omu.Unlock()
+				return nil, nil
+			},
+		}
+	}
+	var outs []<-chan Outcome
+	for i := 0; i < 10; i++ {
+		out, err := s.Submit(mk("flood", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	out, err := s.Submit(mk("quiet", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs = append(outs, out)
+	close(release)
+	<-first
+	for _, o := range outs {
+		<-o
+	}
+	// The quiet session must not run last: round-robin interleaves it
+	// after at most one more flood job.
+	pos := -1
+	for i, sess := range order {
+		if sess == "quiet" {
+			pos = i
+		}
+	}
+	if pos < 0 || pos > 2 {
+		t.Fatalf("quiet session ran at position %d of %v, want within the first 3", pos, order)
+	}
+}
+
+// TestDrainFinishesInFlightAndRejectsNew: Drain completes running and
+// queued work, and Submits after Drain begin are rejected.
+func TestDrainFinishesInFlightAndRejectsNew(t *testing.T) {
+	s := New(Config{Runners: 1, QueueDepth: 8})
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var ran int32
+	out1, err := s.Submit(waitJob("a", fp([]string{"r1"}, nil), release, &ran, &mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := s.Submit(waitJob("b", fp([]string{"r1"}, nil), release, &ran, &mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	// Give Drain a moment to set the draining flag, then check rejects.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := s.Submit(waitJob("c", fp([]string{"r1"}, nil), release, &ran, &mu)); !errors.Is(err, ErrDraining) && !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit during drain: %v, want ErrDraining", err)
+	}
+	close(release)
+	if o := <-out1; o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if o := <-out2; o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestDrainDeadlineCancels: a drain whose context expires cancels the
+// running job and fails queued jobs with ErrClosed.
+func TestDrainDeadlineCancels(t *testing.T) {
+	s := New(Config{Runners: 1, QueueDepth: 8})
+	never := make(chan struct{}) // never closed: the job only ends by cancellation
+	var mu sync.Mutex
+	var ran int32
+	out1, err := s.Submit(waitJob("a", fp([]string{"r1"}, nil), never, &ran, &mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := s.Submit(waitJob("b", fp([]string{"r1"}, nil), never, &ran, &mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain: %v, want deadline exceeded", err)
+	}
+	if o := <-out1; !errors.Is(o.Err, context.Canceled) {
+		t.Fatalf("running job outcome %v, want context.Canceled", o.Err)
+	}
+	if o := <-out2; !errors.Is(o.Err, ErrClosed) {
+		t.Fatalf("queued job outcome %v, want ErrClosed", o.Err)
+	}
+}
+
+// TestNeverAdmitsConflictingWriters is the scheduler-semantics
+// property test: across hundreds of randomized queries, two jobs whose
+// write-sets intersect (or where one writes what the other reads) are
+// never observed running concurrently.
+func TestNeverAdmitsConflictingWriters(t *testing.T) {
+	rels := []string{"r1", "r2", "r3", "r4"}
+	rng := rand.New(rand.NewSource(7))
+
+	s := New(Config{Runners: 8, QueueDepth: 512})
+	defer s.Close()
+
+	type activeJob struct {
+		id int
+		f  query.Footprint
+	}
+	var amu sync.Mutex
+	active := map[int]activeJob{}
+	var violation error
+
+	const jobs = 400
+	var outs []<-chan Outcome
+	for i := 0; i < jobs; i++ {
+		// Random footprint: 1-2 reads, sometimes a write.
+		reads := map[string]bool{rels[rng.Intn(len(rels))]: true}
+		if rng.Intn(2) == 0 {
+			reads[rels[rng.Intn(len(rels))]] = true
+		}
+		var writes []string
+		if rng.Intn(3) == 0 {
+			w := rels[rng.Intn(len(rels))]
+			writes = []string{w}
+			reads[w] = true
+		}
+		var rlist []string
+		for r := range reads {
+			rlist = append(rlist, r)
+		}
+		f := query.Footprint{Reads: sorted(rlist), Writes: writes}
+		id := i
+		hold := time.Duration(rng.Intn(3)) * time.Millisecond
+		out, err := s.Submit(&Job{
+			Session: fmt.Sprintf("s%d", i%7), Label: fmt.Sprintf("q%d", i),
+			Lane: Lane(rng.Intn(int(numLanes))), Footprint: f, QueryID: -1,
+			Exec: func(context.Context) (any, error) {
+				amu.Lock()
+				for _, other := range active {
+					if f.Conflicts(other.f) && violation == nil {
+						violation = fmt.Errorf("job %d (%v) admitted concurrently with job %d (%v)", id, f, other.id, other.f)
+					}
+				}
+				active[id] = activeJob{id: id, f: f}
+				amu.Unlock()
+				time.Sleep(hold)
+				amu.Lock()
+				delete(active, id)
+				amu.Unlock()
+				return nil, nil
+			},
+		})
+		if errors.Is(err, ErrOverloaded) {
+			continue // shed is a legal outcome under load
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	for _, out := range outs {
+		if o := <-out; o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+	amu.Lock()
+	defer amu.Unlock()
+	if violation != nil {
+		t.Fatal(violation)
+	}
+}
+
+// TestSchedulerMetrics: admission decisions land in the registry as
+// counters and gauges.
+func TestSchedulerMetrics(t *testing.T) {
+	reg := obs.NewRegistry(time.Millisecond)
+	o := obs.New(nil, reg)
+	s := New(Config{Runners: 1, QueueDepth: 1, Obs: o})
+	defer s.Close()
+
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var ran int32
+	out1, err := s.Submit(waitJob("a", fp([]string{"r1"}, nil), release, &ran, &mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.RunningCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	out2, err := s.Submit(waitJob("b", fp([]string{"r1"}, nil), release, &ran, &mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(waitJob("c", fp([]string{"r1"}, nil), release, &ran, &mu)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("got %v, want ErrOverloaded", err)
+	}
+	close(release)
+	<-out1
+	<-out2
+	if got := reg.Counter("sched.admitted"); got != 2 {
+		t.Errorf("sched.admitted = %d, want 2", got)
+	}
+	if got := reg.Counter("sched.shed"); got != 1 {
+		t.Errorf("sched.shed = %d, want 1", got)
+	}
+	if got := reg.Counter("sched.completed"); got != 2 {
+		t.Errorf("sched.completed = %d, want 2", got)
+	}
+}
+
+func sorted(s []string) []string {
+	out := append([]string(nil), s...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dfdbm/internal/relation"
+	"dfdbm/internal/wire"
+)
+
+// ClientConfig parameterizes Dial.
+type ClientConfig struct {
+	// Engine requests an execution engine for the session ("core" or
+	// "machine"); empty accepts the server's default.
+	Engine string
+	// Name identifies the client in server logs and spans.
+	Name string
+	// Timeout bounds the dial, the handshake, and each Query's network
+	// waits. Default 30 seconds.
+	Timeout time.Duration
+}
+
+// RemoteError is an error frame received from the server.
+type RemoteError struct {
+	Code string // wire.CodeOverloaded, wire.CodeDraining, ...
+	Msg  string
+}
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("server: %s: %s", e.Code, e.Msg) }
+
+// QueryResult is one answered query.
+type QueryResult struct {
+	Relation *relation.Relation
+	Stats    *wire.Stats
+}
+
+// Client is one session against a dfdbm server. Its methods are safe
+// for concurrent use; queries within a session are serialized, which
+// is also the wire protocol's per-session ordering model.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	cfg    ClientConfig
+	engine string // negotiated
+	nextID uint32
+	closed bool
+}
+
+// Dial connects to a dfdbm server and performs the version and engine
+// handshake.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, br: bufio.NewReader(conn), cfg: cfg}
+	_ = conn.SetDeadline(time.Now().Add(cfg.Timeout))
+	if err := wire.Write(conn, &wire.Hello{Min: wire.MinVersion, Max: wire.Version, Engine: cfg.Engine, Name: cfg.Name}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake write: %w", err)
+	}
+	f, err := wire.Read(c.br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake read: %w", err)
+	}
+	switch f := f.(type) {
+	case *wire.Hello:
+		c.engine = f.Engine
+	case *wire.Error:
+		conn.Close()
+		return nil, &RemoteError{Code: f.Code, Msg: f.Msg}
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected %s frame", f.Type())
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// Engine returns the engine the server assigned to this session.
+func (c *Client) Engine() string { return c.engine }
+
+// Close ends the session.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// Query sends one query and reassembles the streamed result. The
+// returned relation is rebuilt from the server's pages byte-for-byte.
+// Server-side failures (overload, drain, parse, execution, injected
+// faults) come back as *RemoteError with the wire code preserved.
+func (c *Client) Query(ctx context.Context, text string) (*QueryResult, error) {
+	return c.QueryPriority(ctx, text, 1)
+}
+
+// QueryPriority is Query with an explicit admission priority
+// (0 = high, 1 = normal, 2+ = low).
+func (c *Client) QueryPriority(ctx context.Context, text string, priority uint8) (*QueryResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("client: session closed")
+	}
+	id := c.nextID
+	c.nextID++
+
+	// Let ctx cancellation tear the connection's deadlines down.
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(dl)
+	} else {
+		_ = c.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+	}
+	stop := context.AfterFunc(ctx, func() {
+		_ = c.conn.SetDeadline(time.Now()) // unblock reads/writes
+	})
+	defer stop()
+
+	if err := wire.Write(c.conn, &wire.Query{ID: id, Priority: priority, Text: text}); err != nil {
+		return nil, fmt.Errorf("client: send query: %w", err)
+	}
+
+	var rel *relation.Relation
+	var wantSeq uint32
+	for {
+		f, err := wire.Read(c.br)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("client: read result: %w", err)
+		}
+		switch f := f.(type) {
+		case *wire.Error:
+			return nil, &RemoteError{Code: f.Code, Msg: f.Msg}
+		case *wire.ResultPage:
+			if f.QueryID != id || f.Seq != wantSeq {
+				return nil, fmt.Errorf("client: result stream out of order (query %d seq %d, want %d/%d)", f.QueryID, f.Seq, id, wantSeq)
+			}
+			wantSeq++
+			if f.Seq == 0 {
+				attrs := make([]relation.Attr, len(f.Schema))
+				for i, a := range f.Schema {
+					attrs[i] = relation.Attr{Name: a.Name, Type: relation.Type(a.Type), Width: int(a.Width)}
+				}
+				schema, err := relation.NewSchema(attrs...)
+				if err != nil {
+					return nil, fmt.Errorf("client: result schema: %w", err)
+				}
+				rel, err = relation.New(f.Name, schema, int(f.PageSize))
+				if err != nil {
+					return nil, fmt.Errorf("client: result relation: %w", err)
+				}
+			}
+			if len(f.Page) > 0 {
+				pg, err := relation.UnmarshalPage(f.Page)
+				if err != nil {
+					return nil, fmt.Errorf("client: result page %d: %w", f.Seq, err)
+				}
+				if err := rel.AppendPage(pg); err != nil {
+					return nil, fmt.Errorf("client: result page %d: %w", f.Seq, err)
+				}
+			}
+		case *wire.Stats:
+			if f.QueryID != id {
+				return nil, fmt.Errorf("client: stats for query %d, want %d", f.QueryID, id)
+			}
+			_ = c.conn.SetDeadline(time.Time{})
+			return &QueryResult{Relation: rel, Stats: f}, nil
+		default:
+			return nil, fmt.Errorf("client: unexpected %s frame", f.Type())
+		}
+	}
+}

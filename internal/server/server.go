@@ -1,0 +1,642 @@
+// Package server implements the dfdbm network query service: the host
+// processor of the paper's Section 4 machine, made real. A Server
+// listens on TCP, speaks the internal/wire protocol, runs one
+// goroutine per client session, and funnels every received query
+// through the internal/sched admission scheduler — the generalization
+// of the master controller's read/write-set concurrency control — onto
+// a pool of engine runners. Each session selects its engine at the
+// Hello handshake: the concurrent data-flow engine (internal/core) or
+// the simulated Section 4 ring machine (internal/machine).
+//
+// Results stream back as page frames in relation wire form, so the
+// relation a client reassembles is byte-for-byte the relation the
+// engine produced. Overload is shed, never buffered: a full admission
+// queue, a full per-session in-flight window, or a full session table
+// answers with an "overloaded" error frame immediately.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/core"
+	"dfdbm/internal/fault"
+	"dfdbm/internal/hw"
+	"dfdbm/internal/machine"
+	"dfdbm/internal/obs"
+	"dfdbm/internal/query"
+	"dfdbm/internal/relation"
+	"dfdbm/internal/sched"
+	"dfdbm/internal/wire"
+)
+
+// Engine names accepted in Config.Engine and the Hello handshake.
+const (
+	EngineCore    = "core"
+	EngineMachine = "machine"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the TCP listen address; ":0" or "127.0.0.1:0" picks a
+	// free port (see Server.Addr). Default "127.0.0.1:0".
+	Addr string
+	// Engine is the default execution engine for sessions that do not
+	// request one in their Hello: EngineCore (default) or
+	// EngineMachine.
+	Engine string
+	// MaxSessions bounds concurrent sessions; further connections are
+	// refused with an "overloaded" error frame. Default 64.
+	MaxSessions int
+	// MaxInflight bounds the queries one session may have in flight;
+	// excess queries are answered "overloaded" without touching the
+	// scheduler. Default 4.
+	MaxInflight int
+	// QueueDepth and Runners configure the admission scheduler (see
+	// sched.Config).
+	QueueDepth int
+	Runners    int
+	// SessionTimeout is the per-session idle deadline: a session with
+	// no in-flight query that sends nothing for this long is closed.
+	// Default 5 minutes.
+	SessionTimeout time.Duration
+	// Workers is the worker-pool size of each core-engine execution.
+	// Default 4.
+	Workers int
+	// Granularity is the core engine's scheduling unit. Default
+	// core.PageLevel (the paper's recommendation).
+	Granularity core.Granularity
+	// PageSize sizes intermediate-result pages. 0 means the engine
+	// defaults.
+	PageSize int
+	// IPs and ICs size each machine-engine execution. Defaults 16, 16.
+	IPs, ICs int
+	// MachineFault, when non-nil, builds a fresh fault plan for every
+	// machine-engine query — the chaos hook: a plan that exhausts
+	// recovery surfaces to the client as a typed "fault" error frame.
+	MachineFault func() *fault.Plan
+	// Obs, when non-nil, receives server events (sessions opened and
+	// closed, queries received, results streamed), the server.*
+	// counters and gauges, per-session and per-query spans (when spans
+	// are enabled), and everything the admission scheduler records.
+	Obs *obs.Observer
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	switch c.Engine {
+	case "":
+		c.Engine = EngineCore
+	case EngineCore, EngineMachine:
+	default:
+		return c, fmt.Errorf("server: unknown engine %q (want %q or %q)", c.Engine, EngineCore, EngineMachine)
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4
+	}
+	if c.SessionTimeout <= 0 {
+		c.SessionTimeout = 5 * time.Minute
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Granularity == 0 {
+		c.Granularity = core.PageLevel
+	}
+	if c.IPs <= 0 {
+		c.IPs = 16
+	}
+	if c.ICs <= 0 {
+		c.ICs = 16
+	}
+	return c, nil
+}
+
+// testExecGate, when non-nil, runs at the start of every scheduled
+// query execution. Tests set it (before Start) to hold runners at a
+// known point; it must respect ctx.
+var testExecGate func(ctx context.Context)
+
+// Server is a running query service.
+type Server struct {
+	cat    *catalog.Catalog
+	cfg    Config
+	start  time.Time
+	sched  *sched.Scheduler
+	engine *core.Engine // shared: safe for concurrent non-conflicting executions
+	ln     net.Listener
+
+	mu       sync.Mutex
+	sessions map[int]*session
+	nextSID  int
+	draining bool
+	closed   bool
+
+	acceptWg sync.WaitGroup // the accept loop
+	sessWg   sync.WaitGroup // session goroutines
+	queryWg  sync.WaitGroup // per-query result streamers
+}
+
+// Start builds a server over the catalog and begins accepting
+// sessions.
+func Start(cat *catalog.Catalog, cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cat:      cat,
+		cfg:      cfg,
+		start:    time.Now(),
+		ln:       ln,
+		sessions: map[int]*session{},
+	}
+	s.sched = sched.New(sched.Config{
+		Runners:    cfg.Runners,
+		QueueDepth: cfg.QueueDepth,
+		Obs:        cfg.Obs,
+	})
+	s.engine = core.New(cat, core.Options{
+		Granularity: cfg.Granularity,
+		Workers:     cfg.Workers,
+		PageSize:    cfg.PageSize,
+	})
+	s.acceptWg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address ("127.0.0.1:43781").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Config returns the server's effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: shutting down
+		}
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			_ = wire.Write(conn, &wire.Error{QueryID: wire.SessionQueryID, Code: wire.CodeDraining, Msg: "server is shutting down"})
+			conn.Close()
+			continue
+		}
+		if len(s.sessions) >= s.cfg.MaxSessions {
+			s.mu.Unlock()
+			s.count("server.sessions_refused", 1)
+			_ = wire.Write(conn, &wire.Error{QueryID: wire.SessionQueryID, Code: wire.CodeOverloaded,
+				Msg: fmt.Sprintf("session table full (%d sessions)", s.cfg.MaxSessions)})
+			conn.Close()
+			continue
+		}
+		sid := s.nextSID
+		s.nextSID++
+		sess := &session{
+			id:     sid,
+			srv:    s,
+			conn:   conn,
+			br:     bufio.NewReader(conn),
+			engine: s.cfg.Engine,
+		}
+		s.sessions[sid] = sess
+		active := len(s.sessions)
+		s.mu.Unlock()
+
+		s.count("server.sessions", 1)
+		s.gauge("server.sessions_active", float64(active))
+		s.event(obs.EvNote, -1, "session %d open from %s (%d active)", sid, conn.RemoteAddr(), active)
+		s.sessWg.Add(1)
+		go sess.run()
+	}
+}
+
+// remove unregisters a finished session.
+func (s *Server) remove(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	active := len(s.sessions)
+	s.mu.Unlock()
+	s.gauge("server.sessions_active", float64(active))
+	s.event(obs.EvNote, -1, "session %d closed (%d active)", sess.id, active)
+}
+
+// Draining reports whether a graceful shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server gracefully: the listener closes, new
+// queries are rejected with "draining" error frames, and in-flight
+// queries run to completion with their results fully streamed. When
+// ctx expires first, remaining work is cancelled and ctx's error
+// returned. The paper's host processor behaves the same way: the MC
+// finishes what it admitted, and admits nothing more.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+	s.event(obs.EvNote, -1, "drain: rejecting new work, finishing in-flight queries")
+	s.ln.Close()
+	s.acceptWg.Wait()
+
+	drainErr := s.sched.Drain(ctx) // nil, or ctx's error after cancelling
+	// Wait for result streams to flush (bounded by ctx).
+	streamed := make(chan struct{})
+	go func() {
+		s.queryWg.Wait()
+		close(streamed)
+	}()
+	select {
+	case <-streamed:
+	case <-ctx.Done():
+		if drainErr == nil {
+			drainErr = ctx.Err()
+		}
+	}
+	s.closeSessions()
+	s.sessWg.Wait()
+	s.queryWg.Wait()
+	s.markClosed()
+	return drainErr
+}
+
+// Close stops the server immediately: in-flight queries are cancelled.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.acceptWg.Wait()
+	s.sched.Close()
+	s.closeSessions()
+	s.sessWg.Wait()
+	s.queryWg.Wait()
+	s.markClosed()
+	return nil
+}
+
+func (s *Server) markClosed() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+func (s *Server) closeSessions() {
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		sess.conn.Close()
+	}
+	s.mu.Unlock()
+}
+
+// execCore runs one query on the shared concurrent engine.
+func (s *Server) execCore(ctx context.Context, t *query.Tree) (*relation.Relation, error) {
+	res, err := s.engine.ExecuteContext(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	return res.Relation, nil
+}
+
+// execMachine runs one query on a fresh simulated ring machine (the
+// simulator is single-use per run; the catalog is shared).
+func (s *Server) execMachine(_ context.Context, t *query.Tree) (*relation.Relation, error) {
+	mcfg := machine.Config{IPs: s.cfg.IPs, ICs: s.cfg.ICs}
+	if s.cfg.PageSize > 0 {
+		mcfg.HW = hw.Default1979()
+		mcfg.HW.PageSize = s.cfg.PageSize
+	}
+	if s.cfg.MachineFault != nil {
+		mcfg.Fault = s.cfg.MachineFault()
+	}
+	m, err := machine.New(s.cat, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Submit(t); err != nil {
+		return nil, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	if len(res.PerQuery) != 1 {
+		return nil, fmt.Errorf("server: machine run returned %d results, want 1", len(res.PerQuery))
+	}
+	return res.PerQuery[0].Relation, nil
+}
+
+func (s *Server) count(name string, delta int64) {
+	if s.cfg.Obs.MetricsOn() {
+		s.cfg.Obs.Registry().Inc(name, delta)
+	}
+}
+
+func (s *Server) gauge(name string, v float64) {
+	if s.cfg.Obs.MetricsOn() {
+		s.cfg.Obs.Registry().SetGauge(name, v)
+	}
+}
+
+func (s *Server) event(kind obs.EventKind, queryID int, format string, args ...any) {
+	if !s.cfg.Obs.Enabled() {
+		return
+	}
+	s.cfg.Obs.Emit(obs.Event{
+		TS:    time.Since(s.start),
+		Kind:  kind,
+		Comp:  "server",
+		Query: queryID,
+		Instr: -1,
+		Page:  -1,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// session is one client connection.
+type session struct {
+	id     int
+	srv    *Server
+	conn   net.Conn
+	br     *bufio.Reader
+	engine string
+	name   string
+
+	wmu sync.Mutex // serializes frame writes across query streamers
+
+	imu      sync.Mutex
+	inflight int
+
+	span *obs.Span
+}
+
+func (c *session) run() {
+	s := c.srv
+	defer s.sessWg.Done()
+	defer s.remove(c)
+	defer c.conn.Close()
+
+	if !c.handshake() {
+		return
+	}
+	if s.cfg.Obs.SpansOn() {
+		c.span = s.cfg.Obs.Spans().Begin(obs.SpanSession, nil, time.Since(s.start),
+			"server", fmt.Sprintf("session %d (%s)", c.id, c.engine), -1, -1, -1)
+		defer func() {
+			s.cfg.Obs.Spans().End(c.span, time.Since(s.start))
+		}()
+	}
+
+	for {
+		_ = c.conn.SetReadDeadline(time.Now().Add(s.cfg.SessionTimeout))
+		f, err := wire.Read(c.br)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && c.inflightCount() > 0 {
+				// Idle deadline hit while results are still being
+				// computed or streamed: the session is not dead, the
+				// client is just quiet. Re-arm.
+				continue
+			}
+			return // EOF, torn frame, or idle timeout: session over
+		}
+		q, ok := f.(*wire.Query)
+		if !ok {
+			c.writeFrame(&wire.Error{QueryID: wire.SessionQueryID, Code: wire.CodeProtocol,
+				Msg: fmt.Sprintf("unexpected %s frame", f.Type())})
+			return
+		}
+		if q.ID == wire.SessionQueryID {
+			c.writeFrame(&wire.Error{QueryID: wire.SessionQueryID, Code: wire.CodeProtocol,
+				Msg: "reserved query id"})
+			return
+		}
+		c.handleQuery(q)
+	}
+}
+
+// handshake performs the Hello exchange; false means the session must
+// close.
+func (c *session) handshake() bool {
+	_ = c.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	f, err := wire.Read(c.br)
+	if err != nil {
+		return false
+	}
+	h, ok := f.(*wire.Hello)
+	if !ok {
+		c.writeFrame(&wire.Error{QueryID: wire.SessionQueryID, Code: wire.CodeProtocol,
+			Msg: fmt.Sprintf("handshake: got %s frame, want hello", f.Type())})
+		return false
+	}
+	v, err := wire.Negotiate(h.Min, h.Max, wire.MinVersion, wire.Version)
+	if err != nil {
+		c.writeFrame(&wire.Error{QueryID: wire.SessionQueryID, Code: wire.CodeVersion, Msg: err.Error()})
+		return false
+	}
+	switch h.Engine {
+	case "":
+	case EngineCore, EngineMachine:
+		c.engine = h.Engine
+	default:
+		c.writeFrame(&wire.Error{QueryID: wire.SessionQueryID, Code: wire.CodeProtocol,
+			Msg: fmt.Sprintf("unknown engine %q", h.Engine)})
+		return false
+	}
+	c.name = h.Name
+	return c.writeFrame(&wire.Hello{Min: v, Max: v, Engine: c.engine, Name: "dfdbm"})
+}
+
+func (c *session) inflightCount() int {
+	c.imu.Lock()
+	defer c.imu.Unlock()
+	return c.inflight
+}
+
+// handleQuery parses, schedules, and (in a streamer goroutine) answers
+// one query.
+func (c *session) handleQuery(q *wire.Query) {
+	s := c.srv
+	if s.Draining() {
+		c.writeFrame(&wire.Error{QueryID: q.ID, Code: wire.CodeDraining, Msg: "server is draining"})
+		return
+	}
+	c.imu.Lock()
+	if c.inflight >= s.cfg.MaxInflight {
+		c.imu.Unlock()
+		s.count("server.queries_shed", 1)
+		c.writeFrame(&wire.Error{QueryID: q.ID, Code: wire.CodeOverloaded,
+			Msg: fmt.Sprintf("session in-flight limit (%d) reached", s.cfg.MaxInflight)})
+		return
+	}
+	c.inflight++
+	c.imu.Unlock()
+	release := func() {
+		c.imu.Lock()
+		c.inflight--
+		c.imu.Unlock()
+	}
+
+	s.count("server.queries", 1)
+	root, err := query.Parse(q.Text)
+	if err != nil {
+		release()
+		c.writeFrame(&wire.Error{QueryID: q.ID, Code: wire.CodeParse, Msg: err.Error()})
+		return
+	}
+	tree, err := query.Bind(root, s.cat)
+	if err != nil {
+		release()
+		c.writeFrame(&wire.Error{QueryID: q.ID, Code: wire.CodeParse, Msg: err.Error()})
+		return
+	}
+
+	var qspan *obs.Span
+	if s.cfg.Obs.SpansOn() {
+		qspan = s.cfg.Obs.Spans().Begin(obs.SpanQuery, c.span, time.Since(s.start),
+			"server", fmt.Sprintf("s%d/q%d %s", c.id, q.ID, q.Text), int(q.ID), -1, -1)
+	}
+	endSpan := func() {
+		if qspan != nil {
+			s.cfg.Obs.Spans().End(qspan, time.Since(s.start))
+		}
+	}
+
+	engine := c.engine
+	exec := s.execCore
+	if engine == EngineMachine {
+		exec = s.execMachine
+	}
+	job := &sched.Job{
+		Session:   fmt.Sprintf("s%d", c.id),
+		Label:     fmt.Sprintf("s%d/q%d", c.id, q.ID),
+		Lane:      sched.LaneFromPriority(q.Priority),
+		Footprint: query.Analyze(tree.Root()),
+		QueryID:   int(q.ID),
+		Exec: func(ctx context.Context) (any, error) {
+			if testExecGate != nil {
+				testExecGate(ctx)
+			}
+			return exec(ctx, tree)
+		},
+	}
+	outc, err := s.sched.Submit(job)
+	if err != nil {
+		release()
+		endSpan()
+		code := wire.CodeOverloaded
+		if errors.Is(err, sched.ErrDraining) || errors.Is(err, sched.ErrClosed) {
+			code = wire.CodeDraining
+		}
+		s.count("server.queries_shed", 1)
+		c.writeFrame(&wire.Error{QueryID: q.ID, Code: code, Msg: err.Error()})
+		return
+	}
+
+	s.queryWg.Add(1)
+	go func() {
+		defer s.queryWg.Done()
+		defer release()
+		defer endSpan()
+		o := <-outc
+		if o.Err != nil {
+			code := wire.CodeExec
+			var fe *machine.FaultError
+			switch {
+			case errors.As(o.Err, &fe):
+				code = wire.CodeFault
+			case errors.Is(o.Err, sched.ErrClosed), errors.Is(o.Err, context.Canceled):
+				code = wire.CodeDraining
+			}
+			s.count("server.queries_failed", 1)
+			c.writeFrame(&wire.Error{QueryID: q.ID, Code: code, Msg: o.Err.Error()})
+			return
+		}
+		rel := o.Value.(*relation.Relation)
+		c.streamResult(q.ID, engine, rel, o)
+	}()
+}
+
+// streamResult writes the result pages and closing stats frame.
+func (c *session) streamResult(qid uint32, engine string, rel *relation.Relation, o sched.Outcome) {
+	s := c.srv
+	schema := rel.Schema()
+	attrs := make([]wire.SchemaAttr, schema.NumAttrs())
+	for i := range attrs {
+		a := schema.Attr(i)
+		attrs[i] = wire.SchemaAttr{Name: a.Name, Type: uint8(a.Type), Width: uint32(a.Width)}
+	}
+	pages := rel.Pages()
+	var bytesOut int64
+	if len(pages) == 0 {
+		if !c.writeFrame(&wire.ResultPage{QueryID: qid, Seq: 0, Last: true,
+			Name: rel.Name(), PageSize: uint32(rel.PageSize()), Schema: attrs}) {
+			return
+		}
+	}
+	for i, pg := range pages {
+		f := &wire.ResultPage{QueryID: qid, Seq: uint32(i), Last: i == len(pages)-1, Page: pg.Marshal()}
+		if i == 0 {
+			f.Name = rel.Name()
+			f.PageSize = uint32(rel.PageSize())
+			f.Schema = attrs
+		}
+		bytesOut += int64(len(f.Page))
+		if !c.writeFrame(f) {
+			return
+		}
+	}
+	s.count("server.result_pages", int64(len(pages)))
+	s.count("server.result_bytes", bytesOut)
+	c.writeFrame(&wire.Stats{
+		QueryID:     qid,
+		Engine:      engine,
+		Tuples:      int64(rel.Cardinality()),
+		Pages:       int64(len(pages)),
+		ResultBytes: bytesOut,
+		Queued:      o.Queued,
+		Exec:        o.Run,
+		Deferred:    o.Deferred,
+	})
+	s.event(obs.EvResult, int(qid), "s%d/q%d: %d tuples in %d pages (%s, queued %v, ran %v)",
+		c.id, qid, rel.Cardinality(), len(pages), engine, o.Queued.Round(time.Microsecond), o.Run.Round(time.Microsecond))
+}
+
+// writeFrame writes one frame under the session write lock; false
+// means the connection is gone.
+func (c *session) writeFrame(f wire.Frame) bool {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.srv.cfg.SessionTimeout))
+	return wire.Write(c.conn, f) == nil
+}

@@ -1,0 +1,552 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/core"
+	"dfdbm/internal/fault"
+	"dfdbm/internal/obs"
+	"dfdbm/internal/query"
+	"dfdbm/internal/relation"
+	"dfdbm/internal/wire"
+	"dfdbm/internal/workload"
+)
+
+// testDB builds a small paper workload database once per test.
+func testDB(t *testing.T, scale float64) (*catalog.Catalog, []*query.Tree) {
+	t.Helper()
+	cat, qs, err := workload.Build(workload.Config{Seed: 42, Scale: scale, PageSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, qs
+}
+
+func startServer(t *testing.T, cat *catalog.Catalog, cfg Config) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s, err := Start(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestHandshakeAndSimpleQuery(t *testing.T) {
+	cat, qs := testDB(t, 0.1)
+	s := startServer(t, cat, Config{})
+	c, err := Dial(s.Addr(), ClientConfig{Name: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Engine() != EngineCore {
+		t.Fatalf("negotiated engine %q, want %q", c.Engine(), EngineCore)
+	}
+	res, err := c.Query(context.Background(), workload.QueryTexts()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := query.ExecuteSerial(cat, qs[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relation.EqualMultiset(ref) {
+		t.Fatalf("remote result differs from serial reference (%d vs %d tuples)",
+			res.Relation.Cardinality(), ref.Cardinality())
+	}
+	if res.Stats == nil || res.Stats.Engine != EngineCore {
+		t.Fatalf("stats frame missing or wrong engine: %+v", res.Stats)
+	}
+	if res.Stats.Tuples != int64(ref.Cardinality()) {
+		t.Fatalf("stats report %d tuples, result has %d", res.Stats.Tuples, ref.Cardinality())
+	}
+}
+
+func TestMachineEngineSession(t *testing.T) {
+	cat, qs := testDB(t, 0.05)
+	s := startServer(t, cat, Config{})
+	c, err := Dial(s.Addr(), ClientConfig{Engine: EngineMachine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Engine() != EngineMachine {
+		t.Fatalf("negotiated engine %q, want machine", c.Engine())
+	}
+	res, err := c.Query(context.Background(), workload.QueryTexts()[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := query.ExecuteSerial(cat, qs[2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relation.EqualMultiset(ref) {
+		t.Fatal("machine-engine remote result differs from serial reference")
+	}
+}
+
+// TestVersionNegotiationRejected dials with a version range the server
+// cannot serve and expects a typed version error frame.
+func TestVersionNegotiationRejected(t *testing.T) {
+	cat, _ := testDB(t, 0.05)
+	s := startServer(t, cat, Config{})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.Write(conn, &wire.Hello{Min: wire.Version + 1, Max: wire.Version + 3}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := wire.Read(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := f.(*wire.Error)
+	if !ok || e.Code != wire.CodeVersion {
+		t.Fatalf("got %#v, want version error frame", f)
+	}
+}
+
+func TestUnknownEngineRejected(t *testing.T) {
+	cat, _ := testDB(t, 0.05)
+	s := startServer(t, cat, Config{})
+	if _, err := Dial(s.Addr(), ClientConfig{Engine: "abacus"}); err == nil {
+		t.Fatal("dial with unknown engine succeeded")
+	}
+}
+
+func TestParseErrorIsTyped(t *testing.T) {
+	cat, _ := testDB(t, 0.05)
+	s := startServer(t, cat, Config{})
+	c, err := Dial(s.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Query(context.Background(), `restrict(r1, `)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeParse {
+		t.Fatalf("got %v, want RemoteError with code %q", err, wire.CodeParse)
+	}
+	// The session survives a parse error.
+	if _, err := c.Query(context.Background(), `restrict(r1, val < 50)`); err != nil {
+		t.Fatalf("query after parse error: %v", err)
+	}
+}
+
+func TestSessionTableOverload(t *testing.T) {
+	cat, _ := testDB(t, 0.05)
+	s := startServer(t, cat, Config{MaxSessions: 1})
+	c1, err := Dial(s.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	_, err = Dial(s.Addr(), ClientConfig{})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeOverloaded {
+		t.Fatalf("second dial got %v, want overloaded", err)
+	}
+}
+
+// TestMaxInflightSheds holds the runner pool at a gate and pushes more
+// queries down one session than its in-flight window allows.
+func TestMaxInflightSheds(t *testing.T) {
+	cat, _ := testDB(t, 0.05)
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	testExecGate = func(ctx context.Context) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	t.Cleanup(func() { testExecGate = nil })
+
+	s := startServer(t, cat, Config{MaxInflight: 2, Runners: 1, QueueDepth: 8})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.Write(conn, &wire.Hello{Min: wire.MinVersion, Max: wire.Version}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.Read(conn); err != nil {
+		t.Fatal(err)
+	}
+	// Query 0 occupies the single runner (held at the gate); query 1
+	// waits in the admission queue; query 2 exceeds the window.
+	for id := uint32(0); id < 3; id++ {
+		if err := wire.Write(conn, &wire.Query{ID: id, Priority: 1, Text: `restrict(r1, val < 50)`}); err != nil {
+			t.Fatal(err)
+		}
+		if id == 0 {
+			<-started // runner is now held; 1 and 2 cannot complete early
+		}
+	}
+	f, err := wire.Read(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := f.(*wire.Error)
+	if !ok || e.QueryID != 2 || e.Code != wire.CodeOverloaded {
+		t.Fatalf("got %#v, want overloaded error for query 2", f)
+	}
+	close(release)
+	// Queries 0 and 1 still complete.
+	done := map[uint32]bool{}
+	for len(done) < 2 {
+		f, err := wire.Read(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, ok := f.(*wire.Stats); ok {
+			done[st.QueryID] = true
+		}
+	}
+}
+
+// TestGracefulDrain starts a query, begins Shutdown, and checks that
+// (a) new connections and new queries are refused as draining, (b) the
+// in-flight query still streams its full result, (c) Shutdown returns
+// cleanly.
+func TestGracefulDrain(t *testing.T) {
+	cat, qs := testDB(t, 0.05)
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	testExecGate = func(ctx context.Context) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	t.Cleanup(func() { testExecGate = nil })
+
+	s := startServer(t, cat, Config{})
+	c, err := Dial(s.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resc := make(chan *QueryResult, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := c.Query(context.Background(), workload.QueryTexts()[0])
+		if err != nil {
+			errc <- err
+			return
+		}
+		resc <- res
+	}()
+	<-started // the query is on a runner
+
+	shut := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shut <- s.Shutdown(ctx)
+	}()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// New connections are turned away as draining.
+	_, err = Dial(s.Addr(), ClientConfig{})
+	var re *RemoteError
+	if err == nil || (errors.As(err, &re) && re.Code != wire.CodeDraining) {
+		t.Fatalf("dial during drain got %v, want draining refusal", err)
+	}
+
+	close(release)
+	select {
+	case err := <-shut:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("shutdown hung")
+	}
+	select {
+	case res := <-resc:
+		ref, err := query.ExecuteSerial(cat, qs[0], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Relation.EqualMultiset(ref) {
+			t.Fatal("drained query result differs from serial reference")
+		}
+	case err := <-errc:
+		t.Fatalf("in-flight query was not drained: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight query never finished")
+	}
+}
+
+// TestDrainDeadlineCancels verifies a stuck query cannot outlive the
+// drain timeout.
+func TestDrainDeadlineCancels(t *testing.T) {
+	cat, _ := testDB(t, 0.05)
+	started := make(chan struct{}, 16)
+	testExecGate = func(ctx context.Context) {
+		started <- struct{}{}
+		<-ctx.Done() // never released: only the drain cancel frees it
+	}
+	t.Cleanup(func() { testExecGate = nil })
+
+	s := startServer(t, cat, Config{})
+	c, err := Dial(s.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Query(context.Background(), workload.QueryTexts()[0])
+		errc <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	err = s.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("shutdown of a stuck query reported success")
+	}
+	if elapsed := time.Since(begin); elapsed > 10*time.Second {
+		t.Fatalf("shutdown took %v, deadline was 300ms", elapsed)
+	}
+	if qerr := <-errc; qerr == nil {
+		t.Fatal("stuck query reported success after forced drain")
+	}
+}
+
+// TestFaultyMachineQueryReturnsFaultCode injects a fault plan that
+// exhausts the ring machine's recovery and expects the typed fault
+// code at the client.
+func TestFaultyMachineQueryReturnsFaultCode(t *testing.T) {
+	cat, _ := testDB(t, 0.05)
+	s := startServer(t, cat, Config{
+		IPs: 4, ICs: 8,
+		MachineFault: func() *fault.Plan {
+			return fault.New(fault.Config{
+				Seed: 7,
+				Drop: map[fault.Class]float64{fault.ClassCompletion: 1.0},
+			})
+		},
+	})
+	c, err := Dial(s.Addr(), ClientConfig{Engine: EngineMachine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Query(context.Background(), workload.QueryTexts()[0])
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeFault {
+		t.Fatalf("got %v, want RemoteError with code %q", err, wire.CodeFault)
+	}
+}
+
+// TestTransportPageFidelity runs the same query on a local engine and
+// through the server (single worker, so page packing is deterministic)
+// and requires byte-identical pages — the transport must ship the
+// engine's pages verbatim.
+func TestTransportPageFidelity(t *testing.T) {
+	cat, qs := testDB(t, 0.1)
+	s := startServer(t, cat, Config{Workers: 1})
+	local := core.New(cat, core.Options{Granularity: core.PageLevel, Workers: 1})
+	ref, err := local.ExecuteContext(context.Background(), qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(s.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query(context.Background(), workload.QueryTexts()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPages := ref.Relation.Pages()
+	gotPages := res.Relation.Pages()
+	if len(refPages) != len(gotPages) {
+		t.Fatalf("transport returned %d pages, engine produced %d", len(gotPages), len(refPages))
+	}
+	for i := range refPages {
+		want, got := refPages[i].Marshal(), gotPages[i].Marshal()
+		if string(want) != string(got) {
+			t.Fatalf("page %d bytes differ after transport", i)
+		}
+	}
+}
+
+// TestAcceptancePaperWorkloadConcurrentSessions is the tentpole
+// acceptance check: the full ten-query paper workload, issued from ten
+// concurrent sessions, must match the serial reference executor.
+func TestAcceptancePaperWorkloadConcurrentSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-session workload in -short mode")
+	}
+	cat, qs := testDB(t, 0.1)
+	refs := make([]*relation.Relation, len(qs))
+	for i, q := range qs {
+		ref, err := query.ExecuteSerial(cat, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+	}
+
+	s := startServer(t, cat, Config{Runners: 8, QueueDepth: 256, MaxInflight: 4})
+	texts := workload.QueryTexts()
+	const sessions = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions*len(texts))
+	for sid := 0; sid < sessions; sid++ {
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr(), ClientConfig{Name: fmt.Sprintf("sess-%d", sid)})
+			if err != nil {
+				errs <- fmt.Errorf("session %d: dial: %w", sid, err)
+				return
+			}
+			defer c.Close()
+			for qi := range texts {
+				// Stagger per-session order so sessions collide on
+				// different queries at different times.
+				q := (qi + sid) % len(texts)
+				res, err := c.Query(context.Background(), texts[q])
+				if err != nil {
+					errs <- fmt.Errorf("session %d query %d: %w", sid, q, err)
+					return
+				}
+				if !res.Relation.EqualMultiset(refs[q]) {
+					errs <- fmt.Errorf("session %d query %d: result differs from serial reference (%d vs %d tuples)",
+						sid, q, res.Relation.Cardinality(), refs[q].Cardinality())
+					return
+				}
+			}
+		}(sid)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestFiftyConcurrentClients is the CI soak: 50 sessions dial at once
+// and each runs a couple of queries; with a deep enough admission
+// queue nothing may be shed and every result must be right.
+func TestFiftyConcurrentClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50-client soak in -short mode")
+	}
+	cat, qs := testDB(t, 0.05)
+	refs := make([]*relation.Relation, 3)
+	for i := range refs {
+		ref, err := query.ExecuteSerial(cat, qs[i], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+	}
+	s := startServer(t, cat, Config{MaxSessions: 64, Runners: 8, QueueDepth: 256})
+	texts := workload.QueryTexts()
+
+	const clients = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr(), ClientConfig{Name: fmt.Sprintf("soak-%d", id)})
+			if err != nil {
+				errs <- fmt.Errorf("client %d: dial: %w", id, err)
+				return
+			}
+			defer c.Close()
+			for r := 0; r < 2; r++ {
+				q := (id + r) % len(refs)
+				res, err := c.Query(context.Background(), texts[q])
+				if err != nil {
+					errs <- fmt.Errorf("client %d query %d: %w", id, q, err)
+					return
+				}
+				if !res.Relation.EqualMultiset(refs[q]) {
+					errs <- fmt.Errorf("client %d query %d: wrong result", id, q)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestServerMetricsAndSpans checks the observability contract: session
+// and scheduler counters move, and session/query spans close.
+func TestServerMetricsAndSpans(t *testing.T) {
+	cat, _ := testDB(t, 0.05)
+	reg := obs.NewRegistry(time.Millisecond)
+	o := obs.New(nil, reg)
+	o.EnableSpans()
+	s := startServer(t, cat, Config{Obs: o})
+	c, err := Dial(s.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(context.Background(), workload.QueryTexts()[0]); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	s.Close()
+
+	if got := reg.Counter("server.sessions"); got < 1 {
+		t.Fatalf("server.sessions = %d, want >= 1", got)
+	}
+	if got := reg.Counter("server.queries"); got < 1 {
+		t.Fatalf("server.queries = %d, want >= 1", got)
+	}
+	if got := reg.Counter("sched.admitted"); got < 1 {
+		t.Fatalf("sched.admitted = %d, want >= 1", got)
+	}
+	var sessions, queries int
+	for _, sp := range o.Spans().Snapshot() {
+		switch sp.Kind {
+		case obs.SpanSession:
+			sessions++
+		case obs.SpanQuery:
+			queries++
+		}
+		if sp.End == 0 {
+			t.Fatalf("span %s %q never closed", sp.Kind, sp.Name)
+		}
+	}
+	if sessions < 1 || queries < 1 {
+		t.Fatalf("spans: %d session, %d query, want >= 1 each", sessions, queries)
+	}
+}

@@ -1,0 +1,475 @@
+// Package wire implements the dfdbm network query protocol: the frame
+// format a client and the query server (internal/server) exchange over
+// a TCP connection.
+//
+// The protocol is a length-prefixed binary framing, in the spirit of
+// the database-file format of internal/catalog:
+//
+//	u8   frame type (Hello, Query, ResultPage, Error, Stats)
+//	u32  payload length
+//	...  payload (frame-specific, little-endian integers,
+//	     u16-length-prefixed strings)
+//
+// A session opens with a Hello exchange that negotiates the protocol
+// version: the client offers its supported [MinVersion, MaxVersion]
+// range, the server answers with the highest version both sides speak
+// (or an Error frame when the ranges do not overlap). After the
+// handshake the client sends Query frames, each carrying a
+// client-chosen query ID, and the server answers every query with a
+// stream of ResultPage frames (page blobs in relation.Page wire form,
+// so the reassembled result is byte-identical to a local execution)
+// terminated by one Stats frame, or with a single Error frame. Frames
+// of different in-flight queries may interleave; the query ID ties
+// them together.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Protocol versions spoken by this build.
+const (
+	// MinVersion is the oldest protocol revision this build accepts.
+	MinVersion = 1
+	// Version is the current protocol revision.
+	Version = 1
+)
+
+// MaxFrameLen bounds a frame payload; a peer announcing more is
+// protocol-broken and the connection is dropped rather than buffered.
+const MaxFrameLen = 64 << 20
+
+// SessionQueryID is the query ID used by Error frames that concern the
+// whole session rather than one query (handshake failures, shutdown).
+const SessionQueryID = ^uint32(0)
+
+// Type identifies a frame.
+type Type uint8
+
+// The five frame types.
+const (
+	TypeHello Type = iota + 1
+	TypeQuery
+	TypeResultPage
+	TypeError
+	TypeStats
+)
+
+// String returns the frame-type name.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeQuery:
+		return "query"
+	case TypeResultPage:
+		return "result-page"
+	case TypeError:
+		return "error"
+	case TypeStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Error codes carried by Error frames. Codes, not messages, are the
+// machine-readable contract: clients dispatch on Code and surface Msg.
+const (
+	// CodeOverloaded: the admission queue (or the session's in-flight
+	// budget, or the server's session table) is full; retry later.
+	CodeOverloaded = "overloaded"
+	// CodeDraining: the server is shutting down and rejects new work.
+	CodeDraining = "draining"
+	// CodeParse: the query text failed to parse or bind.
+	CodeParse = "parse"
+	// CodeExec: the engine failed executing the query.
+	CodeExec = "exec"
+	// CodeFault: the simulated machine exhausted fault recovery.
+	CodeFault = "fault"
+	// CodeProtocol: the peer broke framing or the handshake.
+	CodeProtocol = "protocol"
+	// CodeVersion: no protocol version is spoken by both sides.
+	CodeVersion = "version"
+)
+
+// Frame is one protocol frame.
+type Frame interface {
+	// Type returns the frame's wire type.
+	Type() Type
+	encode(e *encoder)
+	decode(d *decoder)
+}
+
+// Hello opens a session. The client sends its supported version range
+// and requested engine; the server replies with Min == Max == the
+// negotiated version and the engine actually in force.
+type Hello struct {
+	// Min and Max delimit the sender's supported protocol versions.
+	Min, Max uint16
+	// Engine requests (client) or confirms (server) the execution
+	// engine of the session: "core" (the concurrent data-flow engine)
+	// or "machine" (the simulated Section 4 ring machine). Empty on a
+	// client Hello means the server's default.
+	Engine string
+	// Name optionally identifies the peer for traces and spans.
+	Name string
+}
+
+// Type returns TypeHello.
+func (*Hello) Type() Type { return TypeHello }
+
+func (h *Hello) encode(e *encoder) {
+	e.u16(h.Min)
+	e.u16(h.Max)
+	e.str(h.Engine)
+	e.str(h.Name)
+}
+
+func (h *Hello) decode(d *decoder) {
+	h.Min = d.u16()
+	h.Max = d.u16()
+	h.Engine = d.str()
+	h.Name = d.str()
+}
+
+// Negotiate returns the protocol version a server speaking
+// [serverMin, serverMax] should use with a client offering
+// [clientMin, clientMax]: the highest version inside both ranges.
+func Negotiate(clientMin, clientMax, serverMin, serverMax uint16) (uint16, error) {
+	v := clientMax
+	if serverMax < v {
+		v = serverMax
+	}
+	if v < clientMin || v < serverMin {
+		return 0, fmt.Errorf("wire: no common protocol version (client %d-%d, server %d-%d)",
+			clientMin, clientMax, serverMin, serverMax)
+	}
+	return v, nil
+}
+
+// Query submits one query for execution.
+type Query struct {
+	// ID is chosen by the client and echoed on every frame answering
+	// this query. SessionQueryID is reserved.
+	ID uint32
+	// Priority selects the admission lane: 0 high, 1 normal, 2 low.
+	Priority uint8
+	// Text is the query in the surface syntax of internal/query.
+	Text string
+}
+
+// Type returns TypeQuery.
+func (*Query) Type() Type { return TypeQuery }
+
+func (q *Query) encode(e *encoder) {
+	e.u32(q.ID)
+	e.u8(q.Priority)
+	e.str(q.Text)
+}
+
+func (q *Query) decode(d *decoder) {
+	q.ID = d.u32()
+	q.Priority = d.u8()
+	q.Text = d.str()
+}
+
+// SchemaAttr is one attribute of a result schema as carried on the
+// wire (mirrors relation.Attr without importing it; wire stays a leaf
+// package).
+type SchemaAttr struct {
+	Name  string
+	Type  uint8
+	Width uint32
+}
+
+// ResultPage carries one page of a query result. The first page of a
+// result (Seq 0) also carries the result schema, relation name, and
+// page size so the client can rebuild the relation; the final frame
+// has Last set (a Last frame with no page blob terminates an empty
+// result).
+type ResultPage struct {
+	QueryID uint32
+	// Seq numbers the pages of one result from 0.
+	Seq uint32
+	// Last marks the final frame of the result stream.
+	Last bool
+	// Name, PageSize, and Schema describe the result relation; set
+	// only on Seq 0.
+	Name     string
+	PageSize uint32
+	Schema   []SchemaAttr
+	// Page is the page blob in relation.Page wire form (Marshal), or
+	// empty on a pure end-of-stream marker.
+	Page []byte
+}
+
+// Type returns TypeResultPage.
+func (*ResultPage) Type() Type { return TypeResultPage }
+
+func (p *ResultPage) encode(e *encoder) {
+	e.u32(p.QueryID)
+	e.u32(p.Seq)
+	var flags uint8
+	if p.Last {
+		flags |= 1
+	}
+	if p.Seq == 0 {
+		flags |= 2
+	}
+	e.u8(flags)
+	if p.Seq == 0 {
+		e.str(p.Name)
+		e.u32(p.PageSize)
+		e.u16(uint16(len(p.Schema)))
+		for _, a := range p.Schema {
+			e.str(a.Name)
+			e.u8(a.Type)
+			e.u32(a.Width)
+		}
+	}
+	e.bytes(p.Page)
+}
+
+func (p *ResultPage) decode(d *decoder) {
+	p.QueryID = d.u32()
+	p.Seq = d.u32()
+	flags := d.u8()
+	p.Last = flags&1 != 0
+	if flags&2 != 0 {
+		p.Name = d.str()
+		p.PageSize = d.u32()
+		n := int(d.u16())
+		if d.err == nil && n > 0 {
+			p.Schema = make([]SchemaAttr, n)
+			for i := range p.Schema {
+				p.Schema[i].Name = d.str()
+				p.Schema[i].Type = d.u8()
+				p.Schema[i].Width = d.u32()
+			}
+		}
+	}
+	p.Page = d.bytes()
+}
+
+// Error reports a failed query (or, with QueryID == SessionQueryID, a
+// failed session).
+type Error struct {
+	QueryID uint32
+	// Code is one of the Code* constants.
+	Code string
+	// Msg is the human-readable detail.
+	Msg string
+}
+
+// Type returns TypeError.
+func (*Error) Type() Type { return TypeError }
+
+func (e *Error) encode(enc *encoder) {
+	enc.u32(e.QueryID)
+	enc.str(e.Code)
+	enc.str(e.Msg)
+}
+
+func (e *Error) decode(d *decoder) {
+	e.QueryID = d.u32()
+	e.Code = d.str()
+	e.Msg = d.str()
+}
+
+// Stats closes a successful result stream with the server-side
+// accounting of the query.
+type Stats struct {
+	QueryID uint32
+	// Engine names the engine that executed the query.
+	Engine string
+	// Tuples, Pages, and ResultBytes size the result.
+	Tuples      int64
+	Pages       int64
+	ResultBytes int64
+	// Queued is how long the query waited for admission; Exec is the
+	// engine execution time.
+	Queued time.Duration
+	Exec   time.Duration
+	// Deferred reports whether admission was delayed by a read/write
+	// conflict with a concurrently running query.
+	Deferred bool
+}
+
+// Type returns TypeStats.
+func (*Stats) Type() Type { return TypeStats }
+
+func (s *Stats) encode(e *encoder) {
+	e.u32(s.QueryID)
+	e.str(s.Engine)
+	e.u64(uint64(s.Tuples))
+	e.u64(uint64(s.Pages))
+	e.u64(uint64(s.ResultBytes))
+	e.u64(uint64(s.Queued))
+	e.u64(uint64(s.Exec))
+	var flags uint8
+	if s.Deferred {
+		flags = 1
+	}
+	e.u8(flags)
+}
+
+func (s *Stats) decode(d *decoder) {
+	s.QueryID = d.u32()
+	s.Engine = d.str()
+	s.Tuples = int64(d.u64())
+	s.Pages = int64(d.u64())
+	s.ResultBytes = int64(d.u64())
+	s.Queued = time.Duration(d.u64())
+	s.Exec = time.Duration(d.u64())
+	s.Deferred = d.u8()&1 != 0
+}
+
+// Write encodes f and writes it to w as one frame.
+func Write(w io.Writer, f Frame) error {
+	var e encoder
+	f.encode(&e)
+	if len(e.b) > MaxFrameLen {
+		return fmt.Errorf("wire: %s frame payload is %d bytes, max %d", f.Type(), len(e.b), MaxFrameLen)
+	}
+	hdr := make([]byte, 5, 5+len(e.b))
+	hdr[0] = byte(f.Type())
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(e.b)))
+	_, err := w.Write(append(hdr, e.b...))
+	return err
+}
+
+// Read reads and decodes one frame from r. It returns io.EOF untouched
+// on a clean end of stream (so callers can detect an orderly close)
+// and a wrapped error on a torn frame or malformed payload.
+func Read(r io.Reader) (Frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > MaxFrameLen {
+		return nil, fmt.Errorf("wire: frame announces %d-byte payload, max %d", n, MaxFrameLen)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: reading %d-byte %s payload: %w", n, Type(hdr[0]), err)
+	}
+	var f Frame
+	switch Type(hdr[0]) {
+	case TypeHello:
+		f = &Hello{}
+	case TypeQuery:
+		f = &Query{}
+	case TypeResultPage:
+		f = &ResultPage{}
+	case TypeError:
+		f = &Error{}
+	case TypeStats:
+		f = &Stats{}
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type %d", hdr[0])
+	}
+	d := decoder{b: payload}
+	f.decode(&d)
+	if d.err != nil {
+		return nil, fmt.Errorf("wire: decoding %s frame: %w", f.Type(), d.err)
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("wire: %s frame has %d trailing bytes", f.Type(), len(d.b))
+	}
+	return f, nil
+}
+
+// encoder builds a frame payload.
+type encoder struct{ b []byte }
+
+func (e *encoder) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *encoder) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *encoder) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *encoder) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+
+func (e *encoder) str(s string) {
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *encoder) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// decoder consumes a frame payload, latching the first error.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.err = fmt.Errorf("payload truncated (want %d bytes, have %d)", n, len(d.b))
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

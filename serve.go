@@ -1,0 +1,48 @@
+package dfdbm
+
+import (
+	"dfdbm/internal/server"
+)
+
+// Network query service: a dfdbm database served over TCP, with a
+// per-session choice of execution engine and a multi-query admission
+// scheduler that generalizes the paper's Section 4 master-controller
+// concurrency rules — queries with non-conflicting read/write sets run
+// concurrently, conflicting ones queue, and overload is shed rather
+// than buffered.
+type (
+	// QueryServer is a running network query service (Serve).
+	QueryServer = server.Server
+	// ServeConfig parameterizes Serve: listen address, default engine,
+	// session and admission limits, and observability.
+	ServeConfig = server.Config
+	// Client is one client session against a QueryServer (Dial).
+	Client = server.Client
+	// ClientConfig parameterizes Dial.
+	ClientConfig = server.ClientConfig
+	// QueryResult is one answered remote query: the reassembled
+	// relation plus the server's stats frame.
+	QueryResult = server.QueryResult
+	// RemoteError is a server-reported failure, carrying the wire
+	// error code ("overloaded", "draining", "parse", "exec", "fault",
+	// ...).
+	RemoteError = server.RemoteError
+)
+
+// Engine names for ServeConfig.Engine and ClientConfig.Engine.
+const (
+	ServeEngineCore    = server.EngineCore
+	ServeEngineMachine = server.EngineMachine
+)
+
+// Serve starts a network query service over the database. The server
+// owns a listener on cfg.Addr and serves sessions until Shutdown
+// (graceful drain) or Close.
+func Serve(db *DB, cfg ServeConfig) (*QueryServer, error) {
+	return server.Start(db.cat, cfg)
+}
+
+// Dial opens a client session against a Serve-d database.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	return server.Dial(addr, cfg)
+}

@@ -1,0 +1,52 @@
+package dfdbm_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dfdbm"
+)
+
+// TestServeDialRoundTrip exercises the public façade: Serve a paper
+// database, Dial it, and check a remote query against the serial
+// reference.
+func TestServeDialRoundTrip(t *testing.T) {
+	db, qs, err := dfdbm.PaperBenchmark(dfdbm.BenchmarkConfig{Seed: 42, Scale: 0.05, PageSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dfdbm.Serve(db, dfdbm.ServeConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := dfdbm.Dial(srv.Addr(), dfdbm.ClientConfig{Name: "facade-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query(context.Background(), `restrict(r1, val < 100)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := db.ExecuteSerial(qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relation.EqualMultiset(ref) {
+		t.Fatal("served result differs from serial reference")
+	}
+
+	// Remote failures surface as *RemoteError with the wire code.
+	_, err = c.Query(context.Background(), `restrict(nosuch, val < 1)`)
+	var re *dfdbm.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("bad query returned %v, want *dfdbm.RemoteError", err)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
