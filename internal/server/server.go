@@ -319,6 +319,52 @@ func (s *Server) closeSessions() {
 	s.mu.Unlock()
 }
 
+// bindError marks a query that failed name or schema resolution, so
+// the result streamer answers it with the parse error code even though
+// binding happens inside the scheduled execution.
+type bindError struct{ err error }
+
+func (e *bindError) Error() string { return e.err.Error() }
+func (e *bindError) Unwrap() error { return e.err }
+
+// queryResult is a self-contained, wire-ready copy of one result
+// relation. See snapshotResult.
+type queryResult struct {
+	name     string
+	pageSize uint32
+	schema   []wire.SchemaAttr
+	pages    [][]byte // relation.Page wire form, one blob per page
+	tuples   int64
+}
+
+// snapshotResult deep-copies rel into wire-ready form. It must run
+// inside a job's scheduled Exec: append and delete queries hand back
+// the live shared catalog relation, and once the scheduler retires the
+// job a conflicting writer may be admitted and mutate that relation
+// concurrently. Snapshotting while the job still occupies the running
+// set pins the streamed bytes to the state this query produced, under
+// the same admission exclusion that guarded its execution.
+func snapshotResult(rel *relation.Relation) *queryResult {
+	schema := rel.Schema()
+	attrs := make([]wire.SchemaAttr, schema.NumAttrs())
+	for i := range attrs {
+		a := schema.Attr(i)
+		attrs[i] = wire.SchemaAttr{Name: a.Name, Type: uint8(a.Type), Width: uint32(a.Width)}
+	}
+	pages := rel.Pages()
+	blobs := make([][]byte, len(pages))
+	for i, pg := range pages {
+		blobs[i] = pg.Marshal()
+	}
+	return &queryResult{
+		name:     rel.Name(),
+		pageSize: uint32(rel.PageSize()),
+		schema:   attrs,
+		pages:    blobs,
+		tuples:   int64(rel.Cardinality()),
+	}
+}
+
 // execCore runs one query on the shared concurrent engine.
 func (s *Server) execCore(ctx context.Context, t *query.Tree) (*relation.Relation, error) {
 	res, err := s.engine.ExecuteContext(ctx, t)
@@ -419,16 +465,24 @@ func (c *session) run() {
 
 	for {
 		_ = c.conn.SetReadDeadline(time.Now().Add(s.cfg.SessionTimeout))
-		f, err := wire.Read(c.br)
-		if err != nil {
+		// Wait for the first byte of the next frame separately from
+		// decoding it: a deadline that fires here has consumed
+		// nothing, so while results are still being computed or
+		// streamed the session is not dead — the client is just quiet
+		// — and it is safe to re-arm. A deadline firing inside
+		// wire.Read would leave a partially consumed frame behind, and
+		// re-arming then would desync the frame stream for the rest of
+		// the session; that session is protocol-broken and closes.
+		if _, err := c.br.Peek(1); err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() && c.inflightCount() > 0 {
-				// Idle deadline hit while results are still being
-				// computed or streamed: the session is not dead, the
-				// client is just quiet. Re-arm.
 				continue
 			}
-			return // EOF, torn frame, or idle timeout: session over
+			return // EOF or idle timeout: session over
+		}
+		f, err := wire.Read(c.br)
+		if err != nil {
+			return // torn or malformed frame: session over
 		}
 		q, ok := f.(*wire.Query)
 		if !ok {
@@ -487,13 +541,26 @@ func (c *session) inflightCount() int {
 // one query.
 func (c *session) handleQuery(q *wire.Query) {
 	s := c.srv
-	if s.Draining() {
+	// Register with the drain barrier first, under the server lock and
+	// only while not draining: Shutdown marks draining under the same
+	// lock before waiting on queryWg, so the barrier can never observe
+	// a zero counter while a just-received query is still on its way
+	// to the scheduler (the documented WaitGroup Add/Wait race), and a
+	// drain cannot close the session under a result stream that was
+	// about to start. Every non-streaming return below must Done.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
 		c.writeFrame(&wire.Error{QueryID: q.ID, Code: wire.CodeDraining, Msg: "server is draining"})
 		return
 	}
+	s.queryWg.Add(1)
+	s.mu.Unlock()
+
 	c.imu.Lock()
 	if c.inflight >= s.cfg.MaxInflight {
 		c.imu.Unlock()
+		s.queryWg.Done()
 		s.count("server.queries_shed", 1)
 		c.writeFrame(&wire.Error{QueryID: q.ID, Code: wire.CodeOverloaded,
 			Msg: fmt.Sprintf("session in-flight limit (%d) reached", s.cfg.MaxInflight)})
@@ -511,12 +578,7 @@ func (c *session) handleQuery(q *wire.Query) {
 	root, err := query.Parse(q.Text)
 	if err != nil {
 		release()
-		c.writeFrame(&wire.Error{QueryID: q.ID, Code: wire.CodeParse, Msg: err.Error()})
-		return
-	}
-	tree, err := query.Bind(root, s.cat)
-	if err != nil {
-		release()
+		s.queryWg.Done()
 		c.writeFrame(&wire.Error{QueryID: q.ID, Code: wire.CodeParse, Msg: err.Error()})
 		return
 	}
@@ -541,19 +603,34 @@ func (c *session) handleQuery(q *wire.Query) {
 		Session:   fmt.Sprintf("s%d", c.id),
 		Label:     fmt.Sprintf("s%d/q%d", c.id, q.ID),
 		Lane:      sched.LaneFromPriority(q.Priority),
-		Footprint: query.Analyze(tree.Root()),
+		Footprint: query.Analyze(root),
 		QueryID:   int(q.ID),
 		Exec: func(ctx context.Context) (any, error) {
 			if testExecGate != nil {
 				testExecGate(ctx)
 			}
-			return exec(ctx, tree)
+			// Bind inside the scheduled execution, not on the session
+			// goroutine: binding reads catalog relation schemas, and a
+			// running delete rewrites its target relation in place, so
+			// name resolution is only safe under the same admission
+			// exclusion that guards execution. The footprint needs no
+			// binding — Analyze reads only relation names.
+			tree, err := query.Bind(root, s.cat)
+			if err != nil {
+				return nil, &bindError{err}
+			}
+			rel, err := exec(ctx, tree)
+			if err != nil {
+				return nil, err
+			}
+			return snapshotResult(rel), nil
 		},
 	}
 	outc, err := s.sched.Submit(job)
 	if err != nil {
 		release()
 		endSpan()
+		s.queryWg.Done()
 		code := wire.CodeOverloaded
 		if errors.Is(err, sched.ErrDraining) || errors.Is(err, sched.ErrClosed) {
 			code = wire.CodeDraining
@@ -563,7 +640,6 @@ func (c *session) handleQuery(q *wire.Query) {
 		return
 	}
 
-	s.queryWg.Add(1)
 	go func() {
 		defer s.queryWg.Done()
 		defer release()
@@ -572,7 +648,10 @@ func (c *session) handleQuery(q *wire.Query) {
 		if o.Err != nil {
 			code := wire.CodeExec
 			var fe *machine.FaultError
+			var be *bindError
 			switch {
+			case errors.As(o.Err, &be):
+				code = wire.CodeParse
 			case errors.As(o.Err, &fe):
 				code = wire.CodeFault
 			case errors.Is(o.Err, sched.ErrClosed), errors.Is(o.Err, context.Canceled):
@@ -582,54 +661,48 @@ func (c *session) handleQuery(q *wire.Query) {
 			c.writeFrame(&wire.Error{QueryID: q.ID, Code: code, Msg: o.Err.Error()})
 			return
 		}
-		rel := o.Value.(*relation.Relation)
-		c.streamResult(q.ID, engine, rel, o)
+		c.streamResult(q.ID, engine, o.Value.(*queryResult), o)
 	}()
 }
 
-// streamResult writes the result pages and closing stats frame.
-func (c *session) streamResult(qid uint32, engine string, rel *relation.Relation, o sched.Outcome) {
+// streamResult writes the result pages and closing stats frame. It
+// runs after the scheduler retired the query, so it must only touch
+// the snapshot, never a live relation.
+func (c *session) streamResult(qid uint32, engine string, res *queryResult, o sched.Outcome) {
 	s := c.srv
-	schema := rel.Schema()
-	attrs := make([]wire.SchemaAttr, schema.NumAttrs())
-	for i := range attrs {
-		a := schema.Attr(i)
-		attrs[i] = wire.SchemaAttr{Name: a.Name, Type: uint8(a.Type), Width: uint32(a.Width)}
-	}
-	pages := rel.Pages()
 	var bytesOut int64
-	if len(pages) == 0 {
+	if len(res.pages) == 0 {
 		if !c.writeFrame(&wire.ResultPage{QueryID: qid, Seq: 0, Last: true,
-			Name: rel.Name(), PageSize: uint32(rel.PageSize()), Schema: attrs}) {
+			Name: res.name, PageSize: res.pageSize, Schema: res.schema}) {
 			return
 		}
 	}
-	for i, pg := range pages {
-		f := &wire.ResultPage{QueryID: qid, Seq: uint32(i), Last: i == len(pages)-1, Page: pg.Marshal()}
+	for i, blob := range res.pages {
+		f := &wire.ResultPage{QueryID: qid, Seq: uint32(i), Last: i == len(res.pages)-1, Page: blob}
 		if i == 0 {
-			f.Name = rel.Name()
-			f.PageSize = uint32(rel.PageSize())
-			f.Schema = attrs
+			f.Name = res.name
+			f.PageSize = res.pageSize
+			f.Schema = res.schema
 		}
-		bytesOut += int64(len(f.Page))
+		bytesOut += int64(len(blob))
 		if !c.writeFrame(f) {
 			return
 		}
 	}
-	s.count("server.result_pages", int64(len(pages)))
+	s.count("server.result_pages", int64(len(res.pages)))
 	s.count("server.result_bytes", bytesOut)
 	c.writeFrame(&wire.Stats{
 		QueryID:     qid,
 		Engine:      engine,
-		Tuples:      int64(rel.Cardinality()),
-		Pages:       int64(len(pages)),
+		Tuples:      res.tuples,
+		Pages:       int64(len(res.pages)),
 		ResultBytes: bytesOut,
 		Queued:      o.Queued,
 		Exec:        o.Run,
 		Deferred:    o.Deferred,
 	})
 	s.event(obs.EvResult, int(qid), "s%d/q%d: %d tuples in %d pages (%s, queued %v, ran %v)",
-		c.id, qid, rel.Cardinality(), len(pages), engine, o.Queued.Round(time.Microsecond), o.Run.Round(time.Microsecond))
+		c.id, qid, res.tuples, len(res.pages), engine, o.Queued.Round(time.Microsecond), o.Run.Round(time.Microsecond))
 }
 
 // writeFrame writes one frame under the session write lock; false

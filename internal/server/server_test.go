@@ -550,3 +550,138 @@ func TestServerMetricsAndSpans(t *testing.T) {
 		t.Fatalf("spans: %d session, %d query, want >= 1 each", sessions, queries)
 	}
 }
+
+// TestWriteResultStreamsDoNotRace is a regression test for streaming a
+// live catalog relation after the scheduler retired the query: append
+// and delete hand back the shared target relation, so reading its
+// pages outside the scheduler's admission exclusion races with the
+// next admitted writer. Two sessions hammer conflicting deletes on the
+// same relation; the race detector is the assertion.
+func TestWriteResultStreamsDoNotRace(t *testing.T) {
+	cat, _ := testDB(t, 0.05)
+	s := startServer(t, cat, Config{Runners: 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(s.Addr(), ClientConfig{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for n := 0; n < 25; n++ {
+				if _, err := c.Query(context.Background(), `delete(r1, val < 0)`); err != nil {
+					t.Errorf("delete %d: %v", n, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestIdleTimeoutRearmsWhileQueryInFlight: a quiet client with a query
+// still executing must survive several idle deadlines and receive its
+// result.
+func TestIdleTimeoutRearmsWhileQueryInFlight(t *testing.T) {
+	cat, qs := testDB(t, 0.05)
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	testExecGate = func(ctx context.Context) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	t.Cleanup(func() { testExecGate = nil })
+
+	s := startServer(t, cat, Config{SessionTimeout: 150 * time.Millisecond})
+	c, err := Dial(s.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resc := make(chan *QueryResult, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := c.Query(context.Background(), workload.QueryTexts()[0])
+		if err != nil {
+			errc <- err
+			return
+		}
+		resc <- res
+	}()
+	<-started
+	time.Sleep(600 * time.Millisecond) // several idle deadlines fire
+	close(release)
+	select {
+	case res := <-resc:
+		ref, err := query.ExecuteSerial(cat, qs[0], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Relation.EqualMultiset(ref) {
+			t.Fatal("result after idle re-arm differs from serial reference")
+		}
+	case err := <-errc:
+		t.Fatalf("session died during idle re-arm: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("query never finished")
+	}
+}
+
+// TestMidFrameTimeoutClosesSession: when the read deadline fires after
+// part of a frame was consumed, the session must close as
+// protocol-broken — re-arming would desync the frame stream for good.
+func TestMidFrameTimeoutClosesSession(t *testing.T) {
+	cat, _ := testDB(t, 0.05)
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	testExecGate = func(ctx context.Context) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	t.Cleanup(func() { testExecGate = nil })
+	defer close(release)
+
+	s := startServer(t, cat, Config{SessionTimeout: 200 * time.Millisecond})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.Write(conn, &wire.Hello{Min: wire.MinVersion, Max: wire.Version}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.Read(conn); err != nil {
+		t.Fatal(err)
+	}
+	// A held query keeps the session's in-flight count non-zero, so the
+	// idle re-arm path is live.
+	if err := wire.Write(conn, &wire.Query{ID: 1, Priority: 1, Text: `restrict(r1, val < 50)`}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// Send 3 of the 5 bytes of the next frame header, then go quiet so
+	// the deadline fires mid-frame.
+	if _, err := conn.Write([]byte{byte(wire.TypeQuery), 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				t.Fatal("session stayed open after a mid-frame timeout")
+			}
+			return // server closed the desynced session: pass
+		}
+	}
+}

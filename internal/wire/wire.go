@@ -224,6 +224,10 @@ func (p *ResultPage) encode(e *encoder) {
 	if p.Seq == 0 {
 		e.str(p.Name)
 		e.u32(p.PageSize)
+		if len(p.Schema) > maxStrLen {
+			e.fail(fmt.Errorf("schema of %d attributes exceeds the wire limit of %d", len(p.Schema), maxStrLen))
+			return
+		}
 		e.u16(uint16(len(p.Schema)))
 		for _, a := range p.Schema {
 			e.str(a.Name)
@@ -328,10 +332,16 @@ func (s *Stats) decode(d *decoder) {
 	s.Deferred = d.u8()&1 != 0
 }
 
-// Write encodes f and writes it to w as one frame.
+// Write encodes f and writes it to w as one frame. A frame carrying a
+// field that cannot be represented on the wire (a string or schema
+// longer than its length prefix can express, or a payload over
+// MaxFrameLen) is refused here, before any bytes reach the peer.
 func Write(w io.Writer, f Frame) error {
 	var e encoder
 	f.encode(&e)
+	if e.err != nil {
+		return fmt.Errorf("wire: encoding %s frame: %w", f.Type(), e.err)
+	}
 	if len(e.b) > MaxFrameLen {
 		return fmt.Errorf("wire: %s frame payload is %d bytes, max %d", f.Type(), len(e.b), MaxFrameLen)
 	}
@@ -387,8 +397,23 @@ func Read(r io.Reader) (Frame, error) {
 	return f, nil
 }
 
-// encoder builds a frame payload.
-type encoder struct{ b []byte }
+// maxStrLen bounds a u16-length-prefixed field: strings and the schema
+// attribute count. Longer values cannot be expressed on the wire;
+// truncating the prefix would desync the peer's decoder, so the
+// encoder latches an error instead and Write refuses the frame.
+const maxStrLen = 1<<16 - 1
+
+// encoder builds a frame payload, latching the first error.
+type encoder struct {
+	b   []byte
+	err error
+}
+
+func (e *encoder) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
 
 func (e *encoder) u8(v uint8)   { e.b = append(e.b, v) }
 func (e *encoder) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
@@ -396,6 +421,10 @@ func (e *encoder) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v)
 func (e *encoder) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
 
 func (e *encoder) str(s string) {
+	if len(s) > maxStrLen {
+		e.fail(fmt.Errorf("string field of %d bytes exceeds the %d-byte wire limit", len(s), maxStrLen))
+		return
+	}
 	e.u16(uint16(len(s)))
 	e.b = append(e.b, s...)
 }

@@ -147,3 +147,30 @@ func TestWriteRejectsOversized(t *testing.T) {
 		t.Error("oversized frame written")
 	}
 }
+
+// TestWriteRejectsOversizedString: a string field longer than its u16
+// length prefix can express must be refused at write time — silently
+// truncating the prefix would produce a frame the peer cannot decode
+// (trailing bytes) and tear down the whole session.
+func TestWriteRejectsOversizedString(t *testing.T) {
+	big := strings.Repeat("x", 1<<16)
+	if err := Write(io.Discard, &Query{ID: 1, Text: big}); err == nil {
+		t.Error("query with 64KiB+ text written")
+	}
+	if err := Write(io.Discard, &Error{QueryID: 1, Code: CodeExec, Msg: big}); err == nil {
+		t.Error("error frame with 64KiB+ message written")
+	}
+	// At the boundary the frame still round-trips.
+	max := strings.Repeat("y", 1<<16-1)
+	var buf bytes.Buffer
+	if err := Write(&buf, &Query{ID: 2, Text: max}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := f.(*Query); q.Text != max {
+		t.Error("max-length string did not round-trip")
+	}
+}
