@@ -100,6 +100,8 @@ func main() {
 		cmdServe(db, flag.Args()[1:])
 	case "client":
 		cmdClient(flag.Args()[1:])
+	case "top":
+		cmdTop(flag.Args()[1:])
 	case "explain":
 		cmdExplain(db, flag.Args()[1:], *pageSize)
 	case "export":
@@ -122,7 +124,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dfdbm [-scale S -seed N -pagesize B -db FILE] info|run|bench|machine|direct|serve|client|save|export|explain ...")
+	fmt.Fprintln(os.Stderr, "usage: dfdbm [-scale S -seed N -pagesize B -db FILE] info|run|bench|machine|direct|serve|client|top|save|export|explain ...")
 	os.Exit(2)
 }
 

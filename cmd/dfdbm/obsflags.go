@@ -29,7 +29,15 @@ type obsFlags struct {
 	// forceMetrics makes build always attach a metrics registry, even
 	// when no output flag asks for one (set via buildAlways).
 	forceMetrics bool
+	// forceFlight makes build attach a flight recorder (the serve
+	// subcommand's always-on per-query record, served as /queries and
+	// /queries/recent when -http is set).
+	forceFlight bool
 }
+
+// flightCapacity is the number of completed queries the serve
+// subcommand's flight recorder retains.
+const flightCapacity = 256
 
 func addObsFlags(fs *flag.FlagSet) *obsFlags {
 	f := &obsFlags{}
@@ -80,8 +88,11 @@ func (f *obsFlags) build() (*dfdbm.Observer, *obsSession) {
 	if f.wantsProfile() || f.httpAddr != "" {
 		s.o.EnableSpans()
 	}
+	if f.forceFlight {
+		s.o.EnableFlight(flightCapacity)
+	}
 	if f.httpAddr != "" {
-		srv, err := dfdbm.StartObsServer(f.httpAddr, s.reg, s.o.Spans())
+		srv, err := dfdbm.StartObsServer(f.httpAddr, s.reg, s.o.Spans(), s.o.Flight())
 		check(err)
 		s.server = srv
 		fmt.Fprintf(os.Stderr, "dfdbm: introspection server on http://%s\n", srv.Addr())
@@ -90,11 +101,14 @@ func (f *obsFlags) build() (*dfdbm.Observer, *obsSession) {
 }
 
 // buildAlways is build, but guarantees a metrics-backed observer even
-// when no output flag asks for one. The serve subcommand uses it: a
-// server should always meter its sessions and scheduler so the /metrics
-// endpoint has content the moment -http is added.
+// when no output flag asks for one, plus the always-on flight recorder.
+// The serve subcommand uses it: a server should always meter its
+// sessions and scheduler so the /metrics endpoint has content the
+// moment -http is added, and always retain recent queries so /queries
+// and /queries/recent answer.
 func (f *obsFlags) buildAlways() (*dfdbm.Observer, *obsSession) {
 	f.forceMetrics = true
+	f.forceFlight = true
 	return f.build()
 }
 

@@ -28,6 +28,7 @@ func cmdServe(db *dfdbm.DB, args []string) {
 	sessionTimeout := fs.Duration("session-timeout", 5*time.Minute, "idle session deadline")
 	workers := fs.Int("workers", 4, "core-engine workers per query")
 	ips := fs.Int("ips", 16, "machine-engine instruction processors per query")
+	slowQuery := fs.Duration("slow-query-threshold", 0, "log queries whose end-to-end time exceeds this (0 disables)")
 	of := addObsFlags(fs)
 	check(fs.Parse(args))
 	if fs.NArg() != 0 {
@@ -48,6 +49,7 @@ func cmdServe(db *dfdbm.DB, args []string) {
 		SessionTimeout: *sessionTimeout,
 		Workers:        *workers,
 		IPs:            *ips,
+		SlowQuery:      *slowQuery,
 		Obs:            o,
 	})
 	check(err)
@@ -96,6 +98,7 @@ func cmdClient(args []string) {
 	name := fs.String("name", "dfdbm-client", "session name shown in server logs")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-query timeout")
 	quiet := fs.Bool("quiet", false, "print stats only, not result tuples")
+	verbose := fs.Bool("v", false, "print the trace ID and the server's per-stage latency breakdown against the measured RTT")
 	file := fs.String("f", "", "read queries from this file (one per line; # starts a comment) before any argument queries")
 	check(fs.Parse(args))
 	queries := fs.Args()
@@ -123,9 +126,14 @@ func cmdClient(args []string) {
 	c, err := dfdbm.Dial(*addr, dfdbm.ClientConfig{Engine: *engine, Name: *name, Timeout: *timeout})
 	check(err)
 	defer c.Close()
+	if *verbose {
+		fmt.Printf("session %d, protocol v%d, engine %s\n", c.SessionID(), c.ProtocolVersion(), c.Engine())
+	}
 	for _, text := range queries {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		sent := time.Now()
 		res, err := c.QueryPriority(ctx, text, prio)
+		rtt := time.Since(sent)
 		cancel()
 		check(err)
 		if !*quiet {
@@ -147,5 +155,12 @@ func cmdClient(args []string) {
 		fmt.Printf("%d tuples in %d pages (%dB) on %s; queued %v, ran %v%s\n",
 			st.Tuples, st.Pages, st.ResultBytes, st.Engine,
 			st.Queued.Round(time.Microsecond), st.Exec.Round(time.Microsecond), deferred)
+		if *verbose {
+			server := st.AdmitWait + st.Sched + st.Exec + st.Stream
+			us := time.Microsecond
+			fmt.Printf("  trace %x: rtt %v; server %v = admit-wait %v + schedule %v + execute %v + stream %v\n",
+				st.TraceID, rtt.Round(us), server.Round(us), st.AdmitWait.Round(us),
+				st.Sched.Round(us), st.Exec.Round(us), st.Stream.Round(us))
+		}
 	}
 }

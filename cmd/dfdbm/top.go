@@ -1,0 +1,199 @@
+package main
+
+// The top subcommand: a live, terminal-refreshed view of a running
+// dfdbm server, built entirely from the introspection HTTP endpoints
+// (-http on the serve side). Each tick polls /metrics for the per-lane
+// admission-wait and execution histograms, /queries for the in-flight
+// table with lifecycle stages, and /queries/recent for the flight
+// recorder's completed ring — the master controller's vantage point,
+// watched from the shell.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// topRecord mirrors the flight recorder's QueryRecord JSON.
+type topRecord struct {
+	TraceID   uint64    `json:"trace_id"`
+	Session   uint64    `json:"session"`
+	QueryID   uint32    `json:"query_id"`
+	Lane      string    `json:"lane"`
+	Engine    string    `json:"engine"`
+	Text      string    `json:"text"`
+	Start     time.Time `json:"start"`
+	Stage     string    `json:"stage"`
+	AdmitWait int64     `json:"admit_wait_ns"`
+	Sched     int64     `json:"sched_ns"`
+	Exec      int64     `json:"exec_ns"`
+	Stream    int64     `json:"stream_ns"`
+	Total     int64     `json:"total_ns"`
+	Outcome   string    `json:"outcome"`
+	Tuples    int64     `json:"tuples"`
+	Pages     int64     `json:"pages"`
+}
+
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8089", "introspection address of a running server (its -http flag)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	recent := fs.Int("recent", 10, "completed queries to show")
+	check(fs.Parse(args))
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: dfdbm top [-addr A] [-interval D] [-recent N] [-once]")
+		os.Exit(2)
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	for {
+		frame, err := renderTop(base, *recent)
+		if err != nil {
+			check(fmt.Errorf("top: %s unreachable: %w (is the server running with -http?)", *addr, err))
+		}
+		if *once {
+			fmt.Print(frame)
+			return
+		}
+		fmt.Print("\x1b[2J\x1b[H", frame)
+		time.Sleep(*interval)
+	}
+}
+
+// renderTop builds one full frame of the display.
+func renderTop(base string, nrecent int) (string, error) {
+	metrics, err := fetchMetrics(base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	var inflight struct {
+		InFlight []topRecord `json:"inflight"`
+	}
+	if err := fetchJSON(base+"/queries", &inflight); err != nil {
+		return "", err
+	}
+	var ring struct {
+		Recent   []topRecord `json:"recent"`
+		Capacity int         `json:"capacity"`
+		Total    int64       `json:"total_completed"`
+	}
+	if err := fetchJSON(base+"/queries/recent", &ring); err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "dfdbm top — %s — %s\n", base, time.Now().Format("15:04:05"))
+	fmt.Fprintf(&b, "queries: %d in flight, %d completed (ring %d), %.0f received, %.0f shed, %.0f failed, %.0f slow; queue depth %.0f, runners busy %.0f\n\n",
+		len(inflight.InFlight), ring.Total, ring.Capacity,
+		metrics["server_queries"], metrics["server_queries_shed"],
+		metrics["server_queries_failed"], metrics["server_slow_queries"],
+		metrics["sched_queue_depth"], metrics["sched_runners_busy"])
+
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s\n", "LANE", "WAIT p50", "p95", "p99")
+	for _, lane := range []string{"high", "normal", "low"} {
+		pfx := "sched_admit_wait_ns_" + lane
+		if _, ok := metrics[pfx+"_p50"]; !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %10s %10s %10s\n", lane,
+			topDur(metrics[pfx+"_p50"]), topDur(metrics[pfx+"_p95"]), topDur(metrics[pfx+"_p99"]))
+	}
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s\n", "exec", topDur(metrics["sched_exec_ns_p50"]),
+		topDur(metrics["sched_exec_ns_p95"]), topDur(metrics["sched_exec_ns_p99"]))
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s\n\n", "stream", topDur(metrics["server_stream_ns_p50"]),
+		topDur(metrics["server_stream_ns_p95"]), topDur(metrics["server_stream_ns_p99"]))
+
+	fmt.Fprintf(&b, "IN FLIGHT (%d)\n", len(inflight.InFlight))
+	fmt.Fprintf(&b, "  %-12s %-9s %-7s %-10s %9s  %s\n", "TRACE", "SESS/QID", "LANE", "STAGE", "AGE", "QUERY")
+	for _, r := range inflight.InFlight {
+		fmt.Fprintf(&b, "  %-12x s%d/q%-6d %-7s %-10s %9s  %s\n",
+			r.TraceID, r.Session, r.QueryID, r.Lane, r.Stage,
+			time.Since(r.Start).Round(time.Millisecond), topText(r.Text))
+	}
+
+	n := nrecent
+	if n > len(ring.Recent) {
+		n = len(ring.Recent)
+	}
+	fmt.Fprintf(&b, "\nRECENT (%d of %d)\n", n, len(ring.Recent))
+	fmt.Fprintf(&b, "  %-12s %-7s %-12s %9s %9s %9s %8s  %s\n",
+		"TRACE", "LANE", "OUTCOME", "WAIT", "EXEC", "TOTAL", "TUPLES", "QUERY")
+	for _, r := range ring.Recent[:n] {
+		fmt.Fprintf(&b, "  %-12x %-7s %-12s %9s %9s %9s %8d  %s\n",
+			r.TraceID, r.Lane, r.Outcome,
+			topDur(float64(r.AdmitWait)), topDur(float64(r.Exec)), topDur(float64(r.Total)),
+			r.Tuples, topText(r.Text))
+	}
+	return b.String(), nil
+}
+
+// topDur renders a float nanosecond metric compactly.
+func topDur(ns float64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// topText clips query text for one display row.
+func topText(s string) string {
+	if len(s) > 48 {
+		return s[:48] + "..."
+	}
+	return s
+}
+
+// fetchJSON GETs url and decodes the JSON body into v.
+func fetchJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// fetchMetrics GETs a Prometheus text exposition and returns the plain
+// (unlabeled) samples by name.
+func fetchMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		out[name] = f
+	}
+	return out, nil
+}

@@ -306,7 +306,7 @@ func (e *Engine) execute(ctx context.Context, t *query.Tree) (*Result, error) {
 
 // executeStream runs the pure (side-effect free) subtree rooted at top.
 func (e *Engine) executeStream(ctx context.Context, t *query.Tree, top *query.Node) (*Result, error) {
-	run := newEngineRun(e, t)
+	run := newEngineRun(ctx, e, t)
 	defer run.shutdown()
 
 	// Cancellation propagates as a run failure: closing run.stopped

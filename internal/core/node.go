@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -79,18 +80,35 @@ type engineRun struct {
 	// The concurrent engine records spans in real time; worker exec
 	// spans attribute wall-clock busy intervals to their node.
 	span *obs.Span
+	// parent, when the caller attached an obs.SpanContext to the
+	// execution context, is the span the run's query span nests under
+	// (the server's execute-stage span), and qid is the query id
+	// stamped on the run's spans and events (-1 standalone). A span
+	// context also supplies the epoch, so engine timestamps land on
+	// the caller's clock and the whole tree shares one timebase.
+	parent *obs.Span
+	qid    int
 }
 
-func newEngineRun(e *Engine, t *query.Tree) *engineRun {
-	return &engineRun{
+func newEngineRun(ctx context.Context, e *Engine, t *query.Tree) *engineRun {
+	r := &engineRun{
 		eng:     e,
 		tree:    t,
 		obs:     e.opts.Obs,
 		t0:      time.Now(),
+		qid:     -1,
 		arb:     make(chan *task, e.opts.Workers*e.opts.CellsPerWorker),
 		stopped: make(chan struct{}),
 		pool0:   e.pool.Stats(),
 	}
+	if sc, ok := obs.SpanContextFrom(ctx); ok {
+		r.parent = sc.Parent
+		r.qid = sc.Query
+		if !sc.Epoch.IsZero() {
+			r.t0 = sc.Epoch
+		}
+	}
+	return r
 }
 
 // recycle hands a dead intermediate page back to the engine pool. Put
@@ -111,7 +129,7 @@ func (r *engineRun) event(kind obs.EventKind, comp string, instr, bytes int, for
 		TS:    time.Since(r.t0),
 		Kind:  kind,
 		Comp:  comp,
-		Query: -1,
+		Query: r.qid,
 		Instr: instr,
 		Page:  -1,
 		Bytes: bytes,
@@ -259,12 +277,12 @@ func (r *engineRun) build(n *query.Node, out outlet) error {
 
 func (r *engineRun) start() {
 	if r.spansOn() {
-		r.span = r.obs.Spans().Begin(obs.SpanQuery, nil, r.now(),
-			"engine", "query", -1, -1, -1)
+		r.span = r.obs.Spans().Begin(obs.SpanQuery, r.parent, r.now(),
+			"engine", "query", r.qid, -1, -1)
 		for _, ne := range r.nodes {
 			ne.span = r.obs.Spans().Begin(obs.SpanInstr, r.span, r.now(),
 				fmt.Sprintf("node%d", ne.id),
-				fmt.Sprintf("%s node%d", ne.node.Kind, ne.id), -1, ne.id, -1)
+				fmt.Sprintf("%s node%d", ne.node.Kind, ne.id), r.qid, ne.id, -1)
 		}
 	}
 	for i := 0; i < r.eng.opts.Workers; i++ {

@@ -118,7 +118,7 @@ func (r *engineRun) execTask(t *task, joins map[*nodeExec]*relalg.JoinState) {
 	end := r.now()
 	r.observe("core.worker_busy_us", float64((end - start).Microseconds()))
 	if r.spansOn() {
-		r.obs.Spans().Record(obs.SpanExec, n.span, start, end, "worker", "exec", -1, n.id, -1)
+		r.obs.Spans().Record(obs.SpanExec, n.span, start, end, "worker", "exec", r.qid, n.id, -1)
 		if s := n.span; s != nil {
 			s.PagesIn.Add(int64(len(t.operands)))
 			s.PagesOut.Add(int64(len(out)))

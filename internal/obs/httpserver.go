@@ -18,30 +18,36 @@ import (
 //	                profiles of a running simulation)
 //	/spans          the active span tree as JSON
 //	/timeline       every registry timeline as JSON
+//	/queries        the flight recorder's in-flight queries with their
+//	                current lifecycle stage
+//	/queries/recent the flight recorder's ring of completed queries
 //
 // All read paths take the registry / tracker locks, so scraping a
 // running simulation is safe (the concurrent engine emits from many
 // goroutines; the simulators from one).
 type Server struct {
-	reg   *Registry
-	spans *Tracker
-	ln    net.Listener
-	srv   *http.Server
+	reg    *Registry
+	spans  *Tracker
+	flight *FlightRecorder
+	ln     net.Listener
+	srv    *http.Server
 }
 
 // StartServer listens on addr (":0" picks a free port) and serves the
-// introspection endpoints for the given registry and span tracker
-// (either may be nil) until Close.
-func StartServer(addr string, reg *Registry, spans *Tracker) (*Server, error) {
+// introspection endpoints for the given registry, span tracker, and
+// flight recorder (any may be nil) until Close.
+func StartServer(addr string, reg *Registry, spans *Tracker, flight *FlightRecorder) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: introspection server: %w", err)
 	}
-	s := &Server{reg: reg, spans: spans, ln: ln}
+	s := &Server{reg: reg, spans: spans, flight: flight, ln: ln}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/spans", s.handleSpans)
 	mux.HandleFunc("/timeline", s.handleTimeline)
+	mux.HandleFunc("/queries", s.handleQueries)
+	mux.HandleFunc("/queries/recent", s.handleQueriesRecent)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -83,6 +89,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	s.spans.WriteActiveTree(w) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.flight.WriteInFlight(w) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleQueriesRecent(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.flight.WriteRecent(w) //nolint:errcheck // client went away
 }
 
 // timelineJSON is the /timeline schema: one entry per registry

@@ -20,7 +20,7 @@ func TestCloseFinishesInflightScrape(t *testing.T) {
 	for i := 0; i < 20000; i++ {
 		reg.Inc(fmt.Sprintf("scrape.test.counter_%05d", i), int64(i))
 	}
-	srv, err := StartServer("127.0.0.1:0", reg, nil)
+	srv, err := StartServer("127.0.0.1:0", reg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

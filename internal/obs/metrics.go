@@ -18,12 +18,13 @@ const DefaultBucket = 100 * time.Millisecond
 // per 100 ms of virtual time — the raw material of a time-resolved
 // Figure 4.2). All methods are safe for concurrent use.
 type Registry struct {
-	mu        sync.Mutex
-	bucket    time.Duration
-	counters  map[string]int64
-	gauges    map[string]float64
-	series    map[string]*Series
-	timelines map[string]*Timeline
+	mu         sync.Mutex
+	bucket     time.Duration
+	counters   map[string]int64
+	gauges     map[string]float64
+	series     map[string]*Series
+	timelines  map[string]*Timeline
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns a registry whose timelines bucket time into
@@ -197,6 +198,11 @@ type metricLine struct {
 	Value    *float64     `json:"value,omitempty"`
 	BucketUS int64        `json:"bucket_us,omitempty"`
 	Points   [][2]float64 `json:"points,omitempty"`
+	// Count, Sum, and Max summarize a histogram; its Points are
+	// [upper_bound, bucket_count] pairs, overflow bound -1.
+	Count *int64 `json:"count,omitempty"`
+	Sum   *int64 `json:"sum,omitempty"`
+	Max   *int64 `json:"max,omitempty"`
 }
 
 // WriteJSONL exports every metric as one JSON line, in sorted name
@@ -245,6 +251,23 @@ func (r *Registry) WriteJSONL(w io.Writer) error {
 		if err := emit(metricLine{
 			Metric: name, Type: "timeline",
 			BucketUS: tl.Bucket.Microseconds(), Points: pts,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.histograms) {
+		s := r.histograms[name].Snapshot()
+		pts := make([][2]float64, 0, len(s.Counts))
+		for i, c := range s.Counts {
+			bound := float64(-1)
+			if i < len(s.Bounds) {
+				bound = float64(s.Bounds[i])
+			}
+			pts = append(pts, [2]float64{bound, float64(c)})
+		}
+		if err := emit(metricLine{
+			Metric: name, Type: "histogram", Points: pts,
+			Count: &s.Count, Sum: &s.Sum, Max: &s.Max,
 		}); err != nil {
 			return err
 		}

@@ -167,11 +167,12 @@ type Sink interface {
 // paths of the execution layers pay only a nil check when tracing and
 // metrics are off.
 type Observer struct {
-	mu    sync.Mutex
-	sink  Sink
-	reg   *Registry
-	spans *Tracker
-	err   error
+	mu     sync.Mutex
+	sink   Sink
+	reg    *Registry
+	spans  *Tracker
+	flight *FlightRecorder
+	err    error
 }
 
 // New returns an observer over the given sink and registry (either may
@@ -199,6 +200,31 @@ func (o *Observer) EnableSpans() *Tracker {
 // check it before building spans — that check is the disabled fast
 // path.
 func (o *Observer) SpansOn() bool { return o != nil && o.spans != nil }
+
+// EnableFlight attaches a flight recorder retaining the last capacity
+// completed queries and returns it. Idempotent: a second call returns
+// the existing recorder (its capacity wins), so the CLI and the server
+// can both ask for one and share it.
+func (o *Observer) EnableFlight(capacity int) *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	if o.flight == nil {
+		o.flight = NewFlightRecorder(capacity)
+	}
+	return o.flight
+}
+
+// FlightOn reports whether a flight recorder is attached.
+func (o *Observer) FlightOn() bool { return o != nil && o.flight != nil }
+
+// Flight returns the attached flight recorder, or nil.
+func (o *Observer) Flight() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.flight
+}
 
 // Spans returns the attached span tracker, or nil.
 func (o *Observer) Spans() *Tracker {

@@ -10,9 +10,11 @@ import (
 // exposition format (version 0.0.4): counters as counter samples,
 // gauges as gauge samples, and each timeline's running integral as a
 // counter (scrapers recover per-bucket rates by deriving it). Series
-// are exported as their last sample, gauge-typed. Metric names are
-// sanitized (dots become underscores) and the output is sorted, so
-// repeated scrapes of a quiet registry are byte-identical.
+// are exported as their last sample, gauge-typed. Histograms export as
+// native Prometheus histograms (cumulative le buckets, _sum, _count)
+// plus _p50/_p95/_p99 gauge summaries computed at scrape time. Metric
+// names are sanitized (dots become underscores) and the output is
+// sorted, so repeated scrapes of a quiet registry are byte-identical.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -47,6 +49,36 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, name := range sortedKeys(r.timelines) {
 		if err := write(name+"_total", "counter", r.timelines[name].Integral()); err != nil {
 			return err
+		}
+	}
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
+		s := h.Snapshot()
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		var cum int64
+		for i, c := range s.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(s.Bounds) {
+				le = fmt.Sprintf("%d", s.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", n, s.Sum, n, s.Count); err != nil {
+			return err
+		}
+		for _, q := range [...]struct {
+			suffix string
+			q      float64
+		}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}} {
+			if err := write(name+q.suffix, "gauge", float64(h.Quantile(q.q))); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -57,6 +57,10 @@ const (
 	// accepted connection to close; its children are the session's
 	// query spans.
 	SpanSession
+	// SpanStage covers one lifecycle stage of a served query
+	// (admit-wait, schedule, execute, stream); its parent is the query
+	// span, and the execute stage parents the engine's spans.
+	SpanStage
 )
 
 // String returns the kind's wire name.
@@ -78,6 +82,8 @@ func (k SpanKind) String() string {
 		return "recovery"
 	case SpanSession:
 		return "session"
+	case SpanStage:
+		return "stage"
 	default:
 		return "span"
 	}
@@ -85,7 +91,7 @@ func (k SpanKind) String() string {
 
 // spanKindFromString inverts SpanKind.String (used by ReadSpans).
 func spanKindFromString(s string) SpanKind {
-	for k := SpanQuery; k <= SpanSession; k++ {
+	for k := SpanQuery; k <= SpanStage; k++ {
 		if k.String() == s {
 			return k
 		}

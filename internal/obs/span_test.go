@@ -271,7 +271,7 @@ func TestServerEndpoints(t *testing.T) {
 	q := tr.Begin(SpanQuery, nil, 0, "MC", "q0", 0, -1, -1)
 	tr.Begin(SpanInstr, q, time.Millisecond, "IC1", "join", 0, 1, -1)
 
-	srv, err := StartServer("127.0.0.1:0", reg, tr)
+	srv, err := StartServer("127.0.0.1:0", reg, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// SpanContext carries span parentage across a package boundary via a
+// context.Context: the server's execute-stage span, the wall-clock
+// epoch its timestamps are relative to, and the query's trace-visible
+// id. The engine (internal/core) consumes it so its per-node and
+// per-worker spans nest under the server's lifecycle spans on a shared
+// clock — one causal tree per query from session to worker burst.
+type SpanContext struct {
+	// Parent is the span to nest under (the execute-stage span).
+	Parent *Span
+	// Epoch is the time zero of the parent's tracker; span timestamps
+	// are recorded as offsets from it. Zero means the consumer keeps
+	// its own clock.
+	Epoch time.Time
+	// Query is the query id to stamp on the nested spans (-1 when
+	// unknown).
+	Query int
+}
+
+type spanCtxKey struct{}
+
+// WithSpanContext returns a context carrying sc.
+func WithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanContextFrom extracts the span context from ctx, reporting
+// whether one was attached.
+func SpanContextFrom(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc, ok
+}

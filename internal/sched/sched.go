@@ -97,6 +97,7 @@ type Job struct {
 
 	seq      int64
 	enqueued time.Time
+	admitted time.Time
 	deferred bool
 	outc     chan Outcome
 }
@@ -112,6 +113,11 @@ type Outcome struct {
 	// duration.
 	Queued time.Duration
 	Run    time.Duration
+	// AdmitWait and Dispatch split Queued into its lifecycle stages:
+	// AdmitWait is enqueue-to-admission (the conflict/priority wait),
+	// Dispatch is admission-to-running (runner handoff latency).
+	AdmitWait time.Duration
+	Dispatch  time.Duration
 	// Deferred reports whether admission was delayed at least once by
 	// a footprint conflict with a running job.
 	Deferred bool
@@ -124,11 +130,19 @@ type Config struct {
 	// QueueDepth bounds the admission queue across all lanes; a full
 	// queue sheds new jobs with ErrOverloaded. Default 64.
 	QueueDepth int
+	// StarveLimit bounds priority inversion: a non-empty lane passed
+	// over this many times in favor of a higher lane gets the next
+	// admissible pick, so sustained high-priority load cannot starve
+	// the low lane indefinitely (its admit wait is bounded by
+	// StarveLimit admissions). Default 8; negative disables the bound.
+	StarveLimit int
 	// Obs, when non-nil, receives admission decisions as events
 	// (admit/defer/shed/complete), the sched.admitted / sched.deferred
 	// / sched.shed / sched.completed / sched.failed counters, queue-
-	// depth and busy-runner gauges, and a sched.runner_busy_us busy
-	// timeline for saturation analysis.
+	// depth and busy-runner gauges, a sched.runner_busy_us busy
+	// timeline for saturation analysis, and the lifecycle histograms:
+	// per-lane sched.admit_wait_ns.{high,normal,low}, sched.exec_ns,
+	// and sched.queue_depth_hist.
 	Obs *obs.Observer
 }
 
@@ -138,6 +152,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.StarveLimit == 0 {
+		c.StarveLimit = 8
 	}
 	return c
 }
@@ -152,6 +169,20 @@ type sessionQueue struct {
 type lane struct {
 	sessions []*sessionQueue
 	rr       int // round-robin cursor into sessions
+	// bypass counts consecutive admissions that went to a higher lane
+	// while this lane had work; at Config.StarveLimit the lane gets
+	// the next admissible pick (anti-starvation).
+	bypass int
+}
+
+// nonEmpty reports whether the lane holds any queued job.
+func (l *lane) nonEmpty() bool {
+	for _, sq := range l.sessions {
+		if len(sq.jobs) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func (l *lane) push(j *Job) {
@@ -184,6 +215,12 @@ type Scheduler struct {
 
 	readyc chan *Job
 	wg     sync.WaitGroup
+
+	// Histogram pointers resolved once at New so the record paths are
+	// a nil check plus atomic adds — no registry lookups, no locks.
+	admitWaitHist [numLanes]*obs.Histogram
+	execHist      *obs.Histogram
+	depthHist     *obs.Histogram
 }
 
 // New starts a scheduler and its runner pool.
@@ -198,11 +235,28 @@ func New(cfg Config) *Scheduler {
 		empty:  make(chan struct{}),
 		readyc: make(chan *Job, cfg.Runners),
 	}
+	if cfg.Obs.MetricsOn() {
+		reg := cfg.Obs.Registry()
+		for l := LaneHigh; l < numLanes; l++ {
+			s.admitWaitHist[l] = reg.Histogram("sched.admit_wait_ns."+l.String(), obs.DurationBuckets())
+		}
+		s.execHist = reg.Histogram("sched.exec_ns", obs.DurationBuckets())
+		s.depthHist = reg.Histogram("sched.queue_depth_hist", obs.DepthBuckets())
+	}
 	for i := 0; i < cfg.Runners; i++ {
 		s.wg.Add(1)
 		go s.runner(i)
 	}
 	return s
+}
+
+// LaneWaitHistogram returns the admission-wait histogram of a lane
+// (nil without metrics).
+func (s *Scheduler) LaneWaitHistogram(l Lane) *obs.Histogram {
+	if l >= numLanes {
+		l = LaneLow
+	}
+	return s.admitWaitHist[l]
 }
 
 // Runners returns the runner-pool size.
@@ -235,6 +289,7 @@ func (s *Scheduler) Submit(j *Job) (<-chan Outcome, error) {
 	}
 	s.lanes[j.Lane].push(j)
 	s.queued++
+	s.depthHist.Observe(int64(s.queued))
 	s.gauges()
 	s.dispatchLocked()
 	s.mu.Unlock()
@@ -282,6 +337,8 @@ func (s *Scheduler) dispatchLocked() {
 		s.queued--
 		s.running = append(s.running, j)
 		s.busy++
+		j.admitted = time.Now()
+		s.admitWaitHist[j.Lane].Observe(int64(j.admitted.Sub(j.enqueued)))
 		s.count("sched.admitted", 1)
 		s.gauges()
 		s.event(obs.EvAdmit, j, "admit %s lane=%s wait=%v", j.Label, j.Lane, time.Since(j.enqueued).Round(time.Microsecond))
@@ -290,36 +347,73 @@ func (s *Scheduler) dispatchLocked() {
 }
 
 // pickLocked removes and returns the next admissible job, or nil.
+// Lanes are scanned high to low, but a lane whose bypass counter has
+// reached Config.StarveLimit is promoted to the front of the scan:
+// sustained high-priority load therefore cannot starve a lower lane —
+// after at most StarveLimit admissions the waiting lane is served, so
+// its admission wait is bounded by StarveLimit times the running mix's
+// service time rather than by the arrival pattern.
 func (s *Scheduler) pickLocked() *Job {
+	// Starvation override first: the lowest lane that has exhausted
+	// its bypass budget and holds an admissible job wins.
+	if s.cfg.StarveLimit >= 0 {
+		for li := int(numLanes) - 1; li > 0; li-- {
+			l := &s.lanes[li]
+			if l.bypass < s.cfg.StarveLimit || !l.nonEmpty() {
+				continue
+			}
+			if j := s.pickFromLaneLocked(l); j != nil {
+				s.event(obs.EvNote, j, "promote %s: lane %s bypassed %d times", j.Label, Lane(li), l.bypass)
+				l.bypass = 0
+				return j
+			}
+		}
+	}
 	for li := range s.lanes {
-		l := &s.lanes[li]
-		n := len(l.sessions)
-		for off := 0; off < n; off++ {
-			sq := l.sessions[(l.rr+off)%n]
-			if len(sq.jobs) == 0 {
-				continue
-			}
-			j := sq.jobs[0]
-			if s.conflictsLocked(j) {
-				if !j.deferred {
-					j.deferred = true
-					s.count("sched.deferred", 1)
-					s.event(obs.EvNote, j, "defer %s: footprint conflict with running query", j.Label)
+		if j := s.pickFromLaneLocked(&s.lanes[li]); j != nil {
+			// Charge one bypass to every lower non-empty lane; the
+			// picked lane was served, so its own counter resets.
+			s.lanes[li].bypass = 0
+			for lj := li + 1; lj < int(numLanes); lj++ {
+				if s.lanes[lj].nonEmpty() {
+					s.lanes[lj].bypass++
 				}
-				continue
-			}
-			sq.jobs = sq.jobs[1:]
-			// Compact empty session queues lazily so lanes do not grow
-			// without bound over a long-lived server.
-			if len(sq.jobs) == 0 {
-				idx := (l.rr + off) % n
-				l.sessions = append(l.sessions[:idx], l.sessions[idx+1:]...)
-				l.rr = 0
-			} else {
-				l.rr = (l.rr + off + 1) % n
 			}
 			return j
 		}
+	}
+	return nil
+}
+
+// pickFromLaneLocked removes and returns the lane's next admissible
+// job (sessions round-robin, each session FIFO), or nil.
+func (s *Scheduler) pickFromLaneLocked(l *lane) *Job {
+	n := len(l.sessions)
+	for off := 0; off < n; off++ {
+		sq := l.sessions[(l.rr+off)%n]
+		if len(sq.jobs) == 0 {
+			continue
+		}
+		j := sq.jobs[0]
+		if s.conflictsLocked(j) {
+			if !j.deferred {
+				j.deferred = true
+				s.count("sched.deferred", 1)
+				s.event(obs.EvNote, j, "defer %s: footprint conflict with running query", j.Label)
+			}
+			continue
+		}
+		sq.jobs = sq.jobs[1:]
+		// Compact empty session queues lazily so lanes do not grow
+		// without bound over a long-lived server.
+		if len(sq.jobs) == 0 {
+			idx := (l.rr + off) % n
+			l.sessions = append(l.sessions[:idx], l.sessions[idx+1:]...)
+			l.rr = 0
+		} else {
+			l.rr = (l.rr + off + 1) % n
+		}
+		return j
 	}
 	return nil
 }
@@ -354,16 +448,19 @@ func (s *Scheduler) finish(j *Job, runner int, started time.Time, v any, err err
 	if s.Obs().MetricsOn() {
 		s.Obs().Registry().AddBusy("sched.runner_busy_us", started.Sub(s.start), dur)
 	}
+	s.execHist.Observe(int64(dur))
 	s.gauges()
 	s.dispatchLocked()
 	s.checkEmptyLocked()
 	s.mu.Unlock()
 	j.outc <- Outcome{
-		Value:    v,
-		Err:      err,
-		Queued:   started.Sub(j.enqueued),
-		Run:      dur,
-		Deferred: j.deferred,
+		Value:     v,
+		Err:       err,
+		Queued:    started.Sub(j.enqueued),
+		Run:       dur,
+		AdmitWait: j.admitted.Sub(j.enqueued),
+		Dispatch:  started.Sub(j.admitted),
+		Deferred:  j.deferred,
 	}
 }
 

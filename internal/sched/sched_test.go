@@ -466,3 +466,81 @@ func sorted(s []string) []string {
 	}
 	return out
 }
+
+// TestNoStarvationUnderSustainedHighLoad: with the high lane never
+// empty, low-lane work must still be admitted within a bounded number
+// of dispatches (Config.StarveLimit), not starved behind the flood.
+// The per-lane admission-wait histograms are both the mechanism under
+// test and the measurement.
+func TestNoStarvationUnderSustainedHighLoad(t *testing.T) {
+	reg := obs.NewRegistry(time.Millisecond)
+	o := obs.New(nil, reg)
+	s := New(Config{Runners: 1, QueueDepth: 512, StarveLimit: 4, Obs: o})
+	defer s.Close()
+
+	const highJobs = 120
+	const lowJobs = 5
+	burn := func(context.Context) (any, error) {
+		time.Sleep(2 * time.Millisecond)
+		return nil, nil
+	}
+	var highOuts []<-chan Outcome
+	// Prefill a deep high-lane backlog: one runner draining 2 ms jobs
+	// keeps the lane non-empty for ~240 ms, far longer than the low
+	// jobs need.
+	for i := 0; i < highJobs; i++ {
+		out, err := s.Submit(&Job{
+			Session: fmt.Sprintf("hi%d", i%4), Label: fmt.Sprintf("hi/q%d", i),
+			Lane: LaneHigh, QueryID: -1, Exec: burn,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		highOuts = append(highOuts, out)
+	}
+	var lowOuts []<-chan Outcome
+	for i := 0; i < lowJobs; i++ {
+		out, err := s.Submit(&Job{
+			Session: "lo", Label: fmt.Sprintf("lo/q%d", i),
+			Lane: LaneLow, QueryID: -1, Exec: burn,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lowOuts = append(lowOuts, out)
+	}
+
+	// Every low job must finish while high work still floods the queue.
+	for i, out := range lowOuts {
+		select {
+		case o := <-out:
+			if o.Err != nil {
+				t.Fatalf("low job %d failed: %v", i, o.Err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("low job %d starved behind the high lane", i)
+		}
+	}
+	if got := s.QueueDepth(); got == 0 {
+		t.Fatal("high backlog drained before the low jobs finished; the test never exercised contention")
+	}
+	for _, out := range highOuts {
+		if o := <-out; o.Err != nil {
+			t.Fatalf("high job failed: %v", o.Err)
+		}
+	}
+
+	h := s.LaneWaitHistogram(LaneLow)
+	if h.Count() != lowJobs {
+		t.Fatalf("low-lane wait histogram counted %d, want %d", h.Count(), lowJobs)
+	}
+	// The anti-starvation bound: a low job waits at most ~StarveLimit
+	// dispatch cycles of 2 ms work each, plus scheduling noise — far
+	// below the ~240 ms the full high backlog would impose.
+	if worst := time.Duration(h.Max()); worst > 150*time.Millisecond {
+		t.Errorf("worst low-lane admission wait %v; starvation bound not enforced", worst)
+	}
+	if hh := s.LaneWaitHistogram(LaneHigh); hh.Count() != highJobs {
+		t.Errorf("high-lane wait histogram counted %d, want %d", hh.Count(), highJobs)
+	}
+}

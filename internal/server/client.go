@@ -22,6 +22,11 @@ type ClientConfig struct {
 	// Timeout bounds the dial, the handshake, and each Query's network
 	// waits. Default 30 seconds.
 	Timeout time.Duration
+	// MaxVersion caps the protocol version the client offers in its
+	// Hello (0 means wire.Version, the newest). Setting it to an older
+	// version exercises exactly what an old client binary would speak —
+	// compatibility tests dial with MaxVersion: 1 against a v2 server.
+	MaxVersion uint16
 }
 
 // RemoteError is an error frame received from the server.
@@ -42,13 +47,16 @@ type QueryResult struct {
 // for concurrent use; queries within a session are serialized, which
 // is also the wire protocol's per-session ordering model.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	br     *bufio.Reader
-	cfg    ClientConfig
-	engine string // negotiated
-	nextID uint32
-	closed bool
+	mu        sync.Mutex
+	conn      net.Conn
+	br        *bufio.Reader
+	cfg       ClientConfig
+	engine    string // negotiated
+	ver       uint16 // negotiated protocol version
+	sessionID uint64 // server-assigned (0 from a v1 server)
+	nextID    uint32
+	traceSeq  uint64
+	closed    bool
 }
 
 // Dial connects to a dfdbm server and performs the version and engine
@@ -61,13 +69,23 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, br: bufio.NewReader(conn), cfg: cfg}
+	max := cfg.MaxVersion
+	if max == 0 || max > wire.Version {
+		max = wire.Version
+	}
+	c := &Client{conn: conn, br: bufio.NewReader(conn), cfg: cfg, ver: max}
 	_ = conn.SetDeadline(time.Now().Add(cfg.Timeout))
-	if err := wire.Write(conn, &wire.Hello{Min: wire.MinVersion, Max: wire.Version, Engine: cfg.Engine, Name: cfg.Name}); err != nil {
+	// The opening Hello is encoded identically at every version (the
+	// request never carries a session ID), so the server can read it
+	// before any version is agreed.
+	if err := wire.WriteVersion(conn, &wire.Hello{Min: wire.MinVersion, Max: max, Engine: cfg.Engine, Name: cfg.Name}, max); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("client: handshake write: %w", err)
 	}
-	f, err := wire.Read(c.br)
+	// The reply Hello is written at the version the server picked
+	// (Min == Max ≤ our max), so decoding at our offered max is safe:
+	// the session-ID tail is self-describing and absent below v2.
+	f, err := wire.ReadVersion(c.br, max)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("client: handshake read: %w", err)
@@ -75,6 +93,10 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	switch f := f.(type) {
 	case *wire.Hello:
 		c.engine = f.Engine
+		c.sessionID = f.SessionID
+		if f.Min == f.Max && f.Max >= wire.MinVersion && f.Max <= max {
+			c.ver = f.Max
+		}
 	case *wire.Error:
 		conn.Close()
 		return nil, &RemoteError{Code: f.Code, Msg: f.Msg}
@@ -88,6 +110,13 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 
 // Engine returns the engine the server assigned to this session.
 func (c *Client) Engine() string { return c.engine }
+
+// ProtocolVersion returns the negotiated wire protocol version.
+func (c *Client) ProtocolVersion() uint16 { return c.ver }
+
+// SessionID returns the server-assigned session identifier (0 when the
+// server predates wire v2).
+func (c *Client) SessionID() uint64 { return c.sessionID }
 
 // Close ends the session.
 func (c *Client) Close() error {
@@ -118,6 +147,12 @@ func (c *Client) QueryPriority(ctx context.Context, text string, priority uint8)
 	}
 	id := c.nextID
 	c.nextID++
+	// Propose the end-to-end trace ID (wire v2): the server-assigned
+	// session ID in the high half keeps IDs from distinct sessions
+	// disjoint, so the server can adopt ours verbatim. A v1 link drops
+	// the field and the server assigns its own.
+	c.traceSeq++
+	traceID := c.sessionID<<32 | c.traceSeq&0xFFFFFFFF
 
 	// Let ctx cancellation tear the connection's deadlines down.
 	if dl, ok := ctx.Deadline(); ok {
@@ -130,14 +165,14 @@ func (c *Client) QueryPriority(ctx context.Context, text string, priority uint8)
 	})
 	defer stop()
 
-	if err := wire.Write(c.conn, &wire.Query{ID: id, Priority: priority, Text: text}); err != nil {
+	if err := wire.WriteVersion(c.conn, &wire.Query{ID: id, Priority: priority, Text: text, TraceID: traceID}, c.ver); err != nil {
 		return nil, fmt.Errorf("client: send query: %w", err)
 	}
 
 	var rel *relation.Relation
 	var wantSeq uint32
 	for {
-		f, err := wire.Read(c.br)
+		f, err := wire.ReadVersion(c.br, c.ver)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()

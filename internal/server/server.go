@@ -20,8 +20,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dfdbm/internal/catalog"
@@ -81,10 +84,21 @@ type Config struct {
 	// machine-engine query — the chaos hook: a plan that exhausts
 	// recovery surfaces to the client as a typed "fault" error frame.
 	MachineFault func() *fault.Plan
+	// SlowQuery, when positive, is the end-to-end threshold (arrival
+	// to final stats frame) above which a completed query is logged to
+	// SlowQueryLog with its full stage breakdown and counted as
+	// server.slow_queries.
+	SlowQuery time.Duration
+	// SlowQueryLog receives slow-query log lines (os.Stderr when nil).
+	SlowQueryLog io.Writer
 	// Obs, when non-nil, receives server events (sessions opened and
 	// closed, queries received, results streamed), the server.*
 	// counters and gauges, per-session and per-query spans (when spans
-	// are enabled), and everything the admission scheduler records.
+	// are enabled), the server.stream_ns histogram, and everything the
+	// admission scheduler records. When the observer carries a flight
+	// recorder (Observer.EnableFlight), every served query is recorded
+	// in it: live while in flight with its current lifecycle stage,
+	// then retained in the completed ring.
 	Obs *obs.Observer
 }
 
@@ -120,6 +134,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.ICs <= 0 {
 		c.ICs = 16
 	}
+	if c.SlowQuery > 0 && c.SlowQueryLog == nil {
+		c.SlowQueryLog = os.Stderr
+	}
 	return c, nil
 }
 
@@ -136,6 +153,15 @@ type Server struct {
 	sched  *sched.Scheduler
 	engine *core.Engine // shared: safe for concurrent non-conflicting executions
 	ln     net.Listener
+
+	// flight is the observer's flight recorder (nil without one);
+	// traceSeq assigns trace IDs to queries whose client did not
+	// propose one; streamHist meters result-stream time; slowMu
+	// serializes slow-query log lines.
+	flight     *obs.FlightRecorder
+	traceSeq   atomic.Uint64
+	streamHist *obs.Histogram
+	slowMu     sync.Mutex
 
 	mu       sync.Mutex
 	sessions map[int]*session
@@ -165,6 +191,8 @@ func Start(cat *catalog.Catalog, cfg Config) (*Server, error) {
 		start:    time.Now(),
 		ln:       ln,
 		sessions: map[int]*session{},
+		nextSID:  1, // 0 is "no session" on the wire (Hello.SessionID)
+		flight:   cfg.Obs.Flight(),
 	}
 	s.sched = sched.New(sched.Config{
 		Runners:    cfg.Runners,
@@ -175,7 +203,11 @@ func Start(cat *catalog.Catalog, cfg Config) (*Server, error) {
 		Granularity: cfg.Granularity,
 		Workers:     cfg.Workers,
 		PageSize:    cfg.PageSize,
+		Obs:         cfg.Obs,
 	})
+	if cfg.Obs.MetricsOn() {
+		s.streamHist = cfg.Obs.Registry().Histogram("server.stream_ns", obs.DurationBuckets())
+	}
 	s.acceptWg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -217,6 +249,7 @@ func (s *Server) acceptLoop() {
 			conn:   conn,
 			br:     bufio.NewReader(conn),
 			engine: s.cfg.Engine,
+			ver:    wire.Version, // until the handshake negotiates
 		}
 		s.sessions[sid] = sess
 		active := len(s.sessions)
@@ -437,6 +470,7 @@ type session struct {
 	br     *bufio.Reader
 	engine string
 	name   string
+	ver    uint16 // negotiated wire version; frames cross at this version
 
 	wmu sync.Mutex // serializes frame writes across query streamers
 
@@ -480,7 +514,7 @@ func (c *session) run() {
 			}
 			return // EOF or idle timeout: session over
 		}
-		f, err := wire.Read(c.br)
+		f, err := wire.ReadVersion(c.br, c.ver)
 		if err != nil {
 			return // torn or malformed frame: session over
 		}
@@ -528,7 +562,11 @@ func (c *session) handshake() bool {
 		return false
 	}
 	c.name = h.Name
-	return c.writeFrame(&wire.Hello{Min: v, Max: v, Engine: c.engine, Name: "dfdbm"})
+	// Every frame after this reply crosses at the negotiated version; a
+	// v1 peer never sees v2 fields. The reply itself must too — the
+	// latched version governs whether SessionID is encoded at all.
+	c.ver = v
+	return c.writeFrame(&wire.Hello{Min: v, Max: v, Engine: c.engine, Name: "dfdbm", SessionID: uint64(c.id)})
 }
 
 func (c *session) inflightCount() int {
@@ -557,11 +595,32 @@ func (c *session) handleQuery(q *wire.Query) {
 	s.queryWg.Add(1)
 	s.mu.Unlock()
 
+	// One trace ID identifies this query end to end: the client's, when
+	// it proposed one over the wire, otherwise server-assigned. It keys
+	// the flight-recorder entry and rides back on the stats frame, so
+	// client, server, and recorder all agree on which query is which.
+	traceID := q.TraceID
+	if traceID == 0 {
+		traceID = s.traceSeq.Add(1)
+	}
+	arrival := time.Now()
+	lane := sched.LaneFromPriority(q.Priority)
+	s.flight.Start(obs.QueryRecord{
+		TraceID: traceID,
+		Session: uint64(c.id),
+		QueryID: q.ID,
+		Lane:    lane.String(),
+		Engine:  c.engine,
+		Text:    q.Text,
+		Start:   arrival,
+	})
+
 	c.imu.Lock()
 	if c.inflight >= s.cfg.MaxInflight {
 		c.imu.Unlock()
 		s.queryWg.Done()
 		s.count("server.queries_shed", 1)
+		s.flight.Finish(traceID, obs.OutcomeShed, nil)
 		c.writeFrame(&wire.Error{QueryID: q.ID, Code: wire.CodeOverloaded,
 			Msg: fmt.Sprintf("session in-flight limit (%d) reached", s.cfg.MaxInflight)})
 		return
@@ -579,6 +638,7 @@ func (c *session) handleQuery(q *wire.Query) {
 	if err != nil {
 		release()
 		s.queryWg.Done()
+		s.flight.Finish(traceID, obs.OutcomeError+":"+wire.CodeParse, nil)
 		c.writeFrame(&wire.Error{QueryID: q.ID, Code: wire.CodeParse, Msg: err.Error()})
 		return
 	}
@@ -602,12 +662,24 @@ func (c *session) handleQuery(q *wire.Query) {
 	job := &sched.Job{
 		Session:   fmt.Sprintf("s%d", c.id),
 		Label:     fmt.Sprintf("s%d/q%d", c.id, q.ID),
-		Lane:      sched.LaneFromPriority(q.Priority),
+		Lane:      lane,
 		Footprint: query.Analyze(root),
 		QueryID:   int(q.ID),
 		Exec: func(ctx context.Context) (any, error) {
 			if testExecGate != nil {
 				testExecGate(ctx)
+			}
+			s.flight.SetStage(traceID, obs.StageExecute)
+			if qspan != nil {
+				tr := s.cfg.Obs.Spans()
+				stage := tr.Begin(obs.SpanStage, qspan, time.Since(s.start),
+					"server", "execute", int(q.ID), -1, -1)
+				defer func() { tr.End(stage, time.Since(s.start)) }()
+				// The engine roots its own span tree under this stage
+				// span, on the server's clock, so one query is one
+				// connected tree from session down to worker bursts.
+				ctx = obs.WithSpanContext(ctx, obs.SpanContext{
+					Parent: stage, Epoch: s.start, Query: int(q.ID)})
 			}
 			// Bind inside the scheduled execution, not on the session
 			// goroutine: binding reads catalog relation schemas, and a
@@ -626,6 +698,7 @@ func (c *session) handleQuery(q *wire.Query) {
 			return snapshotResult(rel), nil
 		},
 	}
+	submitted := time.Since(s.start)
 	outc, err := s.sched.Submit(job)
 	if err != nil {
 		release()
@@ -636,6 +709,7 @@ func (c *session) handleQuery(q *wire.Query) {
 			code = wire.CodeDraining
 		}
 		s.count("server.queries_shed", 1)
+		s.flight.Finish(traceID, obs.OutcomeShed, nil)
 		c.writeFrame(&wire.Error{QueryID: q.ID, Code: code, Msg: err.Error()})
 		return
 	}
@@ -645,6 +719,17 @@ func (c *session) handleQuery(q *wire.Query) {
 		defer release()
 		defer endSpan()
 		o := <-outc
+		// The scheduler's outcome is the only place the pre-execution
+		// stages are measured, so the admit-wait and schedule stage
+		// spans are recorded retroactively from it, back to back from
+		// the submit instant.
+		if qspan != nil {
+			tr := s.cfg.Obs.Spans()
+			tr.Record(obs.SpanStage, qspan, submitted, submitted+o.AdmitWait,
+				"server", "admit-wait", int(q.ID), -1, -1)
+			tr.Record(obs.SpanStage, qspan, submitted+o.AdmitWait, submitted+o.AdmitWait+o.Dispatch,
+				"server", "schedule", int(q.ID), -1, -1)
+		}
 		if o.Err != nil {
 			code := wire.CodeExec
 			var fe *machine.FaultError
@@ -658,22 +743,32 @@ func (c *session) handleQuery(q *wire.Query) {
 				code = wire.CodeDraining
 			}
 			s.count("server.queries_failed", 1)
+			s.flight.Finish(traceID, obs.OutcomeError+":"+code, func(r *obs.QueryRecord) {
+				r.AdmitWait, r.Sched, r.Exec = o.AdmitWait, o.Dispatch, o.Run
+				r.Total = time.Since(arrival)
+				r.Deferred = o.Deferred
+			})
 			c.writeFrame(&wire.Error{QueryID: q.ID, Code: code, Msg: o.Err.Error()})
 			return
 		}
-		c.streamResult(q.ID, engine, o.Value.(*queryResult), o)
+		c.streamResult(q.ID, engine, o.Value.(*queryResult), o, traceID, lane, qspan, arrival)
 	}()
 }
 
 // streamResult writes the result pages and closing stats frame. It
 // runs after the scheduler retired the query, so it must only touch
 // the snapshot, never a live relation.
-func (c *session) streamResult(qid uint32, engine string, res *queryResult, o sched.Outcome) {
+func (c *session) streamResult(qid uint32, engine string, res *queryResult, o sched.Outcome,
+	traceID uint64, lane sched.Lane, qspan *obs.Span, arrival time.Time) {
 	s := c.srv
+	s.flight.SetStage(traceID, obs.StageStream)
+	streamFrom := time.Now()
+	streamAt := time.Since(s.start)
 	var bytesOut int64
 	if len(res.pages) == 0 {
 		if !c.writeFrame(&wire.ResultPage{QueryID: qid, Seq: 0, Last: true,
 			Name: res.name, PageSize: res.pageSize, Schema: res.schema}) {
+			s.flight.Finish(traceID, obs.OutcomeError+":stream", nil)
 			return
 		}
 	}
@@ -686,9 +781,16 @@ func (c *session) streamResult(qid uint32, engine string, res *queryResult, o sc
 		}
 		bytesOut += int64(len(blob))
 		if !c.writeFrame(f) {
+			s.flight.Finish(traceID, obs.OutcomeError+":stream", nil)
 			return
 		}
 	}
+	streamed := time.Since(streamFrom)
+	if qspan != nil {
+		s.cfg.Obs.Spans().Record(obs.SpanStage, qspan, streamAt, streamAt+streamed,
+			"server", "stream", int(qid), -1, -1)
+	}
+	s.streamHist.ObserveDuration(streamed)
 	s.count("server.result_pages", int64(len(res.pages)))
 	s.count("server.result_bytes", bytesOut)
 	c.writeFrame(&wire.Stats{
@@ -700,7 +802,30 @@ func (c *session) streamResult(qid uint32, engine string, res *queryResult, o sc
 		Queued:      o.Queued,
 		Exec:        o.Run,
 		Deferred:    o.Deferred,
+		TraceID:     traceID,
+		AdmitWait:   o.AdmitWait,
+		Sched:       o.Dispatch,
+		Stream:      streamed,
 	})
+	total := time.Since(arrival)
+	s.flight.Finish(traceID, obs.OutcomeOK, func(r *obs.QueryRecord) {
+		r.AdmitWait, r.Sched, r.Exec, r.Stream = o.AdmitWait, o.Dispatch, o.Run, streamed
+		r.Total = total
+		r.Tuples = res.tuples
+		r.Pages = int64(len(res.pages))
+		r.Deferred = o.Deferred
+	})
+	if s.cfg.SlowQuery > 0 && total >= s.cfg.SlowQuery {
+		s.count("server.slow_queries", 1)
+		s.slowMu.Lock()
+		fmt.Fprintf(s.cfg.SlowQueryLog,
+			"dfdbm: slow query trace=%d s%d/q%d lane=%s engine=%s total=%v admit-wait=%v sched=%v exec=%v stream=%v tuples=%d\n",
+			traceID, c.id, qid, lane.String(), engine,
+			total.Round(time.Microsecond), o.AdmitWait.Round(time.Microsecond),
+			o.Dispatch.Round(time.Microsecond), o.Run.Round(time.Microsecond),
+			streamed.Round(time.Microsecond), res.tuples)
+		s.slowMu.Unlock()
+	}
 	s.event(obs.EvResult, int(qid), "s%d/q%d: %d tuples in %d pages (%s, queued %v, ran %v)",
 		c.id, qid, res.tuples, len(res.pages), engine, o.Queued.Round(time.Microsecond), o.Run.Round(time.Microsecond))
 }
@@ -711,5 +836,5 @@ func (c *session) writeFrame(f wire.Frame) bool {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	_ = c.conn.SetWriteDeadline(time.Now().Add(c.srv.cfg.SessionTimeout))
-	return wire.Write(c.conn, f) == nil
+	return wire.WriteVersion(c.conn, f, c.ver) == nil
 }

@@ -34,8 +34,11 @@ import (
 const (
 	// MinVersion is the oldest protocol revision this build accepts.
 	MinVersion = 1
-	// Version is the current protocol revision.
-	Version = 1
+	// Version is the current protocol revision. Version 2 adds
+	// end-to-end tracing: a server-assigned session ID on the Hello
+	// reply, a TraceID on Query and Stats frames, and the per-stage
+	// lifecycle breakdown (admit-wait, schedule, stream) on Stats.
+	Version = 2
 )
 
 // MaxFrameLen bounds a frame payload; a peer announcing more is
@@ -117,6 +120,12 @@ type Hello struct {
 	Engine string
 	// Name optionally identifies the peer for traces and spans.
 	Name string
+	// SessionID (v2+) is the server-assigned session identifier, set
+	// only on the server's Hello reply; it names the session in the
+	// server's spans, flight recorder, and /queries output. The field
+	// is self-describing on the wire (appended only when nonzero), so
+	// a v1 peer never sees it.
+	SessionID uint64
 }
 
 // Type returns TypeHello.
@@ -127,6 +136,9 @@ func (h *Hello) encode(e *encoder) {
 	e.u16(h.Max)
 	e.str(h.Engine)
 	e.str(h.Name)
+	if e.ver >= 2 && h.SessionID != 0 {
+		e.u64(h.SessionID)
+	}
 }
 
 func (h *Hello) decode(d *decoder) {
@@ -134,6 +146,9 @@ func (h *Hello) decode(d *decoder) {
 	h.Max = d.u16()
 	h.Engine = d.str()
 	h.Name = d.str()
+	if d.ver >= 2 && d.err == nil && len(d.b) >= 8 {
+		h.SessionID = d.u64()
+	}
 }
 
 // Negotiate returns the protocol version a server speaking
@@ -160,6 +175,11 @@ type Query struct {
 	Priority uint8
 	// Text is the query in the surface syntax of internal/query.
 	Text string
+	// TraceID (v2+) is a client-proposed trace identifier. Zero asks
+	// the server to assign one; either way the Stats frame echoes the
+	// trace ID in force so the client can correlate its own spans with
+	// the server's.
+	TraceID uint64
 }
 
 // Type returns TypeQuery.
@@ -169,12 +189,18 @@ func (q *Query) encode(e *encoder) {
 	e.u32(q.ID)
 	e.u8(q.Priority)
 	e.str(q.Text)
+	if e.ver >= 2 {
+		e.u64(q.TraceID)
+	}
 }
 
 func (q *Query) decode(d *decoder) {
 	q.ID = d.u32()
 	q.Priority = d.u8()
 	q.Text = d.str()
+	if d.ver >= 2 {
+		q.TraceID = d.u64()
+	}
 }
 
 // SchemaAttr is one attribute of a result schema as carried on the
@@ -301,6 +327,18 @@ type Stats struct {
 	// Deferred reports whether admission was delayed by a read/write
 	// conflict with a concurrently running query.
 	Deferred bool
+	// TraceID (v2+) is the trace identifier in force for this query on
+	// the server, echoed so the client can link its round trip to the
+	// server's span tree and flight-recorder entry.
+	TraceID uint64
+	// AdmitWait, Sched, and Stream (v2+) break the server-side
+	// lifecycle into stages: AdmitWait is time spent queued before the
+	// scheduler admitted the query (Queued = AdmitWait + Sched for a v1
+	// reader), Sched is the admit-to-run dispatch latency, and Stream
+	// is the time spent writing result pages back to the client.
+	AdmitWait time.Duration
+	Sched     time.Duration
+	Stream    time.Duration
 }
 
 // Type returns TypeStats.
@@ -319,6 +357,12 @@ func (s *Stats) encode(e *encoder) {
 		flags = 1
 	}
 	e.u8(flags)
+	if e.ver >= 2 {
+		e.u64(s.TraceID)
+		e.u64(uint64(s.AdmitWait))
+		e.u64(uint64(s.Sched))
+		e.u64(uint64(s.Stream))
+	}
 }
 
 func (s *Stats) decode(d *decoder) {
@@ -330,14 +374,26 @@ func (s *Stats) decode(d *decoder) {
 	s.Queued = time.Duration(d.u64())
 	s.Exec = time.Duration(d.u64())
 	s.Deferred = d.u8()&1 != 0
+	if d.ver >= 2 {
+		s.TraceID = d.u64()
+		s.AdmitWait = time.Duration(d.u64())
+		s.Sched = time.Duration(d.u64())
+		s.Stream = time.Duration(d.u64())
+	}
 }
 
-// Write encodes f and writes it to w as one frame. A frame carrying a
-// field that cannot be represented on the wire (a string or schema
-// longer than its length prefix can express, or a payload over
-// MaxFrameLen) is refused here, before any bytes reach the peer.
-func Write(w io.Writer, f Frame) error {
-	var e encoder
+// Write encodes f at the current protocol Version and writes it to w
+// as one frame. A frame carrying a field that cannot be represented on
+// the wire (a string or schema longer than its length prefix can
+// express, or a payload over MaxFrameLen) is refused here, before any
+// bytes reach the peer.
+func Write(w io.Writer, f Frame) error { return WriteVersion(w, f, Version) }
+
+// WriteVersion encodes f at the given negotiated protocol version and
+// writes it to w as one frame. Sessions use it after the handshake so
+// a v2 server never sends v2 fields to a v1 client.
+func WriteVersion(w io.Writer, f Frame, ver uint16) error {
+	e := encoder{ver: ver}
 	f.encode(&e)
 	if e.err != nil {
 		return fmt.Errorf("wire: encoding %s frame: %w", f.Type(), e.err)
@@ -352,10 +408,16 @@ func Write(w io.Writer, f Frame) error {
 	return err
 }
 
-// Read reads and decodes one frame from r. It returns io.EOF untouched
-// on a clean end of stream (so callers can detect an orderly close)
-// and a wrapped error on a torn frame or malformed payload.
-func Read(r io.Reader) (Frame, error) {
+// Read reads and decodes one frame from r at the current protocol
+// Version. It returns io.EOF untouched on a clean end of stream (so
+// callers can detect an orderly close) and a wrapped error on a torn
+// frame or malformed payload.
+func Read(r io.Reader) (Frame, error) { return ReadVersion(r, Version) }
+
+// ReadVersion reads and decodes one frame from r at the given
+// negotiated protocol version. Sessions use it after the handshake so
+// a frame from a v1 peer is decoded with the v1 layout.
+func ReadVersion(r io.Reader, ver uint16) (Frame, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
@@ -386,7 +448,7 @@ func Read(r io.Reader) (Frame, error) {
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type %d", hdr[0])
 	}
-	d := decoder{b: payload}
+	d := decoder{b: payload, ver: ver}
 	f.decode(&d)
 	if d.err != nil {
 		return nil, fmt.Errorf("wire: decoding %s frame: %w", f.Type(), d.err)
@@ -403,9 +465,11 @@ func Read(r io.Reader) (Frame, error) {
 // encoder latches an error instead and Write refuses the frame.
 const maxStrLen = 1<<16 - 1
 
-// encoder builds a frame payload, latching the first error.
+// encoder builds a frame payload at a negotiated protocol version,
+// latching the first error.
 type encoder struct {
 	b   []byte
+	ver uint16
 	err error
 }
 
@@ -434,9 +498,11 @@ func (e *encoder) bytes(p []byte) {
 	e.b = append(e.b, p...)
 }
 
-// decoder consumes a frame payload, latching the first error.
+// decoder consumes a frame payload at a negotiated protocol version,
+// latching the first error.
 type decoder struct {
 	b   []byte
+	ver uint16
 	err error
 }
 

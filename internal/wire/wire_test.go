@@ -27,6 +27,12 @@ func TestRoundTrip(t *testing.T) {
 		&Error{QueryID: 3, Code: CodeOverloaded, Msg: "queue full"},
 		&Stats{QueryID: 42, Engine: "core", Tuples: 1234, Pages: 9, ResultBytes: 99999,
 			Queued: 250 * time.Microsecond, Exec: 3 * time.Millisecond, Deferred: true},
+		&Hello{Min: 2, Max: 2, Engine: "core", Name: "srv", SessionID: 77},
+		&Query{ID: 7, Priority: 1, Text: "r1", TraceID: 0xDEADBEEF},
+		&Stats{QueryID: 7, Engine: "core", Tuples: 1, TraceID: 0xDEADBEEF,
+			AdmitWait: time.Millisecond, Sched: 10 * time.Microsecond,
+			Queued: time.Millisecond + 10*time.Microsecond,
+			Exec:   2 * time.Millisecond, Stream: 400 * time.Microsecond},
 	}
 	for _, f := range frames {
 		var buf bytes.Buffer
@@ -95,6 +101,85 @@ func TestNegotiate(t *testing.T) {
 		if !c.ok && err == nil {
 			t.Errorf("Negotiate(%d-%d, %d-%d) succeeded, want error", c.cmin, c.cmax, c.smin, c.smax)
 		}
+	}
+}
+
+// TestCrossVersion pins the compatibility contract of the versioned
+// codec: frames written at v1 decode at v2 (with the v2 fields zero),
+// frames written at v2 to a v2 reader keep the v2 fields, and the v2
+// fields are never put on the wire for a v1 peer.
+func TestCrossVersion(t *testing.T) {
+	// v1-encoded Query read by a v2-aware session at the negotiated
+	// version 1: TraceID absent, no error.
+	var buf bytes.Buffer
+	if err := WriteVersion(&buf, &Query{ID: 3, Text: "r1", TraceID: 55}, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadVersion(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := f.(*Query); q.TraceID != 0 || q.Text != "r1" {
+		t.Errorf("v1 query round trip: %+v", q)
+	}
+
+	// Stats written at v1 must not leak the v2 stage breakdown.
+	buf.Reset()
+	s := &Stats{QueryID: 1, Engine: "core", Queued: time.Millisecond,
+		Exec: time.Millisecond, TraceID: 9, AdmitWait: time.Second, Stream: time.Second}
+	if err := WriteVersion(&buf, s, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, err = ReadVersion(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.(*Stats)
+	if got.TraceID != 0 || got.AdmitWait != 0 || got.Stream != 0 {
+		t.Errorf("v2 fields leaked through a v1 frame: %+v", got)
+	}
+	if got.Queued != s.Queued || got.Exec != s.Exec {
+		t.Errorf("v1 fields lost: %+v", got)
+	}
+
+	// A client Hello (no SessionID) is byte-identical at v1 and v2, so
+	// a v1 server can always read the opening frame of a v2 client.
+	var b1, b2 bytes.Buffer
+	h := &Hello{Min: 1, Max: 2, Engine: "core", Name: "c"}
+	if err := WriteVersion(&b1, h, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVersion(&b2, h, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("client Hello differs between v1 and v2 encodings")
+	}
+
+	// A v2 server reply carrying a SessionID decodes at v2; the same
+	// struct written at the negotiated version 1 omits it entirely.
+	buf.Reset()
+	reply := &Hello{Min: 2, Max: 2, Engine: "core", SessionID: 123}
+	if err := WriteVersion(&buf, reply, 2); err != nil {
+		t.Fatal(err)
+	}
+	f, err = ReadVersion(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.(*Hello).SessionID != 123 {
+		t.Errorf("session ID lost at v2: %+v", f)
+	}
+	buf.Reset()
+	if err := WriteVersion(&buf, reply, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, err = ReadVersion(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.(*Hello).SessionID != 0 {
+		t.Errorf("session ID leaked through a v1 Hello: %+v", f)
 	}
 }
 

@@ -25,7 +25,7 @@ func TestLiveIntrospectionUnderLoad(t *testing.T) {
 	}
 	o := dfdbm.NewObserver(nil, dfdbm.NewMetrics(time.Millisecond))
 	o.EnableSpans()
-	srv, err := dfdbm.StartObsServer("127.0.0.1:0", o.Registry(), o.Spans())
+	srv, err := dfdbm.StartObsServer("127.0.0.1:0", o.Registry(), o.Spans(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

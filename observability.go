@@ -52,6 +52,16 @@ type (
 	SaturationReport = obs.SaturationReport
 	// ObsServer is the live introspection HTTP server (StartObsServer).
 	ObsServer = obs.Server
+	// Histogram is a fixed-bucket, lock-free latency/size histogram
+	// with mergeable counters and interpolated quantile estimates
+	// (Metrics.Histogram).
+	Histogram = obs.Histogram
+	// FlightRecorder is the bounded record of recent served queries:
+	// the live in-flight table plus a ring of completed queries,
+	// surfaced by the obs HTTP server as /queries and /queries/recent.
+	FlightRecorder = obs.FlightRecorder
+	// QueryRecord is one flight-recorder entry.
+	QueryRecord = obs.QueryRecord
 )
 
 // BuildProfile folds a run's spans into the per-node EXPLAIN ANALYZE
@@ -74,10 +84,11 @@ func Saturation(m *Metrics, elapsed time.Duration, specs []ResourceSpec) *Satura
 
 // StartObsServer starts the live introspection HTTP server on addr,
 // serving Prometheus-format /metrics, /spans (the active span tree),
-// /timeline (raw busy timelines), and /debug/pprof/* while a
+// /timeline (raw busy timelines), /queries and /queries/recent (the
+// flight recorder, when non-nil), and /debug/pprof/* while a
 // simulation runs. Close the returned server when done.
-func StartObsServer(addr string, m *Metrics, spans *SpanTracker) (*obs.Server, error) {
-	return obs.StartServer(addr, m, spans)
+func StartObsServer(addr string, m *Metrics, spans *SpanTracker, flight *FlightRecorder) (*obs.Server, error) {
+	return obs.StartServer(addr, m, spans, flight)
 }
 
 // NewObserver couples a trace sink and a metrics registry; either may
