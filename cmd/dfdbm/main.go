@@ -9,8 +9,15 @@
 //	dfdbm [flags] bench
 //	dfdbm [flags] machine [queries...]
 //	dfdbm [flags] direct [-procs N] [-strategy page|relation]
-//	dfdbm [flags] serve [-addr A] [-engine core|machine] [-max-sessions N] [-queue-depth N] [-runners N] [-max-inflight N] [-drain-timeout D]
+//	dfdbm [flags] serve [-addr A] [-engine core|machine] [-data-dir DIR] [-fsync commit|none] [-max-sessions N] [-queue-depth N] [-runners N] [-max-inflight N] [-drain-timeout D]
 //	dfdbm client [-addr A] [-engine core|machine] [-priority high|normal|low] '<query>' ...
+//	dfdbm wal <inspect|verify> -data-dir DIR [-records]
+//
+// serve -data-dir makes the write path durable: every append/delete is
+// redo-logged and fsynced (per -fsync) before it is acknowledged, the
+// catalog is checkpointed into atomic snapshot files, and a restart
+// after kill -9 recovers exactly the acknowledged writes. `dfdbm wal`
+// inspects or verifies such a directory offline.
 //
 // Shared flags (before the subcommand): -scale, -seed, -pagesize.
 //
@@ -100,6 +107,8 @@ func main() {
 		cmdServe(db, flag.Args()[1:])
 	case "client":
 		cmdClient(flag.Args()[1:])
+	case "wal":
+		cmdWal(flag.Args()[1:])
 	case "top":
 		cmdTop(flag.Args()[1:])
 	case "explain":
@@ -124,7 +133,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dfdbm [-scale S -seed N -pagesize B -db FILE] info|run|bench|machine|direct|serve|client|top|save|export|explain ...")
+	fmt.Fprintln(os.Stderr, "usage: dfdbm [-scale S -seed N -pagesize B -db FILE] info|run|bench|machine|direct|serve|client|wal|top|save|export|explain ...")
 	os.Exit(2)
 }
 

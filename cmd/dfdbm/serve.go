@@ -29,32 +29,75 @@ func cmdServe(db *dfdbm.DB, args []string) {
 	workers := fs.Int("workers", 4, "core-engine workers per query")
 	ips := fs.Int("ips", 16, "machine-engine instruction processors per query")
 	slowQuery := fs.Duration("slow-query-threshold", 0, "log queries whose end-to-end time exceeds this (0 disables)")
+	dataDir := fs.String("data-dir", "", "durable data directory: recover from it on start, write-ahead log every write into it")
+	fsyncMode := fs.String("fsync", "commit", "WAL durability: commit (fsync before every ack) or none")
+	checkpointEvery := fs.Int64("checkpoint-every", 0, "auto-checkpoint once the log grows this many bytes past the last checkpoint (0 = 8 MiB, negative disables)")
+	segmentSize := fs.Int64("wal-segment-size", 0, "WAL segment rotation threshold in bytes (0 = 16 MiB)")
+	crashWrite := fs.Int64("crash-write", 0, "TESTING: hard-exit (137) at the Nth WAL record write")
+	crashSync := fs.Int64("crash-sync", 0, "TESTING: hard-exit (137) at the Nth WAL fsync")
+	crashTorn := fs.Bool("crash-torn", false, "TESTING: with -crash-write, leave a torn half-record behind")
 	of := addObsFlags(fs)
 	check(fs.Parse(args))
 	if fs.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: dfdbm serve [-addr A] [-engine core|machine] [-max-sessions N] [-queue-depth N] [-runners N] [-max-inflight N] [-drain-timeout D]")
+		fmt.Fprintln(os.Stderr, "usage: dfdbm serve [-addr A] [-engine core|machine] [-data-dir DIR] [-fsync commit|none] [-max-sessions N] [-queue-depth N] [-runners N] [-max-inflight N] [-drain-timeout D]")
 		os.Exit(2)
 	}
 
 	// A server always meters itself: session/scheduler counters and
 	// gauges exist even before -http or -metrics-out ask for them.
 	o, sess := of.buildAlways()
+
+	// With a data directory, the durable state there is authoritative:
+	// recover it, or — when the directory is fresh — seed it with the
+	// database built from -db / the generated benchmark and checkpoint
+	// that as the first snapshot.
+	var wlog *dfdbm.WAL
+	if *dataDir != "" {
+		policy, err := dfdbm.ParseFsyncPolicy(*fsyncMode)
+		check(err)
+		var inj *dfdbm.WALInjector
+		if *crashWrite > 0 || *crashSync > 0 {
+			inj = &dfdbm.WALInjector{FailWrite: *crashWrite, FailSync: *crashSync, Torn: *crashTorn, Hard: true}
+		}
+		l, recovered, rv, err := dfdbm.OpenWAL(*dataDir, dfdbm.WALOptions{
+			SegmentSize: *segmentSize,
+			Fsync:       policy,
+			Obs:         o,
+			Injector:    inj,
+		})
+		check(err)
+		wlog = l
+		if recovered != nil {
+			db = recovered
+			fmt.Printf("dfdbm: %s in %v\n", rv, rv.Elapsed.Round(time.Millisecond))
+		} else {
+			check(l.Checkpoint(db.Catalog()))
+			fmt.Printf("dfdbm: initialized %s with %d relations\n", *dataDir, len(db.Names()))
+		}
+	}
+
 	srv, err := dfdbm.Serve(db, dfdbm.ServeConfig{
-		Addr:           *addr,
-		Engine:         *engine,
-		MaxSessions:    *maxSessions,
-		MaxInflight:    *maxInflight,
-		QueueDepth:     *queueDepth,
-		Runners:        *runners,
-		SessionTimeout: *sessionTimeout,
-		Workers:        *workers,
-		IPs:            *ips,
-		SlowQuery:      *slowQuery,
-		Obs:            o,
+		Addr:            *addr,
+		Engine:          *engine,
+		MaxSessions:     *maxSessions,
+		MaxInflight:     *maxInflight,
+		QueueDepth:      *queueDepth,
+		Runners:         *runners,
+		SessionTimeout:  *sessionTimeout,
+		Workers:         *workers,
+		IPs:             *ips,
+		SlowQuery:       *slowQuery,
+		WAL:             wlog,
+		CheckpointEvery: *checkpointEvery,
+		Obs:             o,
 	})
 	check(err)
-	fmt.Printf("dfdbm: serving %d relations on %s (engine=%s, runners=%d, queue=%d)\n",
-		len(db.Names()), srv.Addr(), *engine, *runners, *queueDepth)
+	durable := ""
+	if wlog != nil {
+		durable = fmt.Sprintf(", data-dir=%s fsync=%s", *dataDir, *fsyncMode)
+	}
+	fmt.Printf("dfdbm: serving %d relations on %s (engine=%s, runners=%d, queue=%d%s)\n",
+		len(db.Names()), srv.Addr(), *engine, *runners, *queueDepth, durable)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -64,12 +107,87 @@ func cmdServe(db *dfdbm.DB, args []string) {
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	err = srv.Shutdown(dctx)
+	if wlog != nil {
+		// The server is quiescent after the drain: checkpoint so the
+		// next start recovers from the snapshot instead of replaying
+		// the whole tail, then close the log.
+		if cerr := wlog.Checkpoint(db.Catalog()); cerr != nil {
+			fmt.Fprintf(os.Stderr, "dfdbm: shutdown checkpoint failed: %v\n", cerr)
+		}
+		if cerr := wlog.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	sess.finish()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dfdbm: drain incomplete: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "dfdbm: drained cleanly")
+}
+
+// cmdWal inspects or verifies a durable data directory offline.
+func cmdWal(args []string) {
+	if len(args) < 1 || (args[0] != "inspect" && args[0] != "verify") {
+		fmt.Fprintln(os.Stderr, "usage: dfdbm wal <inspect|verify> -data-dir DIR [-records]")
+		os.Exit(2)
+	}
+	verb := args[0]
+	fs := flag.NewFlagSet("wal "+verb, flag.ExitOnError)
+	dataDir := fs.String("data-dir", "", "durable data directory to read")
+	records := fs.Bool("records", false, "inspect: print every log record")
+	check(fs.Parse(args[1:]))
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: dfdbm wal <inspect|verify> -data-dir DIR [-records]")
+		os.Exit(2)
+	}
+
+	var fn func(string, int64, *dfdbm.WALRecord)
+	if verb == "inspect" && *records {
+		fn = func(seg string, off int64, rec *dfdbm.WALRecord) {
+			fmt.Printf("  %s @%-8d lsn %-6d %s\n", seg, off, rec.LSN, rec.Summary())
+		}
+	}
+	rp, err := dfdbm.InspectWAL(*dataDir, fn)
+	check(err)
+
+	if verb == "verify" {
+		if !rp.Clean() {
+			for _, sn := range rp.Snapshots {
+				if sn.Err != "" {
+					fmt.Fprintf(os.Stderr, "dfdbm: snapshot %s: %s\n", sn.Name, sn.Err)
+				}
+			}
+			for _, sg := range rp.Segments {
+				if sg.Err != "" {
+					fmt.Fprintf(os.Stderr, "dfdbm: segment %s: %s\n", sg.Name, sg.Err)
+				}
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("dfdbm: %s clean: %d snapshots, %d segments, %d records (LSN %d..%d)\n",
+			*dataDir, len(rp.Snapshots), len(rp.Segments), rp.Records, rp.FirstLSN, rp.LastLSN)
+		return
+	}
+
+	fmt.Printf("%s: %d records, LSN %d..%d\n", *dataDir, rp.Records, rp.FirstLSN, rp.LastLSN)
+	fmt.Printf("snapshots (%d):\n", len(rp.Snapshots))
+	for _, sn := range rp.Snapshots {
+		status := "ok"
+		if sn.Err != "" {
+			status = sn.Err
+		}
+		fmt.Printf("  %-28s cover %-6d %8dB  %s\n", sn.Name, sn.CoverLSN, sn.Bytes, status)
+	}
+	fmt.Printf("segments (%d):\n", len(rp.Segments))
+	for _, sg := range rp.Segments {
+		status := "ok"
+		if sg.Err != "" {
+			status = sg.Err
+		}
+		fmt.Printf("  %-28s lsn %d..%-6d %4d records %8dB  %s\n",
+			sg.Name, sg.FirstLSN, sg.LastLSN, sg.Records, sg.Bytes, status)
+	}
 }
 
 // readQueryFile loads a query-per-line file; blank lines and

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dfdbm/internal/relation"
 )
@@ -17,6 +18,7 @@ import (
 type Catalog struct {
 	mu   sync.RWMutex
 	rels map[string]*relation.Relation
+	gen  atomic.Int64
 }
 
 // New returns an empty catalog.
@@ -27,9 +29,21 @@ func New() *Catalog {
 // Put adds or replaces a relation under its own name.
 func (c *Catalog) Put(r *relation.Relation) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.rels[r.Name()] = r
+	c.mu.Unlock()
+	c.gen.Add(1)
 }
+
+// Touch records an in-place mutation of the named relation (an append
+// or delete rewriting its pages), bumping the dirty generation. The
+// catalog cannot observe such writes itself — relations are mutated
+// directly — so the write paths report them here.
+func (c *Catalog) Touch(string) { c.gen.Add(1) }
+
+// Generation returns the catalog's dirty generation: a counter bumped
+// by every Put, Drop, and Touch. A checkpoint that remembers the
+// generation it snapshotted can tell whether anything changed since.
+func (c *Catalog) Generation() int64 { return c.gen.Load() }
 
 // Get returns the named relation.
 func (c *Catalog) Get(name string) (*relation.Relation, error) {
@@ -53,9 +67,12 @@ func (c *Catalog) Has(name string) bool {
 // Drop removes the named relation, reporting whether it existed.
 func (c *Catalog) Drop(name string) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	_, ok := c.rels[name]
 	delete(c.rels, name)
+	c.mu.Unlock()
+	if ok {
+		c.gen.Add(1)
+	}
 	return ok
 }
 

@@ -2,10 +2,14 @@ package catalog
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"dfdbm/internal/relation"
 )
@@ -13,7 +17,7 @@ import (
 // The database file format is a straightforward length-prefixed binary
 // layout:
 //
-//	magic   "DFDBM1\n\x00"                      8 bytes
+//	magic   "DFDBM2\n\x00"                      8 bytes
 //	u32     relation count
 //	per relation:
 //	  u16 name length, name bytes
@@ -22,15 +26,32 @@ import (
 //	  per attribute: u8 type, u32 width, u16 name length, name bytes
 //	  u32 page count
 //	  per page: u32 blob length, page blob (relation.Page.Marshal)
+//	u32     CRC-32C of everything above (magic included)
 //
 // All integers are little-endian. Pages are stored in wire form, so a
-// file read back yields byte-identical relations.
+// file read back yields byte-identical relations. The trailing checksum
+// makes corruption — a torn write, a flipped bit, a truncated file —
+// detectable instead of silently loadable: recovery relies on it to
+// pick the newest *valid* snapshot. Version-1 files (magic "DFDBM1",
+// no checksum) are still readable.
 
-var fileMagic = [8]byte{'D', 'F', 'D', 'B', 'M', '1', '\n', 0}
+var (
+	fileMagic   = [8]byte{'D', 'F', 'D', 'B', 'M', '2', '\n', 0}
+	fileMagicV1 = [8]byte{'D', 'F', 'D', 'B', 'M', '1', '\n', 0}
+)
 
-// Save writes the catalog to w.
+// ErrCorrupt marks a database file that is recognizably a dfdbm file
+// but fails validation — checksum mismatch, truncation, or a
+// structurally impossible value. Callers test with errors.Is.
+var ErrCorrupt = errors.New("catalog: corrupt database file")
+
+// castagnoli is the CRC-32C table shared by every checksum here.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Save writes the catalog to w in the checksummed v2 format.
 func (c *Catalog) Save(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	crc := crc32.New(castagnoli)
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
 	if _, err := bw.Write(fileMagic[:]); err != nil {
 		return err
 	}
@@ -47,19 +68,64 @@ func (c *Catalog) Save(w io.Writer) error {
 			return fmt.Errorf("catalog: saving %q: %w", name, err)
 		}
 	}
-	return bw.Flush()
+	// The trailer must not feed the running checksum, so flush the body
+	// through the hash first and write the sum to w alone.
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	_, err := w.Write(trailer[:])
+	return err
 }
 
-// Load reads a catalog previously written by Save.
+// Load reads a catalog previously written by Save. It accepts both the
+// checksummed v2 format and legacy v1 files. Any validation failure on
+// a v2 file — bad checksum, truncation, implausible structure — is
+// reported wrapping ErrCorrupt; corruption never panics and never
+// loads silently.
 func Load(r io.Reader) (*Catalog, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("catalog: reading magic: %w", err)
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrCorrupt, err)
+	}
+	if magic == fileMagicV1 {
+		return loadBody(br)
 	}
 	if magic != fileMagic {
-		return nil, fmt.Errorf("catalog: not a dfdbm database file")
+		return nil, fmt.Errorf("%w: not a dfdbm database file", ErrCorrupt)
 	}
+	// v2: the whole body must be present and must checksum correctly
+	// before any of it is interpreted.
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading body: %v", ErrCorrupt, err)
+	}
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("%w: file truncated before checksum", ErrCorrupt)
+	}
+	body, trailer := rest[:len(rest)-4], rest[len(rest)-4:]
+	crc := crc32.New(castagnoli)
+	crc.Write(magic[:])
+	crc.Write(body)
+	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (computed %08x, stored %08x)", ErrCorrupt, got, want)
+	}
+	c, err := loadBody(bufio.NewReader(bytes.NewReader(body)))
+	if err != nil {
+		// Structurally invalid despite a matching checksum (e.g. a file
+		// assembled by hand): still corruption, never a silent success.
+		if !errors.Is(err, ErrCorrupt) {
+			err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+// loadBody parses the relation-count-prefixed body shared by v1 and v2.
+func loadBody(br *bufio.Reader) (*Catalog, error) {
 	n, err := readU32(br)
 	if err != nil {
 		return nil, err
@@ -75,17 +141,60 @@ func Load(r io.Reader) (*Catalog, error) {
 	return c, nil
 }
 
-// SaveFile writes the catalog to the named file.
+// SaveFile writes the catalog to the named file crash-safely: the bytes
+// go to a temporary file in the same directory, which is fsynced and
+// renamed over the target, and the directory entry is fsynced too. A
+// crash at any point leaves either the old file or the new one — never
+// a torn mix, and never a lost target.
 func (c *Catalog) SaveFile(path string) error {
-	f, err := os.Create(path)
+	return WriteFileAtomic(path, c.Save)
+}
+
+// WriteFileAtomic writes the output of write to path with
+// all-or-nothing crash semantics: temp file in the same directory,
+// fsync, rename over the target, directory fsync. On any error the
+// temp file is removed and the previous contents of path are intact.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if err := c.Save(f); err != nil {
-		f.Close()
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
 		return err
 	}
-	return f.Close()
+	if err := write(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making renames and file creations within
+// it durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // LoadFile reads a catalog from the named file.

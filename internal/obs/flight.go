@@ -43,6 +43,10 @@ const (
 	OutcomeOK    = "ok"
 	OutcomeError = "error"
 	OutcomeShed  = "shed"
+	// OutcomeReplayed marks a write re-applied from the write-ahead log
+	// during crash recovery: it was acknowledged in a previous process
+	// life and survived into this one.
+	OutcomeReplayed = "replayed"
 )
 
 // QueryRecord is one query's flight-recorder entry.

@@ -3,7 +3,9 @@ package server
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -27,6 +29,60 @@ type ClientConfig struct {
 	// version exercises exactly what an old client binary would speak —
 	// compatibility tests dial with MaxVersion: 1 against a v2 server.
 	MaxVersion uint16
+	// MaxRetries, when positive, retries transient failures up to this
+	// many times with jittered exponential backoff: overload rejections
+	// (the admission scheduler shed the query before it ran, so a
+	// resend is safe even for writes) and transient dial failures
+	// (refused, timed out, or a session-limit rejection). 0 — the
+	// default — disables retries.
+	MaxRetries int
+	// RetryBase is the first backoff step (default 50ms); step n sleeps
+	// base*2^n scaled by a random factor in [0.5, 1.5), capped at 2s.
+	RetryBase time.Duration
+}
+
+// retryDelay returns the jittered exponential backoff before retry
+// attempt n (0-based).
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	d := base << uint(min(attempt, 16))
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// transientDial reports whether a Dial failure is worth retrying:
+// network-level errors (refused, unreachable, timeout) and the
+// server's own "come back later" rejections. Version mismatches,
+// protocol violations, and other handshake failures are permanent.
+func transientDial(err error) bool {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Code == wire.CodeOverloaded
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// overloaded reports whether err is the server shedding load.
+func overloaded(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == wire.CodeOverloaded
 }
 
 // RemoteError is an error frame received from the server.
@@ -60,11 +116,22 @@ type Client struct {
 }
 
 // Dial connects to a dfdbm server and performs the version and engine
-// handshake.
+// handshake. With cfg.MaxRetries set, transient failures — refused
+// connections, timeouts, session-limit rejections — are retried with
+// jittered exponential backoff.
 func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
+	c, err := dialOnce(addr, cfg)
+	for attempt := 0; err != nil && attempt < cfg.MaxRetries && transientDial(err); attempt++ {
+		time.Sleep(retryDelay(cfg.RetryBase, attempt))
+		c, err = dialOnce(addr, cfg)
+	}
+	return c, err
+}
+
+func dialOnce(addr string, cfg ClientConfig) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, cfg.Timeout)
 	if err != nil {
 		return nil, err
@@ -138,10 +205,25 @@ func (c *Client) Query(ctx context.Context, text string) (*QueryResult, error) {
 }
 
 // QueryPriority is Query with an explicit admission priority
-// (0 = high, 1 = normal, 2+ = low).
+// (0 = high, 1 = normal, 2+ = low). With cfg.MaxRetries set, overload
+// rejections are retried with jittered exponential backoff: the
+// scheduler shed the query at admission, before any execution, so the
+// resend cannot double-apply a write.
 func (c *Client) QueryPriority(ctx context.Context, text string, priority uint8) (*QueryResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	res, err := c.queryLocked(ctx, text, priority)
+	for attempt := 0; err != nil && attempt < c.cfg.MaxRetries && overloaded(err); attempt++ {
+		if serr := sleepCtx(ctx, retryDelay(c.cfg.RetryBase, attempt)); serr != nil {
+			return nil, serr
+		}
+		res, err = c.queryLocked(ctx, text, priority)
+	}
+	return res, err
+}
+
+// queryLocked performs one query exchange; c.mu must be held.
+func (c *Client) queryLocked(ctx context.Context, text string, priority uint8) (*QueryResult, error) {
 	if c.closed {
 		return nil, fmt.Errorf("client: session closed")
 	}

@@ -36,6 +36,7 @@ import (
 	"dfdbm/internal/query"
 	"dfdbm/internal/relation"
 	"dfdbm/internal/sched"
+	"dfdbm/internal/wal"
 	"dfdbm/internal/wire"
 )
 
@@ -91,6 +92,19 @@ type Config struct {
 	SlowQuery time.Duration
 	// SlowQueryLog receives slow-query log lines (os.Stderr when nil).
 	SlowQueryLog io.Writer
+	// WAL, when non-nil, makes the write path durable: every append and
+	// delete query is encoded as a redo record and fsynced into the log
+	// before it is applied to the catalog or acknowledged to the
+	// client. A server killed at any instant recovers exactly the
+	// acknowledged writes on the next wal.Open.
+	WAL *wal.Log
+	// CheckpointEvery, with WAL, is the auto-checkpoint threshold: once
+	// the log grows this many bytes past the last checkpoint, the
+	// server schedules a checkpoint job whose footprint writes every
+	// relation, so it runs under total admission exclusion. 0 defaults
+	// to 8 MiB; negative disables auto-checkpointing (Checkpoint can
+	// still be driven externally, e.g. at shutdown).
+	CheckpointEvery int64
 	// Obs, when non-nil, receives server events (sessions opened and
 	// closed, queries received, results streamed), the server.*
 	// counters and gauges, per-session and per-query spans (when spans
@@ -137,6 +151,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.SlowQuery > 0 && c.SlowQueryLog == nil {
 		c.SlowQueryLog = os.Stderr
 	}
+	if c.WAL != nil && c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 8 << 20
+	}
 	return c, nil
 }
 
@@ -162,6 +179,10 @@ type Server struct {
 	traceSeq   atomic.Uint64
 	streamHist *obs.Histogram
 	slowMu     sync.Mutex
+
+	// ckptBusy singleflights auto-checkpoints: at most one checkpoint
+	// job is queued or running at a time.
+	ckptBusy atomic.Bool
 
 	mu       sync.Mutex
 	sessions map[int]*session
@@ -395,6 +416,136 @@ func snapshotResult(rel *relation.Relation) *queryResult {
 		schema:   attrs,
 		pages:    blobs,
 		tuples:   int64(rel.Cardinality()),
+	}
+}
+
+// execDurable runs a write query through the write-ahead log: build
+// the redo record first (executing the pure input subtree for appends,
+// without applying it), make the record durable, then apply it to the
+// catalog through the same wal.Record.Apply that crash recovery uses —
+// so the recovered state is byte-identical to the live one by
+// construction. Must run inside the query's scheduled Exec: the job's
+// write footprint is the exclusion that keeps log order equal to
+// apply order per relation.
+func (s *Server) execDurable(ctx context.Context, root *query.Node,
+	exec func(context.Context, *query.Tree) (*relation.Relation, error)) (any, error) {
+	rec := &wal.Record{Rel: root.Rel}
+	switch root.Kind {
+	case query.OpAppend:
+		dst, err := s.cat.Get(root.Rel)
+		if err != nil {
+			return nil, err
+		}
+		// Execute the input subtree as its own pure query: the engine
+		// computes the tuples to append but the effect is ours to apply,
+		// after the log write. Bind validated the full tree already, so
+		// source/destination compatibility holds.
+		srcTree, err := query.Bind(root.Inputs[0], s.cat)
+		if err != nil {
+			return nil, &bindError{err}
+		}
+		src, err := exec(ctx, srcTree)
+		if err != nil {
+			return nil, err
+		}
+		rec.Type = wal.RecAppend
+		rec.SchemaHash = wal.SchemaHash(dst.Schema())
+		pages := src.Pages()
+		rec.Pages = make([][]byte, 0, len(pages))
+		for _, pg := range pages {
+			if !pg.Empty() {
+				rec.Pages = append(rec.Pages, pg.Marshal())
+			}
+		}
+	case query.OpDelete:
+		rec.Type = wal.RecDelete
+		rec.Pred = root.Pred.String()
+	default:
+		return nil, fmt.Errorf("server: execDurable on %s", root.Kind)
+	}
+
+	// The commit point: after Append returns, the write is durable and
+	// may be acknowledged; before it, nothing has touched the catalog.
+	if _, err := s.cfg.WAL.Append(rec); err != nil {
+		return nil, fmt.Errorf("server: wal append: %w", err)
+	}
+	rel, err := rec.Apply(s.cat)
+	if err != nil {
+		// The record is durable but the in-memory apply failed — only
+		// reachable through a bug, since binding pre-validated the
+		// write. Surface it loudly: recovery would include this record.
+		s.count("server.durable_apply_errors", 1)
+		return nil, fmt.Errorf("server: logged write failed to apply (recovery will replay it): %w", err)
+	}
+	s.count("server.durable_writes", 1)
+	res := snapshotResult(rel)
+	s.maybeCheckpoint()
+	return res, nil
+}
+
+// maybeCheckpoint schedules a checkpoint job once the log outgrows the
+// configured threshold. The job's footprint writes every relation, so
+// the scheduler runs it only when no other query is in flight — the
+// quiescent instant a consistent snapshot needs. Singleflighted: at
+// most one checkpoint is queued or running.
+func (s *Server) maybeCheckpoint() {
+	every := s.cfg.CheckpointEvery
+	if every <= 0 || s.cfg.WAL.SizeSinceCheckpoint() < every {
+		return
+	}
+	if !s.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	job := &sched.Job{
+		Session:   "wal",
+		Label:     "wal/checkpoint",
+		Footprint: query.Footprint{Writes: s.cat.Names()},
+		Exec: func(context.Context) (any, error) {
+			return nil, s.cfg.WAL.Checkpoint(s.cat)
+		},
+	}
+	outc, err := s.sched.Submit(job)
+	if err != nil {
+		// Queue full or draining: drop this attempt, a later write
+		// retries.
+		s.ckptBusy.Store(false)
+		return
+	}
+	go func() {
+		o := <-outc
+		s.ckptBusy.Store(false)
+		if o.Err != nil {
+			s.count("server.checkpoint_errors", 1)
+			s.event(obs.EvNote, -1, "checkpoint failed: %v", o.Err)
+			return
+		}
+		s.event(obs.EvNote, -1, "checkpoint complete (log truncated)")
+	}()
+}
+
+// Checkpoint forces a catalog snapshot through the admission scheduler
+// (total write exclusion) and waits for it. No-op without a WAL.
+func (s *Server) Checkpoint(ctx context.Context) error {
+	if s.cfg.WAL == nil {
+		return nil
+	}
+	job := &sched.Job{
+		Session:   "wal",
+		Label:     "wal/checkpoint",
+		Footprint: query.Footprint{Writes: s.cat.Names()},
+		Exec: func(context.Context) (any, error) {
+			return nil, s.cfg.WAL.Checkpoint(s.cat)
+		},
+	}
+	outc, err := s.sched.Submit(job)
+	if err != nil {
+		return err
+	}
+	select {
+	case o := <-outc:
+		return o.Err
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -690,6 +841,13 @@ func (c *session) handleQuery(q *wire.Query) {
 			tree, err := query.Bind(root, s.cat)
 			if err != nil {
 				return nil, &bindError{err}
+			}
+			// With a WAL attached, writes take the durable path: log,
+			// fsync, then apply — all still under this job's admission
+			// exclusion, so the record hits stable storage before the
+			// catalog mutates and before any acknowledgement.
+			if s.cfg.WAL != nil && (root.Kind == query.OpAppend || root.Kind == query.OpDelete) {
+				return s.execDurable(ctx, root, exec)
 			}
 			rel, err := exec(ctx, tree)
 			if err != nil {

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/wal"
+)
+
+// catBytes is the byte-identity yardstick: two catalogs are the same
+// state iff their Save encodings match.
+func catBytes(t *testing.T, c *catalog.Catalog) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// openDurable opens a WAL in dir, seeds it with the test database when
+// fresh, and returns the log plus the catalog the server should run.
+func openDurable(t *testing.T, dir string, opts wal.Options) (*wal.Log, *catalog.Catalog) {
+	t.Helper()
+	l, cat, _, err := wal.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat == nil {
+		cat, _ = testDB(t, 0.05)
+		if err := l.Checkpoint(cat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l, cat
+}
+
+func countSnapshots(t *testing.T, dir string) int {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "snap-*.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(m)
+}
+
+// TestDurableWritesRecover drives appends and a delete through a
+// WAL-backed server, then recovers the directory cold and checks the
+// recovered catalog is byte-identical to the live one — the acceptance
+// bar for the durable write path.
+func TestDurableWritesRecover(t *testing.T) {
+	dir := t.TempDir()
+	l, cat := openDurable(t, dir, wal.Options{})
+	s := startServer(t, cat, Config{WAL: l, CheckpointEvery: -1})
+	c, err := Dial(s.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	writes := []string{
+		`append(r15, restrict(r1, val < 100))`,
+		`append(r14, restrict(r2, val < 200))`,
+		`delete(r15, val < 50)`,
+	}
+	for _, q := range writes {
+		if _, err := c.Query(context.Background(), q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	// The read path still serves after durable writes.
+	res, err := c.Query(context.Background(), `restrict(r15, val < 100)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Cardinality() == 0 {
+		t.Fatal("read after durable writes returned no tuples")
+	}
+
+	live := catBytes(t, cat)
+	c.Close()
+	s.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, cat2, rv, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rv.Replayed != len(writes) {
+		t.Fatalf("recovery replayed %d records, want %d", rv.Replayed, len(writes))
+	}
+	if got := catBytes(t, cat2); !bytes.Equal(got, live) {
+		t.Fatalf("recovered catalog differs from live catalog (%d vs %d bytes)", len(got), len(live))
+	}
+}
+
+// TestDurableAckRequiresFsync fails the WAL write under a client
+// append: the client must see an error (no acknowledgement) and the
+// catalog must be untouched, live and after recovery — a write that
+// never became durable never happened.
+func TestDurableAckRequiresFsync(t *testing.T) {
+	dir := t.TempDir()
+	// Write 1 is the seed checkpoint record; the client's append is
+	// write 2.
+	l, cat := openDurable(t, dir, wal.Options{Injector: &wal.Injector{FailWrite: 2}})
+	before := catBytes(t, cat)
+	s := startServer(t, cat, Config{WAL: l, CheckpointEvery: -1})
+	c, err := Dial(s.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Query(context.Background(), `append(r15, restrict(r1, val < 100))`); err == nil {
+		t.Fatal("append acknowledged although the WAL write failed")
+	}
+	if got := catBytes(t, cat); !bytes.Equal(got, before) {
+		t.Fatal("failed durable write mutated the live catalog")
+	}
+	s.Close()
+	l.Close()
+
+	l2, cat2, rv, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rv.Replayed != 0 {
+		t.Fatalf("recovery replayed %d records, want 0", rv.Replayed)
+	}
+	if got := catBytes(t, cat2); !bytes.Equal(got, before) {
+		t.Fatal("unacknowledged write resurfaced after recovery")
+	}
+}
+
+// TestAutoCheckpoint sets a one-byte threshold so the first durable
+// write schedules a checkpoint job; the job runs under total write
+// exclusion and must truncate the log and land a new snapshot.
+func TestAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	l, cat := openDurable(t, dir, wal.Options{})
+	s := startServer(t, cat, Config{WAL: l, CheckpointEvery: 1})
+	c, err := Dial(s.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Query(context.Background(), `append(r15, restrict(r1, val < 100))`); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for l.SizeSinceCheckpoint() != 0 || countSnapshots(t, dir) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("auto-checkpoint did not run: %d bytes since checkpoint, %d snapshots",
+				l.SizeSinceCheckpoint(), countSnapshots(t, dir))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The server keeps serving while and after the checkpoint runs.
+	if _, err := c.Query(context.Background(), `restrict(r1, val < 10)`); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	l.Close()
+}
+
+// TestServerCheckpointWaits exercises the exported Checkpoint: it must
+// queue behind in-flight writes, snapshot, and return nil; the next
+// recovery then replays nothing.
+func TestServerCheckpointWaits(t *testing.T) {
+	dir := t.TempDir()
+	l, cat := openDurable(t, dir, wal.Options{})
+	s := startServer(t, cat, Config{WAL: l, CheckpointEvery: -1})
+	c, err := Dial(s.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query(context.Background(), `append(r15, restrict(r1, val < 100))`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	live := catBytes(t, cat)
+	s.Close()
+	l.Close()
+
+	l2, cat2, rv, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rv.Replayed != 0 {
+		t.Fatalf("recovery after checkpoint replayed %d records, want 0", rv.Replayed)
+	}
+	if !bytes.Equal(catBytes(t, cat2), live) {
+		t.Fatal("snapshot recovery differs from live catalog")
+	}
+}

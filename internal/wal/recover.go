@@ -1,0 +1,534 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/obs"
+)
+
+// Recovery describes what Open found and did to bring the data
+// directory back to a consistent state.
+type Recovery struct {
+	// Fresh is true when the directory held no snapshot and no log:
+	// Open returned a nil catalog for the caller to seed.
+	Fresh bool
+	// Snapshot is the snapshot file recovery started from ("" when the
+	// catalog was rebuilt from the log alone), covering every record up
+	// to SnapshotLSN.
+	Snapshot    string
+	SnapshotLSN uint64
+	// SkippedSnapshots counts newer snapshots that failed validation
+	// (torn or corrupt) and were passed over for an older one.
+	SkippedSnapshots int
+	// Replayed counts log records re-applied on top of the snapshot.
+	Replayed int
+	// TornTail is true when the last segment ended in a torn or corrupt
+	// record that was truncated away; TruncatedBytes is how much was
+	// cut. A torn tail is the expected shape of a crash mid-write —
+	// never an error, because an incompletely written record was by
+	// definition never acknowledged.
+	TornTail       bool
+	TruncatedBytes int64
+	// DroppedSegments counts headerless trailing segments removed (a
+	// crash during rotation, before the new segment's header was
+	// durable — no record can have been written to it).
+	DroppedSegments int
+	// LastLSN is the highest LSN in the recovered log; appends resume
+	// at LastLSN+1.
+	LastLSN uint64
+	// Elapsed is the wall-clock recovery time.
+	Elapsed time.Duration
+}
+
+// String summarizes the recovery for logs.
+func (rv Recovery) String() string {
+	if rv.Fresh {
+		return "fresh data directory"
+	}
+	s := fmt.Sprintf("recovered to LSN %d: snapshot %q (covers %d), %d records replayed",
+		rv.LastLSN, rv.Snapshot, rv.SnapshotLSN, rv.Replayed)
+	if rv.TornTail {
+		s += fmt.Sprintf(", torn tail truncated (%d bytes)", rv.TruncatedBytes)
+	}
+	if rv.SkippedSnapshots > 0 {
+		s += fmt.Sprintf(", %d corrupt snapshots skipped", rv.SkippedSnapshots)
+	}
+	return s
+}
+
+// Open opens (creating if necessary) the data directory, recovers the
+// catalog from the newest valid snapshot plus the log tail, and
+// returns the log ready for appending. On a fresh directory the
+// returned catalog is nil and Recovery.Fresh is true: the caller seeds
+// a catalog and calls Checkpoint to establish the first snapshot.
+//
+// Recovery applies the redo rule: load the newest snapshot that is
+// both valid (checksummed) and coverable (the log still holds every
+// record after it), then replay records with LSN beyond its cover in
+// order. A torn or corrupt record at the very end of the last segment
+// is truncated away — it is the unacknowledged write the crash
+// interrupted. Corruption anywhere else is a hard ErrCorrupt: the log
+// no longer proves what was acknowledged, and refusing to serve beats
+// silently dropping acked writes.
+func Open(dir string, opts Options) (*Log, *catalog.Catalog, Recovery, error) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	walDir := filepath.Join(dir, "wal")
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		return nil, nil, Recovery{}, err
+	}
+
+	l := &Log{dir: dir, walDir: walDir, opts: opts, flusherDone: make(chan struct{})}
+	l.cond = sync.NewCond(&l.mu)
+	if opts.Obs.MetricsOn() {
+		reg := opts.Obs.Registry()
+		l.appendHist = reg.Histogram("wal.append_ns", obs.DurationBuckets())
+		l.fsyncHist = reg.Histogram("wal.fsync_ns", obs.DurationBuckets())
+		l.groupHist = reg.Histogram("wal.group_commit_size", obs.DepthBuckets())
+	}
+
+	rv, cat, err := l.recover()
+	if err != nil {
+		return nil, nil, Recovery{}, err
+	}
+	rv.Elapsed = time.Since(start)
+	if opts.Obs.MetricsOn() {
+		reg := opts.Obs.Registry()
+		reg.Inc("wal.recoveries", 1)
+		reg.Inc("wal.replayed_records", int64(rv.Replayed))
+		if rv.TornTail {
+			reg.Inc("wal.torn_tail_truncations", 1)
+		}
+		reg.Inc("wal.snapshots_skipped", int64(rv.SkippedSnapshots))
+		reg.Histogram("wal.recovery_ns", obs.DurationBuckets()).ObserveDuration(rv.Elapsed)
+	}
+
+	go l.flusher()
+	return l, cat, rv, nil
+}
+
+// recover scans snapshots and segments, repairs the tail, replays, and
+// leaves l positioned to append (seg open, lsn set).
+func (l *Log) recover() (Recovery, *catalog.Catalog, error) {
+	var rv Recovery
+
+	segs, err := listSeq(l.walDir, segPrefix, segSuffix)
+	if err != nil {
+		return rv, nil, err
+	}
+	// A trailing segment without a durable header is a crash during
+	// rotation: openSegment fsyncs the header before any record is
+	// written, so nothing acknowledged can live there. Drop it. (Only
+	// the last segment may legally be headerless; anywhere else the
+	// log is corrupt and the scan below will say so.)
+	for len(segs) > 0 {
+		last := segs[len(segs)-1]
+		ok, err := hasValidHeader(last)
+		if err != nil {
+			return rv, nil, err
+		}
+		if ok {
+			break
+		}
+		if err := os.Remove(last.path); err != nil {
+			return rv, nil, err
+		}
+		rv.DroppedSegments++
+		segs = segs[:len(segs)-1]
+	}
+
+	snaps, err := listSeq(l.dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return rv, nil, err
+	}
+
+	if len(segs) == 0 && len(snaps) == 0 {
+		rv.Fresh = true
+		if err := l.openSegment(1); err != nil {
+			return rv, nil, err
+		}
+		return rv, nil, nil
+	}
+
+	// Pick the newest snapshot that loads cleanly AND whose cover
+	// reaches back to the log: with dense LSNs, replay can continue
+	// from a snapshot covering C iff some surviving segment starts at
+	// or below C+1 (or the log is empty entirely).
+	var cat *catalog.Catalog
+	for i := len(snaps) - 1; i >= 0; i-- {
+		sn := snaps[i]
+		if len(segs) > 0 && segs[0].lsn > sn.lsn+1 {
+			// The records between this snapshot and the log's start were
+			// pruned on the authority of a newer snapshot; this one
+			// cannot seed a complete replay.
+			break
+		}
+		c, lerr := catalog.LoadFile(sn.path)
+		if lerr != nil {
+			if errors.Is(lerr, catalog.ErrCorrupt) {
+				rv.SkippedSnapshots++
+				continue
+			}
+			return rv, nil, lerr
+		}
+		cat = c
+		rv.Snapshot = filepath.Base(sn.path)
+		rv.SnapshotLSN = sn.lsn
+		break
+	}
+	if cat == nil {
+		if len(segs) == 0 || segs[0].lsn != 1 {
+			return rv, nil, fmt.Errorf("%w: no usable snapshot and log does not start at LSN 1", ErrCorrupt)
+		}
+		// Rebuild from nothing: replay the whole log into an empty
+		// catalog. Only correct when the log begins at LSN 1.
+		cat = catalog.New()
+	}
+
+	// Scan and replay every segment, repairing the last one's tail.
+	lastLSN := rv.SnapshotLSN
+	expect := uint64(0) // next LSN the log must present; 0 = not yet known
+	for i, sf := range segs {
+		isLast := i == len(segs)-1
+		res, err := replaySegment(sf, isLast, cat, rv.SnapshotLSN, &expect, l.opts.Obs)
+		if err != nil {
+			return rv, nil, err
+		}
+		rv.Replayed += res.replayed
+		if res.lastLSN > lastLSN {
+			lastLSN = res.lastLSN
+		}
+		if res.truncatedAt >= 0 {
+			rv.TornTail = true
+			rv.TruncatedBytes = res.size - res.truncatedAt
+			if err := truncateSegment(sf.path, res.truncatedAt, l.opts.Fsync == FsyncCommit); err != nil {
+				return rv, nil, err
+			}
+		}
+	}
+	rv.LastLSN = lastLSN
+	l.lsn = lastLSN
+	l.ckptLSN.Store(rv.SnapshotLSN)
+
+	// Resume appending: reuse the last segment if one survived with
+	// room, else start a new one right after the recovered tail.
+	if len(segs) > 0 {
+		sf := segs[len(segs)-1]
+		info, err := os.Stat(sf.path)
+		if err != nil {
+			return rv, nil, err
+		}
+		if info.Size() < l.opts.SegmentSize {
+			f, err := os.OpenFile(sf.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return rv, nil, err
+			}
+			l.seg = f
+			l.segStart = sf.lsn
+			l.segSize = info.Size()
+			return rv, cat, nil
+		}
+	}
+	if err := l.openSegment(lastLSN + 1); err != nil {
+		return rv, nil, err
+	}
+	return rv, cat, nil
+}
+
+// segScan is the result of replaying (or inspecting) one segment.
+type segScan struct {
+	firstLSN uint64
+	records  int
+	replayed int
+	lastLSN  uint64
+	size     int64 // file size
+	// truncatedAt is the offset of the first torn/corrupt byte in the
+	// last segment (-1 when the segment read cleanly to EOF).
+	truncatedAt int64
+}
+
+// hasValidHeader reports whether the segment file carries a complete,
+// correct header matching its name.
+func hasValidHeader(sf seqFile) (bool, error) {
+	f, err := os.Open(sf.path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return false, nil
+		}
+		return false, err
+	}
+	return checkHeader(hdr, sf.lsn) == nil, nil
+}
+
+func checkHeader(hdr [segHeaderLen]byte, nameLSN uint64) error {
+	if [8]byte(hdr[:8]) != segMagic {
+		return fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != segVersion {
+		return fmt.Errorf("%w: unsupported segment version %d", ErrCorrupt, v)
+	}
+	if first := binary.LittleEndian.Uint64(hdr[12:20]); first != nameLSN {
+		return fmt.Errorf("%w: segment header LSN %d does not match name %d", ErrCorrupt, first, nameLSN)
+	}
+	return nil
+}
+
+// replaySegment reads one segment, applying records beyond cover to
+// cat. For the last segment a torn or corrupt record marks the
+// truncation point and ends the scan; anywhere else it is ErrCorrupt.
+// expect carries the dense-LSN continuity check across segments (0
+// until the first record fixes it).
+func replaySegment(sf seqFile, isLast bool, cat *catalog.Catalog, cover uint64, expect *uint64, o *obs.Observer) (segScan, error) {
+	res := segScan{truncatedAt: -1}
+	f, err := os.Open(sf.path)
+	if err != nil {
+		return res, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return res, err
+	}
+	res.size = info.Size()
+
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return res, fmt.Errorf("%w: segment %s: short header: %v", ErrCorrupt, filepath.Base(sf.path), err)
+	}
+	if err := checkHeader(hdr, sf.lsn); err != nil {
+		return res, fmt.Errorf("segment %s: %w", filepath.Base(sf.path), err)
+	}
+	res.firstLSN = sf.lsn
+
+	off := int64(segHeaderLen)
+	for {
+		rec, n, err := readRecord(f)
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			if isLast {
+				res.truncatedAt = off
+				return res, nil
+			}
+			return res, fmt.Errorf("segment %s at offset %d: %w", filepath.Base(sf.path), off, err)
+		}
+		// Dense-LSN continuity: every record is its predecessor + 1, and
+		// a segment's first record carries the LSN in its name. A CRC-
+		// valid record out of sequence means lost records — hard corrupt
+		// even in the tail.
+		if res.records == 0 && rec.LSN != sf.lsn {
+			return res, fmt.Errorf("%w: segment %s: first record LSN %d, want %d", ErrCorrupt, filepath.Base(sf.path), rec.LSN, sf.lsn)
+		}
+		if *expect != 0 && rec.LSN != *expect {
+			return res, fmt.Errorf("%w: segment %s: record LSN %d, want %d", ErrCorrupt, filepath.Base(sf.path), rec.LSN, *expect)
+		}
+		*expect = rec.LSN + 1
+		res.records++
+		res.lastLSN = rec.LSN
+		off += n
+
+		// Checkpoint records are replay no-ops and are not counted:
+		// Replayed reports redone writes.
+		if cat != nil && rec.LSN > cover && rec.Type != RecCheckpoint {
+			if _, err := rec.Apply(cat); err != nil {
+				return res, fmt.Errorf("replaying LSN %d: %w", rec.LSN, err)
+			}
+			res.replayed++
+			recordReplay(o, rec)
+		}
+	}
+}
+
+// recordReplay files one replayed write into the flight recorder so
+// /queries/recent shows recovery work alongside live queries.
+func recordReplay(o *obs.Observer, rec *Record) {
+	if !o.FlightOn() {
+		return
+	}
+	fr := o.Flight()
+	// Trace IDs are only unique per process; offsetting by the LSN in
+	// a reserved-looking high range keeps replays from colliding with
+	// live queries started this run.
+	id := 1<<63 | rec.LSN
+	fr.Start(obs.QueryRecord{TraceID: id, Engine: "wal", Lane: "recovery", Text: rec.Summary()})
+	fr.Finish(id, obs.OutcomeReplayed, nil)
+}
+
+// truncateSegment cuts a torn tail at off, making the cut durable
+// under the commit fsync policy.
+func truncateSegment(path string, off int64, sync bool) error {
+	if err := os.Truncate(path, off); err != nil {
+		return err
+	}
+	if !sync {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SegmentInfo describes one log segment for inspection.
+type SegmentInfo struct {
+	Name     string
+	FirstLSN uint64
+	LastLSN  uint64
+	Records  int
+	Bytes    int64
+	// Err is the validation failure, "" when the segment is clean. A
+	// failure in the final segment is a torn tail (repaired on the
+	// next Open); anywhere else it is corruption.
+	Err string
+}
+
+// SnapshotInfo describes one catalog snapshot for inspection.
+type SnapshotInfo struct {
+	Name     string
+	CoverLSN uint64
+	Bytes    int64
+	// Err is the validation failure ("" when the snapshot loads).
+	Err string
+}
+
+// Report is what Inspect finds in a data directory.
+type Report struct {
+	Segments  []SegmentInfo
+	Snapshots []SnapshotInfo
+	// FirstLSN and LastLSN bound the readable records.
+	FirstLSN, LastLSN uint64
+	Records           int
+}
+
+// Clean reports whether every snapshot and every segment (torn tails
+// included) validated.
+func (rp *Report) Clean() bool {
+	for _, s := range rp.Segments {
+		if s.Err != "" {
+			return false
+		}
+	}
+	for _, s := range rp.Snapshots {
+		if s.Err != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// Inspect scans a data directory read-only — no repairs, no
+// truncation — reporting every snapshot and segment and calling fn
+// (when non-nil) with each decodable record in LSN order. It backs the
+// `dfdbm wal` subcommand and works on a live or crashed directory.
+func Inspect(dir string, fn func(segment string, offset int64, rec *Record)) (*Report, error) {
+	rp := &Report{}
+	walDir := filepath.Join(dir, "wal")
+
+	snaps, err := listSeq(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return nil, err
+	}
+	for _, sn := range snaps {
+		si := SnapshotInfo{Name: filepath.Base(sn.path), CoverLSN: sn.lsn}
+		if info, err := os.Stat(sn.path); err == nil {
+			si.Bytes = info.Size()
+		}
+		if _, err := catalog.LoadFile(sn.path); err != nil {
+			si.Err = err.Error()
+		}
+		rp.Snapshots = append(rp.Snapshots, si)
+	}
+
+	segs, err := listSeq(walDir, segPrefix, segSuffix)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return rp, nil
+		}
+		return nil, err
+	}
+	expect := uint64(0)
+	for _, sf := range segs {
+		si, err := inspectSegment(sf, &expect, fn)
+		if err != nil {
+			return nil, err
+		}
+		if si.Records > 0 {
+			if rp.FirstLSN == 0 {
+				rp.FirstLSN = si.FirstLSN
+			}
+			rp.LastLSN = si.LastLSN
+			rp.Records += si.Records
+		}
+		rp.Segments = append(rp.Segments, si)
+	}
+	return rp, nil
+}
+
+func inspectSegment(sf seqFile, expect *uint64, fn func(string, int64, *Record)) (SegmentInfo, error) {
+	name := filepath.Base(sf.path)
+	si := SegmentInfo{Name: name, FirstLSN: sf.lsn}
+	f, err := os.Open(sf.path)
+	if err != nil {
+		return si, err
+	}
+	defer f.Close()
+	if info, err := f.Stat(); err == nil {
+		si.Bytes = info.Size()
+	}
+
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		si.Err = fmt.Sprintf("short header: %v", err)
+		return si, nil
+	}
+	if err := checkHeader(hdr, sf.lsn); err != nil {
+		si.Err = err.Error()
+		return si, nil
+	}
+
+	off := int64(segHeaderLen)
+	for {
+		rec, n, err := readRecord(f)
+		if err == io.EOF {
+			return si, nil
+		}
+		if err != nil {
+			si.Err = fmt.Sprintf("offset %d: %v", off, err)
+			return si, nil
+		}
+		if si.Records == 0 && rec.LSN != sf.lsn {
+			si.Err = fmt.Sprintf("first record LSN %d, want %d", rec.LSN, sf.lsn)
+			return si, nil
+		}
+		if *expect != 0 && rec.LSN != *expect {
+			si.Err = fmt.Sprintf("record LSN %d, want %d (lost records)", rec.LSN, *expect)
+			return si, nil
+		}
+		*expect = rec.LSN + 1
+		si.Records++
+		si.LastLSN = rec.LSN
+		if fn != nil {
+			fn(name, off, rec)
+		}
+		off += n
+	}
+}
