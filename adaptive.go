@@ -1,0 +1,41 @@
+package dfdbm
+
+import (
+	"dfdbm/internal/direct"
+	"dfdbm/internal/query"
+	"dfdbm/internal/relation"
+)
+
+// AdaptivePlan is a per-edge pipeline-vs-materialize decision for one
+// query tree: every operand edge pipelines pages by default, but a
+// join's inner operand whose estimated size fits the materialization
+// budget is buffered whole before the join fires, trading pipelining
+// for one build of the join state over a complete inner.
+type AdaptivePlan = query.Plan
+
+// DefaultMaterializeBudget is the materialization budget used when a
+// caller passes budget <= 0: the page pool's default byte budget.
+const DefaultMaterializeBudget = relation.DefaultPoolBudget
+
+// PlanAdaptive computes the adaptive pipeline-vs-materialize plan for a
+// bound query using catalog cardinalities and System R-style
+// selectivity estimates. budget <= 0 selects
+// DefaultMaterializeBudget.
+func (db *DB) PlanAdaptive(q *Query, budget int64) (*AdaptivePlan, error) {
+	if budget <= 0 {
+		budget = DefaultMaterializeBudget
+	}
+	return query.PlanTree(q, db.cat, budget)
+}
+
+// ExplainAdaptive renders the query tree annotated with the plan's
+// per-node cardinality estimates and per-edge execution modes.
+func ExplainAdaptive(q *Query, p *AdaptivePlan) string { return query.RenderPlan(q, p) }
+
+// ApplyAdaptivePlan marks the DIRECT profile's operand edges with the
+// plan's materialization choices, so SimulateDIRECT stages those
+// intermediates through mass storage while the rest of the tree keeps
+// pipelining. The profile and plan must come from the same bound query.
+func ApplyAdaptivePlan(prof *QueryProfile, q *Query, p *AdaptivePlan) {
+	direct.ApplyPlan(prof, q, p)
+}

@@ -1,0 +1,156 @@
+package dfdbm_test
+
+import (
+	"testing"
+
+	"dfdbm"
+)
+
+// nestedJoinQuery has a non-scan join inner — the shape the adaptive
+// planner materializes when the estimate fits the budget.
+const nestedJoinQuery = `join(r5, restrict(r11, k1 > 50), k3 = k3)`
+
+func adaptiveBenchmark(t *testing.T) (*dfdbm.DB, []*dfdbm.Query) {
+	t.Helper()
+	db, queries, err := dfdbm.PaperBenchmark(dfdbm.BenchmarkConfig{Seed: 7, Scale: 0.05, PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, queries
+}
+
+// TestAdaptivePlanChoices pins the planner's decision rule: a join's
+// non-scan inner edge materializes exactly when its estimated bytes fit
+// the budget.
+func TestAdaptivePlanChoices(t *testing.T) {
+	db, _ := adaptiveBenchmark(t)
+	q, err := db.Parse(nestedJoinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	innerID := q.Root().Inputs[1].ID
+
+	plan, err := db.PlanAdaptive(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Materialized(innerID) {
+		t.Fatalf("join inner (node %d) not materialized under the default budget\n%s",
+			innerID, dfdbm.ExplainAdaptive(q, plan))
+	}
+	tight, err := db.PlanAdaptive(q, 1) // nothing fits one byte
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Materialized(innerID) {
+		t.Fatalf("join inner materialized despite a 1-byte budget\n%s",
+			dfdbm.ExplainAdaptive(q, tight))
+	}
+	// Nil-safety: a missing plan means everything pipelines.
+	var nilPlan *dfdbm.AdaptivePlan
+	if nilPlan.Materialized(innerID) {
+		t.Fatal("nil plan claims a materialized edge")
+	}
+}
+
+// TestAdaptiveCoreMatchesSerial: the data-flow engine with adaptive
+// materialization produces the serial reference's result multiset, and
+// the nested-join query actually exercises a materialized edge.
+func TestAdaptiveCoreMatchesSerial(t *testing.T) {
+	db, queries := adaptiveBenchmark(t)
+	nested, err := db.Parse(nestedJoinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range append(queries[:6:6], nested) {
+		want, err := db.ExecuteSerial(q)
+		if err != nil {
+			t.Fatalf("query %d: serial: %v", i, err)
+		}
+		res, err := db.Execute(q, dfdbm.EngineOptions{
+			Granularity: dfdbm.PageLevel, Workers: 4, PageSize: 512, Adaptive: true,
+		})
+		if err != nil {
+			t.Fatalf("query %d: adaptive: %v", i, err)
+		}
+		if !res.Relation.EqualMultiset(want) {
+			t.Fatalf("query %d: adaptive result differs from serial (%d vs %d tuples)",
+				i, res.Relation.Cardinality(), want.Cardinality())
+		}
+		if q == nested && res.Stats.MaterializedEdges == 0 {
+			t.Fatal("nested-join query ran adaptively but materialized no edge")
+		}
+	}
+}
+
+// TestAdaptiveMachineMatchesSerial: the ring machine with adaptive
+// per-edge firing produces the serial reference's result multiset.
+func TestAdaptiveMachineMatchesSerial(t *testing.T) {
+	db, queries := adaptiveBenchmark(t)
+	nested, err := db.Parse(nestedJoinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := dfdbm.DefaultHW()
+	hw.PageSize = 512
+	for i, q := range append(queries[:6:6], nested) {
+		want, err := db.ExecuteSerial(q)
+		if err != nil {
+			t.Fatalf("query %d: serial: %v", i, err)
+		}
+		m, err := dfdbm.NewMachine(db, dfdbm.MachineConfig{HW: hw, Adaptive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Submit(q); err != nil {
+			t.Fatalf("query %d: submit: %v", i, err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("query %d: run: %v", i, err)
+		}
+		if !res.PerQuery[0].Relation.EqualMultiset(want) {
+			t.Fatalf("query %d: adaptive machine differs from serial (%d vs %d tuples)",
+				i, res.PerQuery[0].Relation.Cardinality(), want.Cardinality())
+		}
+		if q == nested && res.Stats.MaterializedEdges == 0 {
+			t.Fatal("nested-join query ran adaptively but materialized no edge")
+		}
+	}
+}
+
+// TestAdaptiveDirectRuns: the DIRECT simulator accepts a profile with
+// plan-materialized edges and stages those intermediates through disk.
+func TestAdaptiveDirectRuns(t *testing.T) {
+	db, _ := adaptiveBenchmark(t)
+	q, err := db.Parse(nestedJoinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := dfdbm.DefaultHW()
+	hw.PageSize = 512
+	profiles, err := dfdbm.ProfileQueries(db, []*dfdbm.Query{q}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := dfdbm.SimulateDIRECT(dfdbm.DirectConfig{Processors: 8, HW: hw}, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.PlanAdaptive(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfdbm.ApplyAdaptivePlan(&profiles[0], q, plan)
+	rep, err := dfdbm.SimulateDIRECT(dfdbm.DirectConfig{Processors: 8, HW: hw}, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaterializedPages == 0 {
+		t.Fatal("adaptive DIRECT run staged no materialized pages")
+	}
+	if rep.DiskWrites <= base.DiskWrites {
+		t.Fatalf("materialized edge should add disk staging: %d writes adaptive vs %d baseline",
+			rep.DiskWrites, base.DiskWrites)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -49,6 +50,30 @@ type benchReport struct {
 	// functional engine and the ring machine produced results identical
 	// to the serial reference on the paper queries.
 	EnginesMatchSerial bool `json:"engines_match_serial"`
+}
+
+// benchBestRound runs each benchmark `reps` times, interleaved
+// round-robin, and keeps each one's fastest round. Microbenchmarks in
+// the microsecond range are dominated by scheduler and frequency noise
+// on a shared CI runner, and the noise arrives in multi-second
+// throttle windows: interleaving spreads one benchmark's rounds across
+// the whole measurement span so a throttled window costs every
+// benchmark one round instead of one benchmark all of its rounds, and
+// the per-benchmark minimum converges on the noise floor — the stable
+// quantity the regression gate should compare.
+func benchBestRound(reps int, fns ...func(b *testing.B)) []testing.BenchmarkResult {
+	best := make([]testing.BenchmarkResult, len(fns))
+	bestNs := make([]float64, len(fns))
+	for round := 0; round < reps; round++ {
+		for i, fn := range fns {
+			r := testing.Benchmark(fn)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if round == 0 || ns < bestNs[i] {
+				best[i], bestNs[i] = r, ns
+			}
+		}
+	}
+	return best
 }
 
 func entryFrom(name string, r testing.BenchmarkResult, metrics map[string]float64) benchEntry {
@@ -169,6 +194,148 @@ func benchEquiJoin(n, pageSize int) (nested, hash benchEntry, speedup float64, e
 	})
 	speedup = nested.NsPerOp / hash.NsPerOp
 	return nested, hash, speedup, nil
+}
+
+// benchHashPhases splits the equi-join hash kernel into its two phases:
+// building the per-inner-page hash tables and probing with every table
+// resident (the steady state of the machine's broadcast join, where one
+// inner page's table serves a run of outer pages).
+func benchHashPhases(n, pageSize int) (build, probe benchEntry, err error) {
+	outer, inner, cond, err := buildEquiJoinWorkload(n, pageSize)
+	if err != nil {
+		return build, probe, err
+	}
+	bound, err := cond.Bind(outer.Schema(), inner.Schema())
+	if err != nil {
+		return build, probe, err
+	}
+	innerPages := inner.Pages()
+
+	st := relalg.NewJoinState(bound, nil)
+	st.MaxTables = len(innerPages)
+	// Probe gets its own state with every table resident, so the two
+	// phases stay independent under interleaved measurement.
+	pst := relalg.NewJoinState(bound, nil)
+	pst.MaxTables = len(innerPages)
+	for _, ip := range innerPages {
+		pst.Build(ip)
+	}
+	sink := func([]byte) error { return nil }
+	rs := benchBestRound(5,
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st.Reset() // drop the tables so every iteration builds anew
+				for _, ip := range innerPages {
+					st.Build(ip)
+				}
+			}
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, op := range outer.Pages() {
+					for _, ip := range innerPages {
+						if _, err := pst.JoinPages(op, ip, sink); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
+	br, pr := rs[0], rs[1]
+	build = entryFrom("equijoin/hash-build", br, map[string]float64{
+		"inner_pages":  float64(len(innerPages)),
+		"inner_tuples": float64(inner.Cardinality()),
+	})
+	probe = entryFrom("equijoin/hash-probe", pr, map[string]float64{
+		"outer_tuples": float64(outer.Cardinality()),
+		"inner_pages":  float64(len(innerPages)),
+	})
+	return build, probe, nil
+}
+
+// benchKernels measures the page kernels head to head on the paper
+// database's r5: the scalar tuple-at-a-time restrict against the
+// batched bitmap kernel, the batched project, and the fused
+// restrict+project loop. The batched kernels' results are verified
+// byte-identical to the scalar kernels' by TestBatchKernels; here they
+// are only timed.
+func benchKernels(db *dfdbm.DB) ([]benchEntry, error) {
+	rel, err := db.Get("r5")
+	if err != nil {
+		return nil, err
+	}
+	p := pred.Compare{Attr: "k1", Op: pred.LT, Const: relation.IntVal(50)}
+	bound, err := p.Bind(rel.Schema())
+	if err != nil {
+		return nil, err
+	}
+	pj, err := relalg.NewProjector(rel.Schema(), "k1", "val")
+	if err != nil {
+		return nil, err
+	}
+	pages := rel.Pages()
+	sink := func([]byte) error { return nil }
+	tuples := float64(rel.Cardinality())
+
+	rs := relalg.NewRestrictState(bound)
+	ps := relalg.NewProjectState(pj)
+	d := relalg.NewDedup()
+	results := benchBestRound(5,
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, pg := range pages {
+					if _, err := relalg.RestrictPage(pg, bound, sink); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, pg := range pages {
+					if _, err := rs.RestrictPage(pg, sink); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.Reset()
+				for _, pg := range pages {
+					if _, err := ps.ProjectPage(pg, d, sink); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.Reset()
+				for _, pg := range pages {
+					if _, err := rs.RestrictProjectPage(pg, pj, d, sink); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	scalar, batch, project, fused := results[0], results[1], results[2], results[3]
+	vec := 0.0
+	if rs.Vectorized() {
+		vec = 1
+	}
+	return []benchEntry{
+		entryFrom("kernel/restrict-scalar", scalar, map[string]float64{"tuples": tuples}),
+		entryFrom("kernel/restrict-batch", batch, map[string]float64{"tuples": tuples, "vectorized": vec}),
+		entryFrom("kernel/project-batch", project, map[string]float64{"tuples": tuples}),
+		entryFrom("kernel/restrict-project-fused", fused, map[string]float64{"tuples": tuples, "vectorized": vec}),
+	}, nil
 }
 
 // benchMachineHotPath measures the machine's per-IP hot loop — pooled
@@ -410,14 +577,43 @@ func writeBenchProfile(db *dfdbm.DB, queries []*dfdbm.Query, out string, pageSiz
 	return f.Close()
 }
 
+// benchFilter is the parsed -only flag: comma-separated benchmark name
+// prefixes. An empty filter matches everything.
+type benchFilter []string
+
+func parseBenchFilter(s string) benchFilter {
+	var f benchFilter
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			f = append(f, p)
+		}
+	}
+	return f
+}
+
+func (f benchFilter) match(names ...string) bool {
+	if len(f) == 0 {
+		return true
+	}
+	for _, n := range names {
+		for _, p := range f {
+			if strings.HasPrefix(n, p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // compareBenchReports guards against performance regressions: it loads
 // the committed baseline report and a fresh one and fails when any
 // benchmark present in both lost more than 25% throughput (fresh
 // ns/op more than 4/3 of the baseline). New benchmarks — present only
 // in the fresh report — pass; a benchmark that disappeared is an
 // error, since silently dropping a measurement is how regressions
-// hide.
-func compareBenchReports(basePath, freshPath string) error {
+// hide. A non-empty filter restricts the comparison to the baseline
+// entries the fresh (filtered) run was asked to measure.
+func compareBenchReports(basePath, freshPath string, filter benchFilter) error {
 	load := func(path string) (benchReport, error) {
 		var rep benchReport
 		f, err := os.Open(path)
@@ -441,7 +637,12 @@ func compareBenchReports(basePath, freshPath string) error {
 	}
 	const floor = 0.75 // fresh throughput must stay above 75% of baseline
 	var regressed []string
+	compared := 0
 	for _, old := range base.Benchmarks {
+		if !filter.match(old.Name) {
+			continue
+		}
+		compared++
 		now, ok := freshByName[old.Name]
 		if !ok {
 			return fmt.Errorf("bench compare: %s is in the baseline but missing from the fresh report", old.Name)
@@ -466,12 +667,13 @@ func compareBenchReports(basePath, freshPath string) error {
 		}
 		return fmt.Errorf("%s", msg)
 	}
-	fmt.Printf("bench compare: %d benchmarks within 25%% of %s\n", len(base.Benchmarks), basePath)
+	fmt.Printf("bench compare: %d benchmarks within 25%% of %s\n", compared, basePath)
 	return nil
 }
 
-// runBenchJSON runs the harness and writes the report.
-func runBenchJSON(db *dfdbm.DB, queries []*dfdbm.Query, out string, scale float64, seed int64, pageSize, joinTuples int) {
+// runBenchJSON runs the harness and writes the report. A non-empty
+// filter runs only the sections whose benchmark names it matches.
+func runBenchJSON(db *dfdbm.DB, queries []*dfdbm.Query, out string, scale float64, seed int64, pageSize, joinTuples int, filter benchFilter) {
 	rep := benchReport{
 		Harness:    "dfdbm bench -json",
 		Scale:      scale,
@@ -480,35 +682,65 @@ func runBenchJSON(db *dfdbm.DB, queries []*dfdbm.Query, out string, scale float6
 		JoinTuples: joinTuples,
 	}
 
-	fmt.Fprintf(os.Stderr, "bench: large equi-join (%d x %d tuples), nested vs hash...\n", joinTuples, joinTuples)
-	nested, hash, speedup, err := benchEquiJoin(joinTuples, pageSize)
-	check(err)
-	rep.Benchmarks = append(rep.Benchmarks, nested, hash)
-	rep.EquijoinHashSpeedup = speedup
-	fmt.Fprintf(os.Stderr, "bench:   nested %.0f ns/op, hash %.0f ns/op — %.1fx\n",
-		nested.NsPerOp, hash.NsPerOp, speedup)
+	if filter.match("equijoin/nested-loops", "equijoin/hash") {
+		fmt.Fprintf(os.Stderr, "bench: large equi-join (%d x %d tuples), nested vs hash...\n", joinTuples, joinTuples)
+		nested, hash, speedup, err := benchEquiJoin(joinTuples, pageSize)
+		check(err)
+		rep.Benchmarks = append(rep.Benchmarks, nested, hash)
+		rep.EquijoinHashSpeedup = speedup
+		fmt.Fprintf(os.Stderr, "bench:   nested %.0f ns/op, hash %.0f ns/op — %.1fx\n",
+			nested.NsPerOp, hash.NsPerOp, speedup)
+	}
 
-	fmt.Fprintln(os.Stderr, "bench: machine hot path, pooled vs no-pool...")
-	pooled, bare, reduction, err := benchMachineHotPath(db, pageSize)
-	check(err)
-	rep.Benchmarks = append(rep.Benchmarks, pooled, bare)
-	rep.MachineAllocReduction = reduction
-	fmt.Fprintf(os.Stderr, "bench:   %d vs %d allocs/op — %.0f%% fewer\n",
-		pooled.AllocsPerOp, bare.AllocsPerOp, 100*reduction)
+	if filter.match("equijoin/hash-build", "equijoin/hash-probe") {
+		fmt.Fprintln(os.Stderr, "bench: hash-join build and probe phases...")
+		build, probe, err := benchHashPhases(joinTuples, pageSize)
+		check(err)
+		rep.Benchmarks = append(rep.Benchmarks, build, probe)
+		fmt.Fprintf(os.Stderr, "bench:   build %.0f ns/op, probe %.0f ns/op\n",
+			build.NsPerOp, probe.NsPerOp)
+	}
 
-	fmt.Fprintln(os.Stderr, "bench: ring-machine multi-query run...")
-	mrun, err := benchMachineRun(db, queries, pageSize)
-	check(err)
-	rep.Benchmarks = append(rep.Benchmarks, mrun)
+	if filter.match("kernel/restrict-scalar", "kernel/restrict-batch",
+		"kernel/project-batch", "kernel/restrict-project-fused") {
+		fmt.Fprintln(os.Stderr, "bench: page kernels, scalar vs batched...")
+		kernels, err := benchKernels(db)
+		check(err)
+		rep.Benchmarks = append(rep.Benchmarks, kernels...)
+		for _, k := range kernels {
+			fmt.Fprintf(os.Stderr, "bench:   %-28s %.0f ns/op\n", k.Name, k.NsPerOp)
+		}
+	}
 
-	fmt.Fprintln(os.Stderr, "bench: DIRECT benchmark run...")
-	drun, err := benchDirectRun(db, queries, pageSize)
-	check(err)
-	rep.Benchmarks = append(rep.Benchmarks, drun)
+	if filter.match("machine/hot-path/pooled", "machine/hot-path/no-pool") {
+		fmt.Fprintln(os.Stderr, "bench: machine hot path, pooled vs no-pool...")
+		pooled, bare, reduction, err := benchMachineHotPath(db, pageSize)
+		check(err)
+		rep.Benchmarks = append(rep.Benchmarks, pooled, bare)
+		rep.MachineAllocReduction = reduction
+		fmt.Fprintf(os.Stderr, "bench:   %d vs %d allocs/op — %.0f%% fewer\n",
+			pooled.AllocsPerOp, bare.AllocsPerOp, 100*reduction)
+	}
 
-	fmt.Fprintln(os.Stderr, "bench: cross-engine identity check...")
-	check(checkEnginesMatchSerial(db, queries, pageSize))
-	rep.EnginesMatchSerial = true
+	if filter.match("machine/ring-run") {
+		fmt.Fprintln(os.Stderr, "bench: ring-machine multi-query run...")
+		mrun, err := benchMachineRun(db, queries, pageSize)
+		check(err)
+		rep.Benchmarks = append(rep.Benchmarks, mrun)
+	}
+
+	if filter.match("direct/run") {
+		fmt.Fprintln(os.Stderr, "bench: DIRECT benchmark run...")
+		drun, err := benchDirectRun(db, queries, pageSize)
+		check(err)
+		rep.Benchmarks = append(rep.Benchmarks, drun)
+	}
+
+	if len(filter) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: cross-engine identity check...")
+		check(checkEnginesMatchSerial(db, queries, pageSize))
+		rep.EnginesMatchSerial = true
+	}
 
 	f, err := os.Create(out)
 	check(err)
@@ -516,6 +748,10 @@ func runBenchJSON(db *dfdbm.DB, queries []*dfdbm.Query, out string, scale float6
 	enc.SetIndent("", "  ")
 	check(enc.Encode(rep))
 	check(f.Close())
-	fmt.Printf("bench: wrote %s (equi-join speedup %.1fx, hot-path alloc reduction %.0f%%, engines match serial: %v)\n",
-		out, rep.EquijoinHashSpeedup, 100*rep.MachineAllocReduction, rep.EnginesMatchSerial)
+	if len(filter) == 0 {
+		fmt.Printf("bench: wrote %s (equi-join speedup %.1fx, hot-path alloc reduction %.0f%%, engines match serial: %v)\n",
+			out, rep.EquijoinHashSpeedup, 100*rep.MachineAllocReduction, rep.EnginesMatchSerial)
+	} else {
+		fmt.Printf("bench: wrote %s (%d benchmarks, filter %q)\n", out, len(rep.Benchmarks), strings.Join(filter, ","))
+	}
 }

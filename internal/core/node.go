@@ -66,6 +66,12 @@ type engineRun struct {
 	nodes   []*nodeExec
 	chans   []*infChan
 
+	// plan is the adaptive pipeline-vs-materialize plan for this run
+	// (nil unless Options.Adaptive); stMatEdges counts the edges it
+	// chose to materialize.
+	plan       *query.Plan
+	stMatEdges int64
+
 	stInstr, stOperand, stArb int64
 	stResPkts, stResBytes     int64
 	stPages                   int64
@@ -191,6 +197,7 @@ func (r *engineRun) snapshotStats() Stats {
 		HashBuilds:         ks.HashBuilds,
 		HashTableHits:      ks.TableHits,
 		NestedPairs:        ks.NestedPairs,
+		MaterializedEdges:  atomic.LoadInt64(&r.stMatEdges),
 	}
 }
 
@@ -214,6 +221,18 @@ func (r *engineRun) build(n *query.Node, out outlet) error {
 		out:        out,
 		numInputs:  len(n.Inputs),
 		inputsDone: make([]bool, len(n.Inputs)),
+	}
+	if r.plan != nil {
+		// Adaptive materialization: a materialized input buffers until
+		// its producer completes before any instruction fires on it.
+		// Scan inputs are stored relations — already at rest — so only
+		// operator-produced edges count.
+		for i, in := range n.Inputs {
+			if in.Kind != query.OpScan && r.plan.Materialized(in.ID) {
+				ne.matInput[i] = true
+				atomic.AddInt64(&r.stMatEdges, 1)
+			}
+		}
 	}
 	r.nodes = append(r.nodes, ne)
 	r.chans = append(r.chans, ne.events)
@@ -387,6 +406,10 @@ type nodeExec struct {
 	// relation level everything until the inputs complete.
 	buf [2][]*relation.Page
 
+	// matInput marks inputs the adaptive plan materializes: their pages
+	// buffer without firing anything until the input completes.
+	matInput [2]bool
+
 	boundPred pred.Bound
 	boundJoin *pred.BoundJoin
 	projector *relalg.Projector
@@ -429,7 +452,7 @@ func (n *nodeExec) runIC() {
 			if !n.inputsDone[ev.input] {
 				n.inputsDone[ev.input] = true
 				n.doneCount++
-				n.onInputDone()
+				n.onInputDone(ev.input)
 			}
 		case evTaskDone:
 			n.completed++
@@ -455,14 +478,29 @@ func (n *nodeExec) onPage(input int, pg *relation.Page) {
 	}
 	switch n.node.Kind {
 	case query.OpRestrict, query.OpProject:
+		if n.matInput[input] {
+			// Materialized edge: hold until the producer completes.
+			n.buf[input] = append(n.buf[input], pg)
+			return
+		}
 		n.dispatch(pg)
 	case query.OpJoin:
 		n.buf[input] = append(n.buf[input], pg)
+		if n.matInput[input] {
+			// This side is invisible to the firing rule until complete;
+			// flushMaterialized pairs the backlog then.
+			return
+		}
 		// Pair the newcomer with every page already buffered on the
 		// other side; pages arriving later on the other side will pair
 		// with it then, so each (outer, inner) pair is dispatched
 		// exactly once.
 		other := 1 - input
+		if n.matInput[other] && !n.inputsDone[other] {
+			// The other side is still accumulating: it pairs the
+			// newcomer when it completes.
+			return
+		}
 		for _, q := range n.buf[other] {
 			if input == 0 {
 				n.dispatch(pg, q)
@@ -473,8 +511,45 @@ func (n *nodeExec) onPage(input int, pg *relation.Page) {
 	}
 }
 
-func (n *nodeExec) onInputDone() {
-	if n.run.eng.opts.Granularity != RelationLevel || !n.allInputsDone() {
+// flushMaterialized fires the work a materialized input held back, now
+// that the input is complete. Joins pair the whole buffered side against
+// everything buffered opposite (later arrivals opposite pair against it
+// through onPage), so each (outer, inner) pair still dispatches exactly
+// once; unary operators just drain the backlog.
+func (n *nodeExec) flushMaterialized(input int) {
+	switch n.node.Kind {
+	case query.OpJoin:
+		other := 1 - input
+		if n.matInput[other] && !n.inputsDone[other] {
+			// Both edges materialized and the other is still streaming:
+			// its completion dispatches the full cross product.
+			return
+		}
+		for _, p := range n.buf[input] {
+			for _, q := range n.buf[other] {
+				if input == 0 {
+					n.dispatch(p, q)
+				} else {
+					n.dispatch(q, p)
+				}
+			}
+		}
+	default:
+		for _, pg := range n.buf[input] {
+			n.dispatch(pg)
+		}
+		n.buf[input] = nil
+	}
+}
+
+func (n *nodeExec) onInputDone(input int) {
+	if n.run.eng.opts.Granularity != RelationLevel {
+		if n.matInput[input] {
+			n.flushMaterialized(input)
+		}
+		return
+	}
+	if !n.allInputsDone() {
 		return
 	}
 	// Relation-level firing: the instruction is now enabled; dispatch

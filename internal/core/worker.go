@@ -16,21 +16,34 @@ import (
 // controlling node.
 func (r *engineRun) worker() {
 	defer r.wg.Done()
-	// joins carries this worker's reusable join-kernel state, one per
-	// join node: the scratch buffers and (for equi-joins) the cached
-	// inner-page hash tables survive across instruction packets.
-	joins := make(map[*nodeExec]*relalg.JoinState)
+	// ks carries this worker's reusable kernel state, one entry per
+	// node: join scratch buffers and cached inner-page hash tables,
+	// batch-compiled restrict predicates with their selection-bitmap
+	// scratch, and project gather buffers all survive across
+	// instruction packets. Kernel states hold mutable scratch, so they
+	// are per-worker, never shared between goroutines.
+	ks := &workerKernels{
+		joins:     make(map[*nodeExec]*relalg.JoinState),
+		restricts: make(map[*nodeExec]*relalg.RestrictState),
+		projects:  make(map[*nodeExec]*relalg.ProjectState),
+	}
 	for {
 		select {
 		case t := <-r.arb:
-			r.execTask(t, joins)
+			r.execTask(t, ks)
 		case <-r.stopped:
 			return
 		}
 	}
 }
 
-func (r *engineRun) execTask(t *task, joins map[*nodeExec]*relalg.JoinState) {
+type workerKernels struct {
+	joins     map[*nodeExec]*relalg.JoinState
+	restricts map[*nodeExec]*relalg.RestrictState
+	projects  map[*nodeExec]*relalg.ProjectState
+}
+
+func (r *engineRun) execTask(t *task, ks *workerKernels) {
 	n := t.node
 	start := r.now()
 	pgtor, err := relation.NewPooledPaginator(n.outPageSize, n.outTupleLen, r.eng.pool)
@@ -57,14 +70,19 @@ func (r *engineRun) execTask(t *task, joins map[*nodeExec]*relalg.JoinState) {
 
 	switch n.node.Kind {
 	case query.OpRestrict:
-		_, err = relalg.RestrictPage(t.operands[0], n.boundPred, emit)
+		rs := ks.restricts[n]
+		if rs == nil {
+			rs = relalg.NewRestrictState(n.boundPred)
+			ks.restricts[n] = rs
+		}
+		_, err = rs.RestrictPage(t.operands[0], emit)
 		recycleOperands = true
 
 	case query.OpJoin:
-		st := joins[n]
+		st := ks.joins[n]
 		if st == nil {
 			st = relalg.NewJoinState(n.boundJoin, &r.kstats)
-			joins[n] = st
+			ks.joins[n] = st
 		}
 		_, err = st.JoinPages(t.operands[0], t.operands[1], emit)
 
@@ -86,7 +104,12 @@ func (r *engineRun) execTask(t *task, joins map[*nodeExec]*relalg.JoinState) {
 				return emit(raw)
 			}
 		}
-		_, err = relalg.ProjectPage(t.operands[0], n.projector, nil, sink)
+		ps := ks.projects[n]
+		if ps == nil {
+			ps = relalg.NewProjectState(n.projector)
+			ks.projects[n] = ps
+		}
+		_, err = ps.ProjectPage(t.operands[0], nil, sink)
 		recycleOperands = true
 
 	default:

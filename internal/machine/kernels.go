@@ -11,14 +11,16 @@ import (
 // reference executor.
 
 func restrictPage(pg *relation.Page, mi *minstr, emit relalg.EmitFunc) (int, error) {
-	return relalg.RestrictPage(pg, mi.boundPred, emit)
+	// Batched kernel: bitmap pass over the page, then an emit walk of
+	// the set bits. Byte-identical output to relalg.RestrictPage.
+	return mi.restrict.RestrictPage(pg, emit)
 }
 
 func projectPage(pg *relation.Page, mi *minstr, emit relalg.EmitFunc) (int, error) {
 	// No per-processor duplicate elimination: the instruction's IC
 	// deduplicates globally (the serial algorithm the paper's Section 5
 	// identifies as the open problem).
-	return relalg.ProjectPage(pg, mi.projector, nil, emit)
+	return mi.project.ProjectPage(pg, nil, emit)
 }
 
 // Joins run through the per-IP relalg.JoinState (see ip.execPair): the

@@ -60,6 +60,12 @@ type Machine struct {
 	// kstats aggregates join-kernel counters across the machine's IPs.
 	pool   *relation.PagePool
 	kstats relalg.KernelStats
+
+	// dedupFree recycles project-instruction dedup trackers: when an
+	// instruction finishes its tracker is Reset (a pure truncation) and
+	// reused by the next project instruction, so steady-state admission
+	// allocates no dedup state.
+	dedupFree []*relalg.Dedup
 }
 
 type lockEntry struct {
@@ -113,9 +119,12 @@ func New(cat *catalog.Catalog, cfg Config) (*Machine, error) {
 
 // mquery is one submitted query.
 type mquery struct {
-	id        int
-	tree      *query.Tree
-	fp        query.Footprint
+	id   int
+	tree *query.Tree
+	// plan is the adaptive pipeline-vs-materialize plan (nil unless
+	// Config.Adaptive), computed at submission against the catalog.
+	plan *query.Plan
+	fp   query.Footprint
 	instrs    []*minstr // operator nodes in post order
 	remaining int
 	result    *relation.Relation
@@ -149,10 +158,19 @@ type minstr struct {
 	outTupleLen int
 	outPageSize int
 
-	// Bound operator kernels, prepared at admission.
+	// matInput marks operands the adaptive plan materializes: the IC
+	// receives them completely before dispatching any work.
+	matInput [2]bool
+
+	// Bound operator kernels, prepared at admission. restrict and
+	// project are the batched kernel states; the simulator is a
+	// single-threaded event loop, so one state per instruction is safe
+	// even when several IPs are assigned to it.
 	boundPred pred.Bound
 	boundJoin *pred.BoundJoin
+	restrict  *relalg.RestrictState
 	projector *relalg.Projector
+	project   *relalg.ProjectState
 	// Serial-IC duplicate elimination state for project instructions.
 	dedup  *relalg.Dedup
 	outPag *relation.Paginator
@@ -165,7 +183,7 @@ type minstr struct {
 func (mi *minstr) opcode() uint8 { return uint8(mi.node.Kind) }
 
 // prep binds the instruction's kernels against its input schemas.
-func (mi *minstr) prep(pool *relation.PagePool) error {
+func (mi *minstr) prep(m *Machine) error {
 	n := mi.node
 	switch n.Kind {
 	case query.OpRestrict:
@@ -174,6 +192,7 @@ func (mi *minstr) prep(pool *relation.PagePool) error {
 			return err
 		}
 		mi.boundPred = b
+		mi.restrict = relalg.NewRestrictState(b)
 	case query.OpJoin:
 		b, err := n.Join.Bind(n.Inputs[0].Schema(), n.Inputs[1].Schema())
 		if err != nil {
@@ -186,14 +205,25 @@ func (mi *minstr) prep(pool *relation.PagePool) error {
 			return err
 		}
 		mi.projector = p
-		mi.dedup = relalg.NewDedup()
-		pag, err := relation.NewPooledPaginator(mi.outPageSize, mi.outTupleLen, pool)
+		mi.project = relalg.NewProjectState(p)
+		mi.dedup = m.getDedup()
+		pag, err := relation.NewPooledPaginator(mi.outPageSize, mi.outTupleLen, m.pool)
 		if err != nil {
 			return err
 		}
 		mi.outPag = pag
 	}
 	return nil
+}
+
+// getDedup draws a reset dedup tracker from the freelist, or makes one.
+func (m *Machine) getDedup() *relalg.Dedup {
+	if n := len(m.dedupFree); n > 0 {
+		d := m.dedupFree[n-1]
+		m.dedupFree = m.dedupFree[:n-1]
+		return d
+	}
+	return relalg.NewDedup()
 }
 
 // Submit enqueues a bound query for execution. The query must fit the
@@ -213,6 +243,13 @@ func (m *Machine) Submit(t *query.Tree) error {
 		tree:      t,
 		fp:        query.Analyze(t.Root()),
 		submitted: m.s.Now(),
+	}
+	if m.cfg.Adaptive {
+		plan, err := query.PlanTree(t, m.cat, m.pool.Budget())
+		if err != nil {
+			return err
+		}
+		q.plan = plan
 	}
 	m.nextQID++
 	root := t.Root()
@@ -298,6 +335,7 @@ func (m *Machine) exportMetrics(res *Results) {
 	r.Inc("machine.join_hash_builds", s.HashBuilds)
 	r.Inc("machine.join_table_hits", s.HashTableHits)
 	r.Inc("machine.join_nested_pairs", s.NestedPairs)
+	r.Inc("machine.materialized_edges", s.MaterializedEdges)
 	r.Inc("machine.queries_delayed_by_conflict", s.QueriesDelayedByConflict)
 	r.Inc("machine.faults_injected", s.FaultsInjected)
 	r.Inc("machine.packets_dropped", s.PacketsDropped)
@@ -469,11 +507,19 @@ func (m *Machine) admit(q *mquery) bool {
 			continue
 		}
 		mi := &minstr{q: q, id: len(q.instrs), node: n, outTupleLen: n.Schema().TupleLen()}
+		if q.plan != nil {
+			for i, in := range n.Inputs {
+				if in.Kind != query.OpScan && q.plan.Materialized(in.ID) {
+					mi.matInput[i] = true
+					m.stats.MaterializedEdges++
+				}
+			}
+		}
 		mi.outPageSize = m.cfg.HW.PageSize
 		if min := relation.PageHeaderLen + mi.outTupleLen; mi.outPageSize < min {
 			mi.outPageSize = min
 		}
-		if err := mi.prep(m.pool); err != nil {
+		if err := mi.prep(m); err != nil {
 			m.fail(err)
 			return true
 		}
@@ -579,6 +625,11 @@ func (m *Machine) hostDeliver(q *mquery, pg *relation.Page) {
 // IC is freed and, at the root, the query finishes.
 func (m *Machine) instrFinished(mi *minstr) {
 	m.observeMC()
+	if mi.dedup != nil {
+		mi.dedup.Reset()
+		m.dedupFree = append(m.dedupFree, mi.dedup)
+		mi.dedup = nil
+	}
 	m.freeICs = append(m.freeICs, mi.ic)
 	mi.q.remaining--
 	if mi.q.remaining == 0 {

@@ -1,0 +1,514 @@
+package pred
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dfdbm/internal/relation"
+)
+
+// Batched predicate evaluation: a bound predicate tree is compiled into
+// a program over selection bitmaps. Instead of one Eval interface call
+// per tuple, each compiled leaf decodes its attribute at a precomputed
+// offset across the whole page (a gather into a column vector) and sets
+// one bit per satisfied tuple; connectives combine the bitmaps with
+// word-wide AND/OR/NOT. Any Bound implementation the compiler does not
+// recognize falls back to per-tuple Eval for that subtree, so batched
+// evaluation is always available and always agrees with the scalar
+// path bit for bit.
+
+// SelWords returns the number of 64-bit words a selection bitmap needs
+// to cover n tuples.
+func SelWords(n int) int { return (n + 63) / 64 }
+
+// BatchPred is a predicate compiled for batched evaluation over the
+// contiguous tuple bytes of one page. It holds mutable column and
+// bitmap scratch, so a BatchPred must not be used from more than one
+// goroutine at a time; compile one per worker.
+type BatchPred struct {
+	root   batchNode
+	vector bool
+}
+
+// CompileBatch compiles a bound predicate for batched evaluation. It
+// never fails: unrecognized Bound implementations are wrapped in a
+// per-tuple fallback node.
+func CompileBatch(b Bound) *BatchPred {
+	bp := &BatchPred{vector: true}
+	bp.root = compileBatch(b, &bp.vector)
+	return bp
+}
+
+// Vectorized reports whether the whole tree compiled to vector loops;
+// false means at least one subtree runs the scalar Eval fallback.
+func (bp *BatchPred) Vectorized() bool { return bp.vector }
+
+// EvalBatch fills sel with the selection bitmap of the predicate over
+// data, which holds n contiguous tuples of tupleLen bytes: bit i is set
+// iff tuple i satisfies the predicate. sel must be at least SelWords(n)
+// words long; bits at positions >= n are left zero.
+func (bp *BatchPred) EvalBatch(data []byte, tupleLen, n int, sel []uint64) error {
+	if n == 0 {
+		return nil
+	}
+	return bp.root.eval(data, tupleLen, n, sel[:SelWords(n)])
+}
+
+// batchNode computes the complete selection bitmap of one predicate
+// subtree. out arrives with unspecified contents and exactly
+// SelWords(n) words; on return every bit < n reflects the subtree and
+// every bit >= n is zero.
+type batchNode interface {
+	eval(data []byte, tupleLen, n int, out []uint64) error
+}
+
+func compileBatch(b Bound, vector *bool) batchNode {
+	switch t := b.(type) {
+	case boundCompare:
+		a := t.schema.Attr(t.attr)
+		off, width := t.schema.Offset(t.attr), a.ByteWidth()
+		switch relation.KindFor(a.Type) {
+		case relation.KindInt:
+			return &batchCmpInt{off: off, width: width, op: t.op, k: t.konst.Int}
+		case relation.KindFloat:
+			return &batchCmpFloat{off: off, op: t.op, k: t.konst.Flt}
+		case relation.KindString:
+			return &batchCmpString{off: off, width: width, op: t.op, k: []byte(t.konst.Str)}
+		}
+	case boundCompareAttrs:
+		aa, ab := t.schema.Attr(t.a), t.schema.Attr(t.b)
+		node := &batchCmpAttrs{
+			kind: relation.KindFor(aa.Type),
+			op:   t.op,
+			aOff: t.schema.Offset(t.a), aWidth: aa.ByteWidth(),
+			bOff: t.schema.Offset(t.b), bWidth: ab.ByteWidth(),
+		}
+		return node
+	case boundAnd:
+		kids := make([]batchNode, len(t))
+		for i, k := range t {
+			kids[i] = compileBatch(k, vector)
+		}
+		return &batchAnd{kids: kids}
+	case boundOr:
+		kids := make([]batchNode, len(t))
+		for i, k := range t {
+			kids[i] = compileBatch(k, vector)
+		}
+		return &batchOr{kids: kids}
+	case boundNot:
+		return &batchNot{kid: compileBatch(t.kid, vector)}
+	case boundConst:
+		return batchConst(t)
+	}
+	*vector = false
+	return &batchFallback{b: b}
+}
+
+// bitmap helpers
+
+func zeroSel(s []uint64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+func maskTail(s []uint64, n int) {
+	if r := n & 63; r != 0 && len(s) > 0 {
+		s[len(s)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+func sizeSel(s []uint64, n int) []uint64 {
+	if w := SelWords(n); cap(s) < w {
+		return make([]uint64, w)
+	} else {
+		return s[:w]
+	}
+}
+
+// batchCmpInt compares an Int32/Int64 attribute against a constant:
+// gather the column into an int64 vector, then one branch-predictable
+// compare loop specialized by operator.
+type batchCmpInt struct {
+	off, width int
+	op         Op
+	k          int64
+	col        []int64
+}
+
+func (b *batchCmpInt) eval(data []byte, tupleLen, n int, out []uint64) error {
+	if b.off+b.width > tupleLen {
+		return fmt.Errorf("pred: %d-byte tuple too short for batched compare at offset %d width %d", tupleLen, b.off, b.width)
+	}
+	if cap(b.col) < n {
+		b.col = make([]int64, n)
+	}
+	col := b.col[:n]
+	p := b.off
+	if b.width == 8 {
+		for i := 0; i < n; i++ {
+			col[i] = int64(binary.LittleEndian.Uint64(data[p:]))
+			p += tupleLen
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			col[i] = int64(int32(binary.LittleEndian.Uint32(data[p:])))
+			p += tupleLen
+		}
+	}
+	zeroSel(out)
+	k := b.k
+	switch b.op {
+	case EQ:
+		for i, v := range col {
+			if v == k {
+				out[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	case NE:
+		for i, v := range col {
+			if v != k {
+				out[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	case LT:
+		for i, v := range col {
+			if v < k {
+				out[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	case LE:
+		for i, v := range col {
+			if v <= k {
+				out[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	case GT:
+		for i, v := range col {
+			if v > k {
+				out[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	case GE:
+		for i, v := range col {
+			if v >= k {
+				out[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	default:
+		return fmt.Errorf("pred: unknown comparison operator %v", b.op)
+	}
+	return nil
+}
+
+// batchCmpFloat matches Value.Compare's float ordering exactly: NaN
+// compares neither less nor greater than anything, so it lands on
+// cmp == 0 — EQ/LE/GE hold, NE/LT/GT do not.
+type batchCmpFloat struct {
+	off int
+	op  Op
+	k   float64
+	col []float64
+}
+
+func (b *batchCmpFloat) eval(data []byte, tupleLen, n int, out []uint64) error {
+	if b.off+8 > tupleLen {
+		return fmt.Errorf("pred: %d-byte tuple too short for batched compare at offset %d width 8", tupleLen, b.off)
+	}
+	if cap(b.col) < n {
+		b.col = make([]float64, n)
+	}
+	col := b.col[:n]
+	p := b.off
+	for i := 0; i < n; i++ {
+		col[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[p:]))
+		p += tupleLen
+	}
+	zeroSel(out)
+	k := b.k
+	switch b.op {
+	case EQ:
+		for i, v := range col {
+			if !(v < k) && !(v > k) {
+				out[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	case NE:
+		for i, v := range col {
+			if v < k || v > k {
+				out[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	case LT:
+		for i, v := range col {
+			if v < k {
+				out[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	case LE:
+		for i, v := range col {
+			if !(v > k) {
+				out[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	case GT:
+		for i, v := range col {
+			if v > k {
+				out[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	case GE:
+		for i, v := range col {
+			if !(v < k) {
+				out[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	default:
+		return fmt.Errorf("pred: unknown comparison operator %v", b.op)
+	}
+	return nil
+}
+
+// batchCmpString compares a fixed-width string attribute against a
+// constant in place — NUL padding trimmed exactly as DecodeValue does.
+type batchCmpString struct {
+	off, width int
+	op         Op
+	k          []byte
+}
+
+func (b *batchCmpString) eval(data []byte, tupleLen, n int, out []uint64) error {
+	if b.off+b.width > tupleLen {
+		return fmt.Errorf("pred: %d-byte tuple too short for batched compare at offset %d width %d", tupleLen, b.off, b.width)
+	}
+	zeroSel(out)
+	p := b.off
+	for i := 0; i < n; i++ {
+		if b.op.holds(bytes.Compare(trimNULs(data[p:p+b.width]), b.k)) {
+			out[i>>6] |= 1 << uint(i&63)
+		}
+		p += tupleLen
+	}
+	return nil
+}
+
+// batchCmpAttrs compares two attributes of the same tuple.
+type batchCmpAttrs struct {
+	kind         relation.Kind
+	op           Op
+	aOff, aWidth int
+	bOff, bWidth int
+	colA, colB   []int64
+	fColA, fColB []float64
+}
+
+func (b *batchCmpAttrs) eval(data []byte, tupleLen, n int, out []uint64) error {
+	if b.aOff+b.aWidth > tupleLen || b.bOff+b.bWidth > tupleLen {
+		return fmt.Errorf("pred: %d-byte tuple too short for batched attribute compare", tupleLen)
+	}
+	zeroSel(out)
+	switch b.kind {
+	case relation.KindInt:
+		if cap(b.colA) < n {
+			b.colA = make([]int64, n)
+			b.colB = make([]int64, n)
+		}
+		ca, cb := b.colA[:n], b.colB[:n]
+		gatherInt(data, tupleLen, n, b.aOff, b.aWidth, ca)
+		gatherInt(data, tupleLen, n, b.bOff, b.bWidth, cb)
+		switch b.op {
+		case EQ:
+			for i, v := range ca {
+				if v == cb[i] {
+					out[i>>6] |= 1 << uint(i&63)
+				}
+			}
+		case NE:
+			for i, v := range ca {
+				if v != cb[i] {
+					out[i>>6] |= 1 << uint(i&63)
+				}
+			}
+		case LT:
+			for i, v := range ca {
+				if v < cb[i] {
+					out[i>>6] |= 1 << uint(i&63)
+				}
+			}
+		case LE:
+			for i, v := range ca {
+				if v <= cb[i] {
+					out[i>>6] |= 1 << uint(i&63)
+				}
+			}
+		case GT:
+			for i, v := range ca {
+				if v > cb[i] {
+					out[i>>6] |= 1 << uint(i&63)
+				}
+			}
+		case GE:
+			for i, v := range ca {
+				if v >= cb[i] {
+					out[i>>6] |= 1 << uint(i&63)
+				}
+			}
+		default:
+			return fmt.Errorf("pred: unknown comparison operator %v", b.op)
+		}
+	case relation.KindFloat:
+		if cap(b.fColA) < n {
+			b.fColA = make([]float64, n)
+			b.fColB = make([]float64, n)
+		}
+		ca, cb := b.fColA[:n], b.fColB[:n]
+		gatherFloat(data, tupleLen, n, b.aOff, ca)
+		gatherFloat(data, tupleLen, n, b.bOff, cb)
+		for i, v := range ca {
+			w := cb[i]
+			cmp := 0
+			switch {
+			case v < w:
+				cmp = -1
+			case v > w:
+				cmp = 1
+			}
+			if b.op.holds(cmp) {
+				out[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	case relation.KindString:
+		pa, pb := b.aOff, b.bOff
+		for i := 0; i < n; i++ {
+			cmp := bytes.Compare(trimNULs(data[pa:pa+b.aWidth]), trimNULs(data[pb:pb+b.bWidth]))
+			if b.op.holds(cmp) {
+				out[i>>6] |= 1 << uint(i&63)
+			}
+			pa += tupleLen
+			pb += tupleLen
+		}
+	default:
+		return fmt.Errorf("pred: unknown attribute kind %d", b.kind)
+	}
+	return nil
+}
+
+func gatherInt(data []byte, tupleLen, n, off, width int, col []int64) {
+	p := off
+	if width == 8 {
+		for i := 0; i < n; i++ {
+			col[i] = int64(binary.LittleEndian.Uint64(data[p:]))
+			p += tupleLen
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			col[i] = int64(int32(binary.LittleEndian.Uint32(data[p:])))
+			p += tupleLen
+		}
+	}
+}
+
+func gatherFloat(data []byte, tupleLen, n, off int, col []float64) {
+	p := off
+	for i := 0; i < n; i++ {
+		col[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[p:]))
+		p += tupleLen
+	}
+}
+
+type batchAnd struct {
+	kids    []batchNode
+	scratch []uint64
+}
+
+func (b *batchAnd) eval(data []byte, tupleLen, n int, out []uint64) error {
+	if err := b.kids[0].eval(data, tupleLen, n, out); err != nil {
+		return err
+	}
+	if len(b.kids) > 1 {
+		b.scratch = sizeSel(b.scratch, n)
+		for _, k := range b.kids[1:] {
+			if err := k.eval(data, tupleLen, n, b.scratch); err != nil {
+				return err
+			}
+			for i := range out {
+				out[i] &= b.scratch[i]
+			}
+		}
+	}
+	return nil
+}
+
+type batchOr struct {
+	kids    []batchNode
+	scratch []uint64
+}
+
+func (b *batchOr) eval(data []byte, tupleLen, n int, out []uint64) error {
+	if err := b.kids[0].eval(data, tupleLen, n, out); err != nil {
+		return err
+	}
+	if len(b.kids) > 1 {
+		b.scratch = sizeSel(b.scratch, n)
+		for _, k := range b.kids[1:] {
+			if err := k.eval(data, tupleLen, n, b.scratch); err != nil {
+				return err
+			}
+			for i := range out {
+				out[i] |= b.scratch[i]
+			}
+		}
+	}
+	return nil
+}
+
+type batchNot struct{ kid batchNode }
+
+func (b *batchNot) eval(data []byte, tupleLen, n int, out []uint64) error {
+	if err := b.kid.eval(data, tupleLen, n, out); err != nil {
+		return err
+	}
+	for i := range out {
+		out[i] = ^out[i]
+	}
+	maskTail(out, n)
+	return nil
+}
+
+type batchConst bool
+
+func (b batchConst) eval(_ []byte, _, n int, out []uint64) error {
+	if !b {
+		zeroSel(out)
+		return nil
+	}
+	for i := range out {
+		out[i] = ^uint64(0)
+	}
+	maskTail(out, n)
+	return nil
+}
+
+// batchFallback runs an unrecognized Bound per tuple — the scalar
+// escape hatch that keeps batched evaluation total over the Bound
+// interface.
+type batchFallback struct{ b Bound }
+
+func (b *batchFallback) eval(data []byte, tupleLen, n int, out []uint64) error {
+	zeroSel(out)
+	p := 0
+	for i := 0; i < n; i++ {
+		ok, err := b.b.Eval(data[p : p+tupleLen])
+		if err != nil {
+			return err
+		}
+		if ok {
+			out[i>>6] |= 1 << uint(i&63)
+		}
+		p += tupleLen
+	}
+	return nil
+}

@@ -231,6 +231,43 @@ func (k HashKey) appendKey(dst, raw []byte, off, width int) []byte {
 	return append(dst, trimNULs(raw[off:off+width])...)
 }
 
+// LeftKeyUint64 returns the canonical 64-bit key of the outer tuple's
+// hash attribute without materializing key bytes: for int keys it is
+// the sign-extended value itself (so equal keys are exactly equal
+// values); for string keys it is a 64-bit FNV-1a hash of the
+// NUL-trimmed bytes (equal values produce equal keys, but a key match
+// must still be re-verified with EvalPair).
+func (k HashKey) LeftKeyUint64(raw []byte) uint64 {
+	return k.keyUint64(raw, k.LOff, k.LWidth)
+}
+
+// RightKeyUint64 is LeftKeyUint64 for the inner tuple.
+func (k HashKey) RightKeyUint64(raw []byte) uint64 {
+	return k.keyUint64(raw, k.ROff, k.RWidth)
+}
+
+func (k HashKey) keyUint64(raw []byte, off, width int) uint64 {
+	if k.Kind == relation.KindInt {
+		return uint64(decodeInt(raw[off:], width))
+	}
+	// Inline FNV-1a 64 over the trimmed string bytes: no allocation.
+	h := uint64(14695981039346656037)
+	b := trimNULs(raw[off : off+width])
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SingleIntEqui reports whether the condition is exactly one equality
+// term over integer attributes. For such conditions the canonical
+// uint64 key IS the join value, so a hash kernel may treat key equality
+// as a confirmed match and skip EvalPair re-verification entirely.
+func (b *BoundJoin) SingleIntEqui() bool {
+	return len(b.terms) == 1 && b.terms[0].op == EQ && b.terms[0].kind == relation.KindInt
+}
+
 // FirstEqui returns the bound attribute indexes of the first EQ term, if
 // any. Sort-merge join uses it to pick its sort keys.
 func (b *BoundJoin) FirstEqui() (leftIdx, rightIdx int, ok bool) {

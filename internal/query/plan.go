@@ -1,0 +1,151 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/stats"
+)
+
+// EdgeMode says how one producer→consumer edge of a query tree moves
+// its pages: pipelined (the consumer sees each result page as the
+// producer finishes it) or materialized (the producer's whole output
+// is buffered before the consumer starts). Pipelining is the data-flow
+// default; materializing trades latency and memory for the ability to
+// rescan the buffered operand without recomputing it — the classic
+// pipeline-vs-materialize decision, made here per edge.
+type EdgeMode uint8
+
+const (
+	// EdgePipeline streams pages to the consumer as they are produced.
+	EdgePipeline EdgeMode = iota
+	// EdgeMaterialize buffers the producer's complete output first.
+	EdgeMaterialize
+)
+
+// String returns "pipeline" or "materialize".
+func (m EdgeMode) String() string {
+	if m == EdgeMaterialize {
+		return "materialize"
+	}
+	return "pipeline"
+}
+
+// Estimate is the planner's guess at one node's output size.
+type Estimate struct {
+	Tuples int64 // estimated output tuple count
+	Bytes  int64 // Tuples * output tuple length
+}
+
+// Plan is the result of the adaptive pipeline-vs-materialize pass over
+// a bound tree: one EdgeMode and one Estimate per node, both indexed by
+// node ID. Modes[id] describes the edge from node id up to its
+// consumer (the root's mode is meaningless and left EdgePipeline).
+// Scan nodes are stored relations — already materialized — and are
+// marked EdgeMaterialize for rendering honesty, though engines read
+// them in place either way.
+type Plan struct {
+	Modes []EdgeMode
+	Est   []Estimate
+	// Budget is the byte budget a materialized intermediate had to fit,
+	// recorded for explain output.
+	Budget int64
+}
+
+// Materialized reports whether the edge above node id materializes.
+func (p *Plan) Materialized(id int) bool {
+	return p != nil && id < len(p.Modes) && p.Modes[id] == EdgeMaterialize
+}
+
+// PlanTree runs the adaptive materialization pass: every edge defaults
+// to pipelining, and the inner operand of a join materializes when its
+// estimated size fits budget. The inner of a join is the one stream a
+// consumer rescans — it is re-probed for every outer page — so holding
+// it buffered lets the join see complete, compacted inner pages (and
+// the machine engines cache per-page hash tables against stable pages)
+// instead of re-receiving a partial stream. An inner too big for the
+// budget keeps the pipelined data-flow behavior.
+//
+// Estimates come from the stats package's textbook selectivities and
+// the catalog's actual base-relation cardinalities. cat must be the
+// catalog the tree was bound against.
+func PlanTree(t *Tree, cat *catalog.Catalog, budget int64) (*Plan, error) {
+	p := &Plan{
+		Modes:  make([]EdgeMode, t.NumNodes()),
+		Est:    make([]Estimate, t.NumNodes()),
+		Budget: budget,
+	}
+	for _, n := range t.Nodes() { // post order: children estimated first
+		var tuples int64
+		switch n.Kind {
+		case OpScan:
+			r, err := cat.Get(n.Rel)
+			if err != nil {
+				return nil, fmt.Errorf("query: plan: %w", err)
+			}
+			tuples = int64(r.Cardinality())
+			p.Modes[n.ID] = EdgeMaterialize // stored relations are at rest
+		case OpRestrict:
+			in := p.Est[n.Inputs[0].ID].Tuples
+			tuples = int64(float64(in) * stats.PredSelectivity(n.Pred))
+			if in > 0 && tuples < 1 {
+				tuples = 1
+			}
+		case OpJoin:
+			no := p.Est[n.Inputs[0].ID].Tuples
+			ni := p.Est[n.Inputs[1].ID].Tuples
+			tuples = stats.JoinCardinality(no, ni, n.Join)
+		case OpProject:
+			// Duplicate elimination removes an unknown fraction; the
+			// input count is the safe upper bound.
+			tuples = p.Est[n.Inputs[0].ID].Tuples
+		case OpAppend, OpDelete:
+			if len(n.Inputs) > 0 {
+				tuples = p.Est[n.Inputs[0].ID].Tuples
+			}
+		}
+		p.Est[n.ID] = Estimate{Tuples: tuples, Bytes: tuples * int64(n.Schema().TupleLen())}
+	}
+	for _, n := range t.Nodes() {
+		if n.Kind != OpJoin {
+			continue
+		}
+		inner := n.Inputs[1]
+		if inner.Kind == OpScan {
+			continue // already a stored relation
+		}
+		if p.Est[inner.ID].Bytes <= budget {
+			p.Modes[inner.ID] = EdgeMaterialize
+		}
+	}
+	return p, nil
+}
+
+// RenderPlan draws the tree like Render with each operator edge
+// annotated by its planned mode and estimated output, in the style of
+// an EXPLAIN:
+//
+//	project [oid, pname]   (node 4, ...)  est 120 tuples, pipeline
+func RenderPlan(t *Tree, p *Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "materialization budget: %d bytes\n", p.Budget)
+	renderPlanNode(&b, t.Root(), p, "", "")
+	return b.String()
+}
+
+func renderPlanNode(b *strings.Builder, n *Node, p *Plan, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(describe(n))
+	if n.ID < len(p.Est) {
+		fmt.Fprintf(b, "  est %d tuples (%d B), %s", p.Est[n.ID].Tuples, p.Est[n.ID].Bytes, p.Modes[n.ID])
+	}
+	b.WriteByte('\n')
+	for i, in := range n.Inputs {
+		connector, next := "├─ ", "│  "
+		if i == len(n.Inputs)-1 {
+			connector, next = "└─ ", "   "
+		}
+		renderPlanNode(b, in, p, childPrefix+connector, childPrefix+next)
+	}
+}

@@ -65,30 +65,50 @@ func (ks *KernelStats) Load() KernelStats {
 const defaultTableCache = 64
 
 // JoinState is the reusable per-executor state of the join kernels: the
-// kernel selection for one bound condition, the scratch emit and key
-// buffers, and a cache of inner-page hash tables keyed by page
-// identity. A JoinState is owned by a single goroutine at a time (one
-// per worker or per IP); only the shared KernelStats is concurrency-safe.
+// kernel selection for one bound condition, the scratch emit buffer,
+// and a cache of inner-page hash tables keyed by page identity. A
+// JoinState is owned by a single goroutine at a time (one per worker or
+// per IP); only the shared KernelStats is concurrency-safe.
 //
 // Both kernels emit byte-identical output in identical order: the hash
-// kernel's bucket lists hold inner tuple indexes in ascending order and
-// every candidate is re-verified with the full condition, so for each
-// outer tuple the matching pairs appear exactly as the nested kernel
-// produces them.
+// kernel's bucket chains hold inner tuple indexes in ascending order
+// and every key match is either exact by construction (single-term
+// integer equality, where the canonical key is the value) or
+// re-verified with the full condition, so for each outer tuple the
+// matching pairs appear exactly as the nested kernel produces them.
 type JoinState struct {
 	cond   *pred.BoundJoin
 	stats  *KernelStats
 	kernel Kernel
 	key    pred.HashKey
+	exact  bool // key equality alone confirms a match (single-term int equi-join)
 
 	// MaxTables bounds the inner-page table cache; oldest-built tables
 	// are evicted first (deterministically) when it overflows.
 	MaxTables int
 
 	buf    []byte // emit scratch: concatenated result tuple
-	kbuf   []byte // key scratch: canonical hash-key bytes
-	tables map[*relation.Page]map[uint64][]int32
+	tables map[*relation.Page]*pageTable
 	order  []*relation.Page // build order, for FIFO eviction
+	free   []*pageTable     // evicted tables, recycled to make rebuilds allocation-free
+
+	// Single-entry memos in front of the page-identity maps: the
+	// broadcast join probes one outer page against a run of inner pages
+	// (and one inner table against a run of outer pages), so the last
+	// page repeats on at least one side of every pair.
+	lastInner *relation.Page
+	lastTable *pageTable
+	lastOuter *relation.Page
+	lastOKeys []uint64
+
+	// okeys caches the canonical key vector of outer pages: under the
+	// broadcast join one outer page probes every resident inner page,
+	// so extracting its keys once and reusing them across the inner
+	// loop removes the dominant per-probe cost. Bounded by the same
+	// MaxTables FIFO discipline as the inner tables.
+	okeys     map[*relation.Page][]uint64
+	okeyOrder []*relation.Page
+	okeyFree  [][]uint64
 }
 
 // NewJoinState returns a JoinState for the bound condition, selecting
@@ -98,9 +118,36 @@ func NewJoinState(cond *pred.BoundJoin, stats *KernelStats) *JoinState {
 	if key, ok := cond.HashKey(); ok {
 		s.kernel = KernelHash
 		s.key = key
+		s.exact = cond.SingleIntEqui()
 	}
 	return s
 }
+
+// pageTable is a flat chained hash table over one inner page. heads
+// holds the first tuple index of each power-of-two bucket (-1 when
+// empty) and entries carries, per inner tuple, its canonical 64-bit
+// key (the integer value itself, or an FNV-1a hash of the trimmed
+// string bytes) together with the next tuple index of its chain — one
+// cache line serves both the key compare and the chain step. Building
+// prepends in descending tuple order, so every chain is traversed in
+// ascending order — the emission order of the nested kernel. Compared
+// to the old map[uint64][]int32 per page, probing is a multiply, a
+// shift, and a short chain walk over two flat slices: no key-byte
+// materialization, no map lookup.
+type pageTable struct {
+	heads   []int32
+	entries []tableEntry
+	shift   uint
+}
+
+type tableEntry struct {
+	key  uint64
+	next int32
+}
+
+// fibMul is the 64-bit Fibonacci-hashing multiplier (2^64/φ); the high
+// bits of key*fibMul index the bucket array.
+const fibMul = 0x9E3779B97F4A7C15
 
 // Kernel reports which kernel the state runs.
 func (s *JoinState) Kernel() Kernel { return s.kernel }
@@ -114,10 +161,31 @@ func (s *JoinState) TableCached(inner *relation.Page) bool {
 }
 
 // Reset drops the cached hash tables (a new instruction packet means a
-// new inner operand) but keeps the scratch buffers.
+// new inner operand) but keeps the scratch buffers; the dropped tables'
+// storage is recycled for the next builds.
 func (s *JoinState) Reset() {
+	for _, t := range s.tables {
+		s.free = append(s.free, t)
+	}
 	s.tables = nil
 	s.order = s.order[:0]
+	for _, k := range s.okeys {
+		s.okeyFree = append(s.okeyFree, k)
+	}
+	s.okeys = nil
+	s.okeyOrder = s.okeyOrder[:0]
+	s.lastInner, s.lastTable = nil, nil
+	s.lastOuter, s.lastOKeys = nil, nil
+}
+
+// Build ensures the inner page's hash table is resident, building and
+// caching it if necessary. Exposed so benchmarks can time the build
+// phase separately from the probe phase.
+func (s *JoinState) Build(inner *relation.Page) {
+	if s.kernel != KernelHash || inner.TupleCount() == 0 {
+		return
+	}
+	s.table(inner)
 }
 
 // JoinPages joins one (outer page, inner page) pair with the selected
@@ -140,21 +208,33 @@ func (s *JoinState) hashJoinPages(outer, inner *relation.Page, emit EmitFunc) (i
 	if no == 0 || inner.TupleCount() == 0 {
 		return 0, nil
 	}
-	table := s.table(inner)
+	t := s.table(inner)
+	okeys := s.outerKeys(outer)
 	emitted := 0
-	for i := 0; i < no; i++ {
-		oraw := outer.RawTuple(i)
-		s.kbuf = s.key.AppendLeftKey(s.kbuf[:0], oraw)
-		for _, j := range table[fnv1a64(s.kbuf)] {
-			iraw := inner.RawTuple(int(j))
-			// Candidates share the key's hash, not necessarily the key:
-			// the full condition re-verifies (and applies residual terms).
-			ok, err := s.cond.EvalPair(oraw, iraw)
-			if err != nil {
-				return emitted, err
-			}
-			if !ok {
+	odata, otl := outer.Data(), outer.TupleLen()
+	heads, entries, shift := t.heads, t.entries, t.shift
+	exact := s.exact
+	for i, k := range okeys {
+		for j := heads[(k*fibMul)>>shift]; j >= 0; {
+			e := entries[j]
+			ji := int(j)
+			j = e.next
+			if e.key != k {
 				continue
+			}
+			oraw := odata[i*otl : i*otl+otl]
+			iraw := inner.RawTuple(ji)
+			if !exact {
+				// Equal canonical keys do not imply a match here (string
+				// keys are hashes, and residual terms may remain): the
+				// full condition re-verifies.
+				ok, err := s.cond.EvalPair(oraw, iraw)
+				if err != nil {
+					return emitted, err
+				}
+				if !ok {
+					continue
+				}
 			}
 			s.buf = append(append(s.buf[:0], oraw...), iraw...)
 			if err := emit(s.buf); err != nil {
@@ -171,33 +251,130 @@ func (s *JoinState) hashJoinPages(outer, inner *relation.Page, emit EmitFunc) (i
 
 // table returns the hash table for the inner page, building it on first
 // use and caching it under the page's identity.
-func (s *JoinState) table(inner *relation.Page) map[uint64][]int32 {
+func (s *JoinState) table(inner *relation.Page) *pageTable {
+	if inner == s.lastInner {
+		if s.stats != nil {
+			atomic.AddInt64(&s.stats.TableHits, 1)
+		}
+		return s.lastTable
+	}
 	if t, ok := s.tables[inner]; ok {
 		if s.stats != nil {
 			atomic.AddInt64(&s.stats.TableHits, 1)
 		}
+		s.lastInner, s.lastTable = inner, t
 		return t
 	}
-	ni := inner.TupleCount()
-	t := make(map[uint64][]int32, ni)
-	for j := 0; j < ni; j++ {
-		s.kbuf = s.key.AppendRightKey(s.kbuf[:0], inner.RawTuple(j))
-		h := fnv1a64(s.kbuf)
-		t[h] = append(t[h], int32(j))
-	}
+	t := s.build(inner)
 	if s.stats != nil {
 		atomic.AddInt64(&s.stats.HashBuilds, 1)
 	}
 	if s.tables == nil {
-		s.tables = make(map[*relation.Page]map[uint64][]int32)
+		s.tables = make(map[*relation.Page]*pageTable)
 	}
 	if s.MaxTables > 0 && len(s.order) >= s.MaxTables {
-		delete(s.tables, s.order[0])
+		old := s.order[0]
+		s.free = append(s.free, s.tables[old])
+		delete(s.tables, old)
 		s.order = s.order[1:]
+		if old == s.lastInner {
+			s.lastInner, s.lastTable = nil, nil
+		}
 	}
 	s.tables[inner] = t
 	s.order = append(s.order, inner)
+	s.lastInner, s.lastTable = inner, t
 	return t
+}
+
+// build constructs the flat chained table for one inner page, reusing
+// an evicted table's storage when one is free.
+func (s *JoinState) build(inner *relation.Page) *pageTable {
+	var t *pageTable
+	if n := len(s.free); n > 0 {
+		t = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		t = &pageTable{}
+	}
+	ni := inner.TupleCount()
+	// Size for a load factor of at most 0.5: halving bucket collisions
+	// shortens the chain walk, which dominates the probe cost.
+	size := 1
+	log2 := 0
+	for size < 2*ni {
+		size <<= 1
+		log2++
+	}
+	t.shift = uint(64 - log2)
+	if cap(t.heads) < size {
+		t.heads = make([]int32, size)
+	} else {
+		t.heads = t.heads[:size]
+	}
+	for i := range t.heads {
+		t.heads[i] = -1
+	}
+	if cap(t.entries) < ni {
+		t.entries = make([]tableEntry, ni)
+	} else {
+		t.entries = t.entries[:ni]
+	}
+	data, tl := inner.Data(), inner.TupleLen()
+	key := s.key
+	// Descending build order: prepending j makes each bucket chain run
+	// in ascending tuple order, preserving nested-loops emission order.
+	for j := ni - 1; j >= 0; j-- {
+		k := key.RightKeyUint64(data[j*tl : (j+1)*tl])
+		b := (k * fibMul) >> t.shift
+		t.entries[j] = tableEntry{key: k, next: t.heads[b]}
+		t.heads[b] = int32(j)
+	}
+	return t
+}
+
+// outerKeys returns the cached canonical key vector of the outer page,
+// extracting it on first use.
+func (s *JoinState) outerKeys(outer *relation.Page) []uint64 {
+	if outer == s.lastOuter {
+		return s.lastOKeys
+	}
+	if k, ok := s.okeys[outer]; ok {
+		s.lastOuter, s.lastOKeys = outer, k
+		return k
+	}
+	no := outer.TupleCount()
+	var ks []uint64
+	if n := len(s.okeyFree); n > 0 {
+		ks = s.okeyFree[n-1][:0]
+		s.okeyFree = s.okeyFree[:n-1]
+	}
+	if cap(ks) < no {
+		ks = make([]uint64, no)
+	} else {
+		ks = ks[:no]
+	}
+	data, tl := outer.Data(), outer.TupleLen()
+	key := s.key
+	for i, p := 0, 0; i < no; i, p = i+1, p+tl {
+		ks[i] = key.LeftKeyUint64(data[p : p+tl])
+	}
+	if s.okeys == nil {
+		s.okeys = make(map[*relation.Page][]uint64)
+	}
+	if s.MaxTables > 0 && len(s.okeyOrder) >= s.MaxTables {
+		old := s.okeyOrder[0]
+		s.okeyFree = append(s.okeyFree, s.okeys[old])
+		delete(s.okeys, old)
+		s.okeyOrder = s.okeyOrder[1:]
+		if old == s.lastOuter {
+			s.lastOuter, s.lastOKeys = nil, nil
+		}
+	}
+	s.okeys[outer] = ks
+	s.okeyOrder = append(s.okeyOrder, outer)
+	s.lastOuter, s.lastOKeys = outer, ks
+	return ks
 }
 
 // HashJoin joins two whole relations with the hash kernel, iterating

@@ -49,33 +49,54 @@ func (p *Projector) Apply(dst, raw []byte) []byte {
 // Dedup tracks tuples already seen, for duplicate elimination. It is a
 // hash-then-verify map: tuples are bucketed by a 64-bit hash of their
 // bytes with per-bucket collision lists, so probing a duplicate
-// allocates nothing (the old map[string] scheme converted every tuple
-// to a string on the way in). The zero value is not usable; call
-// NewDedup.
+// allocates nothing. Retained tuple bytes live in one shared arena and
+// buckets store (offset, length) spans into it, which makes Reset a
+// pure truncation: the arena, the bucket slices, and the map's hash
+// buckets all keep their capacity, so a reused Dedup re-absorbing a
+// similar tuple stream allocates nothing at all. The zero value is not
+// usable; call NewDedup.
 type Dedup struct {
-	seen map[uint64][][]byte
+	seen map[uint64][]dedupSpan
+	buf  []byte // arena of retained tuple bytes; spans index into it
 	n    int
 }
 
+type dedupSpan struct{ off, len int32 }
+
 // NewDedup returns an empty duplicate tracker.
-func NewDedup() *Dedup { return &Dedup{seen: make(map[uint64][][]byte)} }
+func NewDedup() *Dedup { return &Dedup{seen: make(map[uint64][]dedupSpan)} }
 
 // Add records raw and reports whether it was new.
 func (d *Dedup) Add(raw []byte) bool {
 	h := fnv1a64(raw)
 	bucket := d.seen[h]
-	for _, b := range bucket {
-		if bytes.Equal(b, raw) {
+	for _, sp := range bucket {
+		if bytes.Equal(d.buf[sp.off:sp.off+sp.len], raw) {
 			return false
 		}
 	}
-	d.seen[h] = append(bucket, append([]byte(nil), raw...))
+	off := int32(len(d.buf))
+	d.buf = append(d.buf, raw...)
+	d.seen[h] = append(bucket, dedupSpan{off: off, len: int32(len(raw))})
 	d.n++
 	return true
 }
 
 // Len returns the number of distinct tuples seen.
 func (d *Dedup) Len() int { return d.n }
+
+// Reset forgets every tuple seen while keeping all allocated capacity —
+// the arena, each bucket's backing array, and the map's own buckets —
+// so the tracker can be reused across pages, instructions, and queries
+// without reallocating. Re-adding a tuple stream no larger than a
+// previous use performs zero allocations.
+func (d *Dedup) Reset() {
+	for h, bucket := range d.seen {
+		d.seen[h] = bucket[:0]
+	}
+	d.buf = d.buf[:0]
+	d.n = 0
+}
 
 // ProjectPage projects every tuple of a page and emits the distinct
 // results, using the shared dedup tracker. It returns the number of

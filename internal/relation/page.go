@@ -29,6 +29,7 @@ const AnalysisPageSize = 1000
 type Page struct {
 	size     int // serialized size budget: header + payload capacity
 	tupleLen int
+	capBytes int    // payload capacity in bytes: Capacity()*tupleLen, precomputed
 	data     []byte // encoded tuples, len == TupleCount()*tupleLen
 	pooled   bool   // came from a PagePool and may be recycled by Put
 }
@@ -43,7 +44,8 @@ func NewPage(pageSize, tupleLen int) (*Page, error) {
 	if pageSize < PageHeaderLen+tupleLen {
 		return nil, fmt.Errorf("relation: page size %d too small for header plus one %d-byte tuple", pageSize, tupleLen)
 	}
-	return &Page{size: pageSize, tupleLen: tupleLen}, nil
+	capBytes := (pageSize - PageHeaderLen) / tupleLen * tupleLen
+	return &Page{size: pageSize, tupleLen: tupleLen, capBytes: capBytes}, nil
 }
 
 // MustNewPage is NewPage but panics on error.
@@ -68,7 +70,7 @@ func (p *Page) Capacity() int { return (p.size - PageHeaderLen) / p.tupleLen }
 func (p *Page) TupleCount() int { return len(p.data) / p.tupleLen }
 
 // Full reports whether the page has no free slots.
-func (p *Page) Full() bool { return p.TupleCount() >= p.Capacity() }
+func (p *Page) Full() bool { return len(p.data) >= p.capBytes }
 
 // Empty reports whether the page holds no tuples.
 func (p *Page) Empty() bool { return len(p.data) == 0 }
@@ -106,6 +108,12 @@ func (p *Page) AppendTuple(s *Schema, t Tuple) error {
 func (p *Page) RawTuple(i int) []byte {
 	return p.data[i*p.tupleLen : (i+1)*p.tupleLen]
 }
+
+// Data returns the page's encoded tuple bytes: TupleCount()*TupleLen()
+// contiguous fixed-width tuples. The slice aliases the page and must be
+// treated as read-only. Batch kernels scan it directly instead of
+// slicing per tuple through RawTuple.
+func (p *Page) Data() []byte { return p.data }
 
 // Tuple decodes tuple i under schema s.
 func (p *Page) Tuple(i int, s *Schema) (Tuple, error) {
@@ -151,7 +159,7 @@ func (p *Page) FillFrom(src *Page) (int, error) {
 
 // Clone returns a deep copy of the page.
 func (p *Page) Clone() *Page {
-	out := &Page{size: p.size, tupleLen: p.tupleLen}
+	out := &Page{size: p.size, tupleLen: p.tupleLen, capBytes: p.capBytes}
 	out.data = append([]byte(nil), p.data...)
 	return out
 }

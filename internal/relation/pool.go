@@ -21,12 +21,41 @@ type PagePool struct {
 	hits     int64    // atomic: Gets served from the pool
 	misses   int64    // atomic: Gets that allocated fresh
 	recycled int64    // atomic: Puts accepted
+	budget   int64    // atomic: planner materialization budget in bytes (0 = default)
 }
 
 type pageClass struct{ size, tupleLen int }
 
 // NewPagePool returns an empty pool.
 func NewPagePool() *PagePool { return &PagePool{} }
+
+// DefaultPoolBudget is the page-memory budget, in bytes, that the
+// adaptive planner assumes when none has been set on the pool: an
+// intermediate estimated to fit within it may be materialized in memory
+// instead of pipelined page by page.
+const DefaultPoolBudget = 4 << 20
+
+// SetBudget sets the pool's page-memory budget in bytes. Zero or
+// negative restores the default. The budget is advisory — it steers the
+// planner's pipeline-vs-materialize decision, it does not cap Get.
+func (p *PagePool) SetBudget(bytes int64) {
+	if p == nil {
+		return
+	}
+	atomic.StoreInt64(&p.budget, bytes)
+}
+
+// Budget returns the pool's page-memory budget in bytes. A nil pool, or
+// a pool with no budget set, reports DefaultPoolBudget.
+func (p *PagePool) Budget() int64 {
+	if p == nil {
+		return DefaultPoolBudget
+	}
+	if b := atomic.LoadInt64(&p.budget); b > 0 {
+		return b
+	}
+	return DefaultPoolBudget
+}
 
 // PoolStats is a point-in-time copy of a pool's counters.
 type PoolStats struct {

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"dfdbm/internal/pred"
+)
+
+// Textbook selectivity estimators for the adaptive pipeline-vs-
+// materialize planner. The estimates drive only a buffering decision —
+// whether an intermediate stream is small enough to hold in the page
+// pool — so coarse System R-style constants are sufficient: a wrong
+// guess costs some memory or a missed materialization, never a wrong
+// answer.
+const (
+	// EqSelectivity is the assumed fraction of tuples satisfying an
+	// equality comparison against a constant.
+	EqSelectivity = 0.10
+	// RangeSelectivity is the assumed fraction satisfying an
+	// inequality (<, <=, >, >=) comparison.
+	RangeSelectivity = 0.30
+	// NeSelectivity is the assumed fraction satisfying a != comparison.
+	NeSelectivity = 0.90
+	// AttrSelectivity is the assumed fraction satisfying a comparison
+	// between two attributes of the same tuple.
+	AttrSelectivity = 0.30
+)
+
+// opSelectivity maps a comparison operator to its assumed selectivity.
+func opSelectivity(op pred.Op) float64 {
+	switch op {
+	case pred.EQ:
+		return EqSelectivity
+	case pred.NE:
+		return NeSelectivity
+	default:
+		return RangeSelectivity
+	}
+}
+
+// PredSelectivity estimates the fraction of input tuples a restrict
+// predicate keeps. Conjunctions multiply (independence assumption),
+// disjunctions add with a cap at 1, and negation complements. Unknown
+// predicate forms estimate 0.5.
+func PredSelectivity(p pred.Pred) float64 {
+	switch q := p.(type) {
+	case pred.Compare:
+		return opSelectivity(q.Op)
+	case pred.CompareAttrs:
+		if q.Op == pred.EQ {
+			return EqSelectivity
+		}
+		return AttrSelectivity
+	case pred.And:
+		s := 1.0
+		for _, k := range q.Kids {
+			s *= PredSelectivity(k)
+		}
+		return s
+	case pred.Or:
+		s := 0.0
+		for _, k := range q.Kids {
+			s += PredSelectivity(k)
+		}
+		if s > 1 {
+			s = 1
+		}
+		return s
+	case pred.Not:
+		return 1 - PredSelectivity(q.Kid)
+	case pred.Const:
+		if bool(q) {
+			return 1
+		}
+		return 0
+	default:
+		return 0.5
+	}
+}
+
+// JoinCardinality estimates the output tuple count of a join between
+// inputs of no and ni tuples. An equi-join term keys the result to the
+// larger side's distinct values (assumed unique), giving no*ni/max;
+// each additional term and every non-equality term multiplies in its
+// comparison selectivity. A join with no terms is a cross product.
+func JoinCardinality(no, ni int64, c pred.JoinCond) int64 {
+	if no <= 0 || ni <= 0 {
+		return 0
+	}
+	est := float64(no) * float64(ni)
+	first := true
+	for _, t := range c.Terms {
+		if t.Op == pred.EQ && first {
+			// Key-joined: divide by the larger side's cardinality.
+			d := float64(no)
+			if ni > no {
+				d = float64(ni)
+			}
+			est /= d
+			first = false
+			continue
+		}
+		est *= opSelectivity(t.Op)
+	}
+	if est < 1 {
+		est = 1
+	}
+	return int64(est)
+}
