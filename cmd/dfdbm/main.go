@@ -12,6 +12,20 @@
 //	dfdbm [flags] serve [-addr A] [-engine core|machine] [-data-dir DIR] [-fsync commit|none] [-max-sessions N] [-queue-depth N] [-runners N] [-max-inflight N] [-drain-timeout D]
 //	dfdbm client [-addr A] [-engine core|machine] [-priority high|normal|low] '<query>' ...
 //	dfdbm wal <inspect|verify> -data-dir DIR [-records]
+//	dfdbm top [-addr A] [-interval D] [-recent N] [-once] [-json]
+//	dfdbm loadgen -profile FILE [-time-scale F] [-autoscale] [-out DIR] [-http A]
+//
+// loadgen replays a declarative load profile — phases with arrival
+// patterns (steady, ramp, diurnal, burst), per-phase query mixes and
+// SLOs, and scheduled disturbances (maintenance checkpoint, node
+// slowdown, bulk append) — against a self-hosted or remote server,
+// compressed by the profile's time scale so a simulated day fits in a
+// minute of wall clock. It writes a per-interval timeline (offered vs
+// completed QPS, per-lane latency quantiles, shed counts, scheduler
+// gauges) as CSV/JSON, serves it live at /loadgen under -http, and
+// exits nonzero when an SLO is violated. With -autoscale the
+// self-hosted server's runner pool scales between the profile's
+// bounds instead of staying fixed.
 //
 // serve -data-dir makes the write path durable: every append/delete is
 // redo-logged and fsynced (per -fsync) before it is acknowledged, the
@@ -111,6 +125,8 @@ func main() {
 		cmdWal(flag.Args()[1:])
 	case "top":
 		cmdTop(flag.Args()[1:])
+	case "loadgen":
+		cmdLoadgen(db, flag.Args()[1:])
 	case "explain":
 		cmdExplain(db, flag.Args()[1:], *pageSize)
 	case "export":
@@ -133,7 +149,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dfdbm [-scale S -seed N -pagesize B -db FILE] info|run|bench|machine|direct|serve|client|wal|top|save|export|explain ...")
+	fmt.Fprintln(os.Stderr, "usage: dfdbm [-scale S -seed N -pagesize B -db FILE] info|run|bench|machine|direct|serve|client|wal|top|loadgen|save|export|explain ...")
 	os.Exit(2)
 }
 

@@ -23,7 +23,9 @@ func cmdServe(db *dfdbm.DB, args []string) {
 	maxSessions := fs.Int("max-sessions", 64, "maximum concurrent sessions")
 	maxInflight := fs.Int("max-inflight", 4, "maximum in-flight queries per session")
 	queueDepth := fs.Int("queue-depth", 64, "admission queue depth (beyond it, queries are shed)")
-	runners := fs.Int("runners", 4, "engine runner pool size")
+	runners := fs.Int("runners", 4, "engine runner pool size (the autoscale floor with -autoscale)")
+	maxRunners := fs.Int("max-runners", 16, "runner pool ceiling for -autoscale")
+	autoscale := fs.Bool("autoscale", false, "autoscale the runner pool between -runners and -max-runners against queue depth and admit-wait")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may take before in-flight queries are cancelled")
 	sessionTimeout := fs.Duration("session-timeout", 5*time.Minute, "idle session deadline")
 	workers := fs.Int("workers", 4, "core-engine workers per query")
@@ -76,6 +78,10 @@ func cmdServe(db *dfdbm.DB, args []string) {
 		}
 	}
 
+	var as *dfdbm.AutoscaleConfig
+	if *autoscale {
+		as = &dfdbm.AutoscaleConfig{Min: *runners, Max: *maxRunners}
+	}
 	srv, err := dfdbm.Serve(db, dfdbm.ServeConfig{
 		Addr:            *addr,
 		Engine:          *engine,
@@ -83,6 +89,8 @@ func cmdServe(db *dfdbm.DB, args []string) {
 		MaxInflight:     *maxInflight,
 		QueueDepth:      *queueDepth,
 		Runners:         *runners,
+		MaxRunners:      *maxRunners,
+		Autoscale:       as,
 		SessionTimeout:  *sessionTimeout,
 		Workers:         *workers,
 		IPs:             *ips,
@@ -96,8 +104,12 @@ func cmdServe(db *dfdbm.DB, args []string) {
 	if wlog != nil {
 		durable = fmt.Sprintf(", data-dir=%s fsync=%s", *dataDir, *fsyncMode)
 	}
-	fmt.Printf("dfdbm: serving %d relations on %s (engine=%s, runners=%d, queue=%d%s)\n",
-		len(db.Names()), srv.Addr(), *engine, *runners, *queueDepth, durable)
+	pool := fmt.Sprintf("runners=%d", *runners)
+	if as != nil {
+		pool = fmt.Sprintf("runners=%d..%d (autoscale)", *runners, *maxRunners)
+	}
+	fmt.Printf("dfdbm: serving %d relations on %s (engine=%s, %s, queue=%d%s)\n",
+		len(db.Names()), srv.Addr(), *engine, pool, *queueDepth, durable)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -275,10 +287,19 @@ func cmdClient(args []string) {
 			st.Queued.Round(time.Microsecond), st.Exec.Round(time.Microsecond), deferred)
 		if *verbose {
 			server := st.AdmitWait + st.Sched + st.Exec + st.Stream
+			// The measured RTT exceeds the server's accounted stages by
+			// client-side work and network time; label that remainder
+			// explicitly instead of leaving the books unbalanced. Clamp
+			// at zero: stage clocks and the RTT clock are different
+			// clocks, so tiny negative remainders happen.
+			unaccounted := rtt - server
+			if unaccounted < 0 {
+				unaccounted = 0
+			}
 			us := time.Microsecond
-			fmt.Printf("  trace %x: rtt %v; server %v = admit-wait %v + schedule %v + execute %v + stream %v\n",
+			fmt.Printf("  trace %x: rtt %v = server %v (admit-wait %v + schedule %v + execute %v + stream %v) + client/network %v\n",
 				st.TraceID, rtt.Round(us), server.Round(us), st.AdmitWait.Round(us),
-				st.Sched.Round(us), st.Exec.Round(us), st.Stream.Round(us))
+				st.Sched.Round(us), st.Exec.Round(us), st.Stream.Round(us), unaccounted.Round(us))
 		}
 	}
 }

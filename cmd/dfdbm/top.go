@@ -46,14 +46,25 @@ func cmdTop(args []string) {
 	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
 	once := fs.Bool("once", false, "print one snapshot and exit (no screen clearing)")
 	recent := fs.Int("recent", 10, "completed queries to show")
+	jsonOut := fs.Bool("json", false, "print one machine-readable JSON snapshot and exit (implies -once)")
 	check(fs.Parse(args))
 	if fs.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: dfdbm top [-addr A] [-interval D] [-recent N] [-once]")
+		fmt.Fprintln(os.Stderr, "usage: dfdbm top [-addr A] [-interval D] [-recent N] [-once] [-json]")
 		os.Exit(2)
 	}
 	base := *addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
+	}
+	if *jsonOut {
+		doc, err := snapshotTop(base, *recent)
+		if err != nil {
+			check(fmt.Errorf("top: %s unreachable: %w (is the server running with -http?)", *addr, err))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(doc))
+		return
 	}
 	for {
 		frame, err := renderTop(base, *recent)
@@ -67,6 +78,53 @@ func cmdTop(args []string) {
 		fmt.Print("\x1b[2J\x1b[H", frame)
 		time.Sleep(*interval)
 	}
+}
+
+// topSnapshot is the -json document: the three introspection
+// endpoints' contents in one machine-readable object, for scripts that
+// would otherwise scrape the human display.
+type topSnapshot struct {
+	Addr     string             `json:"addr"`
+	Time     time.Time          `json:"time"`
+	Metrics  map[string]float64 `json:"metrics"`
+	InFlight []topRecord        `json:"inflight"`
+	Recent   []topRecord        `json:"recent"`
+	RingCap  int                `json:"ring_capacity"`
+	Total    int64              `json:"total_completed"`
+}
+
+// snapshotTop gathers one JSON snapshot from the server.
+func snapshotTop(base string, nrecent int) (*topSnapshot, error) {
+	metrics, err := fetchMetrics(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	var inflight struct {
+		InFlight []topRecord `json:"inflight"`
+	}
+	if err := fetchJSON(base+"/queries", &inflight); err != nil {
+		return nil, err
+	}
+	var ring struct {
+		Recent   []topRecord `json:"recent"`
+		Capacity int         `json:"capacity"`
+		Total    int64       `json:"total_completed"`
+	}
+	if err := fetchJSON(base+"/queries/recent", &ring); err != nil {
+		return nil, err
+	}
+	if nrecent < len(ring.Recent) {
+		ring.Recent = ring.Recent[:nrecent]
+	}
+	return &topSnapshot{
+		Addr:     base,
+		Time:     time.Now(),
+		Metrics:  metrics,
+		InFlight: inflight.InFlight,
+		Recent:   ring.Recent,
+		RingCap:  ring.Capacity,
+		Total:    ring.Total,
+	}, nil
 }
 
 // renderTop builds one full frame of the display.

@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dfdbm/internal/workload"
+)
+
+// Query classes over workload.QueryTexts(): texts[0:2] are point
+// restricts, [2:5] single joins, [5:10] multi-join heavies. Reads map
+// onto admission lanes by interactivity — point queries ride the high
+// lane, joins normal, heavies low — so per-lane timeline quantiles
+// exercise the whole scheduler, and writes share the normal lane with
+// joins.
+const (
+	classPoint = "point"
+	classJoin  = "join"
+	classHeavy = "heavy"
+	classWrite = "write"
+)
+
+// arrival is one pre-scheduled query: the full plan is generated up
+// front from the profile's seed, so a run's offered load is a pure
+// function of (profile, time scale) and replays identically.
+type arrival struct {
+	wall  time.Duration // offset from run start, wall clock
+	sim   time.Duration // the same instant in simulated time
+	phase int
+	class string
+	lane  uint8
+	text  string
+}
+
+// buildPlan expands the profile into its full arrival schedule at the
+// given time scale, via Poisson thinning per phase: candidate arrivals
+// come from a homogeneous process at the phase's max rate, and each
+// survives with probability rate(t)/maxRate — a nonhomogeneous Poisson
+// process matching the phase's pattern exactly, still deterministic
+// under the seed.
+func buildPlan(p *Profile, timeScale float64, rng *rand.Rand) []arrival {
+	texts := workload.QueryTexts()
+	var plan []arrival
+	var wallBase, simBase time.Duration
+	for pi := range p.Phases {
+		ph := &p.Phases[pi]
+		wallDur := time.Duration(float64(ph.Duration) / timeScale)
+		maxRate := ph.MaxRate()
+		if maxRate <= 0 || wallDur <= 0 {
+			wallBase += wallDur
+			simBase += ph.Duration
+			continue
+		}
+		for t := expGap(rng, maxRate); t < wallDur; t += expGap(rng, maxRate) {
+			simT := time.Duration(float64(t) * timeScale)
+			if rng.Float64()*maxRate > ph.Rate(simT) {
+				continue // thinned: instantaneous rate is below the bound
+			}
+			a := arrival{
+				wall:  wallBase + t,
+				sim:   simBase + simT,
+				phase: pi,
+			}
+			a.class, a.lane, a.text = pickQuery(ph, texts, rng)
+			plan = append(plan, a)
+		}
+		wallBase += wallDur
+		simBase += ph.Duration
+	}
+	return plan
+}
+
+// expGap draws an exponential inter-arrival gap for rate r per wall
+// second.
+func expGap(rng *rand.Rand, r float64) time.Duration {
+	return time.Duration(rng.ExpFloat64() / r * float64(time.Second))
+}
+
+func pickQuery(ph *Phase, texts []string, rng *rand.Rand) (class string, lane uint8, text string) {
+	if ph.WriteFraction > 0 && rng.Float64() < ph.WriteFraction {
+		return classWrite, 1, writeText(rng)
+	}
+	w := rng.Float64() * (ph.Mix.Point + ph.Mix.Join + ph.Mix.Heavy)
+	switch {
+	case w < ph.Mix.Point:
+		return classPoint, 0, texts[rng.Intn(2)]
+	case w < ph.Mix.Point+ph.Mix.Join:
+		return classJoin, 1, texts[2+rng.Intn(3)]
+	default:
+		return classHeavy, 2, texts[5+rng.Intn(5)]
+	}
+}
+
+// writeText generates an append or delete. Appends copy a slice of a
+// source relation into the target and deletes trim the same value
+// range, so over a long run the written relations stay near their
+// seeded size instead of growing without bound.
+func writeText(rng *rand.Rand) string {
+	target := fmt.Sprintf("r%d", 11+rng.Intn(4)) // r11..r14
+	bound := 20 + rng.Intn(40)
+	if rng.Intn(2) == 0 {
+		src := fmt.Sprintf("r%d", 1+rng.Intn(4)) // r1..r4
+		return fmt.Sprintf("append(%s, restrict(%s, val < %d))", target, src, bound)
+	}
+	return fmt.Sprintf("delete(%s, val < %d)", target, bound)
+}
+
+// laneName maps a wire priority to its lane label in timelines.
+func laneName(lane uint8) string {
+	switch lane {
+	case 0:
+		return "high"
+	case 1:
+		return "normal"
+	default:
+		return "low"
+	}
+}

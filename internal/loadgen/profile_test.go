@@ -1,0 +1,184 @@
+package loadgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+const testProfile = `
+name: mini-day
+seed: 11
+time_scale: 720
+interval: 30m
+grace: 1
+phases:
+  - name: night
+    duration: 4h
+    qps: 6
+    sessions: 4
+    write_fraction: 0.1
+    slo: {p99: 200ms, shed_rate: 0.02}
+  - name: ramp-up
+    duration: 2h
+    pattern: ramp
+    qps: 6
+    qps_end: 30
+  - name: peak
+    duration: 3h
+    pattern: diurnal
+    qps: 10
+    peak_qps: 40
+    mix: {point: 0.3, join: 0.4, heavy: 0.3}
+  - name: burst
+    duration: 2h
+    pattern: burst
+    qps: 8
+    peak_qps: 50
+    burst_every: 40m
+    burst_len: 10m
+events:
+  - at: 1h
+    kind: maintenance
+  - at: 5h
+    kind: slowdown
+    delay: 2ms
+    duration: 30m
+  - at: 9h
+    kind: bulk_append
+    relation: r11
+    count: 3
+autoscale:
+  min: 2
+  max: 16
+`
+
+func TestParseProfile(t *testing.T) {
+	p, err := ParseProfile([]byte(testProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "mini-day" || p.Seed != 11 || p.TimeScale != 720 || p.Interval != 30*time.Minute {
+		t.Fatalf("header = %+v", p)
+	}
+	if len(p.Phases) != 4 {
+		t.Fatalf("phases = %d", len(p.Phases))
+	}
+	night := p.Phases[0]
+	if night.Duration != 4*time.Hour || night.QPS != 6 || night.Sessions != 4 || night.WriteFraction != 0.1 {
+		t.Fatalf("night = %+v", night)
+	}
+	if night.SLO == nil || night.SLO.P99 != 200*time.Millisecond || night.SLO.ShedRate != 0.02 {
+		t.Fatalf("night slo = %+v", night.SLO)
+	}
+	if night.SLO.P50 != 0 || night.SLO.ErrorRate != -1 {
+		t.Fatalf("unset slo bounds should be unchecked: %+v", night.SLO)
+	}
+	if p.Phases[2].Mix != (Mix{Point: 0.3, Join: 0.4, Heavy: 0.3}) {
+		t.Fatalf("peak mix = %+v", p.Phases[2].Mix)
+	}
+	if p.TotalDuration() != 11*time.Hour {
+		t.Fatalf("total = %v", p.TotalDuration())
+	}
+	if len(p.Events) != 3 || p.Events[1].Delay != 2*time.Millisecond || p.Events[2].Count != 3 {
+		t.Fatalf("events = %+v", p.Events)
+	}
+	if p.Autoscale == nil || p.Autoscale.Min != 2 || p.Autoscale.Max != 16 {
+		t.Fatalf("autoscale = %+v", p.Autoscale)
+	}
+	if i, ph, off := p.PhaseAt(4*time.Hour + 30*time.Minute); i != 1 || ph.Name != "ramp-up" || off != 30*time.Minute {
+		t.Fatalf("PhaseAt = %d %s %v", i, ph.Name, off)
+	}
+}
+
+func TestParseProfileRejectsBadInput(t *testing.T) {
+	for _, tc := range []struct{ name, src, wantSub string }{
+		{"no phases", "name: x", "at least one phase"},
+		{"bad pattern", "phases:\n  - duration: 1h\n    qps: 1\n    pattern: wavy", "unknown pattern"},
+		{"ramp sans end", "phases:\n  - duration: 1h\n    qps: 1\n    pattern: ramp", "qps_end"},
+		{"bad duration", "phases:\n  - duration: soon\n    qps: 1", "bad duration"},
+		{"bad event", "phases:\n  - duration: 1h\n    qps: 1\nevents:\n  - at: 5m\n    kind: meteor", "unknown kind"},
+	} {
+		if _, err := ParseProfile([]byte(tc.src)); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestPhaseRatePatterns pins the arrival-rate shapes.
+func TestPhaseRatePatterns(t *testing.T) {
+	ramp := Phase{Pattern: "ramp", QPS: 10, QPSEnd: 30, Duration: time.Hour}
+	if r := ramp.Rate(30 * time.Minute); r < 19.9 || r > 20.1 {
+		t.Errorf("ramp midpoint = %v, want 20", r)
+	}
+	burst := Phase{Pattern: "burst", QPS: 5, PeakQPS: 20, BurstEvery: 40 * time.Minute, BurstLen: 10 * time.Minute, Duration: 2 * time.Hour}
+	if r := burst.Rate(5 * time.Minute); r != 25 {
+		t.Errorf("in-burst rate = %v, want 25", r)
+	}
+	if r := burst.Rate(20 * time.Minute); r != 5 {
+		t.Errorf("off-burst rate = %v, want 5", r)
+	}
+	if r := burst.Rate(45 * time.Minute); r != 25 {
+		t.Errorf("second burst window rate = %v, want 25", r)
+	}
+	di := Phase{Pattern: "diurnal", QPS: 4, PeakQPS: 40, Duration: 24 * time.Hour}
+	if r := di.Rate(0); r != 4 {
+		t.Errorf("diurnal start = %v, want base 4", r)
+	}
+	if r := di.Rate(12 * time.Hour); r < 39.9 || r > 40.1 {
+		t.Errorf("diurnal noon = %v, want peak 40", r)
+	}
+	if m := di.MaxRate(); m != 40 {
+		t.Errorf("diurnal max = %v", m)
+	}
+}
+
+// TestBuildPlanDeterministicAndShaped: the same seed yields the same
+// schedule, arrival counts track the patterns, and every arrival
+// carries a valid class/lane/text.
+func TestBuildPlanDeterministicAndShaped(t *testing.T) {
+	p, err := ParseProfile([]byte(testProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 720
+	a := buildPlan(p, scale, rand.New(rand.NewSource(p.Seed)))
+	b := buildPlan(p, scale, rand.New(rand.NewSource(p.Seed)))
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("plans differ in size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Offered load per phase ≈ wall duration × mean rate.
+	counts := map[int]int{}
+	writes := 0
+	for i := range a {
+		counts[a[i].phase]++
+		if a[i].class == classWrite {
+			writes++
+		}
+		if a[i].text == "" || a[i].lane > 2 {
+			t.Fatalf("arrival %d malformed: %+v", i, a[i])
+		}
+		if i > 0 && a[i].wall < a[i-1].wall {
+			t.Fatalf("plan not time-ordered at %d", i)
+		}
+	}
+	// night: 4h/720 = 20s wall at 6 qps ≈ 120 arrivals.
+	if n := counts[0]; n < 60 || n > 200 {
+		t.Errorf("night arrivals = %d, want ≈120", n)
+	}
+	// ramp-up: 10s wall at mean 18 qps ≈ 180.
+	if n := counts[1]; n < 100 || n > 280 {
+		t.Errorf("ramp arrivals = %d, want ≈180", n)
+	}
+	// ~10% of night should be writes; across the whole plan well below
+	// a third.
+	if writes == 0 || writes > len(a)/3 {
+		t.Errorf("writes = %d of %d", writes, len(a))
+	}
+}

@@ -1,0 +1,204 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"dfdbm/internal/obs"
+	"dfdbm/internal/sched"
+	"dfdbm/internal/server"
+	"dfdbm/internal/workload"
+)
+
+// e2eProfile is a compressed two-phase day: a calm stretch one runner
+// handles, then a rush that outruns it. The slowdown event pins the
+// per-query service time at 25ms, so capacity is runners × 40 qps and
+// the rush (60 qps offered) mathematically swamps a fixed pool of one
+// — making the SLO verdicts deterministic, not a timing accident.
+const e2eProfile = `
+name: e2e-rush
+seed: 7
+time_scale: 5
+interval: 5s
+grace: 2
+phases:
+  - name: calm
+    duration: 30s
+    qps: 10
+    sessions: 8
+    write_fraction: 0.05
+    slo: {p99: 2s, shed_rate: 0.5}
+  - name: rush
+    duration: 30s
+    qps: 60
+    sessions: 16
+    slo: {p99: 1s, shed_rate: 0.2}
+events:
+  - at: 1s
+    kind: slowdown
+    delay: 25ms
+    duration: 58s
+  - at: 10s
+    kind: maintenance
+  - at: 15s
+    kind: bulk_append
+    relation: r11
+    count: 2
+`
+
+func e2eRun(t *testing.T, autoscale *sched.AutoscaleConfig) *Report {
+	t.Helper()
+	cat, _, err := workload.Build(workload.Config{Seed: 42, Scale: 0.05, PageSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry(0)
+	ob := obs.New(nil, reg)
+	srv, err := server.Start(cat, server.Config{
+		Runners:     1,
+		MaxSessions: 64,
+		MaxInflight: 8,
+		Autoscale:   autoscale,
+		Obs:         ob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	p, err := ParseProfile([]byte(e2eProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log strings.Builder
+	rep, err := Run(context.Background(), RunConfig{
+		Profile: p,
+		Addr:    srv.Addr(),
+		Control: &Control{
+			Checkpoint:   srv.Checkpoint,
+			SetExecDelay: srv.SetExecDelay,
+			Registry:     reg,
+		},
+		Live: NewLive(p.Name),
+		Log:  &log,
+	})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, log.String())
+	}
+	if testing.Verbose() {
+		os.Stderr.WriteString(log.String())
+	}
+	if !strings.Contains(log.String(), "event slowdown") || !strings.Contains(log.String(), "event maintenance") {
+		t.Errorf("events did not fire:\n%s", log.String())
+	}
+	return rep
+}
+
+// TestRunFixedPoolFailsRushSLO: one runner at 25ms/query caps at ~40
+// qps; the 60 qps rush must blow the p99 SLO, and the timeline must
+// show the phase boundary in offered QPS.
+func TestRunFixedPoolFailsRushSLO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12s wall-clock replay")
+	}
+	rep := e2eRun(t, nil)
+	if rep.Offered < 200 {
+		t.Fatalf("offered only %d queries — plan did not replay", rep.Offered)
+	}
+	if rep.Pass {
+		t.Error("undersized fixed pool passed the rush SLO")
+	}
+	var calm, rush *PhaseSummary
+	for i := range rep.Phases {
+		switch rep.Phases[i].Phase {
+		case "calm":
+			calm = &rep.Phases[i]
+		case "rush":
+			rush = &rep.Phases[i]
+		}
+	}
+	if calm == nil || rush == nil {
+		t.Fatalf("phases = %+v", rep.Phases)
+	}
+	if !calm.Pass {
+		t.Errorf("calm phase failed its lenient SLO: %+v", calm)
+	}
+	if rush.Pass {
+		t.Errorf("rush phase passed on one runner: %+v", rush)
+	}
+	// Phase boundary visible in offered QPS: rush intervals offer
+	// several times calm's rate.
+	var calmQPS, rushQPS float64
+	var calmN, rushN int
+	for i := range rep.Rows {
+		switch rep.Rows[i].Phase {
+		case "calm":
+			calmQPS += rep.Rows[i].OfferedQPS
+			calmN++
+		case "rush":
+			rushQPS += rep.Rows[i].OfferedQPS
+			rushN++
+		}
+	}
+	if calmN == 0 || rushN == 0 {
+		t.Fatal("timeline missing a phase")
+	}
+	if rushQPS/float64(rushN) < 2*calmQPS/float64(calmN) {
+		t.Errorf("phase boundary invisible: calm %.1f qps vs rush %.1f qps",
+			calmQPS/float64(calmN), rushQPS/float64(rushN))
+	}
+}
+
+// TestRunAutoscalerMeetsRushSLO: the same profile passes once the
+// runner pool may grow to 8 (capacity ~320 qps against the 60 qps
+// rush).
+func TestRunAutoscalerMeetsRushSLO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12s wall-clock replay")
+	}
+	rep := e2eRun(t, &sched.AutoscaleConfig{
+		Min:      1,
+		Max:      8,
+		Interval: 100 * time.Millisecond,
+		Hold:     2,
+		Cooldown: 200 * time.Millisecond,
+	})
+	if !rep.Pass {
+		t.Errorf("autoscaled run failed: %+v", rep.Phases)
+	}
+	// The pool must actually have grown: some rush row shows >1 runner.
+	grew := false
+	for i := range rep.Rows {
+		if rep.Rows[i].Runners > 1 {
+			grew = true
+			break
+		}
+	}
+	if !grew {
+		t.Error("runner gauge never exceeded 1 — autoscaler idle")
+	}
+}
+
+// TestRunDeterministicOffered: two runs of the same profile offer the
+// identical schedule (completion timing varies; the offered side is a
+// pure function of the seed).
+func TestRunDeterministicOffered(t *testing.T) {
+	p, err := ParseProfile([]byte(e2eProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := buildPlan(p, p.TimeScale, rand.New(rand.NewSource(p.Seed)))
+	b := buildPlan(p, p.TimeScale, rand.New(rand.NewSource(p.Seed)))
+	if len(a) != len(b) {
+		t.Fatalf("plan sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plans diverge at %d", i)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"dfdbm/internal/obs"
+)
+
+// LaneQuantiles is one lane's latency quantiles over an interval, in
+// milliseconds.
+type LaneQuantiles struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+}
+
+// Row is one timeline interval. Latencies are measured open-loop, from
+// each query's scheduled arrival time to its completion, so client-side
+// queueing when the server falls behind is charged to the row (no
+// coordinated omission).
+type Row struct {
+	Interval  int     `json:"interval"`
+	SimStartS float64 `json:"sim_start_s"`
+	SimEndS   float64 `json:"sim_end_s"`
+	Phase     string  `json:"phase"`
+
+	Offered   int64 `json:"offered"`
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+	Dropped   int64 `json:"dropped"`
+	Errors    int64 `json:"errors"`
+
+	// QPS rates are per wall second of replay.
+	OfferedQPS   float64 `json:"offered_qps"`
+	CompletedQPS float64 `json:"completed_qps"`
+
+	Latency LaneQuantiles            `json:"latency"` // all lanes combined
+	Lanes   map[string]LaneQuantiles `json:"lanes"`
+
+	QueueDepth  float64 `json:"queue_depth"`
+	Runners     float64 `json:"runners"`
+	Utilization float64 `json:"utilization"`
+
+	SLOOK      bool     `json:"slo_ok"`
+	Violations []string `json:"slo_violations,omitempty"`
+}
+
+// PhaseSummary is one phase's SLO verdict over the whole run.
+type PhaseSummary struct {
+	Phase       string  `json:"phase"`
+	Intervals   int     `json:"intervals"`
+	Graced      int     `json:"graced"`
+	Violated    int     `json:"violated"`
+	Pass        bool    `json:"pass"`
+	WorstP99MS  float64 `json:"worst_p99_ms"`
+	MaxShedRate float64 `json:"max_shed_rate"`
+}
+
+// Report is a finished run: the full timeline plus per-phase SLO
+// verdicts.
+type Report struct {
+	Profile   string         `json:"profile"`
+	TimeScale float64        `json:"time_scale"`
+	Seed      int64          `json:"seed"`
+	WallS     float64        `json:"wall_s"`
+	Offered   int64          `json:"offered"`
+	Completed int64          `json:"completed"`
+	Shed      int64          `json:"shed"`
+	Dropped   int64          `json:"dropped"`
+	Errors    int64          `json:"errors"`
+	Pass      bool           `json:"pass"`
+	Phases    []PhaseSummary `json:"phases"`
+	Rows      []Row          `json:"rows"`
+}
+
+// collector accumulates one interval's worth of results; the run loop
+// flushes it into a Row at every timeline tick. Lane histograms are
+// recreated per interval, so quantiles describe the interval alone.
+type collector struct {
+	mu      sync.Mutex
+	lanes   map[string]*obs.Histogram
+	all     *obs.Histogram
+	offered int64
+	done    int64
+	shed    int64
+	dropped int64
+	errs    int64
+}
+
+func newCollector() *collector {
+	c := &collector{}
+	c.resetLocked()
+	return c
+}
+
+func (c *collector) resetLocked() {
+	c.lanes = map[string]*obs.Histogram{
+		"high":   obs.NewHistogram(obs.DurationBuckets()),
+		"normal": obs.NewHistogram(obs.DurationBuckets()),
+		"low":    obs.NewHistogram(obs.DurationBuckets()),
+	}
+	c.all = obs.NewHistogram(obs.DurationBuckets())
+	c.offered, c.done, c.shed, c.dropped, c.errs = 0, 0, 0, 0, 0
+}
+
+func (c *collector) offer() {
+	c.mu.Lock()
+	c.offered++
+	c.mu.Unlock()
+}
+
+func (c *collector) drop() {
+	c.mu.Lock()
+	c.dropped++
+	c.mu.Unlock()
+}
+
+// complete records one finished query: lat is measured from the
+// scheduled arrival, outcome is "ok", "shed", or "error".
+func (c *collector) complete(lane string, lat time.Duration, outcome string) {
+	c.mu.Lock()
+	switch outcome {
+	case "shed":
+		c.shed++
+	case "error":
+		c.errs++
+	default:
+		c.done++
+		c.lanes[lane].ObserveDuration(lat)
+		c.all.ObserveDuration(lat)
+	}
+	c.mu.Unlock()
+}
+
+func quantiles(h *obs.Histogram) LaneQuantiles {
+	const ms = float64(time.Millisecond)
+	return LaneQuantiles{
+		P50: float64(h.Quantile(0.50)) / ms,
+		P95: float64(h.Quantile(0.95)) / ms,
+		P99: float64(h.Quantile(0.99)) / ms,
+	}
+}
+
+// flush turns the current window into a Row and resets the collector.
+// wallDur is the interval's wall length (for QPS rates); gauges come
+// from the server registry when the run has one.
+func (c *collector) flush(interval int, simStart, simEnd, wallDur time.Duration, phase string, reg *obs.Registry) Row {
+	c.mu.Lock()
+	row := Row{
+		Interval:  interval,
+		SimStartS: simStart.Seconds(),
+		SimEndS:   simEnd.Seconds(),
+		Phase:     phase,
+		Offered:   c.offered,
+		Completed: c.done,
+		Shed:      c.shed,
+		Dropped:   c.dropped,
+		Errors:    c.errs,
+		Latency:   quantiles(c.all),
+		Lanes: map[string]LaneQuantiles{
+			"high":   quantiles(c.lanes["high"]),
+			"normal": quantiles(c.lanes["normal"]),
+			"low":    quantiles(c.lanes["low"]),
+		},
+		SLOOK: true,
+	}
+	c.resetLocked()
+	c.mu.Unlock()
+	if s := wallDur.Seconds(); s > 0 {
+		row.OfferedQPS = float64(row.Offered) / s
+		row.CompletedQPS = float64(row.Completed) / s
+	}
+	if reg != nil {
+		row.QueueDepth, _ = reg.Gauge("sched.queue_depth")
+		row.Runners, _ = reg.Gauge("sched.runners")
+		row.Utilization, _ = reg.Gauge("sched.runner_utilization")
+	}
+	return row
+}
+
+// evaluate applies a phase SLO to a row in place.
+func (s *SLO) evaluate(row *Row) {
+	if s == nil {
+		return
+	}
+	check := func(name string, gotMS float64, bound time.Duration) {
+		if bound > 0 && gotMS > float64(bound)/float64(time.Millisecond) {
+			row.Violations = append(row.Violations,
+				fmt.Sprintf("%s %.1fms > %v", name, gotMS, bound))
+		}
+	}
+	check("p50", row.Latency.P50, s.P50)
+	check("p95", row.Latency.P95, s.P95)
+	check("p99", row.Latency.P99, s.P99)
+	if row.Offered > 0 {
+		if rate := float64(row.Shed+row.Dropped) / float64(row.Offered); s.ShedRate >= 0 && rate > s.ShedRate {
+			row.Violations = append(row.Violations,
+				fmt.Sprintf("shed_rate %.3f > %.3f", rate, s.ShedRate))
+		}
+		if rate := float64(row.Errors) / float64(row.Offered); s.ErrorRate >= 0 && rate > s.ErrorRate {
+			row.Violations = append(row.Violations,
+				fmt.Sprintf("error_rate %.3f > %.3f", rate, s.ErrorRate))
+		}
+	}
+	row.SLOOK = len(row.Violations) == 0
+}
+
+// summarize folds the timeline into per-phase verdicts. The first
+// `grace` intervals of each phase are recorded but not judged.
+func summarize(p *Profile, rows []Row) ([]PhaseSummary, bool) {
+	byPhase := map[string]*PhaseSummary{}
+	var order []string
+	prevPhase := ""
+	sincePhaseStart := 0
+	for i := range rows {
+		row := &rows[i]
+		if row.Phase != prevPhase {
+			prevPhase = row.Phase
+			sincePhaseStart = 0
+		}
+		ps := byPhase[row.Phase]
+		if ps == nil {
+			ps = &PhaseSummary{Phase: row.Phase, Pass: true}
+			byPhase[row.Phase] = ps
+			order = append(order, row.Phase)
+		}
+		ps.Intervals++
+		if row.Latency.P99 > ps.WorstP99MS {
+			ps.WorstP99MS = row.Latency.P99
+		}
+		if row.Offered > 0 {
+			if rate := float64(row.Shed+row.Dropped) / float64(row.Offered); rate > ps.MaxShedRate {
+				ps.MaxShedRate = rate
+			}
+		}
+		if sincePhaseStart < p.Grace {
+			// Reaction time for control loops: recorded, not judged.
+			row.SLOOK = true
+			row.Violations = nil
+			ps.Graced++
+		} else if !row.SLOOK {
+			ps.Violated++
+			ps.Pass = false
+		}
+		sincePhaseStart++
+	}
+	pass := true
+	out := make([]PhaseSummary, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byPhase[name])
+		pass = pass && byPhase[name].Pass
+	}
+	return out, pass
+}
+
+// csvHeader is the timeline CSV column set; JSON rows carry the full
+// per-lane quantiles, CSV the combined ones plus per-lane p99.
+const csvHeader = "interval,sim_start_s,phase,offered,completed,shed,dropped,errors," +
+	"offered_qps,completed_qps,p50_ms,p95_ms,p99_ms," +
+	"p99_high_ms,p99_normal_ms,p99_low_ms,queue_depth,runners,utilization,slo_ok\n"
+
+// WriteCSV writes the timeline in CSV form.
+func WriteCSV(w io.Writer, rows []Row) error {
+	if _, err := io.WriteString(w, csvHeader); err != nil {
+		return err
+	}
+	for i := range rows {
+		r := &rows[i]
+		ok := 1
+		if !r.SLOOK {
+			ok = 0
+		}
+		_, err := fmt.Fprintf(w, "%d,%.1f,%s,%d,%d,%d,%d,%d,%.2f,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.1f,%.0f,%.3f,%d\n",
+			r.Interval, r.SimStartS, r.Phase, r.Offered, r.Completed, r.Shed, r.Dropped, r.Errors,
+			r.OfferedQPS, r.CompletedQPS, r.Latency.P50, r.Latency.P95, r.Latency.P99,
+			r.Lanes["high"].P99, r.Lanes["normal"].P99, r.Lanes["low"].P99,
+			r.QueueDepth, r.Runners, r.Utilization, ok)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the full report as indented JSON.
+func WriteJSON(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Live serves the timeline-so-far as JSON while a run is in progress —
+// registered on the obs introspection server at /loadgen.
+type Live struct {
+	mu      sync.Mutex
+	profile string
+	status  string
+	rows    []Row
+	report  *Report
+}
+
+// NewLive returns a live view for the named profile.
+func NewLive(profile string) *Live {
+	return &Live{profile: profile, status: "running"}
+}
+
+func (l *Live) add(r Row) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.rows = append(l.rows, r)
+	l.mu.Unlock()
+}
+
+func (l *Live) finish(rep *Report) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.status = "done"
+	l.report = rep
+	l.mu.Unlock()
+}
+
+// ServeHTTP implements the /loadgen endpoint: profile, run status, the
+// rows so far, and — once finished — the per-phase SLO summary.
+func (l *Live) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	l.mu.Lock()
+	doc := struct {
+		Profile string         `json:"profile"`
+		Status  string         `json:"status"`
+		Rows    []Row          `json:"rows"`
+		Phases  []PhaseSummary `json:"phases,omitempty"`
+		Pass    *bool          `json:"pass,omitempty"`
+	}{Profile: l.profile, Status: l.status, Rows: append([]Row(nil), l.rows...)}
+	if l.report != nil {
+		doc.Phases = l.report.Phases
+		doc.Pass = &l.report.Pass
+	}
+	l.mu.Unlock()
+	json.NewEncoder(w).Encode(doc) //nolint:errcheck // client went away
+}

@@ -1,0 +1,120 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOEvaluate(t *testing.T) {
+	slo := &SLO{P99: 50 * time.Millisecond, ShedRate: 0.01, ErrorRate: -1}
+	row := Row{Offered: 100, Completed: 90, Shed: 5, Dropped: 1,
+		Latency: LaneQuantiles{P50: 2, P95: 20, P99: 80}, SLOOK: true}
+	slo.evaluate(&row)
+	if row.SLOOK || len(row.Violations) != 2 {
+		t.Fatalf("row = ok=%v violations=%v, want p99 and shed_rate flagged", row.SLOOK, row.Violations)
+	}
+	if !strings.Contains(row.Violations[0], "p99") || !strings.Contains(row.Violations[1], "shed_rate") {
+		t.Fatalf("violations = %v", row.Violations)
+	}
+
+	good := Row{Offered: 100, Completed: 100, Latency: LaneQuantiles{P99: 10}, SLOOK: true}
+	slo.evaluate(&good)
+	if !good.SLOOK {
+		t.Fatalf("clean row flagged: %v", good.Violations)
+	}
+	// Errors are unchecked at -1 even when present.
+	errRow := Row{Offered: 100, Errors: 50, Latency: LaneQuantiles{P99: 1}, SLOOK: true}
+	slo.evaluate(&errRow)
+	if !errRow.SLOOK {
+		t.Fatalf("error_rate -1 must be unchecked: %v", errRow.Violations)
+	}
+}
+
+// TestSummarizeGrace: the first Grace intervals of each phase are
+// exempt, later violations fail only their own phase.
+func TestSummarizeGrace(t *testing.T) {
+	p := &Profile{Grace: 1, Phases: []Phase{{Name: "a"}, {Name: "b"}}}
+	rows := []Row{
+		{Phase: "a", SLOOK: false, Violations: []string{"p99"}}, // graced
+		{Phase: "a", SLOOK: true},
+		{Phase: "b", SLOOK: false, Violations: []string{"p99"}}, // graced (new phase)
+		{Phase: "b", SLOOK: false, Violations: []string{"p99"}},
+	}
+	phases, pass := summarize(p, rows)
+	if pass {
+		t.Fatal("run passed with a post-grace violation")
+	}
+	if len(phases) != 2 || !phases[0].Pass || phases[1].Pass {
+		t.Fatalf("phases = %+v", phases)
+	}
+	if phases[0].Graced != 1 || phases[1].Graced != 1 || phases[1].Violated != 1 {
+		t.Fatalf("grace accounting = %+v", phases)
+	}
+	if !rows[0].SLOOK || rows[0].Violations != nil {
+		t.Fatal("graced row not cleared for artifacts")
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	rows := []Row{{
+		Interval: 0, SimStartS: 0, SimEndS: 1800, Phase: "night",
+		Offered: 120, Completed: 118, Shed: 2,
+		OfferedQPS: 4.8, CompletedQPS: 4.7,
+		Latency: LaneQuantiles{P50: 1.5, P95: 9.25, P99: 20.125},
+		Lanes: map[string]LaneQuantiles{
+			"high": {P99: 5}, "normal": {P99: 21}, "low": {P99: 80},
+		},
+		QueueDepth: 3, Runners: 4, Utilization: 0.75, SLOOK: true,
+	}}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv = %q", sb.String())
+	}
+	headerCols := strings.Split(lines[0], ",")
+	dataCols := strings.Split(lines[1], ",")
+	if len(headerCols) != len(dataCols) {
+		t.Fatalf("header has %d cols, row has %d", len(headerCols), len(dataCols))
+	}
+	if !strings.HasPrefix(lines[1], "0,0.0,night,120,118,2,0,0,4.80,4.70,1.500,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "p99_low_ms") || !strings.Contains(lines[0], "slo_ok") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestLiveEndpoint(t *testing.T) {
+	l := NewLive("demo")
+	l.add(Row{Interval: 0, Phase: "night", Offered: 10, SLOOK: true})
+	rec := httptest.NewRecorder()
+	l.ServeHTTP(rec, httptest.NewRequest("GET", "/loadgen", nil))
+	var doc struct {
+		Profile string `json:"profile"`
+		Status  string `json:"status"`
+		Rows    []Row  `json:"rows"`
+		Pass    *bool  `json:"pass"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad /loadgen document: %v", err)
+	}
+	if doc.Profile != "demo" || doc.Status != "running" || len(doc.Rows) != 1 || doc.Pass != nil {
+		t.Fatalf("doc = %+v", doc)
+	}
+
+	l.finish(&Report{Pass: true, Phases: []PhaseSummary{{Phase: "night", Pass: true}}})
+	rec = httptest.NewRecorder()
+	l.ServeHTTP(rec, httptest.NewRequest("GET", "/loadgen", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "done" || doc.Pass == nil || !*doc.Pass {
+		t.Fatalf("finished doc = %+v", doc)
+	}
+}

@@ -1,0 +1,261 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the YAML subset load profiles are written in.
+// The repo carries no third-party dependencies, so rather than vendor a
+// full YAML implementation we parse exactly what profiles need:
+//
+//   - block maps ("key: value", "key:" + indented block)
+//   - block lists ("- item", "- key: value" + indented continuation)
+//   - flow maps and lists ("{p50: 80ms, shed_rate: 0.01}", "[a, b]")
+//   - quoted and plain scalars, "#" comments, blank lines
+//
+// Indentation is spaces only (tabs are an error, as in YAML proper).
+// Scalars stay strings; the profile decoder interprets numbers and
+// durations, so "80ms" and 0.01 need no type tags here.
+
+type yamlLine struct {
+	indent int
+	text   string
+	n      int // 1-based source line
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseYAML parses src into nested map[string]any / []any / string.
+func parseYAML(src []byte) (any, error) {
+	p := &yamlParser{}
+	for i, raw := range strings.Split(string(src), "\n") {
+		line := stripComment(raw)
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, fmt.Errorf("yaml line %d: tab in indentation", i+1)
+		}
+		p.lines = append(p.lines, yamlLine{indent: indent, text: trimmed, n: i + 1})
+	}
+	if len(p.lines) == 0 {
+		return map[string]any{}, nil
+	}
+	v, err := p.parseBlock(p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, fmt.Errorf("yaml line %d: unexpected indentation", p.lines[p.pos].n)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing "# ..." comment, respecting quotes.
+func stripComment(line string) string {
+	inS, inD := false, false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '#':
+			if !inS && !inD {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, fmt.Errorf("yaml: unexpected end of input")
+	}
+	if isListItem(p.lines[p.pos].text) {
+		return p.parseList(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func isListItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+func (p *yamlParser) parseMap(indent int) (map[string]any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		if line.indent != indent || isListItem(line.text) {
+			break
+		}
+		key, rest, err := splitKey(line)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("yaml line %d: duplicate key %q", line.n, key)
+		}
+		p.pos++
+		if rest != "" {
+			m[key], err = parseScalar(rest, line.n)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// "key:" introduces a nested block (or an empty value at end of
+		// input / before a shallower line).
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = nil
+		}
+	}
+	if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+		return nil, fmt.Errorf("yaml line %d: unexpected indentation", p.lines[p.pos].n)
+	}
+	return m, nil
+}
+
+func (p *yamlParser) parseList(indent int) ([]any, error) {
+	l := []any{}
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		if line.indent != indent || !isListItem(line.text) {
+			break
+		}
+		content := strings.TrimSpace(strings.TrimPrefix(line.text, "-"))
+		if content == "" {
+			// "-" alone: the item is the nested block below.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("yaml line %d: empty list item", line.n)
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			l = append(l, v)
+			continue
+		}
+		if k := keyOf(content); k != "" {
+			// "- key: value": a map item whose first entry rides the
+			// dash line; continuation entries are the deeper-indented
+			// lines that follow. Rewrite the dash line as its content at
+			// that deeper indent and let parseMap consume everything.
+			itemIndent := indent + 2
+			if p.pos+1 < len(p.lines) && p.lines[p.pos+1].indent > indent && !isListItem(p.lines[p.pos+1].text) {
+				itemIndent = p.lines[p.pos+1].indent
+			}
+			p.lines[p.pos] = yamlLine{indent: itemIndent, text: content, n: line.n}
+			v, err := p.parseMap(itemIndent)
+			if err != nil {
+				return nil, err
+			}
+			l = append(l, v)
+			continue
+		}
+		p.pos++
+		v, err := parseScalar(content, line.n)
+		if err != nil {
+			return nil, err
+		}
+		l = append(l, v)
+	}
+	return l, nil
+}
+
+// keyOf returns the map key when text looks like "key:" or
+// "key: value" with a plain identifier key, else "".
+func keyOf(text string) string {
+	i := strings.IndexByte(text, ':')
+	if i <= 0 || (i+1 < len(text) && text[i+1] != ' ') {
+		return ""
+	}
+	key := strings.TrimSpace(text[:i])
+	for _, c := range key {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-') {
+			return ""
+		}
+	}
+	return key
+}
+
+func splitKey(line yamlLine) (key, rest string, err error) {
+	key = keyOf(line.text)
+	if key == "" {
+		return "", "", fmt.Errorf("yaml line %d: expected \"key: value\", got %q", line.n, line.text)
+	}
+	i := strings.IndexByte(line.text, ':')
+	return key, strings.TrimSpace(line.text[i+1:]), nil
+}
+
+func parseScalar(s string, lineNo int) (any, error) {
+	switch {
+	case strings.HasPrefix(s, "{"):
+		if !strings.HasSuffix(s, "}") {
+			return nil, fmt.Errorf("yaml line %d: unterminated flow map %q", lineNo, s)
+		}
+		m := map[string]any{}
+		for _, part := range splitFlow(s[1 : len(s)-1]) {
+			k := keyOf(part)
+			if k == "" {
+				return nil, fmt.Errorf("yaml line %d: bad flow map entry %q", lineNo, part)
+			}
+			v, err := parseScalar(strings.TrimSpace(part[strings.IndexByte(part, ':')+1:]), lineNo)
+			if err != nil {
+				return nil, err
+			}
+			m[k] = v
+		}
+		return m, nil
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yaml line %d: unterminated flow list %q", lineNo, s)
+		}
+		l := []any{}
+		for _, part := range splitFlow(s[1 : len(s)-1]) {
+			v, err := parseScalar(part, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			l = append(l, v)
+		}
+		return l, nil
+	case len(s) >= 2 && (s[0] == '"' && s[len(s)-1] == '"' || s[0] == '\'' && s[len(s)-1] == '\''):
+		return s[1 : len(s)-1], nil
+	default:
+		return s, nil
+	}
+}
+
+// splitFlow splits "a: 1, b: 2" on commas (no nesting inside flow
+// collections — the profile subset never needs it).
+func splitFlow(s string) []string {
+	var parts []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}

@@ -1,0 +1,80 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLProfileShape(t *testing.T) {
+	src := `
+# a comment
+name: demo
+seed: 7
+interval: 30m          # trailing comment
+phases:
+  - name: night
+    duration: 6h
+    qps: 4.5
+    mix: {point: 0.7, join: 0.25, heavy: 0.05}
+    slo:
+      p99: 80ms
+      shed_rate: 0.01
+  - name: burst
+    duration: 2h
+    pattern: burst
+events:
+  - at: 3h
+    kind: maintenance
+tags: [a, 'b c', "d#e"]
+`
+	v, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	if m["name"] != "demo" || m["seed"] != "7" || m["interval"] != "30m" {
+		t.Fatalf("scalars = %v %v %v", m["name"], m["seed"], m["interval"])
+	}
+	phases := m["phases"].([]any)
+	if len(phases) != 2 {
+		t.Fatalf("phases = %d items", len(phases))
+	}
+	night := phases[0].(map[string]any)
+	if night["name"] != "night" || night["qps"] != "4.5" {
+		t.Fatalf("night = %v", night)
+	}
+	mix := night["mix"].(map[string]any)
+	if mix["join"] != "0.25" {
+		t.Fatalf("flow map mix = %v", mix)
+	}
+	slo := night["slo"].(map[string]any)
+	if slo["p99"] != "80ms" || slo["shed_rate"] != "0.01" {
+		t.Fatalf("nested slo = %v", slo)
+	}
+	if phases[1].(map[string]any)["pattern"] != "burst" {
+		t.Fatalf("second item = %v", phases[1])
+	}
+	events := m["events"].([]any)
+	if events[0].(map[string]any)["kind"] != "maintenance" {
+		t.Fatalf("events = %v", events)
+	}
+	tags := m["tags"].([]any)
+	if len(tags) != 3 || tags[1] != "b c" || tags[2] != "d#e" {
+		t.Fatalf("flow list with quotes = %v", tags)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	for _, tc := range []struct{ name, src, wantSub string }{
+		{"tab indent", "a:\n\tb: 1", "tab"},
+		{"bad line", "a:\n  !!!", "key: value"},
+		{"dup key", "a: 1\na: 2", "duplicate"},
+		{"stray indent", "a: 1\n   b: 2", "indentation"},
+		{"unterminated flow", "a: {x: 1", "unterminated"},
+	} {
+		_, err := parseYAML([]byte(tc.src))
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}

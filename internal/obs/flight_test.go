@@ -67,6 +67,93 @@ func TestFlightRecorderRingRetention(t *testing.T) {
 	}
 }
 
+// TestFlightRecorderWraparoundConcurrent hammers the completed ring
+// with concurrent writers well past its capacity while readers scrape
+// it, then checks the invariants the live /queries/recent endpoint
+// depends on: the ring never exceeds capacity, the all-time counter is
+// exact, every retained record is one of the newest `capacity`
+// completions per writer's ordering, and Recent stays newest-first
+// consistent (no torn or zero records surfaced mid-overwrite).
+func TestFlightRecorderWraparoundConcurrent(t *testing.T) {
+	const (
+		capacity = 8
+		writers  = 4
+		perW     = 250
+	)
+	f := NewFlightRecorder(capacity)
+	done := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < perW; i++ {
+				id := uint64(w*perW + i + 1)
+				f.Start(QueryRecord{TraceID: id, Text: "wrap", Start: time.Now()})
+				f.SetStage(id, StageExecute)
+				f.Finish(id, OutcomeOK, func(r *QueryRecord) { r.Tuples = int64(id) })
+			}
+		}(w)
+	}
+	// Concurrent readers: every observed snapshot must already satisfy
+	// the ring invariants, not just the final state.
+	stop := make(chan struct{})
+	readerDone := make(chan error, 1)
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := f.Recent()
+			if len(rec) > capacity {
+				readerDone <- fmt.Errorf("mid-run ring holds %d > capacity %d", len(rec), capacity)
+				return
+			}
+			for _, r := range rec {
+				if r.TraceID == 0 || r.Outcome != OutcomeOK {
+					readerDone <- fmt.Errorf("torn record surfaced: %+v", r)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		<-done
+	}
+	close(stop)
+	if err, ok := <-readerDone; ok && err != nil {
+		t.Fatal(err)
+	}
+
+	if got := f.TotalCompleted(); got != writers*perW {
+		t.Fatalf("total completed = %d, want %d", got, writers*perW)
+	}
+	rec := f.Recent()
+	if len(rec) != capacity {
+		t.Fatalf("ring holds %d records, want capacity %d", len(rec), capacity)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range rec {
+		if seen[r.TraceID] {
+			t.Fatalf("trace %d retained twice", r.TraceID)
+		}
+		seen[r.TraceID] = true
+		if r.Tuples != int64(r.TraceID) {
+			t.Fatalf("record %d carries tuples %d — Finish mutation torn", r.TraceID, r.Tuples)
+		}
+		// Each writer finishes its IDs in ascending order, so any
+		// retained ID must be within the last `capacity` completions of
+		// its writer: id > perW - capacity within the writer's range.
+		if (r.TraceID-1)%perW < perW-capacity {
+			t.Fatalf("stale record %d survived wraparound", r.TraceID)
+		}
+	}
+	if len(f.InFlight()) != 0 {
+		t.Fatal("records left in flight")
+	}
+}
+
 func TestFlightRecorderTextTruncation(t *testing.T) {
 	f := NewFlightRecorder(2)
 	long := strings.Repeat("x", 5000)

@@ -1,9 +1,16 @@
 package obs
 
 import (
+	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 )
+
+// ErrHistogramLayout is returned (wrapped) by Histogram.Merge when the
+// two histograms do not share a bucket layout: adding their per-bucket
+// counters would silently misbin every sample. Test with errors.Is.
+var ErrHistogramLayout = errors.New("obs: histogram bucket layouts differ")
 
 // Histogram is a fixed-bucket latency/size histogram. The bucket
 // layout is chosen at construction and never changes, so the record
@@ -177,15 +184,19 @@ func (h *Histogram) clamp(v int64) int64 {
 }
 
 // Merge adds other's counters into h. The two histograms must share a
-// bucket layout; Merge is a no-op on a layout mismatch (merging
-// incompatible layouts would silently misbin).
-func (h *Histogram) Merge(other *Histogram) {
-	if h == nil || other == nil || len(h.bounds) != len(other.bounds) {
-		return
+// bucket layout; a mismatch leaves h untouched and returns a typed
+// error wrapping ErrHistogramLayout (merging incompatible layouts would
+// silently misbin every sample). Merging a nil other is a no-op.
+func (h *Histogram) Merge(other *Histogram) error {
+	if h == nil || other == nil {
+		return nil
+	}
+	if len(h.bounds) != len(other.bounds) {
+		return fmt.Errorf("%w: %d buckets vs %d", ErrHistogramLayout, len(h.bounds), len(other.bounds))
 	}
 	for i := range h.bounds {
 		if h.bounds[i] != other.bounds[i] {
-			return
+			return fmt.Errorf("%w: bound %d is %d vs %d", ErrHistogramLayout, i, h.bounds[i], other.bounds[i])
 		}
 	}
 	for i := range h.counts {
@@ -207,6 +218,7 @@ func (h *Histogram) Merge(other *Histogram) {
 			break
 		}
 	}
+	return nil
 }
 
 // HistogramSnapshot is an immutable copy of a histogram's state.
@@ -237,6 +249,73 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Counts[i] = h.counts[i].Load()
 	}
 	return s
+}
+
+// Sub returns the per-bucket difference s - prev, for turning two
+// cumulative snapshots of one live histogram into the distribution of
+// just the samples recorded between them (per-interval quantiles,
+// autoscaler reaction windows). The snapshots must come from the same
+// histogram (same layout); Sub returns a zero snapshot otherwise.
+// Negative differences clamp to zero.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if len(s.Bounds) != len(prev.Bounds) || len(s.Counts) != len(prev.Counts) {
+		return HistogramSnapshot{}
+	}
+	d := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Count:  max(0, s.Count-prev.Count),
+		Sum:    max(0, s.Sum-prev.Sum),
+		Max:    s.Max,
+	}
+	for i := range s.Counts {
+		d.Counts[i] = max(0, s.Counts[i]-prev.Counts[i])
+	}
+	return d
+}
+
+// Quantile estimates the q-th quantile of a snapshot by the same
+// linear interpolation the live histogram uses (the overflow bucket
+// interpolates toward Max). It works on Sub deltas too, where the live
+// histogram's own Quantile would mix in every older sample.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			var lo int64
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Max
+			if i < len(s.Bounds) && s.Bounds[i] < hi {
+				hi = s.Bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			v := lo + int64(frac*float64(hi-lo))
+			if v > s.Max && s.Max > 0 {
+				v = s.Max
+			}
+			return v
+		}
+		cum += c
+	}
+	return s.Max
 }
 
 // Histogram returns the named histogram, creating it with the given

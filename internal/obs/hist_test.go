@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -92,18 +93,83 @@ func TestHistogramMerge(t *testing.T) {
 		a.Observe(i * 1000)
 		b.Observe(i * 2000)
 	}
-	a.Merge(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("same-layout merge failed: %v", err)
+	}
 	if a.Count() != 200 {
 		t.Fatalf("merged count=%d, want 200", a.Count())
 	}
 	if a.Max() != 200_000 {
 		t.Fatalf("merged max=%d, want 200000", a.Max())
 	}
-	// A layout mismatch is ignored, never mixed in.
-	c := NewHistogram([]int64{1, 2, 3})
-	a.Merge(c)
-	if a.Count() != 200 {
-		t.Fatalf("mismatched merge changed count to %d, want 200 untouched", a.Count())
+}
+
+// TestHistogramMergeLayoutMismatch pins the satellite contract: merging
+// histograms with different bucket layouts returns the typed
+// ErrHistogramLayout, never panics, and leaves the receiver untouched —
+// for a different bucket count and for equal counts with different
+// bounds.
+func TestHistogramMergeLayoutMismatch(t *testing.T) {
+	a := NewHistogram(DurationBuckets())
+	for i := int64(1); i <= 50; i++ {
+		a.Observe(i * 1000)
+	}
+	shorter := NewHistogram([]int64{1, 2, 3})
+	shorter.Observe(2)
+	sameLenDiffBounds := NewHistogram(func() []int64 {
+		b := DurationBuckets()
+		b[3]++
+		return b
+	}())
+	sameLenDiffBounds.Observe(1)
+	for _, other := range []*Histogram{shorter, sameLenDiffBounds} {
+		err := a.Merge(other)
+		if err == nil {
+			t.Fatal("mismatched merge returned nil error")
+		}
+		if !errors.Is(err, ErrHistogramLayout) {
+			t.Fatalf("mismatched merge error %v, want errors.Is ErrHistogramLayout", err)
+		}
+		if a.Count() != 50 || a.Sum() != 50*51/2*1000 {
+			t.Fatalf("mismatched merge mutated receiver: count=%d sum=%d", a.Count(), a.Sum())
+		}
+	}
+	// Nil receiver and nil other are no-ops, not errors.
+	var nilH *Histogram
+	if err := nilH.Merge(a); err != nil {
+		t.Fatalf("nil receiver merge: %v", err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil other merge: %v", err)
+	}
+}
+
+// TestHistogramSnapshotDelta checks Sub + snapshot Quantile: the
+// quantiles of a delta window reflect only the samples recorded inside
+// it, unpolluted by history.
+func TestHistogramSnapshotDelta(t *testing.T) {
+	h := NewHistogram(DurationBuckets())
+	for i := 0; i < 1000; i++ {
+		h.Observe(int64(20 * time.Microsecond)) // old regime: fast
+	}
+	prev := h.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(80 * time.Millisecond)) // new regime: slow
+	}
+	delta := h.Snapshot().Sub(prev)
+	if delta.Count != 100 {
+		t.Fatalf("delta count=%d, want 100", delta.Count)
+	}
+	p50 := delta.Quantile(0.5)
+	if p50 < int64(20*time.Millisecond) {
+		t.Errorf("delta p50=%v still dominated by pre-window samples", time.Duration(p50))
+	}
+	if full := h.Quantile(0.5); full > int64(time.Millisecond) {
+		t.Errorf("full-history p50=%v should stay in the fast regime (1000 fast vs 100 slow)", time.Duration(full))
+	}
+	// Mismatched snapshots yield a zero value, not a panic.
+	if z := delta.Sub(NewHistogram([]int64{1}).Snapshot()); z.Count != 0 {
+		t.Errorf("mismatched Sub count=%d, want 0", z.Count)
 	}
 }
 

@@ -31,6 +31,7 @@ type Server struct {
 	flight *FlightRecorder
 	ln     net.Listener
 	srv    *http.Server
+	mux    *http.ServeMux
 }
 
 // StartServer listens on addr (":0" picks a free port) and serves the
@@ -53,9 +54,22 @@ func StartServer(addr string, reg *Registry, spans *Tracker, flight *FlightRecor
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close.
 	return s, nil
+}
+
+// Handle registers an extra endpoint on the introspection mux —
+// subsystems layered above obs (the load generator's live /loadgen
+// timeline) expose their documents through the same server. Must be
+// called before traffic arrives at the pattern; registering a pattern
+// twice panics, as with any ServeMux.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	if s == nil {
+		return
+	}
+	s.mux.Handle(pattern, h)
 }
 
 // Addr returns the bound address ("127.0.0.1:43781").

@@ -21,7 +21,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 	write := func(name, typ string, v float64) error {
 		n := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, typ); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", n, helpFor(name), n, typ); err != nil {
 			return err
 		}
 		_, err := fmt.Fprintf(w, "%s %g\n", n, v)
@@ -55,7 +55,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		h := r.histograms[name]
 		s := h.Snapshot()
 		n := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", n, helpFor(name), n); err != nil {
 			return err
 		}
 		var cum int64
@@ -82,6 +82,49 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// promHelp maps registry metric names to their # HELP text. Names not
+// listed fall back to a subsystem-prefix description so every exported
+// family still carries a non-empty HELP line (real Prometheus scrapers
+// warn on families without one).
+var promHelp = map[string]string{
+	"server.sessions":          "Client sessions accepted over the wire protocol.",
+	"server.queries":           "Queries received by the service path.",
+	"server.slow_queries":      "Queries whose total latency exceeded the slow-query threshold.",
+	"sched.admitted":           "Jobs admitted by the scheduler into a priority lane.",
+	"sched.shed":               "Jobs rejected at admission because the lane queue was full.",
+	"sched.queue_depth":        "Jobs currently queued across all lanes, waiting for a runner.",
+	"sched.runners_busy":       "Runners currently executing a job.",
+	"sched.runners":            "Current size of the runner pool (moves when autoscaling).",
+	"sched.runner_utilization": "Busy runners as a fraction of the pool size.",
+	"sched.scale_ups":          "Autoscaler decisions that grew the runner pool.",
+	"sched.scale_downs":        "Autoscaler decisions that shrank the runner pool.",
+}
+
+// promHelpPrefixes supplies HELP text by subsystem when no exact entry
+// exists; ordered most-specific first.
+var promHelpPrefixes = []struct{ prefix, help string }{
+	{"sched.admit_wait_ns", "Nanoseconds a job waited between admission and dispatch."},
+	{"sched.exec_ns", "Nanoseconds a runner spent executing a job."},
+	{"server.stream_ns", "Nanoseconds spent streaming result tuples to the client."},
+	{"wal.", "Write-ahead-log metric."},
+	{"sched.", "Admission-scheduler metric."},
+	{"server.", "Service-path metric."},
+	{"machine.", "Data-flow machine metric."},
+	{"loadgen.", "Load-generator metric."},
+}
+
+func helpFor(name string) string {
+	if h, ok := promHelp[name]; ok {
+		return h
+	}
+	for _, p := range promHelpPrefixes {
+		if strings.HasPrefix(name, p.prefix) {
+			return p.help
+		}
+	}
+	return "Registry metric " + name + "."
 }
 
 // promName sanitizes a registry metric name ("machine.outer_ring_bytes")

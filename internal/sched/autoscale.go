@@ -1,0 +1,223 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dfdbm/internal/obs"
+)
+
+// AutoscaleConfig parameterizes the runner-pool control loop.
+type AutoscaleConfig struct {
+	// Min and Max bound the pool. Defaults: Min = the scheduler's
+	// initial Runners, Max = the scheduler's MaxRunners.
+	Min, Max int
+	// Interval is the control-loop tick. Default 250ms.
+	Interval time.Duration
+	// HighDepth is the queued-jobs-per-runner ratio above which the pool
+	// is considered underprovisioned. Default 1.0 (one full backlog).
+	HighDepth float64
+	// HighWait is the admission-wait p95 (over the last interval, all
+	// lanes combined) above which the pool is underprovisioned.
+	// Default 10ms.
+	HighWait time.Duration
+	// LowUtil is the busy-runner fraction below which (with an empty
+	// queue) the pool is overprovisioned. Default 0.4.
+	LowUtil float64
+	// Hold is how many consecutive ticks a signal must persist before
+	// the loop acts — hysteresis against one-tick spikes. Default 2.
+	Hold int
+	// Cooldown is the minimum time between scale actions, so a scale-up
+	// gets to drain the backlog before being judged. Default 1s.
+	Cooldown time.Duration
+}
+
+func (c AutoscaleConfig) withDefaults(s *Scheduler) AutoscaleConfig {
+	if c.Min <= 0 {
+		c.Min = s.Runners()
+	}
+	if c.Max <= 0 {
+		c.Max = s.cfg.MaxRunners
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.HighDepth <= 0 {
+		c.HighDepth = 1.0
+	}
+	if c.HighWait <= 0 {
+		c.HighWait = 10 * time.Millisecond
+	}
+	if c.LowUtil <= 0 {
+		c.LowUtil = 0.4
+	}
+	if c.Hold <= 0 {
+		c.Hold = 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	return c
+}
+
+// Autoscaler resizes a Scheduler's runner pool between Min and Max by
+// watching the signals the scheduler already exports: queue depth,
+// runner utilization, and the per-lane admission-wait histograms (read
+// as per-interval snapshot deltas, so decisions reflect the last tick,
+// not all history). Scale-up is multiplicative (double, clamped) —
+// bursts need capacity now; scale-down is additive (one runner) —
+// giving capacity back is cheap to undo. Both directions require the
+// signal to hold for Hold consecutive ticks and respect a Cooldown
+// after any action, so the loop does not thrash on noise.
+type Autoscaler struct {
+	s        *Scheduler
+	cfg      AutoscaleConfig
+	obs      *obs.Observer
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	prev       [numLanes]obs.HistogramSnapshot
+	upHold     int
+	downHold   int
+	lastAction time.Time
+}
+
+// StartAutoscaler attaches a control loop to the scheduler and starts
+// it. Stop it before closing the scheduler.
+func StartAutoscaler(s *Scheduler, cfg AutoscaleConfig) *Autoscaler {
+	a := &Autoscaler{
+		s:    s,
+		cfg:  cfg.withDefaults(s),
+		obs:  s.Obs(),
+		stop: make(chan struct{}),
+	}
+	for l := LaneHigh; l < numLanes; l++ {
+		a.prev[l] = s.admitWaitHist[l].Snapshot()
+	}
+	if a.cfg.Min > s.Runners() {
+		s.SetRunners(a.cfg.Min)
+	}
+	a.wg.Add(1)
+	go a.loop()
+	return a
+}
+
+// Stop halts the control loop. The pool keeps its current size.
+// Idempotent and nil-safe.
+func (a *Autoscaler) Stop() {
+	if a == nil {
+		return
+	}
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.wg.Wait()
+}
+
+func (a *Autoscaler) loop() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.tick()
+		}
+	}
+}
+
+// intervalWaitP95 returns the p95 admission wait across all lanes over
+// the window since the previous tick, by differencing histogram
+// snapshots and summing the per-lane deltas bucket-wise (all lanes
+// share the DurationBuckets layout).
+func (a *Autoscaler) intervalWaitP95() time.Duration {
+	var combined obs.HistogramSnapshot
+	for l := LaneHigh; l < numLanes; l++ {
+		cur := a.s.admitWaitHist[l].Snapshot()
+		d := cur.Sub(a.prev[l])
+		a.prev[l] = cur
+		if d.Count == 0 {
+			continue
+		}
+		if combined.Counts == nil {
+			combined = d
+			continue
+		}
+		for i := range combined.Counts {
+			combined.Counts[i] += d.Counts[i]
+		}
+		combined.Count += d.Count
+		combined.Sum += d.Sum
+		if d.Max > combined.Max {
+			combined.Max = d.Max
+		}
+	}
+	return time.Duration(combined.Quantile(0.95))
+}
+
+func (a *Autoscaler) tick() {
+	s := a.s
+	s.mu.Lock()
+	depth, busy, target := s.queued, s.busy, s.target
+	draining := s.draining || s.closed
+	s.mu.Unlock()
+	if draining {
+		return
+	}
+	waitP95 := a.intervalWaitP95()
+	util := float64(busy) / float64(target)
+
+	overloaded := float64(depth) >= a.cfg.HighDepth*float64(target) || waitP95 >= a.cfg.HighWait
+	idle := depth == 0 && util <= a.cfg.LowUtil
+	switch {
+	case overloaded:
+		a.upHold++
+		a.downHold = 0
+	case idle:
+		a.downHold++
+		a.upHold = 0
+	default:
+		a.upHold, a.downHold = 0, 0
+	}
+
+	cooled := a.lastAction.IsZero() || time.Since(a.lastAction) >= a.cfg.Cooldown
+	if a.upHold >= a.cfg.Hold && cooled && target < a.cfg.Max {
+		next := min(a.cfg.Max, target*2)
+		got := s.SetRunners(next)
+		a.record("sched.scale_ups", target, got, depth, waitP95)
+		a.lastAction = time.Now()
+		a.upHold = 0
+		return
+	}
+	if a.downHold >= a.cfg.Hold && cooled && target > a.cfg.Min {
+		got := s.SetRunners(max(a.cfg.Min, target-1))
+		a.record("sched.scale_downs", target, got, depth, waitP95)
+		a.lastAction = time.Now()
+		a.downHold = 0
+	}
+}
+
+func (a *Autoscaler) record(counter string, from, to, depth int, waitP95 time.Duration) {
+	if a.obs.MetricsOn() {
+		a.obs.Registry().Inc(counter, 1)
+	}
+	if a.obs.Enabled() {
+		dir := "up"
+		if counter == "sched.scale_downs" {
+			dir = "down"
+		}
+		a.obs.Emit(obs.Event{
+			TS:    time.Since(a.s.start),
+			Kind:  obs.EvNote,
+			Comp:  "sched",
+			Query: -1, Instr: -1, Page: -1,
+			Msg: fmt.Sprintf("autoscale %s: runners %d→%d (depth=%d wait_p95=%v)",
+				dir, from, to, depth, waitP95.Round(time.Microsecond)),
+		})
+	}
+}

@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dfdbm/internal/obs"
+	"dfdbm/internal/query"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSetRunnersGrowsConcurrency: a pool of 1 serializes conflict-free
+// jobs; growing it to 4 lets queued jobs run concurrently at the new
+// width, without dropping or reordering anything.
+func TestSetRunnersGrowsConcurrency(t *testing.T) {
+	s := New(Config{Runners: 1, MaxRunners: 8, QueueDepth: 32})
+	defer s.Close()
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var ran int32
+	var outs []<-chan Outcome
+	for i := 0; i < 4; i++ {
+		out, err := s.Submit(waitJob(fmt.Sprintf("s%d", i), fp([]string{"r1"}, nil), release, &ran, &mu))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	waitFor(t, "the single runner to start one job", func() bool { return s.RunningCount() == 1 })
+	if got := s.QueueDepth(); got != 3 {
+		t.Fatalf("queue depth %d before grow, want 3", got)
+	}
+
+	if got := s.SetRunners(4); got != 4 {
+		t.Fatalf("SetRunners(4) = %d", got)
+	}
+	waitFor(t, "all four jobs running after grow", func() bool { return s.RunningCount() == 4 })
+	close(release)
+	for _, out := range outs {
+		if o := <-out; o.Err != nil {
+			t.Fatalf("job failed across resize: %v", o.Err)
+		}
+	}
+}
+
+// TestSetRunnersShrinkIsLazyAndClamped: shrinking never interrupts a
+// running job — dispatch width drops at once, and surplus runners
+// retire as they go idle. Bounds clamp to [1, MaxRunners].
+func TestSetRunnersShrinkIsLazyAndClamped(t *testing.T) {
+	s := New(Config{Runners: 4, MaxRunners: 6, QueueDepth: 32})
+	defer s.Close()
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var ran int32
+	var outs []<-chan Outcome
+	for i := 0; i < 4; i++ {
+		out, err := s.Submit(waitJob(fmt.Sprintf("s%d", i), fp([]string{"r1"}, nil), release, &ran, &mu))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	waitFor(t, "all four jobs running", func() bool { return s.RunningCount() == 4 })
+
+	if got := s.SetRunners(2); got != 2 {
+		t.Fatalf("SetRunners(2) = %d", got)
+	}
+	// The four in-flight jobs keep running to completion.
+	if s.RunningCount() != 4 {
+		t.Fatal("shrink interrupted running jobs")
+	}
+	// New work dispatches at the reduced width.
+	out5, err := s.Submit(waitJob("s5", fp([]string{"r1"}, nil), release, &ran, &mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs = append(outs, out5)
+	close(release)
+	for _, out := range outs {
+		if o := <-out; o.Err != nil {
+			t.Fatalf("job failed across shrink: %v", o.Err)
+		}
+	}
+	waitFor(t, "surplus runners to retire", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.alive == 2 && s.pendingStops == 0
+	})
+
+	if got := s.SetRunners(0); got != 1 {
+		t.Errorf("SetRunners(0) = %d, want clamp to 1", got)
+	}
+	if got := s.SetRunners(100); got != 6 {
+		t.Errorf("SetRunners(100) = %d, want clamp to MaxRunners 6", got)
+	}
+	// Grow after shrink retracts tokens / spawns as needed and still
+	// executes work at the new width.
+	waitFor(t, "pool to settle at 6", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.alive == 6 && s.pendingStops == 0
+	})
+}
+
+// TestSetRunnersChurn hammers resize against live traffic: every job
+// must complete exactly once regardless of concurrent grow/shrink.
+func TestSetRunnersChurn(t *testing.T) {
+	s := New(Config{Runners: 2, MaxRunners: 16, QueueDepth: 256})
+	defer s.Close()
+	const jobs = 200
+	var outs []<-chan Outcome
+	stop := make(chan struct{})
+	go func() {
+		sizes := []int{1, 8, 3, 16, 2, 5}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				s.SetRunners(sizes[i%len(sizes)])
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	for i := 0; i < jobs; i++ {
+		out, err := s.Submit(&Job{
+			Session: fmt.Sprintf("s%d", i%7), Label: "churn", QueryID: -1,
+			Footprint: query.Footprint{Reads: []string{"r1"}},
+			Exec: func(context.Context) (any, error) {
+				time.Sleep(50 * time.Microsecond)
+				return 1, nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		outs = append(outs, out)
+	}
+	done := 0
+	for _, out := range outs {
+		if o := <-out; o.Err == nil {
+			done++
+		}
+	}
+	close(stop)
+	if done != jobs {
+		t.Fatalf("%d/%d jobs completed across resize churn", done, jobs)
+	}
+}
+
+// TestAutoscalerScalesUpUnderBacklogAndBackDownWhenIdle drives the
+// whole control loop: a sustained backlog on an undersized pool must
+// trigger scale-up (bounded by Max), and a quiet pool must drift back
+// down to Min. Counters record both decisions.
+func TestAutoscalerScalesUpUnderBacklogAndBackDownWhenIdle(t *testing.T) {
+	reg := obs.NewRegistry(0)
+	ob := obs.New(nil, reg)
+	s := New(Config{Runners: 1, MaxRunners: 8, QueueDepth: 256, Obs: ob})
+	defer s.Close()
+	a := StartAutoscaler(s, AutoscaleConfig{
+		Min:      1,
+		Max:      8,
+		Interval: 5 * time.Millisecond,
+		Hold:     2,
+		Cooldown: 20 * time.Millisecond,
+	})
+	defer a.Stop()
+
+	// Saturate: many slow conflict-free jobs against one runner.
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var ran int32
+	var outs []<-chan Outcome
+	for i := 0; i < 32; i++ {
+		out, err := s.Submit(waitJob(fmt.Sprintf("s%d", i%4), fp([]string{"r1"}, nil), release, &ran, &mu))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	waitFor(t, "autoscaler to grow the pool", func() bool { return s.Runners() >= 4 })
+	close(release)
+	for _, out := range outs {
+		<-out
+	}
+	if reg.Counter("sched.scale_ups") == 0 {
+		t.Error("no sched.scale_ups recorded")
+	}
+
+	waitFor(t, "autoscaler to shrink the idle pool to Min", func() bool { return s.Runners() == 1 })
+	if reg.Counter("sched.scale_downs") == 0 {
+		t.Error("no sched.scale_downs recorded")
+	}
+	if g, ok := reg.Gauge("sched.runners"); !ok || g != 1 {
+		t.Errorf("sched.runners gauge = %v/%v, want 1", g, ok)
+	}
+}

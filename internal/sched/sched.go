@@ -12,10 +12,13 @@
 // "overloaded" error frame: backpressure reaches the client instead of
 // piling up in the host.
 //
-// Admitted queries are dispatched to a fixed pool of engine runners
-// (goroutines); the scheduler never admits more queries than it has
-// runners, so an admitted query starts immediately and the conflict
-// check is exact: the running set is precisely the admitted set.
+// Admitted queries are dispatched to a pool of engine runners
+// (goroutines); the scheduler never admits more queries than the pool's
+// current target size, so an admitted query starts immediately and the
+// conflict check is exact: the running set is precisely the admitted
+// set. The pool resizes at runtime (SetRunners) between 1 and
+// Config.MaxRunners; an optional Autoscaler closes the loop, steering
+// the size by the queue-depth gauge and admit-wait histograms.
 package sched
 
 import (
@@ -125,8 +128,12 @@ type Outcome struct {
 
 // Config parameterizes a Scheduler.
 type Config struct {
-	// Runners is the engine-runner pool size. Default 4.
+	// Runners is the initial engine-runner pool size. Default 4.
 	Runners int
+	// MaxRunners bounds SetRunners and the autoscaler; the ready channel
+	// is sized to it so dispatch stays non-blocking at any pool size.
+	// Defaults to Runners (a fixed pool).
+	MaxRunners int
 	// QueueDepth bounds the admission queue across all lanes; a full
 	// queue sheds new jobs with ErrOverloaded. Default 64.
 	QueueDepth int
@@ -149,6 +156,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Runners <= 0 {
 		c.Runners = 4
+	}
+	if c.MaxRunners < c.Runners {
+		c.MaxRunners = c.Runners
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
@@ -213,7 +223,18 @@ type Scheduler struct {
 	nextSeq  int64
 	empty    chan struct{} // closed when draining and no work remains
 
+	// Dynamic pool accounting, all under mu. The invariant is
+	// alive - pendingStops == target: every issued stop token retires
+	// exactly one surplus runner, so the pool converges on target
+	// without ever stranding a dispatched job (idle runners always
+	// outnumber buffered jobs).
+	target       int
+	alive        int
+	pendingStops int
+	nextRunner   int
+
 	readyc chan *Job
+	stopc  chan struct{}
 	wg     sync.WaitGroup
 
 	// Histogram pointers resolved once at New so the record paths are
@@ -233,7 +254,9 @@ func New(cfg Config) *Scheduler {
 		ctx:    ctx,
 		cancel: cancel,
 		empty:  make(chan struct{}),
-		readyc: make(chan *Job, cfg.Runners),
+		target: cfg.Runners,
+		readyc: make(chan *Job, cfg.MaxRunners),
+		stopc:  make(chan struct{}, cfg.MaxRunners),
 	}
 	if cfg.Obs.MetricsOn() {
 		reg := cfg.Obs.Registry()
@@ -243,11 +266,21 @@ func New(cfg Config) *Scheduler {
 		s.execHist = reg.Histogram("sched.exec_ns", obs.DurationBuckets())
 		s.depthHist = reg.Histogram("sched.queue_depth_hist", obs.DepthBuckets())
 	}
-	for i := 0; i < cfg.Runners; i++ {
-		s.wg.Add(1)
-		go s.runner(i)
-	}
+	s.mu.Lock()
+	s.spawnLocked(cfg.Runners)
+	s.gauges()
+	s.mu.Unlock()
 	return s
+}
+
+// spawnLocked starts n fresh runners.
+func (s *Scheduler) spawnLocked(n int) {
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		s.alive++
+		go s.runner(s.nextRunner)
+		s.nextRunner++
+	}
 }
 
 // LaneWaitHistogram returns the admission-wait histogram of a lane
@@ -259,8 +292,64 @@ func (s *Scheduler) LaneWaitHistogram(l Lane) *obs.Histogram {
 	return s.admitWaitHist[l]
 }
 
-// Runners returns the runner-pool size.
-func (s *Scheduler) Runners() int { return s.cfg.Runners }
+// Runners returns the current target runner-pool size.
+func (s *Scheduler) Runners() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.target
+}
+
+// MaxRunners returns the pool's upper bound.
+func (s *Scheduler) MaxRunners() int { return s.cfg.MaxRunners }
+
+// SetRunners resizes the runner pool to n, clamped to [1, MaxRunners],
+// and returns the new target. Growth spawns runners immediately (after
+// retracting any not-yet-consumed stop tokens); shrinking issues stop
+// tokens that idle runners retire lazily, so running jobs are never
+// interrupted and the pool drifts down as work completes. No-op while
+// draining or closed.
+func (s *Scheduler) SetRunners(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.cfg.MaxRunners {
+		n = s.cfg.MaxRunners
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed || n == s.target {
+		return s.target
+	}
+	delta := n - s.target
+	s.target = n
+	if delta > 0 {
+		// Retract pending shrink tokens first: each token we win back
+		// keeps one still-alive runner instead of spawning a new one. A
+		// token missing from the channel was grabbed by a runner that is
+		// about to exit (it is blocked on mu to record that); spawn a
+		// replacement for it instead.
+	retract:
+		for delta > 0 && s.pendingStops > 0 {
+			select {
+			case <-s.stopc:
+				s.pendingStops--
+				delta--
+			default:
+				break retract
+			}
+		}
+		s.spawnLocked(delta)
+		s.gauges()
+		s.dispatchLocked()
+		return s.target
+	}
+	for i := 0; i < -delta; i++ {
+		s.stopc <- struct{}{} // never blocks: buffered to MaxRunners ≥ tokens outstanding
+		s.pendingStops++
+	}
+	s.gauges()
+	return s.target
+}
 
 // Submit offers a job. It never blocks: the job is queued (its outcome
 // arrives on the returned channel), or shed with ErrOverloaded /
@@ -329,7 +418,7 @@ func (s *Scheduler) conflictsLocked(j *Job) bool {
 // (deferred) and reconsidered on every completion — the paper's MC
 // scanning its wait queue.
 func (s *Scheduler) dispatchLocked() {
-	for s.busy < s.cfg.Runners {
+	for s.busy < s.target {
 		j := s.pickLocked()
 		if j == nil {
 			return
@@ -342,7 +431,7 @@ func (s *Scheduler) dispatchLocked() {
 		s.count("sched.admitted", 1)
 		s.gauges()
 		s.event(obs.EvAdmit, j, "admit %s lane=%s wait=%v", j.Label, j.Lane, time.Since(j.enqueued).Round(time.Microsecond))
-		s.readyc <- j // never blocks: buffered to Runners, busy < Runners
+		s.readyc <- j // never blocks: buffered to MaxRunners, busy < target ≤ MaxRunners
 	}
 }
 
@@ -418,13 +507,28 @@ func (s *Scheduler) pickFromLaneLocked(l *lane) *Job {
 	return nil
 }
 
-// runner is one engine runner of the pool.
+// runner is one engine runner of the pool. It exits when it draws a
+// shrink token or when the ready channel is drained and closed; a
+// closed channel still yields its buffered jobs first, so shutdown
+// never strands a dispatched job.
 func (s *Scheduler) runner(id int) {
 	defer s.wg.Done()
-	for j := range s.readyc {
-		started := time.Now()
-		v, err := j.Exec(s.ctx)
-		s.finish(j, id, started, v, err)
+	for {
+		select {
+		case <-s.stopc:
+			s.mu.Lock()
+			s.pendingStops--
+			s.alive--
+			s.mu.Unlock()
+			return
+		case j, ok := <-s.readyc:
+			if !ok {
+				return
+			}
+			started := time.Now()
+			v, err := j.Exec(s.ctx)
+			s.finish(j, id, started, v, err)
+		}
 	}
 }
 
@@ -558,7 +662,8 @@ func (s *Scheduler) gauges() {
 	reg := s.cfg.Obs.Registry()
 	reg.SetGauge("sched.queue_depth", float64(s.queued))
 	reg.SetGauge("sched.runners_busy", float64(s.busy))
-	reg.SetGauge("sched.runner_utilization", float64(s.busy)/float64(s.cfg.Runners))
+	reg.SetGauge("sched.runners", float64(s.target))
+	reg.SetGauge("sched.runner_utilization", float64(s.busy)/float64(s.target))
 }
 
 func (s *Scheduler) event(kind obs.EventKind, j *Job, format string, args ...any) {

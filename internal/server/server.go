@@ -63,9 +63,16 @@ type Config struct {
 	// scheduler. Default 4.
 	MaxInflight int
 	// QueueDepth and Runners configure the admission scheduler (see
-	// sched.Config).
+	// sched.Config). MaxRunners bounds runtime pool resizes (defaults
+	// to Runners: a fixed pool).
 	QueueDepth int
 	Runners    int
+	MaxRunners int
+	// Autoscale, when non-nil, attaches a sched.Autoscaler to the
+	// runner pool: the pool resizes between Autoscale.Min and
+	// Autoscale.Max against the scheduler's queue-depth and admit-wait
+	// signals. MaxRunners is raised to Autoscale.Max if below it.
+	Autoscale *sched.AutoscaleConfig
 	// SessionTimeout is the per-session idle deadline: a session with
 	// no in-flight query that sends nothing for this long is closed.
 	// Default 5 minutes.
@@ -184,6 +191,17 @@ type Server struct {
 	// job is queued or running at a time.
 	ckptBusy atomic.Bool
 
+	// execDelay, when positive, is an artificial delay (ns) injected at
+	// the start of every scheduled execution — the load generator's
+	// "node slowdown" fault: queries still run correctly, just slower,
+	// so backlog, shedding, and autoscaling react as they would to a
+	// degraded node.
+	execDelay atomic.Int64
+
+	// autoscaler is the runner-pool control loop (nil without
+	// Config.Autoscale).
+	autoscaler *sched.Autoscaler
+
 	mu       sync.Mutex
 	sessions map[int]*session
 	nextSID  int
@@ -215,11 +233,19 @@ func Start(cat *catalog.Catalog, cfg Config) (*Server, error) {
 		nextSID:  1, // 0 is "no session" on the wire (Hello.SessionID)
 		flight:   cfg.Obs.Flight(),
 	}
+	maxRunners := cfg.MaxRunners
+	if cfg.Autoscale != nil && cfg.Autoscale.Max > maxRunners {
+		maxRunners = cfg.Autoscale.Max
+	}
 	s.sched = sched.New(sched.Config{
 		Runners:    cfg.Runners,
+		MaxRunners: maxRunners,
 		QueueDepth: cfg.QueueDepth,
 		Obs:        cfg.Obs,
 	})
+	if cfg.Autoscale != nil {
+		s.autoscaler = sched.StartAutoscaler(s.sched, *cfg.Autoscale)
+	}
 	s.engine = core.New(cat, core.Options{
 		Granularity: cfg.Granularity,
 		Workers:     cfg.Workers,
@@ -236,6 +262,21 @@ func Start(cat *catalog.Catalog, cfg Config) (*Server, error) {
 
 // Addr returns the bound listen address ("127.0.0.1:43781").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetExecDelay injects (or, with 0, removes) an artificial delay at the
+// start of every scheduled query execution — the load generator's node
+// slowdown fault. Safe to call at any time.
+func (s *Server) SetExecDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.execDelay.Store(int64(d))
+}
+
+// Scheduler exposes the admission scheduler, for control loops layered
+// above the server (the load generator resizes the runner pool through
+// it when comparing fixed and autoscaled configurations).
+func (s *Server) Scheduler() *sched.Scheduler { return s.sched }
 
 // Config returns the server's effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
@@ -318,6 +359,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.event(obs.EvNote, -1, "drain: rejecting new work, finishing in-flight queries")
 	s.ln.Close()
 	s.acceptWg.Wait()
+	s.autoscaler.Stop()
 
 	drainErr := s.sched.Drain(ctx) // nil, or ctx's error after cancelling
 	// Wait for result streams to flush (bounded by ctx).
@@ -351,6 +393,7 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.ln.Close()
 	s.acceptWg.Wait()
+	s.autoscaler.Stop()
 	s.sched.Close()
 	s.closeSessions()
 	s.sessWg.Wait()
@@ -819,6 +862,15 @@ func (c *session) handleQuery(q *wire.Query) {
 		Exec: func(ctx context.Context) (any, error) {
 			if testExecGate != nil {
 				testExecGate(ctx)
+			}
+			if d := s.execDelay.Load(); d > 0 {
+				t := time.NewTimer(time.Duration(d))
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return nil, ctx.Err()
+				}
 			}
 			s.flight.SetStage(traceID, obs.StageExecute)
 			if qspan != nil {

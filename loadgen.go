@@ -1,0 +1,62 @@
+package dfdbm
+
+import (
+	"context"
+	"io"
+
+	"dfdbm/internal/loadgen"
+	"dfdbm/internal/sched"
+)
+
+// Load generation: declarative load profiles replayed against a served
+// database over the wire protocol, with time compression, scheduled
+// disturbances, per-interval SLO verdicts, and a live /loadgen view.
+type (
+	// LoadProfile is a parsed load profile (ParseLoadProfile): phases
+	// with arrival patterns, query mixes, and SLOs, plus events.
+	LoadProfile = loadgen.Profile
+	// LoadRunConfig parameterizes RunLoad.
+	LoadRunConfig = loadgen.RunConfig
+	// LoadControl exposes in-process server hooks (maintenance
+	// checkpoint, slowdown delay, scheduler gauges) to a load run.
+	LoadControl = loadgen.Control
+	// LoadReport is a finished run's timeline and per-phase SLO
+	// verdicts.
+	LoadReport = loadgen.Report
+	// LoadRow is one timeline interval of a load run.
+	LoadRow = loadgen.Row
+	// LoadLive publishes a running replay's timeline as the /loadgen
+	// HTTP endpoint (NewLoadLive).
+	LoadLive = loadgen.Live
+	// AutoscaleConfig bounds the serving scheduler's dynamic runner
+	// pool (ServeConfig.Autoscale): the pool grows toward Max under
+	// queue-depth or admit-wait pressure and shrinks toward Min when
+	// idle.
+	AutoscaleConfig = sched.AutoscaleConfig
+)
+
+// ParseLoadProfile parses a YAML load profile.
+func ParseLoadProfile(src []byte) (*LoadProfile, error) {
+	return loadgen.ParseProfile(src)
+}
+
+// RunLoad replays a profile and returns its timeline report. SLO
+// failure is reported in LoadReport.Pass, not as an error.
+func RunLoad(ctx context.Context, cfg LoadRunConfig) (*LoadReport, error) {
+	return loadgen.Run(ctx, cfg)
+}
+
+// NewLoadLive returns the live timeline endpoint for a replay of the
+// named profile; register it on an ObsServer under /loadgen.
+func NewLoadLive(profile string) *LoadLive { return loadgen.NewLive(profile) }
+
+// WriteLoadCSV writes a run's per-interval timeline as CSV.
+func WriteLoadCSV(w io.Writer, rows []LoadRow) error {
+	return loadgen.WriteCSV(w, rows)
+}
+
+// WriteLoadJSON writes the full report (rows, phase summaries,
+// verdict) as indented JSON.
+func WriteLoadJSON(w io.Writer, rep *LoadReport) error {
+	return loadgen.WriteJSON(w, rep)
+}
