@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"dfdbm"
+	"dfdbm/internal/heap"
+	"dfdbm/internal/obs"
 	"dfdbm/internal/pred"
 	"dfdbm/internal/relalg"
 	"dfdbm/internal/relation"
@@ -335,6 +337,129 @@ func benchKernels(db *dfdbm.DB) ([]benchEntry, error) {
 		entryFrom("kernel/restrict-batch", batch, map[string]float64{"tuples": tuples, "vectorized": vec}),
 		entryFrom("kernel/project-batch", project, map[string]float64{"tuples": tuples}),
 		entryFrom("kernel/restrict-project-fused", fused, map[string]float64{"tuples": tuples, "vectorized": vec}),
+	}, nil
+}
+
+// benchHeap measures the paged-storage path on the paper database's
+// r5: a full scan with the buffer pool far below the relation (every
+// page faults and a victim evicts — the disk-bound cold case), the
+// same scan with the pool above the relation (steady-state cache
+// hits), and stored appends streaming post-image pages through the
+// pool under eviction and write-back pressure.
+func benchHeap(db *dfdbm.DB) ([]benchEntry, error) {
+	src, err := db.Get("r5")
+	if err != nil {
+		return nil, err
+	}
+	n := src.NumPages()
+	adopt := func(name string, frames int, reg *obs.Registry) (*relation.Relation, *heap.Store, error) {
+		dir, err := os.MkdirTemp("", "dfdbm-bench-heap-")
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := heap.OpenStore(dir, frames, obs.New(nil, reg))
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		rel := src.Clone(name)
+		if err := st.Adopt(rel, 1); err != nil {
+			st.Close()
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		return rel, st, nil
+	}
+	coldFrames := n / 8
+	if coldFrames < 2 {
+		coldFrames = 2
+	}
+	coldReg := obs.NewRegistry(time.Second)
+	cold, coldStore, err := adopt("bench_heap_cold", coldFrames, coldReg)
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(coldStore.Dir())
+	defer coldStore.Close()
+	warmReg := obs.NewRegistry(time.Second)
+	warm, warmStore, err := adopt("bench_heap_warm", n+8, warmReg)
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(warmStore.Dir())
+	defer warmStore.Close()
+	appReg := obs.NewRegistry(time.Second)
+	app, appStore, err := adopt("bench_heap_app", coldFrames, appReg)
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(appStore.Dir())
+	defer appStore.Close()
+
+	scan := func(rel *relation.Relation) error {
+		tuples := 0
+		return rel.EachPage(func(pg *relation.Page) error {
+			tuples += pg.TupleCount()
+			return nil
+		})
+	}
+	if err := scan(warm); err != nil { // warm the pool before measuring
+		return nil, err
+	}
+	const appendBatch = 256
+	raw := append([]byte(nil), src.Page(0).RawTuple(0)...)
+
+	rs := benchBestRound(3,
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := scan(cold); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := scan(warm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < appendBatch; j++ {
+					if err := app.InsertRaw(raw); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	hitRate := func(reg *obs.Registry) float64 {
+		hits, misses := float64(reg.Counter("bufpool.hits")), float64(reg.Counter("bufpool.misses"))
+		if hits+misses == 0 {
+			return 0
+		}
+		return hits / (hits + misses)
+	}
+	return []benchEntry{
+		entryFrom("heap/scan-cold", rs[0], map[string]float64{
+			"pages":     float64(n),
+			"frames":    float64(coldFrames),
+			"evictions": float64(coldReg.Counter("bufpool.evictions")),
+			"hit_rate":  hitRate(coldReg),
+		}),
+		entryFrom("heap/scan-warm", rs[1], map[string]float64{
+			"pages":    float64(n),
+			"frames":   float64(n + 8),
+			"hit_rate": hitRate(warmReg),
+		}),
+		entryFrom("heap/append", rs[2], map[string]float64{
+			"tuples_per_op": appendBatch,
+			"frames":        float64(coldFrames),
+			"writebacks":    float64(appReg.Counter("bufpool.writebacks")),
+		}),
 	}, nil
 }
 
@@ -708,6 +833,16 @@ func runBenchJSON(db *dfdbm.DB, queries []*dfdbm.Query, out string, scale float6
 		check(err)
 		rep.Benchmarks = append(rep.Benchmarks, kernels...)
 		for _, k := range kernels {
+			fmt.Fprintf(os.Stderr, "bench:   %-28s %.0f ns/op\n", k.Name, k.NsPerOp)
+		}
+	}
+
+	if filter.match("heap/scan-cold", "heap/scan-warm", "heap/append") {
+		fmt.Fprintln(os.Stderr, "bench: heap storage, cold vs warm scans and stored appends...")
+		hb, err := benchHeap(db)
+		check(err)
+		rep.Benchmarks = append(rep.Benchmarks, hb...)
+		for _, k := range hb {
 			fmt.Fprintf(os.Stderr, "bench:   %-28s %.0f ns/op\n", k.Name, k.NsPerOp)
 		}
 	}

@@ -32,6 +32,8 @@ func cmdLoadgen(db *dfdbm.DB, args []string) {
 	maxRunners := fs.Int("max-runners", 16, "self-hosted: autoscale ceiling for -autoscale")
 	autoscale := fs.Bool("autoscale", false, "self-hosted: autoscale the runner pool (bounds from the profile's autoscale section, else -runners/-max-runners)")
 	queueDepth := fs.Int("queue-depth", 64, "self-hosted: admission queue depth")
+	dataDir := fs.String("data-dir", "", "self-hosted: durable data directory — recover from it on start and write-ahead log every write, serving stored relations through the heap buffer pool")
+	bufferFrames := fs.Int("buffer-frames", 0, "self-hosted with -data-dir: heap buffer-pool frame budget (0 = 1024)")
 	httpAddr := fs.String("http", "", "serve live introspection plus /loadgen on this address during the replay")
 	sloExit := fs.Bool("slo-exit", true, "exit nonzero when the run violates its SLOs")
 	quiet := fs.Bool("quiet", false, "suppress per-interval progress lines")
@@ -63,6 +65,37 @@ func cmdLoadgen(db *dfdbm.DB, args []string) {
 		// profile's maintenance and slowdown events have real hooks and
 		// timeline rows carry the scheduler's gauges.
 		reg = dfdbm.NewMetrics(100 * time.Millisecond)
+		o := dfdbm.NewObserver(nil, reg)
+
+		// With -data-dir the self-hosted server runs the real durable
+		// stack: stored relations live in heap files behind the buffer
+		// pool, and bufpool.* gauges land in the timeline registry — so a
+		// profile can prove SLOs hold while eviction churns.
+		var wlog *dfdbm.WAL
+		if *dataDir != "" {
+			l, recovered, rv, err := dfdbm.OpenWAL(*dataDir, dfdbm.WALOptions{
+				Obs:  o,
+				Heap: &dfdbm.HeapOptions{Frames: *bufferFrames},
+			})
+			check(err)
+			wlog = l
+			// Runs after the deferred srv.Close(): the server is
+			// quiescent, so checkpoint for a fast next recovery.
+			defer func() {
+				if cerr := wlog.Checkpoint(db.Catalog()); cerr != nil {
+					fmt.Fprintf(os.Stderr, "dfdbm: shutdown checkpoint failed: %v\n", cerr)
+				}
+				check(wlog.Close())
+			}()
+			if recovered != nil {
+				db = recovered
+				fmt.Fprintf(os.Stderr, "dfdbm: %s in %v\n", rv, rv.Elapsed.Round(time.Millisecond))
+			} else {
+				check(l.Checkpoint(db.Catalog()))
+				fmt.Fprintf(os.Stderr, "dfdbm: initialized %s with %d relations\n", *dataDir, len(db.Names()))
+			}
+		}
+
 		var as *dfdbm.AutoscaleConfig
 		if *autoscale {
 			as = &dfdbm.AutoscaleConfig{Min: *runners, Max: *maxRunners}
@@ -81,7 +114,8 @@ func cmdLoadgen(db *dfdbm.DB, args []string) {
 			Runners:     *runners,
 			MaxRunners:  *maxRunners,
 			Autoscale:   as,
-			Obs:         dfdbm.NewObserver(nil, reg),
+			WAL:         wlog,
+			Obs:         o,
 		})
 		check(err)
 		defer srv.Close()
@@ -94,6 +128,9 @@ func cmdLoadgen(db *dfdbm.DB, args []string) {
 		mode := fmt.Sprintf("fixed %d runners", *runners)
 		if as != nil {
 			mode = fmt.Sprintf("autoscale %d..%d runners", as.Min, as.Max)
+		}
+		if wlog != nil {
+			mode += fmt.Sprintf(", data-dir=%s", *dataDir)
 		}
 		fmt.Fprintf(os.Stderr, "dfdbm: self-hosted server on %s (%s)\n", srv.Addr(), mode)
 	}

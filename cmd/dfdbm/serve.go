@@ -32,6 +32,7 @@ func cmdServe(db *dfdbm.DB, args []string) {
 	ips := fs.Int("ips", 16, "machine-engine instruction processors per query")
 	slowQuery := fs.Duration("slow-query-threshold", 0, "log queries whose end-to-end time exceeds this (0 disables)")
 	dataDir := fs.String("data-dir", "", "durable data directory: recover from it on start, write-ahead log every write into it")
+	bufferFrames := fs.Int("buffer-frames", 0, "heap buffer-pool frame budget shared by all relations (0 = 1024); relations larger than it scan through CLOCK eviction")
 	fsyncMode := fs.String("fsync", "commit", "WAL durability: commit (fsync before every ack) or none")
 	checkpointEvery := fs.Int64("checkpoint-every", 0, "auto-checkpoint once the log grows this many bytes past the last checkpoint (0 = 8 MiB, negative disables)")
 	segmentSize := fs.Int64("wal-segment-size", 0, "WAL segment rotation threshold in bytes (0 = 16 MiB)")
@@ -61,11 +62,16 @@ func cmdServe(db *dfdbm.DB, args []string) {
 		if *crashWrite > 0 || *crashSync > 0 {
 			inj = &dfdbm.WALInjector{FailWrite: *crashWrite, FailSync: *crashSync, Torn: *crashTorn, Hard: true}
 		}
+		// Heap-file storage is the data directory's native mode: each
+		// relation lives in its own slotted file behind the shared
+		// buffer pool. Pre-heap (snapshot-era) directories migrate on
+		// first open.
 		l, recovered, rv, err := dfdbm.OpenWAL(*dataDir, dfdbm.WALOptions{
 			SegmentSize: *segmentSize,
 			Fsync:       policy,
 			Obs:         o,
 			Injector:    inj,
+			Heap:        &dfdbm.HeapOptions{Frames: *bufferFrames},
 		})
 		check(err)
 		wlog = l
@@ -175,10 +181,19 @@ func cmdWal(args []string) {
 					fmt.Fprintf(os.Stderr, "dfdbm: segment %s: %s\n", sg.Name, sg.Err)
 				}
 			}
+			for _, h := range rp.Heap {
+				if h.Err != nil {
+					fmt.Fprintf(os.Stderr, "dfdbm: heap file %s: %v\n", h.Rel, h.Err)
+				}
+			}
 			os.Exit(1)
 		}
-		fmt.Printf("dfdbm: %s clean: %d snapshots, %d segments, %d records (LSN %d..%d)\n",
-			*dataDir, len(rp.Snapshots), len(rp.Segments), rp.Records, rp.FirstLSN, rp.LastLSN)
+		heapNote := ""
+		if len(rp.Heap) > 0 {
+			heapNote = fmt.Sprintf(", %d heap files", len(rp.Heap))
+		}
+		fmt.Printf("dfdbm: %s clean: %d snapshots, %d segments%s, %d records (LSN %d..%d)\n",
+			*dataDir, len(rp.Snapshots), len(rp.Segments), heapNote, rp.Records, rp.FirstLSN, rp.LastLSN)
 		return
 	}
 
@@ -190,6 +205,17 @@ func cmdWal(args []string) {
 			status = sn.Err
 		}
 		fmt.Printf("  %-28s cover %-6d %8dB  %s\n", sn.Name, sn.CoverLSN, sn.Bytes, status)
+	}
+	if len(rp.Heap) > 0 {
+		fmt.Printf("heap files (%d):\n", len(rp.Heap))
+		for _, h := range rp.Heap {
+			status := "ok"
+			if h.Err != nil {
+				status = h.Err.Error()
+			}
+			fmt.Printf("  %-20s %5d pages %8d tuples  base lsn %-6d %10dB on disk  %s\n",
+				h.Rel, h.Pages, h.Tuples, h.BaseLSN, h.Bytes, status)
+		}
 	}
 	fmt.Printf("segments (%d):\n", len(rp.Segments))
 	for _, sg := range rp.Segments {

@@ -28,6 +28,11 @@ type (
 	WALRecord = wal.Record
 	// FsyncPolicy says when the log forces records to stable storage.
 	FsyncPolicy = wal.FsyncPolicy
+	// HeapOptions (WALOptions.Heap) switches the data directory to
+	// paged heap-file storage: one slotted file per relation behind a
+	// pinning buffer pool with CLOCK eviction, per-relation
+	// checkpoints, and page-level WAL replay.
+	HeapOptions = wal.HeapOptions
 )
 
 // Fsync policies for WALOptions.Fsync.

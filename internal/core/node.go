@@ -345,33 +345,43 @@ func (r *engineRun) shutdown() {
 
 // feedScan streams the pages of a source relation to the consumer. At
 // tuple granularity each page is split into single-tuple tokens.
+// EachPage walks disk-backed relations one pinned buffer-pool frame
+// at a time, so a scan's footprint is one frame regardless of the
+// relation's size — working sets larger than RAM execute correctly,
+// just slower.
 func (r *engineRun) feedScan(rel *relation.Relation, out outlet) {
 	tupleLevel := r.eng.opts.Granularity == TupleLevel
-	for _, pg := range rel.Pages() {
+	errStopped := fmt.Errorf("core: run stopped")
+	err := rel.EachPage(func(pg *relation.Page) error {
 		select {
 		case <-r.stopped:
-			return
+			return errStopped
 		default:
 		}
 		if !tupleLevel {
 			atomic.AddInt64(&r.stPages, 1)
 			out.send(pg)
-			continue
+			return nil
 		}
 		n := pg.TupleCount()
 		for i := 0; i < n; i++ {
 			one, err := r.eng.pool.Get(relation.PageHeaderLen+pg.TupleLen(), pg.TupleLen())
 			if err != nil {
-				r.fail(err)
-				return
+				return err
 			}
 			if err := one.AppendRaw(pg.RawTuple(i)); err != nil {
-				r.fail(err)
-				return
+				return err
 			}
 			atomic.AddInt64(&r.stPages, 1)
 			out.send(one)
 		}
+		return nil
+	})
+	if err != nil {
+		if err != errStopped {
+			r.fail(err)
+		}
+		return
 	}
 	out.done()
 }

@@ -1,0 +1,442 @@
+// Package heap implements the disk-resident half of the paper's
+// three-level storage hierarchy: slotted-page heap files (mass
+// storage) reached through a pinning buffer pool with CLOCK eviction
+// (the multiport disk cache), serving pages to the engines' IC-memory
+// level. One relation is one file; slots hold relation.Page wire
+// blobs (Page.Marshal) at page-aligned offsets, so a stored relation
+// is byte-identical to its resident form by construction.
+//
+// Crash safety is split with the WAL: slot writes are in-place and
+// carry no ordering guarantees, but every slot content newer than the
+// file's base LSN is reproducible from full-page post-images in the
+// log (wal.RecAppendPages) or from an atomic whole-file rewrite
+// (deletes). The header is written ping-pong into two checksummed
+// blocks so a torn header write surrenders to the previous one.
+package heap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/relation"
+)
+
+// ErrCorrupt marks a heap file that fails validation: bad magic, no
+// valid header block, or a slot whose checksum does not match.
+// Callers test with errors.Is.
+var ErrCorrupt = errors.New("heap: corrupt heap file")
+
+// On-disk layout:
+//
+//	offset 0        header block A (headerBlockLen bytes)
+//	offset 512      header block B
+//	offset dataOff  slot 0, slot 1, ... (slotSize each, page-aligned)
+//
+// Each header block: magic, version, page size, tuple length, a
+// monotonically increasing sequence number (the newest valid block
+// wins), schema hash, page count, base LSN, CRC-32C. Each slot: u32
+// blob length, u32 blob CRC-32C, 8 reserved bytes, the page blob,
+// zero padding to slotSize.
+const (
+	headerBlockLen = 512
+	headerDataLen  = 52 // bytes covered by the header CRC
+	dataOff        = 4096
+	slotHeaderLen  = 16
+	slotAlign      = 4096
+	fileVersion    = 1
+)
+
+var heapMagic = [8]byte{'D', 'F', 'D', 'B', 'H', 'E', 'A', 'P'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// slotSizeFor returns the aligned on-disk size of one slot for the
+// given page size: header plus blob capacity, rounded up to the
+// alignment unit.
+func slotSizeFor(pageSize int) int64 {
+	raw := int64(pageSize + slotHeaderLen)
+	return (raw + slotAlign - 1) / slotAlign * slotAlign
+}
+
+// File is one relation's heap file. The logical state (page count,
+// per-page tuple counts) leads the physical state: Install-path
+// mutations update it immediately, while slot bytes reach the disk at
+// buffer-pool write-back or checkpoint time. On open, the logical
+// state is taken from the newest valid header — the checkpoint
+// horizon — and WAL replay rebuilds everything past it.
+type File struct {
+	path     string
+	f        *os.File
+	pageSize int
+	tupleLen int
+	slotSize int64
+
+	mu         sync.Mutex
+	pages      int
+	counts     []uint32 // tuples per page
+	seq        uint64   // header generation (ping-pong selector)
+	baseLSN    uint64
+	schemaHash uint64
+}
+
+// Create makes an empty heap file at path with a durable initial
+// header.
+func Create(path string, pageSize, tupleLen int, schemaHash, baseLSN uint64) (*File, error) {
+	if _, err := relation.NewPage(pageSize, tupleLen); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hf := &File{
+		path: path, f: f,
+		pageSize: pageSize, tupleLen: tupleLen,
+		slotSize:   slotSizeFor(pageSize),
+		schemaHash: schemaHash,
+		baseLSN:    baseLSN,
+	}
+	if err := hf.writeHeaderLocked(baseLSN); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return hf, nil
+}
+
+// CreateFrom writes the pages of rel into a brand-new heap file at
+// path with all-or-nothing crash semantics: temp file, full content,
+// header with baseLSN, fsync, rename, directory fsync. It is the
+// adopt path (first materialization of a resident relation) and the
+// delete path (atomic compacting rewrite).
+func CreateFrom(path string, rel *relation.Relation, schemaHash, baseLSN uint64) (*File, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) (*File, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return nil, err
+	}
+
+	pageSize, tupleLen := rel.PageSize(), rel.Schema().TupleLen()
+	slotSize := slotSizeFor(pageSize)
+	hf := &File{
+		path: path, f: tmp,
+		pageSize: pageSize, tupleLen: tupleLen,
+		slotSize:   slotSize,
+		schemaHash: schemaHash,
+		baseLSN:    baseLSN,
+	}
+	i := 0
+	err = rel.EachPage(func(p *relation.Page) error {
+		if werr := hf.writeSlotLocked(i, p); werr != nil {
+			return werr
+		}
+		hf.pages = i + 1
+		hf.counts = append(hf.counts, uint32(p.TupleCount()))
+		i++
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if err := hf.writeHeaderLocked(baseLSN); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fail(err)
+	}
+	if err := catalog.SyncDir(dir); err != nil {
+		tmp.Close()
+		return nil, err
+	}
+	return hf, nil
+}
+
+// Open reads an existing heap file, selecting the newest valid header
+// block and loading per-page tuple counts from the slot headers. A
+// non-zero wantSchemaHash is verified against the header.
+func Open(path string, wantSchemaHash uint64) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hf, err := openFrom(path, f, wantSchemaHash)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return hf, nil
+}
+
+func openFrom(path string, f *os.File, wantSchemaHash uint64) (*File, error) {
+	var blocks [2][headerBlockLen]byte
+	for i := range blocks {
+		if _, err := f.ReadAt(blocks[i][:], int64(i)*headerBlockLen); err != nil {
+			return nil, fmt.Errorf("%w: %s: reading header block %d: %v", ErrCorrupt, filepath.Base(path), i, err)
+		}
+	}
+	var best *headerView
+	for i := range blocks {
+		hv, err := parseHeader(blocks[i][:])
+		if err != nil {
+			continue // a torn block surrenders to the other one
+		}
+		if best == nil || hv.seq > best.seq {
+			best = hv
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: %s: no valid header block", ErrCorrupt, filepath.Base(path))
+	}
+	if wantSchemaHash != 0 && best.schemaHash != wantSchemaHash {
+		return nil, fmt.Errorf("%w: %s: schema hash %016x does not match expected %016x",
+			ErrCorrupt, filepath.Base(path), best.schemaHash, wantSchemaHash)
+	}
+	hf := &File{
+		path: path, f: f,
+		pageSize: best.pageSize, tupleLen: best.tupleLen,
+		slotSize:   slotSizeFor(best.pageSize),
+		pages:      int(best.pages),
+		seq:        best.seq,
+		baseLSN:    best.baseLSN,
+		schemaHash: best.schemaHash,
+	}
+	hf.counts = make([]uint32, hf.pages)
+	var sh [slotHeaderLen]byte
+	for i := 0; i < hf.pages; i++ {
+		if _, err := f.ReadAt(sh[:8], dataOff+int64(i)*hf.slotSize); err != nil {
+			return nil, fmt.Errorf("%w: %s: slot %d header: %v", ErrCorrupt, filepath.Base(path), i, err)
+		}
+		blobLen := binary.LittleEndian.Uint32(sh[0:4])
+		if blobLen < relation.PageHeaderLen || int64(blobLen) > hf.slotSize-slotHeaderLen {
+			return nil, fmt.Errorf("%w: %s: slot %d: implausible blob length %d", ErrCorrupt, filepath.Base(path), i, blobLen)
+		}
+		hf.counts[i] = (blobLen - relation.PageHeaderLen) / uint32(hf.tupleLen)
+	}
+	return hf, nil
+}
+
+type headerView struct {
+	pageSize, tupleLen int
+	seq                uint64
+	schemaHash         uint64
+	pages              uint64
+	baseLSN            uint64
+}
+
+func parseHeader(b []byte) (*headerView, error) {
+	if [8]byte(b[:8]) != heapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if got, want := crc32.Checksum(b[:headerDataLen], castagnoli), binary.LittleEndian.Uint32(b[headerDataLen:headerDataLen+4]); got != want {
+		return nil, fmt.Errorf("%w: header CRC mismatch (computed %08x, stored %08x)", ErrCorrupt, got, want)
+	}
+	if v := binary.LittleEndian.Uint32(b[8:12]); v != fileVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	hv := &headerView{
+		pageSize:   int(binary.LittleEndian.Uint32(b[12:16])),
+		tupleLen:   int(binary.LittleEndian.Uint32(b[16:20])),
+		seq:        binary.LittleEndian.Uint64(b[20:28]),
+		schemaHash: binary.LittleEndian.Uint64(b[28:36]),
+		pages:      binary.LittleEndian.Uint64(b[36:44]),
+		baseLSN:    binary.LittleEndian.Uint64(b[44:52]),
+	}
+	if _, err := relation.NewPage(hv.pageSize, hv.tupleLen); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return hv, nil
+}
+
+// writeHeaderLocked renders the current logical state into the next
+// ping-pong block. Callers own the durability ordering (fsync data
+// before, fsync header after).
+func (hf *File) writeHeaderLocked(baseLSN uint64) error {
+	hf.seq++
+	hf.baseLSN = baseLSN
+	var b [headerBlockLen]byte
+	copy(b[:8], heapMagic[:])
+	binary.LittleEndian.PutUint32(b[8:12], fileVersion)
+	binary.LittleEndian.PutUint32(b[12:16], uint32(hf.pageSize))
+	binary.LittleEndian.PutUint32(b[16:20], uint32(hf.tupleLen))
+	binary.LittleEndian.PutUint64(b[20:28], hf.seq)
+	binary.LittleEndian.PutUint64(b[28:36], hf.schemaHash)
+	binary.LittleEndian.PutUint64(b[36:44], uint64(hf.pages))
+	binary.LittleEndian.PutUint64(b[44:52], baseLSN)
+	binary.LittleEndian.PutUint32(b[headerDataLen:headerDataLen+4], crc32.Checksum(b[:headerDataLen], castagnoli))
+	off := int64(hf.seq%2) * headerBlockLen
+	_, err := hf.f.WriteAt(b[:], off)
+	return err
+}
+
+// writeSlotLocked writes page i's full slot (header, blob, padding) at
+// its fixed offset. In-place and unordered: the WAL makes it safe.
+func (hf *File) writeSlotLocked(i int, p *relation.Page) error {
+	blob := p.Marshal()
+	if int64(len(blob))+slotHeaderLen > hf.slotSize {
+		return fmt.Errorf("heap: %s: page %d blob of %d bytes exceeds slot size %d", filepath.Base(hf.path), i, len(blob), hf.slotSize)
+	}
+	buf := make([]byte, hf.slotSize)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(blob)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(blob, castagnoli))
+	copy(buf[slotHeaderLen:], blob)
+	_, err := hf.f.WriteAt(buf, dataOff+int64(i)*hf.slotSize)
+	return err
+}
+
+// WritePage writes page i's slot in place — the buffer pool's
+// write-back hook. It never changes the logical page count (NotePage
+// did, at install time).
+func (hf *File) WritePage(i int, p *relation.Page) error {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	if i < 0 || i >= hf.pages {
+		return fmt.Errorf("heap: %s: write-back of page %d beyond %d pages", filepath.Base(hf.path), i, hf.pages)
+	}
+	return hf.writeSlotLocked(i, p)
+}
+
+// ReadPage reads and validates slot i, returning the decoded page.
+func (hf *File) ReadPage(i int) (*relation.Page, error) {
+	hf.mu.Lock()
+	slotSize := hf.slotSize
+	pages := hf.pages
+	hf.mu.Unlock()
+	if i < 0 || i >= pages {
+		return nil, fmt.Errorf("heap: %s: read of page %d beyond %d pages", filepath.Base(hf.path), i, pages)
+	}
+	buf := make([]byte, slotSize)
+	if _, err := hf.f.ReadAt(buf, dataOff+int64(i)*slotSize); err != nil {
+		return nil, fmt.Errorf("heap: %s: slot %d: %w", filepath.Base(hf.path), i, err)
+	}
+	blobLen := binary.LittleEndian.Uint32(buf[0:4])
+	wantCRC := binary.LittleEndian.Uint32(buf[4:8])
+	if int64(blobLen)+slotHeaderLen > slotSize {
+		return nil, fmt.Errorf("%w: %s: slot %d: implausible blob length %d", ErrCorrupt, filepath.Base(hf.path), i, blobLen)
+	}
+	blob := buf[slotHeaderLen : slotHeaderLen+int64(blobLen)]
+	if got := crc32.Checksum(blob, castagnoli); got != wantCRC {
+		return nil, fmt.Errorf("%w: %s: slot %d CRC mismatch (computed %08x, stored %08x)", ErrCorrupt, filepath.Base(hf.path), i, got, wantCRC)
+	}
+	p, err := relation.UnmarshalPage(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: slot %d: %v", ErrCorrupt, filepath.Base(hf.path), i, err)
+	}
+	if p.TupleLen() != hf.tupleLen {
+		return nil, fmt.Errorf("%w: %s: slot %d holds %d-byte tuples, file holds %d", ErrCorrupt, filepath.Base(hf.path), i, p.TupleLen(), hf.tupleLen)
+	}
+	return p, nil
+}
+
+// NotePage records the logical effect of installing page i with count
+// tuples: extend or update the page count and per-page tuple counts.
+// The slot bytes follow later, at write-back or checkpoint.
+func (hf *File) NotePage(i, count int) error {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	switch {
+	case i < hf.pages:
+		hf.counts[i] = uint32(count)
+	case i == hf.pages:
+		hf.pages++
+		hf.counts = append(hf.counts, uint32(count))
+	default:
+		return fmt.Errorf("heap: %s: install of page %d beyond %d pages", filepath.Base(hf.path), i, hf.pages)
+	}
+	return nil
+}
+
+// NumPages returns the logical page count.
+func (hf *File) NumPages() int {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	return hf.pages
+}
+
+// PageTuples returns the tuple count of page i.
+func (hf *File) PageTuples(i int) int {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	return int(hf.counts[i])
+}
+
+// Cardinality returns the total tuple count.
+func (hf *File) Cardinality() int {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	n := 0
+	for _, c := range hf.counts {
+		n += int(c)
+	}
+	return n
+}
+
+// BaseLSN returns the recovery horizon from the last durable header.
+func (hf *File) BaseLSN() uint64 {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	return hf.baseLSN
+}
+
+// PageSize returns the file's page size.
+func (hf *File) PageSize() int { return hf.pageSize }
+
+// Path returns the file's path.
+func (hf *File) Path() string { return hf.path }
+
+// Checkpoint makes the current logical state durable: the caller must
+// have written back every dirty page first (Pool.FlushFile). It
+// fsyncs the data, advances the header (page count, baseLSN), fsyncs
+// again, and trims any stale slots past the logical end.
+func (hf *File) Checkpoint(baseLSN uint64) error {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	if err := hf.f.Sync(); err != nil {
+		return err
+	}
+	if err := hf.writeHeaderLocked(baseLSN); err != nil {
+		return err
+	}
+	if err := hf.f.Sync(); err != nil {
+		return err
+	}
+	want := dataOff + int64(hf.pages)*hf.slotSize
+	if info, err := hf.f.Stat(); err == nil && info.Size() > want {
+		return hf.f.Truncate(want)
+	}
+	return nil
+}
+
+// Size returns the file's current physical size in bytes.
+func (hf *File) Size() (int64, error) {
+	info, err := hf.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// Sync fsyncs the file.
+func (hf *File) Sync() error { return hf.f.Sync() }
+
+// Close closes the underlying file.
+func (hf *File) Close() error { return hf.f.Close() }

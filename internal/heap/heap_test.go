@@ -1,0 +1,445 @@
+package heap
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dfdbm/internal/catalog"
+	"dfdbm/internal/obs"
+	"dfdbm/internal/relation"
+)
+
+func testSchema(t *testing.T) *relation.Schema {
+	t.Helper()
+	return relation.MustSchema(
+		relation.Attr{Name: "a", Type: relation.Int64},
+		relation.Attr{Name: "b", Type: relation.Int64},
+	)
+}
+
+// seedRelation builds a resident relation with n tuples of (i, i*10).
+func seedRelation(t *testing.T, name string, schema *relation.Schema, pageSize, n int) *relation.Relation {
+	t.Helper()
+	rel := relation.MustNew(name, schema, pageSize)
+	for i := 0; i < n; i++ {
+		if err := rel.Insert(relation.Tuple{relation.IntVal(int64(i)), relation.IntVal(int64(i * 10))}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	return rel
+}
+
+func TestFileCreateFromRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema(t)
+	rel := seedRelation(t, "r", schema, 256, 100) // 16-byte tuples, 15/page
+	path := filepath.Join(dir, "r.heap")
+
+	hf, err := CreateFrom(path, rel, SchemaHash(schema), 7)
+	if err != nil {
+		t.Fatalf("CreateFrom: %v", err)
+	}
+	if hf.NumPages() != rel.NumPages() {
+		t.Fatalf("pages = %d, want %d", hf.NumPages(), rel.NumPages())
+	}
+	if hf.Cardinality() != 100 {
+		t.Fatalf("cardinality = %d, want 100", hf.Cardinality())
+	}
+	if hf.BaseLSN() != 7 {
+		t.Fatalf("baseLSN = %d, want 7", hf.BaseLSN())
+	}
+	for i := 0; i < rel.NumPages(); i++ {
+		got, err := hf.ReadPage(i)
+		if err != nil {
+			t.Fatalf("ReadPage(%d): %v", i, err)
+		}
+		want := rel.Page(i).Marshal()
+		if string(got.Marshal()) != string(want) {
+			t.Fatalf("page %d not byte-identical after roundtrip", i)
+		}
+	}
+	if err := hf.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: logical state must come back from the header + slot scan.
+	hf2, err := Open(path, SchemaHash(schema))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer hf2.Close()
+	if hf2.NumPages() != rel.NumPages() || hf2.Cardinality() != 100 || hf2.BaseLSN() != 7 {
+		t.Fatalf("reopened state pages=%d card=%d base=%d", hf2.NumPages(), hf2.Cardinality(), hf2.BaseLSN())
+	}
+}
+
+func TestFileSchemaHashMismatch(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema(t)
+	rel := seedRelation(t, "r", schema, 256, 10)
+	path := filepath.Join(dir, "r.heap")
+	hf, err := CreateFrom(path, rel, SchemaHash(schema), 1)
+	if err != nil {
+		t.Fatalf("CreateFrom: %v", err)
+	}
+	hf.Close()
+	if _, err := Open(path, SchemaHash(schema)+1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with wrong schema hash: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFileHeaderPingPong(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema(t)
+	rel := seedRelation(t, "r", schema, 256, 30)
+	path := filepath.Join(dir, "r.heap")
+	hf, err := CreateFrom(path, rel, SchemaHash(schema), 1)
+	if err != nil {
+		t.Fatalf("CreateFrom: %v", err)
+	}
+	// Advance the header once: seq 2 lands in block 0, seq 1 is in
+	// block 1. Then tear the newest block; Open must fall back to the
+	// older header (baseLSN 1) instead of failing.
+	if err := hf.Checkpoint(9); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	newest := int64(hf.seq%2) * headerBlockLen
+	hf.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0xFF}, newest+20); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	hf2, err := Open(path, SchemaHash(schema))
+	if err != nil {
+		t.Fatalf("Open after torn newest header: %v", err)
+	}
+	defer hf2.Close()
+	if hf2.BaseLSN() != 1 {
+		t.Fatalf("baseLSN = %d, want fallback header's 1", hf2.BaseLSN())
+	}
+
+	// Both headers torn: hard corrupt.
+	f, err = os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := int64(0); off < 2*headerBlockLen; off += headerBlockLen {
+		if _, err := f.WriteAt([]byte{0xAA, 0xAA, 0xAA, 0xAA}, off+20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if _, err := Open(path, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with both headers torn: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFileSlotCRC(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema(t)
+	rel := seedRelation(t, "r", schema, 256, 30)
+	path := filepath.Join(dir, "r.heap")
+	hf, err := CreateFrom(path, rel, SchemaHash(schema), 1)
+	if err != nil {
+		t.Fatalf("CreateFrom: %v", err)
+	}
+	slotSize := hf.slotSize
+	hf.Close()
+
+	// Flip one payload byte in slot 1: its CRC must catch it.
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := dataOff + slotSize + slotHeaderLen + 20
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	hf2, err := Open(path, SchemaHash(schema))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer hf2.Close()
+	if _, err := hf2.ReadPage(0); err != nil {
+		t.Fatalf("ReadPage(0) should be clean: %v", err)
+	}
+	if _, err := hf2.ReadPage(1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadPage(1): err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestPoolPinEvictWriteBack(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema(t)
+	rel := seedRelation(t, "r", schema, 256, 90) // 6 pages at 15/page
+	path := filepath.Join(dir, "r.heap")
+	hf, err := CreateFrom(path, rel, SchemaHash(schema), 1)
+	if err != nil {
+		t.Fatalf("CreateFrom: %v", err)
+	}
+	defer hf.Close()
+
+	reg := obs.NewRegistry(0)
+	pool := NewPool(4, obs.New(nil, reg))
+
+	// Touch every page: 6 pages through 4 frames forces evictions.
+	for i := 0; i < hf.NumPages(); i++ {
+		pg, err := pool.Pin(hf, i)
+		if err != nil {
+			t.Fatalf("Pin(%d): %v", i, err)
+		}
+		if pg.TupleCount() != hf.PageTuples(i) {
+			t.Fatalf("page %d tuples = %d, want %d", i, pg.TupleCount(), hf.PageTuples(i))
+		}
+		pool.Unpin(hf, i, false)
+	}
+	if ev := reg.Counter("bufpool.evictions"); ev == 0 {
+		t.Fatal("expected evictions > 0 scanning 6 pages through 4 frames")
+	}
+	if st := pool.Snapshot(); st.InUse != 4 || st.Pinned != 0 {
+		t.Fatalf("snapshot = %+v, want 4 in use, 0 pinned", st)
+	}
+
+	// Dirty a page, evict it by scanning, and verify the write-back
+	// reached the file.
+	pg, err := pool.Pin(hf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, schema.TupleLen())
+	binary.LittleEndian.PutUint64(raw[0:8], 4242)
+	// Page 0 is full (15/15) — drop to a fresh post-image instead.
+	fresh := relation.MustNewPage(256, schema.TupleLen())
+	if err := fresh.AppendRaw(raw); err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(hf, 0, false)
+	_ = pg
+	if err := pool.Install(hf, 0, fresh); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	for i := 1; i < hf.NumPages(); i++ { // churn the pool to evict slot 0
+		if _, err := pool.Pin(hf, i); err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(hf, i, false)
+	}
+	if wb := reg.Counter("bufpool.writebacks"); wb == 0 {
+		t.Fatal("expected a write-back of the dirty installed page")
+	}
+	got, err := hf.ReadPage(0)
+	if err != nil {
+		t.Fatalf("ReadPage(0) after write-back: %v", err)
+	}
+	if got.TupleCount() != 1 {
+		t.Fatalf("written-back page has %d tuples, want 1", got.TupleCount())
+	}
+}
+
+func TestPoolAllPinned(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema(t)
+	rel := seedRelation(t, "r", schema, 256, 60)
+	hf, err := CreateFrom(filepath.Join(dir, "r.heap"), rel, SchemaHash(schema), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hf.Close()
+
+	pool := NewPool(2, nil)
+	if _, err := pool.Pin(hf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Pin(hf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Pin(hf, 2); !errors.Is(err, ErrNoFrames) {
+		t.Fatalf("Pin with all frames pinned: err = %v, want ErrNoFrames", err)
+	}
+	pool.Unpin(hf, 1, false)
+	if _, err := pool.Pin(hf, 2); err != nil {
+		t.Fatalf("Pin after release: %v", err)
+	}
+}
+
+func TestStoreAdoptLoadCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema(t)
+	store, err := OpenStore(dir, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	cat := catalog.New()
+	r1 := seedRelation(t, "r1", schema, 256, 50)
+	r2 := seedRelation(t, "r2", schema, 256, 80)
+	wantKeys1, wantKeys2 := r1.SortedKeys(), r2.SortedKeys()
+	cat.Put(r1)
+	cat.Put(r2)
+
+	if err := store.Checkpoint(cat, 11); err != nil {
+		t.Fatalf("Checkpoint (adopt): %v", err)
+	}
+	if !r1.Stored() || !r2.Stored() {
+		t.Fatal("relations should be stored after checkpoint adoption")
+	}
+	if !store.ManifestExists() {
+		t.Fatal("manifest missing after checkpoint")
+	}
+
+	// Stored relations still append and read through the pool.
+	if err := r1.Insert(relation.Tuple{relation.IntVal(999), relation.IntVal(9990)}); err != nil {
+		t.Fatalf("stored insert: %v", err)
+	}
+	if r1.Cardinality() != 51 {
+		t.Fatalf("cardinality = %d, want 51", r1.Cardinality())
+	}
+	if err := store.Checkpoint(cat, 12); err != nil {
+		t.Fatalf("second checkpoint: %v", err)
+	}
+	store.Close()
+
+	// Fresh store: LoadCatalog rebuilds from manifest + files.
+	store2, err := OpenStore(dir, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	cat2, err := store2.LoadCatalog()
+	if err != nil {
+		t.Fatalf("LoadCatalog: %v", err)
+	}
+	g1, err := cat2.Get("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Cardinality() != 51 {
+		t.Fatalf("loaded r1 cardinality = %d, want 51", g1.Cardinality())
+	}
+	if g1.StoreBaseLSN() != 12 {
+		t.Fatalf("r1 baseLSN = %d, want 12", g1.StoreBaseLSN())
+	}
+	g2, err := cat2.Get("r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.SortedKeys(); len(got) != len(wantKeys2) {
+		t.Fatalf("r2 has %d tuples, want %d", len(got), len(wantKeys2))
+	}
+	_ = wantKeys1
+}
+
+func TestStoreRewrite(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema(t)
+	store, err := OpenStore(dir, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	cat := catalog.New()
+	r := seedRelation(t, "r", schema, 256, 60)
+	cat.Put(r)
+	if err := store.Checkpoint(cat, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Materialize, drop the first half, swap — the stored delete path.
+	resident, err := r.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := relation.MustNew("r", schema, 256)
+	if err := resident.Each(func(tp relation.Tuple) bool {
+		if tp[0].Int >= 30 {
+			if err := kept.Insert(tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReplaceStored(kept, 42); err != nil {
+		t.Fatalf("ReplaceStored: %v", err)
+	}
+	if r.Cardinality() != 30 {
+		t.Fatalf("cardinality after rewrite = %d, want 30", r.Cardinality())
+	}
+	if r.StoreBaseLSN() != 42 {
+		t.Fatalf("baseLSN after rewrite = %d, want 42", r.StoreBaseLSN())
+	}
+	if !r.EqualMultiset(kept) {
+		t.Fatal("rewritten relation does not match the survivor set")
+	}
+}
+
+func TestAuditCatchesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema(t)
+	store, err := OpenStore(dir, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New()
+	cat.Put(seedRelation(t, "good", schema, 256, 40))
+	cat.Put(seedRelation(t, "bad", schema, 256, 40))
+	if err := store.Checkpoint(cat, 3); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	// Corrupt one slot payload byte of "bad".
+	f, err := os.OpenFile(filepath.Join(dir, "bad.heap"), os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	off := int64(dataOff + slotHeaderLen + 25)
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x01
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	audits, err := Audit(dir)
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	if len(audits) != 2 {
+		t.Fatalf("audited %d files, want 2", len(audits))
+	}
+	byRel := map[string]FileAudit{}
+	for _, a := range audits {
+		byRel[a.Rel] = a
+	}
+	if byRel["good"].Err != nil {
+		t.Fatalf("good: unexpected audit error %v", byRel["good"].Err)
+	}
+	if byRel["good"].Tuples != 40 || byRel["good"].BaseLSN != 3 {
+		t.Fatalf("good audit = %+v", byRel["good"])
+	}
+	if !errors.Is(byRel["bad"].Err, ErrCorrupt) {
+		t.Fatalf("bad: err = %v, want ErrCorrupt", byRel["bad"].Err)
+	}
+}

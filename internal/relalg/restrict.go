@@ -104,6 +104,13 @@ func Append(dst, src *relation.Relation) (int, error) {
 // Delete removes every tuple of r satisfying p, compacting the relation
 // afterwards, and returns the number of tuples removed.
 func Delete(r *relation.Relation, p pred.Pred) (int, error) {
+	if r.Stored() {
+		// Disk-backed relations delete by copy-and-swap (materialize,
+		// delete the resident copy, atomically rewrite the heap file);
+		// wal.Record.Apply owns that path. Rewriting *r in place here
+		// would silently detach the store.
+		return 0, fmt.Errorf("relalg: in-place delete on stored relation %q (apply through the WAL)", r.Name())
+	}
 	keep, err := Restrict(r, pred.Not{Kid: p}, r.Name())
 	if err != nil {
 		return 0, err

@@ -5,14 +5,17 @@ import (
 	"sort"
 )
 
-// Relation is an in-memory heap relation: a named schema plus an ordered
-// list of pages. It is the at-rest form of a relation; in flight, a
-// relation is a stream of pages.
+// Relation is a heap relation: a named schema plus an ordered list of
+// pages. It is the at-rest form of a relation; in flight, a relation
+// is a stream of pages. By default the pages are resident in memory;
+// SetStore attaches a disk-backed PageStore (internal/heap) and the
+// relation becomes a view over buffer-pool frames instead.
 type Relation struct {
 	name     string
 	schema   *Schema
 	pageSize int
 	pages    []*Page
+	store    PageStore // nil = resident
 }
 
 // New creates an empty relation with the given name, schema, and page
@@ -46,16 +49,51 @@ func (r *Relation) Schema() *Schema { return r.schema }
 func (r *Relation) PageSize() int { return r.pageSize }
 
 // NumPages returns the number of pages in the relation.
-func (r *Relation) NumPages() int { return len(r.pages) }
+func (r *Relation) NumPages() int {
+	if r.store != nil {
+		return r.store.NumPages()
+	}
+	return len(r.pages)
+}
 
-// Page returns page i. The page is shared, not copied.
-func (r *Relation) Page(i int) *Page { return r.pages[i] }
+// Page returns page i. The page is shared, not copied. For stored
+// relations the page is read through the buffer pool and returned
+// unpinned — valid for reading (the frame's page object survives
+// eviction), but an I/O failure panics; error-aware callers should
+// walk with EachPage instead.
+func (r *Relation) Page(i int) *Page {
+	if r.store == nil {
+		return r.pages[i]
+	}
+	p, err := r.store.Pin(i)
+	if err != nil {
+		panic(fmt.Sprintf("relation %q: page %d: %v", r.name, i, err))
+	}
+	r.store.Unpin(i, false)
+	return p
+}
 
-// Pages returns the page list. The slice is shared, not copied.
-func (r *Relation) Pages() []*Page { return r.pages }
+// Pages returns the page list. For resident relations the slice is
+// shared, not copied; for stored relations every page is materialized
+// through the buffer pool (see Page for the error contract) — hot
+// paths should stream with EachPage instead.
+func (r *Relation) Pages() []*Page {
+	if r.store == nil {
+		return r.pages
+	}
+	n := r.store.NumPages()
+	out := make([]*Page, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.Page(i)
+	}
+	return out
+}
 
 // Cardinality returns the total number of tuples.
 func (r *Relation) Cardinality() int {
+	if r.store != nil {
+		return r.store.Cardinality()
+	}
 	n := 0
 	for _, p := range r.pages {
 		n += p.TupleCount()
@@ -66,6 +104,9 @@ func (r *Relation) Cardinality() int {
 // ByteSize returns the total payload-plus-header bytes of all pages —
 // the relation's footprint in the storage hierarchy.
 func (r *Relation) ByteSize() int {
+	if r.store != nil {
+		return r.store.NumPages()*PageHeaderLen + r.store.Cardinality()*r.schema.TupleLen()
+	}
 	n := 0
 	for _, p := range r.pages {
 		n += p.WireSize()
@@ -84,6 +125,9 @@ func (r *Relation) Insert(t Tuple) error {
 
 // InsertRaw appends an already-encoded tuple.
 func (r *Relation) InsertRaw(raw []byte) error {
+	if r.store != nil {
+		return r.insertRawStored(raw)
+	}
 	if len(r.pages) == 0 || r.pages[len(r.pages)-1].Full() {
 		p, err := NewPage(r.pageSize, r.schema.TupleLen())
 		if err != nil {
@@ -92,6 +136,32 @@ func (r *Relation) InsertRaw(raw []byte) error {
 		r.pages = append(r.pages, p)
 	}
 	return r.pages[len(r.pages)-1].AppendRaw(raw)
+}
+
+// insertRawStored appends one tuple through the page store: fill the
+// last partial page in place (pinned, unpinned dirty) or install a
+// fresh one — the same fill-then-grow discipline as the resident path,
+// so the resulting page layout is byte-identical.
+func (r *Relation) insertRawStored(raw []byte) error {
+	n := r.store.NumPages()
+	capacity := (r.pageSize - PageHeaderLen) / r.schema.TupleLen()
+	if n > 0 && r.store.PageTuples(n-1) < capacity {
+		p, err := r.store.Pin(n - 1)
+		if err != nil {
+			return err
+		}
+		err = p.AppendRaw(raw)
+		r.store.Unpin(n-1, err == nil)
+		return err
+	}
+	p, err := NewPage(r.pageSize, r.schema.TupleLen())
+	if err != nil {
+		return err
+	}
+	if err := p.AppendRaw(raw); err != nil {
+		return err
+	}
+	return r.store.Install(n, p)
 }
 
 // AppendPage appends an entire page to the relation. The page must hold
@@ -103,14 +173,20 @@ func (r *Relation) AppendPage(p *Page) error {
 	// The relation retains (aliases) the page: it must never be handed
 	// back to a PagePool, however it was obtained.
 	p.pooled = false
+	if r.store != nil {
+		return r.store.Install(r.store.NumPages(), p)
+	}
 	r.pages = append(r.pages, p)
 	return nil
 }
 
+// errStopEach is EachPage's internal early-stop sentinel.
+var errStopEach = fmt.Errorf("relation: stop iteration")
+
 // Each calls fn for every tuple in page order, stopping early if fn
 // returns false.
 func (r *Relation) Each(fn func(t Tuple) bool) error {
-	for _, p := range r.pages {
+	err := r.EachPage(func(p *Page) error {
 		n := p.TupleCount()
 		for i := 0; i < n; i++ {
 			t, err := p.Tuple(i, r.schema)
@@ -118,17 +194,21 @@ func (r *Relation) Each(fn func(t Tuple) bool) error {
 				return err
 			}
 			if !fn(t) {
-				return nil
+				return errStopEach
 			}
 		}
+		return nil
+	})
+	if err == errStopEach {
+		return nil
 	}
-	return nil
+	return err
 }
 
 // EachRaw calls fn for every encoded tuple in page order, stopping early
 // if fn returns false.
 func (r *Relation) EachRaw(fn func(raw []byte) bool) {
-	for _, p := range r.pages {
+	_ = r.EachPage(func(p *Page) error {
 		stop := false
 		p.EachRaw(func(raw []byte) bool {
 			if !fn(raw) {
@@ -138,9 +218,10 @@ func (r *Relation) EachRaw(fn func(raw []byte) bool) {
 			return true
 		})
 		if stop {
-			return
+			return errStopEach
 		}
-	}
+		return nil
+	})
 }
 
 // Tuples materializes every tuple. Intended for tests and small results.
@@ -156,8 +237,12 @@ func (r *Relation) Tuples() ([]Tuple, error) {
 // Compact rewrites the relation so that all pages except possibly the
 // last are full. Operators that delete tuples leave holes; the paper's
 // instruction controllers perform the same compression on arriving
-// partial pages.
+// partial pages. Resident relations only: stored relations compact by
+// materializing, compacting, and rewriting through ReplaceStored.
 func (r *Relation) Compact() {
+	if r.store != nil {
+		panic(fmt.Sprintf("relation %q: Compact on a stored relation (use Materialize + ReplaceStored)", r.name))
+	}
 	var compacted []*Page
 	var cur *Page
 	for _, p := range r.pages {
@@ -180,11 +265,17 @@ func (r *Relation) Compact() {
 	r.pages = compacted
 }
 
-// Clone returns a deep copy of the relation under a new name.
+// Clone returns a fully resident deep copy of the relation under a new
+// name.
 func (r *Relation) Clone(name string) *Relation {
 	out := &Relation{name: name, schema: r.schema, pageSize: r.pageSize}
-	for _, p := range r.pages {
+	if err := r.EachPage(func(p *Page) error {
 		out.pages = append(out.pages, p.Clone())
+		return nil
+	}); err != nil {
+		// Only reachable for a stored relation with failing I/O; Clone
+		// has no error return (see Materialize for the checked form).
+		panic(err)
 	}
 	return out
 }

@@ -1,0 +1,166 @@
+package relation
+
+import "fmt"
+
+// PageStore is the disk-backed page source a Relation can be attached
+// to (SetStore): the paper's mass-storage level, reached through the
+// disk-cache level (a pinning buffer pool). A stored relation keeps no
+// resident pages; every page access pins a frame in the store's buffer
+// pool and every mutation goes through Install, so the relation's
+// logical content is byte-identical to the resident form by
+// construction.
+//
+// Implementations live in internal/heap; this interface exists so the
+// relation package (and everything above it) needs no heap import.
+type PageStore interface {
+	// NumPages returns the logical page count.
+	NumPages() int
+	// PageTuples returns the tuple count of page i without reading its
+	// payload.
+	PageTuples(i int) int
+	// Cardinality returns the total tuple count across all pages.
+	Cardinality() int
+	// Pin reads page i into a buffer-pool frame and pins it. The
+	// returned page is shared and must be treated as read-only unless
+	// the caller holds the relation's write exclusion. Every Pin must
+	// be paired with an Unpin.
+	Pin(i int) (*Page, error)
+	// Unpin releases the pin; dirty marks the frame for write-back.
+	Unpin(i int, dirty bool)
+	// Install overwrites page i (or appends it when i == NumPages)
+	// with a full post-image, dirty in the pool. It is the one
+	// mutation primitive: WAL replay and the live write path both
+	// install whole-page images, which makes redo idempotent and
+	// torn-write-proof.
+	Install(i int, p *Page) error
+	// Rewrite atomically replaces the entire stored content with the
+	// pages of resident (same name and schema), advancing the store's
+	// base LSN to lsn. Deletes compact through this path.
+	Rewrite(resident *Relation, lsn uint64) error
+	// BaseLSN is the store's recovery horizon: every WAL record with
+	// LSN <= BaseLSN() is already reflected in the durable file, so
+	// replay skips it.
+	BaseLSN() uint64
+}
+
+// SetStore attaches (or with nil detaches) a page store. Attaching
+// drops any resident pages: the store is authoritative.
+func (r *Relation) SetStore(ps PageStore) {
+	r.store = ps
+	if ps != nil {
+		r.pages = nil
+	}
+}
+
+// Stored reports whether the relation is disk-backed.
+func (r *Relation) Stored() bool { return r.store != nil }
+
+// StoreBaseLSN returns the attached store's recovery horizon, 0 for
+// resident relations.
+func (r *Relation) StoreBaseLSN() uint64 {
+	if r.store == nil {
+		return 0
+	}
+	return r.store.BaseLSN()
+}
+
+// PageTuples returns the tuple count of page i without materializing
+// its payload (stored relations keep per-page counts in file
+// metadata).
+func (r *Relation) PageTuples(i int) int {
+	if r.store != nil {
+		return r.store.PageTuples(i)
+	}
+	return r.pages[i].TupleCount()
+}
+
+// CopyPage returns a deep copy of page i, pinning through the store
+// when the relation is disk-backed — the error-returning counterpart
+// of Page(i).Clone().
+func (r *Relation) CopyPage(i int) (*Page, error) {
+	if r.store == nil {
+		return r.pages[i].Clone(), nil
+	}
+	p, err := r.store.Pin(i)
+	if err != nil {
+		return nil, fmt.Errorf("relation %q: page %d: %w", r.name, i, err)
+	}
+	defer r.store.Unpin(i, false)
+	return p.Clone(), nil
+}
+
+// EachPage calls fn for every page in order. For stored relations each
+// page is pinned around its callback and unpinned clean afterwards;
+// fn must not retain write access. A non-nil error from fn (or from
+// the store) stops the walk and is returned.
+func (r *Relation) EachPage(fn func(p *Page) error) error {
+	if r.store == nil {
+		for _, p := range r.pages {
+			if err := fn(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	n := r.store.NumPages()
+	for i := 0; i < n; i++ {
+		p, err := r.store.Pin(i)
+		if err != nil {
+			return fmt.Errorf("relation %q: page %d: %w", r.name, i, err)
+		}
+		err = fn(p)
+		r.store.Unpin(i, false)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InstallPage overwrites page i with a full post-image, or appends it
+// when i == NumPages(). It is how WAL replay and the durable write
+// path apply append effects: whole-page images are idempotent to
+// re-apply and repair torn in-place writes. The page is retained.
+func (r *Relation) InstallPage(i int, p *Page) error {
+	if p.TupleLen() != r.schema.TupleLen() {
+		return fmt.Errorf("relation: page holds %d-byte tuples, relation %q needs %d", p.TupleLen(), r.name, r.schema.TupleLen())
+	}
+	p.pooled = false
+	if r.store != nil {
+		return r.store.Install(i, p)
+	}
+	switch {
+	case i < len(r.pages):
+		r.pages[i] = p
+	case i == len(r.pages):
+		r.pages = append(r.pages, p)
+	default:
+		return fmt.Errorf("relation %q: install page %d beyond %d pages", r.name, i, len(r.pages))
+	}
+	return nil
+}
+
+// ReplaceStored atomically replaces a stored relation's content with
+// the pages of resident, advancing the store's base LSN to lsn. It is
+// the delete path: deletes rewrite and compact the whole relation, so
+// a stored delete materializes, deletes in memory, and swaps the file.
+func (r *Relation) ReplaceStored(resident *Relation, lsn uint64) error {
+	if r.store == nil {
+		return fmt.Errorf("relation %q: ReplaceStored on a resident relation", r.name)
+	}
+	return r.store.Rewrite(resident, lsn)
+}
+
+// Materialize returns a fully resident deep copy of the relation under
+// the same name — the shape relalg's in-place operators need.
+func (r *Relation) Materialize() (*Relation, error) {
+	out := &Relation{name: r.name, schema: r.schema, pageSize: r.pageSize}
+	err := r.EachPage(func(p *Page) error {
+		out.pages = append(out.pages, p.Clone())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -54,7 +54,7 @@ func TestHelperCrashServer(t *testing.T) {
 	if dir == "" {
 		t.Skip("crash-server helper: run by TestCrashRecoveryChaos only")
 	}
-	l, cat, _, err := wal.Open(dir, wal.Options{})
+	l, cat, _, err := wal.Open(dir, chaosWALOptions(os.Getenv("DFDBM_CRASH_HEAP_FRAMES")))
 	if err != nil {
 		t.Fatalf("helper: %v", err)
 	}
@@ -74,6 +74,17 @@ func TestHelperCrashServer(t *testing.T) {
 		t.Fatalf("helper: %v", err)
 	}
 	select {} // hold the server open until kill -9
+}
+
+// chaosWALOptions maps the helper's frames env var to WAL options:
+// empty or "0" keeps the legacy snapshot mode, anything else enables
+// heap-file storage with that buffer-pool budget.
+func chaosWALOptions(frames string) wal.Options {
+	n, _ := strconv.Atoi(frames)
+	if n <= 0 {
+		return wal.Options{}
+	}
+	return wal.Options{Heap: &wal.HeapOptions{Frames: n}}
 }
 
 // equalCatalogs compares two catalogs as multisets per relation — the
@@ -110,7 +121,15 @@ func equalCatalogs(a, b *catalog.Catalog) (bool, string) {
 // invariant — the recovered state equals the seed plus either exactly
 // the acknowledged writes or those plus the single in-flight write
 // that reached the log before its acknowledgement was sent.
-func TestCrashRecoveryChaos(t *testing.T) {
+func TestCrashRecoveryChaos(t *testing.T) { runCrashRecoveryChaos(t, 0) }
+
+// TestCrashRecoveryChaosHeap is the same kill -9 loop over heap-file
+// storage with a buffer pool far below the working set (8 frames of
+// 2KiB pages), so eviction write-backs are in flight when the SIGKILL
+// lands — the torn-slot case RecAppendPages exists for.
+func TestCrashRecoveryChaosHeap(t *testing.T) { runCrashRecoveryChaos(t, 8) }
+
+func runCrashRecoveryChaos(t *testing.T, heapFrames int) {
 	if testing.Short() {
 		t.Skip("crash chaos loop is not -short")
 	}
@@ -145,7 +164,8 @@ func TestCrashRecoveryChaos(t *testing.T) {
 			addrFile := filepath.Join(t.TempDir(), "addr")
 			cmd := exec.Command(exe, "-test.run=TestHelperCrashServer$", "-test.v")
 			cmd.Env = append(os.Environ(),
-				"DFDBM_CRASH_DIR="+dir, "DFDBM_CRASH_ADDRFILE="+addrFile)
+				"DFDBM_CRASH_DIR="+dir, "DFDBM_CRASH_ADDRFILE="+addrFile,
+				"DFDBM_CRASH_HEAP_FRAMES="+strconv.Itoa(heapFrames))
 			out, err := os.CreateTemp(t.TempDir(), "helper-*.log")
 			if err != nil {
 				t.Fatal(err)
@@ -195,8 +215,8 @@ func TestCrashRecoveryChaos(t *testing.T) {
 			<-killed
 			_ = cmd.Wait()
 
-			// Cold recovery of the crashed directory.
-			l2, got, rv, err := wal.Open(dir, wal.Options{})
+			// Cold recovery of the crashed directory, same storage mode.
+			l2, got, rv, err := wal.Open(dir, chaosWALOptions(strconv.Itoa(heapFrames)))
 			if err != nil {
 				t.Fatalf("recovery after kill -9 (acked %d): %v", acked, err)
 			}

@@ -441,17 +441,22 @@ type queryResult struct {
 // concurrently. Snapshotting while the job still occupies the running
 // set pins the streamed bytes to the state this query produced, under
 // the same admission exclusion that guarded its execution.
-func snapshotResult(rel *relation.Relation) *queryResult {
+func snapshotResult(rel *relation.Relation) (*queryResult, error) {
 	schema := rel.Schema()
 	attrs := make([]wire.SchemaAttr, schema.NumAttrs())
 	for i := range attrs {
 		a := schema.Attr(i)
 		attrs[i] = wire.SchemaAttr{Name: a.Name, Type: uint8(a.Type), Width: uint32(a.Width)}
 	}
-	pages := rel.Pages()
-	blobs := make([][]byte, len(pages))
-	for i, pg := range pages {
-		blobs[i] = pg.Marshal()
+	// EachPage streams stored relations through the buffer pool one
+	// pinned frame at a time, so snapshotting never needs the whole
+	// relation resident.
+	blobs := make([][]byte, 0, rel.NumPages())
+	if err := rel.EachPage(func(pg *relation.Page) error {
+		blobs = append(blobs, pg.Marshal())
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("server: snapshot of %q: %w", rel.Name(), err)
 	}
 	return &queryResult{
 		name:     rel.Name(),
@@ -459,7 +464,7 @@ func snapshotResult(rel *relation.Relation) *queryResult {
 		schema:   attrs,
 		pages:    blobs,
 		tuples:   int64(rel.Cardinality()),
-	}
+	}, nil
 }
 
 // execDurable runs a write query through the write-ahead log: build
@@ -491,14 +496,12 @@ func (s *Server) execDurable(ctx context.Context, root *query.Node,
 		if err != nil {
 			return nil, err
 		}
-		rec.Type = wal.RecAppend
-		rec.SchemaHash = wal.SchemaHash(dst.Schema())
-		pages := src.Pages()
-		rec.Pages = make([][]byte, 0, len(pages))
-		for _, pg := range pages {
-			if !pg.Empty() {
-				rec.Pages = append(rec.Pages, pg.Marshal())
-			}
+		// AppendRecord picks the representation by dst's storage mode:
+		// logical tuple pages for resident relations, full post-image
+		// pages (torn-write-proof physical redo) for heap-backed ones.
+		rec, err = wal.AppendRecord(dst, src)
+		if err != nil {
+			return nil, err
 		}
 	case query.OpDelete:
 		rec.Type = wal.RecDelete
@@ -521,7 +524,10 @@ func (s *Server) execDurable(ctx context.Context, root *query.Node,
 		return nil, fmt.Errorf("server: logged write failed to apply (recovery will replay it): %w", err)
 	}
 	s.count("server.durable_writes", 1)
-	res := snapshotResult(rel)
+	res, err := snapshotResult(rel)
+	if err != nil {
+		return nil, err
+	}
 	s.maybeCheckpoint()
 	return res, nil
 }
@@ -905,7 +911,7 @@ func (c *session) handleQuery(q *wire.Query) {
 			if err != nil {
 				return nil, err
 			}
-			return snapshotResult(rel), nil
+			return snapshotResult(rel)
 		},
 	}
 	submitted := time.Since(s.start)

@@ -20,10 +20,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"hash/fnv"
 	"io"
 
 	"dfdbm/internal/catalog"
+	"dfdbm/internal/heap"
 	"dfdbm/internal/query"
 	"dfdbm/internal/relalg"
 	"dfdbm/internal/relation"
@@ -42,8 +42,19 @@ const (
 	RecDelete
 	// RecCheckpoint marks a consistent catalog snapshot: every record
 	// at or below CoverLSN is reflected in the referenced snapshot
-	// file, so recovery may start there.
+	// file, so recovery may start there. In heap mode the snapshot
+	// name is the literal "heap" and the durable state lives in the
+	// per-relation heap files' base LSNs.
 	RecCheckpoint
+	// RecAppendPages redoes an append physically: overwrite (or
+	// extend) the named relation's pages starting at slot First with
+	// the carried full-page post-images. Heap-backed relations log
+	// appends this way because eviction write-backs mutate slots in
+	// place — a torn slot write can damage pre-append tuples that
+	// logical redo could not rebuild, whereas re-installing the whole
+	// post-image repairs the slot no matter where it tore. Replay is
+	// idempotent by construction.
+	RecAppendPages
 )
 
 // String returns the lower-case record-type name.
@@ -55,6 +66,8 @@ func (t RecordType) String() string {
 		return "delete"
 	case RecCheckpoint:
 		return "checkpoint"
+	case RecAppendPages:
+		return "append-pages"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -82,8 +95,12 @@ type Record struct {
 	// corrupting tuples.
 	SchemaHash uint64
 	// Pages is the appended payload in relation.Page wire form
-	// (RecAppend).
+	// (RecAppend), or full post-image pages starting at slot First
+	// (RecAppendPages).
 	Pages [][]byte
+	// First is the index of the first page slot the post-images in
+	// Pages overwrite or extend (RecAppendPages).
+	First uint64
 	// Pred is the delete predicate in the query language's surface
 	// syntax (RecDelete); replay re-parses it.
 	Pred string
@@ -95,11 +112,10 @@ type Record struct {
 
 // SchemaHash fingerprints a schema layout: FNV-1a over its rendered
 // attribute list. Two schemas hash equal iff their names, types, and
-// widths match.
+// widths match. Delegates to heap.SchemaHash so log records and heap
+// file headers agree byte-for-byte.
 func SchemaHash(s *relation.Schema) uint64 {
-	h := fnv.New64a()
-	io.WriteString(h, s.String())
-	return h.Sum64()
+	return heap.SchemaHash(s)
 }
 
 // Summary renders the record's logical operation for logs and the
@@ -112,6 +128,8 @@ func (r *Record) Summary() string {
 		return fmt.Sprintf("delete(%s, %s)", r.Rel, r.Pred)
 	case RecCheckpoint:
 		return fmt.Sprintf("checkpoint(%s, cover %d)", r.Snapshot, r.CoverLSN)
+	case RecAppendPages:
+		return fmt.Sprintf("append-pages(%s, slots %d..%d)", r.Rel, r.First, r.First+uint64(len(r.Pages))-1)
 	default:
 		return r.Type.String()
 	}
@@ -153,6 +171,31 @@ func (r *Record) Apply(cat *catalog.Catalog) (*relation.Relation, error) {
 		cat.Touch(r.Rel)
 		return dst, nil
 
+	case RecAppendPages:
+		dst, err := cat.Get(r.Rel)
+		if err != nil {
+			return nil, fmt.Errorf("wal: apply lsn %d: %w", r.LSN, err)
+		}
+		if got := SchemaHash(dst.Schema()); got != r.SchemaHash {
+			return nil, fmt.Errorf("%w: lsn %d: schema of %q drifted (hash %016x, logged %016x)",
+				ErrCorrupt, r.LSN, r.Rel, got, r.SchemaHash)
+		}
+		if int(r.First) > dst.NumPages() {
+			return nil, fmt.Errorf("%w: lsn %d: append-pages at slot %d leaves a gap (%q has %d pages)",
+				ErrCorrupt, r.LSN, r.First, r.Rel, dst.NumPages())
+		}
+		for i, blob := range r.Pages {
+			pg, err := relation.UnmarshalPage(blob)
+			if err != nil {
+				return nil, fmt.Errorf("%w: lsn %d: page %d: %v", ErrCorrupt, r.LSN, i, err)
+			}
+			if err := dst.InstallPage(int(r.First)+i, pg); err != nil {
+				return nil, fmt.Errorf("wal: apply lsn %d: %w", r.LSN, err)
+			}
+		}
+		cat.Touch(r.Rel)
+		return dst, nil
+
 	case RecDelete:
 		target, err := cat.Get(r.Rel)
 		if err != nil {
@@ -162,7 +205,24 @@ func (r *Record) Apply(cat *catalog.Catalog) (*relation.Relation, error) {
 		if err != nil || root.Kind != query.OpDelete {
 			return nil, fmt.Errorf("%w: lsn %d: unreplayable delete predicate %q: %v", ErrCorrupt, r.LSN, r.Pred, err)
 		}
-		if _, err := relalg.Delete(target, root.Pred); err != nil {
+		if target.Stored() {
+			// Stored relations delete by copy-and-swap: materialize,
+			// delete in memory, atomically rewrite the heap file with
+			// base LSN = this record's LSN. Replay after a crash either
+			// sees the old file (baseLSN < LSN, record re-applies) or
+			// the new one (baseLSN >= LSN, record is skipped) — the
+			// rename is the atomic commit.
+			resident, err := target.Materialize()
+			if err != nil {
+				return nil, fmt.Errorf("wal: apply lsn %d: %w", r.LSN, err)
+			}
+			if _, err := relalg.Delete(resident, root.Pred); err != nil {
+				return nil, fmt.Errorf("wal: apply lsn %d: %w", r.LSN, err)
+			}
+			if err := target.ReplaceStored(resident, r.LSN); err != nil {
+				return nil, fmt.Errorf("wal: apply lsn %d: %w", r.LSN, err)
+			}
+		} else if _, err := relalg.Delete(target, root.Pred); err != nil {
 			return nil, fmt.Errorf("wal: apply lsn %d: %w", r.LSN, err)
 		}
 		cat.Touch(r.Rel)
@@ -197,9 +257,12 @@ func encode(r *Record) []byte {
 	buf = append(buf, byte(r.Type))
 	buf = binary.LittleEndian.AppendUint64(buf, r.LSN)
 	switch r.Type {
-	case RecAppend:
+	case RecAppend, RecAppendPages:
 		buf = appendString(buf, r.Rel)
 		buf = binary.LittleEndian.AppendUint64(buf, r.SchemaHash)
+		if r.Type == RecAppendPages {
+			buf = binary.LittleEndian.AppendUint64(buf, r.First)
+		}
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Pages)))
 		for _, b := range r.Pages {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
@@ -253,9 +316,12 @@ func decodePayload(p []byte) (*Record, error) {
 	d := &decoder{buf: p}
 	rec := &Record{Type: RecordType(d.u8()), LSN: d.u64()}
 	switch rec.Type {
-	case RecAppend:
+	case RecAppend, RecAppendPages:
 		rec.Rel = d.str()
 		rec.SchemaHash = d.u64()
+		if rec.Type == RecAppendPages {
+			rec.First = d.u64()
+		}
 		n := d.u32()
 		if int64(n) > int64(len(p)) { // cheaper than per-page checks; each page needs >= 1 byte
 			return nil, fmt.Errorf("%w: implausible page count %d", ErrCorrupt, n)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dfdbm/internal/catalog"
+	"dfdbm/internal/heap"
 	"dfdbm/internal/obs"
 )
 
@@ -117,8 +118,26 @@ func Open(dir string, opts Options) (*Log, *catalog.Catalog, Recovery, error) {
 
 // recover scans snapshots and segments, repairs the tail, replays, and
 // leaves l positioned to append (seg open, lsn set).
+//
+// In heap mode (Options.Heap) the recovery base is the heap store
+// itself: when a manifest exists the catalog loads from the heap
+// files and replay applies only records past each relation's own base
+// LSN (deletes advance a single file's base, so the horizon is per
+// relation, not global). When no manifest exists yet, the directory
+// is a snapshot-engine layout (or brand new): normal snapshot
+// recovery rebuilds the resident catalog, which is then migrated —
+// every relation adopted into a heap file, the manifest written as
+// the atomic commit, and only then the obsolete snapshots removed.
 func (l *Log) recover() (Recovery, *catalog.Catalog, error) {
 	var rv Recovery
+
+	if l.opts.Heap != nil {
+		hs, err := heap.OpenStore(filepath.Join(l.dir, "heap"), l.opts.Heap.Frames, l.opts.Obs)
+		if err != nil {
+			return rv, nil, err
+		}
+		l.heap = hs
+	}
 
 	segs, err := listSeq(l.walDir, segPrefix, segSuffix)
 	if err != nil {
@@ -150,7 +169,9 @@ func (l *Log) recover() (Recovery, *catalog.Catalog, error) {
 		return rv, nil, err
 	}
 
-	if len(segs) == 0 && len(snaps) == 0 {
+	heapBase := l.heap != nil && l.heap.ManifestExists()
+
+	if len(segs) == 0 && len(snaps) == 0 && !heapBase {
 		rv.Fresh = true
 		if err := l.openSegment(1); err != nil {
 			return rv, nil, err
@@ -158,47 +179,83 @@ func (l *Log) recover() (Recovery, *catalog.Catalog, error) {
 		return rv, nil, nil
 	}
 
-	// Pick the newest snapshot that loads cleanly AND whose cover
-	// reaches back to the log: with dense LSNs, replay can continue
-	// from a snapshot covering C iff some surviving segment starts at
-	// or below C+1 (or the log is empty entirely).
 	var cat *catalog.Catalog
-	for i := len(snaps) - 1; i >= 0; i-- {
-		sn := snaps[i]
-		if len(segs) > 0 && segs[0].lsn > sn.lsn+1 {
-			// The records between this snapshot and the log's start were
-			// pruned on the authority of a newer snapshot; this one
-			// cannot seed a complete replay.
+	var shouldApply func(*Record) bool
+	lastLSN := uint64(0)
+	if heapBase {
+		// The heap files are the recovery base. Replay must reach back
+		// to the oldest per-relation base LSN; a later-starting log has
+		// lost acknowledged records.
+		cat, err = l.heap.LoadCatalog()
+		if err != nil {
+			return rv, nil, err
+		}
+		minBase := l.heap.MinBaseLSN()
+		if len(segs) > 0 && segs[0].lsn > minBase+1 {
+			return rv, nil, fmt.Errorf("%w: log starts at LSN %d but heap files only cover LSN %d",
+				ErrCorrupt, segs[0].lsn, minBase)
+		}
+		rv.Snapshot = heapCheckpointName
+		rv.SnapshotLSN = minBase
+		lastLSN = l.heap.MaxBaseLSN()
+		shouldApply = func(rec *Record) bool {
+			if rec.Type == RecCheckpoint {
+				return false
+			}
+			rel, err := cat.Get(rec.Rel)
+			if err != nil {
+				return true // let Apply surface the unknown-relation error
+			}
+			// Per-relation horizon: a delete's atomic file rewrite
+			// advances one file's base past the global checkpoint cover.
+			return rec.LSN > rel.StoreBaseLSN()
+		}
+	} else {
+		// Pick the newest snapshot that loads cleanly AND whose cover
+		// reaches back to the log: with dense LSNs, replay can continue
+		// from a snapshot covering C iff some surviving segment starts at
+		// or below C+1 (or the log is empty entirely).
+		for i := len(snaps) - 1; i >= 0; i-- {
+			sn := snaps[i]
+			if len(segs) > 0 && segs[0].lsn > sn.lsn+1 {
+				// The records between this snapshot and the log's start were
+				// pruned on the authority of a newer snapshot; this one
+				// cannot seed a complete replay.
+				break
+			}
+			c, lerr := catalog.LoadFile(sn.path)
+			if lerr != nil {
+				if errors.Is(lerr, catalog.ErrCorrupt) {
+					rv.SkippedSnapshots++
+					continue
+				}
+				return rv, nil, lerr
+			}
+			cat = c
+			rv.Snapshot = filepath.Base(sn.path)
+			rv.SnapshotLSN = sn.lsn
 			break
 		}
-		c, lerr := catalog.LoadFile(sn.path)
-		if lerr != nil {
-			if errors.Is(lerr, catalog.ErrCorrupt) {
-				rv.SkippedSnapshots++
-				continue
+		if cat == nil {
+			if len(segs) == 0 || segs[0].lsn != 1 {
+				return rv, nil, fmt.Errorf("%w: no usable snapshot and log does not start at LSN 1", ErrCorrupt)
 			}
-			return rv, nil, lerr
+			// Rebuild from nothing: replay the whole log into an empty
+			// catalog. Only correct when the log begins at LSN 1.
+			cat = catalog.New()
 		}
-		cat = c
-		rv.Snapshot = filepath.Base(sn.path)
-		rv.SnapshotLSN = sn.lsn
-		break
-	}
-	if cat == nil {
-		if len(segs) == 0 || segs[0].lsn != 1 {
-			return rv, nil, fmt.Errorf("%w: no usable snapshot and log does not start at LSN 1", ErrCorrupt)
+		lastLSN = rv.SnapshotLSN
+		cover := rv.SnapshotLSN
+		shouldApply = func(rec *Record) bool {
+			return rec.LSN > cover && rec.Type != RecCheckpoint
 		}
-		// Rebuild from nothing: replay the whole log into an empty
-		// catalog. Only correct when the log begins at LSN 1.
-		cat = catalog.New()
 	}
 
 	// Scan and replay every segment, repairing the last one's tail.
-	lastLSN := rv.SnapshotLSN
 	expect := uint64(0) // next LSN the log must present; 0 = not yet known
 	for i, sf := range segs {
 		isLast := i == len(segs)-1
-		res, err := replaySegment(sf, isLast, cat, rv.SnapshotLSN, &expect, l.opts.Obs)
+		res, err := replaySegment(sf, isLast, cat, shouldApply, &expect, l.opts.Obs)
 		if err != nil {
 			return rv, nil, err
 		}
@@ -217,6 +274,28 @@ func (l *Log) recover() (Recovery, *catalog.Catalog, error) {
 	rv.LastLSN = lastLSN
 	l.lsn = lastLSN
 	l.ckptLSN.Store(rv.SnapshotLSN)
+
+	if l.heap != nil && !heapBase {
+		// Migrate the snapshot-era directory to heap files. Ordering is
+		// the crash safety: adopt every relation into a durable heap
+		// file at base LSN lastLSN, commit the set by writing the
+		// manifest atomically, and only then drop the snapshots. A crash
+		// before the manifest lands replays this same migration; after,
+		// recovery trusts the heap files.
+		if err := l.heap.Checkpoint(cat, lastLSN); err != nil {
+			return rv, nil, fmt.Errorf("wal: heap migration: %w", err)
+		}
+		for _, sn := range snaps {
+			if err := os.Remove(sn.path); err != nil {
+				return rv, nil, err
+			}
+		}
+		if err := catalog.SyncDir(l.dir); err != nil {
+			return rv, nil, err
+		}
+		l.ckptGen.Store(cat.Generation())
+		l.ckptLSN.Store(lastLSN)
+	}
 
 	// Resume appending: reuse the last segment if one survived with
 	// room, else start a new one right after the recovered tail.
@@ -286,12 +365,12 @@ func checkHeader(hdr [segHeaderLen]byte, nameLSN uint64) error {
 	return nil
 }
 
-// replaySegment reads one segment, applying records beyond cover to
-// cat. For the last segment a torn or corrupt record marks the
-// truncation point and ends the scan; anywhere else it is ErrCorrupt.
-// expect carries the dense-LSN continuity check across segments (0
-// until the first record fixes it).
-func replaySegment(sf seqFile, isLast bool, cat *catalog.Catalog, cover uint64, expect *uint64, o *obs.Observer) (segScan, error) {
+// replaySegment reads one segment, applying the records shouldApply
+// selects to cat. For the last segment a torn or corrupt record marks
+// the truncation point and ends the scan; anywhere else it is
+// ErrCorrupt. expect carries the dense-LSN continuity check across
+// segments (0 until the first record fixes it).
+func replaySegment(sf seqFile, isLast bool, cat *catalog.Catalog, shouldApply func(*Record) bool, expect *uint64, o *obs.Observer) (segScan, error) {
 	res := segScan{truncatedAt: -1}
 	f, err := os.Open(sf.path)
 	if err != nil {
@@ -343,7 +422,7 @@ func replaySegment(sf seqFile, isLast bool, cat *catalog.Catalog, cover uint64, 
 
 		// Checkpoint records are replay no-ops and are not counted:
 		// Replayed reports redone writes.
-		if cat != nil && rec.LSN > cover && rec.Type != RecCheckpoint {
+		if cat != nil && shouldApply(rec) {
 			if _, err := rec.Apply(cat); err != nil {
 				return res, fmt.Errorf("replaying LSN %d: %w", rec.LSN, err)
 			}
@@ -414,13 +493,17 @@ type SnapshotInfo struct {
 type Report struct {
 	Segments  []SegmentInfo
 	Snapshots []SnapshotInfo
+	// Heap holds the per-relation heap-file audits when the directory
+	// runs heap-file storage (header CRCs, slot checksums, geometry vs
+	// manifest, on-disk sizes). Empty in snapshot mode.
+	Heap []heap.FileAudit
 	// FirstLSN and LastLSN bound the readable records.
 	FirstLSN, LastLSN uint64
 	Records           int
 }
 
-// Clean reports whether every snapshot and every segment (torn tails
-// included) validated.
+// Clean reports whether every snapshot, every segment (torn tails
+// included), and every heap file validated.
 func (rp *Report) Clean() bool {
 	for _, s := range rp.Segments {
 		if s.Err != "" {
@@ -429,6 +512,11 @@ func (rp *Report) Clean() bool {
 	}
 	for _, s := range rp.Snapshots {
 		if s.Err != "" {
+			return false
+		}
+	}
+	for _, h := range rp.Heap {
+		if h.Err != nil {
 			return false
 		}
 	}
@@ -442,6 +530,14 @@ func (rp *Report) Clean() bool {
 func Inspect(dir string, fn func(segment string, offset int64, rec *Record)) (*Report, error) {
 	rp := &Report{}
 	walDir := filepath.Join(dir, "wal")
+
+	if heapDir := filepath.Join(dir, "heap"); heap.HasManifest(heapDir) {
+		audits, err := heap.Audit(heapDir)
+		if err != nil {
+			return nil, err
+		}
+		rp.Heap = audits
+	}
 
 	snaps, err := listSeq(dir, snapPrefix, snapSuffix)
 	if err != nil {

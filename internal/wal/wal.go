@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dfdbm/internal/catalog"
+	"dfdbm/internal/heap"
 	"dfdbm/internal/obs"
 )
 
@@ -76,6 +77,19 @@ type Options struct {
 	// the Nth record write or fsync: the crash-point hook driving
 	// recovery tests and the CI kill -9 loop.
 	Injector *Injector
+	// Heap, when non-nil, switches the data directory to heap-file
+	// storage: each relation lives in <dir>/heap/<name>.heap behind a
+	// shared pinning buffer pool, checkpoints flush and advance the
+	// per-relation files instead of snapshotting the whole catalog,
+	// and recovery replays the log tail into the files page-by-page.
+	Heap *HeapOptions
+}
+
+// HeapOptions parameterizes heap-file storage (Options.Heap).
+type HeapOptions struct {
+	// Frames is the buffer-pool frame budget shared by all relations.
+	// Default heap.DefaultFrames.
+	Frames int
 }
 
 func (o Options) withDefaults() Options {
@@ -195,8 +209,16 @@ type Log struct {
 	ckptGen   atomic.Int64 // catalog generation at the last checkpoint
 	ckptLSN   atomic.Uint64
 
+	// heap is the heap-file store when Options.Heap is set; nil in
+	// snapshot mode.
+	heap *heap.Store
+
 	flusherDone chan struct{}
 }
+
+// Heap returns the heap-file store, or nil when the log runs in
+// whole-catalog snapshot mode.
+func (l *Log) Heap() *heap.Store { return l.heap }
 
 // testFlushGate, when non-nil, sees every batch before it is written —
 // the test hook that holds the flusher still while appenders pile up,
@@ -420,14 +442,24 @@ func (l *Log) openSegment(firstLSN uint64) error {
 // the previous one is skipped.
 func (l *Log) Checkpoint(cat *catalog.Catalog) error {
 	gen := cat.Generation()
-	if gen == l.ckptGen.Load() && l.hasSnapshot() {
+	if gen == l.ckptGen.Load() && l.hasCheckpointBase() {
 		l.count("wal.checkpoints_skipped", 1)
 		return nil
 	}
 	cover := l.LastLSN()
-	name := snapName(cover)
-	if err := catalog.WriteFileAtomic(filepath.Join(l.dir, name), cat.Save); err != nil {
-		return fmt.Errorf("wal: checkpoint snapshot: %w", err)
+	name := heapCheckpointName
+	if l.heap != nil {
+		// Heap mode: per-relation durability. Flush every dirty frame,
+		// fsync each heap file, advance its header to cover, and commit
+		// the set via the manifest — no whole-catalog snapshot.
+		if err := l.heap.Checkpoint(cat, cover); err != nil {
+			return fmt.Errorf("wal: heap checkpoint: %w", err)
+		}
+	} else {
+		name = snapName(cover)
+		if err := catalog.WriteFileAtomic(filepath.Join(l.dir, name), cat.Save); err != nil {
+			return fmt.Errorf("wal: checkpoint snapshot: %w", err)
+		}
 	}
 	if _, err := l.Append(&Record{Type: RecCheckpoint, Snapshot: name, CoverLSN: cover}); err != nil {
 		return fmt.Errorf("wal: checkpoint record: %w", err)
@@ -440,6 +472,21 @@ func (l *Log) Checkpoint(cat *catalog.Catalog) error {
 		return fmt.Errorf("wal: checkpoint prune: %w", err)
 	}
 	return nil
+}
+
+// heapCheckpointName is the Snapshot field of heap-mode checkpoint
+// records: the durable base is the heap files themselves.
+const heapCheckpointName = "heap"
+
+// hasCheckpointBase reports whether a recovery base already exists on
+// disk (a snapshot file, or in heap mode a committed manifest) — the
+// condition under which an unchanged-generation checkpoint may be
+// skipped.
+func (l *Log) hasCheckpointBase() bool {
+	if l.heap != nil {
+		return l.heap.ManifestExists()
+	}
+	return l.hasSnapshot()
 }
 
 func (l *Log) hasSnapshot() bool {
@@ -478,7 +525,11 @@ func (l *Log) prune(cover uint64) error {
 	return catalog.SyncDir(l.dir)
 }
 
-// Close flushes pending appends and closes the log.
+// Close flushes pending appends and closes the log. In heap mode the
+// heap files close WITHOUT flushing dirty buffer-pool frames: every
+// unflushed page is past some file's base LSN and therefore in the
+// log, so an unflushed close recovers exactly like a crash — which
+// keeps the close path trivially correct.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -490,6 +541,9 @@ func (l *Log) Close() error {
 	l.cond.Broadcast()
 	l.mu.Unlock()
 	<-l.flusherDone
+	if l.heap != nil {
+		return l.heap.Close()
+	}
 	return nil
 }
 
